@@ -1,0 +1,245 @@
+(* The privagic command-line compiler and runner.
+
+   privagic check <file.mc>        type-check the secure types
+   privagic ir <file.mc>           dump the PIR after mem2reg
+   privagic partition <file.mc>    print the partition plan and the chunks
+   privagic run <file.mc> <entry> [args...]
+                                   execute the partitioned program
+   privagic tcb <file.mc>          per-enclave TCB report
+   privagic experiments [names]    regenerate the paper's tables/figures *)
+
+open Cmdliner
+open Privagic_pir
+open Privagic_secure
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let auth_arg =
+  Arg.(
+    value & flag
+    & info [ "auth-pointers" ]
+        ~doc:"Enable the authenticated-pointer extension (paper §8 future \
+              work): indirection pointers of multi-color structures carry a \
+              MAC, making them legal in hardened mode and tamper-evident.")
+
+let mode_arg =
+  let mode_conv =
+    Arg.conv
+      ( (fun s ->
+          match s with
+          | "hardened" -> Ok Mode.Hardened
+          | "relaxed" -> Ok Mode.Relaxed
+          | _ -> Error (`Msg "mode must be 'hardened' or 'relaxed'")),
+        fun fmt m -> Format.pp_print_string fmt (Mode.to_string m) )
+  in
+  Arg.(
+    value
+    & opt mode_conv Mode.Hardened
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:"Compiler mode: 'hardened' (confidentiality, integrity, Iago \
+              protection) or 'relaxed' (no Iago protection; required for \
+              multi-color structures).")
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Annotated mini-C source file.")
+
+let compile path =
+  try Privagic_minic.Driver.compile ~file:path (read_file path) with
+  | Privagic_minic.Driver.Error e ->
+    prerr_endline (Privagic_minic.Driver.error_to_string e);
+    exit 2
+
+let check_action mode auth path =
+  let m = compile path in
+  let res = Infer.run ~mode ~auth_pointers:auth m in
+  List.iter
+    (fun d -> Format.printf "%s@." (Diagnostic.to_string d))
+    res.Infer.diagnostics;
+  if Infer.ok res then begin
+    Format.printf "%s: OK (%s mode)@." path (Mode.to_string mode);
+    List.iter
+      (fun inst ->
+        Format.printf "  %s: colorset {%s}@." inst.Infer.iname
+          (String.concat ", "
+             (List.map Color.to_string
+                (Color.Set.elements (Infer.colorset inst)))))
+      (Infer.instances res);
+    0
+  end
+  else 1
+
+let ir_action path =
+  let m = compile path in
+  print_string (Pmodule.to_string m);
+  0
+
+let build_plan ?(auth = false) mode path =
+  let m = compile path in
+  let res = Infer.run ~mode ~auth_pointers:auth m in
+  if not (Infer.ok res) then begin
+    List.iter
+      (fun d -> prerr_endline (Diagnostic.to_string d))
+      res.Infer.diagnostics;
+    exit 1
+  end;
+  let plan = Privagic_partition.Plan.build ~mode ~auth_pointers:auth res in
+  if plan.Privagic_partition.Plan.diagnostics <> [] then begin
+    List.iter
+      (fun d -> prerr_endline (Diagnostic.to_string d))
+      plan.Privagic_partition.Plan.diagnostics;
+    exit 1
+  end;
+  plan
+
+let partition_action mode auth dump_chunks path =
+  let plan = build_plan ~auth mode path in
+  Format.printf "%a@." Privagic_partition.Plan.pp plan;
+  if dump_chunks then
+    Hashtbl.iter
+      (fun _ (pf : Privagic_partition.Plan.pfunc) ->
+        List.iter
+          (fun (ci : Privagic_partition.Plan.chunk_info) ->
+            Format.printf "%a@." Func.pp ci.Privagic_partition.Plan.ci_func)
+          pf.Privagic_partition.Plan.pf_chunks)
+      plan.Privagic_partition.Plan.pfuncs;
+  0
+
+let tcb_action mode auth path =
+  let plan = build_plan ~auth mode path in
+  Format.printf "%a@." Privagic_partition.Tcb.pp
+    (Privagic_partition.Tcb.of_plan plan);
+  0
+
+let run_action mode auth trace path entry args =
+  let plan = build_plan ~auth mode path in
+  let pt = Privagic_vm.Pinterp.create plan in
+  let argv =
+    List.map (fun a -> Privagic_vm.Rvalue.Int (Int64.of_string a)) args
+  in
+  if trace then Privagic_vm.Pinterp.start_trace pt;
+  (match Privagic_vm.Pinterp.call_entry pt entry argv with
+  | r ->
+    print_string (Privagic_vm.Pinterp.output pt);
+    if trace then
+      Format.printf "%a"
+        Privagic_vm.Pinterp.pp_trace
+        (Privagic_vm.Pinterp.stop_trace pt);
+    Format.printf "=> %s  (latency: %.0f cycles)@."
+      (Privagic_vm.Rvalue.to_string r.Privagic_vm.Pinterp.value)
+      r.Privagic_vm.Pinterp.latency_cycles
+  | exception Privagic_vm.Pinterp.Error msg ->
+    prerr_endline ("runtime error: " ^ msg);
+    exit 3
+  | exception Privagic_vm.Exec.Trap msg ->
+    prerr_endline ("trap: " ^ msg);
+    exit 3);
+  0
+
+let graph_action mode auth path =
+  let plan = build_plan ~auth mode path in
+  print_string (Privagic_partition.Graphviz.to_string plan);
+  0
+
+let dataflow_action path =
+  let m = compile path in
+  let r = Privagic_dataflow.Taint.analyze m in
+  Format.printf "sequential data-flow analysis (Glamdring-style baseline)@.";
+  Format.printf "locations a data-flow tool would protect: {%s}@."
+    (String.concat ", " (Privagic_dataflow.Taint.protected_locations r));
+  0
+
+let experiments_action quick names =
+  Privagic_harness.Experiments.run ~quick ~names ();
+  0
+
+(* --- cmdliner wiring --- *)
+
+let check_cmd =
+  Cmd.v (Cmd.info "check" ~doc:"Type-check the secure types of a program")
+    Term.(const check_action $ mode_arg $ auth_arg $ file_arg)
+
+let ir_cmd =
+  Cmd.v (Cmd.info "ir" ~doc:"Dump the PIR after mem2reg")
+    Term.(const ir_action $ file_arg)
+
+let partition_cmd =
+  let dump =
+    Arg.(value & flag & info [ "chunks" ] ~doc:"Also dump the chunk bodies.")
+  in
+  Cmd.v (Cmd.info "partition" ~doc:"Print the partition plan")
+    Term.(const partition_action $ mode_arg $ auth_arg $ dump $ file_arg)
+
+let tcb_cmd =
+  Cmd.v (Cmd.info "tcb" ~doc:"Per-enclave trusted-computing-base report")
+    Term.(const tcb_action $ mode_arg $ auth_arg $ file_arg)
+
+let run_cmd =
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Print the message/chunk schedule in virtual time (the \
+                runtime's own Figure 7).")
+  in
+  let entry =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"ENTRY" ~doc:"Entry point to execute.")
+  in
+  let args =
+    Arg.(value & pos_right 1 string [] & info [] ~docv:"ARGS"
+           ~doc:"Integer arguments.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a partitioned program on the SGX simulator")
+    Term.(const run_action $ mode_arg $ auth_arg $ trace $ file_arg $ entry
+          $ args)
+
+let graph_cmd =
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Emit the partition plan as a Graphviz DOT graph (chunks \
+             grouped by partition; direct calls solid, spawns dashed, \
+             cont-carried returns dotted)")
+    Term.(const graph_action $ mode_arg $ auth_arg $ file_arg)
+
+let dataflow_cmd =
+  Cmd.v
+    (Cmd.info "dataflow"
+       ~doc:"Run the sequential data-flow baseline (unsound for threads, \
+             Fig. 3) and print the locations it would protect")
+    Term.(const dataflow_action $ file_arg)
+
+let experiments_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Reduced sizes (seconds instead of minutes).")
+  in
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NAMES"
+          ~doc:"Experiments to run: fig3 fig8 fig9 fig10 table4 ablation. \
+                Default: all.")
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures")
+    Term.(const experiments_action $ quick $ names)
+
+let () =
+  let doc = "automatic code partitioning with explicit secure typing" in
+  let info = Cmd.info "privagic" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+                     [ check_cmd; ir_cmd; partition_cmd; tcb_cmd; run_cmd;
+                       graph_cmd; dataflow_cmd; experiments_cmd ]))

@@ -1,0 +1,1 @@
+examples/attack_surface.ml: Color Diagnostic Exec Format Hashtbl Heap Infer Int64 Mode Pinterp Privagic_minic Privagic_partition Privagic_pir Privagic_secure Privagic_sgx Privagic_vm Rvalue

@@ -1,0 +1,1 @@
+examples/complete_example.mli:

@@ -1,0 +1,1 @@
+examples/multithreaded_leak.ml: Diagnostic Format Infer Int64 List Mode Privagic_dataflow Privagic_minic Privagic_secure Privagic_workloads String

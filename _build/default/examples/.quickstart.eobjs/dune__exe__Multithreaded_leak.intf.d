@@ -1,0 +1,1 @@
+examples/multithreaded_leak.mli:

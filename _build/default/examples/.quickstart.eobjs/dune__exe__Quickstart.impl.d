@@ -1,0 +1,1 @@
+examples/quickstart.ml: Char Diagnostic Exec Format Heap Infer Int64 List Mode Pinterp Privagic_minic Privagic_partition Privagic_pir Privagic_secure Privagic_sgx Privagic_vm Rvalue String

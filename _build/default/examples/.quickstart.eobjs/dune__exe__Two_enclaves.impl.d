@@ -1,0 +1,1 @@
+examples/two_enclaves.ml: Char Diagnostic Exec Format Heap Infer Int64 List Mode Pinterp Privagic_minic Privagic_partition Privagic_secure Privagic_sgx Privagic_vm Privagic_workloads Rvalue String

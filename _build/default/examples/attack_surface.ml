@@ -1,0 +1,109 @@
+(* Attack-surface walkthrough: the three attacks of the paper's §4/§8 and
+   what stops (or does not stop) each of them in this implementation.
+
+     dune exec examples/attack_surface.exe *)
+
+open Privagic_secure
+open Privagic_pir
+open Privagic_vm
+module Plan = Privagic_partition.Plan
+
+let build ?(mode = Mode.Hardened) ?(auth = false) src =
+  let m = Privagic_minic.Driver.compile ~file:"victim.mc" src in
+  let infer = Infer.run ~mode ~auth_pointers:auth m in
+  assert (Infer.ok infer);
+  let plan = Plan.build ~mode ~auth_pointers:auth infer in
+  assert (Plan.ok plan);
+  Pinterp.create ~config:Privagic_sgx.Config.machine_test plan
+
+let victim =
+  {|
+ignore extern void classify_i64(int* d, int v);
+void audit(int color(blue) x) { }
+entry void set_vault(int v) {
+  int color(blue) k;
+  classify_i64(&k, v);
+  audit(k);
+}
+|}
+
+let () =
+  Format.printf "=== attack 1: Iago — feeding the enclave untrusted data ===@.";
+  let iago = "extern int read_input(); int color(blue) gate; entry void f() { gate = read_input(); }" in
+  let m = Privagic_minic.Driver.compile ~file:"iago.mc" iago in
+  let h = Infer.run ~mode:Mode.Hardened m in
+  Format.printf "hardened mode: %s@."
+    (match h.Infer.diagnostics with
+    | d :: _ -> Diagnostic.to_string d
+    | [] -> "accepted?!");
+  Format.printf
+    "relaxed mode accepts it: the documented tradeoff of Table 2.@.@.";
+
+  Format.printf "=== attack 2: forged spawn messages (§8) ===@.";
+  let pt = build victim in
+  ignore (Pinterp.call_entry pt "set_vault" [ Rvalue.Int 1L ]);
+  Format.printf "attacker injects a spawn of the internal blue chunk:@.";
+  (match
+     Pinterp.inject_spawn pt ~color:(Color.Named "blue")
+       ~chunk:"audit@blue#blue" [ Rvalue.Int 666L ]
+   with
+  | Ok () -> Format.printf "  EXECUTED (no protection)@."
+  | Error e -> Format.printf "  blocked by the spawn guard: %s@." e);
+  Pinterp.set_spawn_guard pt false;
+  (match
+     Pinterp.inject_spawn pt ~color:(Color.Named "blue")
+       ~chunk:"audit@blue#blue" [ Rvalue.Int 666L ]
+   with
+  | Ok () ->
+    Format.printf
+      "  with the guard disabled (the paper's open problem) it executes.@.@."
+  | Error e -> Format.printf "  unexpectedly blocked: %s@.@." e);
+
+  Format.printf "=== attack 3: redirecting a multi-color indirection (§8) ===@.";
+  let multicolor =
+    {|
+within extern void* malloc(int n);
+ignore extern void classify_i64(int* d, int v);
+ignore extern void declassify_i64(int* d, int v);
+struct rec_ { int color(blue) key; int color(red) val; };
+struct rec_* slot;
+int rstatus;
+entry void init() { slot = (struct rec_*) malloc(sizeof(struct rec_)); }
+entry void set_key(int v) {
+  int color(blue) k;
+  classify_i64(&k, v);
+  struct rec_* r = slot;
+  r->key = k;
+}
+entry int get_key() {
+  struct rec_* r = slot;
+  declassify_i64(&rstatus, r->key);
+  return rstatus;
+}
+|}
+  in
+  let corrupt pt =
+    let heap = pt.Pinterp.exec.Exec.heap in
+    let g = Hashtbl.find pt.Pinterp.exec.Exec.globals "slot" in
+    let base = Int64.to_int (Heap.load heap g 8) in
+    let forged = Heap.alloc heap Heap.Unsafe 16 in
+    Heap.store heap forged 8 31337L;
+    Heap.store heap base 8 (Int64.of_int forged)
+  in
+  Format.printf "without authenticated pointers (relaxed mode):@.";
+  let pt = build ~mode:Mode.Relaxed multicolor in
+  ignore (Pinterp.call_entry pt "init" []);
+  ignore (Pinterp.call_entry pt "set_key" [ Rvalue.Int 9L ]);
+  corrupt pt;
+  let v = (Pinterp.call_entry pt "get_key" []).Pinterp.value in
+  Format.printf "  the enclave read %s from attacker memory.@."
+    (Rvalue.to_string v);
+  Format.printf "with authenticated pointers (hardened mode, --auth-pointers):@.";
+  let pt = build ~mode:Mode.Hardened ~auth:true multicolor in
+  ignore (Pinterp.call_entry pt "init" []);
+  ignore (Pinterp.call_entry pt "set_key" [ Rvalue.Int 9L ]);
+  corrupt pt;
+  (match Pinterp.call_entry pt "get_key" [] with
+  | r -> Format.printf "  unexpectedly read %s@." (Rvalue.to_string r.Pinterp.value)
+  | exception Pinterp.Error msg -> Format.printf "  FAULT: %s@." msg
+  | exception Heap.Fault (_, msg) -> Format.printf "  FAULT: %s@." msg)

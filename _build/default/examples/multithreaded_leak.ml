@@ -1,0 +1,56 @@
+(* The motivation experiment (paper §3, Figure 3): why data-flow analysis
+   cannot partition multi-threaded C, and how explicit secure typing
+   rejects the same program statically.
+
+     dune exec examples/multithreaded_leak.exe *)
+
+open Privagic_secure
+module P = Privagic_workloads.Programs
+module Taint = Privagic_dataflow.Taint
+module Interleave = Privagic_dataflow.Interleave
+
+let () =
+  Format.printf "=== the racy program (paper Figure 3a) ===@.%s@."
+    P.fig3_dataflow;
+
+  Format.printf
+    "=== 1. what a sequential data-flow tool (Glamdring-style) concludes ===@.";
+  let m = Privagic_minic.Driver.compile ~file:"fig3a.mc" P.fig3_dataflow in
+  let taint = Taint.analyze m in
+  Format.printf "sensitive data flows into: {%s}@."
+    (String.concat ", " (Taint.protected_locations taint));
+  Format.printf
+    "so the tool would place only those in the enclave; 'b' stays outside.@.";
+
+  Format.printf "@.=== 2. ground truth: exploring thread interleavings ===@.";
+  let outcomes = Interleave.explore m ~entry:"main" ~max_offset:20 in
+  List.iter
+    (fun oc ->
+      let v name =
+        match Interleave.global_value oc name with
+        | Some v -> Int64.to_string v
+        | None -> "?"
+      in
+      Format.printf "schedule offsets [%s]: a=%s b=%s%s@."
+        (String.concat "; " (List.map string_of_float oc.Interleave.offsets))
+        (v "a") (v "b")
+        (if Interleave.global_value oc "b" = Some 4242L then
+           "   <- SECRET LEAKED into the unprotected location"
+         else ""))
+    outcomes;
+
+  Format.printf
+    "@.=== 3. the same program with explicit secure types (Figure 3b) ===@.%s@."
+    P.fig3_secure;
+  let m2 = Privagic_minic.Driver.compile ~file:"fig3b.mc" P.fig3_secure in
+  let res = Infer.run ~mode:Mode.Relaxed m2 in
+  if Infer.ok res then Format.printf "unexpectedly accepted?!@."
+  else begin
+    Format.printf "Privagic rejects it at compile time:@.";
+    List.iter
+      (fun d -> Format.printf "  %s@." (Diagnostic.to_string d))
+      res.Infer.diagnostics;
+    Format.printf
+      "(the line 'x = &b': a pointer to unannotated memory cannot flow into \
+       a pointer-to-blue — exactly the paper's FAIL comment)@."
+  end

@@ -1,0 +1,99 @@
+(* Quickstart: annotate a C program with secure types, check it, partition
+   it, and run it on the SGX simulator.
+
+     dune exec examples/quickstart.exe *)
+
+open Privagic_secure
+open Privagic_vm
+
+(* The paper's Figure 1, extended with a deposit and a declassified balance
+   query. The account name lives in the blue enclave, the balance in the
+   red enclave; the struct itself is multi-colored, so this program needs
+   the relaxed mode (paper §7.2/§8). *)
+let source =
+  {|
+within extern void* malloc(int n);
+within extern char* strncpy(char* dst, char* src, int n);
+ignore extern void declassify_i64(int* dst, int v);
+
+struct account {
+  char color(blue) name[64];
+  double color(red) balance;
+};
+
+struct account* the_account;
+int rstatus;
+
+entry void create(char* name) {
+  struct account* res = (struct account*) malloc(sizeof(struct account));
+  strncpy(res->name, name, 64);
+  res->balance = 0.0;
+  the_account = res;
+}
+
+entry void deposit(int cents) {
+  struct account* a = the_account;
+  a->balance = a->balance + cents / 100.0;
+}
+
+entry int balance_cents() {
+  struct account* a = the_account;
+  int c = (int) (a->balance * 100.0);
+  declassify_i64(&rstatus, c);
+  return rstatus;
+}
+|}
+
+let () =
+  Format.printf "=== 1. compile (mini-C -> PIR, mem2reg) ===@.";
+  let m = Privagic_minic.Driver.compile ~file:"account.mc" source in
+  Format.printf "functions: %s@.@."
+    (String.concat ", "
+       (List.map
+          (fun (f : Privagic_pir.Func.t) -> f.Privagic_pir.Func.name)
+          (Privagic_pir.Pmodule.funcs_sorted m)));
+
+  Format.printf "=== 2. secure type checking ===@.";
+  (* hardened mode rejects the multi-color structure... *)
+  let hardened = Infer.run ~mode:Mode.Hardened m in
+  Format.printf "hardened mode: %d diagnostic(s), e.g.@."
+    (List.length hardened.Infer.diagnostics);
+  (match hardened.Infer.diagnostics with
+  | d :: _ -> Format.printf "  %s@." (Diagnostic.to_string d)
+  | [] -> ());
+  (* ...relaxed mode accepts it *)
+  let relaxed = Infer.run ~mode:Mode.Relaxed m in
+  assert (Infer.ok relaxed);
+  Format.printf "relaxed mode: OK@.";
+  List.iter
+    (fun inst ->
+      Format.printf "  %s -> colorset {%s}@." inst.Infer.iname
+        (String.concat ", "
+           (List.map Privagic_pir.Color.to_string
+              (Privagic_pir.Color.Set.elements (Infer.colorset inst)))))
+    (Infer.instances relaxed);
+
+  Format.printf "@.=== 3. partitioning ===@.";
+  let plan = Privagic_partition.Plan.build ~mode:Mode.Relaxed relaxed in
+  assert (plan.Privagic_partition.Plan.diagnostics = []);
+  Format.printf "%a@." Privagic_partition.Plan.pp plan;
+  Format.printf "%a@." Privagic_partition.Tcb.pp
+    (Privagic_partition.Tcb.of_plan plan);
+
+  Format.printf "=== 4. execution on the SGX simulator ===@.";
+  let pt = Pinterp.create plan in
+  let heap = pt.Pinterp.exec.Exec.heap in
+  let name = Heap.alloc heap Heap.Unsafe 64 in
+  String.iteri
+    (fun i c -> Heap.store heap (name + i) 1 (Int64.of_int (Char.code c)))
+    "alice";
+  ignore (Pinterp.call_entry pt "create" [ Rvalue.Ptr name ]);
+  ignore (Pinterp.call_entry pt "deposit" [ Rvalue.Int 250L ]);
+  let r = Pinterp.call_entry pt "deposit" [ Rvalue.Int 199L ] in
+  Format.printf "deposit latency: %.0f simulated cycles@."
+    r.Pinterp.latency_cycles;
+  let b = Pinterp.call_entry pt "balance_cents" [] in
+  Format.printf "balance: %s cents@." (Rvalue.to_string b.Pinterp.value);
+  let c = Privagic_sgx.Machine.counters (Pinterp.machine pt) in
+  Format.printf "enclave crossings so far: %d lock-free messages@."
+    c.Privagic_sgx.Machine.queue_msgs

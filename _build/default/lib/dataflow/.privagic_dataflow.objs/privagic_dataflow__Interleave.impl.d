@@ -1,0 +1,1 @@
+lib/dataflow/interleave.ml: Buffer Exec Externals Hashtbl Heap Layout List Pmodule Printf Privagic_pir Privagic_runtime Privagic_secure Privagic_sgx Privagic_vm Ty

@@ -1,0 +1,1 @@
+lib/dataflow/interleave.mli: Privagic_pir

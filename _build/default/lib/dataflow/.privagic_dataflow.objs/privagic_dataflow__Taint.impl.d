@@ -1,0 +1,1 @@
+lib/dataflow/taint.ml: Block Color Func Hashtbl Instr List Option Pmodule Privagic_pir Privagic_secure Set String Value

@@ -1,0 +1,1 @@
+lib/dataflow/taint.mli: Privagic_pir Set

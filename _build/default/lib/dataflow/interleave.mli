@@ -1,0 +1,22 @@
+(** Concrete interleaving explorer — the ground-truth oracle of the Fig. 3
+    experiment. Executes a multi-threaded mini-C program under schedules
+    produced by sliding the spawned threads' start offsets (virtual time =
+    instruction count), then exposes the final memory. *)
+
+type outcome = {
+  offsets : float list;            (** start offset of each spawned thread *)
+  globals : (string * int64) list; (** final values of scalar globals *)
+  output : string;
+}
+
+(** Run [entry] with the k-th spawned thread starting at [offsets.(k)]
+    (missing entries start at the spawner's clock). Deterministic. *)
+val run :
+  Privagic_pir.Pmodule.t -> entry:string -> offsets:float list -> outcome
+
+(** Slide the second thread across the first and return the distinct
+    outcomes. *)
+val explore :
+  Privagic_pir.Pmodule.t -> entry:string -> max_offset:int -> outcome list
+
+val global_value : outcome -> string -> int64 option

@@ -1,0 +1,184 @@
+(* Sequential data-flow analysis in the style of the tools of Table 1
+   (Glamdring's abstract interpretation, Privtrans' use-def chains, SeCage's
+   taint analysis). The developer marks sensitive *sources* (we reuse the
+   color annotations as source markers); the analysis then computes which
+   memory locations the sensitive values flow into, assuming SEQUENTIAL
+   execution — each function is analyzed in isolation, statement after
+   statement, with flow-sensitive points-to information.
+
+   This is the baseline of the Fig. 3 experiment: on a multi-threaded
+   program, the analysis is unsound — a store through a pointer uses the
+   points-to set established earlier in the SAME function, and cannot see
+   a concurrent thread redirecting the pointer in between. The partition it
+   derives (protect exactly the tainted locations) then leaks. *)
+
+open Privagic_pir
+
+module SSet = Set.Make (String)
+
+type result = {
+  tainted_globals : SSet.t;   (* locations the analysis wants in the enclave *)
+  sources : SSet.t;           (* the annotated locations *)
+  warnings : string list;
+}
+
+(* Abstract value: taint bit + points-to set (names of globals). *)
+type aval = { taint : bool; pts : SSet.t }
+
+let bot = { taint = false; pts = SSet.empty }
+
+let join a b = { taint = a.taint || b.taint; pts = SSet.union a.pts b.pts }
+
+let analyze (m : Pmodule.t) : result =
+  (* sources: globals and parameters carrying a color annotation *)
+  let sources =
+    List.fold_left
+      (fun acc (g : Pmodule.global) ->
+        match Privagic_secure.Cenv.root_color g.gty with
+        | Some (Color.Named _) -> SSet.add g.gname acc
+        | _ -> acc)
+      SSet.empty (Pmodule.globals_sorted m)
+  in
+  (* taint state of globals, accumulated across functions (no concurrency:
+     each function's effects are applied atomically, one after another) *)
+  let tainted = ref sources in
+  let warnings = ref [] in
+  let changed = ref true in
+  let analyze_func (f : Func.t) =
+    let regs : (int, aval) Hashtbl.t = Hashtbl.create 64 in
+    let get r = Option.value ~default:bot (Hashtbl.find_opt regs r) in
+    let set r v =
+      let old = get r in
+      let v = join old v in
+      if v <> old then begin
+        Hashtbl.replace regs r v;
+        changed := true
+      end
+    in
+    (* parameters with colored types are sensitive *)
+    List.iteri
+      (fun k (_, pty) ->
+        match Privagic_secure.Cenv.root_color pty with
+        | Some (Color.Named _) -> Hashtbl.replace regs k { bot with taint = true }
+        | _ -> ())
+      f.Func.params;
+    let aval_of (v : Value.t) =
+      match v with
+      | Value.Reg r -> get r
+      | Value.Global g ->
+        { taint = false; pts = SSet.singleton g }
+      | _ -> bot
+    in
+    (* flow-sensitive pass over blocks in layout order: the sequential
+       assumption — pointer contents observed at program point p are the
+       ones established by the latest dominating store in THIS function *)
+    let ptr_state : (string, SSet.t) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (b : Block.t) ->
+        List.iter
+          (fun (i : Instr.t) ->
+            match i.Instr.op with
+            | Instr.Load p -> (
+              let pv = aval_of p in
+              (* loading through a pointer: taint if any target tainted *)
+              let targets =
+                match p with
+                | Value.Global g -> (
+                  match Hashtbl.find_opt ptr_state g with
+                  | Some pts -> pts
+                  | None -> SSet.singleton g)
+                | _ -> pv.pts
+              in
+              let taint =
+                SSet.exists (fun l -> SSet.mem l !tainted) targets
+                ||
+                match p with
+                | Value.Global g -> SSet.mem g !tainted
+                | _ -> pv.taint
+              in
+              (* a loaded pointer designates whatever the slot was last
+                 observed (sequentially!) to contain *)
+              let pts =
+                match p with
+                | Value.Global g ->
+                  Option.value ~default:SSet.empty (Hashtbl.find_opt ptr_state g)
+                | _ -> SSet.empty
+              in
+              set i.id { taint; pts })
+            | Instr.Store (v, p) -> (
+              let vv = aval_of v in
+              match p with
+              | Value.Global g ->
+                (* store into global g directly *)
+                if vv.taint && not (SSet.mem g !tainted) then begin
+                  tainted := SSet.add g !tainted;
+                  changed := true
+                end;
+                (* pointer assignment: strong update of the points-to set *)
+                if not (SSet.is_empty vv.pts) then
+                  Hashtbl.replace ptr_state g vv.pts
+              | Value.Reg r ->
+                let targets =
+                  let pv = get r in
+                  SSet.fold
+                    (fun g acc ->
+                      match Hashtbl.find_opt ptr_state g with
+                      | Some pts -> SSet.union pts acc
+                      | None -> SSet.add g acc)
+                    pv.pts SSet.empty
+                  |> fun s -> if SSet.is_empty s then (get r).pts else s
+                in
+                if vv.taint then
+                  SSet.iter
+                    (fun g ->
+                      if not (SSet.mem g !tainted) then begin
+                        tainted := SSet.add g !tainted;
+                        changed := true
+                      end)
+                    targets
+              | _ -> ())
+            | Instr.Binop (_, a, b') | Instr.Icmp (_, a, b')
+            | Instr.Fcmp (_, a, b') ->
+              set i.id (join (aval_of a) (aval_of b'))
+            | Instr.Cast (_, v, _) -> set i.id (aval_of v)
+            | Instr.Gep (_, base, steps) ->
+              let acc =
+                List.fold_left
+                  (fun acc s ->
+                    match s with
+                    | Instr.Index v -> join acc (aval_of v)
+                    | Instr.Field _ -> acc)
+                  (aval_of base) steps
+              in
+              set i.id acc
+            | Instr.Phi entries ->
+              set i.id
+                (List.fold_left (fun acc (_, v) -> join acc (aval_of v)) bot
+                   entries)
+            | Instr.Select (c, a, b') ->
+              set i.id (join (aval_of c) (join (aval_of a) (aval_of b')))
+            | Instr.Call (_, args) | Instr.Callind (_, args)
+            | Instr.Spawn (_, args) ->
+              (* conservative: result tainted if any argument is *)
+              let acc =
+                List.fold_left (fun acc v -> join acc (aval_of v)) bot args
+              in
+              set i.id { acc with pts = SSet.empty }
+            | Instr.Alloca _ -> set i.id bot)
+          b.Block.instrs)
+      f.Func.blocks
+  in
+  let rounds = ref 0 in
+  while !changed && !rounds < 16 do
+    changed := false;
+    incr rounds;
+    List.iter analyze_func (Pmodule.funcs_sorted m)
+  done;
+  { tainted_globals = !tainted; sources; warnings = !warnings }
+
+(* The partition the data-flow tool would build: the tainted locations go
+   into the enclave, everything else stays unprotected. *)
+let protected_locations r = SSet.elements r.tainted_globals
+
+let leaks_to (r : result) (location : string) =
+  not (SSet.mem location r.tainted_globals)

@@ -1,0 +1,27 @@
+(** The sequential data-flow baseline (the technique of the tools in the
+    paper's Table 1: Glamdring's abstract interpretation, Privtrans'
+    use-def chains, SeCage's taint analysis).
+
+    The color annotations are reused as sensitivity *sources*; the
+    analysis computes which memory locations the sensitive values flow
+    into assuming SEQUENTIAL execution — a store through a pointer uses
+    the points-to set established earlier in the same function and cannot
+    see a concurrent thread redirecting the pointer in between. This is
+    the unsoundness Fig. 3 demonstrates. *)
+
+module SSet : Set.S with type elt = string
+
+type result = {
+  tainted_globals : SSet.t;
+  sources : SSet.t;
+  warnings : string list;
+}
+
+val analyze : Privagic_pir.Pmodule.t -> result
+
+(** The partition the tool would build: the tainted locations go into the
+    enclave. *)
+val protected_locations : result -> string list
+
+(** Whether [location] stays outside the derived partition. *)
+val leaks_to : result -> string -> bool

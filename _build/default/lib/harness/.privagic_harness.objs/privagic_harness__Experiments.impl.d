@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Ablation Fig10 Fig3 Fig8 Fig9 Format Kv List Report String Table4 Unix

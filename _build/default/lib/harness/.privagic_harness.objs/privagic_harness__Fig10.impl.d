@@ -1,0 +1,1 @@
+lib/harness/fig10.ml: Kv List Mode Privagic_baselines Privagic_secure Privagic_sgx Report String

@@ -1,0 +1,1 @@
+lib/harness/fig10.mli: Kv Privagic_baselines Privagic_sgx Report

@@ -1,0 +1,1 @@
+lib/harness/fig3.ml: Diagnostic Infer Int64 List Mode Privagic_dataflow Privagic_minic Privagic_secure Privagic_workloads Report String

@@ -1,0 +1,1 @@
+lib/harness/fig8.ml: Kv List Mode Printf Privagic_baselines Privagic_secure Privagic_sgx Report String

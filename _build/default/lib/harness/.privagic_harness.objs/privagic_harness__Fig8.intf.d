@@ -1,0 +1,1 @@
+lib/harness/fig8.mli: Kv Privagic_baselines Privagic_sgx Report

@@ -1,0 +1,1 @@
+lib/harness/fig9.ml: Kv List Mode Privagic_baselines Privagic_secure Privagic_sgx Privagic_workloads Report String

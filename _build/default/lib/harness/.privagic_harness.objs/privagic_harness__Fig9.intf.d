@@ -1,0 +1,1 @@
+lib/harness/fig9.mli: Kv Privagic_baselines Privagic_sgx Report

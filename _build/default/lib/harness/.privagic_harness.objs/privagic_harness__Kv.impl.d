@@ -1,0 +1,1 @@
+lib/harness/kv.ml: Int64 Privagic_baselines Privagic_secure Privagic_sgx Privagic_vm Privagic_workloads Rvalue

@@ -1,0 +1,1 @@
+lib/harness/kv.mli: Privagic_baselines Privagic_secure Privagic_sgx Privagic_workloads

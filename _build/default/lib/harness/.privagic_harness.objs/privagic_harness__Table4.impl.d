@@ -1,0 +1,1 @@
+lib/harness/table4.ml: Infer List Mode Printf Privagic_minic Privagic_partition Privagic_secure Privagic_workloads Report

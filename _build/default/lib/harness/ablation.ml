@@ -1,0 +1,98 @@
+(* Ablations of the design choices DESIGN.md calls out:
+
+   A1 — crossing mechanism: the lock-free queue of the Privagic runtime vs
+        the lock-based switchless call of the Intel SDK (the paper credits
+        the Fig. 9 gap to this choice);
+   A2 — hardened vs relaxed mode on the same single-color program (relaxed
+        drops the Iago protection but the partitioning is identical —
+        the cost difference should be negligible);
+   A3 — the in-enclave LLC-miss multiplier (Eleos reports 5.6-9.5x): how
+        the Privagic-vs-Unprotected gap responds to it. *)
+
+module System = Privagic_baselines.System
+module Sgx = Privagic_sgx
+open Privagic_secure
+
+let crossing_sweep ?(record_count = 5_000) ?(operations = 500) () =
+  let t =
+    Report.create ~title:"Ablation A1: crossing cost (cycles) vs throughput"
+      ~header:[ "crossing cycles"; "tput kops/s"; "latency us" ]
+  in
+  List.iter
+    (fun cycles ->
+      let cost = Sgx.Cost.with_queue_msg Sgx.Cost.default cycles in
+      let r =
+        Kv.run ~cost Kv.Hashmap (System.Privagic Mode.Hardened) ~record_count
+          ~operations ()
+      in
+      Report.add_row t
+        [ Report.f1 cycles; Report.f1 r.Kv.throughput_kops;
+          Report.f2 r.Kv.mean_latency_us ])
+    [ 200.0; 600.0; 1_000.0; 3_000.0; 8_600.0 ];
+  t
+
+let mode_comparison ?(record_count = 5_000) ?(operations = 500) () =
+  let t =
+    Report.create ~title:"Ablation A2: hardened vs relaxed mode"
+      ~header:[ "mode"; "tput kops/s"; "latency us"; "queue msgs" ]
+  in
+  List.iter
+    (fun mode ->
+      let r =
+        Kv.run Kv.Hashmap (System.Privagic mode) ~record_count ~operations ()
+      in
+      Report.add_row t
+        [ Mode.to_string mode; Report.f1 r.Kv.throughput_kops;
+          Report.f2 r.Kv.mean_latency_us; Report.i r.Kv.queue_msgs ])
+    [ Mode.Hardened; Mode.Relaxed ];
+  t
+
+(* A4 — the §8 authenticated-pointer extension: overhead of MAC-verified
+   indirections on the two-color hashmap (wider slots, one check per
+   colored-field access). *)
+let auth_pointer_overhead ?(record_count = 4_000) ?(operations = 500) () =
+  let t =
+    Report.create
+      ~title:"Ablation A4: authenticated pointers (two-color hashmap)"
+      ~header:[ "configuration"; "tput kops/s"; "latency us" ]
+  in
+  List.iter
+    (fun (label, auth) ->
+      let r =
+        Kv.run ~config:Sgx.Config.machine_a ~auth_pointers:auth Kv.Hashmap2
+          (System.Privagic Mode.Relaxed) ~record_count ~operations ()
+      in
+      Report.add_row t
+        [ label; Report.f1 r.Kv.throughput_kops;
+          Report.f2 r.Kv.mean_latency_us ])
+    [ ("plain indirections", false); ("authenticated (MAC)", true) ];
+  t
+
+let miss_factor_sweep ?(record_count = 30_000) ?(operations = 500) () =
+  let t =
+    Report.create
+      ~title:"Ablation A3: in-enclave LLC miss multiplier vs slowdown"
+      ~header:[ "multiplier"; "privagic kops/s"; "unprotected kops/s"; "slowdown" ]
+  in
+  (* uniform access on a dataset larger than machine A's LLC: every lookup
+     misses, so the in-enclave multiplier dominates (the treemap case of
+     §9.3.2) *)
+  let config = Sgx.Config.machine_a in
+  let distribution = Privagic_workloads.Ycsb.Uniform in
+  List.iter
+    (fun factor ->
+      let cost = Sgx.Cost.with_enclave_miss_factor Sgx.Cost.default factor in
+      let rp =
+        Kv.run ~config ~cost ~distribution Kv.Rbtree
+          (System.Privagic Mode.Hardened) ~record_count ~operations ()
+      in
+      let ru =
+        Kv.run ~config ~cost ~distribution Kv.Rbtree System.Unprotected
+          ~record_count ~operations ()
+      in
+      Report.add_row t
+        [ Report.f1 factor; Report.f1 rp.Kv.throughput_kops;
+          Report.f1 ru.Kv.throughput_kops;
+          Report.f2 (ru.Kv.throughput_kops /. rp.Kv.throughput_kops) ])
+    [ 1.0; 5.6; 7.0; 9.5 ];
+  t

@@ -1,0 +1,17 @@
+(** Ablations of the design choices DESIGN.md §5 calls out. *)
+
+(** A1: lock-free queue vs dearer crossing mechanisms — per-op cost as the
+    crossing price sweeps from 200 cycles to the 8600-cycle ECALL. *)
+val crossing_sweep : ?record_count:int -> ?operations:int -> unit -> Report.t
+
+(** A2: hardened vs relaxed mode on the same single-color program. *)
+val mode_comparison : ?record_count:int -> ?operations:int -> unit -> Report.t
+
+(** A3: the in-enclave LLC-miss multiplier (Eleos' 5.6–9.5x) vs the
+    Privagic slowdown, on a uniform treemap larger than the LLC. *)
+val miss_factor_sweep : ?record_count:int -> ?operations:int -> unit -> Report.t
+
+(** A4: the §8 authenticated-pointer extension — MAC-verified indirection
+    overhead on the two-color hashmap. *)
+val auth_pointer_overhead :
+  ?record_count:int -> ?operations:int -> unit -> Report.t

@@ -1,0 +1,58 @@
+(* One entry point that regenerates every table and figure of the paper's
+   evaluation (the per-experiment index lives in DESIGN.md). [quick] runs
+   scaled-down sizes for CI; the full sizes take minutes. *)
+
+let all_names = [ "fig3"; "table4"; "fig8"; "fig9"; "fig10"; "ablation" ]
+
+let run_one ~quick name =
+  match name with
+  | "fig3" -> Report.print (Fig3.report (Fig3.run ()))
+  | "table4" -> Report.print (Table4.report (Table4.default_rows ()))
+  | "fig8" ->
+    let points =
+      if quick then Fig8.run ~sizes_mib:[ 1; 4; 16 ] ~operations:500 ()
+      else Fig8.run ()
+    in
+    Report.print (Fig8.report points)
+  | "fig9" ->
+    let rows =
+      if quick then
+        Fig9.run
+          ~spec:
+            [ (Kv.Hashmap, 4000, 300); (Kv.Rbtree, 4000, 300);
+              (Kv.Linked_list, 400, 60) ]
+          ()
+      else Fig9.run ()
+    in
+    Report.print (Fig9.report rows)
+  | "fig10" ->
+    let results =
+      if quick then Fig10.run ~record_count:800 ~operations:150 ()
+      else Fig10.run ()
+    in
+    Report.print (Fig10.report results)
+  | "ablation" ->
+    if quick then begin
+      Report.print (Ablation.crossing_sweep ~record_count:1000 ~operations:150 ());
+      Report.print (Ablation.mode_comparison ~record_count:1000 ~operations:150 ());
+      Report.print (Ablation.miss_factor_sweep ~record_count:4000 ~operations:150 ());
+      Report.print (Ablation.auth_pointer_overhead ~record_count:800 ~operations:100 ())
+    end
+    else begin
+      Report.print (Ablation.crossing_sweep ());
+      Report.print (Ablation.mode_comparison ());
+      Report.print (Ablation.miss_factor_sweep ());
+      Report.print (Ablation.auth_pointer_overhead ())
+    end
+  | other -> Format.printf "unknown experiment %S (known: %s)@." other
+               (String.concat " " all_names)
+
+let run ?(quick = false) ?(names = []) () =
+  let names = if names = [] then all_names else names in
+  List.iter
+    (fun name ->
+      let t0 = Unix.gettimeofday () in
+      run_one ~quick name;
+      Format.printf "[%s finished in %.1fs]@.@." name
+        (Unix.gettimeofday () -. t0))
+    names

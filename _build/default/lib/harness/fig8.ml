@@ -1,0 +1,69 @@
+(* Figure 8: memcached under YCSB, throughput and latency as the dataset
+   grows, for Unprotected / Scone / Privagic (hardened). The paper sweeps
+   1 MiB - 32 GiB on machine B; we sweep a scaled range (the crossover
+   behaviour is driven by the LLC and EPC sizes, which scale together via
+   the machine configuration). *)
+
+module System = Privagic_baselines.System
+module Sgx = Privagic_sgx
+open Privagic_secure
+
+type point = {
+  dataset_mib : float;
+  results : Kv.result list; (* one per system *)
+}
+
+let systems = [ System.Unprotected; System.Scone; System.Privagic Mode.Hardened ]
+
+let default_sizes_mib = [ 1; 4; 16; 64; 256; 512 ]
+
+let run ?(config = Sgx.Config.machine_b_scaled) ?cost
+    ?(sizes_mib = default_sizes_mib) ?(operations = 2000) ?(vsize = 1024) () :
+    point list =
+  List.map
+    (fun mib ->
+      let record_count = mib * 1024 * 1024 / vsize in
+      (* scale buckets with the dataset so chains stay short, as
+         memcached's hash table expansion does *)
+      let rec pow2 n = if n >= record_count then n else pow2 (2 * n) in
+      let nbuckets = max 1024 (pow2 1024) in
+      let results =
+        List.map
+          (fun kind ->
+            Kv.run ~config ?cost ~nbuckets ~vsize Kv.Memcached kind
+              ~record_count ~operations ())
+          systems
+      in
+      { dataset_mib = float_of_int mib; results })
+    sizes_mib
+
+let report (points : point list) : Report.t =
+  let t =
+    Report.create ~title:"Figure 8: memcached with YCSB (machine B)"
+      ~header:
+        [ "dataset"; "system"; "tput kops/s"; "latency us"; "LLC miss";
+          "vs scone" ]
+  in
+  List.iter
+    (fun p ->
+      let scone_tput =
+        List.fold_left
+          (fun acc (r : Kv.result) ->
+            if String.equal r.Kv.system "scone" then r.Kv.throughput_kops
+            else acc)
+          1.0 p.results
+      in
+      List.iter
+        (fun (r : Kv.result) ->
+          Report.add_row t
+            [
+              Printf.sprintf "%gMiB" p.dataset_mib;
+              r.Kv.system;
+              Report.f1 r.Kv.throughput_kops;
+              Report.f2 r.Kv.mean_latency_us;
+              Report.f2 r.Kv.llc_miss_ratio;
+              Report.f2 (r.Kv.throughput_kops /. scone_tput);
+            ])
+        p.results)
+    points;
+  t

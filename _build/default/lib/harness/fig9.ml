@@ -1,0 +1,75 @@
+(* Figure 9: the three data structures protected with one color, on
+   machine A: Unprotected vs Privagic-1 vs Intel-sdk-1. The paper
+   pre-loads 100 000 keys of 1 KiB values and reports throughput; the
+   linked list is the pathological case (a get visits half the list). *)
+
+module System = Privagic_baselines.System
+module Sgx = Privagic_sgx
+open Privagic_secure
+
+let systems =
+  [ System.Unprotected; System.Privagic Mode.Hardened;
+    System.Intel_sdk Mode.Hardened ]
+
+type row = { family : Kv.family; results : Kv.result list }
+
+(* Record counts scaled from the paper's 100 000: the datasets sit at the
+   same position relative to machine A's LLC as in the paper, which is what
+   the per-system ratios depend on (see EXPERIMENTS.md). *)
+let default_spec =
+  [ (Kv.Hashmap, 8_000, 1000); (Kv.Rbtree, 8_000, 1000);
+    (Kv.Linked_list, 2_000, 200) ]
+
+let run ?(config = Sgx.Config.machine_a) ?cost ?(spec = default_spec)
+    ?(vsize = 1024) () : row list =
+  List.map
+    (fun (family, record_count, operations) ->
+      (* the treemap's pain point in the paper is its uniform access
+         pattern (§9.3.2); the hashmap benefits from the zipfian skew *)
+      let distribution =
+        match family with
+        | Kv.Rbtree | Kv.Linked_list -> Privagic_workloads.Ycsb.Uniform
+        | _ -> Privagic_workloads.Ycsb.Zipfian
+      in
+      let results =
+        List.map
+          (fun kind ->
+            Kv.run ~config ?cost ~vsize ~distribution family kind
+              ~record_count ~operations ())
+          systems
+      in
+      { family; results })
+    spec
+
+let find_tput rows name =
+  List.fold_left
+    (fun acc (r : Kv.result) ->
+      if String.equal r.Kv.system name then r.Kv.throughput_kops else acc)
+    0.0 rows
+
+let report (rows : row list) : Report.t =
+  let t =
+    Report.create
+      ~title:"Figure 9: data structures with YCSB, one color (machine A)"
+      ~header:
+        [ "structure"; "system"; "tput kops/s"; "latency us"; "vs sdk";
+          "unprot/this" ]
+  in
+  List.iter
+    (fun row ->
+      let sdk = find_tput row.results "intel-sdk" in
+      let unprot = find_tput row.results "unprotected" in
+      List.iter
+        (fun (r : Kv.result) ->
+          Report.add_row t
+            [
+              Kv.family_name row.family;
+              r.Kv.system;
+              Report.f1 r.Kv.throughput_kops;
+              Report.f2 r.Kv.mean_latency_us;
+              Report.f2 (r.Kv.throughput_kops /. sdk);
+              Report.f2 (unprot /. r.Kv.throughput_kops);
+            ])
+        row.results)
+    rows;
+  t

@@ -1,0 +1,40 @@
+(* Plain-text table rendering for the experiment reports. *)
+
+type t = { title : string; header : string list; mutable rows : string list list }
+
+let create ~title ~header = { title; header; rows = [] }
+
+let add_row t row = t.rows <- t.rows @ [ row ]
+
+let widths t =
+  let all = t.header :: t.rows in
+  let cols = List.length t.header in
+  List.init cols (fun c ->
+      List.fold_left
+        (fun acc row ->
+          match List.nth_opt row c with
+          | Some cell -> max acc (String.length cell)
+          | None -> acc)
+        0 all)
+
+let pp fmt t =
+  let ws = widths t in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth ws c in
+           cell ^ String.make (max 0 (w - String.length cell)) ' ')
+         row)
+  in
+  Format.fprintf fmt "== %s ==@." t.title;
+  Format.fprintf fmt "%s@." (line t.header);
+  Format.fprintf fmt "%s@."
+    (String.make (List.fold_left (fun a w -> a + w + 2) (-2) ws) '-');
+  List.iter (fun row -> Format.fprintf fmt "%s@." (line row)) t.rows
+
+let print t = Format.printf "%a@." pp t
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let i n = string_of_int n

@@ -1,0 +1,14 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+val add_row : t -> string list -> unit
+val pp : Format.formatter -> t -> unit
+val print : t -> unit
+
+(** Formatting helpers: one decimal, two decimals, integer. *)
+val f1 : float -> string
+
+val f2 : float -> string
+val i : int -> string

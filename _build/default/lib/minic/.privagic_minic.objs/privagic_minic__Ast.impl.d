@@ -1,0 +1,1 @@
+lib/minic/ast.ml: Annot Loc Privagic_pir Ty

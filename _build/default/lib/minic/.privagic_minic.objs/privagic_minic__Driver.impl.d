@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Lexer Loc Lower Parser Pmodule Printf Privagic_passes Privagic_pir Sema Verify

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Annot Ast Builder Format Func Instr Int64 List Loc Option Pmodule Privagic_pir Sema Ty Value

@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Annot Array Ast Color Int64 Lexer List Loc Printf Privagic_pir Token Ty

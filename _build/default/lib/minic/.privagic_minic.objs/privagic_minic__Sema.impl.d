@@ -1,0 +1,1 @@
+lib/minic/sema.ml: Annot Ast Char Format Hashtbl Int64 List Loc Option Privagic_pir String Ty

@@ -1,0 +1,71 @@
+(* Mini-C abstract syntax. Types reuse [Pir.Ty] directly (with colors), so
+   the frontend, the secure type system, and the partitioner share one type
+   language — mirroring how Privagic works on annotated LLVM IR rather than
+   on C semantics (paper §2.2). *)
+
+open Privagic_pir
+
+type unop =
+  | Neg          (* -e *)
+  | Lognot       (* !e *)
+  | Bitnot       (* ~e *)
+  | Deref        (* *e *)
+  | Addrof       (* &e *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor   (* short-circuit *)
+
+type expr = { edesc : edesc; eloc : Loc.t }
+
+and edesc =
+  | Int_lit of int64
+  | Float_lit of float
+  | Char_lit of char
+  | String_lit of string
+  | Null_lit
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr                  (* lvalue = value, yields value *)
+  | Call of string * expr list
+  | Call_ptr of expr * expr list           (* indirect call *)
+  | Index of expr * expr                   (* e[i] *)
+  | Field of expr * string                 (* e.f *)
+  | Arrow of expr * string                 (* e->f *)
+  | Cast of Ty.t * expr
+  | Sizeof of Ty.t
+  | Func_addr of string                    (* &f resolved by sema *)
+
+type stmt = { sdesc : sdesc; sloc : Loc.t }
+
+and sdesc =
+  | Expr of expr
+  | Decl of Ty.t * string * expr option
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Block of stmt list
+  | Spawn of string * expr list            (* spawn f(args): start a thread *)
+
+type func = {
+  fname : string;
+  fret : Ty.t;
+  fparams : (string * Ty.t) list;
+  fbody : stmt list;
+  fannots : Annot.t list;
+  floc : Loc.t;
+}
+
+type topdecl =
+  | Struct_def of string * (string * Ty.t) list * Loc.t
+  | Global of Ty.t * string * expr option * Loc.t
+  | Func_def of func
+  | Extern_decl of string * Ty.t * (string * Ty.t) list * Annot.t list * Loc.t
+
+type program = topdecl list

@@ -1,0 +1,33 @@
+(* Front-door of the frontend: source text -> verified, mem2reg'd PIR
+   module, i.e. the exact artifact the Privagic analysis consumes
+   (paper Figure 5). *)
+
+open Privagic_pir
+
+type error = { loc : Loc.t; msg : string; phase : string }
+
+exception Error of error
+
+let compile ?(file = "<input>") ?(mem2reg = true) (src : string) : Pmodule.t =
+  let fail phase loc msg = raise (Error { loc; msg; phase }) in
+  let ast =
+    try Parser.parse_program ~file src with
+    | Lexer.Error (loc, msg) -> fail "lex" loc msg
+    | Parser.Error (loc, msg) -> fail "parse" loc msg
+  in
+  let tprog =
+    try Sema.check_program ast with Sema.Error (loc, msg) -> fail "type" loc msg
+  in
+  let m =
+    try Lower.lower_program tprog with
+    | Lower.Error (loc, msg) -> fail "lower" loc msg
+  in
+  if mem2reg then ignore (Privagic_passes.Pipeline.prepare m)
+  else begin
+    ignore (Privagic_passes.Simplify.remove_unreachable m);
+    Verify.check_module_exn m
+  end;
+  m
+
+let error_to_string e =
+  Printf.sprintf "%s: %s error: %s" (Loc.to_string e.loc) e.phase e.msg

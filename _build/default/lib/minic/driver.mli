@@ -1,0 +1,17 @@
+(** Front door of the frontend: annotated mini-C source text to a
+    verified, mem2reg'd PIR module — the exact artifact the Privagic
+    analysis consumes (paper Figure 5). *)
+
+open Privagic_pir
+
+type error = { loc : Loc.t; msg : string; phase : string }
+(** [phase] is one of ["lex"], ["parse"], ["type"], ["lower"]. *)
+
+exception Error of error
+
+(** [compile ~file src] runs lexer, parser, sema, lowering, unreachable
+    cleanup, verification, and (unless [mem2reg:false]) the §5.1 pipeline.
+    @raise Error with the failing phase and location. *)
+val compile : ?file:string -> ?mem2reg:bool -> string -> Pmodule.t
+
+val error_to_string : error -> string

@@ -1,0 +1,205 @@
+(* Hand-written lexer for mini-C. Supports //- and /* */-style comments,
+   decimal and hexadecimal integers, floats, character and string literals
+   with the usual escapes. *)
+
+open Privagic_pir
+
+exception Error of Loc.t * string
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of the beginning of the current line *)
+}
+
+let create ?(file = "<input>") src = { src; file; pos = 0; line = 1; bol = 0 }
+
+let loc lx = Loc.make ~file:lx.file ~line:lx.line ~col:(lx.pos - lx.bol + 1)
+
+let error lx msg = raise (Error (loc lx, msg))
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.bol <- lx.pos + 1
+  | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_ws lx
+  | Some '/' when peek2 lx = Some '/' ->
+    while peek lx <> None && peek lx <> Some '\n' do
+      advance lx
+    done;
+    skip_ws lx
+  | Some '/' when peek2 lx = Some '*' ->
+    advance lx;
+    advance lx;
+    let rec close () =
+      match peek lx with
+      | None -> error lx "unterminated comment"
+      | Some '*' when peek2 lx = Some '/' ->
+        advance lx;
+        advance lx
+      | Some _ ->
+        advance lx;
+        close ()
+    in
+    close ();
+    skip_ws lx
+  | _ -> ()
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let read_escape lx =
+  match peek lx with
+  | Some 'n' -> advance lx; '\n'
+  | Some 't' -> advance lx; '\t'
+  | Some 'r' -> advance lx; '\r'
+  | Some '0' -> advance lx; '\000'
+  | Some '\\' -> advance lx; '\\'
+  | Some '\'' -> advance lx; '\''
+  | Some '"' -> advance lx; '"'
+  | Some c -> error lx (Printf.sprintf "unknown escape '\\%c'" c)
+  | None -> error lx "unterminated escape"
+
+let next lx : Token.t * Loc.t =
+  skip_ws lx;
+  let l = loc lx in
+  let tok =
+    match peek lx with
+    | None -> Token.EOF
+    | Some c when is_ident_start c ->
+      let start = lx.pos in
+      while (match peek lx with Some c -> is_ident_char c | None -> false) do
+        advance lx
+      done;
+      let word = String.sub lx.src start (lx.pos - start) in
+      (match List.assoc_opt word Token.keyword_table with
+      | Some kw -> kw
+      | None -> Token.IDENT word)
+    | Some c when is_digit c ->
+      let start = lx.pos in
+      if c = '0' && (peek2 lx = Some 'x' || peek2 lx = Some 'X') then begin
+        advance lx;
+        advance lx;
+        while (match peek lx with Some c -> is_hex c | None -> false) do
+          advance lx
+        done;
+        Token.INT_LIT (Int64.of_string (String.sub lx.src start (lx.pos - start)))
+      end
+      else begin
+        while (match peek lx with Some c -> is_digit c | None -> false) do
+          advance lx
+        done;
+        if peek lx = Some '.' && (match peek2 lx with Some d -> is_digit d | None -> false)
+        then begin
+          advance lx;
+          while (match peek lx with Some c -> is_digit c | None -> false) do
+            advance lx
+          done;
+          Token.FLOAT_LIT (float_of_string (String.sub lx.src start (lx.pos - start)))
+        end
+        else Token.INT_LIT (Int64.of_string (String.sub lx.src start (lx.pos - start)))
+      end
+    | Some '\'' ->
+      advance lx;
+      let c =
+        match peek lx with
+        | Some '\\' ->
+          advance lx;
+          read_escape lx
+        | Some c ->
+          advance lx;
+          c
+        | None -> error lx "unterminated char literal"
+      in
+      if peek lx <> Some '\'' then error lx "unterminated char literal";
+      advance lx;
+      Token.CHAR_LIT c
+    | Some '"' ->
+      advance lx;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek lx with
+        | Some '"' -> advance lx
+        | Some '\\' ->
+          advance lx;
+          Buffer.add_char buf (read_escape lx);
+          go ()
+        | Some c ->
+          advance lx;
+          Buffer.add_char buf c;
+          go ()
+        | None -> error lx "unterminated string literal"
+      in
+      go ();
+      Token.STRING_LIT (Buffer.contents buf)
+    | Some c ->
+      advance lx;
+      let two expect yes no =
+        if peek lx = Some expect then begin
+          advance lx;
+          yes
+        end
+        else no
+      in
+      (match c with
+      | '(' -> Token.LPAREN
+      | ')' -> Token.RPAREN
+      | '{' -> Token.LBRACE
+      | '}' -> Token.RBRACE
+      | '[' -> Token.LBRACKET
+      | ']' -> Token.RBRACKET
+      | ';' -> Token.SEMI
+      | ',' -> Token.COMMA
+      | '.' -> Token.DOT
+      | '~' -> Token.TILDE
+      | '^' -> Token.CARET
+      | '+' ->
+        if peek lx = Some '+' then (advance lx; Token.PLUSPLUS)
+        else two '=' Token.PLUS_ASSIGN Token.PLUS
+      | '-' ->
+        if peek lx = Some '>' then (advance lx; Token.ARROW)
+        else if peek lx = Some '-' then (advance lx; Token.MINUSMINUS)
+        else two '=' Token.MINUS_ASSIGN Token.MINUS
+      | '*' -> Token.STAR
+      | '/' -> Token.SLASH
+      | '%' -> Token.PERCENT
+      | '&' -> two '&' Token.ANDAND Token.AMP
+      | '|' -> two '|' Token.OROR Token.PIPE
+      | '!' -> two '=' Token.NE Token.NOT
+      | '=' -> two '=' Token.EQ Token.ASSIGN
+      | '<' ->
+        if peek lx = Some '<' then (advance lx; Token.SHL)
+        else two '=' Token.LE Token.LT
+      | '>' ->
+        if peek lx = Some '>' then (advance lx; Token.SHR)
+        else two '=' Token.GE Token.GT
+      | c -> error lx (Printf.sprintf "unexpected character %C" c))
+  in
+  (tok, l)
+
+let tokenize ?file src =
+  let lx = create ?file src in
+  let rec go acc =
+    let tok, l = next lx in
+    match tok with
+    | Token.EOF -> List.rev ((tok, l) :: acc)
+    | _ -> go ((tok, l) :: acc)
+  in
+  go []

@@ -1,0 +1,389 @@
+(* Lowering of the typed AST to PIR.
+
+   Every local variable and parameter starts as an [alloca] plus loads and
+   stores; the mem2reg pass then promotes the ones whose address does not
+   escape, exactly matching the pipeline the paper describes in §5.1.
+
+   GEP semantics (shared with the VM and the secure type system): starting
+   from [base : Ptr pointee], steps are applied in order:
+   - [Field k]  on a struct type steps to field [k];
+   - [Index v]  on an array type steps to element [v];
+   - [Index v]  on a non-array type is pointer arithmetic: advance by
+     [v * sizeof current] and keep the type. *)
+
+open Privagic_pir
+
+exception Error of Loc.t * string
+
+let error loc fmt = Format.kasprintf (fun s -> raise (Error (loc, s))) fmt
+
+type env = {
+  m : Pmodule.t;
+  b : Builder.t;
+  mutable vars : (string * (Value.t * Ty.t)) list; (* name -> alloca, declared ty *)
+  mutable loops : (string * string) list; (* (break target, continue target) *)
+}
+
+let lookup env loc name =
+  match List.assoc_opt name env.vars with
+  | Some v -> v
+  | None -> error loc "internal: unbound local %s" name
+
+let is_struct t = match t.Ty.desc with Ty.Struct _ -> true | _ -> false
+
+(* --- addresses of lvalues --- *)
+
+let rec lower_lvalue env (e : Sema.texpr) : Value.t =
+  match e.Sema.tdesc with
+  | Sema.TLocal name -> fst (lookup env e.tloc name)
+  | Sema.TGlobal name -> Value.Global name
+  | Sema.TUnop (Ast.Deref, p) -> lower_expr env p
+  | Sema.TIndex (base, idx) -> (
+    let iv = lower_expr env idx in
+    match base.Sema.tty.Ty.desc with
+    | Ty.Arr (elt, _) ->
+      let addr = lower_lvalue env base in
+      Builder.gep ~loc:e.tloc env.b ~ty:(Ty.ptr elt) ~pointee:base.Sema.tty
+        addr
+        [ Instr.Index iv ]
+    | Ty.Ptr elt ->
+      let p = lower_expr env base in
+      Builder.gep ~loc:e.tloc env.b ~ty:(Ty.ptr elt) ~pointee:elt p
+        [ Instr.Index iv ]
+    | _ -> error e.tloc "internal: bad index base")
+  | Sema.TField (base, sname, k) ->
+    let addr = lower_lvalue env base in
+    let fty = Pmodule.field_ty env.m sname k in
+    Builder.gep ~loc:e.tloc env.b ~ty:(Ty.ptr fty) ~pointee:(Ty.struct_ sname)
+      addr
+      [ Instr.Field k ]
+  | _ -> error e.tloc "internal: not an lvalue"
+
+(* --- truthiness: produce an i1 from a C condition --- *)
+
+and lower_cond env (e : Sema.texpr) : Value.t =
+  let v = lower_expr env e in
+  match e.Sema.tty.Ty.desc with
+  | Ty.Ptr _ ->
+    Builder.instr env.b Ty.i1 (Instr.Icmp (Instr.Ne, v, Value.Null e.Sema.tty))
+  | Ty.F64 ->
+    Builder.instr env.b Ty.i1 (Instr.Fcmp (Instr.Ne, v, Value.float_ 0.0))
+  | _ -> Builder.icmp env.b Instr.Ne v (Value.Int (0L, e.Sema.tty))
+
+(* --- expressions (rvalues) --- *)
+
+and lower_expr env (e : Sema.texpr) : Value.t =
+  let loc = e.Sema.tloc in
+  match e.Sema.tdesc with
+  | Sema.TInt n -> Value.Int (n, e.tty)
+  | Sema.TFloat f -> Value.float_ f
+  | Sema.TString s -> Value.Str s
+  | Sema.TNull -> Value.Null e.tty
+  | Sema.TLocal _ | Sema.TGlobal _ | Sema.TIndex _ | Sema.TField _
+  | Sema.TUnop (Ast.Deref, _) ->
+    if is_struct e.tty then
+      error loc "struct values cannot be copied; take a pointer instead";
+    let addr = lower_lvalue env e in
+    Builder.load ~loc env.b e.tty addr
+  | Sema.TUnop (Ast.Neg, sub) ->
+    let v = lower_expr env sub in
+    if Ty.is_float sub.Sema.tty then
+      Builder.binop ~loc env.b Instr.Fsub Ty.f64 (Value.float_ 0.0) v
+    else Builder.binop ~loc env.b Instr.Sub Ty.i64 (Value.int_ 0L) v
+  | Sema.TUnop (Ast.Lognot, sub) ->
+    let z =
+      match sub.Sema.tty.Ty.desc with
+      | Ty.Ptr _ -> Value.Null sub.Sema.tty
+      | Ty.F64 -> Value.float_ 0.0
+      | _ -> Value.Int (0L, sub.Sema.tty)
+    in
+    let v = lower_expr env sub in
+    let flag =
+      if Ty.is_float sub.Sema.tty then
+        Builder.instr env.b Ty.i1 (Instr.Fcmp (Instr.Eq, v, z))
+      else Builder.icmp env.b Instr.Eq v z
+    in
+    Builder.instr ~loc env.b Ty.i64 (Instr.Cast (Instr.Zext, flag, Ty.i64))
+  | Sema.TUnop (Ast.Bitnot, sub) ->
+    let v = lower_expr env sub in
+    Builder.binop ~loc env.b Instr.Xor Ty.i64 v (Value.int_ (-1L))
+  | Sema.TUnop (Ast.Addrof, sub) -> lower_lvalue env sub
+  | Sema.TBinop ((Ast.Land | Ast.Lor) as op, a, b) ->
+    lower_shortcircuit env loc op a b
+  | Sema.TBinop (op, a, b) -> lower_binop env loc op a b
+  | Sema.TPtradd (p, i) ->
+    let pv = lower_expr env p in
+    let iv = lower_expr env i in
+    let elt = Ty.deref p.Sema.tty in
+    Builder.gep ~loc env.b ~ty:p.Sema.tty ~pointee:elt pv [ Instr.Index iv ]
+  | Sema.TAssign (lv, rhs) ->
+    let v = lower_expr env rhs in
+    let addr = lower_lvalue env lv in
+    Builder.store ~loc env.b v addr;
+    v
+  | Sema.TCall (f, args) ->
+    let avs = List.map (lower_expr env) args in
+    Builder.call ~loc env.b e.tty f avs
+  | Sema.TCallptr (callee, args) ->
+    let fv = lower_expr env callee in
+    let avs = List.map (lower_expr env) args in
+    if Ty.equal e.tty Ty.void then begin
+      Builder.effect ~loc env.b (Instr.Callind (fv, avs));
+      Value.Undef Ty.void
+    end
+    else Builder.instr ~loc env.b e.tty (Instr.Callind (fv, avs))
+  | Sema.TCast (want, sub) -> lower_cast env loc want sub
+  | Sema.TSizeof ty -> Value.of_int (Pmodule.sizeof env.m ty)
+  | Sema.TFuncaddr f -> Value.Func f
+  | Sema.TDecay sub -> (
+    match sub.Sema.tty.Ty.desc with
+    | Ty.Arr (elt, _) ->
+      let addr = lower_lvalue env sub in
+      Builder.gep ~loc env.b ~ty:(Ty.ptr elt) ~pointee:sub.Sema.tty addr
+        [ Instr.Index (Value.int_ 0L) ]
+    | _ -> error loc "internal: decay of non-array")
+
+and lower_binop env loc op a b : Value.t =
+  let av = lower_expr env a in
+  let bv = lower_expr env b in
+  let fl = Ty.is_float a.Sema.tty in
+  let arith iop fop =
+    Builder.binop ~loc env.b (if fl then fop else iop)
+      (if fl then Ty.f64 else Ty.i64)
+      av bv
+  in
+  let cmp c =
+    let flag =
+      if fl then Builder.instr env.b Ty.i1 (Instr.Fcmp (c, av, bv))
+      else Builder.icmp env.b c av bv
+    in
+    Builder.instr ~loc env.b Ty.i64 (Instr.Cast (Instr.Zext, flag, Ty.i64))
+  in
+  match op with
+  | Ast.Add -> arith Instr.Add Instr.Fadd
+  | Ast.Sub -> arith Instr.Sub Instr.Fsub
+  | Ast.Mul -> arith Instr.Mul Instr.Fmul
+  | Ast.Div -> arith Instr.Sdiv Instr.Fdiv
+  | Ast.Rem -> Builder.binop ~loc env.b Instr.Srem Ty.i64 av bv
+  | Ast.Band -> Builder.binop ~loc env.b Instr.And Ty.i64 av bv
+  | Ast.Bor -> Builder.binop ~loc env.b Instr.Or Ty.i64 av bv
+  | Ast.Bxor -> Builder.binop ~loc env.b Instr.Xor Ty.i64 av bv
+  | Ast.Shl -> Builder.binop ~loc env.b Instr.Shl Ty.i64 av bv
+  | Ast.Shr -> Builder.binop ~loc env.b Instr.Ashr Ty.i64 av bv
+  | Ast.Eq -> cmp Instr.Eq
+  | Ast.Ne -> cmp Instr.Ne
+  | Ast.Lt -> cmp Instr.Slt
+  | Ast.Le -> cmp Instr.Sle
+  | Ast.Gt -> cmp Instr.Sgt
+  | Ast.Ge -> cmp Instr.Sge
+  | Ast.Land | Ast.Lor -> assert false (* handled by lower_shortcircuit *)
+
+and lower_shortcircuit env loc op a b : Value.t =
+  (* a && b / a || b with C short-circuit evaluation, producing 0/1 : i64. *)
+  let rhs_label = Builder.block env.b "sc_rhs" in
+  let join_label = Builder.block env.b "sc_join" in
+  let av = lower_cond env a in
+  let lhs_label = Builder.current_label env.b in
+  (match op with
+  | Ast.Land -> Builder.condbr env.b av rhs_label join_label
+  | Ast.Lor -> Builder.condbr env.b av join_label rhs_label
+  | _ -> assert false);
+  Builder.position env.b rhs_label;
+  let bv = lower_cond env b in
+  let bv64 = Builder.instr env.b Ty.i64 (Instr.Cast (Instr.Zext, bv, Ty.i64)) in
+  let rhs_end = Builder.current_label env.b in
+  Builder.br env.b join_label;
+  Builder.position env.b join_label;
+  let short_value =
+    match op with Ast.Land -> Value.int_ 0L | _ -> Value.int_ 1L
+  in
+  Builder.phi ~loc env.b Ty.i64 [ (lhs_label, short_value); (rhs_end, bv64) ]
+
+and lower_cast env loc (want : Ty.t) (sub : Sema.texpr) : Value.t =
+  let v = lower_expr env sub in
+  let have = sub.Sema.tty in
+  let cast op = Builder.instr ~loc env.b want (Instr.Cast (op, v, want)) in
+  let rank t =
+    match t.Ty.desc with Ty.I1 -> 1 | Ty.I8 -> 8 | Ty.I64 -> 64 | _ -> 0
+  in
+  match have.Ty.desc, want.Ty.desc with
+  | _, Ty.Void -> Value.Undef Ty.void
+  | (Ty.I1 | Ty.I8 | Ty.I64), (Ty.I1 | Ty.I8 | Ty.I64) ->
+    if rank have = rank want then v
+    else if rank have < rank want then cast Instr.Zext
+    else cast Instr.Trunc
+  | (Ty.I1 | Ty.I8 | Ty.I64), Ty.F64 -> cast Instr.Sitofp
+  | Ty.F64, (Ty.I1 | Ty.I8 | Ty.I64) -> cast Instr.Fptosi
+  | Ty.F64, Ty.F64 -> v
+  | Ty.Ptr _, Ty.Ptr _ -> cast Instr.Bitcast
+  | Ty.Ptr _, Ty.I64 -> cast Instr.Ptrtoint
+  | Ty.I64, Ty.Ptr _ -> cast Instr.Inttoptr
+  | _ ->
+    error loc "internal: cast %s -> %s" (Ty.to_string have) (Ty.to_string want)
+
+(* --- statements --- *)
+
+let rec lower_stmt env (s : Sema.tstmt) : unit =
+  let loc = s.Sema.tsloc in
+  match s.Sema.tsdesc with
+  | Sema.TExpr e -> ignore (lower_expr env e)
+  | Sema.TDecl (ty, name, init) ->
+    let slot = Builder.alloca ~loc env.b ty in
+    env.vars <- (name, (slot, ty)) :: env.vars;
+    (match init with
+    | Some e ->
+      let v = lower_expr env e in
+      Builder.store ~loc env.b v slot
+    | None -> ())
+  | Sema.TIf (cond, then_, else_) ->
+    let then_label = Builder.block env.b "if_then" in
+    let else_label =
+      if else_ = [] then None else Some (Builder.block env.b "if_else")
+    in
+    let join_label = Builder.block env.b "if_join" in
+    let cv = lower_cond env cond in
+    Builder.condbr env.b cv then_label
+      (Option.value ~default:join_label else_label);
+    Builder.position env.b then_label;
+    lower_block env then_;
+    Builder.br env.b join_label;
+    (match else_label with
+    | Some l ->
+      Builder.position env.b l;
+      lower_block env else_;
+      Builder.br env.b join_label
+    | None -> ());
+    Builder.position env.b join_label
+  | Sema.TWhile (cond, body) ->
+    let head = Builder.block env.b "while_head" in
+    let body_label = Builder.block env.b "while_body" in
+    let exit = Builder.block env.b "while_exit" in
+    Builder.br env.b head;
+    Builder.position env.b head;
+    let cv = lower_cond env cond in
+    Builder.condbr env.b cv body_label exit;
+    Builder.position env.b body_label;
+    env.loops <- (exit, head) :: env.loops;
+    lower_block env body;
+    env.loops <- List.tl env.loops;
+    Builder.br env.b head;
+    Builder.position env.b exit
+  | Sema.TFor (init, cond, step, body) ->
+    let saved_vars = env.vars in
+    Option.iter (lower_stmt env) init;
+    let head = Builder.block env.b "for_head" in
+    let body_label = Builder.block env.b "for_body" in
+    let step_label = Builder.block env.b "for_step" in
+    let exit = Builder.block env.b "for_exit" in
+    Builder.br env.b head;
+    Builder.position env.b head;
+    (match cond with
+    | Some c ->
+      let cv = lower_cond env c in
+      Builder.condbr env.b cv body_label exit
+    | None -> Builder.br env.b body_label);
+    Builder.position env.b body_label;
+    env.loops <- (exit, step_label) :: env.loops;
+    lower_block env body;
+    env.loops <- List.tl env.loops;
+    Builder.br env.b step_label;
+    Builder.position env.b step_label;
+    Option.iter (lower_stmt env) step;
+    Builder.br env.b head;
+    Builder.position env.b exit;
+    env.vars <- saved_vars
+  | Sema.TReturn v ->
+    let rv = Option.map (lower_expr env) v in
+    Builder.ret env.b rv;
+    (* continue lowering any (dead) trailing statements in a fresh block *)
+    let dead = Builder.block env.b "dead" in
+    Builder.position env.b dead
+  | Sema.TBreak -> (
+    match env.loops with
+    | (brk, _) :: _ ->
+      Builder.br env.b brk;
+      let dead = Builder.block env.b "dead" in
+      Builder.position env.b dead
+    | [] -> error loc "break outside a loop")
+  | Sema.TContinue -> (
+    match env.loops with
+    | (_, cont) :: _ ->
+      Builder.br env.b cont;
+      let dead = Builder.block env.b "dead" in
+      Builder.position env.b dead
+    | [] -> error loc "continue outside a loop")
+  | Sema.TBlock body -> lower_block env body
+  | Sema.TSpawn (f, args) ->
+    let avs = List.map (lower_expr env) args in
+    Builder.effect ~loc env.b (Instr.Spawn (f, avs))
+
+and lower_block env body =
+  let saved = env.vars in
+  List.iter (lower_stmt env) body;
+  env.vars <- saved
+
+(* --- top level --- *)
+
+let lower_global_init (e : Sema.texpr) : Value.t =
+  match e.Sema.tdesc with
+  | Sema.TInt n -> Value.Int (n, e.tty)
+  | Sema.TFloat f -> Value.float_ f
+  | Sema.TString s -> Value.Str s
+  | Sema.TNull -> Value.Null e.tty
+  | Sema.TCast (_, sub) -> (
+    match sub.Sema.tdesc with
+    | Sema.TInt n -> Value.Int (n, e.tty)
+    | Sema.TFloat f -> Value.Int (Int64.of_float f, e.tty)
+    | _ -> error e.tloc "unsupported global initializer")
+  | Sema.TUnop (Ast.Neg, { Sema.tdesc = Sema.TInt n; _ }) ->
+    Value.Int (Int64.neg n, e.tty)
+  | Sema.TUnop (Ast.Neg, { Sema.tdesc = Sema.TFloat f; _ }) ->
+    Value.float_ (-.f)
+  | _ -> error e.tloc "unsupported global initializer"
+
+let lower_func (m : Pmodule.t) (tf : Sema.tfunc) : unit =
+  let f =
+    Func.make ~annots:tf.Sema.tfannots ~name:tf.Sema.tfname
+      ~params:tf.Sema.tfparams ~ret:tf.Sema.tfret ()
+  in
+  let b = Builder.create m f in
+  let env = { m; b; vars = []; loops = [] } in
+  (* Spill parameters to stack slots; mem2reg will promote the clean ones. *)
+  List.iteri
+    (fun i (pname, pty) ->
+      let slot = Builder.alloca ~loc:tf.Sema.tfloc b pty in
+      Builder.store ~loc:tf.Sema.tfloc b (Value.reg i) slot;
+      env.vars <- (pname, (slot, pty)) :: env.vars)
+    tf.Sema.tfparams;
+  List.iter (lower_stmt env) tf.Sema.tfbody;
+  (* Implicit return at the end of the function. *)
+  if not (Builder.terminated b) then
+    if Ty.equal tf.Sema.tfret Ty.void then Builder.ret b None
+    else Builder.ret b (Some (Value.Undef tf.Sema.tfret))
+
+let lower_program (tp : Sema.tprogram) : Pmodule.t =
+  let m = Pmodule.create () in
+  List.iter
+    (fun (sname, fields) -> Pmodule.add_struct m { Pmodule.sname; fields })
+    tp.Sema.tstructs;
+  List.iter
+    (fun (gname, gty, init, gloc) ->
+      Pmodule.add_global m
+        { Pmodule.gname; gty; ginit = Option.map lower_global_init init; gloc })
+    tp.Sema.tglobals;
+  List.iter
+    (fun (ename, ret, params, eannots) ->
+      Pmodule.add_extern m
+        { Pmodule.ename; esig = Ty.fun_ ret (List.map snd params); eannots })
+    tp.Sema.texterns;
+  List.iter (fun tf -> lower_func m tf) tp.Sema.tfuncs;
+  let entries =
+    List.filter_map
+      (fun tf ->
+        if List.exists (Annot.equal Annot.Entry) tf.Sema.tfannots then
+          Some tf.Sema.tfname
+        else None)
+      tp.Sema.tfuncs
+  in
+  Pmodule.set_entry_points m entries;
+  m

@@ -1,0 +1,505 @@
+(* Recursive-descent parser for mini-C.
+
+   Deviations from C, chosen to keep the surface small while covering every
+   construct the paper's examples and evaluation programs need:
+   - one integer type ([int], 64-bit) plus [char] (8-bit) and [double];
+   - the color qualifier follows the base type and qualifies it:
+     [int color(blue)* p] declares a pointer to a blue int (Fig. 3b);
+   - [entry], [within], [ignore] annotate function definitions/externs;
+   - [spawn f(args);] starts a thread running [f] (the paper's multithreaded
+     applications; the VM gives it pthread_create semantics);
+   - postfix [e++] evaluates to the *new* value (it is only used in
+     statement position in our programs). *)
+
+open Privagic_pir
+
+exception Error of Loc.t * string
+
+type t = { toks : (Token.t * Loc.t) array; mutable pos : int }
+
+let create toks = { toks = Array.of_list toks; pos = 0 }
+
+let peek p = fst p.toks.(p.pos)
+let peek_loc p = snd p.toks.(p.pos)
+
+let peek_at p k =
+  let i = min (p.pos + k) (Array.length p.toks - 1) in
+  fst p.toks.(i)
+
+let advance p = if p.pos < Array.length p.toks - 1 then p.pos <- p.pos + 1
+
+let error p msg = raise (Error (peek_loc p, msg))
+
+let expect p tok =
+  if peek p = tok then advance p
+  else
+    error p
+      (Printf.sprintf "expected %s but found %s" (Token.to_string tok)
+         (Token.to_string (peek p)))
+
+let accept p tok =
+  if peek p = tok then begin
+    advance p;
+    true
+  end
+  else false
+
+let expect_ident p =
+  match peek p with
+  | Token.IDENT s ->
+    advance p;
+    s
+  | t -> error p (Printf.sprintf "expected identifier, found %s" (Token.to_string t))
+
+(* --- types --- *)
+
+let color_of_name = function
+  | "U" -> Color.Unsafe
+  | "S" -> Color.Shared
+  | "F" -> Color.Free
+  | name -> Color.Named name
+
+let starts_type p =
+  match peek p with
+  | Token.KW_VOID | Token.KW_INT | Token.KW_DOUBLE | Token.KW_CHAR
+  | Token.KW_STRUCT ->
+    true
+  | _ -> false
+
+(* type := basety [color(IDENT)] '*'* *)
+let parse_type p : Ty.t =
+  let base =
+    match peek p with
+    | Token.KW_VOID -> advance p; Ty.void
+    | Token.KW_INT -> advance p; Ty.i64
+    | Token.KW_DOUBLE -> advance p; Ty.f64
+    | Token.KW_CHAR -> advance p; Ty.i8
+    | Token.KW_STRUCT ->
+      advance p;
+      let name = expect_ident p in
+      Ty.struct_ name
+    | t -> error p (Printf.sprintf "expected a type, found %s" (Token.to_string t))
+  in
+  let base =
+    if accept p Token.KW_COLOR then begin
+      expect p Token.LPAREN;
+      let name = expect_ident p in
+      expect p Token.RPAREN;
+      Ty.colored (color_of_name name) base
+    end
+    else base
+  in
+  (* each '*' may be followed by its own color qualifying the pointer
+     itself: [struct node color(blue)* color(blue) next] is a blue pointer
+     to a blue node *)
+  let rec stars ty =
+    if accept p Token.STAR then begin
+      let pty = Ty.ptr ty in
+      let pty =
+        if accept p Token.KW_COLOR then begin
+          expect p Token.LPAREN;
+          let name = expect_ident p in
+          expect p Token.RPAREN;
+          Ty.colored (color_of_name name) pty
+        end
+        else pty
+      in
+      stars pty
+    end
+    else ty
+  in
+  stars base
+
+(* Array suffixes on a declarator: name[256][4] ... *)
+let parse_array_suffix p ty =
+  let rec go dims =
+    if accept p Token.LBRACKET then begin
+      let n =
+        match peek p with
+        | Token.INT_LIT n ->
+          advance p;
+          Int64.to_int n
+        | t -> error p (Printf.sprintf "expected array size, found %s" (Token.to_string t))
+      in
+      expect p Token.RBRACKET;
+      go (n :: dims)
+    end
+    else dims
+  in
+  List.fold_left (fun ty n -> Ty.arr ty n) ty (go [])
+
+(* --- expressions --- *)
+
+let rec parse_expr p = parse_assign p
+
+and parse_assign p : Ast.expr =
+  let lhs = parse_lor p in
+  let loc = peek_loc p in
+  match peek p with
+  | Token.ASSIGN ->
+    advance p;
+    let rhs = parse_assign p in
+    { Ast.edesc = Ast.Assign (lhs, rhs); eloc = loc }
+  | Token.PLUS_ASSIGN ->
+    advance p;
+    let rhs = parse_assign p in
+    let sum = { Ast.edesc = Ast.Binop (Ast.Add, lhs, rhs); eloc = loc } in
+    { Ast.edesc = Ast.Assign (lhs, sum); eloc = loc }
+  | Token.MINUS_ASSIGN ->
+    advance p;
+    let rhs = parse_assign p in
+    let diff = { Ast.edesc = Ast.Binop (Ast.Sub, lhs, rhs); eloc = loc } in
+    { Ast.edesc = Ast.Assign (lhs, diff); eloc = loc }
+  | _ -> lhs
+
+and binop_level p level =
+  (* Binary operator precedence climbing; level 0 is ||. *)
+  let table =
+    [|
+      [ (Token.OROR, Ast.Lor) ];
+      [ (Token.ANDAND, Ast.Land) ];
+      [ (Token.PIPE, Ast.Bor) ];
+      [ (Token.CARET, Ast.Bxor) ];
+      [ (Token.AMP, Ast.Band) ];
+      [ (Token.EQ, Ast.Eq); (Token.NE, Ast.Ne) ];
+      [ (Token.LT, Ast.Lt); (Token.LE, Ast.Le); (Token.GT, Ast.Gt); (Token.GE, Ast.Ge) ];
+      [ (Token.SHL, Ast.Shl); (Token.SHR, Ast.Shr) ];
+      [ (Token.PLUS, Ast.Add); (Token.MINUS, Ast.Sub) ];
+      [ (Token.STAR, Ast.Mul); (Token.SLASH, Ast.Div); (Token.PERCENT, Ast.Rem) ];
+    |]
+  in
+  if level >= Array.length table then parse_unary p
+  else begin
+    let lhs = ref (binop_level p (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match List.assoc_opt (peek p) table.(level) with
+      | Some op ->
+        let loc = peek_loc p in
+        advance p;
+        let rhs = binop_level p (level + 1) in
+        lhs := { Ast.edesc = Ast.Binop (op, !lhs, rhs); eloc = loc }
+      | None -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_lor p = binop_level p 0
+
+and parse_unary p : Ast.expr =
+  let loc = peek_loc p in
+  match peek p with
+  | Token.MINUS ->
+    advance p;
+    { Ast.edesc = Ast.Unop (Ast.Neg, parse_unary p); eloc = loc }
+  | Token.NOT ->
+    advance p;
+    { Ast.edesc = Ast.Unop (Ast.Lognot, parse_unary p); eloc = loc }
+  | Token.TILDE ->
+    advance p;
+    { Ast.edesc = Ast.Unop (Ast.Bitnot, parse_unary p); eloc = loc }
+  | Token.STAR ->
+    advance p;
+    { Ast.edesc = Ast.Unop (Ast.Deref, parse_unary p); eloc = loc }
+  | Token.AMP ->
+    advance p;
+    { Ast.edesc = Ast.Unop (Ast.Addrof, parse_unary p); eloc = loc }
+  | Token.PLUSPLUS | Token.MINUSMINUS ->
+    let op = if peek p = Token.PLUSPLUS then Ast.Add else Ast.Sub in
+    advance p;
+    let e = parse_unary p in
+    let one = { Ast.edesc = Ast.Int_lit 1L; eloc = loc } in
+    let sum = { Ast.edesc = Ast.Binop (op, e, one); eloc = loc } in
+    { Ast.edesc = Ast.Assign (e, sum); eloc = loc }
+  | Token.KW_SIZEOF ->
+    advance p;
+    expect p Token.LPAREN;
+    let ty = parse_type p in
+    expect p Token.RPAREN;
+    { Ast.edesc = Ast.Sizeof ty; eloc = loc }
+  | Token.LPAREN when starts_type { p with pos = p.pos + 1 } ->
+    (* cast: (type) unary *)
+    advance p;
+    let ty = parse_type p in
+    expect p Token.RPAREN;
+    { Ast.edesc = Ast.Cast (ty, parse_unary p); eloc = loc }
+  | _ -> parse_postfix p
+
+and parse_postfix p : Ast.expr =
+  let e = ref (parse_primary p) in
+  let continue = ref true in
+  while !continue do
+    let loc = peek_loc p in
+    match peek p with
+    | Token.LBRACKET ->
+      advance p;
+      let idx = parse_expr p in
+      expect p Token.RBRACKET;
+      e := { Ast.edesc = Ast.Index (!e, idx); eloc = loc }
+    | Token.DOT ->
+      advance p;
+      let f = expect_ident p in
+      e := { Ast.edesc = Ast.Field (!e, f); eloc = loc }
+    | Token.ARROW ->
+      advance p;
+      let f = expect_ident p in
+      e := { Ast.edesc = Ast.Arrow (!e, f); eloc = loc }
+    | Token.LPAREN -> (
+      advance p;
+      let args = parse_args p in
+      match !e with
+      | { Ast.edesc = Ast.Var f; _ } ->
+        e := { Ast.edesc = Ast.Call (f, args); eloc = loc }
+      | callee -> e := { Ast.edesc = Ast.Call_ptr (callee, args); eloc = loc })
+    | Token.PLUSPLUS | Token.MINUSMINUS ->
+      let op = if peek p = Token.PLUSPLUS then Ast.Add else Ast.Sub in
+      advance p;
+      let one = { Ast.edesc = Ast.Int_lit 1L; eloc = loc } in
+      let sum = { Ast.edesc = Ast.Binop (op, !e, one); eloc = loc } in
+      e := { Ast.edesc = Ast.Assign (!e, sum); eloc = loc }
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_args p =
+  if accept p Token.RPAREN then []
+  else begin
+    let rec go acc =
+      let e = parse_expr p in
+      if accept p Token.COMMA then go (e :: acc)
+      else begin
+        expect p Token.RPAREN;
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary p : Ast.expr =
+  let loc = peek_loc p in
+  match peek p with
+  | Token.INT_LIT n ->
+    advance p;
+    { Ast.edesc = Ast.Int_lit n; eloc = loc }
+  | Token.FLOAT_LIT f ->
+    advance p;
+    { Ast.edesc = Ast.Float_lit f; eloc = loc }
+  | Token.CHAR_LIT c ->
+    advance p;
+    { Ast.edesc = Ast.Char_lit c; eloc = loc }
+  | Token.STRING_LIT s ->
+    advance p;
+    { Ast.edesc = Ast.String_lit s; eloc = loc }
+  | Token.KW_NULL ->
+    advance p;
+    { Ast.edesc = Ast.Null_lit; eloc = loc }
+  | Token.IDENT name ->
+    advance p;
+    { Ast.edesc = Ast.Var name; eloc = loc }
+  | Token.LPAREN ->
+    advance p;
+    let e = parse_expr p in
+    expect p Token.RPAREN;
+    e
+  | t -> error p (Printf.sprintf "expected an expression, found %s" (Token.to_string t))
+
+(* --- statements --- *)
+
+let rec parse_stmt p : Ast.stmt =
+  let loc = peek_loc p in
+  match peek p with
+  | Token.LBRACE ->
+    advance p;
+    let body = parse_stmts_until_rbrace p in
+    { Ast.sdesc = Ast.Block body; sloc = loc }
+  | Token.KW_IF ->
+    advance p;
+    expect p Token.LPAREN;
+    let cond = parse_expr p in
+    expect p Token.RPAREN;
+    let then_ = parse_stmt_as_list p in
+    let else_ = if accept p Token.KW_ELSE then parse_stmt_as_list p else [] in
+    { Ast.sdesc = Ast.If (cond, then_, else_); sloc = loc }
+  | Token.KW_WHILE ->
+    advance p;
+    expect p Token.LPAREN;
+    let cond = parse_expr p in
+    expect p Token.RPAREN;
+    let body = parse_stmt_as_list p in
+    { Ast.sdesc = Ast.While (cond, body); sloc = loc }
+  | Token.KW_FOR ->
+    advance p;
+    expect p Token.LPAREN;
+    let init =
+      if peek p = Token.SEMI then begin
+        advance p;
+        None
+      end
+      else begin
+        let s = parse_simple_stmt p in
+        expect p Token.SEMI;
+        Some s
+      end
+    in
+    let cond =
+      if peek p = Token.SEMI then None
+      else Some (parse_expr p)
+    in
+    expect p Token.SEMI;
+    let step =
+      if peek p = Token.RPAREN then None
+      else Some { Ast.sdesc = Ast.Expr (parse_expr p); sloc = loc }
+    in
+    expect p Token.RPAREN;
+    let body = parse_stmt_as_list p in
+    { Ast.sdesc = Ast.For (init, cond, step, body); sloc = loc }
+  | Token.KW_RETURN ->
+    advance p;
+    let v = if peek p = Token.SEMI then None else Some (parse_expr p) in
+    expect p Token.SEMI;
+    { Ast.sdesc = Ast.Return v; sloc = loc }
+  | Token.KW_BREAK ->
+    advance p;
+    expect p Token.SEMI;
+    { Ast.sdesc = Ast.Break; sloc = loc }
+  | Token.KW_CONTINUE ->
+    advance p;
+    expect p Token.SEMI;
+    { Ast.sdesc = Ast.Continue; sloc = loc }
+  | Token.KW_SPAWN ->
+    advance p;
+    let f = expect_ident p in
+    expect p Token.LPAREN;
+    let args = parse_args p in
+    expect p Token.SEMI;
+    { Ast.sdesc = Ast.Spawn (f, args); sloc = loc }
+  | _ ->
+    let s = parse_simple_stmt p in
+    expect p Token.SEMI;
+    s
+
+(* A declaration or an expression statement (no trailing ';'). *)
+and parse_simple_stmt p : Ast.stmt =
+  let loc = peek_loc p in
+  if starts_type p then begin
+    let ty = parse_type p in
+    let name = expect_ident p in
+    let ty = parse_array_suffix p ty in
+    let init = if accept p Token.ASSIGN then Some (parse_expr p) else None in
+    { Ast.sdesc = Ast.Decl (ty, name, init); sloc = loc }
+  end
+  else { Ast.sdesc = Ast.Expr (parse_expr p); sloc = loc }
+
+and parse_stmt_as_list p =
+  match parse_stmt p with
+  | { Ast.sdesc = Ast.Block body; _ } -> body
+  | s -> [ s ]
+
+and parse_stmts_until_rbrace p =
+  let rec go acc =
+    if accept p Token.RBRACE then List.rev acc else go (parse_stmt p :: acc)
+  in
+  go []
+
+(* --- top level --- *)
+
+let parse_annots p =
+  let rec go acc =
+    match peek p with
+    | Token.KW_ENTRY -> advance p; go (Annot.Entry :: acc)
+    | Token.KW_WITHIN -> advance p; go (Annot.Within :: acc)
+    | Token.KW_IGNORE -> advance p; go (Annot.Ignore :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let parse_params p =
+  expect p Token.LPAREN;
+  if accept p Token.RPAREN then []
+  else if peek p = Token.KW_VOID && peek_at p 1 = Token.RPAREN then begin
+    advance p;
+    advance p;
+    []
+  end
+  else begin
+    let rec go acc =
+      let ty = parse_type p in
+      let name = expect_ident p in
+      if accept p Token.COMMA then go ((name, ty) :: acc)
+      else begin
+        expect p Token.RPAREN;
+        List.rev ((name, ty) :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_topdecl p : Ast.topdecl option =
+  let loc = peek_loc p in
+  let annots = parse_annots p in
+  if peek p = Token.KW_STRUCT && (match peek_at p 2 with Token.LBRACE -> true | _ -> false)
+  then begin
+    advance p;
+    let name = expect_ident p in
+    expect p Token.LBRACE;
+    let rec fields acc =
+      if accept p Token.RBRACE then List.rev acc
+      else begin
+        let ty = parse_type p in
+        let fname = expect_ident p in
+        let ty = parse_array_suffix p ty in
+        expect p Token.SEMI;
+        fields ((fname, ty) :: acc)
+      end
+    in
+    let fs = fields [] in
+    expect p Token.SEMI;
+    Some (Ast.Struct_def (name, fs, loc))
+  end
+  else if accept p Token.KW_EXTERN then begin
+    let ret = parse_type p in
+    let name = expect_ident p in
+    let params = parse_params p in
+    expect p Token.SEMI;
+    Some (Ast.Extern_decl (name, ret, params, annots, loc))
+  end
+  else begin
+    let ty = parse_type p in
+    let name = expect_ident p in
+    if peek p = Token.LPAREN then begin
+      let params = parse_params p in
+      if accept p Token.SEMI then None (* forward prototype: resolved globally *)
+      else begin
+        expect p Token.LBRACE;
+        let body = parse_stmts_until_rbrace p in
+        Some
+          (Ast.Func_def
+             {
+               Ast.fname = name;
+               fret = ty;
+               fparams = params;
+               fbody = body;
+               fannots = annots;
+               floc = loc;
+             })
+      end
+    end
+    else begin
+      let ty = parse_array_suffix p ty in
+      let init = if accept p Token.ASSIGN then Some (parse_expr p) else None in
+      expect p Token.SEMI;
+      Some (Ast.Global (ty, name, init, loc))
+    end
+  end
+
+let parse_program ?file src : Ast.program =
+  let toks = Lexer.tokenize ?file src in
+  let p = create toks in
+  let rec go acc =
+    if peek p = Token.EOF then List.rev acc
+    else
+      match parse_topdecl p with
+      | Some d -> go (d :: acc)
+      | None -> go acc
+  in
+  go []

@@ -1,0 +1,19 @@
+(** Recursive-descent parser for mini-C. Deviations from C are documented
+    in the implementation header (one 64-bit [int], the color qualifier
+    after the base type or a [*], [entry]/[within]/[ignore] annotations,
+    [spawn f(args)] for threads). *)
+
+open Privagic_pir
+
+exception Error of Loc.t * string
+
+(** Parser state over a token array. *)
+type t
+
+val create : (Token.t * Loc.t) list -> t
+
+(** Exposed for tests: parse a single type from the current position. *)
+val parse_type : t -> Ty.t
+
+(** @raise Error on syntax errors, [Lexer.Error] on lexical ones. *)
+val parse_program : ?file:string -> string -> Ast.program

@@ -1,0 +1,530 @@
+(* Semantic analysis: symbol resolution, C-style type checking with implicit
+   conversions, array decay, lvalue classification. Produces a typed AST
+   consumed by [Lower].
+
+   Colors are deliberately *not* checked here: exactly as clang passes the
+   annotate attribute through to LLVM IR (paper §2.2), the frontend only
+   threads colors into the types; all security checking happens in the
+   secure type system on PIR. *)
+
+open Privagic_pir
+
+exception Error of Loc.t * string
+
+let error loc fmt = Format.kasprintf (fun s -> raise (Error (loc, s))) fmt
+
+(* --- typed AST --- *)
+
+type texpr = { tdesc : tdesc; tty : Ty.t; tloc : Loc.t }
+
+and tdesc =
+  | TInt of int64
+  | TFloat of float
+  | TString of string
+  | TNull
+  | TLocal of string            (* local variable or parameter *)
+  | TGlobal of string
+  | TUnop of Ast.unop * texpr
+  | TBinop of Ast.binop * texpr * texpr
+  | TPtradd of texpr * texpr    (* pointer + integer (element-scaled) *)
+  | TAssign of texpr * texpr    (* lvalue, value *)
+  | TCall of string * texpr list
+  | TCallptr of texpr * texpr list
+  | TIndex of texpr * texpr     (* base (pointer or array lvalue), index *)
+  | TField of texpr * string * int   (* struct expr (lvalue), struct name, field idx *)
+  | TCast of Ty.t * texpr
+  | TSizeof of Ty.t
+  | TFuncaddr of string
+  | TDecay of texpr             (* array lvalue used as a pointer value *)
+
+type tstmt = { tsdesc : tsdesc; tsloc : Loc.t }
+
+and tsdesc =
+  | TExpr of texpr
+  | TDecl of Ty.t * string * texpr option
+  | TIf of texpr * tstmt list * tstmt list
+  | TWhile of texpr * tstmt list
+  | TFor of tstmt option * texpr option * tstmt option * tstmt list
+  | TReturn of texpr option
+  | TBreak
+  | TContinue
+  | TBlock of tstmt list
+  | TSpawn of string * texpr list
+
+type tfunc = {
+  tfname : string;
+  tfret : Ty.t;
+  tfparams : (string * Ty.t) list;
+  tfbody : tstmt list;
+  tfannots : Annot.t list;
+  tfloc : Loc.t;
+}
+
+type tprogram = {
+  tstructs : (string * (string * Ty.t) list) list;
+  tglobals : (string * Ty.t * texpr option * Loc.t) list;
+  tfuncs : tfunc list;
+  texterns : (string * Ty.t * (string * Ty.t) list * Annot.t list) list;
+}
+
+(* --- environment --- *)
+
+type env = {
+  structs : (string, (string * Ty.t) list) Hashtbl.t;
+  globals : (string, Ty.t) Hashtbl.t;
+  funcs : (string, Ty.t * Ty.t list * Annot.t list) Hashtbl.t; (* ret, params *)
+  mutable scopes : (string, Ty.t) Hashtbl.t list;
+  mutable current_ret : Ty.t;
+}
+
+let create_env () =
+  {
+    structs = Hashtbl.create 16;
+    globals = Hashtbl.create 16;
+    funcs = Hashtbl.create 16;
+    scopes = [];
+    current_ret = Ty.void;
+  }
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env = env.scopes <- List.tl env.scopes
+
+let declare_local env loc name ty =
+  match env.scopes with
+  | [] -> error loc "internal: no scope"
+  | scope :: _ ->
+    if Hashtbl.mem scope name then error loc "redeclaration of %s" name;
+    Hashtbl.replace scope name ty
+
+let lookup_local env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some ty -> Some ty
+      | None -> go rest)
+  in
+  go env.scopes
+
+let struct_fields env loc name =
+  match Hashtbl.find_opt env.structs name with
+  | Some fs -> fs
+  | None -> error loc "unknown struct %s" name
+
+(* --- type utilities --- *)
+
+let is_void t = match t.Ty.desc with Ty.Void -> true | _ -> false
+let is_arr t = match t.Ty.desc with Ty.Arr _ -> true | _ -> false
+let is_struct t = match t.Ty.desc with Ty.Struct _ -> true | _ -> false
+
+let rec check_complete env loc (t : Ty.t) =
+  match t.Ty.desc with
+  | Ty.Struct name ->
+    ignore (struct_fields env loc name)
+  | Ty.Arr (u, _) | Ty.Ptr u -> check_complete_shallow env loc u
+  | _ -> ()
+
+and check_complete_shallow env loc (t : Ty.t) =
+  (* Pointee structs may be forward references in C; we require structs to be
+     defined before use at all, which our programs satisfy; only check
+     direct struct/array types. *)
+  match t.Ty.desc with
+  | Ty.Arr (u, _) -> check_complete env loc u
+  | _ -> ()
+
+(* Implicit conversion of [e] to target type [want]; inserts casts/decay.
+   Returns None when no implicit conversion exists. *)
+let rec convert (e : texpr) (want : Ty.t) : texpr option =
+  let have = e.tty in
+  if Ty.equal ~ignore_color:true have want then Some e
+  else
+    match have.Ty.desc, want.Ty.desc with
+    | Ty.I8, Ty.I64 | Ty.I1, Ty.I64 | Ty.I1, Ty.I8 ->
+      Some { e with tdesc = TCast (want, e); tty = want }
+    | Ty.I64, Ty.I8 | Ty.I64, Ty.I1 | Ty.I8, Ty.I1 ->
+      Some { e with tdesc = TCast (want, e); tty = want }
+    | (Ty.I8 | Ty.I64), Ty.F64 | Ty.F64, (Ty.I8 | Ty.I64) ->
+      Some { e with tdesc = TCast (want, e); tty = want }
+    | Ty.Ptr _, Ty.Ptr { Ty.desc = Ty.Void; _ } ->
+      Some { e with tdesc = TCast (want, e); tty = want }
+    | Ty.Ptr { Ty.desc = Ty.Void; _ }, Ty.Ptr _ ->
+      Some { e with tdesc = TCast (want, e); tty = want }
+    | Ty.Arr (elt, _), Ty.Ptr want_elt
+      when Ty.equal ~ignore_color:true elt want_elt ->
+      Some { e with tdesc = TDecay e; tty = Ty.ptr elt }
+    | Ty.Arr (elt, _), Ty.Ptr { Ty.desc = Ty.Void; _ } ->
+      let decayed = { e with tdesc = TDecay e; tty = Ty.ptr elt } in
+      convert decayed want
+    | _, Ty.Ptr _ when e.tdesc = TNull -> Some { e with tty = want }
+    | Ty.Fun _, Ty.Ptr { Ty.desc = Ty.Fun _; _ } -> Some { e with tty = want }
+    | _ -> None
+
+let convert_exn e want =
+  match convert e want with
+  | Some e -> e
+  | None ->
+    error e.tloc "cannot convert %s to %s" (Ty.to_string e.tty)
+      (Ty.to_string want)
+
+(* Array-to-pointer decay in value contexts. *)
+let decay (e : texpr) : texpr =
+  match e.tty.Ty.desc with
+  | Ty.Arr (elt, _) -> { e with tdesc = TDecay e; tty = Ty.ptr elt }
+  | _ -> e
+
+let is_lvalue (e : texpr) =
+  match e.tdesc with
+  | TLocal _ | TGlobal _ | TIndex _ | TField _ -> true
+  | TUnop (Ast.Deref, _) -> true
+  | _ -> false
+
+(* --- expressions --- *)
+
+let rec check_expr env (e : Ast.expr) : texpr =
+  let loc = e.Ast.eloc in
+  let mk tdesc tty = { tdesc; tty; tloc = loc } in
+  match e.Ast.edesc with
+  | Ast.Int_lit n -> mk (TInt n) Ty.i64
+  | Ast.Float_lit f -> mk (TFloat f) Ty.f64
+  | Ast.Char_lit c -> mk (TInt (Int64.of_int (Char.code c))) Ty.i8
+  | Ast.String_lit s -> mk (TString s) (Ty.ptr Ty.i8)
+  | Ast.Null_lit -> mk TNull (Ty.ptr Ty.void)
+  | Ast.Var name -> (
+    match lookup_local env name with
+    | Some ty -> mk (TLocal name) ty
+    | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some ty -> mk (TGlobal name) ty
+      | None -> (
+        match Hashtbl.find_opt env.funcs name with
+        | Some (ret, params, _) ->
+          (* function used as a value: function pointer *)
+          mk (TFuncaddr name) (Ty.ptr (Ty.fun_ ret params))
+        | None -> error loc "unknown identifier %s" name)))
+  | Ast.Unop (op, sub) -> check_unop env loc op sub
+  | Ast.Binop (op, a, b) -> check_binop env loc op a b
+  | Ast.Assign (lhs, rhs) ->
+    let tl = check_expr env lhs in
+    if not (is_lvalue tl) then error loc "left side of assignment is not an lvalue";
+    if is_arr tl.tty then error loc "cannot assign to an array";
+    if is_struct tl.tty then
+      error loc "cannot copy whole structs; take a pointer instead";
+    let tr = convert_exn (decay (check_expr env rhs)) tl.tty in
+    mk (TAssign (tl, tr)) tl.tty
+  | Ast.Call (fname, args) -> (
+    match Hashtbl.find_opt env.funcs fname with
+    | Some (ret, params, _) ->
+      let targs = check_args env loc fname params args in
+      mk (TCall (fname, targs)) ret
+    | None -> (
+      (* calling through a variable holding a function pointer *)
+      let var_ty =
+        match lookup_local env fname with
+        | Some ty -> Some ty
+        | None -> Hashtbl.find_opt env.globals fname
+      in
+      match var_ty with
+      | Some { Ty.desc = Ty.Ptr { Ty.desc = Ty.Fun (ret, params); _ }; _ } ->
+        let callee = check_expr env { e with Ast.edesc = Ast.Var fname } in
+        let targs = check_args env loc fname params args in
+        mk (TCallptr (callee, targs)) ret
+      | Some _ -> error loc "%s is not a function" fname
+      | None -> error loc "call to unknown function %s" fname))
+  | Ast.Call_ptr (callee, args) -> (
+    let tc = decay (check_expr env callee) in
+    match tc.tty.Ty.desc with
+    | Ty.Ptr { Ty.desc = Ty.Fun (ret, params); _ } ->
+      let targs = check_args env loc "<indirect>" params args in
+      mk (TCallptr (tc, targs)) ret
+    | _ -> error loc "called expression is not a function pointer")
+  | Ast.Index (base, idx) -> (
+    let tb = check_expr env base in
+    let ti = convert_exn (check_expr env idx) Ty.i64 in
+    match tb.tty.Ty.desc with
+    | Ty.Arr (elt, _) -> mk (TIndex (tb, ti)) elt
+    | Ty.Ptr elt -> mk (TIndex (tb, ti)) elt
+    | _ -> error loc "indexed expression is neither array nor pointer")
+  | Ast.Field (base, fname) -> (
+    let tb = check_expr env base in
+    match tb.tty.Ty.desc with
+    | Ty.Struct sname ->
+      let fields = struct_fields env loc sname in
+      let idx, fty = find_field loc sname fields fname in
+      mk (TField (tb, sname, idx)) fty
+    | _ -> error loc ".%s applied to a non-struct" fname)
+  | Ast.Arrow (base, fname) -> (
+    let tb = decay (check_expr env base) in
+    match tb.tty.Ty.desc with
+    | Ty.Ptr { Ty.desc = Ty.Struct sname; _ } ->
+      let fields = struct_fields env loc sname in
+      let idx, fty = find_field loc sname fields fname in
+      let deref =
+        { tdesc = TUnop (Ast.Deref, tb); tty = Ty.deref tb.tty; tloc = loc }
+      in
+      mk (TField (deref, sname, idx)) fty
+    | _ -> error loc "->%s applied to a non-struct-pointer" fname)
+  | Ast.Cast (ty, sub) ->
+    let ts = decay (check_expr env sub) in
+    check_cast loc ty ts
+  | Ast.Sizeof ty ->
+    (* the actual byte count is computed at lowering, when struct layouts
+       are available *)
+    mk (TSizeof ty) Ty.i64
+  | Ast.Func_addr f -> (
+    match Hashtbl.find_opt env.funcs f with
+    | Some (ret, params, _) -> mk (TFuncaddr f) (Ty.ptr (Ty.fun_ ret params))
+    | None -> error loc "unknown function %s" f)
+
+and find_field loc sname fields fname =
+  let rec go k = function
+    | [] -> error loc "struct %s has no field %s" sname fname
+    | (f, ty) :: rest -> if String.equal f fname then (k, ty) else go (k + 1) rest
+  in
+  go 0 fields
+
+and check_args env loc fname params args =
+  if List.length params <> List.length args then
+    error loc "%s expects %d arguments, got %d" fname (List.length params)
+      (List.length args);
+  List.map2
+    (fun want arg -> convert_exn (decay (check_expr env arg)) want)
+    params args
+
+and check_unop env loc op sub : texpr =
+  let mk tdesc tty = { tdesc; tty; tloc = loc } in
+  match op with
+  | Ast.Neg ->
+    let t = decay (check_expr env sub) in
+    if Ty.is_float t.tty then mk (TUnop (op, t)) t.tty
+    else mk (TUnop (op, convert_exn t Ty.i64)) Ty.i64
+  | Ast.Lognot ->
+    let t = decay (check_expr env sub) in
+    mk (TUnop (op, t)) Ty.i64
+  | Ast.Bitnot ->
+    let t = convert_exn (decay (check_expr env sub)) Ty.i64 in
+    mk (TUnop (op, t)) Ty.i64
+  | Ast.Deref -> (
+    let t = decay (check_expr env sub) in
+    match t.tty.Ty.desc with
+    | Ty.Ptr elt when not (is_void elt) -> mk (TUnop (op, t)) elt
+    | Ty.Ptr _ -> error loc "cannot dereference void*"
+    | _ -> error loc "dereference of a non-pointer")
+  | Ast.Addrof -> (
+    let t = check_expr env sub in
+    match t.tdesc with
+    | TFuncaddr _ -> t
+    | _ ->
+      if not (is_lvalue t) then error loc "& requires an lvalue";
+      mk (TUnop (op, t)) (Ty.ptr t.tty))
+
+and check_binop env loc op a b : texpr =
+  let mk tdesc tty = { tdesc; tty; tloc = loc } in
+  let ta = decay (check_expr env a) in
+  let tb = decay (check_expr env b) in
+  let arith () =
+    (* usual arithmetic conversions, reduced to i64/f64 *)
+    if Ty.is_float ta.tty || Ty.is_float tb.tty then
+      (convert_exn ta Ty.f64, convert_exn tb Ty.f64, Ty.f64)
+    else (convert_exn ta Ty.i64, convert_exn tb Ty.i64, Ty.i64)
+  in
+  match op with
+  | Ast.Add | Ast.Sub -> (
+    match ta.tty.Ty.desc, tb.tty.Ty.desc with
+    | Ty.Ptr _, _ ->
+      let ti = convert_exn tb Ty.i64 in
+      let ti =
+        if op = Ast.Sub then { ti with tdesc = TUnop (Ast.Neg, ti) } else ti
+      in
+      mk (TPtradd (ta, ti)) ta.tty
+    | _, Ty.Ptr _ when op = Ast.Add ->
+      let ti = convert_exn ta Ty.i64 in
+      mk (TPtradd (tb, ti)) tb.tty
+    | _ ->
+      let x, y, ty = arith () in
+      mk (TBinop (op, x, y)) ty)
+  | Ast.Mul | Ast.Div ->
+    let x, y, ty = arith () in
+    mk (TBinop (op, x, y)) ty
+  | Ast.Rem | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr ->
+    let x = convert_exn ta Ty.i64 and y = convert_exn tb Ty.i64 in
+    mk (TBinop (op, x, y)) Ty.i64
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+    match ta.tty.Ty.desc, tb.tty.Ty.desc with
+    | Ty.Ptr _, Ty.Ptr _ -> mk (TBinop (op, ta, tb)) Ty.i64
+    | Ty.Ptr _, _ -> mk (TBinop (op, ta, convert_exn tb ta.tty)) Ty.i64
+    | _, Ty.Ptr _ -> mk (TBinop (op, convert_exn ta tb.tty, tb)) Ty.i64
+    | _ ->
+      let x, y, _ = arith () in
+      mk (TBinop (op, x, y)) Ty.i64)
+  | Ast.Land | Ast.Lor -> mk (TBinop (op, ta, tb)) Ty.i64
+
+and check_cast loc (want : Ty.t) (ts : texpr) : texpr =
+  let mk tdesc tty = { tdesc; tty; tloc = loc } in
+  match ts.tty.Ty.desc, want.Ty.desc with
+  | _, Ty.Void -> mk (TCast (want, ts)) want
+  | (Ty.I1 | Ty.I8 | Ty.I64 | Ty.F64), (Ty.I1 | Ty.I8 | Ty.I64 | Ty.F64) ->
+    mk (TCast (want, ts)) want
+  | Ty.Ptr _, Ty.Ptr _ -> mk (TCast (want, ts)) want
+  | Ty.Ptr _, Ty.I64 | Ty.I64, Ty.Ptr _ -> mk (TCast (want, ts)) want
+  | _ ->
+    error loc "invalid cast from %s to %s" (Ty.to_string ts.tty)
+      (Ty.to_string want)
+
+(* --- statements --- *)
+
+(* Condition expressions follow C truthiness: integers and pointers. *)
+let check_cond env (e : Ast.expr) : texpr =
+  let t = decay (check_expr env e) in
+  match t.tty.Ty.desc with
+  | Ty.I1 | Ty.I8 | Ty.I64 | Ty.Ptr _ -> t
+  | _ -> error t.tloc "condition is neither integer nor pointer"
+
+let rec check_stmt env (s : Ast.stmt) : tstmt =
+  let loc = s.Ast.sloc in
+  let mk tsdesc = { tsdesc; tsloc = loc } in
+  match s.Ast.sdesc with
+  | Ast.Expr e -> mk (TExpr (check_expr env e))
+  | Ast.Decl (ty, name, init) ->
+    check_complete env loc ty;
+    if is_void ty then error loc "variable %s has type void" name;
+    let tinit =
+      match init with
+      | None -> None
+      | Some e ->
+        if is_arr ty then error loc "array %s cannot have an initializer" name;
+        Some (convert_exn (decay (check_expr env e)) ty)
+    in
+    declare_local env loc name ty;
+    mk (TDecl (ty, name, tinit))
+  | Ast.If (cond, then_, else_) ->
+    let tc = check_cond env cond in
+    mk (TIf (tc, check_block env then_, check_block env else_))
+  | Ast.While (cond, body) ->
+    let tc = check_cond env cond in
+    mk (TWhile (tc, check_block env body))
+  | Ast.For (init, cond, step, body) ->
+    push_scope env;
+    let tinit = Option.map (check_stmt env) init in
+    let tcond = Option.map (check_cond env) cond in
+    let tbody = check_block env body in
+    let tstep = Option.map (check_stmt env) step in
+    pop_scope env;
+    mk (TFor (tinit, tcond, tstep, tbody))
+  | Ast.Return None ->
+    if not (is_void env.current_ret) then
+      error loc "return without a value in a non-void function";
+    mk (TReturn None)
+  | Ast.Return (Some e) ->
+    if is_void env.current_ret then error loc "return with a value in a void function";
+    let t = convert_exn (decay (check_expr env e)) env.current_ret in
+    mk (TReturn (Some t))
+  | Ast.Break -> mk TBreak
+  | Ast.Continue -> mk TContinue
+  | Ast.Block body ->
+    push_scope env;
+    let tbody = List.map (check_stmt env) body in
+    pop_scope env;
+    mk (TBlock tbody)
+  | Ast.Spawn (fname, args) -> (
+    match Hashtbl.find_opt env.funcs fname with
+    | Some (_, params, _) ->
+      let targs = check_args env loc fname params args in
+      mk (TSpawn (fname, targs))
+    | None -> error loc "spawn of unknown function %s" fname)
+
+and check_block env body =
+  push_scope env;
+  let tbody = List.map (check_stmt env) body in
+  pop_scope env;
+  tbody
+
+(* --- global initializers: literal constants only --- *)
+
+let check_global_init env (ty : Ty.t) (e : Ast.expr) : texpr =
+  let loc = e.Ast.eloc in
+  match e.Ast.edesc with
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Char_lit _ | Ast.Null_lit
+  | Ast.String_lit _ ->
+    convert_exn (decay (check_expr env e)) ty
+  | Ast.Unop (Ast.Neg, inner) -> (
+    match inner.Ast.edesc with
+    | Ast.Int_lit _ | Ast.Float_lit _ ->
+      convert_exn (check_expr env e) ty
+    | _ -> error loc "global initializer must be a literal constant")
+  | _ -> error loc "global initializer must be a literal constant"
+
+(* --- whole program --- *)
+
+let check_program (prog : Ast.program) : tprogram =
+  let env = create_env () in
+  (* Pass 1: declarations. *)
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.Struct_def (name, fields, loc) ->
+        if Hashtbl.mem env.structs name then error loc "struct %s redefined" name;
+        List.iter (fun (_, ty) -> check_complete env loc ty) fields;
+        let rec dup = function
+          | [] -> ()
+          | (f, _) :: rest ->
+            if List.mem_assoc f rest then
+              error loc "struct %s: duplicate field %s" name f;
+            dup rest
+        in
+        dup fields;
+        Hashtbl.replace env.structs name fields
+      | Ast.Global (ty, name, _, loc) ->
+        if Hashtbl.mem env.globals name then error loc "global %s redefined" name;
+        check_complete env loc ty;
+        if is_void ty then error loc "global %s has type void" name;
+        Hashtbl.replace env.globals name ty
+      | Ast.Func_def f ->
+        if Hashtbl.mem env.funcs f.Ast.fname then
+          error f.Ast.floc "function %s redefined" f.Ast.fname;
+        Hashtbl.replace env.funcs f.Ast.fname
+          (f.Ast.fret, List.map snd f.Ast.fparams, f.Ast.fannots)
+      | Ast.Extern_decl (name, ret, params, annots, loc) ->
+        if Hashtbl.mem env.funcs name then error loc "function %s redefined" name;
+        Hashtbl.replace env.funcs name (ret, List.map snd params, annots))
+    prog;
+  (* Pass 2: bodies and global initializers. *)
+  let tstructs = ref [] and tglobals = ref [] and tfuncs = ref [] in
+  let texterns = ref [] in
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.Struct_def (name, fields, _) ->
+        tstructs := (name, fields) :: !tstructs
+      | Ast.Global (ty, name, init, loc) ->
+        let tinit = Option.map (check_global_init env ty) init in
+        tglobals := (name, ty, tinit, loc) :: !tglobals
+      | Ast.Extern_decl (name, ret, params, annots, _) ->
+        texterns := (name, ret, params, annots) :: !texterns
+      | Ast.Func_def f ->
+        env.current_ret <- f.Ast.fret;
+        env.scopes <- [];
+        push_scope env;
+        List.iter
+          (fun (pname, pty) ->
+            check_complete env f.Ast.floc pty;
+            declare_local env f.Ast.floc pname pty)
+          f.Ast.fparams;
+        let tbody = List.map (check_stmt env) f.Ast.fbody in
+        pop_scope env;
+        tfuncs :=
+          {
+            tfname = f.Ast.fname;
+            tfret = f.Ast.fret;
+            tfparams = f.Ast.fparams;
+            tfbody = tbody;
+            tfannots = f.Ast.fannots;
+            tfloc = f.Ast.floc;
+          }
+          :: !tfuncs)
+    prog;
+  {
+    tstructs = List.rev !tstructs;
+    tglobals = List.rev !tglobals;
+    tfuncs = List.rev !tfuncs;
+    texterns = List.rev !texterns;
+  }

@@ -1,0 +1,61 @@
+(* Tokens of mini-C, the annotated C subset Privagic consumes. The [color],
+   [within], [ignore] and [entry] keywords are the paper's annotations
+   (Figures 1, 6; §6.2-§6.4); everything else is plain C. *)
+
+type t =
+  | IDENT of string
+  | INT_LIT of int64
+  | FLOAT_LIT of float
+  | CHAR_LIT of char
+  | STRING_LIT of string
+  (* keywords *)
+  | KW_VOID | KW_INT | KW_DOUBLE | KW_CHAR | KW_STRUCT
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_EXTERN | KW_SIZEOF | KW_SPAWN | KW_NULL
+  | KW_COLOR | KW_ENTRY | KW_WITHIN | KW_IGNORE
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | NOT | ANDAND | OROR
+  | ASSIGN | PLUS_ASSIGN | MINUS_ASSIGN
+  | EQ | NE | LT | LE | GT | GE
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+let keyword_table =
+  [
+    ("void", KW_VOID); ("int", KW_INT); ("double", KW_DOUBLE);
+    ("char", KW_CHAR); ("struct", KW_STRUCT); ("if", KW_IF);
+    ("else", KW_ELSE); ("while", KW_WHILE); ("for", KW_FOR);
+    ("return", KW_RETURN); ("break", KW_BREAK); ("continue", KW_CONTINUE);
+    ("extern", KW_EXTERN); ("sizeof", KW_SIZEOF); ("spawn", KW_SPAWN);
+    ("NULL", KW_NULL); ("color", KW_COLOR); ("entry", KW_ENTRY);
+    ("within", KW_WITHIN); ("ignore", KW_IGNORE);
+  ]
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT_LIT i -> Printf.sprintf "integer %Ld" i
+  | FLOAT_LIT f -> Printf.sprintf "float %g" f
+  | CHAR_LIT c -> Printf.sprintf "char %C" c
+  | STRING_LIT s -> Printf.sprintf "string %S" s
+  | KW_VOID -> "'void'" | KW_INT -> "'int'" | KW_DOUBLE -> "'double'"
+  | KW_CHAR -> "'char'" | KW_STRUCT -> "'struct'" | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'" | KW_WHILE -> "'while'" | KW_FOR -> "'for'"
+  | KW_RETURN -> "'return'" | KW_BREAK -> "'break'"
+  | KW_CONTINUE -> "'continue'" | KW_EXTERN -> "'extern'"
+  | KW_SIZEOF -> "'sizeof'" | KW_SPAWN -> "'spawn'" | KW_NULL -> "'NULL'"
+  | KW_COLOR -> "'color'" | KW_ENTRY -> "'entry'" | KW_WITHIN -> "'within'"
+  | KW_IGNORE -> "'ignore'"
+  | LPAREN -> "'('" | RPAREN -> "')'" | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'" | SEMI -> "';'" | COMMA -> "','"
+  | DOT -> "'.'" | ARROW -> "'->'" | PLUS -> "'+'" | MINUS -> "'-'"
+  | STAR -> "'*'" | SLASH -> "'/'" | PERCENT -> "'%'" | AMP -> "'&'"
+  | PIPE -> "'|'" | CARET -> "'^'" | TILDE -> "'~'" | SHL -> "'<<'"
+  | SHR -> "'>>'" | NOT -> "'!'" | ANDAND -> "'&&'" | OROR -> "'||'"
+  | ASSIGN -> "'='" | PLUS_ASSIGN -> "'+='" | MINUS_ASSIGN -> "'-='"
+  | EQ -> "'=='" | NE -> "'!='" | LT -> "'<'" | LE -> "'<='" | GT -> "'>'"
+  | GE -> "'>='" | PLUSPLUS -> "'++'" | MINUSMINUS -> "'--'"
+  | EOF -> "end of input"

@@ -1,0 +1,1 @@
+lib/partition/chunk.ml: Block Cfg Color Dom Func Hashtbl Infer Instr List Option Printf Privagic_passes Privagic_pir Privagic_secure Ty Value

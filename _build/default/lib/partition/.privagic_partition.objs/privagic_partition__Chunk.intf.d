@@ -1,0 +1,1 @@
+lib/partition/chunk.mli: Color Func Infer Privagic_pir Privagic_secure

@@ -1,0 +1,1 @@
+lib/partition/graphviz.ml: Chunk Color Format Func Hashtbl List Option Plan Privagic_pir String

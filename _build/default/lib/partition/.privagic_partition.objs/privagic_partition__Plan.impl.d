@@ -1,0 +1,1 @@
+lib/partition/plan.ml: Annot Block Cenv Chunk Color Diagnostic Format Func Hashtbl Infer Instr List Loc Mode Pmodule Printf Privagic_pir Privagic_secure String Ty Value

@@ -1,0 +1,1 @@
+lib/partition/plan.mli: Color Diagnostic Format Func Hashtbl Infer Mode Pmodule Privagic_pir Privagic_secure

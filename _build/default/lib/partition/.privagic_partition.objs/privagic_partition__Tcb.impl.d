@@ -1,0 +1,1 @@
+lib/partition/tcb.ml: Color Format Func Hashtbl List Option Plan Pmodule Privagic_pir

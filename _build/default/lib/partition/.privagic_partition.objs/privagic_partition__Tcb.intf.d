@@ -1,0 +1,1 @@
+lib/partition/tcb.mli: Color Format Plan Privagic_pir

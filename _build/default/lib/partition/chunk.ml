@@ -1,0 +1,146 @@
+(* Chunk construction (paper §7.3.1).
+
+   For every color C of an instance's colorset, the chunk C contains the
+   instance's C instructions plus a replica of every F instruction; dead
+   replicas are removed by DCE afterwards. Control flow: a conditional
+   branch whose condition is colored D != C cannot be evaluated in chunk C —
+   but rule 4 guarantees the influence region contains no C instructions,
+   so chunk C jumps straight to the join point (the branch block's immediate
+   postdominator).
+
+   Stores into S memory are placed into one designated chunk (footnote 6 of
+   the paper): the U chunk when it exists, otherwise the first chunk. *)
+
+open Privagic_pir
+open Privagic_secure
+
+let chunk_name (key : Infer.instance_key) (c : Color.t) =
+  Printf.sprintf "%s#%s" (Infer.instance_name key) (Color.to_string c)
+
+(* The chunk that hosts S stores (and S allocas) for an instance. *)
+let s_host (colorset : Color.t list) : Color.t option =
+  if List.exists (Color.equal Color.Unsafe) colorset then Some Color.Unsafe
+  else match colorset with c :: _ -> Some c | [] -> None
+
+(* Parameters visible to a chunk: those whose effective color is C or F
+   (§7.3.2: "the chunk of the caller calls the chunk of the callee with the
+   C and F arguments, but not the other arguments"). Positions are kept so
+   that register numbering is stable; invisible parameters become Undef at
+   call time. *)
+let visible_params (key : Infer.instance_key) (c : Color.t) =
+  List.map
+    (fun ac -> Color.equal ac Color.Free || Color.equal ac c)
+    key.Infer.ik_args
+
+(* Decide whether an instruction belongs to chunk [c]. *)
+let keep_instr ~(c : Color.t) ~(s_host : Color.t option)
+    (ic : Color.t) : bool =
+  match ic with
+  | Color.Free -> true
+  | Color.Shared -> ( match s_host with Some h -> Color.equal h c | None -> false)
+  | ic -> Color.equal ic c
+
+(* When a foreign-colored branch is short-circuited to its join point, the
+   join's phis lose the region predecessors and gain the branch block as a
+   direct predecessor. A phi that survives in this chunk is F (rule 4 makes
+   region-dependent phis colored), so its surviving meaning is the value
+   that flowed around the region: every remaining entry carries it. Missing
+   predecessor edges therefore reuse that value (or any entry value — they
+   are all equal for a well-typed F phi). *)
+let repair_phis (chunk : Func.t) =
+  let g = Cfg.of_func chunk in
+  List.iter
+    (fun (b : Block.t) ->
+      let preds = Cfg.predecessors g b.Block.label in
+      b.Block.instrs <-
+        List.map
+          (fun (i : Instr.t) ->
+            match i.Instr.op with
+            | Instr.Phi entries ->
+              let default =
+                match entries with
+                | (_, v) :: _ -> v
+                | [] -> Value.Undef i.Instr.ty
+              in
+              let full =
+                List.map
+                  (fun p ->
+                    match List.assoc_opt p entries with
+                    | Some v -> (p, v)
+                    | None -> (p, default))
+                  preds
+              in
+              { i with op = Instr.Phi full }
+            | _ -> i)
+          b.Block.instrs)
+    chunk.Func.blocks
+
+(* Build the chunk function for color [c] of [inst]. The returned function
+   reuses the original register numbering (the VM treats registers as a
+   sparse map). *)
+let build (inst : Infer.instance) (colorset : Color.t list) (c : Color.t) :
+    Func.t =
+  let key = inst.Infer.key in
+  let host = s_host colorset in
+  let f = inst.Infer.func in
+  let pdom = inst.Infer.pdom in
+  let instr_color (i : Instr.t) =
+    Option.value ~default:Color.Free
+      (Hashtbl.find_opt inst.Infer.instr_color i.Instr.id)
+  in
+  let chunk =
+    Func.make ~annots:f.Func.annots ~name:(chunk_name key c)
+      ~params:f.Func.params ~ret:f.Func.ret ()
+  in
+  chunk.Func.next_reg <- f.Func.next_reg;
+  let exit_needed = ref false in
+  let exit_label = "__chunk_exit" in
+  let blocks =
+    List.map
+      (fun (b : Block.t) ->
+        let instrs =
+          List.filter (fun i -> keep_instr ~c ~s_host:host (instr_color i))
+            b.Block.instrs
+        in
+        let term =
+          match b.Block.term with
+          | Instr.Condbr (cond, tl, fl) ->
+            let cc =
+              match cond with
+              | Value.Reg r ->
+                Option.value ~default:Color.Free
+                  (Hashtbl.find_opt inst.Infer.reg_color r)
+              | _ -> Color.Free
+            in
+            if Color.equal cc Color.Free || Color.equal cc c then
+              Instr.Condbr (cond, tl, fl)
+            else (
+              (* foreign condition: skip the influence region *)
+              match Dom.idom pdom b.Block.label with
+              | Some join -> Instr.Br join
+              | None ->
+                (* the region reaches the end of the function *)
+                exit_needed := true;
+                Instr.Br exit_label)
+          | t -> t
+        in
+        Block.make ~instrs ~term b.Block.label)
+      f.Func.blocks
+  in
+  let blocks =
+    if !exit_needed then
+      blocks
+      @ [
+          Block.make ~term:
+            (if Ty.equal f.Func.ret Ty.void then Instr.Ret None
+             else Instr.Ret (Some (Value.Undef f.Func.ret)))
+            exit_label;
+        ]
+    else blocks
+  in
+  chunk.Func.blocks <- blocks;
+  (* Remove blocks that became unreachable, then dead F replicas. *)
+  ignore (Privagic_passes.Simplify.remove_unreachable_func chunk);
+  repair_phis chunk;
+  ignore (Privagic_passes.Dce.run_func chunk);
+  chunk

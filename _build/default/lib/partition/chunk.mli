@@ -1,0 +1,30 @@
+(** Chunk construction (paper §7.3.1).
+
+    For every color C of an instance's colorset, the chunk C contains the
+    instance's C instructions plus a replica of every F instruction; dead
+    replicas are removed by DCE. A conditional branch whose condition is
+    colored D != C cannot be evaluated in chunk C — rule 4 guarantees the
+    influence region has no C instructions, so chunk C jumps straight to
+    the join point (the branch block's immediate postdominator), and the
+    join's phis are repaired. Stores into S memory are placed into one
+    designated chunk (footnote 6 of the paper). *)
+
+open Privagic_pir
+open Privagic_secure
+
+(** ["iname#color"], e.g. ["f@blue#blue"]. *)
+val chunk_name : Infer.instance_key -> Color.t -> string
+
+(** The chunk hosting S stores/allocas: the U chunk when present, else the
+    first of the colorset. *)
+val s_host : Color.t list -> Color.t option
+
+(** Which parameter positions a chunk of the given color receives (§7.3.2:
+    "the C and F arguments, but not the others"). *)
+val visible_params : Infer.instance_key -> Color.t -> bool list
+
+val keep_instr : c:Color.t -> s_host:Color.t option -> Color.t -> bool
+
+(** Build the chunk function for one color; register numbering is shared
+    with the original instance. *)
+val build : Infer.instance -> Color.t list -> Color.t -> Func.t

@@ -1,0 +1,127 @@
+(* DOT rendering of a partition plan: one cluster per partition (enclaves
+   plus the unsafe zone), one node per chunk, and the §7.3.2 call
+   structure as edges — solid for direct calls, dashed for spawn messages,
+   dotted for return values travelling in cont messages.
+
+   Render with: privagic graph file.mc | dot -Tsvg > plan.svg *)
+
+open Privagic_pir
+
+let color_fill = function
+  | Color.Named "blue" -> "#c6dbef"
+  | Color.Named "red" -> "#fcbba1"
+  | Color.Named "green" -> "#c7e9c0"
+  | Color.Named _ -> "#dadaeb"
+  | Color.Unsafe -> "#f0f0f0"
+  | Color.Shared -> "#f0f0f0"
+  | Color.Free -> "#ffffff"
+
+let node_id name =
+  "n" ^ String.concat "_" (String.split_on_char '#' name)
+  |> String.map (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+         | _ -> '_')
+
+let plan_dot fmt (plan : Plan.t) =
+  Format.fprintf fmt "digraph privagic {@.";
+  Format.fprintf fmt "  rankdir=LR; fontname=\"monospace\";@.";
+  Format.fprintf fmt "  node [shape=box, fontname=\"monospace\"];@.";
+  (* group chunks per partition *)
+  let partitions : (string, (string * Color.t) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  Hashtbl.iter
+    (fun _ (pf : Plan.pfunc) ->
+      List.iter
+        (fun (ci : Plan.chunk_info) ->
+          let key = Color.to_string ci.Plan.ci_color in
+          let cell =
+            match Hashtbl.find_opt partitions key with
+            | Some l -> l
+            | None ->
+              let l = ref [] in
+              Hashtbl.replace partitions key l;
+              l
+          in
+          cell := (ci.Plan.ci_func.Func.name, ci.Plan.ci_color) :: !cell)
+        pf.Plan.pf_chunks)
+    plan.Plan.pfuncs;
+  Hashtbl.iter
+    (fun pname chunks ->
+      Format.fprintf fmt "  subgraph cluster_%s {@." (node_id pname);
+      Format.fprintf fmt "    label=\"%s\"; style=filled; color=\"#999999\";@."
+        (match pname with
+        | "U" -> "unsafe memory"
+        | "F" -> "replicated"
+        | p -> "enclave " ^ p);
+      List.iter
+        (fun (name, color) ->
+          Format.fprintf fmt
+            "    %s [label=\"%s\", style=filled, fillcolor=\"%s\"];@."
+            (node_id name) name (color_fill color))
+        !chunks;
+      Format.fprintf fmt "  }@.")
+    partitions;
+  (* edges from the call plans *)
+  Hashtbl.iter
+    (fun _ (pf : Plan.pfunc) ->
+      Hashtbl.iter
+        (fun _ (cp : Plan.call_plan) ->
+          let callee = cp.Plan.cp_key in
+          (* direct: caller chunk c -> callee chunk c *)
+          List.iter
+            (fun c ->
+              let caller_chunk = Chunk.chunk_name pf.Plan.pf_key c in
+              let callee_chunk = Chunk.chunk_name callee c in
+              Format.fprintf fmt "  %s -> %s;@." (node_id caller_chunk)
+                (node_id callee_chunk))
+            cp.Plan.cp_direct;
+          (* spawns: leader -> spawned chunks, dashed *)
+          (match cp.Plan.cp_leader with
+          | Some leader when cp.Plan.cp_spawned <> [] ->
+            let caller_chunk = Chunk.chunk_name pf.Plan.pf_key leader in
+            List.iter
+              (fun d ->
+                Format.fprintf fmt
+                  "  %s -> %s [style=dashed, label=\"spawn\"];@."
+                  (node_id caller_chunk)
+                  (node_id (Chunk.chunk_name callee d)))
+              cp.Plan.cp_spawned
+          | _ -> ());
+          (* return values by message, dotted *)
+          if cp.Plan.cp_ret_to_msg <> [] then
+            let sender =
+              match cp.Plan.cp_direct @ cp.Plan.cp_spawned with
+              | c :: _ -> Some (Chunk.chunk_name callee c)
+              | [] -> None
+            in
+            Option.iter
+              (fun s ->
+                List.iter
+                  (fun d ->
+                    Format.fprintf fmt
+                      "  %s -> %s [style=dotted, label=\"ret\"];@." (node_id s)
+                      (node_id (Chunk.chunk_name pf.Plan.pf_key d)))
+                  cp.Plan.cp_ret_to_msg)
+              sender)
+        pf.Plan.pf_calls)
+    plan.Plan.pfuncs;
+  (* entry interfaces *)
+  List.iter
+    (fun (ep : Plan.entry_plan) ->
+      let iface = "client:" ^ ep.Plan.ep_name in
+      Format.fprintf fmt "  %s [shape=ellipse, label=\"%s\"];@."
+        (node_id iface) iface;
+      List.iter
+        (fun c ->
+          Format.fprintf fmt "  %s -> %s [style=dashed, label=\"spawn\"];@."
+            (node_id iface)
+            (node_id (Chunk.chunk_name ep.Plan.ep_key c)))
+        ep.Plan.ep_spawned;
+      let direct_chunk = Chunk.chunk_name ep.Plan.ep_key ep.Plan.ep_direct in
+      Format.fprintf fmt "  %s -> %s;@." (node_id iface) (node_id direct_chunk))
+    plan.Plan.entries;
+  Format.fprintf fmt "}@."
+
+let to_string plan = Format.asprintf "%a" plan_dot plan

@@ -1,0 +1,434 @@
+(* Whole-program partition plan (paper §7).
+
+   The plan is what the runtime executes: per-instance chunks, a call plan
+   per call site (direct calls for common colors, spawn messages for the
+   missing chunks, cont messages for F values crossing partitions in relaxed
+   mode), barrier points for visible effects, and the placement of global
+   variables. *)
+
+open Privagic_pir
+open Privagic_secure
+
+type chunk_info = { ci_color : Color.t; ci_func : Func.t }
+
+type call_plan = {
+  cp_key : Infer.instance_key;     (* callee instance *)
+  cp_direct : Color.t list;        (* colors called directly (§7.3.2) *)
+  cp_spawned : Color.t list;       (* callee chunks started by spawn msgs *)
+  cp_leader : Color.t option;      (* caller chunk sending the spawn msgs *)
+  cp_ret_color : Color.t;
+  cp_ret_to_msg : Color.t list;    (* caller chunks receiving the return
+                                      value through a cont message *)
+  cp_f_args_to_spawned : bool;     (* spawned chunks need F arguments
+                                      (trampoline + cont messages) *)
+}
+
+type pfunc = {
+  pf_key : Infer.instance_key;
+  pf_colorset : Color.t list;      (* sorted; [] means pure-F function *)
+  pf_chunks : chunk_info list;     (* one per colorset entry, or one F chunk *)
+  pf_calls : (int, call_plan) Hashtbl.t;
+  pf_barriers : (int, unit) Hashtbl.t; (* instrs with visible effects *)
+}
+
+type entry_plan = {
+  ep_name : string;                (* original function name *)
+  ep_key : Infer.instance_key;
+  ep_spawned : Color.t list;       (* chunks the interface starts (§7.3.4) *)
+  ep_direct : Color.t;             (* the chunk the interface runs: U or F *)
+}
+
+type t = {
+  mode : Mode.t;
+  infer : Infer.t;
+  pmodule : Pmodule.t;
+  pfuncs : (Infer.instance_key, pfunc) Hashtbl.t;
+  entries : entry_plan list;
+  global_placement : (string * Color.t) list; (* global -> partition *)
+  shared_globals : string list;    (* the S region of §7.1 *)
+  multicolor_structs : string list;
+  mutable diagnostics : Diagnostic.t list;
+  auth_pointers : bool;
+  spawn_targets_cache : (string, string list) Hashtbl.t;
+}
+
+let diag t kind iname fmt =
+  Format.kasprintf
+    (fun msg ->
+      t.diagnostics <-
+        Diagnostic.make ~kind ~func:iname ~loc:Loc.none msg :: t.diagnostics)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+
+let colorset_list inst =
+  Color.Set.elements (Infer.colorset inst) |> List.sort Color.compare
+
+(* Whether register [r] is used by some kept instruction of [chunk]. *)
+let chunk_uses (chunk : Func.t) (r : int) =
+  let used = ref false in
+  Func.iter_instrs chunk (fun _ i ->
+      if List.mem r (Instr.uses i) then used := true);
+  List.iter
+    (fun (b : Block.t) ->
+      if List.mem r (Instr.term_uses b.Block.term) then used := true)
+    chunk.Func.blocks;
+  !used
+
+(* Calls with an effect visible outside the partitioned program: plain
+   external calls (the OS) and indirect calls. Within/ignore externals run
+   inside the enclave (mini-libc) and are not visible effects. *)
+let is_extern_call (m : Pmodule.t) (i : Instr.t) =
+  match i.Instr.op with
+  | Instr.Call (callee, _) -> (
+    (not (Pmodule.is_defined m callee))
+    &&
+    match Pmodule.find_extern m callee with
+    | Some e ->
+      not
+        (List.exists
+           (fun a -> Annot.equal a Annot.Within || Annot.equal a Annot.Ignore)
+           e.Pmodule.eannots)
+    | None -> true)
+  | Instr.Callind _ | Instr.Spawn _ -> true
+  | _ -> false
+
+(* Closedness: every register an instruction of a chunk reads must be
+   defined inside the same chunk (or be a parameter). A dangling register
+   means a value computed in another partition would be needed — typically
+   the address of an uncolored stack slot consumed by a colored
+   instruction. Such programs need a shared location (a global) instead of
+   a stack slot; we reject them with a clear diagnostic rather than let
+   the runtime read garbage. Terminator operands are exempt: only the
+   partition owning the return value returns it meaningfully. *)
+let check_chunk_closed t (pf_key : Infer.instance_key) (ci : chunk_info) =
+  let defined = Hashtbl.create 64 in
+  List.iteri (fun k _ -> Hashtbl.replace defined k ()) ci.ci_func.Func.params;
+  Func.iter_instrs ci.ci_func (fun _ i ->
+      match Instr.defines i with
+      | Some id -> Hashtbl.replace defined id ()
+      | None -> ());
+  Func.iter_instrs ci.ci_func (fun _ i ->
+      match i.Instr.op with
+      | Instr.Call (callee, _) when Pmodule.is_defined t.pmodule callee ->
+        (* local-call arguments are plan-mediated: a chunk that actually
+           executes the callee always has its own (C and F) arguments *)
+        ()
+      | Instr.Spawn _ -> ()
+      | _ ->
+        List.iter
+          (fun r ->
+            if not (Hashtbl.mem defined r) then
+              diag t Diagnostic.Cross_enclave_f (Infer.instance_name pf_key)
+                "chunk %s reads register %%%d computed in another partition \
+                 (use a shared global instead of a stack slot)"
+                ci.ci_func.Func.name r)
+          (Instr.uses i))
+
+let build_pfunc t (inst : Infer.instance) : pfunc =
+  let cs = colorset_list inst in
+  (* footnote 6 of the paper: stores into S need a host chunk. A function
+     whose only placed instructions are S stores gets a U chunk, so the
+     store executes exactly once (not replicated). *)
+  let has_s_instr =
+    let found = ref false in
+    Func.iter_instrs inst.Infer.func (fun _ i ->
+        if Color.equal (Infer.instruction_color inst i) Color.Shared then
+          found := true);
+    !found
+  in
+  let cs = if cs = [] && has_s_instr then [ Color.Unsafe ] else cs in
+  let chunk_colors = if cs = [] then [ Color.Free ] else cs in
+  let chunks =
+    List.map
+      (fun c -> { ci_color = c; ci_func = Chunk.build inst cs c })
+      chunk_colors
+  in
+  List.iter (check_chunk_closed t inst.Infer.key) chunks;
+  let pf =
+    {
+      pf_key = inst.Infer.key;
+      pf_colorset = cs;
+      pf_chunks = chunks;
+      pf_calls = Hashtbl.create 8;
+      pf_barriers = Hashtbl.create 8;
+    }
+  in
+  (* barriers: external calls and S stores have visible effects (§7.3.3) *)
+  Func.iter_instrs inst.Infer.func (fun _ i ->
+      let ic = Infer.instruction_color inst i in
+      let visible =
+        is_extern_call t.pmodule i
+        || (match i.Instr.op with
+           | Instr.Store _ ->
+             Color.equal ic Color.Shared || Color.equal ic Color.Unsafe
+           | _ -> false)
+      in
+      if visible then Hashtbl.replace pf.pf_barriers i.Instr.id ());
+  pf
+
+let plan_call t (caller : Infer.instance) (pf : pfunc) (i : Instr.t) =
+  match Infer.call_site t.infer caller.Infer.key i.Instr.id with
+  | None -> ()
+  | Some callee_key ->
+    let callee_inst =
+      match
+        Infer.find_instance t.infer callee_key.Infer.ik_func
+          callee_key.Infer.ik_args
+      with
+      | Some ci -> ci
+      | None -> assert false
+    in
+    let caller_cs = pf.pf_colorset in
+    let callee_cs = colorset_list callee_inst in
+    if callee_cs = [] then
+      (* pure-F callee: replicated and executed inline in every chunk *)
+      Hashtbl.replace pf.pf_calls i.Instr.id
+        {
+          cp_key = callee_key;
+          cp_direct = [];
+          cp_spawned = [];
+          cp_leader = None;
+          cp_ret_color = callee_inst.Infer.ret_color;
+          cp_ret_to_msg = [];
+          cp_f_args_to_spawned = false;
+        }
+    else begin
+    let direct = List.filter (fun c -> List.mem c caller_cs) callee_cs in
+    let spawned = List.filter (fun c -> not (List.mem c caller_cs)) callee_cs in
+    let leader =
+      if spawned = [] then None
+      else match caller_cs with c :: _ -> Some c | [] -> Some Color.Free
+    in
+    (* Does a spawned chunk need an F argument *computed* by the caller?
+       Constants are embedded in the code and replicate for free; only
+       register-carried F arguments must travel in cont messages (§7.3.2). *)
+    let args =
+      match i.Instr.op with
+      | Instr.Call (_, args) | Instr.Spawn (_, args) -> args
+      | _ -> []
+    in
+    let f_args_to_spawned =
+      spawned <> []
+      && List.exists2
+           (fun c arg ->
+             Color.equal c Color.Free
+             && match arg with Value.Reg _ -> true | _ -> false)
+           callee_key.Infer.ik_args args
+    in
+    if f_args_to_spawned && Mode.equal t.mode Mode.Hardened then
+      diag t Diagnostic.Cross_enclave_f caller.Infer.iname
+        "call to %s: an F argument would cross into spawned chunks {%s}"
+        (Infer.instance_name callee_key)
+        (String.concat ","
+           (List.map Color.to_string spawned));
+    (* return value routing *)
+    let ret_color = callee_inst.Infer.ret_color in
+    let ret_to_msg =
+      match Instr.defines i with
+      | None -> []
+      | Some id ->
+        List.filter_map
+          (fun ci ->
+            if List.mem ci.ci_color direct then None
+            else if chunk_uses ci.ci_func id then Some ci.ci_color
+            else None)
+          pf.pf_chunks
+    in
+    if ret_to_msg <> [] && Mode.equal t.mode Mode.Hardened then
+      diag t Diagnostic.Cross_enclave_f caller.Infer.iname
+        "call to %s: the return value would cross into chunks {%s}"
+        (Infer.instance_name callee_key)
+        (String.concat "," (List.map Color.to_string ret_to_msg));
+    Hashtbl.replace pf.pf_calls i.Instr.id
+      {
+        cp_key = callee_key;
+        cp_direct = direct;
+        cp_spawned = spawned;
+        cp_leader = leader;
+        cp_ret_color = ret_color;
+        cp_ret_to_msg = ret_to_msg;
+        cp_f_args_to_spawned = f_args_to_spawned;
+      }
+    end
+
+(* Structs whose fields do not all live in the same memory color (§7.2). *)
+let multicolor_structs (m : Pmodule.t) : string list =
+  List.filter_map
+    (fun (s : Pmodule.struct_def) ->
+      let colors =
+        List.sort_uniq Color.compare
+          (List.filter_map (fun (_, ty) -> Cenv.root_color ty) s.fields)
+      in
+      let uncolored =
+        List.exists (fun (_, ty) -> Cenv.root_color ty = None) s.fields
+      in
+      match colors with
+      | [] -> None
+      | [ _ ] when not uncolored -> None
+      | _ -> Some s.sname)
+    (Pmodule.structs_sorted m)
+
+let build ?(mode = Mode.Hardened) ?(auth_pointers = false) (infer : Infer.t) :
+    t =
+  let m = infer.Infer.m in
+  let t =
+    {
+      mode;
+      infer;
+      pmodule = m;
+      pfuncs = Hashtbl.create 16;
+      entries = [];
+      global_placement = [];
+      shared_globals = [];
+      multicolor_structs = multicolor_structs m;
+      diagnostics = [];
+      auth_pointers;
+      spawn_targets_cache = Hashtbl.create 8;
+    }
+  in
+  (* chunks for every instance *)
+  List.iter
+    (fun inst ->
+      Hashtbl.replace t.pfuncs inst.Infer.key (build_pfunc t inst))
+    (Infer.instances infer);
+  (* call plans (need every pfunc built first) *)
+  List.iter
+    (fun inst ->
+      let pf = Hashtbl.find t.pfuncs inst.Infer.key in
+      Func.iter_instrs inst.Infer.func (fun _ i ->
+          match i.Instr.op with
+          | Instr.Call _ | Instr.Spawn _ -> plan_call t inst pf i
+          | _ -> ()))
+    (Infer.instances infer);
+  (* global placement (§7.1) *)
+  let placement =
+    List.map
+      (fun (g : Pmodule.global) ->
+        (g.Pmodule.gname, Cenv.global_color mode g))
+      (Pmodule.globals_sorted m)
+  in
+  let shared =
+    List.filter_map
+      (fun (name, c) ->
+        if Color.equal c Color.Shared then Some name else None)
+      placement
+  in
+  (* entry interfaces (§7.3.4) *)
+  let entries =
+    List.filter_map
+      (fun name ->
+        match Pmodule.find_func m name with
+        | None -> None
+        | Some f ->
+          let args =
+            List.map
+              (fun (_, pty) ->
+                match Cenv.root_color pty with
+                | Some c when not (Ty.is_pointer pty) -> c
+                | _ -> Mode.entry_color mode)
+              f.Func.params
+          in
+          let key = { Infer.ik_func = name; ik_args = args } in
+          (match Hashtbl.find_opt t.pfuncs key with
+          | None -> None
+          | Some pf ->
+            let direct =
+              if List.mem Color.Unsafe pf.pf_colorset then Color.Unsafe
+              else Color.Free
+            in
+            let spawned =
+              List.filter
+                (fun c -> not (Color.equal c direct))
+                pf.pf_colorset
+            in
+            Some { ep_name = name; ep_key = key; ep_spawned = spawned;
+                   ep_direct = direct }))
+      (List.sort_uniq String.compare (Pmodule.entry_points m))
+  in
+  let t =
+    { t with global_placement = placement; shared_globals = shared; entries }
+  in
+  t.diagnostics <- List.rev t.diagnostics;
+  t
+
+(* §8 extension: the set of chunk names that may legitimately be spawned
+   into each partition — from call plans, entry interfaces, and thread
+   spawns. The runtime rejects any other spawn message. *)
+let valid_spawn_targets t (color : Color.t) : string list =
+  match Hashtbl.find_opt t.spawn_targets_cache (Color.to_string color) with
+  | Some l -> l
+  | None ->
+    let acc = ref [] in
+    let add key c =
+      if Color.equal c color then acc := Chunk.chunk_name key c :: !acc
+    in
+    Hashtbl.iter
+      (fun _ (pf : pfunc) ->
+        Hashtbl.iter
+          (fun _ (cp : call_plan) -> List.iter (add cp.cp_key) cp.cp_spawned)
+          pf.pf_calls)
+      t.pfuncs;
+    List.iter
+      (fun (ep : entry_plan) -> List.iter (add ep.ep_key) ep.ep_spawned)
+      t.entries;
+    (* thread spawns start every chunk of the target instance; only sites
+       whose instruction is an actual [spawn] count *)
+    Hashtbl.iter
+      (fun ((caller_key : Infer.instance_key), instr_id) callee_key ->
+        let is_spawn =
+          match
+            Infer.find_instance t.infer caller_key.Infer.ik_func
+              caller_key.Infer.ik_args
+          with
+          | None -> false
+          | Some inst ->
+            let found = ref false in
+            Func.iter_instrs inst.Infer.func (fun _ i ->
+                if i.Instr.id = instr_id then
+                  match i.Instr.op with
+                  | Instr.Spawn _ -> found := true
+                  | _ -> ());
+            !found
+        in
+        if is_spawn then
+          match Hashtbl.find_opt t.pfuncs callee_key with
+          | Some pf ->
+            List.iter (add callee_key)
+              (if pf.pf_colorset = [] then [ Color.Free ] else pf.pf_colorset)
+          | None -> ())
+      t.infer.Infer.call_sites;
+    let l = List.sort_uniq String.compare !acc in
+    Hashtbl.replace t.spawn_targets_cache (Color.to_string color) l;
+    l
+
+let spawn_allowed t color chunk_name =
+  List.exists (String.equal chunk_name) (valid_spawn_targets t color)
+
+let find_pfunc t key = Hashtbl.find_opt t.pfuncs key
+
+let find_chunk pf color =
+  List.find_opt (fun ci -> Color.equal ci.ci_color color) pf.pf_chunks
+
+let ok t = t.diagnostics = []
+
+let pp fmt t =
+  Format.fprintf fmt "partition plan (%a)@." Mode.pp t.mode;
+  Hashtbl.fold (fun k pf acc -> (k, pf) :: acc) t.pfuncs []
+  |> List.sort (fun (a, _) (b, _) ->
+         String.compare (Infer.instance_name a) (Infer.instance_name b))
+  |> List.iter (fun (_, pf) ->
+         Format.fprintf fmt "  %s: chunks [%s]@."
+           (Infer.instance_name pf.pf_key)
+           (String.concat "; "
+              (List.map
+                 (fun ci ->
+                   Printf.sprintf "%s(%d instrs)"
+                     (Color.to_string ci.ci_color)
+                     (Func.instr_count ci.ci_func))
+                 pf.pf_chunks)));
+  List.iter
+    (fun (name, c) ->
+      Format.fprintf fmt "  global @%s -> %s@." name (Color.to_string c))
+    t.global_placement;
+  List.iter (fun d -> Format.fprintf fmt "  %a@." Diagnostic.pp d) t.diagnostics

@@ -1,0 +1,84 @@
+(** Whole-program partition plan (paper §7): the artifact the runtime
+    executes. *)
+
+open Privagic_pir
+open Privagic_secure
+
+type chunk_info = { ci_color : Color.t; ci_func : Func.t }
+
+(** How a call site executes across partitions (§7.3.2). *)
+type call_plan = {
+  cp_key : Infer.instance_key;     (** callee instance *)
+  cp_direct : Color.t list;        (** colors called directly *)
+  cp_spawned : Color.t list;       (** callee chunks started by spawn msgs *)
+  cp_leader : Color.t option;      (** caller chunk sending the spawns *)
+  cp_ret_color : Color.t;
+  cp_ret_to_msg : Color.t list;
+      (** caller chunks receiving the return value through a cont message
+          (relaxed mode; an error in hardened mode) *)
+  cp_f_args_to_spawned : bool;
+      (** spawned chunks need a *computed* F argument (trampoline +
+          cont; constants replicate for free) *)
+}
+
+(** One partitioned function instance. *)
+type pfunc = {
+  pf_key : Infer.instance_key;
+  pf_colorset : Color.t list;      (** sorted; [[]] means pure-F *)
+  pf_chunks : chunk_info list;
+  pf_calls : (int, call_plan) Hashtbl.t;   (** instr id -> plan *)
+  pf_barriers : (int, unit) Hashtbl.t;     (** visible effects (§7.3.3) *)
+}
+
+(** Interface version of an entry point (§7.3.4). *)
+type entry_plan = {
+  ep_name : string;
+  ep_key : Infer.instance_key;
+  ep_spawned : Color.t list;
+  ep_direct : Color.t;             (** the chunk the interface runs: U or F *)
+}
+
+type t = {
+  mode : Mode.t;
+  infer : Infer.t;
+  pmodule : Pmodule.t;
+  pfuncs : (Infer.instance_key, pfunc) Hashtbl.t;
+  entries : entry_plan list;
+  global_placement : (string * Color.t) list; (** §7.1 *)
+  shared_globals : string list;    (** the S region of §7.1 *)
+  multicolor_structs : string list;           (** §7.2 *)
+  mutable diagnostics : Diagnostic.t list;
+      (** partition-time errors: F values crossing partitions in hardened
+          mode, chunks reading registers computed elsewhere *)
+  auth_pointers : bool;
+      (** §8 extension: indirection pointers of multi-color structures are
+          MAC-authenticated, enabling them in hardened mode *)
+  spawn_targets_cache : (string, string list) Hashtbl.t;
+}
+
+(** §8 extension — the valid-spawn-sequence guard. The plan knows which
+    chunks can legitimately be started in each partition: exactly the
+    spawn targets of some call plan, entry interface, or thread spawn.
+    The runtime checks every spawn against this set, closing the
+    "unexpected spawn message" attack the paper leaves open. *)
+val valid_spawn_targets : t -> Color.t -> string list
+
+(** [spawn_allowed plan color chunk_name] — may a worker of [color] be
+    asked to start [chunk_name]? *)
+val spawn_allowed : t -> Color.t -> string -> bool
+
+(** Structs whose fields do not all share one memory color. *)
+val multicolor_structs : Pmodule.t -> string list
+
+(** Whether register [r] is read by an instruction of [f]. *)
+val chunk_uses : Func.t -> int -> bool
+
+(** Build the plan from a successful analysis. [auth_pointers] enables the
+    §8 authenticated-pointer extension (multi-color structures become
+    legal in hardened mode; see DESIGN.md §8.5). *)
+val build : ?mode:Mode.t -> ?auth_pointers:bool -> Infer.t -> t
+
+val find_pfunc : t -> Infer.instance_key -> pfunc option
+val find_chunk : pfunc -> Color.t -> chunk_info option
+val ok : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+(* Trusted-computing-base accounting (paper §9.2.2, Table 4).
+
+   For each enclave color we count the PIR instructions of the chunks placed
+   in it — the analog of the paper's "user code (LLVM)" lines — and derive a
+   binary-size estimate. The runtime constant models the per-enclave footprint
+   of the Intel SDK runtime plus the Privagic runtime that the paper measures
+   at 268 KiB; a whole-application baseline (Scone-like) instead carries the
+   application, a libc and a library OS. *)
+
+open Privagic_pir
+
+(* Size model constants, in bytes. *)
+let bytes_per_instr = 12          (* x86-64 code density for IR-level ops *)
+let privagic_runtime_bytes = 268 * 1024
+let scone_runtime_bytes = (36 * 1024 * 1024) + (14 * 1024 * 1024 * 7 / 10)
+    (* library OS (36.2 MiB) + musl libc (14.7 MiB) *)
+
+type partition_stats = {
+  color : Color.t;
+  chunk_count : int;
+  instr_count : int;               (* user code inside this enclave *)
+  tcb_bytes : int;                 (* user code + per-enclave runtime *)
+}
+
+type t = {
+  partitions : partition_stats list;   (* named enclaves only *)
+  unsafe_instrs : int;                 (* U partition user code *)
+  total_instrs : int;                  (* whole program, for the baseline *)
+  whole_app_tcb_bytes : int;           (* Scone-like TCB *)
+  max_enclave_tcb_bytes : int;
+}
+
+let of_plan (plan : Plan.t) : t =
+  let per_color : (Color.t, int * int) Hashtbl.t = Hashtbl.create 8 in
+  let add color n =
+    let chunks, instrs =
+      Option.value ~default:(0, 0) (Hashtbl.find_opt per_color color)
+    in
+    Hashtbl.replace per_color color (chunks + 1, instrs + n)
+  in
+  Hashtbl.iter
+    (fun _ (pf : Plan.pfunc) ->
+      List.iter
+        (fun (ci : Plan.chunk_info) ->
+          add ci.Plan.ci_color (Func.instr_count ci.Plan.ci_func))
+        pf.Plan.pf_chunks)
+    plan.Plan.pfuncs;
+  let partitions =
+    Hashtbl.fold
+      (fun color (chunk_count, instr_count) acc ->
+        if Color.is_enclave color then
+          {
+            color;
+            chunk_count;
+            instr_count;
+            tcb_bytes = (instr_count * bytes_per_instr) + privagic_runtime_bytes;
+          }
+          :: acc
+        else acc)
+      per_color []
+    |> List.sort (fun a b -> Color.compare a.color b.color)
+  in
+  let unsafe_instrs =
+    match Hashtbl.find_opt per_color Color.Unsafe with
+    | Some (_, n) -> n
+    | None -> 0
+  in
+  let total_instrs =
+    Hashtbl.fold
+      (fun _ f acc -> acc + Func.instr_count f)
+      plan.Plan.pmodule.Pmodule.funcs 0
+  in
+  {
+    partitions;
+    unsafe_instrs;
+    total_instrs;
+    whole_app_tcb_bytes =
+      (total_instrs * bytes_per_instr) + scone_runtime_bytes;
+    max_enclave_tcb_bytes =
+      List.fold_left (fun acc p -> max acc p.tcb_bytes) 0 partitions;
+  }
+
+(* Ratio of the whole-application TCB over the largest per-enclave TCB:
+   the paper reports "a factor of more than 200" for memcached. *)
+let reduction_factor t =
+  if t.max_enclave_tcb_bytes = 0 then infinity
+  else float_of_int t.whole_app_tcb_bytes /. float_of_int t.max_enclave_tcb_bytes
+
+let pp fmt t =
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "enclave %s: %d chunks, %d instrs, TCB %d KiB@."
+        (Color.to_string p.color) p.chunk_count p.instr_count
+        (p.tcb_bytes / 1024))
+    t.partitions;
+  Format.fprintf fmt "unsafe partition: %d instrs@." t.unsafe_instrs;
+  Format.fprintf fmt "whole-app TCB (Scone-like): %d KiB; reduction %.0fx@."
+    (t.whole_app_tcb_bytes / 1024)
+    (reduction_factor t)

@@ -1,0 +1,30 @@
+(** Trusted-computing-base accounting (paper §9.2.2, Table 4): per-enclave
+    instruction counts and binary-size estimates vs the
+    whole-application-in-one-enclave baseline. Size-model constants are
+    the paper's: 268 KiB Privagic+SDK runtime per enclave; 36.2 MiB
+    library OS + 14.7 MiB musl for the Scone-like TCB. *)
+
+open Privagic_pir
+
+type partition_stats = {
+  color : Color.t;
+  chunk_count : int;
+  instr_count : int;
+  tcb_bytes : int;
+}
+
+type t = {
+  partitions : partition_stats list;  (** named enclaves only *)
+  unsafe_instrs : int;
+  total_instrs : int;
+  whole_app_tcb_bytes : int;
+  max_enclave_tcb_bytes : int;
+}
+
+val of_plan : Plan.t -> t
+
+(** Whole-application TCB over the largest per-enclave TCB (the paper
+    reports "a factor of more than 200" for memcached). *)
+val reduction_factor : t -> float
+
+val pp : Format.formatter -> t -> unit

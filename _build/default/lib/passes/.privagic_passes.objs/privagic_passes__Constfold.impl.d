@@ -1,0 +1,1 @@
+lib/passes/constfold.ml: Block Func Hashtbl Instr Int64 List Pmodule Privagic_pir Simplify Ty Value

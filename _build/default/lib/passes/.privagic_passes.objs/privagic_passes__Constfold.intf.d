@@ -1,0 +1,1 @@
+lib/passes/constfold.mli: Privagic_pir

@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Block Func Hashtbl Instr List Pmodule Privagic_pir

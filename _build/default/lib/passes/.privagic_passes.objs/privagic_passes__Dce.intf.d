@@ -1,0 +1,1 @@
+lib/passes/dce.mli: Privagic_pir

@@ -1,0 +1,1 @@
+lib/passes/mem2reg.ml: Block Cfg Dom Func Hashtbl Instr Int List Map Option Pmodule Privagic_pir String Ty Value

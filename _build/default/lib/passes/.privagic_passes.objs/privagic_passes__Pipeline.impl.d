@@ -1,0 +1,1 @@
+lib/passes/pipeline.ml: Dce Mem2reg Pmodule Privagic_pir Simplify Verify

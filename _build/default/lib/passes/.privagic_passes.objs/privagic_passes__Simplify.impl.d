@@ -1,0 +1,1 @@
+lib/passes/simplify.ml: Block Cfg Func Instr List Pmodule Privagic_pir String

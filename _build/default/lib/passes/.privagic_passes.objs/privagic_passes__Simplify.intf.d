@@ -1,0 +1,1 @@
+lib/passes/simplify.mli: Privagic_pir

@@ -1,0 +1,1 @@
+lib/passes/use_def.ml: Block Func Hashtbl Instr List Option Privagic_pir

@@ -1,0 +1,1 @@
+lib/passes/use_def.mli: Func Instr Privagic_pir

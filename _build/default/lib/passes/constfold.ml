@@ -1,0 +1,164 @@
+(* Constant folding and branch simplification.
+
+   Folds arithmetic/comparisons/casts/selects over constants, propagates
+   the results, and turns conditional branches on constants into jumps
+   (the unreachable arm is then removed by [Simplify]). Colors are
+   unaffected: constants are F, and folding an instruction away can only
+   shrink chunks. *)
+
+open Privagic_pir
+
+let as_int (v : Value.t) : int64 option =
+  match v with Value.Int (i, _) -> Some i | _ -> None
+
+let as_float (v : Value.t) : float option =
+  match v with Value.Float f -> Some f | _ -> None
+
+let bool_val b : Value.t = Value.Int ((if b then 1L else 0L), Ty.i1)
+
+let fold_binop (op : Instr.binop) (a : Value.t) (b : Value.t) : Value.t option
+    =
+  match op, as_int a, as_int b with
+  | Instr.Add, Some x, Some y -> Some (Value.int_ (Int64.add x y))
+  | Instr.Sub, Some x, Some y -> Some (Value.int_ (Int64.sub x y))
+  | Instr.Mul, Some x, Some y -> Some (Value.int_ (Int64.mul x y))
+  | Instr.Sdiv, Some x, Some y when not (Int64.equal y 0L) ->
+    Some (Value.int_ (Int64.div x y))
+  | Instr.Srem, Some x, Some y when not (Int64.equal y 0L) ->
+    Some (Value.int_ (Int64.rem x y))
+  | Instr.And, Some x, Some y -> Some (Value.int_ (Int64.logand x y))
+  | Instr.Or, Some x, Some y -> Some (Value.int_ (Int64.logor x y))
+  | Instr.Xor, Some x, Some y -> Some (Value.int_ (Int64.logxor x y))
+  | Instr.Shl, Some x, Some y ->
+    Some (Value.int_ (Int64.shift_left x (Int64.to_int y land 63)))
+  | Instr.Ashr, Some x, Some y ->
+    Some (Value.int_ (Int64.shift_right x (Int64.to_int y land 63)))
+  | _ -> (
+    match op, as_float a, as_float b with
+    | Instr.Fadd, Some x, Some y -> Some (Value.float_ (x +. y))
+    | Instr.Fsub, Some x, Some y -> Some (Value.float_ (x -. y))
+    | Instr.Fmul, Some x, Some y -> Some (Value.float_ (x *. y))
+    | Instr.Fdiv, Some x, Some y -> Some (Value.float_ (x /. y))
+    | _ -> None)
+
+let fold_icmp (op : Instr.icmp) (a : Value.t) (b : Value.t) : Value.t option =
+  match as_int a, as_int b with
+  | Some x, Some y ->
+    let c = Int64.compare x y in
+    Some
+      (bool_val
+         (match op with
+         | Instr.Eq -> c = 0
+         | Instr.Ne -> c <> 0
+         | Instr.Slt -> c < 0
+         | Instr.Sle -> c <= 0
+         | Instr.Sgt -> c > 0
+         | Instr.Sge -> c >= 0))
+  | _ -> (
+    (* null-pointer comparisons *)
+    match a, b, op with
+    | Value.Null _, Value.Null _, Instr.Eq -> Some (bool_val true)
+    | Value.Null _, Value.Null _, Instr.Ne -> Some (bool_val false)
+    | _ -> None)
+
+let fold_cast (op : Instr.castop) (v : Value.t) (ty : Ty.t) : Value.t option =
+  match op, v with
+  | Instr.Zext, Value.Int (i, _) -> Some (Value.Int (i, ty))
+  | Instr.Trunc, Value.Int (i, _) -> (
+    match ty.Ty.desc with
+    | Ty.I1 -> Some (Value.Int (Int64.logand i 1L, ty))
+    | Ty.I8 -> Some (Value.Int (Int64.logand i 0xffL, ty))
+    | _ -> Some (Value.Int (i, ty)))
+  | Instr.Sitofp, Value.Int (i, _) -> Some (Value.float_ (Int64.to_float i))
+  | Instr.Fptosi, Value.Float f -> Some (Value.int_ (Int64.of_float f))
+  | _ -> None
+
+(* One folding round over a function: returns the number of folds. *)
+let fold_round (f : Func.t) : int =
+  let subst : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  let rw (v : Value.t) =
+    match v with
+    | Value.Reg r -> (
+      match Hashtbl.find_opt subst r with Some c -> c | None -> v)
+    | _ -> v
+  in
+  let folds = ref 0 in
+  List.iter
+    (fun (b : Block.t) ->
+      b.Block.instrs <-
+        List.filter_map
+          (fun (i : Instr.t) ->
+            let op =
+              match i.Instr.op with
+              | Instr.Binop (o, a, b') -> Instr.Binop (o, rw a, rw b')
+              | Instr.Icmp (o, a, b') -> Instr.Icmp (o, rw a, rw b')
+              | Instr.Fcmp (o, a, b') -> Instr.Fcmp (o, rw a, rw b')
+              | Instr.Cast (o, v, ty) -> Instr.Cast (o, rw v, ty)
+              | Instr.Select (c, a, b') -> Instr.Select (rw c, rw a, rw b')
+              | Instr.Load p -> Instr.Load (rw p)
+              | Instr.Store (v, p) -> Instr.Store (rw v, rw p)
+              | Instr.Gep (ty, base, steps) ->
+                Instr.Gep
+                  ( ty,
+                    rw base,
+                    List.map
+                      (function
+                        | Instr.Field k -> Instr.Field k
+                        | Instr.Index v -> Instr.Index (rw v))
+                      steps )
+              | Instr.Call (n, args) -> Instr.Call (n, List.map rw args)
+              | Instr.Callind (fv, args) ->
+                Instr.Callind (rw fv, List.map rw args)
+              | Instr.Spawn (n, args) -> Instr.Spawn (n, List.map rw args)
+              | Instr.Phi entries ->
+                Instr.Phi (List.map (fun (l, v) -> (l, rw v)) entries)
+              | Instr.Alloca _ as op -> op
+            in
+            let folded =
+              match op with
+              | Instr.Binop (o, a, b') -> fold_binop o a b'
+              | Instr.Icmp (o, a, b') -> fold_icmp o a b'
+              | Instr.Cast (o, v, ty) -> fold_cast o v ty
+              | Instr.Select (Value.Int (c, _), a, b') ->
+                Some (if not (Int64.equal c 0L) then a else b')
+              | Instr.Phi entries -> (
+                (* a phi whose live entries agree on a single value (e.g.
+                   after branch folding removed the other arm) *)
+                match List.sort_uniq compare (List.map snd entries) with
+                | [ v ] when v <> Value.Reg i.Instr.id -> Some v
+                | _ -> None)
+              | _ -> None
+            in
+            match folded, Instr.defines i with
+            | Some c, Some id ->
+              Hashtbl.replace subst id c;
+              incr folds;
+              None
+            | _ -> Some { i with op })
+          b.Block.instrs;
+      b.Block.term <-
+        (match b.Block.term with
+        | Instr.Condbr (c, tl, fl) -> (
+          match rw c with
+          | Value.Int (v, _) ->
+            incr folds;
+            Instr.Br (if Int64.equal v 0L then fl else tl)
+          | c' -> Instr.Condbr (c', tl, fl))
+        | Instr.Ret (Some v) -> Instr.Ret (Some (rw v))
+        | t -> t))
+    f.Func.blocks;
+  !folds
+
+let run_func (f : Func.t) : int =
+  let total = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let n = fold_round f in
+    total := !total + n;
+    continue := n > 0
+  done;
+  if !total > 0 then ignore (Simplify.remove_unreachable_func f);
+  !total
+
+let run (m : Pmodule.t) : int =
+  List.fold_left (fun n f -> n + run_func f) 0 (Pmodule.funcs_sorted m)

@@ -1,0 +1,61 @@
+(* Dead-code elimination. The partitioner replicates every F instruction in
+   every chunk (paper §7.3.1) and relies on this pass to delete the copies
+   that turn out to be unused in a given chunk. *)
+
+open Privagic_pir
+
+(* An instruction is a root if it has a side effect (store, call). Everything
+   transitively reaching a root or a terminator operand is live. *)
+let run_func (f : Func.t) : int =
+  let live = Hashtbl.create 64 in
+  let def_of = Hashtbl.create 64 in
+  Func.iter_instrs f (fun _ i ->
+      match Instr.defines i with
+      | Some id -> Hashtbl.replace def_of id i
+      | None -> ());
+  let worklist = ref [] in
+  let mark_reg r =
+    match Hashtbl.find_opt def_of r with
+    | Some (i : Instr.t) ->
+      if not (Hashtbl.mem live i.id) then begin
+        Hashtbl.replace live i.id ();
+        worklist := i :: !worklist
+      end
+    | None -> () (* parameter *)
+  in
+  Func.iter_instrs f (fun _ i ->
+      if Instr.has_side_effect i then begin
+        (match Instr.defines i with
+        | Some id -> Hashtbl.replace live id ()
+        | None -> ());
+        worklist := i :: !worklist
+      end);
+  List.iter
+    (fun (b : Block.t) -> List.iter mark_reg (Instr.term_uses b.term))
+    f.blocks;
+  while !worklist <> [] do
+    let i = List.hd !worklist in
+    worklist := List.tl !worklist;
+    List.iter mark_reg (Instr.uses i)
+  done;
+  let removed = ref 0 in
+  List.iter
+    (fun (b : Block.t) ->
+      b.instrs <-
+        List.filter
+          (fun (i : Instr.t) ->
+            let keep =
+              Instr.has_side_effect i
+              ||
+              match Instr.defines i with
+              | Some id -> Hashtbl.mem live id
+              | None -> true
+            in
+            if not keep then incr removed;
+            keep)
+          b.instrs)
+    f.blocks;
+  !removed
+
+let run (m : Pmodule.t) : int =
+  List.fold_left (fun n f -> n + run_func f) 0 (Pmodule.funcs_sorted m)

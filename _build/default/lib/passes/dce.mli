@@ -1,0 +1,8 @@
+(** Dead-code elimination: instructions that neither have side effects nor
+    transitively reach one (or a terminator operand) are removed. The
+    partitioner relies on this to delete the per-chunk replicas of F
+    instructions that a chunk does not use (§7.3.1). Returns the number of
+    removed instructions. *)
+
+val run_func : Privagic_pir.Func.t -> int
+val run : Privagic_pir.Pmodule.t -> int

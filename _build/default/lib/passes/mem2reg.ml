@@ -1,0 +1,244 @@
+(* SSA promotion of allocas, the LLVM mem2reg pass the paper runs before
+   color inference (§5.1). A local variable is promoted only when its address
+   never escapes — exactly the condition under which the paper allows color
+   inference, since a non-escaping local cannot be touched by another
+   thread.
+
+   Standard algorithm: phi insertion at the iterated dominance frontier of
+   the store sites, then a renaming walk over the dominator tree. *)
+
+open Privagic_pir
+
+module SMap = Map.Make (String)
+
+type promotable = { preg : int; pty : Ty.t }
+
+(* An alloca is promotable iff every use of its address is a [Load] from it
+   or the *pointer* operand of a [Store]. Any other use (gep, call argument,
+   stored as a value, cast...) means the address escapes. *)
+let promotable_allocas (f : Func.t) : promotable list =
+  let allocas = Hashtbl.create 16 in
+  Func.iter_instrs f (fun _ i ->
+      match i.Instr.op with
+      | Instr.Alloca ty -> Hashtbl.replace allocas i.id { preg = i.id; pty = ty }
+      | _ -> ());
+  let disqualify r = Hashtbl.remove allocas r in
+  Func.iter_instrs f (fun _ i ->
+      match i.Instr.op with
+      | Instr.Load _ -> ()
+      | Instr.Store (v, _) ->
+        List.iter disqualify (Value.regs v) (* address stored as a value *)
+      | _ -> List.iter disqualify (Instr.uses i));
+  List.iter
+    (fun (b : Block.t) -> List.iter disqualify (Instr.term_uses b.term))
+    f.blocks;
+  (* Colored allocas are never promoted: their color is an explicit secure
+     type on a memory location, and the location must stay materialized so
+     that the partitioner can place it. *)
+  Hashtbl.fold
+    (fun _ p acc ->
+      match Ty.color_of p.pty with Some _ -> acc | None -> p :: acc)
+    allocas []
+  |> List.sort (fun a b -> Int.compare a.preg b.preg)
+
+let run_func (f : Func.t) : int =
+  let promoted = promotable_allocas f in
+  if promoted = [] then 0
+  else begin
+    let g = Cfg.of_func f in
+    let dom = Dom.dominators g in
+    let by_reg = Hashtbl.create 16 in
+    List.iter (fun p -> Hashtbl.replace by_reg p.preg p) promoted;
+    let is_promoted v =
+      match v with
+      | Value.Reg r -> Hashtbl.find_opt by_reg r
+      | _ -> None
+    in
+    (* Blocks containing a store to each promoted alloca. *)
+    let def_blocks = Hashtbl.create 16 in
+    Func.iter_instrs f (fun b i ->
+        match i.Instr.op with
+        | Instr.Store (_, p) -> (
+          match is_promoted p with
+          | Some a ->
+            let existing =
+              Option.value ~default:[] (Hashtbl.find_opt def_blocks a.preg)
+            in
+            if not (List.mem b.Block.label existing) then
+              Hashtbl.replace def_blocks a.preg (b.Block.label :: existing)
+          | None -> ())
+        | _ -> ());
+    (* Phi insertion at the iterated dominance frontier. phis maps
+       (block, alloca) -> phi register; entries are filled during renaming. *)
+    let phis : (string * int, int) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun a ->
+        let worklist =
+          ref (Option.value ~default:[] (Hashtbl.find_opt def_blocks a.preg))
+        in
+        let ever = Hashtbl.create 16 in
+        List.iter (fun b -> Hashtbl.replace ever b ()) !worklist;
+        while !worklist <> [] do
+          let x = List.hd !worklist in
+          worklist := List.tl !worklist;
+          List.iter
+            (fun y ->
+              if Cfg.reachable g y && not (Hashtbl.mem phis (y, a.preg)) then begin
+                Hashtbl.replace phis (y, a.preg) (Func.fresh_reg f);
+                if not (Hashtbl.mem ever y) then begin
+                  Hashtbl.replace ever y ();
+                  worklist := y :: !worklist
+                end
+              end)
+            (Dom.frontier dom x)
+        done)
+      promoted;
+    (* Renaming walk. subst maps deleted load results to reaching values. *)
+    let subst : (int, Value.t) Hashtbl.t = Hashtbl.create 64 in
+    let stacks : (int, Value.t list ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter (fun a -> Hashtbl.replace stacks a.preg (ref [])) promoted;
+    let top a =
+      match !(Hashtbl.find stacks a.preg) with
+      | v :: _ -> v
+      | [] -> Value.Undef a.pty
+    in
+    let rewrite_value v =
+      match v with
+      | Value.Reg r -> (
+        match Hashtbl.find_opt subst r with Some v' -> v' | None -> v)
+      | _ -> v
+    in
+    let rewrite_op op =
+      let rw = rewrite_value in
+      match op with
+      | Instr.Alloca _ -> op
+      | Instr.Load p -> Instr.Load (rw p)
+      | Instr.Store (v, p) -> Instr.Store (rw v, rw p)
+      | Instr.Binop (o, a, b) -> Instr.Binop (o, rw a, rw b)
+      | Instr.Icmp (o, a, b) -> Instr.Icmp (o, rw a, rw b)
+      | Instr.Fcmp (o, a, b) -> Instr.Fcmp (o, rw a, rw b)
+      | Instr.Cast (o, v, ty) -> Instr.Cast (o, rw v, ty)
+      | Instr.Gep (ty, base, steps) ->
+        Instr.Gep
+          ( ty,
+            rw base,
+            List.map
+              (function
+                | Instr.Field k -> Instr.Field k
+                | Instr.Index v -> Instr.Index (rw v))
+              steps )
+      | Instr.Call (callee, args) -> Instr.Call (callee, List.map rw args)
+      | Instr.Callind (fn, args) -> Instr.Callind (rw fn, List.map rw args)
+      | Instr.Phi entries ->
+        Instr.Phi (List.map (fun (l, v) -> (l, rw v)) entries)
+      | Instr.Select (c, a, b) -> Instr.Select (rw c, rw a, rw b)
+      | Instr.Spawn (f, args) -> Instr.Spawn (f, List.map rw args)
+    in
+    (* Dominator-tree children. *)
+    let children = Hashtbl.create 16 in
+    List.iter
+      (fun l ->
+        match Dom.idom dom l with
+        | Some p ->
+          Hashtbl.replace children p
+            (l :: Option.value ~default:[] (Hashtbl.find_opt children p))
+        | None -> ())
+      (Cfg.reverse_postorder g);
+    (* Phi entry accumulation: (block, phi_reg) -> entries. *)
+    let phi_entries : (int, (string * Value.t) list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    Hashtbl.iter
+      (fun _ phi_reg -> Hashtbl.replace phi_entries phi_reg (ref []))
+      phis;
+    let rec rename label =
+      let b = Func.find_block_exn f label in
+      let pushed = ref [] in
+      let push a v =
+        let st = Hashtbl.find stacks a.preg in
+        st := v :: !st;
+        pushed := a.preg :: !pushed
+      in
+      (* Phis defined in this block become the current definition. *)
+      List.iter
+        (fun a ->
+          match Hashtbl.find_opt phis (label, a.preg) with
+          | Some phi_reg -> push a (Value.Reg phi_reg)
+          | None -> ())
+        promoted;
+      let kept =
+        List.filter_map
+          (fun (i : Instr.t) ->
+            let op = rewrite_op i.op in
+            match op with
+            | Instr.Alloca _ when Hashtbl.mem by_reg i.id -> None
+            | Instr.Load p -> (
+              match is_promoted p with
+              | Some a ->
+                Hashtbl.replace subst i.id (top a);
+                None
+              | None -> Some { i with op })
+            | Instr.Store (v, p) -> (
+              match is_promoted p with
+              | Some a ->
+                push a v;
+                None
+              | None -> Some { i with op })
+            | _ -> Some { i with op })
+          b.instrs
+      in
+      b.instrs <- kept;
+      b.term <-
+        (match b.term with
+        | Instr.Condbr (c, t, fl) -> Instr.Condbr (rewrite_value c, t, fl)
+        | Instr.Ret (Some v) -> Instr.Ret (Some (rewrite_value v))
+        | t -> t);
+      (* Record phi entries in successors for the edge label -> succ. *)
+      List.iter
+        (fun succ ->
+          List.iter
+            (fun a ->
+              match Hashtbl.find_opt phis (succ, a.preg) with
+              | Some phi_reg ->
+                let entries = Hashtbl.find phi_entries phi_reg in
+                if not (List.mem_assoc label !entries) then
+                  entries := (label, top a) :: !entries
+              | None -> ())
+            promoted)
+        (Cfg.successors g label);
+      List.iter rename
+        (List.sort String.compare
+           (Option.value ~default:[] (Hashtbl.find_opt children label)));
+      List.iter
+        (fun preg ->
+          let st = Hashtbl.find stacks preg in
+          st := List.tl !st)
+        !pushed
+    in
+    (match Cfg.reverse_postorder g with
+    | [] -> ()
+    | entry :: _ -> rename entry);
+    (* Materialize the phi instructions at the head of their blocks. *)
+    Hashtbl.iter
+      (fun (label, preg) phi_reg ->
+        let a = Hashtbl.find by_reg preg in
+        let b = Func.find_block_exn f label in
+        let entries = !(Hashtbl.find phi_entries phi_reg) in
+        let preds = Cfg.predecessors g label in
+        let full =
+          List.map
+            (fun p ->
+              match List.assoc_opt p entries with
+              | Some v -> (p, v)
+              | None -> (p, Value.Undef a.pty))
+            preds
+        in
+        b.instrs <-
+          Instr.make ~id:phi_reg ~ty:a.pty (Instr.Phi full) :: b.instrs)
+      phis;
+    List.length promoted
+  end
+
+(* Returns the number of promoted allocas across the module. *)
+let run (m : Pmodule.t) : int =
+  List.fold_left (fun n f -> n + run_func f) 0 (Pmodule.funcs_sorted m)

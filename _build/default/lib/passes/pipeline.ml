@@ -1,0 +1,14 @@
+(* The standard pass pipeline run on frontend output before the secure type
+   analysis: verify, mem2reg (paper §5.1), verify again. *)
+
+open Privagic_pir
+
+type stats = { promoted : int; dce_removed : int }
+
+let prepare ?(dce = false) (m : Pmodule.t) : stats =
+  ignore (Simplify.remove_unreachable m);
+  Verify.check_module_exn m;
+  let promoted = Mem2reg.run m in
+  let dce_removed = if dce then Dce.run m else 0 in
+  Verify.check_module_exn m;
+  { promoted; dce_removed }

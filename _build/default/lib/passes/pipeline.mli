@@ -1,0 +1,7 @@
+(** The standard pass pipeline run on frontend output before the secure
+    type analysis: unreachable-block removal, verification, mem2reg
+    (§5.1), optional DCE, verification again. *)
+
+type stats = { promoted : int; dce_removed : int }
+
+val prepare : ?dce:bool -> Privagic_pir.Pmodule.t -> stats

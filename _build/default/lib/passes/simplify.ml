@@ -1,0 +1,32 @@
+(* CFG cleanup: removal of blocks unreachable from the entry (created by the
+   frontend after [return]/[break]/[continue]) and of phi entries whose
+   predecessor edge disappeared with them. Runs before mem2reg, whose renaming
+   walk only visits reachable blocks. *)
+
+open Privagic_pir
+
+let remove_unreachable_func (f : Func.t) : int =
+  let g = Cfg.of_func f in
+  let before = List.length f.Func.blocks in
+  f.Func.blocks <-
+    List.filter (fun (b : Block.t) -> Cfg.reachable g b.label) f.Func.blocks;
+  let kept label =
+    List.exists (fun (b : Block.t) -> String.equal b.label label) f.Func.blocks
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      b.instrs <-
+        List.map
+          (fun (i : Instr.t) ->
+            match i.op with
+            | Instr.Phi entries ->
+              { i with op = Instr.Phi (List.filter (fun (l, _) -> kept l) entries) }
+            | _ -> i)
+          b.instrs)
+    f.Func.blocks;
+  before - List.length f.Func.blocks
+
+let remove_unreachable (m : Pmodule.t) : int =
+  List.fold_left
+    (fun n f -> n + remove_unreachable_func f)
+    0 (Pmodule.funcs_sorted m)

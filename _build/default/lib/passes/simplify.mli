@@ -1,0 +1,7 @@
+(** CFG cleanup: removal of blocks unreachable from the entry (created by
+    the frontend after [return]/[break]/[continue], or by branch folding)
+    and of phi entries whose predecessor edge disappeared with them.
+    Returns the number of removed blocks. *)
+
+val remove_unreachable_func : Privagic_pir.Func.t -> int
+val remove_unreachable : Privagic_pir.Pmodule.t -> int

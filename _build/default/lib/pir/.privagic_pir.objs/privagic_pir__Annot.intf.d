@@ -1,0 +1,1 @@
+lib/pir/annot.mli: Format

@@ -1,0 +1,1 @@
+lib/pir/block.ml: Format Instr List String

@@ -1,0 +1,1 @@
+lib/pir/block.mli: Format Instr

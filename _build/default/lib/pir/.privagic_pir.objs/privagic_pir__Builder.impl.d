@@ -1,0 +1,1 @@
+lib/pir/builder.ml: Block Func Instr Pmodule Printf Ty Value

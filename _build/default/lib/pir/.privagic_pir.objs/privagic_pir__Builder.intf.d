@@ -1,0 +1,1 @@
+lib/pir/builder.mli: Func Instr Loc Pmodule Ty Value

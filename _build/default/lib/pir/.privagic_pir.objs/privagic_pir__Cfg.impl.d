@@ -1,0 +1,1 @@
+lib/pir/cfg.ml: Block Func Hashtbl Instr List Map Option String

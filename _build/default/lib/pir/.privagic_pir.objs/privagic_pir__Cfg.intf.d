@@ -1,0 +1,1 @@
+lib/pir/cfg.mli: Func

@@ -1,0 +1,1 @@
+lib/pir/color.ml: Format Int Map Set String

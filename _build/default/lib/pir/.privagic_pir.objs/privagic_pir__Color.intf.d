@@ -1,0 +1,1 @@
+lib/pir/color.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/pir/dom.ml: Cfg Hashtbl List String

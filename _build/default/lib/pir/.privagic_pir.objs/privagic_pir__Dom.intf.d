@@ -1,0 +1,1 @@
+lib/pir/dom.mli: Cfg

@@ -1,0 +1,1 @@
+lib/pir/func.ml: Annot Block Format List Printf String Ty

@@ -1,0 +1,1 @@
+lib/pir/func.mli: Annot Block Format Instr Ty

@@ -1,0 +1,1 @@
+lib/pir/instr.ml: Format List Loc Ty Value

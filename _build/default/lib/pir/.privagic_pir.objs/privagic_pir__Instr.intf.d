@@ -1,0 +1,1 @@
+lib/pir/instr.mli: Format Loc Ty Value

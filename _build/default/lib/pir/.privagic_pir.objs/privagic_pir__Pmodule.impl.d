@@ -1,0 +1,1 @@
+lib/pir/pmodule.ml: Annot Format Func Hashtbl List Loc Printf String Ty Value

@@ -1,0 +1,1 @@
+lib/pir/pmodule.mli: Annot Format Func Hashtbl Loc Ty Value

@@ -1,0 +1,1 @@
+lib/pir/ty.ml: Color Format List String

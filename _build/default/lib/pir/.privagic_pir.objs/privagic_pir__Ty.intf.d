@@ -1,0 +1,1 @@
+lib/pir/ty.mli: Color Format

@@ -1,0 +1,1 @@
+lib/pir/value.ml: Float Format Int64 String Ty

@@ -1,0 +1,1 @@
+lib/pir/value.mli: Format Ty

@@ -1,0 +1,1 @@
+lib/pir/verify.ml: Block Cfg Format Func Hashtbl Instr List Option Pmodule Printf String Ty Value

@@ -1,0 +1,1 @@
+lib/pir/verify.mli: Func Pmodule

@@ -1,0 +1,25 @@
+(* A basic block: a label, a straight-line instruction list, and one
+   terminator. Blocks are mutable because the passes (mem2reg, DCE, the
+   partitioner) rewrite them in place. *)
+
+type t = {
+  label : string;
+  mutable instrs : Instr.t list;
+  mutable term : Instr.term;
+}
+
+let make ?(instrs = []) ?(term = Instr.Unreachable) label =
+  { label; instrs; term }
+
+let successors b =
+  match b.term with
+  | Instr.Br l -> [ l ]
+  | Instr.Condbr (_, t, f) -> if String.equal t f then [ t ] else [ t; f ]
+  | Instr.Ret _ | Instr.Unreachable -> []
+
+let append b i = b.instrs <- b.instrs @ [ i ]
+
+let pp fmt b =
+  Format.fprintf fmt "%s:@." b.label;
+  List.iter (fun i -> Format.fprintf fmt "  %a@." Instr.pp i) b.instrs;
+  Format.fprintf fmt "  %a@." Instr.pp_term b.term

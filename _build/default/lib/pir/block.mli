@@ -1,0 +1,19 @@
+(** Basic blocks: a label, a straight-line instruction list, and one
+    terminator. Mutable because the rewriting passes (mem2reg, DCE, the
+    partitioner) edit them in place. *)
+
+type t = {
+  label : string;
+  mutable instrs : Instr.t list;
+  mutable term : Instr.term;
+}
+
+(** [make label] creates an empty block terminated by [Unreachable] (the
+    builder replaces it). *)
+val make : ?instrs:Instr.t list -> ?term:Instr.term -> string -> t
+
+(** Labels this block can branch to (deduplicated). *)
+val successors : t -> string list
+
+val append : t -> Instr.t -> unit
+val pp : Format.formatter -> t -> unit

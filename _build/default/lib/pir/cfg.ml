@@ -1,0 +1,62 @@
+(* Control-flow graph view of a function: successor and predecessor maps,
+   plus reverse-postorder traversal used by the dominator computation and by
+   the stabilizing color analysis. *)
+
+module SMap = Map.Make (String)
+
+type t = {
+  func : Func.t;
+  succs : string list SMap.t;
+  preds : string list SMap.t;
+  order : string list; (* reverse postorder from the entry block *)
+}
+
+let of_func (f : Func.t) =
+  let succs =
+    List.fold_left
+      (fun acc (b : Block.t) -> SMap.add b.label (Block.successors b) acc)
+      SMap.empty f.blocks
+  in
+  let preds =
+    List.fold_left
+      (fun acc (b : Block.t) ->
+        List.fold_left
+          (fun acc s ->
+            let existing = Option.value ~default:[] (SMap.find_opt s acc) in
+            SMap.add s (existing @ [ b.label ]) acc)
+          acc (Block.successors b))
+      (List.fold_left
+         (fun acc (b : Block.t) -> SMap.add b.label [] acc)
+         SMap.empty f.blocks)
+      f.blocks
+  in
+  (* Reverse postorder via DFS from the entry block. *)
+  let visited = Hashtbl.create 16 in
+  let post = ref [] in
+  let rec dfs label =
+    if not (Hashtbl.mem visited label) then begin
+      Hashtbl.add visited label ();
+      List.iter dfs (Option.value ~default:[] (SMap.find_opt label succs));
+      post := label :: !post
+    end
+  in
+  (match f.blocks with [] -> () | b :: _ -> dfs b.label);
+  { func = f; succs; preds; order = !post }
+
+let successors g label = Option.value ~default:[] (SMap.find_opt label g.succs)
+let predecessors g label = Option.value ~default:[] (SMap.find_opt label g.preds)
+
+(* Blocks in reverse postorder; unreachable blocks are excluded. *)
+let reverse_postorder g = g.order
+
+let reachable g label = List.exists (String.equal label) g.order
+
+(* Exit blocks: blocks terminated by Ret (or Unreachable). *)
+let exits g =
+  List.filter_map
+    (fun (b : Block.t) ->
+      match b.term with
+      | Instr.Ret _ -> Some b.label
+      | Instr.Unreachable -> if reachable g b.label then Some b.label else None
+      | Instr.Br _ | Instr.Condbr _ -> None)
+    g.func.Func.blocks

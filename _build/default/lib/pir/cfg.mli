@@ -1,0 +1,18 @@
+(** Control-flow-graph view of a function: successor/predecessor maps and
+    reverse-postorder traversal, shared by the dominator computation, the
+    verifier, and the stabilizing color analysis. *)
+
+type t
+
+val of_func : Func.t -> t
+val successors : t -> string -> string list
+val predecessors : t -> string -> string list
+
+(** Blocks in reverse postorder from the entry; unreachable blocks are
+    excluded. *)
+val reverse_postorder : t -> string list
+
+val reachable : t -> string -> bool
+
+(** Blocks terminated by [Ret] (plus reachable [Unreachable] blocks). *)
+val exits : t -> string list

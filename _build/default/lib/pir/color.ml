@@ -1,0 +1,38 @@
+type t =
+  | Free
+  | Unsafe
+  | Shared
+  | Named of string
+
+let equal a b =
+  match a, b with
+  | Free, Free | Unsafe, Unsafe | Shared, Shared -> true
+  | Named x, Named y -> String.equal x y
+  | (Free | Unsafe | Shared | Named _), _ -> false
+
+let rank = function Free -> 0 | Unsafe -> 1 | Shared -> 2 | Named _ -> 3
+
+let compare a b =
+  match a, b with
+  | Named x, Named y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let compatible a b = equal a b || equal a Free || equal b Free
+
+let is_enclave = function Named _ -> true | Free | Unsafe | Shared -> false
+
+let to_string = function
+  | Free -> "F"
+  | Unsafe -> "U"
+  | Shared -> "S"
+  | Named s -> s
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+module Ord = struct
+  type nonrec t = t
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

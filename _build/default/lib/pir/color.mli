@@ -1,0 +1,45 @@
+(** Secure-typing colors (paper §1, §5.3, Table 2).
+
+    A color identifies the enclave a value belongs to. Besides the
+    user-declared named colors ([Named "blue"]), the analysis uses three
+    built-in colors for unannotated elements:
+
+    - [Free]: registers/instructions whose color is still to be inferred; at
+      the end of the analysis a register that is still [Free] is not bound to
+      any enclave and is replicated in every chunk.
+    - [Unsafe]: unannotated memory in hardened mode. Incompatible with every
+      other color; a value loaded from [Unsafe] stays [Unsafe], which is what
+      blocks Iago attacks.
+    - [Shared]: unannotated memory in relaxed mode. Incompatible as a memory
+      color, but a value loaded from [Shared] becomes [Free]. *)
+
+type t =
+  | Free
+  | Unsafe
+  | Shared
+  | Named of string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** [compatible a b] is the paper's [a ~ b]: equal, or one side is [Free]. *)
+val compatible : t -> t -> bool
+
+(** [is_enclave c] is [true] for colors that denote an actual enclave, i.e.
+    [Named _]. [Unsafe] and [Shared] denote unsafe memory; [Free] denotes no
+    placement. *)
+val is_enclave : t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Total order usable as a [Map]/[Set] key. *)
+module Ord : sig
+  type nonrec t = t
+  val compare : t -> t -> int
+end
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,152 @@
+type t = {
+  root : string;
+  idom : (string, string) Hashtbl.t; (* absent for the root *)
+  nodes : string list;
+  succs : string -> string list;
+  preds : string -> string list;
+}
+
+(* Iterative dominator computation (Cooper, Harvey, Kennedy: "A Simple, Fast
+   Dominance Algorithm"). Works on any graph given entry, nodes in reverse
+   postorder, and a predecessor function. *)
+let compute ~root ~order ~preds ~succs =
+  let rpo_index = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace rpo_index n i) order;
+  let idom = Hashtbl.create 16 in
+  Hashtbl.replace idom root root;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while not (String.equal !a !b) do
+      while Hashtbl.find rpo_index !a > Hashtbl.find rpo_index !b do
+        a := Hashtbl.find idom !a
+      done;
+      while Hashtbl.find rpo_index !b > Hashtbl.find rpo_index !a do
+        b := Hashtbl.find idom !b
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        if not (String.equal n root) then begin
+          let processed_preds =
+            List.filter
+              (fun p -> Hashtbl.mem idom p && Hashtbl.mem rpo_index p)
+              (preds n)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if
+              (not (Hashtbl.mem idom n))
+              || not (String.equal (Hashtbl.find idom n) new_idom)
+            then begin
+              Hashtbl.replace idom n new_idom;
+              changed := true
+            end
+        end)
+      order
+  done;
+  Hashtbl.remove idom root;
+  { root; idom; nodes = order; succs; preds }
+
+let dominators (g : Cfg.t) =
+  let order = Cfg.reverse_postorder g in
+  match order with
+  | [] -> invalid_arg "Dom.dominators: empty CFG"
+  | root :: _ ->
+    compute ~root ~order
+      ~preds:(fun n -> Cfg.predecessors g n)
+      ~succs:(fun n -> Cfg.successors g n)
+
+let virtual_exit = "<exit>"
+
+let postdominators (g : Cfg.t) =
+  let exits = Cfg.exits g in
+  (* Reversed graph rooted at a virtual exit joined to every return block. *)
+  let succs n =
+    if String.equal n virtual_exit then exits else Cfg.predecessors g n
+  in
+  let preds n =
+    let from_exits =
+      if List.exists (String.equal n) exits then [ virtual_exit ] else []
+    in
+    from_exits @ Cfg.successors g n
+  in
+  (* Reverse postorder of the reversed graph. *)
+  let visited = Hashtbl.create 16 in
+  let post = ref [] in
+  let rec dfs n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.add visited n ();
+      List.iter dfs (succs n);
+      post := n :: !post
+    end
+  in
+  dfs virtual_exit;
+  compute ~root:virtual_exit ~order:!post ~preds ~succs
+
+let idom t n =
+  match Hashtbl.find_opt t.idom n with
+  | Some d when String.equal d virtual_exit -> None
+  | other -> other
+
+(* a dominates b iff walking b's idom chain reaches a (reflexive). *)
+let dominates t a b =
+  let rec walk n =
+    String.equal a n
+    || match Hashtbl.find_opt t.idom n with None -> false | Some d -> walk d
+  in
+  walk b
+
+(* Standard dominance-frontier construction from the idom tree: for every
+   join node y (>= 2 predecessors), walk each predecessor's idom chain up to
+   (but excluding) idom(y); every node passed gets y in its frontier. *)
+let frontier t n =
+  let df = ref [] in
+  let add y = if not (List.mem y !df) then df := y :: !df in
+  List.iter
+    (fun y ->
+      let preds = t.preds y in
+      if List.length preds >= 2 then
+        let stop = Hashtbl.find_opt t.idom y in
+        List.iter
+          (fun p ->
+            let rec walk runner =
+              let at_stop =
+                match stop with
+                | Some s -> String.equal runner s
+                | None -> false
+              in
+              if not at_stop then begin
+                if String.equal runner n then add y;
+                match Hashtbl.find_opt t.idom runner with
+                | Some d -> walk d
+                | None -> ()
+              end
+            in
+            walk p)
+          preds)
+    t.nodes;
+  !df
+
+let influence_region (g : Cfg.t) pdom branch =
+  let join = idom pdom branch in
+  let stop label =
+    match join with Some j -> String.equal label j | None -> false
+  in
+  let visited = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec walk label =
+    if (not (Hashtbl.mem visited label)) && not (stop label) then begin
+      Hashtbl.add visited label ();
+      acc := label :: !acc;
+      List.iter walk (Cfg.successors g label)
+    end
+  in
+  List.iter walk (Cfg.successors g branch);
+  List.filter (fun l -> not (String.equal l branch)) !acc

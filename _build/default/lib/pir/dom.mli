@@ -1,0 +1,32 @@
+(** Dominators and postdominators.
+
+    The mem2reg pass needs dominance to place phi nodes; the implicit-leak
+    rule (paper Rule 4, Fig. 4) needs postdominance to find the join point of
+    a conditional branch on a colored value: the blocks that are control
+    dependent on the branch — i.e. between the branch and its immediate
+    postdominator — inherit the branch color. *)
+
+type t
+
+(** Dominator tree of the function's CFG (iterative Cooper–Harvey–Kennedy). *)
+val dominators : Cfg.t -> t
+
+(** Postdominator tree: dominators of the reversed CFG with a virtual exit
+    connecting every return block. *)
+val postdominators : Cfg.t -> t
+
+(** [idom t label] is the immediate (post)dominator, [None] for the root
+    (or the virtual exit). *)
+val idom : t -> string -> string option
+
+(** [dominates t a b]: does [a] (post)dominate [b]? Reflexive. *)
+val dominates : t -> string -> string -> bool
+
+(** Dominance frontier of a block (only meaningful for forward dominators). *)
+val frontier : t -> string -> string list
+
+(** [influence_region cfg pdom branch]: the blocks control-dependent on the
+    terminator of [branch] — every block on a path from a successor of
+    [branch] to [branch]'s immediate postdominator, exclusive of the join
+    point itself. This is the region Rule 4 colors. *)
+val influence_region : Cfg.t -> t -> string -> string list

@@ -1,0 +1,157 @@
+type binop =
+  | Add | Sub | Mul | Sdiv | Srem
+  | And | Or | Xor | Shl | Ashr
+  | Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Eq | Ne | Slt | Sle | Sgt | Sge
+
+type castop =
+  | Bitcast
+  | Zext
+  | Trunc
+  | Sitofp
+  | Fptosi
+  | Ptrtoint
+  | Inttoptr
+
+type gep_step = Field of int | Index of Value.t
+
+type op =
+  | Alloca of Ty.t
+  | Load of Value.t
+  | Store of Value.t * Value.t
+  | Binop of binop * Value.t * Value.t
+  | Icmp of icmp * Value.t * Value.t
+  | Fcmp of icmp * Value.t * Value.t
+  | Cast of castop * Value.t * Ty.t
+  | Gep of Ty.t * Value.t * gep_step list
+  | Call of string * Value.t list
+  | Callind of Value.t * Value.t list
+  | Phi of (string * Value.t) list
+  | Select of Value.t * Value.t * Value.t
+  | Spawn of string * Value.t list
+
+type t = { id : int; ty : Ty.t; op : op; loc : Loc.t }
+
+type term =
+  | Br of string
+  | Condbr of Value.t * string * string
+  | Ret of Value.t option
+  | Unreachable
+
+let make ?(loc = Loc.none) ~id ~ty op = { id; ty; op; loc }
+
+let operands i =
+  match i.op with
+  | Alloca _ -> []
+  | Load p -> [ p ]
+  | Store (v, p) -> [ v; p ]
+  | Binop (_, a, b) | Icmp (_, a, b) | Fcmp (_, a, b) -> [ a; b ]
+  | Cast (_, v, _) -> [ v ]
+  | Gep (_, base, steps) ->
+    base
+    :: List.filter_map
+         (function Field _ -> None | Index v -> Some v)
+         steps
+  | Call (_, args) -> args
+  | Callind (f, args) -> f :: args
+  | Phi entries -> List.map snd entries
+  | Select (c, a, b) -> [ c; a; b ]
+  | Spawn (_, args) -> args
+
+let uses i = List.concat_map Value.regs (operands i)
+
+let term_uses = function
+  | Br _ | Unreachable | Ret None -> []
+  | Condbr (c, _, _) -> Value.regs c
+  | Ret (Some v) -> Value.regs v
+
+let defines i =
+  match i.op with
+  | Store _ -> None
+  | Call _ | Callind _ when Ty.equal i.ty Ty.void -> None
+  | _ -> Some i.id
+
+let has_side_effect i =
+  match i.op with
+  | Store _ | Call _ | Callind _ | Spawn _ -> true
+  | _ -> false
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Sdiv -> "sdiv"
+  | Srem -> "srem" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Ashr -> "ashr"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let icmp_name = function
+  | Eq -> "eq" | Ne -> "ne" | Slt -> "slt" | Sle -> "sle"
+  | Sgt -> "sgt" | Sge -> "sge"
+
+let castop_name = function
+  | Bitcast -> "bitcast" | Zext -> "zext" | Trunc -> "trunc"
+  | Sitofp -> "sitofp" | Fptosi -> "fptosi"
+  | Ptrtoint -> "ptrtoint" | Inttoptr -> "inttoptr"
+
+let pp_args fmt args =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    Value.pp fmt args
+
+let pp fmt i =
+  let def fmt = Format.fprintf fmt "%%%d = " i.id in
+  match i.op with
+  | Alloca ty -> Format.fprintf fmt "%t alloca %a" def Ty.pp ty
+  | Load p -> Format.fprintf fmt "%t load %a, %a" def Ty.pp i.ty Value.pp p
+  | Store (v, p) -> Format.fprintf fmt "store %a, %a" Value.pp v Value.pp p
+  | Binop (op, a, b) ->
+    Format.fprintf fmt "%t %s %a, %a" def (binop_name op) Value.pp a Value.pp b
+  | Icmp (op, a, b) ->
+    Format.fprintf fmt "%t icmp %s %a, %a" def (icmp_name op) Value.pp a
+      Value.pp b
+  | Fcmp (op, a, b) ->
+    Format.fprintf fmt "%t fcmp %s %a, %a" def (icmp_name op) Value.pp a
+      Value.pp b
+  | Cast (op, v, ty) ->
+    Format.fprintf fmt "%t %s %a to %a" def (castop_name op) Value.pp v Ty.pp
+      ty
+  | Gep (ty, base, steps) ->
+    let pp_step fmt = function
+      | Field k -> Format.fprintf fmt "field %d" k
+      | Index v -> Format.fprintf fmt "index %a" Value.pp v
+    in
+    Format.fprintf fmt "%t gep %a, %a [%a]" def Ty.pp ty Value.pp base
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_step)
+      steps
+  | Call (f, args) ->
+    if Ty.equal i.ty Ty.void then
+      Format.fprintf fmt "call @%s(%a)" f pp_args args
+    else Format.fprintf fmt "%t call %a @%s(%a)" def Ty.pp i.ty f pp_args args
+  | Callind (f, args) ->
+    if Ty.equal i.ty Ty.void then
+      Format.fprintf fmt "callind %a(%a)" Value.pp f pp_args args
+    else
+      Format.fprintf fmt "%t callind %a %a(%a)" def Ty.pp i.ty Value.pp f
+        pp_args args
+  | Phi entries ->
+    let pp_entry fmt (label, v) =
+      Format.fprintf fmt "[%a, %%%s]" Value.pp v label
+    in
+    Format.fprintf fmt "%t phi %a" def
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_entry)
+      entries
+  | Select (c, a, b) ->
+    Format.fprintf fmt "%t select %a, %a, %a" def Value.pp c Value.pp a
+      Value.pp b
+  | Spawn (f, args) -> Format.fprintf fmt "spawn @%s(%a)" f pp_args args
+
+let pp_term fmt = function
+  | Br label -> Format.fprintf fmt "br %%%s" label
+  | Condbr (c, t, f) ->
+    Format.fprintf fmt "br %a, %%%s, %%%s" Value.pp c t f
+  | Ret None -> Format.pp_print_string fmt "ret void"
+  | Ret (Some v) -> Format.fprintf fmt "ret %a" Value.pp v
+  | Unreachable -> Format.pp_print_string fmt "unreachable"

@@ -1,0 +1,71 @@
+(** PIR instructions and terminators. *)
+
+type binop =
+  | Add | Sub | Mul | Sdiv | Srem
+  | And | Or | Xor | Shl | Ashr
+  | Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Eq | Ne | Slt | Sle | Sgt | Sge
+
+type castop =
+  | Bitcast          (** pointer-to-pointer reinterpretation *)
+  | Zext             (** i1/i8 -> i64 *)
+  | Trunc            (** i64 -> i8/i1 *)
+  | Sitofp
+  | Fptosi
+  | Ptrtoint
+  | Inttoptr
+
+(** GEP-style address computation steps. [Field i] selects struct field [i];
+    [Index v] scales by the element size of an array/pointer. *)
+type gep_step = Field of int | Index of Value.t
+
+type op =
+  | Alloca of Ty.t                       (** stack slot; result is a pointer *)
+  | Load of Value.t                      (** load from pointer operand *)
+  | Store of Value.t * Value.t           (** [Store (v, p)] stores [v] at [p] *)
+  | Binop of binop * Value.t * Value.t
+  | Icmp of icmp * Value.t * Value.t
+  | Fcmp of icmp * Value.t * Value.t
+  | Cast of castop * Value.t * Ty.t
+  | Gep of Ty.t * Value.t * gep_step list
+      (** [Gep (pointee_ty, base, steps)]: address arithmetic rooted at
+          [base], whose pointee type is [pointee_ty]. *)
+  | Call of string * Value.t list
+  | Callind of Value.t * Value.t list    (** indirect call through a pointer *)
+  | Phi of (string * Value.t) list       (** one entry per CFG predecessor *)
+  | Select of Value.t * Value.t * Value.t
+  | Spawn of string * Value.t list
+      (** start a new application thread running the named function
+          (mini-C [spawn f(args)]; pthread_create in the paper's C) *)
+
+(** An instruction writes SSA register [id] (ignored when [ty] is void). *)
+type t = { id : int; ty : Ty.t; op : op; loc : Loc.t }
+
+type term =
+  | Br of string
+  | Condbr of Value.t * string * string
+  | Ret of Value.t option
+  | Unreachable
+
+val make : ?loc:Loc.t -> id:int -> ty:Ty.t -> op -> t
+
+(** Operand values read by the instruction. *)
+val operands : t -> Value.t list
+
+(** Registers read by the instruction. *)
+val uses : t -> int list
+
+(** Registers read by a terminator. *)
+val term_uses : term -> int list
+
+(** [defines i] is [Some i.id] when the instruction produces a value. *)
+val defines : t -> int option
+
+(** Whether the instruction has an effect observable outside the thread
+    (store to memory or any call): these are never dead-code-eliminated and
+    order-sensitive ones need synchronization barriers when partitioned. *)
+val has_side_effect : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_term : Format.formatter -> term -> unit

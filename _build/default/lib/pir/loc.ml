@@ -1,0 +1,16 @@
+(* Source locations carried from the mini-C frontend into PIR so that
+   secure-typing diagnostics can point back at the offending source line. *)
+
+type t = { file : string; line : int; col : int }
+
+let none = { file = "<none>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let is_none l = l.line = 0 && l.col = 0
+
+let pp fmt l =
+  if is_none l then Format.pp_print_string fmt "<no loc>"
+  else Format.fprintf fmt "%s:%d:%d" l.file l.line l.col
+
+let to_string l = Format.asprintf "%a" pp l

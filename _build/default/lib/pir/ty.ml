@@ -1,0 +1,91 @@
+type t = { desc : desc; color : Color.t option }
+
+and desc =
+  | Void
+  | I1
+  | I8
+  | I64
+  | F64
+  | Ptr of t
+  | Arr of t * int
+  | Struct of string
+  | Fun of t * t list
+
+let mk desc = { desc; color = None }
+
+let void = mk Void
+let i1 = mk I1
+let i8 = mk I8
+let i64 = mk I64
+let f64 = mk F64
+let ptr t = mk (Ptr t)
+let arr t n = mk (Arr (t, n))
+let struct_ name = mk (Struct name)
+let fun_ ret params = mk (Fun (ret, params))
+
+let colored c t = { t with color = Some c }
+
+let color_of t = t.color
+
+let rec equal ?(ignore_color = false) a b =
+  (ignore_color
+  ||
+  match a.color, b.color with
+  | None, None -> true
+  | Some x, Some y -> Color.equal x y
+  | None, Some _ | Some _, None -> false)
+  && equal_desc ~ignore_color a.desc b.desc
+
+and equal_desc ~ignore_color a b =
+  match a, b with
+  | Void, Void | I1, I1 | I8, I8 | I64, I64 | F64, F64 -> true
+  | Ptr x, Ptr y -> equal ~ignore_color x y
+  | Arr (x, n), Arr (y, m) -> n = m && equal ~ignore_color x y
+  | Struct x, Struct y -> String.equal x y
+  | Fun (r1, p1), Fun (r2, p2) ->
+    equal ~ignore_color r1 r2
+    && List.length p1 = List.length p2
+    && List.for_all2 (fun x y -> equal ~ignore_color x y) p1 p2
+  | (Void | I1 | I8 | I64 | F64 | Ptr _ | Arr _ | Struct _ | Fun _), _ -> false
+
+let deref t =
+  match t.desc with
+  | Ptr u -> u
+  | _ -> invalid_arg "Ty.deref: not a pointer"
+
+let is_pointer t = match t.desc with Ptr _ -> true | _ -> false
+
+let is_integer t = match t.desc with I1 | I8 | I64 -> true | _ -> false
+
+let is_float t = match t.desc with F64 -> true | _ -> false
+
+let rec sizeof ~structs t =
+  match t.desc with
+  | Void -> 0
+  | I1 | I8 -> 1
+  | I64 | F64 | Ptr _ | Fun _ -> 8
+  | Arr (u, n) -> n * sizeof ~structs u
+  | Struct name ->
+    List.fold_left (fun acc f -> acc + sizeof ~structs f) 0 (structs name)
+
+let rec pp fmt t =
+  (match t.color with
+  | Some c -> Format.fprintf fmt "color(%a) " Color.pp c
+  | None -> ());
+  match t.desc with
+  | Void -> Format.pp_print_string fmt "void"
+  | I1 -> Format.pp_print_string fmt "i1"
+  | I8 -> Format.pp_print_string fmt "i8"
+  | I64 -> Format.pp_print_string fmt "i64"
+  | F64 -> Format.pp_print_string fmt "f64"
+  | Ptr u -> Format.fprintf fmt "%a*" pp u
+  | Arr (u, n) -> Format.fprintf fmt "[%d x %a]" n pp u
+  | Struct name -> Format.fprintf fmt "%%%s" name
+  | Fun (ret, params) ->
+    Format.fprintf fmt "%a(%a)" pp ret
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp)
+      params
+
+let to_string t = Format.asprintf "%a" pp t

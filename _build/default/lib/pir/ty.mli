@@ -1,0 +1,61 @@
+(** PIR types.
+
+    PIR is a small LLVM-like typed IR. A type carries an optional color
+    qualifier, mirroring the paper's secure types: [int color(blue)] in
+    mini-C becomes [{ desc = I64; color = Some (Named "blue") }].
+
+    The color qualifies the *memory location* described by the type: for a
+    global, an alloca, or a struct field, it says in which enclave the
+    location lives. A pointer type [Ptr t] whose pointee [t] is colored is a
+    "pointer to blue" (paper rule 4). *)
+
+type t = { desc : desc; color : Color.t option }
+
+and desc =
+  | Void
+  | I1                       (** booleans / icmp results *)
+  | I8                       (** bytes, chars *)
+  | I64                      (** the only integer width mini-C exposes *)
+  | F64
+  | Ptr of t
+  | Arr of t * int
+  | Struct of string         (** reference to a named struct definition *)
+  | Fun of t * t list        (** return type, parameter types *)
+
+(** Uncolored constructors. *)
+
+val void : t
+val i1 : t
+val i8 : t
+val i64 : t
+val f64 : t
+val ptr : t -> t
+val arr : t -> int -> t
+val struct_ : string -> t
+val fun_ : t -> t list -> t
+
+(** [colored c t] is [t] requalified with color [c]. *)
+val colored : Color.t -> t -> t
+
+(** [color_of t] is the declared color, or [None]. *)
+val color_of : t -> Color.t option
+
+(** Structural equality. [ignore_color] (default [false]) compares the bare
+    shapes, which is what load/store well-formedness uses; the secure type
+    system separately enforces color agreement. *)
+val equal : ?ignore_color:bool -> t -> t -> bool
+
+(** [deref t] is the pointee of a pointer type.
+    @raise Invalid_argument if [t] is not a pointer. *)
+val deref : t -> t
+
+val is_pointer : t -> bool
+val is_integer : t -> bool
+val is_float : t -> bool
+
+(** [sizeof ~structs t] is the byte size used by the VM heap and the cache
+    model. [structs] resolves named struct references to their field lists. *)
+val sizeof : structs:(string -> t list) -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,107 @@
+(* Structural well-formedness checks for PIR modules, run after the frontend
+   and after every rewriting pass. These are the invariants the rest of the
+   pipeline assumes; violating them is a compiler bug, not a user error. *)
+
+let check_func (m : Pmodule.t) (f : Func.t) : string list =
+  let errors = ref [] in
+  let err fmt =
+    Format.kasprintf (fun s -> errors := Printf.sprintf "%s: %s" f.name s :: !errors) fmt
+  in
+  let defined = Hashtbl.create 64 in
+  List.iteri (fun i _ -> Hashtbl.replace defined i ()) f.params;
+  (* Pass 1: register definitions are unique. *)
+  Func.iter_instrs f (fun _ i ->
+      match Instr.defines i with
+      | None -> ()
+      | Some id ->
+        if Hashtbl.mem defined id then err "register %%%d defined twice" id
+        else Hashtbl.replace defined id ());
+  (* Pass 2: uses refer to defined registers; CFG targets exist; phi
+     predecessors match the CFG. *)
+  let g = Cfg.of_func f in
+  let block_exists l = Option.is_some (Func.find_block f l) in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          List.iter
+            (fun r ->
+              if not (Hashtbl.mem defined r) then
+                err "use of undefined register %%%d in %a" r Instr.pp i)
+            (Instr.uses i);
+          (match i.op with
+          | Instr.Call (callee, args) ->
+            let expected =
+              match Pmodule.find_func m callee with
+              | Some callee_f -> Some (Func.arity callee_f)
+              | None -> (
+                match Pmodule.find_extern m callee with
+                | Some e -> (
+                  match e.esig.Ty.desc with
+                  | Ty.Fun (_, params) -> Some (List.length params)
+                  | _ -> None)
+                | None ->
+                  err "call to unknown function @%s" callee;
+                  None)
+            in
+            (match expected with
+            | Some n when n <> List.length args ->
+              err "call to @%s with %d args, expected %d" callee
+                (List.length args) n
+            | _ -> ())
+          | Instr.Phi entries ->
+            let preds = Cfg.predecessors g b.label in
+            if Cfg.reachable g b.label then begin
+              List.iter
+                (fun (p, _) ->
+                  if not (List.exists (String.equal p) preds) then
+                    err "phi in %%%s mentions non-predecessor %%%s" b.label p)
+                entries;
+              List.iter
+                (fun p ->
+                  if not (List.exists (fun (q, _) -> String.equal p q) entries)
+                  then err "phi in %%%s misses predecessor %%%s" b.label p)
+                preds
+            end
+          | Instr.Load p | Instr.Store (_, p) -> (
+            match p with
+            | Value.Reg _ | Value.Global _ | Value.Str _ -> ()
+            | Value.Null _ -> err "memory access through null in %a" Instr.pp i
+            | Value.Int _ | Value.Float _ | Value.Func _ | Value.Undef _ ->
+              err "memory access through non-pointer in %a" Instr.pp i)
+          | _ -> ());
+          ())
+        b.instrs;
+      match b.term with
+      | Instr.Br l -> if not (block_exists l) then err "br to unknown %%%s" l
+      | Instr.Condbr (_, t, fl) ->
+        if not (block_exists t) then err "br to unknown %%%s" t;
+        if not (block_exists fl) then err "br to unknown %%%s" fl
+      | Instr.Ret _ | Instr.Unreachable -> ())
+    f.blocks;
+  (* Pass 3: globals referenced exist. *)
+  Func.iter_instrs f (fun _ i ->
+      List.iter
+        (function
+          | Value.Global gname ->
+            if Option.is_none (Pmodule.find_global m gname) then
+              err "reference to unknown global @%s" gname
+          | Value.Func fname ->
+            if
+              (not (Pmodule.is_defined m fname))
+              && Option.is_none (Pmodule.find_extern m fname)
+            then err "reference to unknown function @%s" fname
+          | _ -> ())
+        (Instr.operands i));
+  List.rev !errors
+
+let check_module (m : Pmodule.t) : (unit, string list) result =
+  let errors =
+    List.concat_map (fun f -> check_func m f) (Pmodule.funcs_sorted m)
+  in
+  if errors = [] then Ok () else Error errors
+
+exception Invalid of string list
+
+let check_module_exn m =
+  match check_module m with Ok () -> () | Error errs -> raise (Invalid errs)

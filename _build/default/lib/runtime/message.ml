@@ -1,0 +1,35 @@
+(* Inter-enclave messages of the Privagic runtime (paper §7.3.2).
+
+   - [Spawn] starts a missing chunk in the receiving worker; it names the
+     chunk (instance + color) and carries the arguments the receiving
+     enclave is allowed to see (its own color's and the constants).
+   - [Cont] carries an F value (relaxed mode only): a trampolined argument,
+     a returned value, or a barrier token.
+
+   This module documents the wire protocol; the payload type is generic
+   over the value representation. The partitioned VM keeps an equivalent
+   internal variant specialized to its runtime values (selective receive
+   over a mailbox); the envelopes here travel through the real lock-free
+   queue in the runtime tests. *)
+
+type 'v t =
+  | Spawn of {
+      chunk : string;            (* chunk name, e.g. "f@blue#blue" *)
+      args : 'v option array;    (* None = argument withheld (foreign color) *)
+      frame : int;               (* shared-frame id for S stack slots *)
+      seq : int;                 (* call sequence number, for matching *)
+    }
+  | Cont of {
+      seq : int;                 (* matches the call/barrier it belongs to *)
+      tag : cont_tag;
+      value : 'v option;
+    }
+
+and cont_tag =
+  | Arg of int                   (* trampolined F argument at position i *)
+  | Retval                       (* returned F value *)
+  | Token                        (* synchronization barrier token (§7.3.3) *)
+
+(* A timestamped envelope: virtual-time simulation attaches the sender's
+   clock plus the transfer cost so the receiver can advance causally. *)
+type 'v envelope = { sent_at : float; payload : 'v t }

@@ -1,0 +1,25 @@
+(** Lock-free multi-producer multi-consumer FIFO queue (Michael & Scott,
+    1996), the communication channel the Privagic runtime stores in unsafe
+    memory between worker threads (paper §7.3.2, refs [21, 28]).
+
+    The implementation relies on [Atomic] compare-and-set on the head and
+    tail pointers; OCaml's GC plays the role of the hazard pointers of the
+    original algorithm, so no manual reclamation is needed. Safe under true
+    parallelism (domains). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Enqueue at the tail. Lock-free: at least one of any set of concurrently
+    enqueueing threads makes progress. *)
+val push : 'a t -> 'a -> unit
+
+(** Dequeue from the head; [None] when the queue is observed empty. *)
+val pop : 'a t -> 'a option
+
+val is_empty : 'a t -> bool
+
+(** Snapshot length — exact only in quiescent states; used by tests and by
+    the simulator's queue-depth statistics. *)
+val length : 'a t -> int

@@ -1,0 +1,123 @@
+(* Deterministic virtual-time scheduler.
+
+   Workers are cooperative fibers (OCaml effect handlers). Each worker owns
+   a virtual clock (a [float ref] of simulated cycles) that its code
+   advances as it accounts work; a worker blocks by performing
+   [Block (cond, arrival)]: it becomes runnable again when [cond ()] holds,
+   and on resumption its clock jumps to at least [arrival ()] — the causal
+   timestamp of whatever it waited for. The scheduler always resumes the
+   runnable worker with the smallest clock, making the simulation a
+   deterministic discrete-event execution: no wall clock, no races,
+   reproducible benchmark numbers. *)
+
+type _ Effect.t +=
+  | Block : (unit -> bool) * (unit -> float) -> unit Effect.t
+
+type worker_state =
+  | Not_started of (float ref -> unit)
+  | Blocked of (unit -> bool) * (unit -> float)
+      * (unit, unit) Effect.Deep.continuation
+  | Running
+  | Finished
+
+type worker = {
+  wid : int;
+  name : string;
+  clock : float ref;
+  mutable state : worker_state;
+}
+
+type t = { mutable workers : worker list; mutable next_id : int;
+           mutable steps : int }
+
+exception Deadlock of string list
+
+let create () = { workers = []; next_id = 0; steps = 0 }
+
+let spawn t ~name ~at body =
+  let w =
+    { wid = t.next_id; name; clock = ref at; state = Not_started body }
+  in
+  t.next_id <- t.next_id + 1;
+  t.workers <- t.workers @ [ w ];
+  w
+
+(* Called from inside a worker fiber: wait until [cond] holds; the clock
+   then advances to at least [arrival ()]. *)
+let block cond arrival = Effect.perform (Block (cond, arrival))
+
+let handler (w : worker) =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> w.state <- Finished);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Block (cond, arrival) ->
+          Some
+            (fun (k : (a, unit) continuation) ->
+              w.state <- Blocked (cond, arrival, k))
+        | _ -> None);
+  }
+
+let step_worker w =
+  match w.state with
+  | Not_started body ->
+    w.state <- Running;
+    Effect.Deep.match_with (fun () -> body w.clock) () (handler w)
+  | Blocked (_, arrival, k) ->
+    w.clock := Float.max !(w.clock) (arrival ());
+    w.state <- Running;
+    Effect.Deep.continue k ()
+  | Running | Finished -> invalid_arg "Sched.step_worker"
+
+let runnable w =
+  match w.state with
+  | Not_started _ -> true
+  | Blocked (cond, _, _) -> cond ()
+  | Running | Finished -> false
+
+(* Run until every worker is finished or blocked on an unsatisfiable
+   condition. New workers spawned during the run are picked up. Workers
+   left blocked are not an error when [allow_blocked] — they are servers
+   waiting for their next message. *)
+let run ?(allow_blocked = true) ?(max_steps = max_int) t =
+  let continue = ref true in
+  while !continue do
+    t.steps <- t.steps + 1;
+    if t.steps > max_steps then failwith "Sched.run: step budget exceeded";
+    (* drop finished fibers so long sessions do not accumulate garbage *)
+    t.workers <-
+      List.filter (fun w -> match w.state with Finished -> false | _ -> true)
+        t.workers;
+    let candidates = List.filter runnable t.workers in
+    match candidates with
+    | [] ->
+      let blocked =
+        List.filter_map
+          (fun w ->
+            match w.state with Blocked _ -> Some w.name | _ -> None)
+          t.workers
+      in
+      if blocked <> [] && not allow_blocked then raise (Deadlock blocked);
+      continue := false
+    | first :: rest ->
+      let best =
+        List.fold_left
+          (fun best w ->
+            if
+              !(w.clock) < !(best.clock)
+              || (!(w.clock) = !(best.clock) && w.wid < best.wid)
+            then w
+            else best)
+          first rest
+      in
+      step_worker best
+  done
+
+(* Largest clock across workers: the makespan of the simulated execution. *)
+let max_clock t =
+  List.fold_left (fun acc w -> Float.max acc !(w.clock)) 0.0 t.workers
+
+let worker_count t = List.length t.workers

@@ -1,0 +1,55 @@
+(** Deterministic virtual-time scheduler.
+
+    Workers are cooperative fibers (OCaml effect handlers). Each worker
+    owns a virtual clock — a [float ref] of simulated cycles — that its
+    code advances as it accounts work. A worker blocks by performing
+    {!block}[ cond arrival]: it becomes runnable again when [cond ()]
+    holds, and on resumption its clock jumps to at least [arrival ()]
+    (the causal timestamp of whatever it waited for). The scheduler always
+    resumes the runnable worker with the smallest clock, which makes the
+    simulation a deterministic discrete-event execution. *)
+
+type worker_state =
+  | Not_started of (float ref -> unit)
+  | Blocked of (unit -> bool) * (unit -> float)
+      * (unit, unit) Effect.Deep.continuation
+  | Running
+  | Finished
+
+type worker = {
+  wid : int;
+  name : string;
+  clock : float ref;
+  mutable state : worker_state;
+}
+
+type t = {
+  mutable workers : worker list;
+  mutable next_id : int;
+  mutable steps : int;
+}
+
+exception Deadlock of string list
+(** Names of the workers blocked on unsatisfiable conditions (raised only
+    when [run ~allow_blocked:false]). *)
+
+val create : unit -> t
+
+(** [spawn t ~name ~at body] registers a fiber whose clock starts at [at];
+    it runs when the scheduler first picks it. May be called from inside a
+    running fiber. *)
+val spawn : t -> name:string -> at:float -> (float ref -> unit) -> worker
+
+(** Block the calling fiber; only valid inside a fiber run by {!run}. *)
+val block : (unit -> bool) -> (unit -> float) -> unit
+
+(** Run until every worker has finished or is blocked on a false condition.
+    Workers left blocked are servers awaiting messages unless
+    [allow_blocked] is [false], in which case {!Deadlock} is raised.
+    Finished fibers are pruned. *)
+val run : ?allow_blocked:bool -> ?max_steps:int -> t -> unit
+
+(** Largest clock across live workers (the makespan). *)
+val max_clock : t -> float
+
+val worker_count : t -> int

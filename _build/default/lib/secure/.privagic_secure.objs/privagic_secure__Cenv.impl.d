@@ -1,0 +1,1 @@
+lib/secure/cenv.ml: Color Func Hashtbl Instr List Mode Option Pmodule Privagic_pir Ty Value

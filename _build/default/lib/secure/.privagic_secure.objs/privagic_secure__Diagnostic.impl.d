@@ -1,0 +1,1 @@
+lib/secure/diagnostic.ml: Format Loc Privagic_pir

@@ -1,0 +1,1 @@
+lib/secure/diagnostic.mli: Format Loc Privagic_pir

@@ -1,0 +1,1 @@
+lib/secure/infer.ml: Annot Block Cenv Cfg Color Diagnostic Dom Format Func Hashtbl Instr List Loc Mode Option Pmodule Printf Privagic_pir String Ty Value

@@ -1,0 +1,1 @@
+lib/secure/infer.mli: Cfg Color Diagnostic Dom Format Func Hashtbl Instr Mode Pmodule Privagic_pir Ty

@@ -1,0 +1,1 @@
+lib/secure/mode.ml: Color Format Privagic_pir

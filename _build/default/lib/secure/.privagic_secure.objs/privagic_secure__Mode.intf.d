@@ -1,0 +1,1 @@
+lib/secure/mode.mli: Color Format Privagic_pir

@@ -1,0 +1,83 @@
+(* Static color environment: how declared types translate into the colors of
+   memory locations. All of these are syntactic facts independent of the
+   analysis state. *)
+
+open Privagic_pir
+
+(* Root color of a memory location's type: arrays inherit the color of their
+   elements ([char color(blue) name[256]] is blue memory). *)
+let rec root_color (ty : Ty.t) : Color.t option =
+  match Ty.color_of ty with
+  | Some c -> Some c
+  | None -> (
+    match ty.Ty.desc with Ty.Arr (elt, _) -> root_color elt | _ -> None)
+
+(* Color of the memory a pointer type points into; unannotated memory gets
+   the mode's default (Table 2). *)
+let pointee_color_of_ty mode (ty : Ty.t) : Color.t =
+  match ty.Ty.desc with
+  | Ty.Ptr t ->
+    Option.value ~default:(Mode.default_memory_color mode) (root_color t)
+  | _ -> Mode.default_memory_color mode
+
+(* Declared color of a global variable's storage. *)
+let global_color mode (g : Pmodule.global) : Color.t =
+  Option.value ~default:(Mode.default_memory_color mode) (root_color g.gty)
+
+(* Static types of all registers of a function: parameters then instruction
+   results. Used to recover the pointee color of pointer operands. *)
+let reg_types (f : Func.t) : (int, Ty.t) Hashtbl.t =
+  let tys = Hashtbl.create 64 in
+  List.iteri (fun i (_, ty) -> Hashtbl.replace tys i ty) f.Func.params;
+  Func.iter_instrs f (fun _ i ->
+      match Instr.defines i with
+      | Some id -> Hashtbl.replace tys id i.Instr.ty
+      | None -> ());
+  tys
+
+(* Value color of constant operands. Addresses are *not* secret values in
+   the paper's model (Fig. 3b stores &a, a pointer to blue memory, into an
+   unannotated global without error): rule 4 of §4 is a check on pointee
+   colors, enforced separately. All constants are therefore F. *)
+let const_color _mode (_m : Pmodule.t) (v : Value.t) : Color.t =
+  match v with
+  | Value.Reg _ -> invalid_arg "Cenv.const_color: register"
+  | Value.Global _ | Value.Int _ | Value.Float _ | Value.Str _ | Value.Func _
+  | Value.Null _ | Value.Undef _ ->
+    Color.Free
+
+(* Pointee color of a pointer operand: where does the memory it designates
+   live? *)
+let pointee_color mode (m : Pmodule.t) (reg_tys : (int, Ty.t) Hashtbl.t)
+    (p : Value.t) : Color.t =
+  match p with
+  | Value.Reg r -> (
+    match Hashtbl.find_opt reg_tys r with
+    | Some ty -> pointee_color_of_ty mode ty
+    | None -> Mode.default_memory_color mode)
+  | Value.Global g -> (
+    match Pmodule.find_global m g with
+    | Some gl -> global_color mode gl
+    | None -> Mode.default_memory_color mode)
+  | Value.Str _ ->
+    (* read-only constants are replicated per partition, hence F memory *)
+    Color.Free
+  | Value.Int _ | Value.Float _ | Value.Func _ | Value.Null _ | Value.Undef _
+    ->
+    Mode.default_memory_color mode
+
+(* Whether a struct mixes memory colors (§7.2): some enclave-colored field
+   plus either another color or unannotated fields. *)
+let is_multicolor_struct mode (m : Pmodule.t) (sname : string) : bool =
+  match Pmodule.find_struct m sname with
+  | None -> false
+  | Some s ->
+    let colors =
+      List.sort_uniq Color.compare
+        (List.map
+           (fun (_, ty) ->
+             Option.value ~default:(Mode.default_memory_color mode)
+               (root_color ty))
+           s.Pmodule.fields)
+    in
+    List.length colors > 1 && List.exists Color.is_enclave colors

@@ -1,0 +1,39 @@
+(* Secure-typing diagnostics. Each kind maps to one of the guarantees of §4:
+   confidentiality rules 1-5, integrity, and Iago protection, plus the two
+   structural restrictions (multi-color structures in hardened mode, §8;
+   F arguments crossing enclaves in hardened mode, §7.3.2). *)
+
+open Privagic_pir
+
+type kind =
+  | Confidentiality   (* a colored value would escape its enclave *)
+  | Integrity         (* a store into an enclave from outside it *)
+  | Iago              (* an enclave would consume an untrusted value *)
+  | Implicit_leak     (* rule 4: leak through a conditional (Fig. 4) *)
+  | Pointer_cast      (* rule 4 of §4: cast changing a pointee color *)
+  | Multicolor_struct (* §8: multi-color structure in hardened mode *)
+  | Cross_enclave_f   (* §7.3.2: F value crossing enclaves in hardened mode *)
+
+type t = {
+  kind : kind;
+  func : string;          (* specialized instance name *)
+  loc : Loc.t;
+  msg : string;
+}
+
+let kind_to_string = function
+  | Confidentiality -> "confidentiality"
+  | Integrity -> "integrity"
+  | Iago -> "iago"
+  | Implicit_leak -> "implicit-leak"
+  | Pointer_cast -> "pointer-cast"
+  | Multicolor_struct -> "multicolor-struct"
+  | Cross_enclave_f -> "cross-enclave-f"
+
+let make ~kind ~func ~loc msg = { kind; func; loc; msg }
+
+let pp fmt d =
+  Format.fprintf fmt "%a: [%s] in %s: %s" Loc.pp d.loc (kind_to_string d.kind)
+    d.func d.msg
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,27 @@
+(* The two compiler modes (paper §5, Table 2).
+
+   - Hardened: enforces confidentiality, integrity, and Iago protection.
+     Unannotated memory is U; a value loaded from U stays U, so an enclave
+     can never consume it.
+   - Relaxed: enforces confidentiality and integrity only. Unannotated
+     memory is S; a value loaded from S becomes F and may be consumed by an
+     enclave (the Iago attack surface the paper accepts in this mode). *)
+
+open Privagic_pir
+
+type t = Hardened | Relaxed
+
+let equal (a : t) (b : t) = a = b
+
+(* Color of unannotated memory locations (Table 2). *)
+let default_memory_color = function
+  | Hardened -> Color.Unsafe
+  | Relaxed -> Color.Shared
+
+(* Color of entry-point arguments and of values produced by the untrusted
+   world (external call results) (§6.2, §5.3). *)
+let entry_color = function Hardened -> Color.Unsafe | Relaxed -> Color.Free
+
+let to_string = function Hardened -> "hardened" | Relaxed -> "relaxed"
+
+let pp fmt m = Format.pp_print_string fmt (to_string m)

@@ -1,0 +1,26 @@
+(** The two compiler modes (paper §5, Table 2). *)
+
+open Privagic_pir
+
+type t =
+  | Hardened
+      (** Enforces confidentiality, integrity, and Iago protection.
+          Unannotated memory is U; values loaded from U stay U, so an
+          enclave can never consume them. *)
+  | Relaxed
+      (** Enforces confidentiality and integrity only. Unannotated memory
+          is S; values loaded from S become F and may be consumed inside
+          enclaves — the accepted Iago surface. Required for multi-color
+          structures (§7.2). *)
+
+val equal : t -> t -> bool
+
+(** Color given to unannotated memory locations (Table 2). *)
+val default_memory_color : t -> Color.t
+
+(** Color of entry-point arguments and of values produced by the untrusted
+    world (§6.2, §5.3): U in hardened mode, F in relaxed mode. *)
+val entry_color : t -> Color.t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sgx/machine.ml: Cache Config Cost

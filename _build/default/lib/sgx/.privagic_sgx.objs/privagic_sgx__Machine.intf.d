@@ -1,0 +1,1 @@
+lib/sgx/machine.mli: Cache Config Cost

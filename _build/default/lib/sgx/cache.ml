@@ -1,0 +1,85 @@
+(* Set-associative LRU cache model, used for the L1, the shared LLC, and —
+   at page granularity — the EPC working set. Addresses are simulated byte
+   addresses. The model only answers hit/miss; latencies live in [Cost]. *)
+
+type t = {
+  line_bits : int;              (* log2 of the line (or page) size *)
+  set_bits : int;               (* log2 of the number of sets *)
+  assoc : int;
+  sets : int array array;       (* per-set tags, LRU order: index 0 = MRU *)
+  lengths : int array;          (* valid entries per set *)
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let log2 n =
+  let rec go k v = if v >= n then k else go (k + 1) (v * 2) in
+  go 0 1
+
+(* [create ~size_bytes ~line_bytes ~assoc] builds a cache of the given total
+   capacity. Sizes are rounded up to powers of two. *)
+let create ~size_bytes ~line_bytes ~assoc =
+  let line_bits = log2 line_bytes in
+  let lines = max assoc (size_bytes / line_bytes) in
+  let sets = max 1 (lines / assoc) in
+  let set_bits = log2 sets in
+  let nsets = 1 lsl set_bits in
+  {
+    line_bits;
+    set_bits;
+    assoc;
+    sets = Array.init nsets (fun _ -> Array.make assoc (-1));
+    lengths = Array.make nsets 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+(* Access one line; true = hit. The caller splits multi-line accesses. *)
+let access_line t addr =
+  t.accesses <- t.accesses + 1;
+  let line = addr lsr t.line_bits in
+  let set_idx = line land ((1 lsl t.set_bits) - 1) in
+  let tag = line lsr t.set_bits in
+  let set = t.sets.(set_idx) in
+  let len = t.lengths.(set_idx) in
+  let rec find i = if i >= len then -1 else if set.(i) = tag then i else find (i + 1) in
+  let pos = find 0 in
+  if pos >= 0 then begin
+    (* move to front (LRU update) *)
+    for i = pos downto 1 do
+      set.(i) <- set.(i - 1)
+    done;
+    set.(0) <- tag;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let new_len = min t.assoc (len + 1) in
+    for i = new_len - 1 downto 1 do
+      set.(i) <- set.(i - 1)
+    done;
+    set.(0) <- tag;
+    t.lengths.(set_idx) <- new_len;
+    false
+  end
+
+(* Access [size] bytes at [addr]; returns the number of line misses and the
+   number of lines touched. *)
+let access t addr size =
+  let line_size = 1 lsl t.line_bits in
+  let first = addr lsr t.line_bits in
+  let last = (addr + max 1 size - 1) lsr t.line_bits in
+  let misses = ref 0 in
+  for line = first to last do
+    if not (access_line t (line lsl t.line_bits)) then incr misses
+  done;
+  ignore line_size;
+  (!misses, last - first + 1)
+
+let miss_ratio t =
+  if t.accesses = 0 then 0.0
+  else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0

@@ -1,0 +1,27 @@
+(** Set-associative LRU cache model, used for the L1, the shared LLC and —
+    at page granularity — the EPC working set. Addresses are simulated
+    byte addresses; the model answers hit/miss, latencies live in
+    {!Cost}. *)
+
+type t = {
+  line_bits : int;
+  set_bits : int;
+  assoc : int;
+  sets : int array array;
+  lengths : int array;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+(** [create ~size_bytes ~line_bytes ~assoc]; sizes round up to powers of
+    two. *)
+val create : size_bytes:int -> line_bytes:int -> assoc:int -> t
+
+(** Access one line; [true] = hit. *)
+val access_line : t -> int -> bool
+
+(** Access [size] bytes at [addr]; returns [(line_misses, lines_touched)]. *)
+val access : t -> int -> int -> int * int
+
+val miss_ratio : t -> float
+val reset_stats : t -> unit

@@ -1,0 +1,64 @@
+(* Hardware configurations. Machines A and B reproduce the paper's §9.1
+   setups; the cache hierarchy parameters are typical for those parts. *)
+
+type t = {
+  name : string;
+  freq_ghz : float;
+  l1_kib : int;
+  l1_assoc : int;
+  llc_kib : int;
+  llc_assoc : int;
+  line_bytes : int;
+  epc_mib : int;                (* usable EPC for enclave pages *)
+  sgx_version : int;
+}
+
+(* Intel i5-9500, 6 cores, SGX v1, 93 MiB usable EPC, 9 MiB LLC. *)
+let machine_a =
+  {
+    name = "machine-A (i5-9500, SGXv1)";
+    freq_ghz = 3.0;
+    l1_kib = 32;
+    l1_assoc = 8;
+    llc_kib = 9 * 1024;
+    llc_assoc = 12;
+    line_bytes = 64;
+    epc_mib = 93;
+    sgx_version = 1;
+  }
+
+(* Intel Xeon Gold 5415+, 16 CPUs, SGX v2, 8131 MiB EPC, 22.5 MiB LLC. *)
+let machine_b =
+  {
+    name = "machine-B (Xeon Gold 5415+, SGXv2)";
+    freq_ghz = 2.9;
+    l1_kib = 48;
+    l1_assoc = 12;
+    llc_kib = 22 * 1024 + 512;
+    llc_assoc = 15;
+    line_bytes = 64;
+    epc_mib = 8131;
+    sgx_version = 2;
+  }
+
+(* Machine B with the EPC scaled down 32x (8131 MiB -> 254 MiB). The
+   Fig. 8 sweep is scaled the same way (the paper's 1 MiB - 32 GiB becomes
+   1 MiB - 1 GiB), so the dataset crosses the LLC and the EPC at the same
+   relative points and the curve keeps its shape at simulable sizes. *)
+let machine_b_scaled =
+  { machine_b with name = "machine-B/32 (scaled EPC)"; epc_mib = 254 }
+
+(* A deliberately small machine for fast unit tests: a few KiB of cache so
+   that miss behaviour is exercised by tiny workloads. *)
+let machine_test =
+  {
+    name = "machine-test";
+    freq_ghz = 1.0;
+    l1_kib = 1;
+    l1_assoc = 2;
+    llc_kib = 8;
+    llc_assoc = 4;
+    line_bytes = 64;
+    epc_mib = 1;
+    sgx_version = 1;
+  }

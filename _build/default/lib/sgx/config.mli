@@ -1,0 +1,26 @@
+(** Hardware configurations (paper §9.1). *)
+
+type t = {
+  name : string;
+  freq_ghz : float;
+  l1_kib : int;
+  l1_assoc : int;
+  llc_kib : int;
+  llc_assoc : int;
+  line_bytes : int;
+  epc_mib : int;                (** usable EPC for enclave pages *)
+  sgx_version : int;
+}
+
+(** Intel i5-9500: SGX v1, 93 MiB EPC, 9 MiB LLC. *)
+val machine_a : t
+
+(** Intel Xeon Gold 5415+: SGX v2, 8131 MiB EPC, 22.5 MiB LLC. *)
+val machine_b : t
+
+(** Machine B with the EPC scaled 32x down, so the Fig. 8 sweep crosses
+    the LLC/EPC boundaries at simulable dataset sizes. *)
+val machine_b_scaled : t
+
+(** Tiny caches for fast unit tests. *)
+val machine_test : t

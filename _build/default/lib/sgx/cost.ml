@@ -1,0 +1,73 @@
+(* Latency model, in CPU cycles. Sources:
+   - enclave transitions and switchless calls: HotCalls [43] measures a
+     classic ECALL at ~8 600 cycles and a syscall at ~1 500; switchless
+     calls with a shared lock cost a few thousand cycles [40, 43];
+   - the lock-free FIFO message of the Privagic runtime is a couple of
+     cache-line transfers plus two atomics [40];
+   - an LLC miss served while the CPU runs in enclave mode is 5.6-9.5 times
+     more expensive than in normal mode (Eleos [30], quoted in §9.2.3);
+   - an EPC page fault costs tens of thousands of cycles (encryption,
+     eviction, TLB shootdown — VAULT [39]). *)
+
+type t = {
+  cycles_per_instr : float;
+  l1_hit : float;
+  llc_hit : float;
+  llc_miss : float;             (* normal-mode DRAM access *)
+  enclave_miss_factor : float;  (* in-enclave multiplier for LLC misses *)
+  epc_fault : float;
+  ecall : float;                (* classic EDL ECALL/OCALL round trip *)
+  switchless_lock : float;      (* SDK switchless call (lock-based) *)
+  queue_msg : float;            (* lock-free FIFO message transfer *)
+  syscall : float;              (* normal-mode syscall *)
+  enclave_syscall : float;      (* syscall issued from inside an enclave
+                                   through a switchless proxy (Scone) *)
+  thread_spawn : float;
+  auth_check : float;           (* verifying one authenticated pointer
+                                   (PAC-style MAC, §8 extension) *)
+}
+
+let default =
+  {
+    cycles_per_instr = 1.0;
+    l1_hit = 4.0;
+    llc_hit = 40.0;
+    llc_miss = 200.0;
+    enclave_miss_factor = 7.0;
+    epc_fault = 40_000.0;
+    ecall = 8_600.0;
+    (* lock-based switchless calls degrade badly under the 6-client
+       contention of the paper's setup [40, 43] *)
+    switchless_lock = 4_000.0;
+    queue_msg = 600.0;
+    syscall = 1_500.0;
+    (* syscall proxied out of the enclave by switchless threads, incl. the
+       in-enclave wait [5, 30] *)
+    enclave_syscall = 15_000.0;
+    thread_spawn = 20_000.0;
+    auth_check = 30.0;
+  }
+
+(* Unit-step model: one cycle per instruction, everything else free. Used
+   by the interleaving oracle, where virtual time must equal instruction
+   count so that schedules can be enumerated at instruction granularity. *)
+let unit_steps =
+  {
+    cycles_per_instr = 1.0;
+    l1_hit = 0.0;
+    llc_hit = 0.0;
+    llc_miss = 0.0;
+    enclave_miss_factor = 1.0;
+    epc_fault = 0.0;
+    ecall = 0.0;
+    switchless_lock = 0.0;
+    queue_msg = 0.0;
+    syscall = 0.0;
+    enclave_syscall = 0.0;
+    thread_spawn = 0.0;
+    auth_check = 0.0;
+  }
+
+(* Sensitivity variants used by the ablation benches. *)
+let with_queue_msg c v = { c with queue_msg = v }
+let with_enclave_miss_factor c v = { c with enclave_miss_factor = v }

@@ -1,0 +1,31 @@
+(** Latency model in CPU cycles. Sources: HotCalls [43] for transitions
+    and syscalls, FastSGX [40] for the lock-free message and the
+    contended lock-based switchless call, Eleos [30] for the in-enclave
+    LLC-miss multiplier (5.6–9.5x), VAULT [39] for EPC faults, SCONE [5]
+    for in-enclave proxied syscalls. Constants justified in
+    DESIGN.md §8.4. *)
+
+type t = {
+  cycles_per_instr : float;
+  l1_hit : float;
+  llc_hit : float;
+  llc_miss : float;
+  enclave_miss_factor : float;
+  epc_fault : float;
+  ecall : float;
+  switchless_lock : float;
+  queue_msg : float;
+  syscall : float;
+  enclave_syscall : float;
+  thread_spawn : float;
+  auth_check : float;
+}
+
+val default : t
+
+(** One cycle per instruction, everything else free: instruction-count
+    virtual time for the interleaving oracle. *)
+val unit_steps : t
+
+val with_queue_msg : t -> float -> t
+val with_enclave_miss_factor : t -> float -> t

@@ -1,0 +1,1 @@
+lib/vm/exec.ml: Array Block Buffer Func Hashtbl Heap Instr Int64 Layout List Pmodule Printf Privagic_pir Privagic_secure Privagic_sgx Rvalue Ty Value

@@ -1,0 +1,1 @@
+lib/vm/exec.mli: Buffer Func Hashtbl Heap Instr Layout Pmodule Privagic_pir Privagic_sgx Rvalue Ty

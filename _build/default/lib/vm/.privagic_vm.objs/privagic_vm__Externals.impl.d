@@ -1,0 +1,1 @@
+lib/vm/externals.ml: Array Buffer Exec Heap Int64 Printf Rvalue

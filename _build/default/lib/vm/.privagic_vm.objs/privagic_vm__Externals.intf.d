@@ -1,0 +1,1 @@
+lib/vm/externals.mli: Exec Heap Rvalue

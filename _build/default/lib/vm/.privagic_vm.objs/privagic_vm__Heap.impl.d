@@ -1,0 +1,1 @@
+lib/vm/heap.ml: Buffer Bytes Char Hashtbl Int64 String

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Buffer Exec Externals Hashtbl Heap Instr Layout Pmodule Privagic_pir Privagic_secure Privagic_sgx Rvalue Ty

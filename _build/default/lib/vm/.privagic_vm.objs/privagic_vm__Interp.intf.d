@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Exec Hashtbl Heap Privagic_pir Privagic_secure Privagic_sgx Rvalue

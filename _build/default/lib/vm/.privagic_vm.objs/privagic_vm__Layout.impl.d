@@ -1,0 +1,1 @@
+lib/vm/layout.ml: Array Cenv Color Hashtbl Heap Int64 List Mode Option Pmodule Privagic_pir Privagic_secure Ty

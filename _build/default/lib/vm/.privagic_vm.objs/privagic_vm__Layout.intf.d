@@ -1,0 +1,1 @@
+lib/vm/layout.mli: Color Hashtbl Heap Mode Pmodule Privagic_pir Privagic_secure Ty

@@ -1,0 +1,1 @@
+lib/vm/rvalue.ml: Float Format Int64

@@ -1,0 +1,1 @@
+lib/vm/rvalue.mli: Format

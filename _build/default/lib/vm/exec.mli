@@ -1,0 +1,80 @@
+(** Instruction-level executor shared by the plain interpreter ({!Interp})
+    and the partitioned one ({!Pinterp}). The driver supplies hooks for
+    everything that differs: call dispatch, thread spawning,
+    per-instruction preludes (barriers), stack-slot placement. Every
+    instruction charges [cycles_per_instr]; every memory access goes
+    through the cache model with the current CPU zone and the zone the
+    data lives in. *)
+
+open Privagic_pir
+module Sgx = Privagic_sgx
+
+exception Trap of string
+
+type t = {
+  m : Pmodule.t;
+  heap : Heap.t;
+  layout : Layout.t;
+  machine : Sgx.Machine.t;
+  globals : (string, int) Hashtbl.t;       (** global name -> address *)
+  func_addrs : (string, int) Hashtbl.t;    (** function pointers *)
+  addr_funcs : (int, string) Hashtbl.t;
+  out : Buffer.t;                          (** program output *)
+  mutable cpu : Sgx.Machine.zone;          (** current processor mode *)
+  mutable clock : float ref;               (** current worker's clock *)
+  mutable current_func : string;
+  mutable steps : int;
+  fuel : int;
+  data_map : Heap.zone -> Sgx.Machine.zone;
+  mutable hooks : hooks;
+  reg_ty_cache : (string, (int, Ty.t) Hashtbl.t) Hashtbl.t;
+}
+
+and hooks = {
+  h_call : t -> Instr.t -> string -> Rvalue.t array -> Rvalue.t;
+  h_callind : t -> Instr.t -> Rvalue.t -> Rvalue.t array -> Rvalue.t;
+  h_spawn : t -> Instr.t -> string -> Rvalue.t array -> unit;
+  h_pre_instr : t -> Instr.t -> unit;
+  h_alloca_zone : t -> Ty.t -> Heap.zone;
+}
+
+val default_data_map : Heap.zone -> Sgx.Machine.zone
+
+(** Add cycles to the current clock. *)
+val charge : t -> float -> unit
+
+(** Charge one access through the cache model. *)
+val charge_mem : t -> int -> int -> unit
+
+val charge_range : t -> int -> int -> unit
+
+val create :
+  ?fuel:int ->
+  ?data_map:(Heap.zone -> Sgx.Machine.zone) ->
+  Pmodule.t -> Heap.t -> Layout.t -> Sgx.Machine.t -> hooks -> t
+
+val func_addr : t -> string -> int
+val size_of_ty : t -> Ty.t -> int
+val scalar_size : Ty.t -> int
+
+(** Execute a function with the given arguments in registers 0..n-1.
+    @raise Trap on runtime errors (division by zero, unknown externals,
+    fuel exhaustion). *)
+val exec_func : t -> Func.t -> Rvalue.t array -> Rvalue.t
+
+(** Resolve an indirect-call target address back to a function name. *)
+val resolve_func : t -> Rvalue.t -> string
+
+(** Allocate every global in the zone [zone_of] assigns it and store the
+    initializers. *)
+val init_globals : t -> (string -> Heap.zone) -> unit
+
+(** §7.2 extension point: [alloc_node2] allocates the struct its
+    destination global points to (splitting multi-color fields) and
+    publishes the address through that global. *)
+val alloc_node2 :
+  t -> zone_for:(Ty.t -> Heap.zone) -> Instr.t -> Rvalue.t option
+
+(** Allocation-site analysis (§7.2): (function, malloc call id) -> the
+    struct type its result is cast to. *)
+val alloc_sites : Pmodule.t -> (string * int, Ty.t) Hashtbl.t

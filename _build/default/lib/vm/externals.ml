@@ -1,0 +1,161 @@
+(* Implementations of the external functions our mini-C programs declare.
+   These play the role of the paper's mini-libc ([within] helpers available
+   inside every enclave: malloc, memcpy, string helpers) and of the OS
+   interface (print_*/net_* are syscalls into the untrusted world).
+
+   [dispatch] returns [None] for names it does not know so that drivers can
+   fail with a clear trap. The caller decides where malloc's memory lives
+   (the enclave executing the within-call, per §6.3) and charges syscall
+   costs per its own policy. *)
+
+(* How many OS interactions an external performs. [net_recv] models the
+   event-loop read side of memcached (epoll_wait + two reads), [net_send]
+   the response (writev + event rearm); locks are futexes. Inside an
+   enclave each of these is an expensive switchless/exit-based call —
+   that difference is the heart of the Scone-vs-Privagic gap (§9.2.3). *)
+let syscall_weight = function
+  | "print_int" | "print_f64" | "print_str" | "puts" | "printf_hello"
+  | "log_msg" ->
+    1
+  | "net_recv" -> 3
+  | "net_send" -> 2
+  | "lock" | "unlock" -> 1
+  | "clock_tick" -> 1
+  | _ -> 0
+
+let is_syscall name = syscall_weight name > 0
+
+(* Bulk byte-copy of [n] bytes. Word-sized inner loop; costs are charged by
+   the caller as two range accesses. *)
+let copy_bytes (heap : Heap.t) ~dst ~src n =
+  let k = ref 0 in
+  while !k + 8 <= n do
+    Heap.store heap (dst + !k) 8 (Heap.load heap (src + !k) 8);
+    k := !k + 8
+  done;
+  while !k < n do
+    Heap.store heap (dst + !k) 1 (Heap.load heap (src + !k) 1);
+    k := !k + 1
+  done
+
+let set_bytes (heap : Heap.t) ~dst v n =
+  let word =
+    let b = Int64.of_int (v land 0xff) in
+    let rec go acc k = if k = 8 then acc else go (Int64.logor (Int64.shift_left acc 8) b) (k + 1) in
+    go 0L 0
+  in
+  let k = ref 0 in
+  while !k + 8 <= n do
+    Heap.store heap (dst + !k) 8 word;
+    k := !k + 8
+  done;
+  while !k < n do
+    Heap.store heap (dst + !k) 1 (Int64.of_int (v land 0xff));
+    k := !k + 1
+  done
+
+(* [dispatch t ~malloc_zone name args]: execute external [name]. *)
+let dispatch (t : Exec.t) ~(malloc_zone : Heap.zone) name
+    (args : Rvalue.t array) : Rvalue.t option =
+  let arg k = args.(k) in
+  let int_arg k = Rvalue.to_int (arg k) in
+  let addr_arg k = Rvalue.to_addr (arg k) in
+  match name with
+  | "malloc" ->
+    let size = max 1 (int_arg 0) in
+    Some (Rvalue.Ptr (Heap.alloc t.Exec.heap malloc_zone size))
+  | "calloc" ->
+    let size = max 1 (int_arg 0 * int_arg 1) in
+    let a = Heap.alloc t.Exec.heap malloc_zone size in
+    set_bytes t.Exec.heap ~dst:a 0 size;
+    Some (Rvalue.Ptr a)
+  | "free" ->
+    Heap.free t.Exec.heap (addr_arg 0) 0;
+    Some Rvalue.Unit
+  | "memcpy" | "classify" | "declassify" ->
+    let dst = addr_arg 0 and src = addr_arg 1 and n = int_arg 2 in
+    Exec.charge_range t src n;
+    Exec.charge_range t dst n;
+    copy_bytes t.Exec.heap ~dst ~src n;
+    Some (Rvalue.Ptr dst)
+  | "classify_i64" | "declassify_i64" ->
+    (* store one 64-bit value across a color boundary (§6.4) *)
+    let dst = addr_arg 0 in
+    Exec.charge_range t dst 8;
+    Heap.store t.Exec.heap dst 8 (Rvalue.to_int64 (arg 1));
+    Some Rvalue.Unit
+  | "memset" ->
+    let dst = addr_arg 0 and v = int_arg 1 and n = int_arg 2 in
+    Exec.charge_range t dst n;
+    set_bytes t.Exec.heap ~dst v n;
+    Some (Rvalue.Ptr dst)
+  | "memcmp" ->
+    let a = addr_arg 0 and b = addr_arg 1 and n = int_arg 2 in
+    Exec.charge_range t a n;
+    Exec.charge_range t b n;
+    let rec go k =
+      if k >= n then 0
+      else
+        let x = Int64.to_int (Heap.load t.Exec.heap (a + k) 1)
+        and y = Int64.to_int (Heap.load t.Exec.heap (b + k) 1) in
+        if x = y then go (k + 1) else compare x y
+    in
+    Some (Rvalue.Int (Int64.of_int (go 0)))
+  | "strncpy" ->
+    let dst = addr_arg 0 and src = addr_arg 1 and n = int_arg 2 in
+    Exec.charge_range t src n;
+    Exec.charge_range t dst n;
+    let rec go k stopped =
+      if k < n then
+        if stopped then begin
+          Heap.store t.Exec.heap (dst + k) 1 0L;
+          go (k + 1) true
+        end
+        else
+          let b = Heap.load t.Exec.heap (src + k) 1 in
+          Heap.store t.Exec.heap (dst + k) 1 b;
+          go (k + 1) (Int64.equal b 0L)
+    in
+    go 0 false;
+    Some (Rvalue.Ptr dst)
+  | "strcmp" ->
+    let a = addr_arg 0 and b = addr_arg 1 in
+    let rec go k =
+      let x = Int64.to_int (Heap.load t.Exec.heap (a + k) 1)
+      and y = Int64.to_int (Heap.load t.Exec.heap (b + k) 1) in
+      if x <> y then compare x y else if x = 0 then 0 else go (k + 1)
+    in
+    let r = go 0 in
+    Exec.charge_range t a 8;
+    Exec.charge_range t b 8;
+    Some (Rvalue.Int (Int64.of_int r))
+  | "strlen" ->
+    let a = addr_arg 0 in
+    let rec go k =
+      if Int64.equal (Heap.load t.Exec.heap (a + k) 1) 0L then k else go (k + 1)
+    in
+    let n = go 0 in
+    Exec.charge_range t a (n + 1);
+    Some (Rvalue.Int (Int64.of_int n))
+  | "print_int" ->
+    Buffer.add_string t.Exec.out (Int64.to_string (Rvalue.to_int64 (arg 0)));
+    Buffer.add_char t.Exec.out '\n';
+    Some Rvalue.Unit
+  | "print_f64" ->
+    Buffer.add_string t.Exec.out (Printf.sprintf "%g\n" (Rvalue.to_float (arg 0)));
+    Some Rvalue.Unit
+  | "print_str" ->
+    Buffer.add_string t.Exec.out (Heap.read_string t.Exec.heap (addr_arg 0));
+    Buffer.add_char t.Exec.out '\n';
+    Some Rvalue.Unit
+  | "puts" | "log_msg" ->
+    Buffer.add_string t.Exec.out (Heap.read_string t.Exec.heap (addr_arg 0));
+    Buffer.add_char t.Exec.out '\n';
+    Some Rvalue.Unit
+  | "printf_hello" ->
+    Buffer.add_string t.Exec.out "Hello\n";
+    Some Rvalue.Unit
+  | "net_send" | "net_recv" | "lock" | "unlock" | "clock_tick" ->
+    (* modeled as pure syscall cost; payloads are handled by the harness *)
+    Some (Rvalue.Int 0L)
+  | _ -> None

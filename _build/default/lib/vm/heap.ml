@@ -1,0 +1,253 @@
+(* Zoned, sparse, byte-addressed simulated memory.
+
+   Each zone (unsafe memory, one per enclave, read-only data) owns a 2 GiB
+   slice of a single flat address space; allocation is a bump pointer per
+   zone. Storage is sparse — 4 KiB pages materialized on first touch — so
+   simulating multi-hundred-MiB datasets only costs memory for the pages a
+   workload actually writes. Address 0 is never mapped (null). *)
+
+type zone = Unsafe | Enclave of string | Rodata
+
+let zone_equal a b =
+  match a, b with
+  | Unsafe, Unsafe | Rodata, Rodata -> true
+  | Enclave x, Enclave y -> String.equal x y
+  | _ -> false
+
+let zone_to_string = function
+  | Unsafe -> "U"
+  | Rodata -> "rodata"
+  | Enclave e -> e
+
+let region_bits = 31 (* 2 GiB per zone *)
+let page_bits = 12
+
+type region = {
+  zone : zone;
+  base : int;
+  mutable brk : int; (* next free offset *)
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable live_bytes : int;
+}
+
+type t = {
+  mutable regions : region list;
+  by_zone : (string, region) Hashtbl.t;
+  strings : (string, int) Hashtbl.t; (* interned rodata strings *)
+  mutable region_count : int;
+}
+
+exception Fault of int * string
+
+let create () =
+  {
+    regions = [];
+    by_zone = Hashtbl.create 8;
+    strings = Hashtbl.create 16;
+    region_count = 0;
+  }
+
+let zone_key = function
+  | Unsafe -> "\000U"
+  | Rodata -> "\000R"
+  | Enclave e -> e
+
+let stack_key zone = "\001stack:" ^ zone_key zone
+
+let region_for t zone =
+  let key = zone_key zone in
+  match Hashtbl.find_opt t.by_zone key with
+  | Some r -> r
+  | None ->
+    t.region_count <- t.region_count + 1;
+    let r =
+      {
+        zone;
+        base = t.region_count lsl region_bits;
+        brk = 16; (* offset 0 of the first region would be null *)
+        pages = Hashtbl.create 64;
+        live_bytes = 0;
+      }
+    in
+    Hashtbl.replace t.by_zone key r;
+    t.regions <- r :: t.regions;
+    r
+
+let find_region t addr =
+  let rec go = function
+    | [] -> raise (Fault (addr, "unmapped address"))
+    | r :: rest ->
+      if addr >= r.base && addr < r.base + (1 lsl region_bits) then r
+      else go rest
+  in
+  go t.regions
+
+let zone_of t addr = (find_region t addr).zone
+
+(* Bump allocation. Small objects are 8-byte aligned; objects of a cache
+   line or more are line-aligned, as size-class allocators do — this also
+   keeps simulated cache behaviour independent of the incidental phase of
+   earlier allocations in the zone. *)
+let alloc t zone size =
+  let r = region_for t zone in
+  let align = if size >= 64 then 64 else 8 in
+  let off = (r.brk + align - 1) land lnot (align - 1) in
+  let aligned = (size + align - 1) land lnot (align - 1) in
+  if off + aligned >= 1 lsl region_bits then
+    raise (Fault (r.base + off, "zone exhausted"));
+  r.brk <- off + aligned;
+  r.live_bytes <- r.live_bytes + aligned;
+  r.base + off
+
+(* Stack slots live in a dedicated region per zone so that they do not
+   perturb the heap layout; [reset_stacks] rewinds them between requests
+   (frames of one request nest, and nothing refers to a dead frame),
+   which also models the cache locality of a reused stack. *)
+let region_for_key t zone key =
+  match Hashtbl.find_opt t.by_zone key with
+  | Some r -> r
+  | None ->
+    t.region_count <- t.region_count + 1;
+    let r =
+      {
+        zone;
+        base = t.region_count lsl region_bits;
+        brk = 16;
+        pages = Hashtbl.create 64;
+        live_bytes = 0;
+      }
+    in
+    Hashtbl.replace t.by_zone key r;
+    t.regions <- r :: t.regions;
+    r
+
+let alloc_stack t zone size =
+  let r = region_for_key t zone (stack_key zone) in
+  let aligned = (size + 7) land lnot 7 in
+  let off = r.brk in
+  if off + aligned >= 1 lsl region_bits then
+    raise (Fault (r.base + off, "stack zone exhausted"));
+  r.brk <- off + aligned;
+  r.base + off
+
+let reset_stacks t =
+  Hashtbl.iter
+    (fun key r ->
+      if String.length key > 1 && key.[0] = '\001' then r.brk <- 16)
+    t.by_zone
+
+let free t addr size =
+  match find_region t addr with
+  | r -> r.live_bytes <- max 0 (r.live_bytes - ((size + 7) land lnot 7))
+  | exception Fault _ -> ()
+
+let page_of r off =
+  let pno = off lsr page_bits in
+  match Hashtbl.find_opt r.pages pno with
+  | Some p -> p
+  | None ->
+    let p = Bytes.make (1 lsl page_bits) '\000' in
+    Hashtbl.replace r.pages pno p;
+    p
+
+let load_byte t addr =
+  if addr = 0 then raise (Fault (0, "null dereference"));
+  let r = find_region t addr in
+  let off = addr - r.base in
+  let p = page_of r off in
+  Char.code (Bytes.get p (off land ((1 lsl page_bits) - 1)))
+
+let store_byte t addr b =
+  if addr = 0 then raise (Fault (0, "null dereference"));
+  let r = find_region t addr in
+  let off = addr - r.base in
+  let p = page_of r off in
+  Bytes.set p (off land ((1 lsl page_bits) - 1)) (Char.chr (b land 0xff))
+
+(* Little-endian loads/stores of 1..8 bytes. Fast path: the access stays
+   inside one 4 KiB page (the common case — allocations are 8-aligned). *)
+let page_mask = (1 lsl page_bits) - 1
+
+let load t addr size : int64 =
+  if addr = 0 then raise (Fault (0, "null dereference"));
+  let r = find_region t addr in
+  let off = addr - r.base in
+  let in_page = off land page_mask in
+  if in_page + size <= 1 lsl page_bits then begin
+    let p = page_of r off in
+    if size = 8 then Bytes.get_int64_le p in_page
+    else begin
+      let v = ref 0L in
+      for k = size - 1 downto 0 do
+        v :=
+          Int64.logor (Int64.shift_left !v 8)
+            (Int64.of_int (Char.code (Bytes.get p (in_page + k))))
+      done;
+      !v
+    end
+  end
+  else begin
+    let v = ref 0L in
+    for k = size - 1 downto 0 do
+      v :=
+        Int64.logor (Int64.shift_left !v 8)
+          (Int64.of_int (load_byte t (addr + k)))
+    done;
+    !v
+  end
+
+let store t addr size (v : int64) =
+  if addr = 0 then raise (Fault (0, "null dereference"));
+  let r = find_region t addr in
+  let off = addr - r.base in
+  let in_page = off land page_mask in
+  if in_page + size <= 1 lsl page_bits then begin
+    let p = page_of r off in
+    if size = 8 then Bytes.set_int64_le p in_page v
+    else
+      for k = 0 to size - 1 do
+        Bytes.set p (in_page + k)
+          (Char.chr
+             (Int64.to_int
+                (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xffL)))
+      done
+  end
+  else
+    for k = 0 to size - 1 do
+      store_byte t (addr + k)
+        (Int64.to_int
+           (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xffL))
+    done
+
+let load_f64 t addr = Int64.float_of_bits (load t addr 8)
+let store_f64 t addr f = store t addr 8 (Int64.bits_of_float f)
+
+(* Intern a string literal in rodata; returns its address (NUL-terminated). *)
+let intern_string t s =
+  match Hashtbl.find_opt t.strings s with
+  | Some addr -> addr
+  | None ->
+    let addr = alloc t Rodata (String.length s + 1) in
+    String.iteri (fun k c -> store_byte t (addr + k) (Char.code c)) s;
+    store_byte t (addr + String.length s) 0;
+    Hashtbl.replace t.strings s addr;
+    addr
+
+(* Read a NUL-terminated string back (diagnostics, print_str). *)
+let read_string ?(max = 4096) t addr =
+  let buf = Buffer.create 16 in
+  let rec go k =
+    if k < max then
+      let b = load_byte t (addr + k) in
+      if b <> 0 then begin
+        Buffer.add_char buf (Char.chr b);
+        go (k + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let live_bytes t zone =
+  match Hashtbl.find_opt t.by_zone (zone_key zone) with
+  | Some r -> r.live_bytes
+  | None -> 0

@@ -1,0 +1,127 @@
+(* Plain (unpartitioned) interpreter. Used for:
+   - functional reference runs (golden outputs for the partitioned VM),
+   - the Unprotected baseline (everything in normal mode),
+   - the Scone-like baseline (the whole application, data included, inside
+     one enclave; syscalls become in-enclave switchless calls).
+
+   Spawned threads run synchronously at the spawn point — the plain
+   interpreter is a sequential reference; the interleaving explorer for the
+   Fig. 3 experiment lives in the dataflow library. *)
+
+open Privagic_pir
+module Sgx = Privagic_sgx
+
+type policy = {
+  p_name : string;
+  p_cpu : Sgx.Machine.zone;
+  p_zone : Heap.zone;                       (* where all data lives *)
+  p_entry_overhead : Sgx.Machine.t -> float; (* charged per entry call *)
+}
+
+(* Entry overhead: calling an exported function is free for the unprotected
+   and Scone configurations — any OS interaction (network, locks) is
+   modeled by the program's own extern calls, whose cost depends on the
+   CPU zone. The Intel SDK port instead pays its ECALL at every entry. *)
+let unprotected =
+  {
+    p_name = "unprotected";
+    p_cpu = Sgx.Machine.Normal;
+    p_zone = Heap.Unsafe;
+    p_entry_overhead = (fun _ -> 0.0);
+  }
+
+(* Scone: the complete application and its data live in one enclave; every
+   request enters through the network stack, i.e. in-enclave syscalls
+   served by switchless threads (§9.2.3). *)
+let scone =
+  {
+    p_name = "scone";
+    p_cpu = Sgx.Machine.Enclave "scone";
+    p_zone = Heap.Enclave "scone";
+    p_entry_overhead = (fun _ -> 0.0);
+  }
+
+(* The single-enclave Intel SDK port (Intel-sdk-1, §9.3): the whole data
+   structure lives in one enclave and every exported operation is one
+   lock-based switchless ECALL. *)
+let intel_sdk =
+  {
+    p_name = "intel-sdk";
+    p_cpu = Sgx.Machine.Enclave "sdk";
+    p_zone = Heap.Enclave "sdk";
+    p_entry_overhead = (fun m -> Sgx.Machine.switchless_cost m);
+  }
+
+type t = {
+  exec : Exec.t;
+  policy : policy;
+  sites : (string * int, Ty.t) Hashtbl.t;
+  mutable spawned : int;
+}
+
+let rec hooks policy sites : Exec.hooks =
+  {
+    Exec.h_call =
+      (fun ex i callee args ->
+        match Pmodule.find_func ex.Exec.m callee with
+        | Some f -> Exec.exec_func ex f args
+        | None -> extern_call policy sites ex i callee args);
+    h_callind =
+      (fun ex i fv args ->
+        let name = Exec.resolve_func ex fv in
+        (hooks policy sites).Exec.h_call ex i name args);
+    h_spawn =
+      (fun ex _i callee args ->
+        Exec.charge ex (Sgx.Machine.thread_spawn_cost ex.Exec.machine);
+        match Pmodule.find_func ex.Exec.m callee with
+        | Some f -> ignore (Exec.exec_func ex f args)
+        | None -> raise (Exec.Trap ("spawn of unknown function " ^ callee)));
+    h_pre_instr = (fun _ _ -> ());
+    h_alloca_zone = (fun _ _ -> policy.p_zone);
+  }
+
+and extern_call policy sites ex (i : Instr.t) callee args =
+  (* multi-color allocation sites go through the layout allocator *)
+  let tagged =
+    match i.Instr.op with
+    | Instr.Call ("malloc", _) ->
+      Hashtbl.find_opt sites (ex.Exec.current_func, i.Instr.id)
+    | _ -> None
+  in
+  match tagged with
+  | Some sty ->
+    Rvalue.Ptr (Layout.alloc ex.Exec.layout ex.Exec.heap policy.p_zone sty)
+  | None -> (
+    match Exec.alloc_node2 ex ~zone_for:(fun _ -> policy.p_zone) i with
+    | Some r -> r
+    | None -> (
+      for _ = 1 to Externals.syscall_weight callee do
+        Exec.charge ex
+          (Sgx.Machine.syscall_cost ex.Exec.machine ~zone:policy.p_cpu)
+      done;
+      match Externals.dispatch ex ~malloc_zone:policy.p_zone callee args with
+      | Some r -> r
+      | None -> raise (Exec.Trap ("unknown external @" ^ callee))))
+
+let create ?(config = Sgx.Config.machine_b) ?cost ?(mode = Privagic_secure.Mode.Relaxed)
+    (m : Pmodule.t) (policy : policy) : t =
+  let machine = Sgx.Machine.create ?cost config in
+  let heap = Heap.create () in
+  let layout = Layout.create m mode in
+  let sites = Exec.alloc_sites m in
+  let ex = Exec.create m heap layout machine (hooks policy sites) in
+  ex.Exec.cpu <- policy.p_cpu;
+  Exec.init_globals ex (fun _ -> policy.p_zone);
+  { exec = ex; policy; sites; spawned = 0 }
+
+(* Execute an exported function; returns the value, charging the per-entry
+   overhead of the policy. *)
+let call t name (args : Rvalue.t list) : Rvalue.t =
+  let f = Pmodule.find_func_exn t.exec.Exec.m name in
+  Heap.reset_stacks t.exec.Exec.heap;
+  Exec.charge t.exec (t.policy.p_entry_overhead t.exec.Exec.machine);
+  Exec.exec_func t.exec f (Array.of_list args)
+
+let clock t = !(t.exec.Exec.clock)
+let output t = Buffer.contents t.exec.Exec.out
+let machine t = t.exec.Exec.machine

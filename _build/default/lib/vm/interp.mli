@@ -1,0 +1,47 @@
+(** Plain (unpartitioned) interpreter: the functional reference and the
+    whole-program baselines. Spawned threads run synchronously at the
+    spawn point (sequential reference semantics); the interleaving
+    explorer for Fig. 3 lives in the dataflow library. *)
+
+module Sgx = Privagic_sgx
+
+type policy = {
+  p_name : string;
+  p_cpu : Sgx.Machine.zone;                  (** processor mode *)
+  p_zone : Heap.zone;                        (** where all data lives *)
+  p_entry_overhead : Sgx.Machine.t -> float; (** charged per entry call *)
+}
+
+(** Normal mode, data in normal memory, free entry. *)
+val unprotected : policy
+
+(** Everything inside one enclave; syscalls are proxied (expensive);
+    datasets beyond the EPC page. *)
+val scone : policy
+
+(** The single-enclave Intel-SDK port: one lock-based switchless ECALL per
+    exported operation. *)
+val intel_sdk : policy
+
+type t = {
+  exec : Exec.t;
+  policy : policy;
+  sites : (string * int, Privagic_pir.Ty.t) Hashtbl.t;
+  mutable spawned : int;
+}
+
+val create :
+  ?config:Sgx.Config.t ->
+  ?cost:Sgx.Cost.t ->
+  ?mode:Privagic_secure.Mode.t ->
+  Privagic_pir.Pmodule.t ->
+  policy ->
+  t
+
+(** Execute an exported function (resets the stacks, charges the policy's
+    entry overhead). *)
+val call : t -> string -> Rvalue.t list -> Rvalue.t
+
+val clock : t -> float
+val output : t -> string
+val machine : t -> Sgx.Machine.t

@@ -1,0 +1,59 @@
+(** Data layout, including the multi-color structure rewriting of §7.2.
+
+    A structure whose fields do not all share one memory color cannot stay
+    packed (an enclave is contiguous in the address space): each colored
+    field of a multi-color struct becomes an indirection slot, the pointed
+    storage allocated in the field's enclave; accessing such a field costs
+    one extra load. With [auth_pointers] (§8 extension) the slot also
+    carries a PAC-style MAC that {!field_address} verifies. Single-color
+    structs keep the plain packed layout. *)
+
+open Privagic_pir
+open Privagic_secure
+
+type field_slot =
+  | Inline of int * int            (** offset, byte size *)
+  | Indirect of int * Color.t * int
+      (** slot offset, field color, pointee byte size *)
+
+type struct_layout = {
+  ls_name : string;
+  ls_size : int;                   (** rewritten size *)
+  ls_fields : field_slot array;
+  ls_multicolor : bool;
+}
+
+type t = {
+  m : Pmodule.t;
+  mode : Mode.t;
+  auth : bool;
+  structs : (string, struct_layout) Hashtbl.t;
+}
+
+(** The MAC over a pointer value (models the integrity tag, not
+    cryptographic strength). *)
+val mac : int -> int64
+
+val zone_of_color : Color.t -> Heap.zone
+val create : ?auth_pointers:bool -> Pmodule.t -> Mode.t -> t
+
+(** Rewritten byte size (indirection slots count 8, or 16 with auth). *)
+val sizeof : t -> Ty.t -> int
+
+val struct_layout : t -> string -> struct_layout
+
+(** Allocate a value, splitting multi-color structs across zones and
+    initializing the indirection slots (and MACs). *)
+val alloc : t -> Heap.t -> Heap.zone -> Ty.t -> int
+
+(** Same, on the zone's stack region. *)
+val alloc_stack : t -> Heap.t -> Heap.zone -> Ty.t -> int
+
+(** Field address; [true] when an indirection was followed (the caller
+    charges its cost).
+    @raise Heap.Fault with "pointer authentication failure" when the MAC
+    does not match the stored pointer. *)
+val field_address : t -> Heap.t -> string -> int -> int -> int * bool
+
+(** Address of the indirection slot itself (what the cache model sees). *)
+val field_slot_address : t -> string -> int -> int -> int

@@ -1,0 +1,52 @@
+(* Runtime values of the VM. Pointers are simulated byte addresses into the
+   zoned heap; everything is 64-bit. *)
+
+type t =
+  | Int of int64
+  | Flt of float
+  | Ptr of int
+  | Unit
+
+let zero = Int 0L
+
+let to_int64 = function
+  | Int i -> i
+  | Ptr p -> Int64.of_int p
+  | Flt f -> Int64.of_float f
+  | Unit -> 0L
+
+let to_int v = Int64.to_int (to_int64 v)
+
+let to_float = function
+  | Flt f -> f
+  | Int i -> Int64.to_float i
+  | Ptr p -> float_of_int p
+  | Unit -> 0.0
+
+let to_addr = function
+  | Ptr p -> p
+  | Int i -> Int64.to_int i
+  | Flt _ | Unit -> invalid_arg "Rvalue.to_addr"
+
+let truthy = function
+  | Int i -> not (Int64.equal i 0L)
+  | Ptr p -> p <> 0
+  | Flt f -> f <> 0.0
+  | Unit -> false
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> Int64.equal x y
+  | Flt x, Flt y -> Float.equal x y
+  | Ptr x, Ptr y -> x = y
+  | Unit, Unit -> true
+  | (Int _ | Ptr _), (Int _ | Ptr _) -> Int64.equal (to_int64 a) (to_int64 b)
+  | _ -> false
+
+let pp fmt = function
+  | Int i -> Format.fprintf fmt "%Ld" i
+  | Flt f -> Format.fprintf fmt "%g" f
+  | Ptr p -> Format.fprintf fmt "0x%x" p
+  | Unit -> Format.pp_print_string fmt "()"
+
+let to_string v = Format.asprintf "%a" pp v

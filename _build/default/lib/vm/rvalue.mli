@@ -1,0 +1,23 @@
+(** Runtime values of the VM: 64-bit integers, floats, and simulated byte
+    addresses. *)
+
+type t =
+  | Int of int64
+  | Flt of float
+  | Ptr of int   (** a simulated byte address into the zoned heap *)
+  | Unit
+
+val zero : t
+val to_int64 : t -> int64
+val to_int : t -> int
+val to_float : t -> float
+
+(** @raise Invalid_argument on [Flt]/[Unit]. *)
+val to_addr : t -> int
+
+(** C truthiness: nonzero / non-null. *)
+val truthy : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/workloads/programs.ml: Array List Printf Str_replace String

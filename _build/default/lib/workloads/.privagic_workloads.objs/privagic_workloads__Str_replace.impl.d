@@ -1,0 +1,1 @@
+lib/workloads/str_replace.ml: Buffer String

@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Bytes Char Int64 List

@@ -1,0 +1,801 @@
+(* The mini-C programs of the evaluation (§9), each in two variants:
+   [`Colored] — the Privagic version with explicit secure types — and
+   [`Plain] — the legacy version the paper starts from (runs unprotected or
+   under the Scone-like baseline). The variants differ only in the
+   annotation lines, so the engineering-effort experiment (§9.2.1, §9.3.1)
+   counts modified lines by diffing the two sources.
+
+   Substitution tokens:
+   $(CB)   -> "color(blue)" | ""          field/pointer colors
+   $(CR)   -> "color(red)"  | ""          second color (two-color variants)
+   $(COPYIN)/$(COPYOUT) -> classify/declassify | memcpy
+   $(DECLK) -> colored key localization | plain copy
+   $(SETI64) -> declassify_i64 | plain store *)
+
+type variant = [ `Colored | `Plain ]
+
+let substitute (bindings : (string * string) list) (template : string) : string
+    =
+  List.fold_left
+    (fun acc (key, value) ->
+      Str_replace.replace_all acc ~pattern:(Printf.sprintf "$(%s)" key)
+        ~with_:value)
+    template bindings
+
+(* Count the lines that differ between two sources (the paper's "modified
+   lines of code" metric): lines of the colored variant not present in the
+   plain one, via a longest-common-subsequence diff so that multi-line
+   substitutions do not shift the comparison. *)
+let modified_lines a b =
+  let split s =
+    List.filter
+      (fun l -> l <> "")
+      (List.map String.trim (String.split_on_char '\n' s))
+  in
+  let la = Array.of_list (split a) and lb = Array.of_list (split b) in
+  let n = Array.length la and m = Array.length lb in
+  let dp = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      dp.(i).(j) <-
+        (if String.equal la.(i) lb.(j) then 1 + dp.(i + 1).(j + 1)
+         else max dp.(i + 1).(j) dp.(i).(j + 1))
+    done
+  done;
+  (* changed lines on the colored side: additions + modifications *)
+  n - dp.(0).(0)
+
+let common_externs = {|
+within extern void* malloc(int n);
+within extern void free(void* p);
+within extern char* memcpy(char* dst, char* src, int n);
+ignore extern void classify(char* dst, char* src, int n);
+ignore extern void declassify(char* dst, char* src, int n);
+ignore extern void classify_i64(int* dst, int v);
+ignore extern void declassify_i64(int* dst, int v);
+|}
+
+let bindings (v : variant) ~nbuckets ~vsize =
+  let colored = v = `Colored in
+  [
+    ("CB", if colored then "color(blue)" else "");
+    ("CR", if colored then "color(red)" else "");
+    ("COPYIN", if colored then "classify" else "memcpy");
+    ("COPYOUT", if colored then "declassify" else "memcpy");
+    ( "DECLK",
+      if colored then
+        "int color(blue) kslot;\n  classify_i64(&kslot, key);\n  int k = kslot;"
+      else "int k = key;" );
+    ( "SETSTATUS",
+      if colored then "declassify_i64(&rstatus, fnd);"
+      else "rstatus = fnd;" );
+    ( "SETCOUNT",
+      if colored then "declassify_i64(&rstatus, count);"
+      else "rstatus = count;" );
+    ( "SETGIDX",
+      if colored then "declassify_i64(&gidx, hval(k));" else "gidx = hval(k);"
+    );
+    ( "SETGPOS",
+      if colored then "declassify_i64(&gpos, fnd);" else "gpos = fnd;" );
+    ("NB", string_of_int nbuckets);
+    ("MASK", string_of_int (nbuckets - 1));
+    ("VSIZE", string_of_int vsize);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* hashmap with separate chaining (§9.3): one color protects the whole
+   data structure *)
+
+let hashmap_template = common_externs ^ {|
+struct node {
+  int $(CB) key;
+  char $(CB) value[$(VSIZE)];
+  struct node $(CB)* $(CB) next;
+};
+
+struct node $(CB)* $(CB) table[$(NB)];
+int $(CB) count;
+int rstatus;
+
+int hidx(int k) {
+  int h = k * 40503;
+  h = h + (k >> 16);
+  return h & $(MASK);
+}
+
+entry void hm_put(int key, char* value) {
+  $(DECLK)
+  int idx = hidx(k);
+  struct node* n = table[idx];
+  int ex = 0;
+  while (n != NULL) {
+    if (n->key == k) {
+      $(COPYIN)(n->value, value, $(VSIZE));
+      ex = 1;
+    }
+    n = n->next;
+  }
+  if (ex == 0) {
+    struct node* m = (struct node $(CB)*) malloc(sizeof(struct node));
+    m->key = k;
+    $(COPYIN)(m->value, value, $(VSIZE));
+    m->next = table[idx];
+    table[idx] = m;
+    count = count + 1;
+  }
+}
+
+entry int hm_get(int key, char* out) {
+  $(DECLK)
+  int idx = hidx(k);
+  int fnd = 0;
+  struct node* n = table[idx];
+  while (n != NULL) {
+    if (n->key == k) {
+      $(COPYOUT)(out, n->value, $(VSIZE));
+      fnd = 1;
+    }
+    n = n->next;
+  }
+  $(SETSTATUS)
+  return rstatus;
+}
+
+entry int hm_size() {
+  $(SETCOUNT)
+  return rstatus;
+}
+|}
+
+let hashmap ?(nbuckets = 4096) ?(vsize = 1024) (v : variant) =
+  substitute (bindings v ~nbuckets ~vsize) hashmap_template
+
+(* ------------------------------------------------------------------ *)
+(* singly linked list used as a map (§9.3) *)
+
+let linked_list_template = common_externs ^ {|
+struct lnode {
+  int $(CB) key;
+  char $(CB) value[$(VSIZE)];
+  struct lnode $(CB)* $(CB) next;
+};
+
+struct lnode $(CB)* $(CB) head;
+int $(CB) count;
+int rstatus;
+
+entry void ll_put(int key, char* value) {
+  $(DECLK)
+  struct lnode* n = head;
+  int ex = 0;
+  while (n != NULL) {
+    if (n->key == k) {
+      $(COPYIN)(n->value, value, $(VSIZE));
+      ex = 1;
+    }
+    n = n->next;
+  }
+  if (ex == 0) {
+    struct lnode* m = (struct lnode $(CB)*) malloc(sizeof(struct lnode));
+    m->key = k;
+    $(COPYIN)(m->value, value, $(VSIZE));
+    m->next = head;
+    head = m;
+    count = count + 1;
+  }
+}
+
+entry int ll_get(int key, char* out) {
+  $(DECLK)
+  int fnd = 0;
+  struct lnode* n = head;
+  while (n != NULL) {
+    if (n->key == k) {
+      $(COPYOUT)(out, n->value, $(VSIZE));
+      fnd = 1;
+    }
+    n = n->next;
+  }
+  $(SETSTATUS)
+  return rstatus;
+}
+|}
+
+let linked_list ?(vsize = 1024) (v : variant) =
+  substitute (bindings v ~nbuckets:16 ~vsize) linked_list_template
+
+(* ------------------------------------------------------------------ *)
+(* red-black tree used as an ordered map (§9.3's balanced treemap) *)
+
+let rbtree_template = common_externs ^ {|
+struct tnode {
+  int $(CB) key;
+  int $(CB) red;
+  char $(CB) value[$(VSIZE)];
+  struct tnode $(CB)* $(CB) left;
+  struct tnode $(CB)* $(CB) right;
+  struct tnode $(CB)* $(CB) parent;
+};
+
+struct tnode $(CB)* $(CB) root;
+int $(CB) count;
+int rstatus;
+
+void rotate_left(struct tnode $(CB)* x) {
+  struct tnode* y = x->right;
+  x->right = y->left;
+  if (y->left != NULL) y->left->parent = x;
+  y->parent = x->parent;
+  if (x->parent == NULL) root = y;
+  else {
+    if (x == x->parent->left) x->parent->left = y;
+    else x->parent->right = y;
+  }
+  y->left = x;
+  x->parent = y;
+}
+
+void rotate_right(struct tnode $(CB)* x) {
+  struct tnode* y = x->left;
+  x->left = y->right;
+  if (y->right != NULL) y->right->parent = x;
+  y->parent = x->parent;
+  if (x->parent == NULL) root = y;
+  else {
+    if (x == x->parent->right) x->parent->right = y;
+    else x->parent->left = y;
+  }
+  y->right = x;
+  x->parent = y;
+}
+
+void insert_fixup(struct tnode $(CB)* z) {
+  struct tnode* y;
+  while (z->parent != NULL && z->parent->red == 1) {
+    struct tnode* gp = z->parent->parent;
+    if (z->parent == gp->left) {
+      y = gp->right;
+      if (y != NULL && y->red == 1) {
+        z->parent->red = 0;
+        y->red = 0;
+        gp->red = 1;
+        z = gp;
+      } else {
+        if (z == z->parent->right) {
+          z = z->parent;
+          rotate_left(z);
+        }
+        z->parent->red = 0;
+        z->parent->parent->red = 1;
+        rotate_right(z->parent->parent);
+      }
+    } else {
+      y = gp->left;
+      if (y != NULL && y->red == 1) {
+        z->parent->red = 0;
+        y->red = 0;
+        gp->red = 1;
+        z = gp;
+      } else {
+        if (z == z->parent->left) {
+          z = z->parent;
+          rotate_right(z);
+        }
+        z->parent->red = 0;
+        z->parent->parent->red = 1;
+        rotate_left(z->parent->parent);
+      }
+    }
+  }
+  root->red = 0;
+}
+
+entry void tm_put(int key, char* value) {
+  $(DECLK)
+  struct tnode* y = NULL;
+  struct tnode* x = root;
+  int ex = 0;
+  while (x != NULL) {
+    y = x;
+    if (k == x->key) {
+      $(COPYIN)(x->value, value, $(VSIZE));
+      ex = 1;
+      x = NULL;
+    } else {
+      if (k < x->key) x = x->left;
+      else x = x->right;
+    }
+  }
+  if (ex == 0) {
+    struct tnode* z = (struct tnode $(CB)*) malloc(sizeof(struct tnode));
+    z->key = k;
+    z->red = 1;
+    z->left = NULL;
+    z->right = NULL;
+    z->parent = y;
+    $(COPYIN)(z->value, value, $(VSIZE));
+    if (y == NULL) root = z;
+    else {
+      if (k < y->key) y->left = z;
+      else y->right = z;
+    }
+    insert_fixup(z);
+    count = count + 1;
+  }
+}
+
+entry int tm_get(int key, char* out) {
+  $(DECLK)
+  int fnd = 0;
+  struct tnode* x = root;
+  while (x != NULL) {
+    if (k == x->key) {
+      $(COPYOUT)(out, x->value, $(VSIZE));
+      fnd = 1;
+      x = NULL;
+    } else {
+      if (k < x->key) x = x->left;
+      else x = x->right;
+    }
+  }
+  $(SETSTATUS)
+  return rstatus;
+}
+|}
+
+let rbtree ?(vsize = 1024) (v : variant) =
+  substitute (bindings v ~nbuckets:16 ~vsize) rbtree_template
+
+(* ------------------------------------------------------------------ *)
+(* two-color hashmap (§9.3, Fig. 10): keys blue, values red. Relaxed mode
+   only — the node is a multi-color structure. The hash of the (blue) key
+   is declassified so that the chain walk stays on F control flow, and the
+   per-node match bit is declassified too, exactly the extra lines the
+   paper counts. *)
+
+let hashmap2_template = common_externs ^ {|
+ignore extern void alloc_node2(struct node2** dst, int size, int kkey);
+
+struct node2 {
+  int $(CB) key;
+  char $(CR) value[$(VSIZE)];
+  struct node2* next;
+};
+
+struct node2* table[$(NB)];
+struct node2* gnode;
+int gidx;
+int gpos;
+int count;
+
+int hval(int k) {
+  int h = k * 40503;
+  h = h + (k >> 16);
+  return h & $(MASK);
+}
+
+// Blue stage: localize the key, declassify its hash, walk the chain and
+// declassify the match position (-1 when absent). The chain pointers live
+// in shared memory, so every partition can walk them; only the key
+// comparisons run in the blue enclave.
+void find_blue(int key) {
+  $(DECLK)
+  $(SETGIDX)
+  int pos = 0;
+  int fnd = 0 - 1;
+  struct node2* n = table[gidx];
+  while (n != NULL) {
+    if (n->key == k) {
+      fnd = pos;
+    }
+    pos = pos + 1;
+    n = n->next;
+  }
+  $(SETGPOS)
+}
+
+// Blue stage of a put: additionally allocate and key the new node when the
+// key is absent (allocation of a multi-color node splits its fields across
+// the enclaves, §7.2).
+void prepare_put_blue(int key) {
+  $(DECLK)
+  $(SETGIDX)
+  int pos = 0;
+  int fnd = 0 - 1;
+  struct node2* n = table[gidx];
+  while (n != NULL) {
+    if (n->key == k) {
+      fnd = pos;
+    }
+    pos = pos + 1;
+    n = n->next;
+  }
+  $(SETGPOS)
+  if (fnd < 0) {
+    alloc_node2(&gnode, sizeof(struct node2), k);
+    struct node2* f = gnode;
+    f->key = k;
+  }
+}
+
+// Shared walk to the declassified position.
+struct node2* node_at(int p) {
+  struct node2* n = table[gidx];
+  int i = 0;
+  while (i < p) {
+    n = n->next;
+    i = i + 1;
+  }
+  return n;
+}
+
+entry void h2_put(int key, char* value) {
+  prepare_put_blue(key);
+  int p = gpos;
+  if (p >= 0) {
+    struct node2* n = node_at(p);
+    $(COPYIN)(n->value, value, $(VSIZE));
+  } else {
+    struct node2* f = gnode;
+    $(COPYIN)(f->value, value, $(VSIZE));
+    f->next = table[gidx];
+    table[gidx] = f;
+    count = count + 1;
+  }
+}
+
+entry int h2_get(int key, char* out) {
+  find_blue(key);
+  int p = gpos;
+  int ok = 0;
+  if (p >= 0) {
+    struct node2* n = node_at(p);
+    $(COPYOUT)(out, n->value, $(VSIZE));
+    ok = 1;
+  }
+  return ok;
+}
+|}
+
+let hashmap_two_color ?(nbuckets = 1024) ?(vsize = 1024) (v : variant) =
+  substitute (bindings v ~nbuckets ~vsize) hashmap2_template
+
+(* ------------------------------------------------------------------ *)
+(* paper figures *)
+
+let fig1 = {|
+within extern void* malloc(int n);
+within extern char* strncpy(char* dst, char* src, int n);
+
+struct account {
+  char color(blue) name[256];
+  double color(red) balance;
+};
+
+entry struct account* create(char* name) {
+  struct account* res = (struct account*) malloc(sizeof(struct account));
+  strncpy(res->name, name, 256);
+  res->balance = 0.0;
+  return res;
+}
+|}
+
+(* Fig. 3a: the program the data-flow tools mis-partition. *)
+let fig3_dataflow = {|
+int color(blue) a;
+int b;
+int* x;
+
+void f(int s) {
+  x = &a;
+  *x = s;
+}
+
+void g() {
+  x = &b;
+}
+
+entry int main() {
+  spawn f(4242);
+  spawn g();
+  return 0;
+}
+|}
+
+(* Fig. 3b: the same program with explicit secure types; line "x = &b"
+   must be rejected. *)
+let fig3_secure = {|
+int color(blue) a;
+int b;
+int color(blue)* x;
+
+void f(int color(blue) s) {
+  x = &a;
+  *x = s;
+}
+
+void g() {
+  x = &b;
+}
+
+entry int main() {
+  spawn f(0);
+  spawn g();
+  return 0;
+}
+|}
+
+(* Fig. 4: implicit indirect leak through a conditional. *)
+let fig4 = {|
+int x = 0;
+int y = 0;
+int color(blue) b;
+
+entry void f() {
+  if (b == 42)
+    x = 1;
+  y = 2;
+}
+|}
+
+(* Fig. 6: the complete three-partition example. *)
+let fig6 = {|
+int color(U) unsafe = 0;
+int color(blue) blue = 10;
+int color(red) red = 0;
+
+extern void printf_hello();
+
+void g(int n) {
+  blue = n;
+  red = n;
+  printf_hello();
+}
+
+int f(int y) {
+  g(21);
+  return 42;
+}
+
+entry int main() {
+  unsafe = 1;
+  int x = f(blue);
+  return x;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* memcached-lite (§9.2): the paper's legacy application. A chained
+   hashtable with an LRU list and eviction, statistics, and get / set /
+   delete / touch operations. The Privagic variant colors the central map
+   (keys, values, links) blue and declassifies results — the paper's
+   "9 modified lines" experiment counts the diff against the plain
+   variant. *)
+
+let memcached_template = common_externs ^ {|
+extern void net_recv();
+extern void net_send();
+extern void lock();
+extern void unlock();
+
+struct item {
+  int $(CB) key;
+  int $(CB) hidx;
+  char $(CB) value[$(VSIZE)];
+  struct item $(CB)* $(CB) hnext;
+  struct item $(CB)* $(CB) prev;
+  struct item $(CB)* $(CB) next;
+};
+
+struct item $(CB)* $(CB) table[$(NB)];
+struct item $(CB)* $(CB) lru_head;
+struct item $(CB)* $(CB) lru_tail;
+int $(CB) count;
+int $(CB) capacity;
+int $(CB) stat_hits;
+int $(CB) stat_misses;
+int $(CB) stat_sets;
+int $(CB) stat_evictions;
+int rstatus;
+
+int hidx(int k) {
+  int h = k * 40503;
+  h = h + (k >> 16);
+  return h & $(MASK);
+}
+
+// unlink an item from the LRU list
+void lru_unlink(struct item $(CB)* it) {
+  if (it->prev != NULL) it->prev->next = it->next;
+  else lru_head = it->next;
+  if (it->next != NULL) it->next->prev = it->prev;
+  else lru_tail = it->prev;
+  it->prev = NULL;
+  it->next = NULL;
+}
+
+// push an item at the head of the LRU list
+void lru_push(struct item $(CB)* it) {
+  it->prev = NULL;
+  it->next = lru_head;
+  if (lru_head != NULL) lru_head->prev = it;
+  lru_head = it;
+  if (lru_tail == NULL) lru_tail = it;
+}
+
+// unlink an item from its hash chain
+void chain_unlink(struct item $(CB)* it) {
+  struct item* n = table[it->hidx];
+  if (n == it) {
+    table[it->hidx] = it->hnext;
+  } else {
+    while (n != NULL) {
+      if (n->hnext == it) {
+        n->hnext = it->hnext;
+        n = NULL;
+      } else {
+        n = n->hnext;
+      }
+    }
+  }
+  it->hnext = NULL;
+}
+
+struct item $(CB)* lookup(int $(CB) k) {
+  struct item* n = table[hidx(k)];
+  struct item* found = NULL;
+  while (n != NULL) {
+    if (n->key == k) found = n;
+    n = n->hnext;
+  }
+  return found;
+}
+
+entry void mc_init(int cap) {
+  int $(CB) c;
+  classify_i64(&c, cap);
+  capacity = c;
+  count = 0;
+}
+
+entry void mc_set_capacity(int cap) {
+  int $(CB) c;
+  classify_i64(&c, cap);
+  capacity = c;
+}
+
+// Background maintenance (memcached's LRU crawler): one pass evicting the
+// tail until the cache fits its capacity. Runs on its own thread, with
+// its own per-enclave workers.
+void maintenance() {
+  lock();
+  while (count > capacity) {
+    struct item $(CB)* victim = lru_tail;
+    lru_unlink(victim);
+    chain_unlink(victim);
+    free(victim);
+    count = count - 1;
+    stat_evictions = stat_evictions + 1;
+  }
+  unlock();
+}
+
+entry void mc_maintain() {
+  spawn maintenance();
+}
+
+entry void mc_set(int key, char* value) {
+  net_recv();
+  lock();
+  $(DECLK)
+  struct item* it = lookup(k);
+  stat_sets = stat_sets + 1;
+  if (it != NULL) {
+    $(COPYIN)(it->value, value, $(VSIZE));
+    lru_unlink(it);
+    lru_push(it);
+  } else {
+    struct item* m = (struct item $(CB)*) malloc(sizeof(struct item));
+    m->key = k;
+    m->hidx = hidx(k);
+    $(COPYIN)(m->value, value, $(VSIZE));
+    m->hnext = table[m->hidx];
+    table[m->hidx] = m;
+    m->prev = NULL;
+    m->next = NULL;
+    lru_push(m);
+    count = count + 1;
+    if (count > capacity) {
+      struct item* victim = lru_tail;
+      if (victim != NULL) {
+        lru_unlink(victim);
+        chain_unlink(victim);
+        free(victim);
+        count = count - 1;
+        stat_evictions = stat_evictions + 1;
+      }
+    }
+  }
+  unlock();
+  net_send();
+}
+
+entry int mc_get(int key, char* out) {
+  net_recv();
+  lock();
+  $(DECLK)
+  int fnd = 0;
+  struct item* it = lookup(k);
+  if (it != NULL) {
+    $(COPYOUT)(out, it->value, $(VSIZE));
+    lru_unlink(it);
+    lru_push(it);
+    stat_hits = stat_hits + 1;
+    fnd = 1;
+  } else {
+    stat_misses = stat_misses + 1;
+  }
+  $(SETSTATUS)
+  unlock();
+  net_send();
+  return rstatus;
+}
+
+entry int mc_delete(int key) {
+  $(DECLK)
+  int fnd = 0;
+  struct item* it = lookup(k);
+  if (it != NULL) {
+    lru_unlink(it);
+    chain_unlink(it);
+    free(it);
+    count = count - 1;
+    fnd = 1;
+  }
+  $(SETSTATUS)
+  return rstatus;
+}
+
+entry int mc_touch(int key) {
+  $(DECLK)
+  int fnd = 0;
+  struct item* it = lookup(k);
+  if (it != NULL) {
+    lru_unlink(it);
+    lru_push(it);
+    fnd = 1;
+  }
+  $(SETSTATUS)
+  return rstatus;
+}
+
+entry int mc_count() {
+  $(SETCOUNT)
+  return rstatus;
+}
+
+entry int mc_stat(int which) {
+  $(DECLW)
+  int v = 0;
+  if (w == 0) v = stat_hits;
+  if (w == 1) v = stat_misses;
+  if (w == 2) v = stat_sets;
+  if (w == 3) v = stat_evictions;
+  $(SETSTAT)
+  return rstatus;
+}
+|}
+
+let memcached ?(nbuckets = 4096) ?(vsize = 1024) (v : variant) =
+  let extra =
+    [
+      ( "SETSTAT",
+        if v = `Colored then "declassify_i64(&rstatus, v);"
+        else "rstatus = v;" );
+      ( "DECLW",
+        if v = `Colored then
+          "int color(blue) wslot;\n  classify_i64(&wslot, which);\n  int w = wslot;"
+        else "int w = which;" );
+    ]
+  in
+  substitute (extra @ bindings v ~nbuckets ~vsize) memcached_template

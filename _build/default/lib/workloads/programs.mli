@@ -1,0 +1,50 @@
+(** The mini-C programs of the evaluation (§9), each generated in two
+    variants: [`Colored] — the Privagic version with explicit secure
+    types — and [`Plain] — the legacy code the paper starts from (run by
+    the Unprotected/Scone baselines). The variants differ only on the
+    annotation lines, so {!modified_lines} implements the paper's
+    "modified LoC" metric. *)
+
+type variant = [ `Colored | `Plain ]
+
+(** Longest-common-subsequence diff: lines of the colored variant not
+    present in the plain one. *)
+val modified_lines : string -> string -> int
+
+(** Hash map with separate chaining, one color (§9.3). Entries: [hm_put],
+    [hm_get], [hm_size]. Hardened mode. *)
+val hashmap : ?nbuckets:int -> ?vsize:int -> variant -> string
+
+(** Singly linked list used as a map (§9.3): [ll_put], [ll_get]. *)
+val linked_list : ?vsize:int -> variant -> string
+
+(** Red-black tree used as an ordered map (§9.3's treemap): [tm_put],
+    [tm_get]. *)
+val rbtree : ?vsize:int -> variant -> string
+
+(** Two colors in one structure (Fig. 10): keys blue, values red; needs
+    relaxed mode (or hardened with authenticated pointers). Entries:
+    [h2_put], [h2_get]. *)
+val hashmap_two_color : ?nbuckets:int -> ?vsize:int -> variant -> string
+
+(** The legacy application (§9.2): chained hash table + LRU eviction +
+    statistics + per-request network/lock syscalls. Entries: [mc_init],
+    [mc_set], [mc_get], [mc_delete], [mc_touch], [mc_count], [mc_stat]. *)
+val memcached : ?nbuckets:int -> ?vsize:int -> variant -> string
+
+(** The paper's figures as runnable sources. *)
+
+(** The bank account of Fig. 1 (a multi-color structure). *)
+val fig1 : string
+
+(** Fig. 3a: the racy program without annotations (data-flow baseline). *)
+val fig3_dataflow : string
+
+(** Fig. 3b: the same program with secure types; [x = &b] must fail. *)
+val fig3_secure : string
+
+(** Fig. 4: the implicit indirect leak through a conditional. *)
+val fig4 : string
+
+(** Figs. 6–7: the complete three-partition example. *)
+val fig6 : string

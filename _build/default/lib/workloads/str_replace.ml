@@ -1,0 +1,22 @@
+(* Literal (non-regex) substring replacement, used by the program template
+   substitution. *)
+
+let replace_all (s : string) ~(pattern : string) ~(with_ : string) : string =
+  let plen = String.length pattern in
+  if plen = 0 then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      if !i + plen <= n && String.equal (String.sub s !i plen) pattern then begin
+        Buffer.add_string buf with_;
+        i := !i + plen
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end

@@ -1,0 +1,74 @@
+(** YCSB workload generation (Cooper et al., SoCC'10 — the paper's [15]):
+    zipfian (standard 0.99 constant), scrambled zipfian, uniform and
+    latest key distributions, and the standard workload mixes. Fully
+    deterministic given the seed. *)
+
+(** splitmix64 PRNG. *)
+type rng
+
+val rng : int -> rng
+val next_int64 : rng -> int64
+
+(** Uniform float in [0, 1). *)
+val next_float : rng -> float
+
+(** Uniform int in [0, n). *)
+val next_int : rng -> int -> int
+
+val zipfian_constant : float
+
+type zipfian
+
+val zipfian : ?theta:float -> int -> zipfian
+val zeta : int -> float -> float
+
+(** Next zipfian item in [0, items); item 0 is the hottest. *)
+val zipfian_next : zipfian -> rng -> int
+
+val fnv_hash64 : int64 -> int64
+
+(** Zipfian with the hot items spread over the key space (YCSB's
+    ScrambledZipfianGenerator). *)
+val scrambled_zipfian_next : zipfian -> rng -> int
+
+type distribution = Uniform | Zipfian | Latest
+type op = Read of int | Update of int | Insert of int
+
+type spec = {
+  record_count : int;
+  operation_count : int;
+  read_proportion : float;
+  update_proportion : float;
+  insert_proportion : float;
+  distribution : distribution;
+  value_size : int;
+  seed : int;
+}
+
+(** The standard mixes: A = 50/50 read/update zipfian, B = 95/5,
+    C = read-only. *)
+val workload_a :
+  ?seed:int -> record_count:int -> operation_count:int -> value_size:int ->
+  unit -> spec
+
+val workload_b :
+  ?seed:int -> record_count:int -> operation_count:int -> value_size:int ->
+  unit -> spec
+
+val workload_c :
+  ?seed:int -> record_count:int -> operation_count:int -> value_size:int ->
+  unit -> spec
+
+val uniform_mix :
+  ?seed:int -> record_count:int -> operation_count:int -> value_size:int ->
+  read_proportion:float -> unit -> spec
+
+type t
+
+val create : spec -> t
+val load_keys : spec -> int list
+val next_key : t -> int
+val next_op : t -> op
+
+(** Deterministic pseudo-random payload for a key. *)
+val value_for : size:int -> int -> string

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Diagnostic Infer Int64 List Mode Pmodule Privagic_minic Privagic_partition Privagic_pir Privagic_secure Privagic_sgx Privagic_vm String

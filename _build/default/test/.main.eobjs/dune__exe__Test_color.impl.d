@@ -1,0 +1,1 @@
+test/test_color.ml: Alcotest Color Privagic_pir QCheck QCheck_alcotest

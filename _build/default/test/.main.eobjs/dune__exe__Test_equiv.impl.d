@@ -1,0 +1,1 @@
+test/test_equiv.ml: Diagnostic Exec Hashtbl Heap Infer Interp List Mode Pinterp Printf Privagic_minic Privagic_partition Privagic_secure Privagic_sgx Privagic_vm QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Builder Exec Func Heap Helpers Instr Int64 Layout Pmodule Printf Privagic_pir Privagic_secure Privagic_sgx Privagic_vm QCheck QCheck_alcotest Rvalue Ty Value

@@ -1,0 +1,1 @@
+test/test_exec2.ml: Alcotest Exec Externals Heap Helpers Int64 Interp Layout Privagic_pir Privagic_secure Privagic_sgx Privagic_vm Rvalue

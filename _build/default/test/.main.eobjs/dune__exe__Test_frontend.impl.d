@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Annot Ast Color Helpers Lexer List Parser Privagic_minic Privagic_pir Sema String Token Ty

@@ -1,0 +1,1 @@
+test/test_infer.ml: Alcotest Color Diagnostic Helpers Infer List Mode Privagic_pir Privagic_secure Privagic_workloads String

@@ -1,0 +1,1 @@
+test/test_infer2.ml: Alcotest Color Diagnostic Func Helpers Infer Instr List Mode Option Privagic_pir Privagic_secure Privagic_vm String

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Block Color Diagnostic Func Hashtbl Helpers Infer Instr List Mode Plan Privagic_partition Privagic_pir Privagic_secure Privagic_workloads Tcb Value

@@ -1,0 +1,1 @@
+test/test_pinterp.ml: Alcotest Exec Hashtbl Heap Helpers Int64 List Mode Pinterp Printf Privagic_pir Privagic_secure Privagic_sgx Privagic_vm Privagic_workloads Rvalue

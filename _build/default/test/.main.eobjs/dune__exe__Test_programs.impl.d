@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Diagnostic Exec Heap Helpers Int64 Interp List Mode Pinterp Printf Privagic_minic Privagic_secure Privagic_vm Privagic_workloads Rvalue String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Domain Float Fun List Option Privagic_runtime QCheck QCheck_alcotest Queue

@@ -1,0 +1,1 @@
+test/test_sgx.ml: Alcotest Array Heap Helpers Int64 Layout List Privagic_pir Privagic_secure Privagic_sgx Privagic_vm QCheck QCheck_alcotest

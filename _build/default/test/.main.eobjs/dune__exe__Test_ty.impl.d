@@ -1,0 +1,1 @@
+test/test_ty.ml: Alcotest Cenv Color Privagic_pir Privagic_secure Ty

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Hashtbl Privagic_workloads QCheck QCheck_alcotest String

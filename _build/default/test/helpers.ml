@@ -1,0 +1,68 @@
+(* Shared helpers for the test suites. *)
+
+open Privagic_pir
+open Privagic_secure
+
+let compile ?(file = "<test>") src = Privagic_minic.Driver.compile ~file src
+
+(* Compile, run the secure analysis, and return the diagnostics. *)
+let diagnostics ?(mode = Mode.Hardened) src =
+  let m = compile src in
+  (Infer.run ~mode m).Infer.diagnostics
+
+let diagnostic_kinds ?mode src =
+  List.map (fun d -> d.Diagnostic.kind) (diagnostics ?mode src)
+  |> List.sort_uniq compare
+
+let checks_ok ?mode src = diagnostics ?mode src = []
+
+(* Compile + check + partition; fails the test on any diagnostic. *)
+let plan_of ?(mode = Mode.Hardened) src =
+  let m = compile src in
+  let infer = Infer.run ~mode m in
+  if not (Infer.ok infer) then
+    Alcotest.failf "unexpected diagnostics: %s"
+      (String.concat "; "
+         (List.map Diagnostic.to_string infer.Infer.diagnostics));
+  let plan = Privagic_partition.Plan.build ~mode infer in
+  if plan.Privagic_partition.Plan.diagnostics <> [] then
+    Alcotest.failf "unexpected plan diagnostics: %s"
+      (String.concat "; "
+         (List.map Diagnostic.to_string
+            plan.Privagic_partition.Plan.diagnostics));
+  plan
+
+(* Plain interpreter over an unpartitioned module. *)
+let interp ?(policy = Privagic_vm.Interp.unprotected) src =
+  Privagic_vm.Interp.create ~config:Privagic_sgx.Config.machine_test
+    (compile src) policy
+
+let pinterp ?(mode = Mode.Hardened) src =
+  Privagic_vm.Pinterp.create ~config:Privagic_sgx.Config.machine_test
+    (plan_of ~mode src)
+
+(* Run [entry] in the plain interpreter and return (value, output). *)
+let run_plain ?policy src entry args =
+  let it = interp ?policy src in
+  let v = Privagic_vm.Interp.call it entry args in
+  (v, Privagic_vm.Interp.output it)
+
+let run_partitioned ?mode src entry args =
+  let pt = pinterp ?mode src in
+  let r = Privagic_vm.Pinterp.call_entry pt entry args in
+  (r.Privagic_vm.Pinterp.value, Privagic_vm.Pinterp.output pt)
+
+let int64_testable = Alcotest.int64
+
+let rvalue_int v = Privagic_vm.Rvalue.Int (Int64.of_int v)
+
+let to_int (v : Privagic_vm.Rvalue.t) = Privagic_vm.Rvalue.to_int v
+
+(* Find a function in a module. *)
+let func m name = Pmodule.find_func_exn m name
+
+(* Substring test for diagnostics. *)
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "privagic"
+    [
+      ("color", Test_color.suite);
+      ("ty", Test_ty.suite);
+      ("frontend", Test_frontend.suite);
+      ("ir", Test_ir.suite);
+      ("infer", Test_infer.suite);
+      ("infer2", Test_infer2.suite);
+      ("exec", Test_exec.suite);
+      ("exec2", Test_exec2.suite);
+      ("runtime", Test_runtime.suite);
+      ("sgx", Test_sgx.suite);
+      ("partition", Test_partition.suite);
+      ("pinterp", Test_pinterp.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("programs", Test_programs.suite);
+      ("workloads", Test_workloads.suite);
+      ("harness", Test_harness.suite);
+      ("extensions", Test_extensions.suite);
+      ("equivalence", Test_equiv.suite);
+    ]

@@ -1,0 +1,87 @@
+open Privagic_pir
+
+let blue = Color.Named "blue"
+let red = Color.Named "red"
+
+let test_compatible () =
+  Alcotest.(check bool) "F ~ F" true (Color.compatible Color.Free Color.Free);
+  Alcotest.(check bool) "F ~ blue" true (Color.compatible Color.Free blue);
+  Alcotest.(check bool) "blue ~ F" true (Color.compatible blue Color.Free);
+  Alcotest.(check bool) "blue ~ blue" true (Color.compatible blue blue);
+  Alcotest.(check bool) "blue !~ red" false (Color.compatible blue red);
+  Alcotest.(check bool) "U !~ blue" false (Color.compatible Color.Unsafe blue);
+  Alcotest.(check bool) "U !~ S" false
+    (Color.compatible Color.Unsafe Color.Shared);
+  Alcotest.(check bool) "S ~ F" true (Color.compatible Color.Shared Color.Free)
+
+let test_equal () =
+  Alcotest.(check bool) "blue = blue" true (Color.equal blue (Color.Named "blue"));
+  Alcotest.(check bool) "blue <> red" false (Color.equal blue red);
+  Alcotest.(check bool) "U <> S" false (Color.equal Color.Unsafe Color.Shared)
+
+let test_is_enclave () =
+  Alcotest.(check bool) "blue is enclave" true (Color.is_enclave blue);
+  Alcotest.(check bool) "U is not" false (Color.is_enclave Color.Unsafe);
+  Alcotest.(check bool) "S is not" false (Color.is_enclave Color.Shared);
+  Alcotest.(check bool) "F is not" false (Color.is_enclave Color.Free)
+
+let test_to_string () =
+  Alcotest.(check string) "F" "F" (Color.to_string Color.Free);
+  Alcotest.(check string) "U" "U" (Color.to_string Color.Unsafe);
+  Alcotest.(check string) "S" "S" (Color.to_string Color.Shared);
+  Alcotest.(check string) "named" "blue" (Color.to_string blue)
+
+let test_set_map () =
+  let s = Color.Set.of_list [ blue; red; blue; Color.Unsafe ] in
+  Alcotest.(check int) "set dedups" 3 (Color.Set.cardinal s);
+  Alcotest.(check bool) "mem blue" true (Color.Set.mem blue s);
+  let m = Color.Map.(add blue 1 (add red 2 empty)) in
+  Alcotest.(check int) "map find" 1 (Color.Map.find blue m)
+
+(* property tests *)
+
+let gen_color =
+  QCheck.Gen.(
+    oneof
+      [
+        return Color.Free;
+        return Color.Unsafe;
+        return Color.Shared;
+        map (fun s -> Color.Named s) (oneofl [ "blue"; "red"; "green" ]);
+      ])
+
+let arb_color = QCheck.make ~print:Color.to_string gen_color
+
+let prop_compat_reflexive =
+  QCheck.Test.make ~name:"compatible is reflexive" arb_color (fun c ->
+      Color.compatible c c)
+
+let prop_compat_symmetric =
+  QCheck.Test.make ~name:"compatible is symmetric"
+    (QCheck.pair arb_color arb_color) (fun (a, b) ->
+      Color.compatible a b = Color.compatible b a)
+
+let prop_compare_total =
+  QCheck.Test.make ~name:"compare is a total order"
+    (QCheck.triple arb_color arb_color arb_color) (fun (a, b, c) ->
+      let ( <= ) x y = Color.compare x y <= 0 in
+      (* antisymmetry + transitivity spot checks *)
+      (Color.compare a b = 0) = Color.equal a b
+      && (not (a <= b && b <= c)) || a <= c)
+
+let prop_free_compatible_with_all =
+  QCheck.Test.make ~name:"F is compatible with everything" arb_color (fun c ->
+      Color.compatible Color.Free c && Color.compatible c Color.Free)
+
+let suite =
+  [
+    Alcotest.test_case "compatible" `Quick test_compatible;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "is_enclave" `Quick test_is_enclave;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "set and map" `Quick test_set_map;
+    QCheck_alcotest.to_alcotest prop_compat_reflexive;
+    QCheck_alcotest.to_alcotest prop_compat_symmetric;
+    QCheck_alcotest.to_alcotest prop_compare_total;
+    QCheck_alcotest.to_alcotest prop_free_compatible_with_all;
+  ]

@@ -1,0 +1,103 @@
+(* The Fig. 3 motivation experiment: sequential data-flow analysis vs the
+   interleaving oracle vs the secure type system. *)
+
+module Taint = Privagic_dataflow.Taint
+module Interleave = Privagic_dataflow.Interleave
+module P = Privagic_workloads.Programs
+open Privagic_secure
+
+let test_taint_sequential_result () =
+  let m = Helpers.compile P.fig3_dataflow in
+  let r = Taint.analyze m in
+  Alcotest.(check (list string)) "only a is protected" [ "a" ]
+    (Taint.protected_locations r);
+  Alcotest.(check bool) "b left unprotected" true (Taint.leaks_to r "b")
+
+let test_taint_direct_flow () =
+  (* sequential flows are found *)
+  let src =
+    {|
+int color(blue) s;
+int sink1;
+int sink2;
+entry void f() {
+  sink1 = s;
+  int x = sink1 + 1;
+  sink2 = x;
+}
+|}
+  in
+  let m = Helpers.compile src in
+  let r = Taint.analyze m in
+  let p = Taint.protected_locations r in
+  Alcotest.(check bool) "sink1 tainted" true (List.mem "sink1" p);
+  Alcotest.(check bool) "sink2 tainted" true (List.mem "sink2" p)
+
+let test_taint_through_pointer () =
+  let src =
+    {|
+int color(blue) s;
+int a;
+int* p;
+entry void f() {
+  p = &a;
+  *p = s;
+}
+|}
+  in
+  let m = Helpers.compile src in
+  let r = Taint.analyze m in
+  Alcotest.(check bool) "a tainted through pointer" true
+    (List.mem "a" (Taint.protected_locations r))
+
+let test_interleavings_expose_leak () =
+  let m = Helpers.compile P.fig3_dataflow in
+  let outcomes = Interleave.explore m ~entry:"main" ~max_offset:20 in
+  Alcotest.(check bool) "several distinct outcomes" true
+    (List.length outcomes >= 2);
+  let leak =
+    List.exists
+      (fun oc -> Interleave.global_value oc "b" = Some 4242L)
+      outcomes
+  in
+  let safe =
+    List.exists
+      (fun oc -> Interleave.global_value oc "a" = Some 4242L)
+      outcomes
+  in
+  Alcotest.(check bool) "a leaking schedule exists" true leak;
+  Alcotest.(check bool) "a safe schedule exists" true safe
+
+let test_interleave_deterministic () =
+  let m = Helpers.compile P.fig3_dataflow in
+  let o1 = Interleave.run m ~entry:"main" ~offsets:[ 0.0; 0.5 ] in
+  let o2 = Interleave.run m ~entry:"main" ~offsets:[ 0.0; 0.5 ] in
+  Alcotest.(check bool) "same schedule, same outcome" true
+    (o1.Interleave.globals = o2.Interleave.globals)
+
+let test_secure_typing_catches_statically () =
+  let ds = Helpers.diagnostics ~mode:Mode.Relaxed P.fig3_secure in
+  Alcotest.(check bool) "rejected" true (ds <> [])
+
+let test_full_experiment () =
+  let o = Privagic_harness.Fig3.run () in
+  Alcotest.(check bool) "dataflow misses b" true
+    (not (List.mem "b" o.Privagic_harness.Fig3.tainted));
+  Alcotest.(check bool) "oracle finds the leak" true
+    o.Privagic_harness.Fig3.leak_found;
+  Alcotest.(check bool) "secure typing rejects" true
+    o.Privagic_harness.Fig3.secure_typing_rejects
+
+let suite =
+  [
+    Alcotest.test_case "sequential taint result" `Quick test_taint_sequential_result;
+    Alcotest.test_case "direct flows found" `Quick test_taint_direct_flow;
+    Alcotest.test_case "pointer flows found" `Quick test_taint_through_pointer;
+    Alcotest.test_case "interleavings expose leak" `Quick
+      test_interleavings_expose_leak;
+    Alcotest.test_case "interleave deterministic" `Quick
+      test_interleave_deterministic;
+    Alcotest.test_case "secure typing static" `Quick
+      test_secure_typing_catches_statically;
+    Alcotest.test_case "full fig3 experiment" `Quick test_full_experiment;
+  ]

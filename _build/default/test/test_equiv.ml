@@ -1,0 +1,123 @@
+(* Property: partitioning preserves semantics. Random structured programs
+   — generated to be well-typed by construction (blue-conditioned regions
+   write only blue state, unsafe regions only unsafe state, F-conditioned
+   loops may mix) — must leave the plain interpreter and the partitioned
+   VM with identical global state. *)
+
+open Privagic_secure
+open Privagic_vm
+
+(* statement generator; [ctx] is the region color we are inside *)
+type ctx = Top | Blue | Unsafe_r
+
+let gen_stmt =
+  QCheck.Gen.(
+    let blue_write =
+      map2
+        (fun g k -> Printf.sprintf "b%d = b%d + %d;" g ((g + 1) mod 2) k)
+        (int_bound 1) (int_range 1 9)
+    in
+    let u_write =
+      map2
+        (fun g k -> Printf.sprintf "u%d = u%d * %d + %d;" g g k (k + 1))
+        (int_bound 1) (int_range 1 3)
+    in
+    let rec stmt ctx depth =
+      if depth <= 0 then
+        match ctx with
+        | Blue -> blue_write
+        | Unsafe_r -> u_write
+        | Top -> oneof [ blue_write; u_write ]
+      else
+        let sub ctx' = stmt ctx' (depth - 1) in
+        let choices =
+          match ctx with
+          | Blue ->
+            [
+              (3, blue_write);
+              ( 1,
+                map2
+                  (fun k body ->
+                    Printf.sprintf "if (b0 < %d) { %s }" k body)
+                  (int_range 1 50) (sub Blue) );
+            ]
+          | Unsafe_r ->
+            [
+              (3, u_write);
+              ( 1,
+                map2
+                  (fun k body -> Printf.sprintf "if (u0 < %d) { %s }" k body)
+                  (int_range 1 50) (sub Unsafe_r) );
+            ]
+          | Top ->
+            [
+              (2, blue_write);
+              (2, u_write);
+              ( 1,
+                map2
+                  (fun k body ->
+                    Printf.sprintf "if (b0 < %d) { %s }" k body)
+                  (int_range 1 50) (sub Blue) );
+              ( 1,
+                map2
+                  (fun k body ->
+                    Printf.sprintf "if (u1 < %d) { %s }" k body)
+                  (int_range 1 50) (sub Unsafe_r) );
+              ( 1,
+                map2
+                  (fun n body ->
+                    Printf.sprintf
+                      "{ int i = 0; while (i < %d) { %s i = i + 1; } }" n body)
+                  (int_range 1 4) (sub Top) );
+            ]
+        in
+        frequency choices
+    in
+    map
+      (fun body ->
+        Printf.sprintf
+          {|
+int color(blue) b0;
+int color(blue) b1;
+int u0;
+int u1;
+entry void f() {
+%s
+}
+|}
+          body)
+      (stmt Top 5))
+
+let read_globals (globals : (string, int) Hashtbl.t) heap =
+  List.map
+    (fun g -> (g, Heap.load heap (Hashtbl.find globals g) 8))
+    [ "b0"; "b1"; "u0"; "u1" ]
+
+let run_plain src =
+  let it =
+    Interp.create ~config:Privagic_sgx.Config.machine_test
+      (Privagic_minic.Driver.compile src)
+      Interp.unprotected
+  in
+  ignore (Interp.call it "f" []);
+  read_globals it.Interp.exec.Exec.globals it.Interp.exec.Exec.heap
+
+let run_partitioned src =
+  let m = Privagic_minic.Driver.compile src in
+  let infer = Infer.run ~mode:Mode.Hardened m in
+  if not (Infer.ok infer) then
+    QCheck.Test.fail_reportf "generated program rejected: %s"
+      (String.concat "; "
+         (List.map Diagnostic.to_string infer.Infer.diagnostics));
+  let plan = Privagic_partition.Plan.build ~mode:Mode.Hardened infer in
+  let pt = Pinterp.create ~config:Privagic_sgx.Config.machine_test plan in
+  ignore (Pinterp.call_entry pt "f" []);
+  read_globals pt.Pinterp.exec.Exec.globals pt.Pinterp.exec.Exec.heap
+
+let prop_partitioning_preserves_semantics =
+  QCheck.Test.make ~count:60
+    ~name:"partitioning preserves semantics (random programs)"
+    (QCheck.make ~print:(fun s -> s) gen_stmt)
+    (fun src -> run_plain src = run_partitioned src)
+
+let suite = [ QCheck_alcotest.to_alcotest prop_partitioning_preserves_semantics ]

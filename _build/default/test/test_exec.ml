@@ -1,0 +1,317 @@
+(* Plain interpreter correctness: arithmetic, control flow, memory,
+   structs, strings, recursion, function pointers, externals. Includes a
+   property test pitting randomly generated expressions against a direct
+   OCaml evaluation. *)
+
+open Privagic_vm
+
+let run ?policy src entry args = Helpers.run_plain ?policy src entry args
+
+let check_int name src entry args expected =
+  let v, _ = run src entry args in
+  Alcotest.(check int64) name (Int64.of_int expected) (Rvalue.to_int64 v)
+
+let test_arith () =
+  check_int "add" "entry int f() { return 40 + 2; }" "f" [] 42;
+  check_int "precedence" "entry int f() { return 2 + 3 * 4; }" "f" [] 14;
+  check_int "division" "entry int f() { return 17 / 5; }" "f" [] 3;
+  check_int "modulo" "entry int f() { return 17 % 5; }" "f" [] 2;
+  check_int "negative" "entry int f() { return -7 + 3; }" "f" [] (-4);
+  check_int "bitops" "entry int f() { return (12 & 10) | (1 << 4); }" "f" [] 24;
+  check_int "xor" "entry int f() { return 255 ^ 170; }" "f" [] 85;
+  check_int "shr" "entry int f() { return 1024 >> 3; }" "f" [] 128;
+  check_int "compare chain" "entry int f() { return (3 < 4) + (4 <= 4) + (5 > 6); }"
+    "f" [] 2
+
+let test_float () =
+  let v, _ = run "entry double f() { return 1.5 * 4.0; }" "f" [] in
+  Alcotest.(check (float 1e-9)) "float mul" 6.0 (Rvalue.to_float v);
+  check_int "float to int" "entry int f() { double d = 7.9; return (int) d; }"
+    "f" [] 7;
+  let v, _ =
+    run "entry double f(int n) { return n / 2.0; }" "f" [ Helpers.rvalue_int 7 ]
+  in
+  Alcotest.(check (float 1e-9)) "int to float" 3.5 (Rvalue.to_float v)
+
+let test_control_flow () =
+  check_int "if else"
+    "entry int f(int x) { if (x > 10) return 1; else return 2; }" "f"
+    [ Helpers.rvalue_int 11 ] 1;
+  check_int "while"
+    "entry int f(int n) { int s = 0; int i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }"
+    "f" [ Helpers.rvalue_int 10 ] 45;
+  check_int "for with break"
+    "entry int f() { int s = 0; for (int i = 0; i < 100; i++) { if (i == 5) break; s += i; } return s; }"
+    "f" [] 10;
+  check_int "continue"
+    "entry int f() { int s = 0; for (int i = 0; i < 10; i++) { if (i % 2 == 0) continue; s += i; } return s; }"
+    "f" [] 25;
+  check_int "shortcircuit and"
+    "int g() { return 7; } entry int f(int x) { if (x > 0 && g() > 5) return 1; return 0; }"
+    "f" [ Helpers.rvalue_int 1 ] 1;
+  check_int "shortcircuit or"
+    "entry int f(int x) { int y = 0; if (x == 1 || x == 2) y = 5; return y; }"
+    "f" [ Helpers.rvalue_int 2 ] 5
+
+let test_recursion () =
+  check_int "factorial"
+    "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); } entry int f() { return fact(10); }"
+    "f" [] 3628800;
+  check_int "fibonacci"
+    "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } entry int f() { return fib(15); }"
+    "f" [] 610;
+  check_int "mutual recursion"
+    {|
+int is_odd(int n);
+int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+entry int f() { return is_even(10) + is_odd(7); }
+|}
+    "f" [] 2
+
+let test_arrays_and_pointers () =
+  check_int "global array"
+    "int a[8]; entry int f() { for (int i = 0; i < 8; i++) a[i] = i * i; return a[5]; }"
+    "f" [] 25;
+  check_int "pointer arith"
+    "int a[8]; entry int f() { int* p = a; p = p + 3; *p = 77; return a[3]; }"
+    "f" [] 77;
+  check_int "address of"
+    "entry int f() { int x = 5; int* p = &x; *p = 9; return x; }" "f" [] 9;
+  check_int "char array"
+    "char buf[4]; entry int f() { buf[0] = 'A'; buf[1] = buf[0] + 1; return buf[1]; }"
+    "f" [] 66
+
+let test_structs () =
+  check_int "field access"
+    {|
+struct point { int x; int y; };
+struct point g;
+entry int f() { g.x = 3; g.y = 4; return g.x * g.x + g.y * g.y; }
+|}
+    "f" [] 25;
+  check_int "struct via pointer"
+    {|
+within extern void* malloc(int n);
+struct pair { int a; int b; };
+entry int f() {
+  struct pair* p = (struct pair*) malloc(sizeof(struct pair));
+  p->a = 10;
+  p->b = 32;
+  return p->a + p->b;
+}
+|}
+    "f" [] 42;
+  check_int "nested struct"
+    {|
+struct inner { int v; };
+struct outer { int tag; struct inner in_; };
+struct outer g;
+entry int f() { g.in_.v = 8; g.tag = 1; return g.in_.v + g.tag; }
+|}
+    "f" [] 9;
+  check_int "linked nodes"
+    {|
+within extern void* malloc(int n);
+struct n { int v; struct n* next; };
+entry int f() {
+  struct n* a = (struct n*) malloc(sizeof(struct n));
+  struct n* b = (struct n*) malloc(sizeof(struct n));
+  a->v = 1; a->next = b; b->v = 2; b->next = NULL;
+  int s = 0;
+  struct n* it = a;
+  while (it != NULL) { s += it->v; it = it->next; }
+  return s;
+}
+|}
+    "f" [] 3
+
+let test_strings_and_output () =
+  let _, out =
+    run
+      {|
+extern void print_str(char* s);
+extern void print_int(int x);
+entry void f() { print_str("hello"); print_int(42); }
+|}
+      "f" []
+  in
+  Alcotest.(check string) "output" "hello\n42\n" out;
+  check_int "strlen"
+    {|
+within extern int strlen(char* s);
+entry int f() { return strlen("privagic"); }
+|}
+    "f" [] 8;
+  check_int "strcmp"
+    {|
+within extern int strcmp(char* a, char* b);
+entry int f() { if (strcmp("abc", "abc") == 0) return 1; return 0; }
+|}
+    "f" [] 1
+
+let test_memcpy_memset () =
+  check_int "memcpy/memset"
+    {|
+within extern char* memcpy(char* d, char* s, int n);
+within extern char* memset(char* d, int c, int n);
+char a[16];
+char b[16];
+entry int f() {
+  memset(a, 7, 16);
+  memcpy(b, a, 16);
+  return b[0] + b[15];
+}
+|}
+    "f" [] 14
+
+(* Indirect calls are exercised at the IR level (mini-C has no function
+   pointer declarator): build a module where main calls through a loaded
+   function address. *)
+let test_function_pointers () =
+  let open Privagic_pir in
+  let m = Pmodule.create () in
+  let dbl = Func.make ~name:"dbl" ~params:[ ("x", Ty.i64) ] ~ret:Ty.i64 () in
+  let b = Builder.create m dbl in
+  let r = Builder.binop b Instr.Mul Ty.i64 (Value.reg 0) (Value.int_ 2L) in
+  Builder.ret b (Some r);
+  let main = Func.make ~name:"main" ~params:[] ~ret:Ty.i64 () in
+  let b = Builder.create m main in
+  let v =
+    Builder.instr b Ty.i64 (Instr.Callind (Value.Func "dbl", [ Value.int_ 21L ]))
+  in
+  Builder.ret b (Some v);
+  let machine = Privagic_sgx.Machine.create Privagic_sgx.Config.machine_test in
+  let heap = Heap.create () in
+  let layout = Layout.create m Privagic_secure.Mode.Relaxed in
+  let hooks : Exec.hooks =
+    {
+      Exec.h_call = (fun ex _ callee args ->
+          Exec.exec_func ex (Pmodule.find_func_exn m callee) args);
+      h_callind = (fun ex _ fv args ->
+          Exec.exec_func ex
+            (Pmodule.find_func_exn m (Exec.resolve_func ex fv))
+            args);
+      h_spawn = (fun _ _ _ _ -> ());
+      h_pre_instr = (fun _ _ -> ());
+      h_alloca_zone = (fun _ _ -> Heap.Unsafe);
+    }
+  in
+  let ex = Exec.create m heap layout machine hooks in
+  Exec.init_globals ex (fun _ -> Heap.Unsafe);
+  let r = Exec.exec_func ex main [||] in
+  Alcotest.(check int64) "callind result" 42L (Rvalue.to_int64 r)
+
+let test_sizeof () =
+  check_int "sizeof struct"
+    "struct s { int a; char b[12]; }; entry int f() { return sizeof(struct s); }"
+    "f" [] 20;
+  check_int "sizeof scalar" "entry int f() { return sizeof(int) + sizeof(char); }"
+    "f" [] 9
+
+let test_div_by_zero_traps () =
+  let it = Helpers.interp "entry int f(int x) { return 10 / x; }" in
+  match Privagic_vm.Interp.call it "f" [ Helpers.rvalue_int 0 ] with
+  | exception Exec.Trap msg ->
+    Alcotest.(check bool) "mentions zero" true (Helpers.contains msg "zero")
+  | _ -> Alcotest.fail "expected a trap"
+
+let test_null_deref_faults () =
+  let it = Helpers.interp "entry int f() { int* p = NULL; return *p; }" in
+  match Privagic_vm.Interp.call it "f" [] with
+  | exception Heap.Fault _ -> ()
+  | _ -> Alcotest.fail "expected a fault"
+
+(* --- property test: random expressions vs OCaml evaluation --- *)
+
+type rexpr =
+  | Lit of int
+  | Var of int        (* one of three parameters *)
+  | Add of rexpr * rexpr
+  | Sub of rexpr * rexpr
+  | Mul of rexpr * rexpr
+  | Lt of rexpr * rexpr
+  | Ifnz of rexpr * rexpr * rexpr
+
+let rec to_src = function
+  | Lit n -> string_of_int n
+  | Var k -> Printf.sprintf "x%d" k
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (to_src a) (to_src b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (to_src a) (to_src b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (to_src a) (to_src b)
+  | Lt (a, b) -> Printf.sprintf "(%s < %s)" (to_src a) (to_src b)
+  | Ifnz (c, a, b) ->
+    Printf.sprintf "(%s ? ... )" (to_src c) |> ignore;
+    (* lowered via a helper function call since mini-C has no ?: *)
+    Printf.sprintf "ifnz(%s, %s, %s)" (to_src c) (to_src a) (to_src b)
+
+let rec eval env = function
+  | Lit n -> Int64.of_int n
+  | Var k -> env.(k)
+  | Add (a, b) -> Int64.add (eval env a) (eval env b)
+  | Sub (a, b) -> Int64.sub (eval env a) (eval env b)
+  | Mul (a, b) -> Int64.mul (eval env a) (eval env b)
+  | Lt (a, b) -> if Int64.compare (eval env a) (eval env b) < 0 then 1L else 0L
+  | Ifnz (c, a, b) ->
+    if not (Int64.equal (eval env c) 0L) then eval env a else eval env b
+
+let gen_rexpr =
+  QCheck.Gen.(
+    sized_size (int_bound 24)
+    @@ fix (fun self n ->
+           if n <= 0 then
+             oneof
+               [ map (fun i -> Lit i) (int_range (-100) 100);
+                 map (fun k -> Var k) (int_range 0 2) ]
+           else
+             let sub = self (n / 2) in
+             oneof
+               [
+                 map2 (fun a b -> Add (a, b)) sub sub;
+                 map2 (fun a b -> Sub (a, b)) sub sub;
+                 map2 (fun a b -> Mul (a, b)) sub sub;
+                 map2 (fun a b -> Lt (a, b)) sub sub;
+                 map3 (fun c a b -> Ifnz (c, a, b)) sub sub sub;
+               ]))
+
+let arb_rexpr = QCheck.make ~print:to_src (QCheck.Gen.map (fun e -> e) gen_rexpr)
+
+let prop_expr_vs_ocaml =
+  QCheck.Test.make ~count:60 ~name:"interpreter matches OCaml on expressions"
+    (QCheck.pair arb_rexpr
+       (QCheck.triple QCheck.small_signed_int QCheck.small_signed_int
+          QCheck.small_signed_int))
+    (fun (e, (a, b, c)) ->
+      let src =
+        Printf.sprintf
+          {|
+int ifnz(int c, int a, int b) { if (c != 0) return a; return b; }
+entry int f(int x0, int x1, int x2) { return %s; }
+|}
+          (to_src e)
+      in
+      let v, _ =
+        run src "f"
+          [ Helpers.rvalue_int a; Helpers.rvalue_int b; Helpers.rvalue_int c ]
+      in
+      let expected =
+        eval [| Int64.of_int a; Int64.of_int b; Int64.of_int c |] e
+      in
+      Int64.equal (Rvalue.to_int64 v) expected)
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "floats" `Quick test_float;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "arrays and pointers" `Quick test_arrays_and_pointers;
+    Alcotest.test_case "structs" `Quick test_structs;
+    Alcotest.test_case "strings and output" `Quick test_strings_and_output;
+    Alcotest.test_case "memcpy memset" `Quick test_memcpy_memset;
+    Alcotest.test_case "function pointers" `Quick test_function_pointers;
+    Alcotest.test_case "sizeof" `Quick test_sizeof;
+    Alcotest.test_case "division by zero" `Quick test_div_by_zero_traps;
+    Alcotest.test_case "null dereference" `Quick test_null_deref_faults;
+    QCheck_alcotest.to_alcotest prop_expr_vs_ocaml;
+  ]

@@ -1,0 +1,194 @@
+(* Execution, second batch: externals, policies, zones, fuel, edge cases. *)
+
+open Privagic_vm
+module Sgx = Privagic_sgx
+
+let run = Helpers.run_plain
+
+let check_int name src entry args expected =
+  let v, _ = run src entry args in
+  Alcotest.(check int64) name (Int64.of_int expected) (Rvalue.to_int64 v)
+
+let test_calloc () =
+  check_int "calloc zeroes"
+    {|
+within extern void* calloc(int n, int sz);
+entry int f() {
+  int* p = (int*) calloc(4, 8);
+  return p[0] + p[3];
+}
+|}
+    "f" [] 0
+
+let test_memcmp () =
+  check_int "memcmp"
+    {|
+within extern char* memset(char* d, int c, int n);
+within extern int memcmp(char* a, char* b, int n);
+char a[8];
+char b[8];
+entry int f() {
+  memset(a, 5, 8);
+  memset(b, 5, 8);
+  int same = memcmp(a, b, 8);
+  b[7] = 6;
+  int diff = memcmp(a, b, 8);
+  if (same == 0 && diff < 0) return 1;
+  return 0;
+}
+|}
+    "f" [] 1
+
+let test_strncpy_pads () =
+  check_int "strncpy NUL-pads"
+    {|
+within extern char* strncpy(char* d, char* s, int n);
+char buf[8];
+entry int f() {
+  buf[7] = 99;
+  strncpy(buf, "ab", 8);
+  return buf[0] + buf[2] + buf[7];
+}
+|}
+    "f" [] 97 (* 'a' + 0 + 0 *)
+
+let test_classify_i64_roundtrip () =
+  check_int "classify_i64"
+    {|
+ignore extern void classify_i64(int* d, int v);
+int cell;
+entry int f(int v) {
+  classify_i64(&cell, v);
+  return cell;
+}
+|}
+    "f" [ Helpers.rvalue_int 99 ] 99
+
+let test_unknown_external_traps () =
+  let it = Helpers.interp "extern void mystery(); entry void f() { mystery(); }" in
+  match Interp.call it "f" [] with
+  | exception Exec.Trap msg ->
+    Alcotest.(check bool) "names the function" true
+      (Helpers.contains msg "mystery")
+  | _ -> Alcotest.fail "expected a trap"
+
+let test_fuel_limit () =
+  let m = Helpers.compile "entry void f() { while (1) { } }" in
+  let machine = Sgx.Machine.create Sgx.Config.machine_test in
+  let heap = Heap.create () in
+  let layout = Layout.create m Privagic_secure.Mode.Relaxed in
+  let hooks : Exec.hooks =
+    {
+      Exec.h_call = (fun _ _ _ _ -> Rvalue.zero);
+      h_callind = (fun _ _ _ _ -> Rvalue.zero);
+      h_spawn = (fun _ _ _ _ -> ());
+      h_pre_instr = (fun _ _ -> ());
+      h_alloca_zone = (fun _ _ -> Heap.Unsafe);
+    }
+  in
+  let ex = Exec.create ~fuel:10_000 m heap layout machine hooks in
+  Exec.init_globals ex (fun _ -> Heap.Unsafe);
+  match
+    Exec.exec_func ex (Privagic_pir.Pmodule.find_func_exn m "f") [||]
+  with
+  | exception Exec.Trap msg ->
+    Alcotest.(check bool) "fuel trap" true (Helpers.contains msg "fuel")
+  | _ -> Alcotest.fail "expected a fuel trap"
+
+let test_scone_policy_zones () =
+  (* under the Scone policy everything lives in the enclave: enclave data
+     occupies the EPC; under the unprotected policy nothing does *)
+  let src =
+    {|
+within extern char* memset(char* d, int c, int n);
+char big[20000];
+entry void f() { memset(big, 1, 20000); }
+|}
+  in
+  let scone = Helpers.interp ~policy:Interp.scone src in
+  ignore (Interp.call scone "f" []);
+  let cs = Sgx.Machine.counters (Interp.machine scone) in
+  Alcotest.(check bool) "scone: enclave misses happen" true
+    (cs.Sgx.Machine.enclave_llc_misses > 0);
+  let unprot = Helpers.interp ~policy:Interp.unprotected src in
+  ignore (Interp.call unprot "f" []);
+  let cu = Sgx.Machine.counters (Interp.machine unprot) in
+  Alcotest.(check int) "unprotected: none" 0 cu.Sgx.Machine.enclave_llc_misses
+
+let test_intel_sdk_policy_charges_ecall () =
+  let src = "entry int f() { return 1; }" in
+  let it = Helpers.interp ~policy:Interp.intel_sdk src in
+  ignore (Interp.call it "f" []);
+  let c = Sgx.Machine.counters (Interp.machine it) in
+  Alcotest.(check int) "one switchless call" 1 c.Sgx.Machine.switchless_calls
+
+let test_syscall_weights () =
+  Alcotest.(check int) "net_recv" 3 (Externals.syscall_weight "net_recv");
+  Alcotest.(check int) "net_send" 2 (Externals.syscall_weight "net_send");
+  Alcotest.(check int) "lock" 1 (Externals.syscall_weight "lock");
+  Alcotest.(check int) "malloc is not a syscall" 0
+    (Externals.syscall_weight "malloc");
+  Alcotest.(check bool) "print is" true (Externals.is_syscall "print_int")
+
+let test_negative_division_semantics () =
+  (* C truncates toward zero; so does Int64.div *)
+  check_int "-7/2" "entry int f() { return -7 / 2; }" "f" [] (-3);
+  check_int "-7%2" "entry int f() { return -7 % 2; }" "f" [] (-1)
+
+let test_char_wraparound () =
+  check_int "char truncation"
+    "entry int f() { char c = 300; return c; }" "f" [] 44
+
+let test_globals_initialized () =
+  check_int "initializers"
+    {|
+int a = 42;
+int b = -7;
+double d = 2.5;
+entry int f() { return a + b + (int) (d * 2.0); }
+|}
+    "f" [] 40
+
+let test_spawn_sequential_in_plain () =
+  (* the plain interpreter runs spawned threads synchronously *)
+  let v, _ =
+    run
+      {|
+int cell;
+void w(int x) { cell = x; }
+entry int f() { spawn w(9); return cell; }
+|}
+      "f" []
+  in
+  Alcotest.(check int64) "spawn ran before return" 9L (Rvalue.to_int64 v)
+
+let test_output_buffering () =
+  let _, out =
+    run
+      {|
+extern void print_int(int x);
+entry void f() { for (int i = 0; i < 3; i++) print_int(i); }
+|}
+      "f" []
+  in
+  Alcotest.(check string) "lines" "0\n1\n2\n" out
+
+let suite =
+  [
+    Alcotest.test_case "calloc" `Quick test_calloc;
+    Alcotest.test_case "memcmp" `Quick test_memcmp;
+    Alcotest.test_case "strncpy pads" `Quick test_strncpy_pads;
+    Alcotest.test_case "classify_i64" `Quick test_classify_i64_roundtrip;
+    Alcotest.test_case "unknown external" `Quick test_unknown_external_traps;
+    Alcotest.test_case "fuel limit" `Quick test_fuel_limit;
+    Alcotest.test_case "scone policy zones" `Quick test_scone_policy_zones;
+    Alcotest.test_case "intel-sdk entry cost" `Quick
+      test_intel_sdk_policy_charges_ecall;
+    Alcotest.test_case "syscall weights" `Quick test_syscall_weights;
+    Alcotest.test_case "negative division" `Quick test_negative_division_semantics;
+    Alcotest.test_case "char wraparound" `Quick test_char_wraparound;
+    Alcotest.test_case "global initializers" `Quick test_globals_initialized;
+    Alcotest.test_case "plain spawn is sequential" `Quick
+      test_spawn_sequential_in_plain;
+    Alcotest.test_case "output buffering" `Quick test_output_buffering;
+  ]

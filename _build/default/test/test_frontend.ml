@@ -1,0 +1,197 @@
+(* Lexer, parser and sema tests. *)
+
+open Privagic_minic
+open Privagic_pir
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let test_lexer_basics () =
+  Alcotest.(check int) "token count" 6
+    (List.length (toks "int x = 42;"));
+  (match toks "0x10 3.5 'a' \"hi\\n\"" with
+  | [ Token.INT_LIT 16L; Token.FLOAT_LIT f; Token.CHAR_LIT 'a';
+      Token.STRING_LIT "hi\n"; Token.EOF ] ->
+    Alcotest.(check (float 0.001)) "float" 3.5 f
+  | _ -> Alcotest.fail "unexpected tokens");
+  match toks "a->b == c && d || !e" with
+  | [ Token.IDENT "a"; Token.ARROW; Token.IDENT "b"; Token.EQ;
+      Token.IDENT "c"; Token.ANDAND; Token.IDENT "d"; Token.OROR; Token.NOT;
+      Token.IDENT "e"; Token.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "operator tokens"
+
+let test_lexer_comments () =
+  Alcotest.(check int) "line comment" 2
+    (List.length (toks "// hello\nx"));
+  Alcotest.(check int) "block comment" 2
+    (List.length (toks "/* a\nb*c */ x"))
+
+let test_lexer_keywords () =
+  (match toks "color within ignore entry spawn NULL" with
+  | [ Token.KW_COLOR; Token.KW_WITHIN; Token.KW_IGNORE; Token.KW_ENTRY;
+      Token.KW_SPAWN; Token.KW_NULL; Token.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "keywords");
+  (* identifiers that merely contain keywords stay identifiers *)
+  match toks "colored interned" with
+  | [ Token.IDENT "colored"; Token.IDENT "interned"; Token.EOF ] -> ()
+  | _ -> Alcotest.fail "keyword prefixes"
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "bad char" true
+    (match Lexer.tokenize "int @ x;" with
+    | exception Lexer.Error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "unterminated string" true
+    (match Lexer.tokenize "\"abc" with
+    | exception Lexer.Error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "unterminated comment" true
+    (match Lexer.tokenize "/* abc" with
+    | exception Lexer.Error _ -> true
+    | _ -> false)
+
+let parse src = Parser.parse_program src
+
+let test_parser_globals () =
+  match parse "int x = 3;\ndouble color(red) y;\nchar buf[16];" with
+  | [ Ast.Global (tx, "x", Some _, _); Ast.Global (ty, "y", None, _);
+      Ast.Global (tb, "buf", None, _) ] ->
+    Alcotest.(check bool) "x int" true (Ty.equal tx Ty.i64);
+    Alcotest.(check bool) "y colored" true
+      (Ty.color_of ty = Some (Color.Named "red"));
+    Alcotest.(check bool) "buf arr" true
+      (match tb.Ty.desc with Ty.Arr (_, 16) -> true | _ -> false)
+  | _ -> Alcotest.fail "globals"
+
+let test_parser_struct () =
+  match parse "struct s { int a; char b[4]; struct s* next; };" with
+  | [ Ast.Struct_def ("s", fields, _) ] ->
+    Alcotest.(check int) "3 fields" 3 (List.length fields)
+  | _ -> Alcotest.fail "struct"
+
+let test_parser_pointer_colors () =
+  (* color after a star qualifies the pointer itself *)
+  match parse "struct s { int x; };\nstruct s color(blue)* color(blue) p;" with
+  | [ _; Ast.Global (tp, "p", None, _) ] ->
+    Alcotest.(check bool) "pointer colored" true
+      (Ty.color_of tp = Some (Color.Named "blue"));
+    Alcotest.(check bool) "pointee colored" true
+      (Ty.color_of (Ty.deref tp) = Some (Color.Named "blue"))
+  | _ -> Alcotest.fail "pointer colors"
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  match parse "int f() { return 1 + 2 * 3; }" with
+  | [ Ast.Func_def { Ast.fbody = [ { Ast.sdesc = Ast.Return (Some e); _ } ]; _ } ]
+    -> (
+    match e.Ast.edesc with
+    | Ast.Binop (Ast.Add, _, { Ast.edesc = Ast.Binop (Ast.Mul, _, _); _ }) ->
+      ()
+    | _ -> Alcotest.fail "precedence shape")
+  | _ -> Alcotest.fail "precedence"
+
+let test_parser_annots () =
+  match parse "within extern void* malloc(int n);\nentry int main() { return 0; }" with
+  | [ Ast.Extern_decl ("malloc", _, _, [ Annot.Within ], _);
+      Ast.Func_def { Ast.fannots = [ Annot.Entry ]; _ } ] ->
+    ()
+  | _ -> Alcotest.fail "annotations"
+
+let test_parser_statements () =
+  let src =
+    {|
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    if (i % 2 == 0) continue;
+    acc += i;
+    if (acc > 100) break;
+  }
+  while (acc > 10) acc -= 10;
+  return acc;
+}
+|}
+  in
+  match parse src with
+  | [ Ast.Func_def f ] ->
+    Alcotest.(check int) "4 stmts" 4 (List.length f.Ast.fbody)
+  | _ -> Alcotest.fail "statements"
+
+let test_parser_errors () =
+  let fails src =
+    match parse src with exception Parser.Error _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "missing semi" true (fails "int f() { return 1 }");
+  Alcotest.(check bool) "bad type" true (fails "foo x;");
+  Alcotest.(check bool) "unbalanced" true (fails "int f() { if (1) { }")
+
+let sema_error src =
+  match Sema.check_program (parse src) with
+  | exception Sema.Error (_, msg) -> Some msg
+  | _ -> None
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let check_sema_error name src fragment =
+  match sema_error src with
+  | Some msg ->
+    Alcotest.(check bool)
+      (name ^ ": " ^ msg)
+      true (contains msg fragment)
+  | None -> Alcotest.failf "%s: expected a sema error" name
+
+let test_sema_errors () =
+  check_sema_error "unknown var" "int f() { return y; }" "unknown identifier";
+  check_sema_error "unknown func" "int f() { return g(); }" "unknown function";
+  check_sema_error "arity" "int g(int x) { return x; } int f() { return g(); }"
+    "expects 1 arguments";
+  check_sema_error "bad assign" "int f() { 3 = 4; return 0; }" "lvalue";
+  check_sema_error "redecl" "int f() { int x; int x; return 0; }"
+    "redeclaration";
+  check_sema_error "bad field"
+    "struct s { int a; }; int f(struct s* p) { return p->b; }" "no field";
+  check_sema_error "deref int" "int f(int x) { return *x; }"
+    "dereference of a non-pointer";
+  check_sema_error "void var" "int f() { void x; return 0; }" "type void";
+  (* break placement is validated during lowering *)
+  (match Privagic_minic.Driver.compile "int f() { break; return 0; }" with
+  | exception Privagic_minic.Driver.Error e ->
+    Alcotest.(check bool) "break outside loop" true
+      (Helpers.contains e.Privagic_minic.Driver.msg "outside a loop")
+  | _ -> Alcotest.fail "break: expected a lowering error");
+  check_sema_error "return value from void" "void f() { return 3; }"
+    "void function";
+  check_sema_error "struct copy"
+    "struct s { int a; }; struct s g1; struct s g2; int f() { g1 = g2; return 0; }"
+    "cannot copy whole structs"
+
+let test_sema_conversions () =
+  (* these must all typecheck *)
+  let ok src = Alcotest.(check bool) src true (sema_error src = None) in
+  ok "int f(double d) { int x = d; return x; }";
+  ok "int f(char c) { return c + 1; }";
+  ok "within extern void* malloc(int n); int* f() { return (int*) malloc(8); }";
+  ok "int f(int* p) { if (p == NULL) return 0; return 1; }";
+  ok "char f(char* s) { return s[3]; }";
+  ok "int arr[4]; int f(int* p) { return p[0]; } int g() { return f(arr); }"
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer keywords" `Quick test_lexer_keywords;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parser globals" `Quick test_parser_globals;
+    Alcotest.test_case "parser struct" `Quick test_parser_struct;
+    Alcotest.test_case "parser pointer colors" `Quick test_parser_pointer_colors;
+    Alcotest.test_case "parser precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "parser annotations" `Quick test_parser_annots;
+    Alcotest.test_case "parser statements" `Quick test_parser_statements;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "sema errors" `Quick test_sema_errors;
+    Alcotest.test_case "sema conversions" `Quick test_sema_conversions;
+  ]

@@ -1,0 +1,102 @@
+(* Benchmark harness smoke tests: tiny runs of every experiment must
+   produce sane, correctly-shaped results. *)
+
+module Kv = Privagic_harness.Kv
+module System = Privagic_baselines.System
+open Privagic_secure
+
+let tiny family kind =
+  Kv.run ~config:Privagic_sgx.Config.machine_test ~nbuckets:64 ~vsize:64 family
+    kind ~record_count:200 ~operations:100 ()
+
+let test_kv_run_sane () =
+  let r = tiny Kv.Hashmap System.Unprotected in
+  Alcotest.(check bool) "throughput > 0" true (r.Kv.throughput_kops > 0.0);
+  Alcotest.(check bool) "latency > 0" true (r.Kv.mean_latency_us > 0.0);
+  Alcotest.(check (float 0.01)) "reads find their keys" 1.0 r.Kv.p_found
+
+let test_kv_all_systems_agree_on_found () =
+  List.iter
+    (fun kind ->
+      let r = tiny Kv.Hashmap kind in
+      Alcotest.(check (float 0.01))
+        ("found rate for " ^ r.Kv.system)
+        1.0 r.Kv.p_found)
+    [ System.Unprotected; System.Scone; System.Privagic Mode.Hardened;
+      System.Intel_sdk Mode.Hardened ]
+
+let test_privagic_uses_queue_msgs () =
+  let r = tiny Kv.Hashmap (System.Privagic Mode.Hardened) in
+  Alcotest.(check bool) "queue msgs used" true (r.Kv.queue_msgs > 0);
+  Alcotest.(check int) "no switchless" 0 r.Kv.ecalls_switchless;
+  let r2 = tiny Kv.Hashmap (System.Intel_sdk Mode.Hardened) in
+  Alcotest.(check bool) "sdk uses switchless" true (r2.Kv.ecalls_switchless > 0);
+  Alcotest.(check int) "sdk has no queue msgs" 0 r2.Kv.queue_msgs
+
+let test_protected_slower_than_unprotected () =
+  let u = tiny Kv.Hashmap System.Unprotected in
+  let p = tiny Kv.Hashmap (System.Privagic Mode.Hardened) in
+  Alcotest.(check bool) "privagic slower than unprotected" true
+    (p.Kv.mean_latency_us > u.Kv.mean_latency_us);
+  (* the Scone gap comes from in-enclave syscalls, which only memcached
+     performs (network + locks per request, §9.2.3) *)
+  let pm = tiny Kv.Memcached (System.Privagic Mode.Hardened) in
+  let sm = tiny Kv.Memcached System.Scone in
+  Alcotest.(check bool) "privagic memcached beats scone" true
+    (pm.Kv.mean_latency_us < sm.Kv.mean_latency_us)
+
+let test_two_color_runs () =
+  let r =
+    Kv.run ~config:Privagic_sgx.Config.machine_test ~nbuckets:64 ~vsize:64
+      Kv.Hashmap2 (System.Privagic Mode.Relaxed) ~record_count:100
+      ~operations:50 ()
+  in
+  Alcotest.(check (float 0.01)) "two-color found rate" 1.0 r.Kv.p_found
+
+let test_rejected_configs () =
+  (* the Privagic system refuses programs its checker rejects *)
+  match
+    System.create System.(Privagic Mode.Hardened)
+      (Privagic_workloads.Programs.hashmap_two_color ~nbuckets:64 ~vsize:64
+         `Colored)
+  with
+  | exception System.Rejected _ -> ()
+  | _ -> Alcotest.fail "expected rejection of two colors in hardened mode"
+
+let test_table4_rows () =
+  let rows = Privagic_harness.Table4.default_rows () in
+  Alcotest.(check int) "five programs" 5 (List.length rows);
+  List.iter
+    (fun (r : Privagic_harness.Table4.row) ->
+      Alcotest.(check bool)
+        (r.Privagic_harness.Table4.program ^ " modified lines sane")
+        true
+        (r.Privagic_harness.Table4.modified_lines > 0
+        && r.Privagic_harness.Table4.modified_lines < 60);
+      Alcotest.(check bool)
+        (r.Privagic_harness.Table4.program ^ " tcb reduction")
+        true
+        (r.Privagic_harness.Table4.reduction > 50.0))
+    rows
+
+let test_reports_render () =
+  let t = Privagic_harness.Report.create ~title:"t" ~header:[ "a"; "bb" ] in
+  Privagic_harness.Report.add_row t [ "1"; "2" ];
+  Privagic_harness.Report.add_row t [ "333"; "4" ];
+  let s = Format.asprintf "%a" Privagic_harness.Report.pp t in
+  Alcotest.(check bool) "title" true (Helpers.contains s "== t ==");
+  Alcotest.(check bool) "rows" true (Helpers.contains s "333")
+
+let suite =
+  [
+    Alcotest.test_case "kv run sane" `Quick test_kv_run_sane;
+    Alcotest.test_case "found rate across systems" `Slow
+      test_kv_all_systems_agree_on_found;
+    Alcotest.test_case "crossing mechanisms" `Quick test_privagic_uses_queue_msgs;
+    Alcotest.test_case "ordering of systems" `Quick
+      test_protected_slower_than_unprotected;
+    Alcotest.test_case "two-color run" `Quick test_two_color_runs;
+    Alcotest.test_case "rejected configs" `Quick test_rejected_configs;
+    Alcotest.test_case "table4 rows" `Quick test_table4_rows;
+    Alcotest.test_case "report rendering" `Quick test_reports_render;
+  ]

@@ -1,0 +1,370 @@
+(* Secure type system tests: each of the paper's rules (§4, §6, Table 3)
+   has accepting and rejecting programs. *)
+
+open Privagic_secure
+open Privagic_pir
+module P = Privagic_workloads.Programs
+
+let kinds = Helpers.diagnostic_kinds
+let ok = Helpers.checks_ok
+
+let has kind l = List.mem kind l
+
+(* --- confidentiality: direct leaks (rules 1-3) --- *)
+
+let test_direct_leak_store () =
+  (* a blue value stored into unsafe memory *)
+  let src = "int color(blue) s; int u; entry void f() { u = s; }" in
+  Alcotest.(check bool) "hardened rejects" true
+    (has Diagnostic.Confidentiality (kinds ~mode:Mode.Hardened src));
+  Alcotest.(check bool) "relaxed rejects too" true
+    (has Diagnostic.Confidentiality (kinds ~mode:Mode.Relaxed src))
+
+let test_store_within_color_ok () =
+  let src = "int color(blue) a; int color(blue) b; entry void f() { a = b; }" in
+  Alcotest.(check bool) "blue to blue ok" true (ok ~mode:Mode.Hardened src)
+
+let test_cross_enclave_store () =
+  let src = "int color(blue) a; int color(red) b; entry void f() { a = b; }" in
+  Alcotest.(check bool) "red into blue rejected" true
+    (not (ok ~mode:Mode.Relaxed src))
+
+let test_indirect_leak_via_arith () =
+  (* rule 2: computing with a secret taints the result *)
+  let src =
+    "int color(blue) s; int u; entry void f() { int x = s + 1; u = x; }"
+  in
+  Alcotest.(check bool) "rejected" true
+    (has Diagnostic.Confidentiality (kinds ~mode:Mode.Hardened src))
+
+let test_constant_into_colored_ok () =
+  (* storing an embedded constant into an enclave is fine (F ~ C) *)
+  let src = "int color(blue) s; entry void f() { s = 42; }" in
+  Alcotest.(check bool) "ok" true (ok ~mode:Mode.Hardened src)
+
+(* --- Iago protection (hardened only) --- *)
+
+let test_iago_hardened_vs_relaxed () =
+  (* an unannotated global holds attacker-controllable data; consuming it
+     to compute a blue value must fail in hardened mode only *)
+  let src = "int u; int color(blue) s; entry void f() { s = u; }" in
+  Alcotest.(check bool) "hardened rejects" true
+    (not (ok ~mode:Mode.Hardened src));
+  Alcotest.(check bool) "relaxed accepts (S loads become F)" true
+    (ok ~mode:Mode.Relaxed src)
+
+let test_external_result_is_untrusted () =
+  let src =
+    "extern int read_input(); int color(blue) s; entry void f() { s = read_input(); }"
+  in
+  Alcotest.(check bool) "hardened rejects" true
+    (not (ok ~mode:Mode.Hardened src));
+  Alcotest.(check bool) "relaxed accepts" true (ok ~mode:Mode.Relaxed src)
+
+let test_colored_arg_to_external () =
+  let src =
+    "extern void send(int x); int color(blue) s; entry void f() { send(s); }"
+  in
+  Alcotest.(check bool) "leak to external rejected" true
+    (has Diagnostic.Confidentiality (kinds ~mode:Mode.Hardened src))
+
+(* --- rule 4: implicit leaks through conditionals (Fig. 4) --- *)
+
+let test_fig4 () =
+  List.iter
+    (fun mode ->
+      Alcotest.(check bool)
+        ("fig4 rejected in " ^ Mode.to_string mode)
+        true
+        (has Diagnostic.Implicit_leak (kinds ~mode P.fig4)))
+    [ Mode.Hardened; Mode.Relaxed ]
+
+let test_fig4_join_ok () =
+  (* writing after the join point is fine *)
+  let src =
+    "int y; int color(blue) b; entry void f() { if (b == 42) { b = 1; } y = 2; }"
+  in
+  Alcotest.(check bool) "join write accepted" true (ok ~mode:Mode.Relaxed src)
+
+let test_blue_region_blue_work_ok () =
+  let src =
+    "int color(blue) b; int color(blue) x; entry void f() { if (b == 42) x = 1; }"
+  in
+  Alcotest.(check bool) "blue store in blue region ok" true
+    (ok ~mode:Mode.Hardened src)
+
+let test_nested_region_conflict () =
+  let src =
+    {|
+int color(blue) b;
+int color(red) r;
+int color(blue) x;
+entry void f() {
+  if (b == 1) {
+    if (r == 2) {
+      x = 3;
+    }
+  }
+}
+|}
+  in
+  Alcotest.(check bool) "blue+red region conflict" true
+    (has Diagnostic.Implicit_leak (kinds ~mode:Mode.Relaxed src))
+
+(* --- rule 4 of §4: pointer colors (Fig. 3b) --- *)
+
+let test_fig3b () =
+  let ds = Helpers.diagnostics ~mode:Mode.Relaxed P.fig3_secure in
+  Alcotest.(check bool) "x = &b rejected" true
+    (List.exists (fun d -> d.Diagnostic.kind = Diagnostic.Pointer_cast) ds);
+  (* the error is at the x = &b line, in g *)
+  Alcotest.(check bool) "error inside g" true
+    (List.exists (fun d -> Helpers.contains d.Diagnostic.func "g") ds)
+
+let test_fig3b_correct_assign_ok () =
+  let src =
+    {|
+int color(blue) a;
+int color(blue)* x;
+void f(int color(blue) s) { x = &a; *x = s; }
+entry int main() { f(0); return 0; }
+|}
+  in
+  Alcotest.(check bool) "x = &a accepted" true (ok ~mode:Mode.Relaxed src)
+
+let test_pointer_cast_between_colors () =
+  let src =
+    {|
+int color(blue) a;
+entry void f() {
+  int color(red)* p = (int color(red)*) &a;
+}
+|}
+  in
+  Alcotest.(check bool) "blue* to red* rejected" true
+    (has Diagnostic.Pointer_cast (kinds ~mode:Mode.Relaxed src))
+
+let test_attacker_forged_pointer () =
+  (* an integer from untrusted input turned into an enclave pointer: the
+     load through it must be rejected in hardened mode *)
+  let src =
+    {|
+extern int read_input();
+int color(blue) s;
+entry int f() {
+  int color(blue)* p = (int color(blue)*) read_input();
+  return *p;
+}
+|}
+  in
+  Alcotest.(check bool) "forged pointer rejected" true
+    (not (ok ~mode:Mode.Hardened src))
+
+(* --- within / ignore (§6.3, §6.4) --- *)
+
+let test_within_executes_in_enclave () =
+  let src =
+    {|
+within extern char* memcpy(char* d, char* s, int n);
+char color(blue) buf[64];
+char color(blue) src_[64];
+entry void f() { memcpy(buf, src_, 64); }
+|}
+  in
+  Alcotest.(check bool) "within blue->blue ok" true (ok ~mode:Mode.Hardened src)
+
+let test_within_rejects_mixed () =
+  let src =
+    {|
+within extern char* memcpy(char* d, char* s, int n);
+char color(blue) buf[64];
+char color(red) other[64];
+entry void f() { memcpy(buf, other, 64); }
+|}
+  in
+  Alcotest.(check bool) "within blue+red rejected" true
+    (not (ok ~mode:Mode.Relaxed src))
+
+let test_within_rejects_unsafe_pointer () =
+  let src =
+    {|
+within extern char* memcpy(char* d, char* s, int n);
+char color(blue) buf[64];
+char plain[64];
+entry void f() { memcpy(buf, plain, 64); }
+|}
+  in
+  Alcotest.(check bool) "within blue+U rejected in hardened" true
+    (not (ok ~mode:Mode.Hardened src))
+
+let test_ignore_declassifies () =
+  let src =
+    {|
+ignore extern void declassify(char* d, char* s, int n);
+char color(blue) buf[64];
+char plain[64];
+entry void f() { declassify(plain, buf, 64); }
+|}
+  in
+  Alcotest.(check bool) "ignore accepts mixed colors" true
+    (ok ~mode:Mode.Hardened src)
+
+(* --- function specialization (§6.2) --- *)
+
+let test_specialization () =
+  let src =
+    {|
+int color(blue) b;
+int color(red) r;
+int id(int x) { return x; }
+entry void f() {
+  b = id(b);
+  r = id(r);
+}
+|}
+  in
+  let m = Helpers.compile src in
+  let res = Infer.run ~mode:Mode.Relaxed m in
+  Alcotest.(check bool) "no errors" true (Infer.ok res);
+  let blue = Infer.find_instance res "id" [ Color.Named "blue" ] in
+  let red = Infer.find_instance res "id" [ Color.Named "red" ] in
+  Alcotest.(check bool) "blue instance exists" true (blue <> None);
+  Alcotest.(check bool) "red instance exists" true (red <> None);
+  (match blue with
+  | Some i ->
+    Alcotest.(check string) "blue ret" "blue" (Color.to_string i.Infer.ret_color)
+  | None -> ());
+  match red with
+  | Some i ->
+    Alcotest.(check string) "red ret" "red" (Color.to_string i.Infer.ret_color)
+  | None -> ()
+
+let test_fig6_colorsets () =
+  let m = Helpers.compile P.fig6 in
+  let res = Infer.run ~mode:Mode.Relaxed m in
+  Alcotest.(check bool) "fig6 checks" true (Infer.ok res);
+  let colorset name args =
+    match Infer.find_instance res name args with
+    | Some i ->
+      Infer.colorset i |> Color.Set.elements |> List.map Color.to_string
+      |> String.concat ","
+    | None -> "<missing>"
+  in
+  Alcotest.(check string) "main colorset" "U,blue"
+    (colorset "main" []);
+  Alcotest.(check string) "f@blue colorset" "blue"
+    (colorset "f" [ Color.Named "blue" ]);
+  Alcotest.(check string) "g colorset" "U,blue,red"
+    (colorset "g" [ Color.Free ])
+
+let test_declared_param_color () =
+  (* passing an incompatible value to a declared colored parameter fails *)
+  let src =
+    {|
+int color(red) r;
+void f(int color(blue) x) { }
+entry void g() { f(r); }
+|}
+  in
+  Alcotest.(check bool) "red into blue param rejected" true
+    (not (ok ~mode:Mode.Relaxed src))
+
+let test_recursion_stabilizes () =
+  let src =
+    {|
+int color(blue) b;
+int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+entry void f() { b = fact(b); }
+|}
+  in
+  Alcotest.(check bool) "recursive specialization" true
+    (ok ~mode:Mode.Hardened src)
+
+(* --- multi-color structures (§7.2, §8) --- *)
+
+let test_multicolor_struct_modes () =
+  Alcotest.(check bool) "fig1 rejected in hardened" true
+    (has Diagnostic.Multicolor_struct (kinds ~mode:Mode.Hardened P.fig1));
+  Alcotest.(check bool) "fig1 accepted in relaxed" true
+    (ok ~mode:Mode.Relaxed P.fig1)
+
+(* --- return colors --- *)
+
+let test_return_color_conflict () =
+  let src =
+    {|
+int color(blue) b;
+int color(red) r;
+int pick(int c) { if (c == 1) return b; return r; }
+entry void f() { int x = pick(0); }
+|}
+  in
+  Alcotest.(check bool) "mixed returns rejected" true
+    (not (ok ~mode:Mode.Relaxed src))
+
+(* --- spawn --- *)
+
+let test_spawn_colored_arg_rejected () =
+  let src =
+    {|
+int color(blue) b;
+void worker(int x) { }
+entry void f() { spawn worker(b); }
+|}
+  in
+  Alcotest.(check bool) "blue through spawn rejected" true
+    (not (ok ~mode:Mode.Hardened src))
+
+let test_spawn_plain_ok () =
+  let src = "void worker(int x) { } entry void f() { spawn worker(1); }" in
+  Alcotest.(check bool) "plain spawn ok" true (ok ~mode:Mode.Hardened src)
+
+(* --- nested specialization --- *)
+
+let test_indirect_call_colored_arg () =
+  let src =
+    {|
+int color(blue) b;
+int h(int x) { return x; }
+int apply(int v) {
+  int r = h(v);
+  return r;
+}
+entry void f() { b = apply(b); }
+|}
+  in
+  Alcotest.(check bool) "nested specialization ok" true
+    (ok ~mode:Mode.Relaxed src)
+
+let suite =
+  [
+    Alcotest.test_case "direct leak via store" `Quick test_direct_leak_store;
+    Alcotest.test_case "store within color" `Quick test_store_within_color_ok;
+    Alcotest.test_case "cross-enclave store" `Quick test_cross_enclave_store;
+    Alcotest.test_case "indirect leak via arith" `Quick test_indirect_leak_via_arith;
+    Alcotest.test_case "constant into colored" `Quick test_constant_into_colored_ok;
+    Alcotest.test_case "iago hardened vs relaxed" `Quick test_iago_hardened_vs_relaxed;
+    Alcotest.test_case "external result untrusted" `Quick test_external_result_is_untrusted;
+    Alcotest.test_case "colored arg to external" `Quick test_colored_arg_to_external;
+    Alcotest.test_case "fig4 implicit leak" `Quick test_fig4;
+    Alcotest.test_case "fig4 join ok" `Quick test_fig4_join_ok;
+    Alcotest.test_case "blue region blue work" `Quick test_blue_region_blue_work_ok;
+    Alcotest.test_case "nested region conflict" `Quick test_nested_region_conflict;
+    Alcotest.test_case "fig3b rejection" `Quick test_fig3b;
+    Alcotest.test_case "fig3b correct assign" `Quick test_fig3b_correct_assign_ok;
+    Alcotest.test_case "pointer cast colors" `Quick test_pointer_cast_between_colors;
+    Alcotest.test_case "forged pointer" `Quick test_attacker_forged_pointer;
+    Alcotest.test_case "within in enclave" `Quick test_within_executes_in_enclave;
+    Alcotest.test_case "within mixed colors" `Quick test_within_rejects_mixed;
+    Alcotest.test_case "within unsafe pointer" `Quick test_within_rejects_unsafe_pointer;
+    Alcotest.test_case "ignore declassifies" `Quick test_ignore_declassifies;
+    Alcotest.test_case "specialization" `Quick test_specialization;
+    Alcotest.test_case "fig6 colorsets" `Quick test_fig6_colorsets;
+    Alcotest.test_case "declared param color" `Quick test_declared_param_color;
+    Alcotest.test_case "recursion stabilizes" `Quick test_recursion_stabilizes;
+    Alcotest.test_case "multicolor struct modes" `Quick test_multicolor_struct_modes;
+    Alcotest.test_case "return color conflict" `Quick test_return_color_conflict;
+    Alcotest.test_case "spawn colored arg" `Quick test_spawn_colored_arg_rejected;
+    Alcotest.test_case "spawn plain" `Quick test_spawn_plain_ok;
+    Alcotest.test_case "nested specialization" `Quick test_indirect_call_colored_arg;
+  ]

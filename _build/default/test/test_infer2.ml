@@ -1,0 +1,277 @@
+(* Secure type system, second batch: inference details, U-value tracking,
+   gep taint, entry handling, library mode, regression cases. *)
+
+open Privagic_secure
+open Privagic_pir
+
+let kinds = Helpers.diagnostic_kinds
+let ok = Helpers.checks_ok
+
+let test_local_inference () =
+  (* an uncolored local whose address never escapes is promoted and its
+     color inferred — the paper's §5.1 condition *)
+  let src =
+    {|
+int color(blue) a;
+int color(blue) b;
+entry void f() {
+  int tmp = a;
+  b = tmp;
+}
+|}
+  in
+  Alcotest.(check bool) "inferred blue local ok" true (ok ~mode:Mode.Hardened src)
+
+let test_escaping_local_is_memory () =
+  (* once the address escapes, the local is unannotated memory (U in
+     hardened): a blue store into it is rejected *)
+  let src =
+    {|
+extern void g(int* p);
+int color(blue) a;
+entry void f() {
+  int tmp;
+  g(&tmp);
+  tmp = a;
+}
+|}
+  in
+  Alcotest.(check bool) "escaping local rejected" true
+    (not (ok ~mode:Mode.Hardened src))
+
+let test_load_from_u_stays_u () =
+  (* hardened: an unannotated global's value cannot be mixed with blue *)
+  let src =
+    {|
+int u;
+int color(blue) b;
+entry void f() { int x = u + b; }
+|}
+  in
+  Alcotest.(check bool) "U + blue rejected" true (not (ok ~mode:Mode.Hardened src))
+
+let test_gep_index_taint () =
+  (* indexing public memory with a secret index is an indirect leak *)
+  let src =
+    {|
+int color(blue) secret;
+int table[64];
+entry int f() { return table[secret & 63]; }
+|}
+  in
+  Alcotest.(check bool) "secret index into U table rejected" true
+    (not (ok ~mode:Mode.Hardened src));
+  (* indexing blue memory with a blue index is fine *)
+  let src2 =
+    {|
+int color(blue) secret;
+int color(blue) table[64];
+int color(blue) out;
+entry void f() { out = table[secret & 63]; }
+|}
+  in
+  Alcotest.(check bool) "blue index into blue table ok" true
+    (ok ~mode:Mode.Hardened src2)
+
+let test_colored_array_global () =
+  let src =
+    {|
+char color(blue) buf[128];
+entry void f() { buf[3] = 'x'; }
+|}
+  in
+  Alcotest.(check bool) "store constant into blue array" true
+    (ok ~mode:Mode.Hardened src)
+
+let test_region_without_else () =
+  let src =
+    {|
+int color(blue) b;
+int u;
+entry void f() {
+  if (b > 0) {
+    u = 1;
+  }
+}
+|}
+  in
+  Alcotest.(check bool) "then-only region still colored" true
+    (List.mem Diagnostic.Implicit_leak (kinds ~mode:Mode.Hardened src))
+
+let test_loop_on_secret () =
+  (* iterating a secret number of times and writing U inside: rejected *)
+  let src =
+    {|
+int color(blue) n;
+int u;
+entry void f() {
+  int i = 0;
+  while (i < n) {
+    u = u + 1;
+    i = i + 1;
+  }
+}
+|}
+  in
+  Alcotest.(check bool) "secret loop bound leaks" true
+    (List.mem Diagnostic.Implicit_leak (kinds ~mode:Mode.Hardened src))
+
+let test_phi_edge_color_regression () =
+  (* regression: after mem2reg a flag set inside a colored region becomes
+     a phi at the join; it must be colored (see DESIGN.md §8.1) *)
+  let src =
+    {|
+ignore extern void declassify_i64(int* d, int v);
+int color(blue) b;
+int rstatus;
+entry int f() {
+  int fnd = 0;
+  if (b == 7) { fnd = 1; }
+  declassify_i64(&rstatus, fnd);
+  return rstatus;
+}
+|}
+  in
+  let m = Helpers.compile src in
+  let res = Infer.run ~mode:Mode.Hardened m in
+  Alcotest.(check bool) "accepted (declassified)" true (Infer.ok res);
+  (* the declassify call must be colored blue, not replicated *)
+  let inst =
+    Option.get
+      (Infer.find_instance res "f" [])
+  in
+  let found = ref false in
+  Func.iter_instrs inst.Infer.func (fun _ i ->
+      match i.Instr.op with
+      | Instr.Call ("declassify_i64", _) ->
+        found := true;
+        Alcotest.(check string) "declassify executes in blue" "blue"
+          (Color.to_string (Infer.instruction_color inst i))
+      | _ -> ());
+  Alcotest.(check bool) "found the call" true !found
+
+let test_entry_param_declared_color () =
+  (* a declared colored parameter on an entry point keeps its color *)
+  let src =
+    {|
+int color(blue) sink;
+entry void f(int color(blue) x) { sink = x; }
+|}
+  in
+  Alcotest.(check bool) "colored entry param" true (ok ~mode:Mode.Hardened src)
+
+let test_library_mode_roots () =
+  (* without any 'entry', every defined function is analyzed (§6.2) *)
+  let src = "int color(blue) b; void helper() { b = 1; }" in
+  let m = Helpers.compile src in
+  let res = Infer.run ~mode:Mode.Hardened m in
+  Alcotest.(check bool) "helper analyzed" true
+    (Infer.find_instance res "helper" [] <> None)
+
+let test_string_literals_are_free () =
+  (* string constants are replicated per partition: usable in enclaves *)
+  let src =
+    {|
+within extern char* strncpy(char* d, char* s, int n);
+char color(blue) name[16];
+entry void f() { strncpy(name, "alice", 16); }
+|}
+  in
+  Alcotest.(check bool) "string into blue ok" true (ok ~mode:Mode.Hardened src)
+
+let test_within_all_free_args () =
+  (* a within call with only F arguments binds to no enclave *)
+  let src =
+    {|
+within extern void* malloc(int n);
+entry int f() {
+  int* p = (int*) malloc(8);
+  *p = 3;
+  return *p;
+}
+|}
+  in
+  Alcotest.(check bool) "free within ok" true (ok ~mode:Mode.Hardened src)
+
+let test_two_instances_two_colorsets () =
+  let src =
+    {|
+int color(blue) b;
+int color(red) r;
+void set(int color(blue) x) { b = x; }
+void set2(int color(red) x) { r = x; }
+entry void f() { set(b); set2(r); }
+|}
+  in
+  let m = Helpers.compile src in
+  let res = Infer.run ~mode:Mode.Relaxed m in
+  Alcotest.(check bool) "ok" true (Infer.ok res);
+  let cs name args =
+    match Infer.find_instance res name args with
+    | Some i ->
+      String.concat ","
+        (List.map Color.to_string (Color.Set.elements (Infer.colorset i)))
+    | None -> "<none>"
+  in
+  Alcotest.(check string) "set is blue" "blue" (cs "set" [ Color.Named "blue" ]);
+  Alcotest.(check string) "set2 is red" "red" (cs "set2" [ Color.Named "red" ])
+
+let test_ret_mem_flows_to_caller () =
+  (* a function returning a blue pointer: dereferencing the result in the
+     caller is a blue access *)
+  let src =
+    {|
+int color(blue) cell;
+int color(blue)* addr() { return &cell; }
+entry void f(int color(blue) v) {
+  int color(blue)* p = addr();
+  *p = v;
+}
+|}
+  in
+  Alcotest.(check bool) "returned blue pointer usable" true
+    (ok ~mode:Mode.Hardened src)
+
+let test_ret_mem_mismatch () =
+  (* note: functions unreachable from the entry points are not analyzed
+     (the stabilizing passes start from the roots, §6.2), so the bad
+     function must actually be called *)
+  let src =
+    {|
+int color(blue) cell;
+int* addr() { return &cell; }
+entry void f() { int* p = addr(); }
+|}
+  in
+  Alcotest.(check bool) "blue pointer under uncolored return type rejected"
+    true
+    (not (ok ~mode:Mode.Relaxed src))
+
+let test_s_store_only_function_keeps_store () =
+  (* regression for the footnote-6 fix: a relaxed-mode function whose only
+     placed instruction is an S store must still execute it *)
+  let src = "int g; entry int f() { g = 7; return g; }" in
+  let v, _ = Helpers.run_partitioned ~mode:Mode.Relaxed src "f" [] in
+  Alcotest.(check int64) "store executed" 7L (Privagic_vm.Rvalue.to_int64 v)
+
+let suite =
+  [
+    Alcotest.test_case "local inference" `Quick test_local_inference;
+    Alcotest.test_case "escaping local" `Quick test_escaping_local_is_memory;
+    Alcotest.test_case "U stays U" `Quick test_load_from_u_stays_u;
+    Alcotest.test_case "gep index taint" `Quick test_gep_index_taint;
+    Alcotest.test_case "colored array global" `Quick test_colored_array_global;
+    Alcotest.test_case "then-only region" `Quick test_region_without_else;
+    Alcotest.test_case "secret loop bound" `Quick test_loop_on_secret;
+    Alcotest.test_case "phi edge color (regression)" `Quick
+      test_phi_edge_color_regression;
+    Alcotest.test_case "entry param color" `Quick test_entry_param_declared_color;
+    Alcotest.test_case "library mode roots" `Quick test_library_mode_roots;
+    Alcotest.test_case "string literals free" `Quick test_string_literals_are_free;
+    Alcotest.test_case "within all-F" `Quick test_within_all_free_args;
+    Alcotest.test_case "independent colorsets" `Quick test_two_instances_two_colorsets;
+    Alcotest.test_case "returned blue pointer" `Quick test_ret_mem_flows_to_caller;
+    Alcotest.test_case "return type mismatch" `Quick test_ret_mem_mismatch;
+    Alcotest.test_case "S-store-only function (regression)" `Quick
+      test_s_store_only_function_keeps_store;
+  ]

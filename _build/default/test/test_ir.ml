@@ -1,0 +1,296 @@
+(* PIR structure, CFG, dominators, verification, mem2reg, DCE. *)
+
+open Privagic_pir
+
+(* Build a diamond CFG by hand:
+   entry -> (a | b) -> join -> ret *)
+let diamond () =
+  let m = Pmodule.create () in
+  let f = Func.make ~name:"d" ~params:[ ("c", Ty.i1) ] ~ret:Ty.i64 () in
+  let b = Builder.create m f in
+  let la = Builder.block b "a" in
+  let lb = Builder.block b "b" in
+  let lj = Builder.block b "join" in
+  Builder.condbr b (Value.reg 0) la lb;
+  Builder.position b la;
+  let va = Builder.binop b Instr.Add Ty.i64 (Value.int_ 1L) (Value.int_ 2L) in
+  Builder.br b lj;
+  Builder.position b lb;
+  let vb = Builder.binop b Instr.Add Ty.i64 (Value.int_ 10L) (Value.int_ 20L) in
+  Builder.br b lj;
+  Builder.position b lj;
+  let phi = Builder.phi b Ty.i64 [ (la, va); (lb, vb) ] in
+  Builder.ret b (Some phi);
+  (m, f)
+
+let test_cfg () =
+  let _, f = diamond () in
+  let g = Cfg.of_func f in
+  Alcotest.(check (list string)) "entry succs"
+    [ "a1"; "b2" ] (Cfg.successors g "entry");
+  Alcotest.(check (list string)) "join preds"
+    [ "a1"; "b2" ] (List.sort compare (Cfg.predecessors g "join3"));
+  Alcotest.(check bool) "entry first in RPO" true
+    (List.hd (Cfg.reverse_postorder g) = "entry");
+  Alcotest.(check (list string)) "exits" [ "join3" ] (Cfg.exits g)
+
+let test_dominators () =
+  let _, f = diamond () in
+  let g = Cfg.of_func f in
+  let dom = Dom.dominators g in
+  Alcotest.(check bool) "entry dom a" true (Dom.dominates dom "entry" "a1");
+  Alcotest.(check bool) "entry dom join" true (Dom.dominates dom "entry" "join3");
+  Alcotest.(check bool) "a not dom join" false (Dom.dominates dom "a1" "join3");
+  Alcotest.(check bool) "idom join = entry" true
+    (Dom.idom dom "join3" = Some "entry");
+  Alcotest.(check (list string)) "frontier of a" [ "join3" ]
+    (Dom.frontier dom "a1")
+
+let test_postdominators () =
+  let _, f = diamond () in
+  let g = Cfg.of_func f in
+  let pdom = Dom.postdominators g in
+  Alcotest.(check bool) "join pdom entry" true
+    (Dom.dominates pdom "join3" "entry");
+  Alcotest.(check bool) "a does not pdom entry" false
+    (Dom.dominates pdom "a1" "entry");
+  Alcotest.(check bool) "ipdom of entry is join" true
+    (Dom.idom pdom "entry" = Some "join3")
+
+let test_influence_region () =
+  let _, f = diamond () in
+  let g = Cfg.of_func f in
+  let pdom = Dom.postdominators g in
+  let region = List.sort compare (Dom.influence_region g pdom "entry") in
+  Alcotest.(check (list string)) "region = both arms" [ "a1"; "b2" ] region
+
+let test_verify_ok () =
+  let m, _ = diamond () in
+  match Verify.check_module m with
+  | Ok () -> ()
+  | Error errs -> Alcotest.failf "unexpected: %s" (String.concat "; " errs)
+
+let test_verify_catches () =
+  let m = Pmodule.create () in
+  let f = Func.make ~name:"bad" ~params:[] ~ret:Ty.i64 () in
+  let b = Builder.create m f in
+  (* use of an undefined register *)
+  let _ = Builder.binop b Instr.Add Ty.i64 (Value.reg 99) (Value.int_ 1L) in
+  Builder.ret b (Some (Value.int_ 0L));
+  (match Verify.check_module m with
+  | Error (e :: _) ->
+    Alcotest.(check bool) "mentions %99" true (Helpers.contains e "%99")
+  | _ -> Alcotest.fail "expected an error");
+  (* branch to an unknown block *)
+  let m2 = Pmodule.create () in
+  let f2 = Func.make ~name:"bad2" ~params:[] ~ret:Ty.void () in
+  let b2 = Builder.create m2 f2 in
+  Builder.br b2 "nowhere";
+  match Verify.check_module m2 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected an error"
+
+(* mem2reg on source programs *)
+
+let test_mem2reg_promotes () =
+  let src = "int f(int a, int b) { int x = a + b; int y = x * 2; return y; }" in
+  let m = Privagic_minic.Driver.compile src in
+  let f = Pmodule.find_func_exn m "f" in
+  (* no allocas should remain *)
+  let allocas = ref 0 in
+  Func.iter_instrs f (fun _ i ->
+      match i.Instr.op with Instr.Alloca _ -> incr allocas | _ -> ());
+  Alcotest.(check int) "no allocas" 0 !allocas
+
+let test_mem2reg_keeps_escaping () =
+  let src =
+    "extern void g(int* p); int f() { int x = 1; g(&x); return x; }"
+  in
+  let m = Privagic_minic.Driver.compile src in
+  let f = Pmodule.find_func_exn m "f" in
+  let allocas = ref 0 in
+  Func.iter_instrs f (fun _ i ->
+      match i.Instr.op with Instr.Alloca _ -> incr allocas | _ -> ());
+  Alcotest.(check int) "escaping alloca kept" 1 !allocas
+
+let test_mem2reg_keeps_colored () =
+  let src = "int f() { int color(blue) x; x = 1; return 0; }" in
+  let m = Privagic_minic.Driver.compile src in
+  let f = Pmodule.find_func_exn m "f" in
+  let allocas = ref 0 in
+  Func.iter_instrs f (fun _ i ->
+      match i.Instr.op with Instr.Alloca _ -> incr allocas | _ -> ());
+  Alcotest.(check int) "colored alloca kept" 1 !allocas
+
+let test_mem2reg_loop_phi () =
+  let src =
+    "int f(int n) { int acc = 0; int i = 0; while (i < n) { acc = acc + i; i = i + 1; } return acc; }"
+  in
+  let m = Privagic_minic.Driver.compile src in
+  let f = Pmodule.find_func_exn m "f" in
+  let phis = ref 0 in
+  Func.iter_instrs f (fun _ i ->
+      match i.Instr.op with Instr.Phi _ -> incr phis | _ -> ());
+  Alcotest.(check bool) "loop phis inserted" true (!phis >= 2);
+  match Verify.check_module m with
+  | Ok () -> ()
+  | Error errs -> Alcotest.failf "verify: %s" (String.concat "; " errs)
+
+let test_dce () =
+  let m = Pmodule.create () in
+  let f = Func.make ~name:"f" ~params:[] ~ret:Ty.i64 () in
+  let b = Builder.create m f in
+  let _dead = Builder.binop b Instr.Add Ty.i64 (Value.int_ 1L) (Value.int_ 2L) in
+  let live = Builder.binop b Instr.Mul Ty.i64 (Value.int_ 3L) (Value.int_ 4L) in
+  Builder.ret b (Some live);
+  let removed = Privagic_passes.Dce.run m in
+  Alcotest.(check int) "one dead instr removed" 1 removed;
+  Alcotest.(check int) "one instr left" 1 (Func.instr_count f)
+
+let test_unreachable_removal () =
+  let src = "int f() { return 1; return 2; }" in
+  let m = Privagic_minic.Driver.compile src in
+  let f = Pmodule.find_func_exn m "f" in
+  let g = Cfg.of_func f in
+  List.iter
+    (fun (bl : Block.t) ->
+      Alcotest.(check bool)
+        ("block " ^ bl.Block.label ^ " reachable")
+        true (Cfg.reachable g bl.Block.label))
+    f.Func.blocks
+
+
+(* --- constant folding --- *)
+
+let count_instrs f = Privagic_pir.Func.instr_count f
+
+let test_constfold_arith () =
+  let m = Privagic_minic.Driver.compile ~mem2reg:true
+      "entry int f() { return (2 + 3) * 4 - 6 / 2; }" in
+  let f = Pmodule.find_func_exn m "f" in
+  let before = count_instrs f in
+  let folds = Privagic_passes.Constfold.run m in
+  Alcotest.(check bool) "folded something" true (folds > 0);
+  Alcotest.(check bool) "fewer instrs" true (count_instrs f < before);
+  (* the function still computes 17 *)
+  let it = Helpers.interp "entry int f() { return (2 + 3) * 4 - 6 / 2; }" in
+  Alcotest.(check int64) "still 17" 17L
+    (Privagic_vm.Rvalue.to_int64 (Privagic_vm.Interp.call it "f" []))
+
+let test_constfold_branch () =
+  let m = Privagic_minic.Driver.compile
+      "entry int f() { if (1 < 2) return 10; return 20; }" in
+  let f = Pmodule.find_func_exn m "f" in
+  ignore (Privagic_passes.Constfold.run m);
+  (* the false arm is gone *)
+  let condbrs = ref 0 in
+  List.iter
+    (fun (b : Block.t) ->
+      match b.Block.term with Instr.Condbr _ -> incr condbrs | _ -> ())
+    f.Func.blocks;
+  Alcotest.(check int) "no conditional left" 0 !condbrs;
+  (match Verify.check_module m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "verify: %s" (String.concat ";" e))
+
+let test_constfold_preserves_semantics () =
+  (* fold, then execute: same result as unfolded *)
+  let src =
+    "entry int f(int x) { int a = 3 * 7; int b = a + x; if (a == 21) b = b + 100; return b; }"
+  in
+  let m = Privagic_minic.Driver.compile src in
+  ignore (Privagic_passes.Constfold.run m);
+  let machine = Privagic_sgx.Machine.create Privagic_sgx.Config.machine_test in
+  let heap = Privagic_vm.Heap.create () in
+  let layout = Privagic_vm.Layout.create m Privagic_secure.Mode.Relaxed in
+  let hooks : Privagic_vm.Exec.hooks =
+    { Privagic_vm.Exec.h_call = (fun ex _ callee args ->
+          Privagic_vm.Exec.exec_func ex (Pmodule.find_func_exn m callee) args);
+      h_callind = (fun _ _ _ _ -> Privagic_vm.Rvalue.zero);
+      h_spawn = (fun _ _ _ _ -> ());
+      h_pre_instr = (fun _ _ -> ());
+      h_alloca_zone = (fun _ _ -> Privagic_vm.Heap.Unsafe) }
+  in
+  let ex = Privagic_vm.Exec.create m heap layout machine hooks in
+  Privagic_vm.Exec.init_globals ex (fun _ -> Privagic_vm.Heap.Unsafe);
+  let r = Privagic_vm.Exec.exec_func ex (Pmodule.find_func_exn m "f")
+      [| Privagic_vm.Rvalue.Int 5L |] in
+  Alcotest.(check int64) "3*7+5+100" 126L (Privagic_vm.Rvalue.to_int64 r)
+
+(* --- property: dominator facts on random structured CFGs --- *)
+
+(* Generate a random structured function: a sequence of nested if/while
+   statements over a few globals, compile it, and check textbook dominator
+   facts hold on the resulting CFG. *)
+let gen_structured_src =
+  QCheck.Gen.(
+    let rec stmt depth =
+      if depth <= 0 then return "g = g + 1;"
+      else
+        frequency
+          [
+            (3, return "g = g + 1;");
+            ( 2,
+              map2
+                (fun a b -> Printf.sprintf "if (g < h) { %s } else { %s }" a b)
+                (stmt (depth - 1)) (stmt (depth - 1)) );
+            ( 1,
+              map
+                (fun a ->
+                  Printf.sprintf
+                    "{ int i = 0; while (i < 3) { %s i = i + 1; } }" a)
+                (stmt (depth - 1)) );
+          ]
+    in
+    map
+      (fun body ->
+        Printf.sprintf "int g; int h; entry void f() { %s %s }" body body)
+      (stmt 4))
+
+let prop_dominators_sound =
+  QCheck.Test.make ~count:40 ~name:"dominator facts on random CFGs"
+    (QCheck.make ~print:(fun s -> s) gen_structured_src)
+    (fun src ->
+      let m = Privagic_minic.Driver.compile src in
+      let f = Pmodule.find_func_exn m "f" in
+      let g = Cfg.of_func f in
+      let dom = Dom.dominators g in
+      let labels = Cfg.reverse_postorder g in
+      let entry = List.hd labels in
+      List.for_all
+        (fun l ->
+          (* the entry dominates everything; domination is reflexive; the
+             idom (when present) dominates its node and is dominated by
+             the entry *)
+          Dom.dominates dom entry l
+          && Dom.dominates dom l l
+          &&
+          match Dom.idom dom l with
+          | None -> l = entry
+          | Some p -> Dom.dominates dom p l && Dom.dominates dom entry p)
+        labels
+      &&
+      (* postdominators: every reachable block postdominates itself and is
+         postdominated by some exit *)
+      let pdom = Dom.postdominators g in
+      List.for_all (fun l -> Dom.dominates pdom l l) labels)
+
+let suite =
+  [
+    Alcotest.test_case "cfg" `Quick test_cfg;
+    Alcotest.test_case "dominators" `Quick test_dominators;
+    Alcotest.test_case "postdominators" `Quick test_postdominators;
+    Alcotest.test_case "influence region" `Quick test_influence_region;
+    Alcotest.test_case "verify ok" `Quick test_verify_ok;
+    Alcotest.test_case "verify catches" `Quick test_verify_catches;
+    Alcotest.test_case "mem2reg promotes" `Quick test_mem2reg_promotes;
+    Alcotest.test_case "mem2reg keeps escaping" `Quick test_mem2reg_keeps_escaping;
+    Alcotest.test_case "mem2reg keeps colored" `Quick test_mem2reg_keeps_colored;
+    Alcotest.test_case "mem2reg loop phi" `Quick test_mem2reg_loop_phi;
+    Alcotest.test_case "dce" `Quick test_dce;
+    Alcotest.test_case "constfold arith" `Quick test_constfold_arith;
+    Alcotest.test_case "constfold branch" `Quick test_constfold_branch;
+    Alcotest.test_case "constfold semantics" `Quick test_constfold_preserves_semantics;
+    QCheck_alcotest.to_alcotest prop_dominators_sound;
+    Alcotest.test_case "unreachable removal" `Quick test_unreachable_removal;
+  ]

@@ -1,0 +1,230 @@
+(* Partitioning tests: chunks, call plans, global placement, barriers,
+   TCB accounting, closedness diagnostics (paper §7). *)
+
+open Privagic_pir
+open Privagic_secure
+open Privagic_partition
+module P = Privagic_workloads.Programs
+
+let blue = Color.Named "blue"
+let red = Color.Named "red"
+
+let fig6_plan () = Helpers.plan_of ~mode:Mode.Relaxed P.fig6
+
+let pfunc plan name args =
+  match Plan.find_pfunc plan { Infer.ik_func = name; ik_args = args } with
+  | Some pf -> pf
+  | None -> Alcotest.failf "missing pfunc %s" name
+
+let chunk pf c =
+  match Plan.find_chunk pf c with
+  | Some ci -> ci.Plan.ci_func
+  | None -> Alcotest.failf "missing chunk %s" (Color.to_string c)
+
+let test_fig6_chunks () =
+  let plan = fig6_plan () in
+  let g = pfunc plan "g" [ Color.Free ] in
+  Alcotest.(check int) "g has 3 chunks" 3 (List.length g.Plan.pf_chunks);
+  (* the U chunk contains the external call, the blue chunk the blue store,
+     the red chunk the red store (Fig. 7) *)
+  let has_call f =
+    let found = ref false in
+    Func.iter_instrs f (fun _ i ->
+        match i.Instr.op with
+        | Instr.Call ("printf_hello", _) -> found := true
+        | _ -> ());
+    !found
+  in
+  let stores_to f gname =
+    let found = ref false in
+    Func.iter_instrs f (fun _ i ->
+        match i.Instr.op with
+        | Instr.Store (_, Value.Global n) when n = gname -> found := true
+        | _ -> ());
+    !found
+  in
+  Alcotest.(check bool) "U chunk calls printf" true
+    (has_call (chunk g Color.Unsafe));
+  Alcotest.(check bool) "U chunk has no blue store" false
+    (stores_to (chunk g Color.Unsafe) "blue");
+  Alcotest.(check bool) "blue chunk stores blue" true
+    (stores_to (chunk g blue) "blue");
+  Alcotest.(check bool) "blue chunk has no red store" false
+    (stores_to (chunk g blue) "red");
+  Alcotest.(check bool) "red chunk stores red" true (stores_to (chunk g red) "red")
+
+let test_fig6_call_plans () =
+  let plan = fig6_plan () in
+  let main = pfunc plan "main" [] in
+  (* the call to f in main: blue is common, nothing spawned *)
+  let f_plan =
+    Hashtbl.fold
+      (fun _ (cp : Plan.call_plan) acc ->
+        if cp.Plan.cp_key.Infer.ik_func = "f" then Some cp else acc)
+      main.Plan.pf_calls None
+  in
+  (match f_plan with
+  | Some cp ->
+    Alcotest.(check bool) "f direct in blue" true
+      (List.mem blue cp.Plan.cp_direct);
+    Alcotest.(check (list string)) "nothing spawned for f" []
+      (List.map Color.to_string cp.Plan.cp_spawned);
+    Alcotest.(check bool) "ret crosses to U via msg" true
+      (List.mem Color.Unsafe cp.Plan.cp_ret_to_msg)
+  | None -> Alcotest.fail "no plan for call to f");
+  (* the call to g in f@blue: red and U spawned *)
+  let f = pfunc plan "f" [ blue ] in
+  let g_plan =
+    Hashtbl.fold
+      (fun _ (cp : Plan.call_plan) acc ->
+        if cp.Plan.cp_key.Infer.ik_func = "g" then Some cp else acc)
+      f.Plan.pf_calls None
+  in
+  match g_plan with
+  | Some cp ->
+    Alcotest.(check (list string)) "g direct" [ "blue" ]
+      (List.map Color.to_string cp.Plan.cp_direct);
+    Alcotest.(check (list string)) "g spawned" [ "U"; "red" ]
+      (List.sort compare (List.map Color.to_string cp.Plan.cp_spawned));
+    (* g(21): the constant argument is embedded in the replicated code, so
+       no cont message is needed (unlike a computed F value) *)
+    Alcotest.(check bool) "constant arg needs no cont" false
+      cp.Plan.cp_f_args_to_spawned
+  | None -> Alcotest.fail "no plan for call to g"
+
+let test_global_placement () =
+  let plan = fig6_plan () in
+  let place name =
+    Color.to_string (List.assoc name plan.Plan.global_placement)
+  in
+  Alcotest.(check string) "blue global" "blue" (place "blue");
+  Alcotest.(check string) "red global" "red" (place "red");
+  Alcotest.(check string) "unsafe global" "U" (place "unsafe")
+
+let test_shared_globals () =
+  let plan =
+    Helpers.plan_of ~mode:Mode.Relaxed
+      "int g1; int color(blue) b; entry void f() { g1 = 1; b = 2; }"
+  in
+  Alcotest.(check (list string)) "g1 gathered in S region" [ "g1" ]
+    plan.Plan.shared_globals
+
+let test_entry_plans () =
+  let plan = fig6_plan () in
+  match plan.Plan.entries with
+  | [ ep ] ->
+    Alcotest.(check string) "entry is main" "main" ep.Plan.ep_name;
+    Alcotest.(check string) "interface runs U" "U"
+      (Color.to_string ep.Plan.ep_direct);
+    Alcotest.(check (list string)) "interface spawns blue" [ "blue" ]
+      (List.map Color.to_string ep.Plan.ep_spawned)
+  | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l)
+
+let test_barriers () =
+  let plan = fig6_plan () in
+  let g = pfunc plan "g" [ Color.Free ] in
+  (* printf is a visible effect -> barrier *)
+  Alcotest.(check bool) "g has a barrier" true
+    (Hashtbl.length g.Plan.pf_barriers >= 1);
+  (* within/ignore calls are not barriers *)
+  let plan2 =
+    Helpers.plan_of ~mode:Mode.Hardened
+      {|
+within extern void* malloc(int n);
+int color(blue) b;
+entry void f() { if (b == 0) { int color(blue)* p = (int color(blue)*) malloc(8); *p = 1; } }
+|}
+  in
+  let f = pfunc plan2 "f" [] in
+  Alcotest.(check int) "no barriers for within calls" 0
+    (Hashtbl.length f.Plan.pf_barriers)
+
+let test_tcb_accounting () =
+  let plan = fig6_plan () in
+  let tcb = Tcb.of_plan plan in
+  Alcotest.(check int) "two enclaves" 2 (List.length tcb.Tcb.partitions);
+  List.iter
+    (fun (p : Tcb.partition_stats) ->
+      Alcotest.(check bool) "enclave instrs positive" true (p.Tcb.instr_count > 0))
+    tcb.Tcb.partitions;
+  Alcotest.(check bool) "reduction is large" true (Tcb.reduction_factor tcb > 50.0)
+
+let test_closedness_diagnostic () =
+  (* an uncolored stack slot written through an ignore helper from an
+     enclave: its address register dangles in the blue chunk *)
+  let src =
+    {|
+ignore extern void declassify_i64(int* d, int v);
+int color(blue) b;
+entry int f() {
+  int res;
+  res = 0;
+  if (b == 1) {
+    declassify_i64(&res, 1);
+  }
+  return res;
+}
+|}
+  in
+  let m = Helpers.compile src in
+  let infer = Infer.run ~mode:Mode.Hardened m in
+  Alcotest.(check bool) "checker accepts" true (Infer.ok infer);
+  let plan = Plan.build ~mode:Mode.Hardened infer in
+  Alcotest.(check bool) "partitioner flags the dangling slot" true
+    (List.exists
+       (fun d -> d.Diagnostic.kind = Diagnostic.Cross_enclave_f)
+       plan.Plan.diagnostics)
+
+let test_pure_f_function_single_chunk () =
+  let plan =
+    Helpers.plan_of ~mode:Mode.Hardened
+      "int add(int a, int b) { return a + b; } entry int f() { return add(1, 2); }"
+  in
+  let add = pfunc plan "add" [ Color.Free; Color.Free ] in
+  Alcotest.(check (list string)) "empty colorset" []
+    (List.map Color.to_string add.Plan.pf_colorset);
+  Alcotest.(check int) "single F chunk" 1 (List.length add.Plan.pf_chunks)
+
+let test_chunk_branch_skipping () =
+  (* in the U chunk, a blue-conditioned region collapses to a jump to the
+     join point *)
+  let plan =
+    Helpers.plan_of ~mode:Mode.Hardened
+      {|
+int color(blue) b;
+int u;
+entry void f() {
+  u = 1;
+  if (b == 42) { b = 1; }
+  u = 2;
+}
+|}
+  in
+  let f = pfunc plan "f" [] in
+  let uchunk = chunk f Color.Unsafe in
+  (* both U stores survive; no blue instructions *)
+  let stores = ref 0 in
+  Func.iter_instrs uchunk (fun _ i ->
+      match i.Instr.op with Instr.Store _ -> incr stores | _ -> ());
+  Alcotest.(check int) "two U stores" 2 !stores;
+  (* no conditional branches remain in the U chunk *)
+  let condbrs = ref 0 in
+  List.iter
+    (fun (b : Block.t) ->
+      match b.Block.term with Instr.Condbr _ -> incr condbrs | _ -> ())
+    uchunk.Func.blocks;
+  Alcotest.(check int) "no condbr in U chunk" 0 !condbrs
+
+let suite =
+  [
+    Alcotest.test_case "fig6 chunks" `Quick test_fig6_chunks;
+    Alcotest.test_case "fig6 call plans" `Quick test_fig6_call_plans;
+    Alcotest.test_case "global placement" `Quick test_global_placement;
+    Alcotest.test_case "shared globals" `Quick test_shared_globals;
+    Alcotest.test_case "entry plans" `Quick test_entry_plans;
+    Alcotest.test_case "barriers" `Quick test_barriers;
+    Alcotest.test_case "tcb accounting" `Quick test_tcb_accounting;
+    Alcotest.test_case "closedness diagnostic" `Quick test_closedness_diagnostic;
+    Alcotest.test_case "pure F single chunk" `Quick test_pure_f_function_single_chunk;
+    Alcotest.test_case "chunk branch skipping" `Quick test_chunk_branch_skipping;
+  ]

@@ -1,0 +1,181 @@
+(* Lock-free queue (sequential, property-based, and truly parallel with
+   domains) and the virtual-time scheduler. *)
+
+module Msqueue = Privagic_runtime.Msqueue
+module Sched = Privagic_runtime.Sched
+
+let test_queue_fifo () =
+  let q = Msqueue.create () in
+  Alcotest.(check bool) "empty" true (Msqueue.is_empty q);
+  Alcotest.(check (option int)) "pop empty" None (Msqueue.pop q);
+  for i = 1 to 5 do
+    Msqueue.push q i
+  done;
+  Alcotest.(check int) "length" 5 (Msqueue.length q);
+  for i = 1 to 5 do
+    Alcotest.(check (option int)) "fifo order" (Some i) (Msqueue.pop q)
+  done;
+  Alcotest.(check bool) "empty again" true (Msqueue.is_empty q)
+
+let test_queue_interleaved () =
+  let q = Msqueue.create () in
+  Msqueue.push q 1;
+  Msqueue.push q 2;
+  Alcotest.(check (option int)) "1" (Some 1) (Msqueue.pop q);
+  Msqueue.push q 3;
+  Alcotest.(check (option int)) "2" (Some 2) (Msqueue.pop q);
+  Alcotest.(check (option int)) "3" (Some 3) (Msqueue.pop q);
+  Alcotest.(check (option int)) "none" None (Msqueue.pop q)
+
+(* model-based property: queue behaves like a functional FIFO *)
+let prop_queue_model =
+  QCheck.Test.make ~count:200 ~name:"queue matches a FIFO model"
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let q = Msqueue.create () in
+      let model = Queue.create () in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            Msqueue.push q v;
+            Queue.push v model;
+            true
+          end
+          else
+            let expected = if Queue.is_empty model then None else Some (Queue.pop model) in
+            Msqueue.pop q = expected)
+        ops)
+
+(* true parallelism: producers and consumers on separate domains; every
+   pushed element is popped exactly once, FIFO per producer *)
+let test_queue_parallel () =
+  let q = Msqueue.create () in
+  let n = 2000 in
+  let producers = 2 in
+  let producer id () =
+    for i = 0 to n - 1 do
+      Msqueue.push q ((id * n) + i)
+    done
+  in
+  let popped = Atomic.make 0 in
+  let seen = Array.make (producers * n) false in
+  let consumer () =
+    while Atomic.get popped < producers * n do
+      match Msqueue.pop q with
+      | Some v ->
+        seen.(v) <- true;
+        Atomic.incr popped
+      | None -> Domain.cpu_relax ()
+    done
+  in
+  let doms =
+    [ Domain.spawn (producer 0); Domain.spawn (producer 1);
+      Domain.spawn consumer ]
+  in
+  List.iter Domain.join doms;
+  Alcotest.(check int) "all popped" (producers * n) (Atomic.get popped);
+  Alcotest.(check bool) "each exactly once" true (Array.for_all Fun.id seen)
+
+(* the wire-protocol datatype used with the queue *)
+let test_message_envelopes () =
+  let module M = Privagic_runtime.Message in
+  let q : int M.envelope Msqueue.t = Msqueue.create () in
+  Msqueue.push q
+    { M.sent_at = 10.0;
+      payload = M.Spawn { chunk = "f@blue#blue"; args = [| Some 1 |];
+                          frame = 0; seq = 7 } };
+  Msqueue.push q
+    { M.sent_at = 12.5; payload = M.Cont { seq = 7; tag = M.Retval; value = Some 42 } };
+  (match Msqueue.pop q with
+  | Some { M.sent_at; payload = M.Spawn { chunk; seq; _ } } ->
+    Alcotest.(check (float 0.001)) "timestamp" 10.0 sent_at;
+    Alcotest.(check string) "chunk" "f@blue#blue" chunk;
+    Alcotest.(check int) "seq" 7 seq
+  | _ -> Alcotest.fail "expected the spawn first");
+  match Msqueue.pop q with
+  | Some { M.payload = M.Cont { tag = M.Retval; value = Some 42; _ }; _ } -> ()
+  | _ -> Alcotest.fail "expected the cont"
+
+(* --- scheduler --- *)
+
+let test_sched_runs_by_clock () =
+  let sched = Sched.create () in
+  let order = ref [] in
+  ignore
+    (Sched.spawn sched ~name:"late" ~at:100.0 (fun _ -> order := "late" :: !order));
+  ignore
+    (Sched.spawn sched ~name:"early" ~at:1.0 (fun _ -> order := "early" :: !order));
+  Sched.run sched;
+  Alcotest.(check (list string)) "clock order" [ "late"; "early" ] !order
+
+let test_sched_block_resume () =
+  let sched = Sched.create () in
+  let flag = ref false in
+  let observed = ref (-1.0) in
+  ignore
+    (Sched.spawn sched ~name:"waiter" ~at:0.0 (fun clock ->
+         Sched.block (fun () -> !flag) (fun () -> 55.0);
+         clock := Float.max !clock 55.0;
+         observed := !clock));
+  ignore
+    (Sched.spawn sched ~name:"setter" ~at:10.0 (fun _ -> flag := true));
+  Sched.run sched;
+  Alcotest.(check (float 0.001)) "resumed at arrival time" 55.0 !observed
+
+let test_sched_spawn_during_run () =
+  let sched = Sched.create () in
+  let hits = ref 0 in
+  ignore
+    (Sched.spawn sched ~name:"parent" ~at:0.0 (fun _ ->
+         incr hits;
+         ignore
+           (Sched.spawn sched ~name:"child" ~at:5.0 (fun _ -> incr hits))));
+  Sched.run sched;
+  Alcotest.(check int) "both ran" 2 !hits
+
+let test_sched_blocked_stays () =
+  let sched = Sched.create () in
+  ignore
+    (Sched.spawn sched ~name:"stuck" ~at:0.0 (fun _ ->
+         Sched.block (fun () -> false) (fun () -> 0.0)));
+  (* default allows blocked workers (servers waiting for messages) *)
+  Sched.run sched;
+  Alcotest.(check bool) "deadlock raised" true
+    (match Sched.run ~allow_blocked:false sched with
+    | exception Sched.Deadlock [ "stuck" ] -> true
+    | exception Sched.Deadlock _ -> true
+    | () -> false)
+
+let test_sched_virtual_time_causality () =
+  (* a consumer blocked on a produced value inherits its timestamp *)
+  let sched = Sched.create () in
+  let mailbox = ref None in
+  let consumer_clock = ref 0.0 in
+  ignore
+    (Sched.spawn sched ~name:"producer" ~at:0.0 (fun clock ->
+         clock := !clock +. 500.0;
+         mailbox := Some !clock));
+  ignore
+    (Sched.spawn sched ~name:"consumer" ~at:0.0 (fun clock ->
+         Sched.block
+           (fun () -> !mailbox <> None)
+           (fun () -> match !mailbox with Some t -> t | None -> 0.0);
+         clock := Float.max !clock (Option.value ~default:0.0 !mailbox);
+         consumer_clock := !clock));
+  Sched.run sched;
+  Alcotest.(check (float 0.001)) "consumer advanced to 500" 500.0
+    !consumer_clock
+
+let suite =
+  [
+    Alcotest.test_case "queue fifo" `Quick test_queue_fifo;
+    Alcotest.test_case "queue interleaved" `Quick test_queue_interleaved;
+    QCheck_alcotest.to_alcotest prop_queue_model;
+    Alcotest.test_case "queue parallel (domains)" `Slow test_queue_parallel;
+    Alcotest.test_case "message envelopes" `Quick test_message_envelopes;
+    Alcotest.test_case "sched clock order" `Quick test_sched_runs_by_clock;
+    Alcotest.test_case "sched block/resume" `Quick test_sched_block_resume;
+    Alcotest.test_case "sched spawn during run" `Quick test_sched_spawn_during_run;
+    Alcotest.test_case "sched blocked stays" `Quick test_sched_blocked_stays;
+    Alcotest.test_case "sched causality" `Quick test_sched_virtual_time_causality;
+  ]

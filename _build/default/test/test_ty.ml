@@ -1,0 +1,85 @@
+open Privagic_pir
+
+let blue = Color.Named "blue"
+
+let no_structs = fun name -> Alcotest.failf "unexpected struct %s" name
+
+let test_scalar_sizes () =
+  let s ty = Ty.sizeof ~structs:no_structs ty in
+  Alcotest.(check int) "i8" 1 (s Ty.i8);
+  Alcotest.(check int) "i1" 1 (s Ty.i1);
+  Alcotest.(check int) "i64" 8 (s Ty.i64);
+  Alcotest.(check int) "f64" 8 (s Ty.f64);
+  Alcotest.(check int) "ptr" 8 (s (Ty.ptr Ty.i8));
+  Alcotest.(check int) "void" 0 (s Ty.void);
+  Alcotest.(check int) "arr" 24 (s (Ty.arr Ty.i64 3));
+  Alcotest.(check int) "arr of arr" 12 (s (Ty.arr (Ty.arr Ty.i8 4) 3))
+
+let test_struct_size () =
+  let fields = function
+    | "pair" -> [ Ty.i64; Ty.arr Ty.i8 4 ]
+    | n -> Alcotest.failf "unexpected struct %s" n
+  in
+  Alcotest.(check int) "struct" 12
+    (Ty.sizeof ~structs:fields (Ty.struct_ "pair"))
+
+let test_equality () =
+  Alcotest.(check bool) "i64 = i64" true (Ty.equal Ty.i64 Ty.i64);
+  Alcotest.(check bool) "i64 <> i8" false (Ty.equal Ty.i64 Ty.i8);
+  Alcotest.(check bool) "colored <> plain" false
+    (Ty.equal (Ty.colored blue Ty.i64) Ty.i64);
+  Alcotest.(check bool) "ignore_color" true
+    (Ty.equal ~ignore_color:true (Ty.colored blue Ty.i64) Ty.i64);
+  Alcotest.(check bool) "nested color" false
+    (Ty.equal (Ty.ptr (Ty.colored blue Ty.i64)) (Ty.ptr Ty.i64));
+  Alcotest.(check bool) "nested ignore" true
+    (Ty.equal ~ignore_color:true
+       (Ty.ptr (Ty.colored blue Ty.i64))
+       (Ty.ptr Ty.i64))
+
+let test_predicates () =
+  Alcotest.(check bool) "ptr" true (Ty.is_pointer (Ty.ptr Ty.i8));
+  Alcotest.(check bool) "not ptr" false (Ty.is_pointer Ty.i64);
+  Alcotest.(check bool) "int" true (Ty.is_integer Ty.i8);
+  Alcotest.(check bool) "float" true (Ty.is_float Ty.f64);
+  Alcotest.(check bool) "float not int" false (Ty.is_integer Ty.f64)
+
+let test_deref () =
+  Alcotest.(check bool) "deref ptr" true
+    (Ty.equal (Ty.deref (Ty.ptr Ty.i64)) Ty.i64);
+  Alcotest.check_raises "deref non-ptr"
+    (Invalid_argument "Ty.deref: not a pointer") (fun () ->
+      ignore (Ty.deref Ty.i64))
+
+let test_color_of () =
+  Alcotest.(check bool) "colored" true
+    (Ty.color_of (Ty.colored blue Ty.i64) = Some blue);
+  Alcotest.(check bool) "plain" true (Ty.color_of Ty.i64 = None)
+
+let test_pp () =
+  Alcotest.(check string) "i64*" "i64*" (Ty.to_string (Ty.ptr Ty.i64));
+  Alcotest.(check string) "colored" "color(blue) i64"
+    (Ty.to_string (Ty.colored blue Ty.i64));
+  Alcotest.(check string) "arr" "[4 x i8]" (Ty.to_string (Ty.arr Ty.i8 4))
+
+let test_root_color () =
+  let open Privagic_secure in
+  Alcotest.(check bool) "direct" true
+    (Cenv.root_color (Ty.colored blue Ty.i64) = Some blue);
+  Alcotest.(check bool) "through array" true
+    (Cenv.root_color (Ty.arr (Ty.colored blue Ty.i8) 16) = Some blue);
+  Alcotest.(check bool) "pointer does not leak pointee" true
+    (Cenv.root_color (Ty.ptr (Ty.colored blue Ty.i64)) = None);
+  Alcotest.(check bool) "none" true (Cenv.root_color Ty.i64 = None)
+
+let suite =
+  [
+    Alcotest.test_case "scalar sizes" `Quick test_scalar_sizes;
+    Alcotest.test_case "struct size" `Quick test_struct_size;
+    Alcotest.test_case "equality" `Quick test_equality;
+    Alcotest.test_case "predicates" `Quick test_predicates;
+    Alcotest.test_case "deref" `Quick test_deref;
+    Alcotest.test_case "color_of" `Quick test_color_of;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    Alcotest.test_case "root color" `Quick test_root_color;
+  ]

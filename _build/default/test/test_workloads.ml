@@ -1,0 +1,112 @@
+(* YCSB generators: determinism, distribution shape, workload mixes. *)
+
+module Ycsb = Privagic_workloads.Ycsb
+
+let test_rng_deterministic () =
+  let a = Ycsb.rng 7 and b = Ycsb.rng 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Ycsb.next_int64 a) (Ycsb.next_int64 b)
+  done
+
+let test_uniform_range () =
+  let r = Ycsb.rng 11 in
+  for _ = 1 to 1000 do
+    let v = Ycsb.next_int r 50 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 50)
+  done
+
+let test_float_range () =
+  let r = Ycsb.rng 13 in
+  for _ = 1 to 1000 do
+    let f = Ycsb.next_float r in
+    Alcotest.(check bool) "[0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_zipfian_skew () =
+  (* with the YCSB constant, item 0 is by far the hottest *)
+  let z = Ycsb.zipfian 10_000 in
+  let r = Ycsb.rng 17 in
+  let counts = Array.make 10_000 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let v = Ycsb.zipfian_next z r in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "item 0 hot" true
+    (float_of_int counts.(0) /. float_of_int n > 0.05);
+  let top10 = Array.sub counts 0 10 |> Array.fold_left ( + ) 0 in
+  Alcotest.(check bool) "head heavy" true
+    (float_of_int top10 /. float_of_int n > 0.2)
+
+let test_scrambled_spreads () =
+  let z = Ycsb.zipfian 10_000 in
+  let r = Ycsb.rng 19 in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 2000 do
+    Hashtbl.replace seen (Ycsb.scrambled_zipfian_next z r) ()
+  done;
+  (* hot keys are spread across the space, not clustered at 0 *)
+  let far = Hashtbl.fold (fun k () acc -> if k > 1000 then acc + 1 else acc) seen 0 in
+  Alcotest.(check bool) "spread beyond the head" true (far > 10)
+
+let test_workload_mixes () =
+  let spec =
+    Ycsb.workload_b ~record_count:1000 ~operation_count:10_000 ~value_size:64 ()
+  in
+  let t = Ycsb.create spec in
+  let reads = ref 0 and updates = ref 0 in
+  for _ = 1 to spec.Ycsb.operation_count do
+    match Ycsb.next_op t with
+    | Ycsb.Read _ -> incr reads
+    | Ycsb.Update _ -> incr updates
+    | Ycsb.Insert _ -> ()
+  done;
+  let ratio = float_of_int !reads /. float_of_int (!reads + !updates) in
+  Alcotest.(check bool) "workload B is ~95% reads" true
+    (ratio > 0.92 && ratio < 0.98)
+
+let test_keys_in_range () =
+  let spec =
+    Ycsb.workload_a ~record_count:500 ~operation_count:2_000 ~value_size:64 ()
+  in
+  let t = Ycsb.create spec in
+  for _ = 1 to spec.Ycsb.operation_count do
+    match Ycsb.next_op t with
+    | Ycsb.Read k | Ycsb.Update k ->
+      Alcotest.(check bool) "key in range" true (k >= 0 && k < 500)
+    | Ycsb.Insert _ -> ()
+  done
+
+let test_value_payload () =
+  let v1 = Ycsb.value_for ~size:128 42 in
+  let v2 = Ycsb.value_for ~size:128 42 in
+  let v3 = Ycsb.value_for ~size:128 43 in
+  Alcotest.(check string) "deterministic" v1 v2;
+  Alcotest.(check bool) "distinct keys differ" true (v1 <> v3);
+  Alcotest.(check int) "size" 128 (String.length v1)
+
+let prop_zipfian_bounds =
+  QCheck.Test.make ~count:50 ~name:"zipfian values stay in range"
+    QCheck.(pair (int_range 2 5000) small_int)
+    (fun (items, seed) ->
+      let z = Ycsb.zipfian items in
+      let r = Ycsb.rng seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Ycsb.zipfian_next z r in
+        if v < 0 || v >= items then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "uniform range" `Quick test_uniform_range;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "zipfian skew" `Quick test_zipfian_skew;
+    Alcotest.test_case "scrambled spreads" `Quick test_scrambled_spreads;
+    Alcotest.test_case "workload mixes" `Quick test_workload_mixes;
+    Alcotest.test_case "keys in range" `Quick test_keys_in_range;
+    Alcotest.test_case "value payload" `Quick test_value_payload;
+    QCheck_alcotest.to_alcotest prop_zipfian_bounds;
+  ]
