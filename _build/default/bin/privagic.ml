@@ -5,6 +5,9 @@
    privagic partition <file.mc>    print the partition plan and the chunks
    privagic run <file.mc> <entry> [args...]
                                    execute the partitioned program
+   privagic profile <file.mc> <entry> [args...]
+                                   execute under telemetry; print metrics
+                                   and the critical path
    privagic tcb <file.mc>          per-enclave TCB report
    privagic experiments [names]    regenerate the paper's tables/figures *)
 
@@ -118,20 +121,79 @@ let tcb_action mode auth path =
     (Privagic_partition.Tcb.of_plan plan);
   0
 
-let run_action mode auth trace path entry args =
+module Tel = Privagic_telemetry
+
+let write_trace rec_ out =
+  try Tel.Chrome_trace.recorder_to_file rec_ out with
+  | Sys_error msg ->
+    prerr_endline ("cannot write trace: " ^ msg);
+    exit 2
+
+let run_action mode auth trace schedule max_steps path entry args =
   let plan = build_plan ~auth mode path in
   let pt = Privagic_vm.Pinterp.create plan in
   let argv =
     List.map (fun a -> Privagic_vm.Rvalue.Int (Int64.of_string a)) args
   in
-  if trace then Privagic_vm.Pinterp.start_trace pt;
-  (match Privagic_vm.Pinterp.call_entry pt entry argv with
+  let rec_ =
+    match trace with
+    | None -> None
+    | Some _ ->
+      let r = Tel.Recorder.create () in
+      Privagic_vm.Pinterp.set_telemetry pt r;
+      Some r
+  in
+  if schedule then Privagic_vm.Pinterp.start_trace pt;
+  (match Privagic_vm.Pinterp.call_entry pt ?max_steps entry argv with
   | r ->
     print_string (Privagic_vm.Pinterp.output pt);
-    if trace then
+    if schedule then
       Format.printf "%a"
         Privagic_vm.Pinterp.pp_trace
         (Privagic_vm.Pinterp.stop_trace pt);
+    (match (trace, rec_) with
+    | Some out, Some rec_ ->
+      write_trace rec_ out;
+      Format.printf "trace: %d events on %d tracks -> %s@."
+        (Tel.Recorder.length rec_)
+        (List.length (Tel.Recorder.tracks rec_))
+        out
+    | _ -> ());
+    Format.printf "=> %s  (latency: %.0f cycles)@."
+      (Privagic_vm.Rvalue.to_string r.Privagic_vm.Pinterp.value)
+      r.Privagic_vm.Pinterp.latency_cycles
+  | exception Privagic_vm.Pinterp.Error msg ->
+    prerr_endline ("runtime error: " ^ msg);
+    (* a step-budget exhaustion (--max-steps) is reported distinctly *)
+    if max_steps <> None then exit 4 else exit 3
+  | exception Privagic_vm.Exec.Trap msg ->
+    prerr_endline ("trap: " ^ msg);
+    exit 3);
+  0
+
+(* profile: run an entry under telemetry, then print the plain-text
+   summary (counters, histograms, occupancy) and the critical path. *)
+let profile_action mode auth trace path entry args =
+  let plan = build_plan ~auth mode path in
+  let pt = Privagic_vm.Pinterp.create plan in
+  let argv =
+    List.map (fun a -> Privagic_vm.Rvalue.Int (Int64.of_string a)) args
+  in
+  let rec_ = Tel.Recorder.create () in
+  Privagic_vm.Pinterp.set_telemetry pt rec_;
+  (match Privagic_vm.Pinterp.call_entry pt entry argv with
+  | r ->
+    print_string (Privagic_vm.Pinterp.output pt);
+    let track_name = Tel.Recorder.track_name rec_ in
+    let summary = Tel.Summary.of_recorder rec_ in
+    Format.printf "%a@." (Tel.Summary.pp ~track_name) summary;
+    let cp = Tel.Critical_path.analyze (Tel.Recorder.events rec_) in
+    Format.printf "%a@." (Tel.Critical_path.pp ~track_name) cp;
+    (match trace with
+    | Some out ->
+      write_trace rec_ out;
+      Format.printf "trace written to %s@." out
+    | None -> ());
     Format.printf "=> %s  (latency: %.0f cycles)@."
       (Privagic_vm.Rvalue.to_string r.Privagic_vm.Pinterp.value)
       r.Privagic_vm.Pinterp.latency_cycles
@@ -181,28 +243,54 @@ let tcb_cmd =
   Cmd.v (Cmd.info "tcb" ~doc:"Per-enclave trusted-computing-base report")
     Term.(const tcb_action $ mode_arg $ auth_arg $ file_arg)
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"OUT.json"
+        ~doc:"Record telemetry and write a Chrome trace-event JSON file \
+              (open in chrome://tracing or Perfetto): one track per \
+              worker, chunk spans, flow arrows for spawn/cont messages.")
+
+let entry_pos =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"ENTRY" ~doc:"Entry point to execute.")
+
+let args_pos =
+  Arg.(value & pos_right 1 string [] & info [] ~docv:"ARGS"
+         ~doc:"Integer arguments.")
+
 let run_cmd =
-  let trace =
+  let schedule =
     Arg.(
       value & flag
-      & info [ "trace" ]
+      & info [ "schedule" ]
           ~doc:"Print the message/chunk schedule in virtual time (the \
                 runtime's own Figure 7).")
   in
-  let entry =
+  let max_steps =
     Arg.(
-      required
-      & pos 1 (some string) None
-      & info [] ~docv:"ENTRY" ~doc:"Entry point to execute.")
-  in
-  let args =
-    Arg.(value & pos_right 1 string [] & info [] ~docv:"ARGS"
-           ~doc:"Integer arguments.")
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:"Bound the scheduler steps for the request; exhaustion \
+                exits with code 4, distinguishable from non-completion.")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a partitioned program on the SGX simulator")
-    Term.(const run_action $ mode_arg $ auth_arg $ trace $ file_arg $ entry
-          $ args)
+    Term.(const run_action $ mode_arg $ auth_arg $ trace_arg $ schedule
+          $ max_steps $ file_arg $ entry_pos $ args_pos)
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Execute an entry point under telemetry and print the metrics \
+             summary (counters, latency histograms, per-worker occupancy) \
+             and the critical path through the partitioned execution")
+    Term.(const profile_action $ mode_arg $ auth_arg $ trace_arg $ file_arg
+          $ entry_pos $ args_pos)
 
 let graph_cmd =
   Cmd.v
@@ -242,4 +330,5 @@ let () =
   let info = Cmd.info "privagic" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
                      [ check_cmd; ir_cmd; partition_cmd; tcb_cmd; run_cmd;
-                       graph_cmd; dataflow_cmd; experiments_cmd ]))
+                       profile_cmd; graph_cmd; dataflow_cmd;
+                       experiments_cmd ]))

@@ -1,1 +1,1 @@
-lib/baselines/system.ml: Char Diagnostic Exec Heap Infer Int64 Interp Mode Pinterp Privagic_minic Privagic_partition Privagic_secure Privagic_sgx Privagic_vm Rvalue String
+lib/baselines/system.ml: Char Diagnostic Exec Heap Infer Int64 Interp Mode Pinterp Privagic_minic Privagic_partition Privagic_secure Privagic_sgx Privagic_telemetry Privagic_vm Rvalue String

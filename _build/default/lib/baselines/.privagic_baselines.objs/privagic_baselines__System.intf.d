@@ -1,1 +1,1 @@
-lib/baselines/system.mli: Diagnostic Heap Mode Privagic_secure Privagic_sgx Privagic_vm Rvalue
+lib/baselines/system.mli: Diagnostic Heap Mode Privagic_secure Privagic_sgx Privagic_telemetry Privagic_vm Rvalue

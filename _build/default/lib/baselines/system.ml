@@ -14,6 +14,7 @@
 
 open Privagic_secure
 module Sgx = Privagic_sgx
+module Tel = Privagic_telemetry
 open Privagic_vm
 
 type kind =
@@ -50,7 +51,7 @@ type t = {
 exception Rejected of Diagnostic.t list
 
 let create ?(config = Sgx.Config.machine_b) ?cost ?(auth_pointers = false)
-    (kind : kind) (src : string) : t =
+    ?telemetry (kind : kind) (src : string) : t =
   let m = Privagic_minic.Driver.compile ~file:"program.mc" src in
   match kind with
   | Unprotected | Scone | Intel_sdk Mode.Hardened ->
@@ -61,6 +62,13 @@ let create ?(config = Sgx.Config.machine_b) ?cost ?(auth_pointers = false)
       | _ -> Interp.scone
     in
     let it = Interp.create ~config ?cost m policy in
+    (* the single-system interpreters only expose the machine-level events
+       (transitions, faults), timed by the sequential clock *)
+    (match telemetry with
+    | Some r ->
+      Sgx.Machine.set_telemetry (Interp.machine it) r;
+      Tel.Recorder.set_now r (fun () -> Interp.clock it)
+    | None -> ());
     {
       name = kind_name kind;
       kind;
@@ -85,6 +93,9 @@ let create ?(config = Sgx.Config.machine_b) ?cost ?(auth_pointers = false)
       | _ -> Sgx.Machine.queue_msg_cost
     in
     let pt = Pinterp.create ~config ?cost ~crossing plan in
+    (match telemetry with
+    | Some r -> Pinterp.set_telemetry pt r
+    | None -> ());
     {
       name = kind_name kind;
       kind;

@@ -38,9 +38,13 @@ type t = {
 exception Rejected of Diagnostic.t list
 (** The Privagic checker refused the program. *)
 
+(** [telemetry] attaches a recorder to the simulated execution: the
+    partitioned systems record the full event set (fibers, messages,
+    chunks, machine events); the single-system baselines record machine
+    events only. *)
 val create :
-  ?config:Sgx.Config.t -> ?cost:Sgx.Cost.t -> ?auth_pointers:bool -> kind ->
-  string -> t
+  ?config:Sgx.Config.t -> ?cost:Sgx.Cost.t -> ?auth_pointers:bool ->
+  ?telemetry:Privagic_telemetry.Recorder.t -> kind -> string -> t
 
 (** Client-side buffers in unsafe memory (the harness's network buffers). *)
 val alloc_buffer : t -> int -> int

@@ -76,7 +76,7 @@ let run (m : Pmodule.t) ~(entry : string) ~(offsets : float list) : outcome =
     (Sched.spawn sched ~name:"main" ~at:0.0 (fun clock ->
          ex.Exec.clock <- clock;
          ignore (Exec.exec_func ex f [||])));
-  Sched.run sched;
+  ignore (Sched.run sched : Sched.outcome);
   let globals =
     List.filter_map
       (fun (g : Pmodule.global) ->

@@ -54,10 +54,11 @@ type result = {
 
 let run ?(config = Sgx.Config.machine_b) ?cost ?(nbuckets = 4096)
     ?(vsize = 1024) ?(seed = 42) ?(distribution = Ycsb.Zipfian)
-    ?(auth_pointers = false) (family : family) (kind : System.kind)
-    ~(record_count : int) ~(operations : int) () : result =
+    ?(auth_pointers = false) ?telemetry (family : family)
+    (kind : System.kind) ~(record_count : int) ~(operations : int) () :
+    result =
   let src = source family (System.variant kind) ~nbuckets ~vsize in
-  let sys = System.create ~config ?cost ~auth_pointers kind src in
+  let sys = System.create ~config ?cost ~auth_pointers ?telemetry kind src in
   let put_entry, get_entry = entries family in
   let vbuf = System.alloc_buffer sys vsize in
   let obuf = System.alloc_buffer sys vsize in
@@ -73,6 +74,10 @@ let run ?(config = Sgx.Config.machine_b) ?cost ?(nbuckets = 4096)
     ignore (sys.System.call put_entry [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr vbuf ])
   done;
   Sgx.Machine.reset_stats sys.System.machine;
+  (* the load phase is warm-up: telemetry covers the measured phase only *)
+  (match telemetry with
+  | Some r -> Privagic_telemetry.Recorder.clear r
+  | None -> ());
   (* run phase *)
   let spec =
     { (Ycsb.workload_b ~seed ~record_count ~operation_count:operations

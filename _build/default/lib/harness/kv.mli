@@ -44,6 +44,7 @@ val run :
   ?seed:int ->
   ?distribution:Ycsb.distribution ->
   ?auth_pointers:bool ->
+  ?telemetry:Privagic_telemetry.Recorder.t ->
   family ->
   System.kind ->
   record_count:int ->

@@ -1,1 +1,1 @@
-lib/runtime/sched.ml: Effect Float List
+lib/runtime/sched.ml: Effect Float List Privagic_telemetry

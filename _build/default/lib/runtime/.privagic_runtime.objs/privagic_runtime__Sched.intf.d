@@ -1,1 +1,1 @@
-lib/runtime/sched.mli: Effect
+lib/runtime/sched.mli: Effect Privagic_telemetry

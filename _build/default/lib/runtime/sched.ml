@@ -8,7 +8,16 @@
    timestamp of whatever it waited for. The scheduler always resumes the
    runnable worker with the smallest clock, making the simulation a
    deterministic discrete-event execution: no wall clock, no races,
-   reproducible benchmark numbers. *)
+   reproducible benchmark numbers.
+
+   Telemetry: when a recorder is attached, every fiber lifecycle edge
+   (spawn, start, block, resume, finish) is recorded on the fiber's track
+   — the happens-before skeleton the critical-path analyzer walks. The
+   spawner controls track identity ([spawn ~track]) so several fibers of
+   one logical worker share a track; a disabled recorder costs one boolean
+   read per edge. *)
+
+module Tel = Privagic_telemetry
 
 type _ Effect.t +=
   | Block : (unit -> bool) * (unit -> float) -> unit Effect.t
@@ -23,23 +32,58 @@ type worker_state =
 type worker = {
   wid : int;
   name : string;
+  track : int;
   clock : float ref;
   mutable state : worker_state;
 }
 
 type t = { mutable workers : worker list; mutable next_id : int;
-           mutable steps : int }
+           mutable steps : int;
+           mutable high_water : float;      (* clocks of pruned fibers *)
+           mutable tel : Tel.Recorder.t;
+           mutable running : worker option }
+
+(* How a [run] ended. [Blocked_workers] names the workers still waiting
+   (servers awaiting their next message, or a deadlock); [Budget_exhausted]
+   reports that [max_steps] was hit — callers must not mistake the partial
+   execution for a completed one. *)
+type outcome =
+  | Completed
+  | Blocked_workers of string list
+  | Budget_exhausted of int
 
 exception Deadlock of string list
 
-let create () = { workers = []; next_id = 0; steps = 0 }
+let create () =
+  { workers = []; next_id = 0; steps = 0; high_water = 0.0;
+    tel = Tel.Recorder.null; running = None }
 
-let spawn t ~name ~at body =
+let set_telemetry t r = t.tel <- r
+
+(* [parent] overrides the spawning track recorded with the fiber's
+   Fiber_spawn event (default: the currently running worker, -1 when the
+   spawn comes from outside the scheduler). A parent equal to [track]
+   marks the fiber as serialized after earlier work on its own track —
+   how a request entering an already-busy thread is modeled. *)
+let spawn t ~name ?track ?parent ~at body =
+  let track =
+    match track with
+    | Some k -> k
+    | None -> Tel.Recorder.fresh_track t.tel name
+  in
   let w =
-    { wid = t.next_id; name; clock = ref at; state = Not_started body }
+    { wid = t.next_id; name; track; clock = ref at; state = Not_started body }
   in
   t.next_id <- t.next_id + 1;
   t.workers <- t.workers @ [ w ];
+  if Tel.Recorder.enabled t.tel then begin
+    let arg =
+      match parent with
+      | Some p -> p
+      | None -> ( match t.running with Some p -> p.track | None -> -1)
+    in
+    Tel.Recorder.record t.tel ~at ~track ~name ~arg Tel.Event.Fiber_spawn
+  end;
   w
 
 (* Called from inside a worker fiber: wait until [cond] holds; the clock
@@ -61,16 +105,35 @@ let handler (w : worker) =
         | _ -> None);
   }
 
-let step_worker w =
-  match w.state with
+let step_worker t w =
+  let tel_on = Tel.Recorder.enabled t.tel in
+  t.running <- Some w;
+  (match w.state with
   | Not_started body ->
     w.state <- Running;
+    if tel_on then
+      Tel.Recorder.record t.tel ~at:!(w.clock) ~track:w.track ~name:w.name
+        Tel.Event.Fiber_start;
     Effect.Deep.match_with (fun () -> body w.clock) () (handler w)
   | Blocked (_, arrival, k) ->
-    w.clock := Float.max !(w.clock) (arrival ());
+    let arr = arrival () in
+    w.clock := Float.max !(w.clock) arr;
     w.state <- Running;
+    if tel_on then
+      Tel.Recorder.record t.tel ~at:!(w.clock) ~track:w.track ~farg:arr
+        Tel.Event.Fiber_resume;
     Effect.Deep.continue k ()
-  | Running | Finished -> invalid_arg "Sched.step_worker"
+  | Running | Finished -> invalid_arg "Sched.step_worker");
+  t.running <- None;
+  if tel_on then (
+    match w.state with
+    | Blocked _ ->
+      Tel.Recorder.record t.tel ~at:!(w.clock) ~track:w.track
+        Tel.Event.Fiber_block
+    | Finished ->
+      Tel.Recorder.record t.tel ~at:!(w.clock) ~track:w.track ~name:w.name
+        Tel.Event.Fiber_finish
+    | Not_started _ | Running -> ())
 
 let runnable w =
   match w.state with
@@ -81,43 +144,66 @@ let runnable w =
 (* Run until every worker is finished or blocked on an unsatisfiable
    condition. New workers spawned during the run are picked up. Workers
    left blocked are not an error when [allow_blocked] — they are servers
-   waiting for their next message. *)
-let run ?(allow_blocked = true) ?(max_steps = max_int) t =
+   waiting for their next message. [max_steps] bounds the steps of *this*
+   invocation; hitting it returns [Budget_exhausted] instead of raising,
+   so callers can distinguish exhaustion from completion. *)
+let run ?(allow_blocked = true) ?(max_steps = max_int) t : outcome =
+  let result = ref Completed in
+  let budget = ref max_steps in
   let continue = ref true in
   while !continue do
-    t.steps <- t.steps + 1;
-    if t.steps > max_steps then failwith "Sched.run: step budget exceeded";
-    (* drop finished fibers so long sessions do not accumulate garbage *)
-    t.workers <-
-      List.filter (fun w -> match w.state with Finished -> false | _ -> true)
-        t.workers;
-    let candidates = List.filter runnable t.workers in
-    match candidates with
-    | [] ->
-      let blocked =
-        List.filter_map
-          (fun w ->
-            match w.state with Blocked _ -> Some w.name | _ -> None)
-          t.workers
-      in
-      if blocked <> [] && not allow_blocked then raise (Deadlock blocked);
+    if !budget <= 0 then begin
+      result := Budget_exhausted t.steps;
       continue := false
-    | first :: rest ->
-      let best =
-        List.fold_left
-          (fun best w ->
-            if
-              !(w.clock) < !(best.clock)
-              || (!(w.clock) = !(best.clock) && w.wid < best.wid)
-            then w
-            else best)
-          first rest
-      in
-      step_worker best
-  done
+    end
+    else begin
+      t.steps <- t.steps + 1;
+      decr budget;
+      (* drop finished fibers so long sessions do not accumulate garbage;
+         remember their clocks for the makespan *)
+      t.workers <-
+        List.filter
+          (fun w ->
+            match w.state with
+            | Finished ->
+              t.high_water <- Float.max t.high_water !(w.clock);
+              false
+            | _ -> true)
+          t.workers;
+      let candidates = List.filter runnable t.workers in
+      match candidates with
+      | [] ->
+        let blocked =
+          List.filter_map
+            (fun w ->
+              match w.state with Blocked _ -> Some w.name | _ -> None)
+            t.workers
+        in
+        if blocked <> [] then begin
+          if not allow_blocked then raise (Deadlock blocked);
+          result := Blocked_workers blocked
+        end;
+        continue := false
+      | first :: rest ->
+        let best =
+          List.fold_left
+            (fun best w ->
+              if
+                !(w.clock) < !(best.clock)
+                || (!(w.clock) = !(best.clock) && w.wid < best.wid)
+              then w
+              else best)
+            first rest
+        in
+        step_worker t best
+    end
+  done;
+  !result
 
-(* Largest clock across workers: the makespan of the simulated execution. *)
+(* Largest clock ever observed: the makespan of the simulated execution.
+   Includes fibers already pruned after finishing. *)
 let max_clock t =
-  List.fold_left (fun acc w -> Float.max acc !(w.clock)) 0.0 t.workers
+  List.fold_left (fun acc w -> Float.max acc !(w.clock)) t.high_water
+    t.workers
 
 let worker_count t = List.length t.workers

@@ -7,7 +7,15 @@
     holds, and on resumption its clock jumps to at least [arrival ()]
     (the causal timestamp of whatever it waited for). The scheduler always
     resumes the runnable worker with the smallest clock, which makes the
-    simulation a deterministic discrete-event execution. *)
+    simulation a deterministic discrete-event execution.
+
+    With a telemetry recorder attached ({!set_telemetry}), every fiber
+    lifecycle edge — spawn, start, block, resume, finish — is recorded on
+    the fiber's track, giving the critical-path analyzer its
+    happens-before skeleton. Disabled telemetry costs one boolean read
+    per edge. *)
+
+module Tel = Privagic_telemetry
 
 type worker_state =
   | Not_started of (float ref -> unit)
@@ -19,6 +27,7 @@ type worker_state =
 type worker = {
   wid : int;
   name : string;
+  track : int;       (** telemetry track the fiber's events land on *)
   clock : float ref;
   mutable state : worker_state;
 }
@@ -27,7 +36,18 @@ type t = {
   mutable workers : worker list;
   mutable next_id : int;
   mutable steps : int;
+  mutable high_water : float;
+  mutable tel : Tel.Recorder.t;
+  mutable running : worker option;
 }
+
+(** How a {!run} ended: normally; with workers still blocked (servers
+    awaiting messages); or because the step budget was hit — the payload
+    is the total steps taken so far, and the execution is partial. *)
+type outcome =
+  | Completed
+  | Blocked_workers of string list
+  | Budget_exhausted of int
 
 exception Deadlock of string list
 (** Names of the workers blocked on unsatisfiable conditions (raised only
@@ -35,21 +55,34 @@ exception Deadlock of string list
 
 val create : unit -> t
 
+(** Attach a telemetry recorder (default: the shared disabled one). *)
+val set_telemetry : t -> Tel.Recorder.t -> unit
+
 (** [spawn t ~name ~at body] registers a fiber whose clock starts at [at];
     it runs when the scheduler first picks it. May be called from inside a
-    running fiber. *)
-val spawn : t -> name:string -> at:float -> (float ref -> unit) -> worker
+    running fiber. [track] assigns the fiber's telemetry track (several
+    fibers of one logical worker may share one); fresh by default.
+    [parent] overrides the spawning track recorded with the Fiber_spawn
+    event (default: the running worker, or -1 for an external spawn); a
+    parent equal to [track] marks the fiber as serialized after earlier
+    work on its own track. *)
+val spawn :
+  t -> name:string -> ?track:int -> ?parent:int -> at:float ->
+  (float ref -> unit) -> worker
 
 (** Block the calling fiber; only valid inside a fiber run by {!run}. *)
 val block : (unit -> bool) -> (unit -> float) -> unit
 
-(** Run until every worker has finished or is blocked on a false condition.
-    Workers left blocked are servers awaiting messages unless
-    [allow_blocked] is [false], in which case {!Deadlock} is raised.
-    Finished fibers are pruned. *)
-val run : ?allow_blocked:bool -> ?max_steps:int -> t -> unit
+(** Run until every worker has finished or is blocked on a false condition,
+    or the per-invocation [max_steps] budget is hit (reported as
+    {!Budget_exhausted}, never silently). Workers left blocked are servers
+    awaiting messages unless [allow_blocked] is [false], in which case
+    {!Deadlock} is raised. Finished fibers are pruned; their clocks remain
+    visible through {!max_clock}. *)
+val run : ?allow_blocked:bool -> ?max_steps:int -> t -> outcome
 
-(** Largest clock across live workers (the makespan). *)
+(** Largest clock ever observed across workers, including already-pruned
+    finished fibers (the makespan). *)
 val max_clock : t -> float
 
 val worker_count : t -> int

@@ -1,1 +1,1 @@
-lib/sgx/machine.ml: Cache Config Cost
+lib/sgx/machine.ml: Cache Config Cost Privagic_telemetry

@@ -1,1 +1,1 @@
-lib/sgx/machine.mli: Cache Config Cost
+lib/sgx/machine.mli: Cache Config Cost Privagic_telemetry

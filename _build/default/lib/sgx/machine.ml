@@ -36,6 +36,8 @@ let fresh_counters () =
     threads_spawned = 0;
   }
 
+module Tel = Privagic_telemetry
+
 type t = {
   config : Config.t;
   cost : Cost.t;
@@ -43,6 +45,13 @@ type t = {
   llc : Cache.t;
   epc : Cache.t;                (* page-granular enclave working set *)
   c : counters;
+  mutable trace : (int * int -> unit) option;
+      (* per-machine access trace for debugging cache behaviour; a field
+         (not a global) so two machines in one harness run cannot clobber
+         each other's hooks *)
+  mutable tel : Tel.Recorder.t;
+      (* transition/fault events; timestamps and tracks come from the
+         recorder's context, maintained by the VM *)
 }
 
 let create ?(cost = Cost.default) (config : Config.t) =
@@ -59,7 +68,13 @@ let create ?(cost = Cost.default) (config : Config.t) =
       Cache.create ~size_bytes:(config.epc_mib * 1024 * 1024) ~line_bytes:4096
         ~assoc:16;
     c = fresh_counters ();
+    trace = None;
+    tel = Tel.Recorder.null;
   }
+
+let set_trace m f = m.trace <- f
+
+let set_telemetry m r = m.tel <- r
 
 (* Cost of executing [n] plain instructions. *)
 let instr_cost m n =
@@ -70,11 +85,8 @@ let instr_cost m n =
    runs in (misses taken in enclave mode pay the Eleos multiplier), [data]
    is where the memory lives (enclave pages occupy EPC and may fault).
    The hierarchy is L1 -> LLC -> DRAM. *)
-(* Optional access trace for debugging cache behaviour. *)
-let trace : (int * int -> unit) option ref = ref None
-
 let mem_cost m ~cpu ~data addr size =
-  (match !trace with Some f -> f (addr, size) | None -> ());
+  (match m.trace with Some f -> f (addr, size) | None -> ());
   m.c.mem_accesses <- m.c.mem_accesses + 1;
   let l1_misses, lines = Cache.access m.l1 addr size in
   let in_enclave = match cpu with Enclave _ -> true | Normal -> false in
@@ -102,33 +114,46 @@ let mem_cost m ~cpu ~data addr size =
      let faults, _ = Cache.access m.epc addr size in
      if faults > 0 then begin
        m.c.epc_faults <- m.c.epc_faults + faults;
+       if Tel.Recorder.enabled m.tel then
+         Tel.Recorder.here m.tel ~arg:faults Tel.Event.Epc_fault;
        cost := !cost +. (m.cost.Cost.epc_fault *. float_of_int faults)
      end);
   !cost
 
 let ecall_cost m =
   m.c.ecalls <- m.c.ecalls + 1;
+  if Tel.Recorder.enabled m.tel then Tel.Recorder.here m.tel Tel.Event.Ecall;
   m.cost.Cost.ecall
 
 let switchless_cost m =
   m.c.switchless_calls <- m.c.switchless_calls + 1;
+  if Tel.Recorder.enabled m.tel then
+    Tel.Recorder.here m.tel Tel.Event.Switchless;
   m.cost.Cost.switchless_lock
 
 let queue_msg_cost m =
   m.c.queue_msgs <- m.c.queue_msgs + 1;
+  if Tel.Recorder.enabled m.tel then
+    Tel.Recorder.here m.tel Tel.Event.Queue_msg;
   m.cost.Cost.queue_msg
 
 let syscall_cost m ~zone =
   match zone with
   | Normal ->
     m.c.syscalls <- m.c.syscalls + 1;
+    if Tel.Recorder.enabled m.tel then
+      Tel.Recorder.here m.tel Tel.Event.Syscall;
     m.cost.Cost.syscall
   | Enclave _ ->
     m.c.enclave_syscalls <- m.c.enclave_syscalls + 1;
+    if Tel.Recorder.enabled m.tel then
+      Tel.Recorder.here m.tel Tel.Event.Ocall;
     m.cost.Cost.enclave_syscall
 
 let thread_spawn_cost m =
   m.c.threads_spawned <- m.c.threads_spawned + 1;
+  if Tel.Recorder.enabled m.tel then
+    Tel.Recorder.here m.tel Tel.Event.Thread_spawn;
   m.cost.Cost.thread_spawn
 
 let counters m = m.c

@@ -22,6 +22,8 @@ type counters = {
 
 val fresh_counters : unit -> counters
 
+module Tel = Privagic_telemetry
+
 type t = {
   config : Config.t;
   cost : Cost.t;
@@ -29,13 +31,22 @@ type t = {
   llc : Cache.t;
   epc : Cache.t;
   c : counters;
+  mutable trace : (int * int -> unit) option;
+  mutable tel : Tel.Recorder.t;
 }
 
 val create : ?cost:Cost.t -> Config.t -> t
 
-(** Optional access trace for debugging cache behaviour: receives
-    [(addr, size)] before each access. *)
-val trace : (int * int -> unit) option ref
+(** Optional per-machine access trace for debugging cache behaviour:
+    receives [(addr, size)] before each access. A field rather than a
+    global so two machines in one harness run (e.g. baseline vs.
+    partitioned) cannot clobber each other's hooks. *)
+val set_trace : t -> (int * int -> unit) option -> unit
+
+(** Attach a telemetry recorder; transition and fault events (ecalls,
+    ocalls, switchless calls, queue messages, EPC faults, thread spawns)
+    are recorded with the recorder's current clock/track context. *)
+val set_telemetry : t -> Tel.Recorder.t -> unit
 
 val instr_cost : t -> int -> float
 

@@ -1,0 +1,1 @@
+lib/telemetry/chrome_trace.ml: Array Buffer Char Event Hashtbl List Printf Recorder String

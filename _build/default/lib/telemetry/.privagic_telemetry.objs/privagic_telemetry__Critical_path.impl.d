@@ -1,0 +1,1 @@
+lib/telemetry/critical_path.ml: Array Event Float Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/telemetry/metrics.ml: Array Float Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/telemetry/recorder.ml: Array Event Hashtbl List Printf

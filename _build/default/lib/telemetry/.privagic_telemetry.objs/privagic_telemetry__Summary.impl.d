@@ -1,0 +1,1 @@
+lib/telemetry/summary.ml: Array Critical_path Event Float Format Hashtbl List Metrics Option Printf Recorder

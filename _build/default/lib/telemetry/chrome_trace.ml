@@ -1,0 +1,130 @@
+(* Chrome trace_event JSON export, loadable in chrome://tracing and
+   Perfetto. One process; one named thread track per worker; B/E duration
+   slices for chunk execution; legacy flow events (s/f) draw the arrows
+   between a message's send and its receive; machine transitions, faults
+   and scheduler block/resume points are instants.
+
+   Timestamps: the trace_event format nominally uses microseconds; we emit
+   virtual cycles verbatim — only relative positions matter for reading a
+   schedule, and cycles keep the numbers exact. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_to_buffer ~(track_name : int -> string) (evs : Event.t array)
+    (b : Buffer.t) =
+  let first = ref true in
+  let obj fields =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b "  {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":%s" k v))
+      fields;
+    Buffer.add_char b '}'
+  in
+  let str s = Printf.sprintf "\"%s\"" (escape s) in
+  let ts at = Printf.sprintf "%.3f" at in
+  Buffer.add_string b "{\n\"traceEvents\": [\n";
+  obj [ ("name", str "process_name"); ("ph", str "M"); ("pid", "1");
+        ("tid", "0");
+        ("args", Printf.sprintf "{\"name\":%s}" (str "privagic")) ];
+  (* named thread per track, in track order *)
+  let tracks = Hashtbl.create 8 in
+  Array.iter
+    (fun (e : Event.t) ->
+      if not (Hashtbl.mem tracks e.Event.track) then
+        Hashtbl.replace tracks e.Event.track ())
+    evs;
+  List.iter
+    (fun k ->
+      obj
+        [ ("name", str "thread_name"); ("ph", str "M"); ("pid", "1");
+          ("tid", string_of_int k);
+          ("args", Printf.sprintf "{\"name\":%s}" (str (track_name k))) ])
+    (List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tracks []));
+  (* flow names must match between the s and f ends *)
+  let flow_name = Hashtbl.create 64 in
+  Array.iter
+    (fun (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Msg_send -> Hashtbl.replace flow_name e.Event.arg e.Event.name
+      | _ -> ())
+    evs;
+  let instant ?(cat = "sched") (e : Event.t) name =
+    obj
+      [ ("name", str name); ("ph", str "i"); ("s", str "t"); ("pid", "1");
+        ("tid", string_of_int e.Event.track); ("ts", ts e.Event.at);
+        ("cat", str cat) ]
+  in
+  Array.iter
+    (fun (e : Event.t) ->
+      let tid = string_of_int e.Event.track in
+      match e.Event.kind with
+      | Event.Chunk_begin ->
+        obj
+          [ ("name", str e.Event.name); ("ph", str "B"); ("pid", "1");
+            ("tid", tid); ("ts", ts e.Event.at); ("cat", str "chunk") ]
+      | Event.Chunk_end ->
+        obj
+          [ ("name", str e.Event.name); ("ph", str "E"); ("pid", "1");
+            ("tid", tid); ("ts", ts e.Event.at); ("cat", str "chunk") ]
+      | Event.Msg_send ->
+        obj
+          [ ("name", str ("msg:" ^ e.Event.name)); ("ph", str "s");
+            ("id", string_of_int e.Event.arg); ("pid", "1"); ("tid", tid);
+            ("ts", ts e.Event.at); ("cat", str "msg") ]
+      | Event.Msg_recv ->
+        let name =
+          match Hashtbl.find_opt flow_name e.Event.arg with
+          | Some n -> "msg:" ^ n
+          | None -> "msg"
+        in
+        obj
+          [ ("name", str name); ("ph", str "f"); ("bp", str "e");
+            ("id", string_of_int e.Event.arg); ("pid", "1"); ("tid", tid);
+            ("ts", ts e.Event.at); ("cat", str "msg") ]
+      | Event.Fiber_block -> instant e "block"
+      | Event.Fiber_resume -> instant e "resume"
+      | Event.Fiber_start -> instant e "fiber-start"
+      | Event.Fiber_finish -> instant e "fiber-finish"
+      | Event.Fiber_spawn -> ()
+      | Event.Barrier -> instant ~cat:"sync" e "barrier"
+      | Event.Epc_fault -> instant ~cat:"machine" e "epc-fault"
+      | Event.Ecall -> instant ~cat:"machine" e "ecall"
+      | Event.Ocall -> instant ~cat:"machine" e "ocall"
+      | Event.Switchless -> instant ~cat:"machine" e "switchless"
+      | Event.Queue_msg -> instant ~cat:"machine" e "queue-msg"
+      | Event.Syscall -> instant ~cat:"machine" e "syscall"
+      | Event.Thread_spawn -> instant ~cat:"machine" e "thread-spawn")
+    evs;
+  Buffer.add_string b "\n],\n\"displayTimeUnit\": \"ns\"\n}\n"
+
+let to_string ~track_name (evs : Event.t array) =
+  let b = Buffer.create 65536 in
+  emit_to_buffer ~track_name evs b;
+  Buffer.contents b
+
+let to_file ~track_name (evs : Event.t array) path =
+  let oc = open_out path in
+  output_string oc (to_string ~track_name evs);
+  close_out oc
+
+let of_recorder (r : Recorder.t) =
+  to_string ~track_name:(Recorder.track_name r) (Recorder.events r)
+
+let recorder_to_file (r : Recorder.t) path =
+  to_file ~track_name:(Recorder.track_name r) (Recorder.events r) path

@@ -1,0 +1,63 @@
+(* The typed events of the telemetry subsystem. Every execution layer
+   (scheduler, SGX machine, partitioned VM) records into the same ring
+   buffer; the sinks (Chrome trace, summary, critical path) interpret the
+   events uniformly.
+
+   Events are stored column-wise in the recorder (parallel arrays) so that
+   recording never allocates; this module defines the row view the sinks
+   consume and the kind enumeration. The generic payload fields are:
+
+   - [arg]: an integer payload — the flow (correlation) id of a message
+     event, the parent track of a fiber spawn, the page count of an EPC
+     fault;
+   - [farg]: a float payload — the causal arrival timestamp of a resume. *)
+
+type kind =
+  (* scheduler: one fiber's lifecycle on its worker track *)
+  | Fiber_spawn    (* track = child; arg = spawning track (-1: external) *)
+  | Fiber_start
+  | Fiber_block
+  | Fiber_resume   (* farg = arrival (causal timestamp of the wakeup) *)
+  | Fiber_finish
+  (* partitioned VM: chunk execution spans and runtime messages *)
+  | Chunk_begin    (* name = chunk *)
+  | Chunk_end
+  | Msg_send       (* name = "spawn"|"retval"|"token"|"done"; arg = flow *)
+  | Msg_recv       (* arg = flow of the matched send *)
+  | Barrier
+  (* SGX machine: transitions and faults *)
+  | Ecall
+  | Ocall          (* syscall issued from inside an enclave *)
+  | Switchless
+  | Queue_msg
+  | Syscall
+  | Epc_fault      (* arg = number of faulting pages *)
+  | Thread_spawn
+
+type t = {
+  at : float;      (* virtual-clock timestamp, cycles *)
+  track : int;     (* the worker track the event belongs to *)
+  kind : kind;
+  name : string;   (* chunk name / message tag; "" when unused *)
+  arg : int;
+  farg : float;
+}
+
+let kind_name = function
+  | Fiber_spawn -> "fiber_spawn"
+  | Fiber_start -> "fiber_start"
+  | Fiber_block -> "fiber_block"
+  | Fiber_resume -> "fiber_resume"
+  | Fiber_finish -> "fiber_finish"
+  | Chunk_begin -> "chunk_begin"
+  | Chunk_end -> "chunk_end"
+  | Msg_send -> "msg_send"
+  | Msg_recv -> "msg_recv"
+  | Barrier -> "barrier"
+  | Ecall -> "ecall"
+  | Ocall -> "ocall"
+  | Switchless -> "switchless"
+  | Queue_msg -> "queue_msg"
+  | Syscall -> "syscall"
+  | Epc_fault -> "epc_fault"
+  | Thread_spawn -> "thread_spawn"

@@ -1,1 +1,1 @@
-lib/vm/pinterp.mli: Color Exec Format Hashtbl Infer Plan Privagic_partition Privagic_pir Privagic_runtime Privagic_secure Privagic_sgx Rvalue Ty
+lib/vm/pinterp.mli: Color Exec Format Hashtbl Infer Plan Privagic_partition Privagic_pir Privagic_runtime Privagic_secure Privagic_sgx Privagic_telemetry Rvalue Ty

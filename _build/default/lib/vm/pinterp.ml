@@ -23,6 +23,7 @@ open Privagic_secure
 open Privagic_partition
 module Sgx = Privagic_sgx
 module Sched = Privagic_runtime.Sched
+module Tel = Privagic_telemetry
 
 exception Error of string
 
@@ -31,11 +32,12 @@ type payload =
 
 and tag = Retval | Token
 
-type mail = { sent_at : float; payload : payload }
+type mail = { sent_at : float; flow : int; payload : payload }
 
 type worker = {
   w_thread : int;
   w_color : Color.t;
+  w_track : int;                  (* telemetry track of this worker *)
   mutable w_mail : mail list;
 }
 
@@ -60,6 +62,7 @@ type activation = {
   act_participants : Color.t list;   (* P: colors executing this instance *)
   mutable act_pending : int;         (* spawned fibers still running *)
   mutable act_done_max : float;      (* latest completion among spawned *)
+  mutable act_done_flow : int;       (* telemetry flow of that completion *)
   mutable act_colors_done : Color.t list; (* spawned chunks completed *)
 }
 
@@ -100,6 +103,7 @@ type t = {
   mutable traps : string list;
   mutable guard : bool;  (* §8 extension: valid-spawn-sequence guard *)
   mutable trace : traced_event list option; (* newest first when tracing *)
+  mutable tel : Tel.Recorder.t;  (* structured telemetry (off by default) *)
 }
 
 let zone_of_color (c : Color.t) : Heap.zone =
@@ -117,7 +121,12 @@ let worker t thread color =
   match Hashtbl.find_opt t.workers key with
   | Some w -> w
   | None ->
-    let w = { w_thread = thread; w_color = color; w_mail = [] } in
+    let track =
+      Tel.Recorder.fresh_track t.tel
+        (Printf.sprintf "t%d/%s" thread (Color.to_string color))
+    in
+    let w = { w_thread = thread; w_color = color; w_track = track;
+              w_mail = [] } in
     Hashtbl.replace t.workers key w;
     w
 
@@ -132,7 +141,10 @@ let thread_clock t thread =
 let restore t (ctx : fiber_ctx) =
   t.current <- Some ctx;
   t.exec.Exec.clock <- ctx.clock;
-  t.exec.Exec.cpu <- cpu_of_color ctx.worker.w_color
+  t.exec.Exec.cpu <- cpu_of_color ctx.worker.w_color;
+  (* keep the machine's telemetry context on the right worker track *)
+  if Tel.Recorder.enabled t.tel then
+    Tel.Recorder.set_track t.tel ctx.worker.w_track
 
 let ctx_exn t =
   match t.current with
@@ -150,12 +162,20 @@ let record t at ev =
 let send_cont t (ctx : fiber_ctx) (target : worker) ~seq ~tag ~value =
   let cost = t.crossing t.exec.Exec.machine in
   ctx.clock := !(ctx.clock) +. cost;
-  record t !(ctx.clock)
-    (Ev_cont
-       { target = target.w_color;
-         tag = (match tag with Retval -> "retval" | Token -> "token") });
+  let tag_name = match tag with Retval -> "retval" | Token -> "token" in
+  record t !(ctx.clock) (Ev_cont { target = target.w_color; tag = tag_name });
+  let flow =
+    if Tel.Recorder.enabled t.tel then begin
+      let f = Tel.Recorder.fresh_flow t.tel in
+      Tel.Recorder.record t.tel ~at:!(ctx.clock) ~track:ctx.worker.w_track
+        ~name:tag_name ~arg:f Tel.Event.Msg_send;
+      f
+    end
+    else -1
+  in
   target.w_mail <-
-    target.w_mail @ [ { sent_at = !(ctx.clock); payload = Cont { seq; tag; value } } ]
+    target.w_mail
+    @ [ { sent_at = !(ctx.clock); flow; payload = Cont { seq; tag; value } } ]
 
 let wait_cont t (ctx : fiber_ctx) ~seq ~tag : Rvalue.t =
   let w = ctx.worker in
@@ -178,6 +198,9 @@ let wait_cont t (ctx : fiber_ctx) ~seq ~tag : Rvalue.t =
   in
   w.w_mail <- List.filter (fun m -> not (m == msg)) w.w_mail;
   ctx.clock := Float.max !(ctx.clock) msg.sent_at;
+  if Tel.Recorder.enabled t.tel && msg.flow >= 0 then
+    Tel.Recorder.record t.tel ~at:!(ctx.clock) ~track:w.w_track ~arg:msg.flow
+      Tel.Event.Msg_recv;
   match msg.payload with Cont c -> c.value
 
 (* ------------------------------------------------------------------ *)
@@ -270,8 +293,14 @@ let rec exec_chunk t (ctx : fiber_ctx) (act : activation) (c : Color.t)
   ctx.act <- act;
   let f = chunk_for act.act_pf c in
   record t !(ctx.clock) (Ev_chunk_start { color = c; chunk = f.Func.name });
+  if Tel.Recorder.enabled t.tel then
+    Tel.Recorder.record t.tel ~at:!(ctx.clock) ~track:ctx.worker.w_track
+      ~name:f.Func.name Tel.Event.Chunk_begin;
   let r = Exec.exec_func t.exec f args in
   record t !(ctx.clock) (Ev_chunk_end { color = c; chunk = f.Func.name });
+  if Tel.Recorder.enabled t.tel then
+    Tel.Recorder.record t.tel ~at:!(ctx.clock) ~track:ctx.worker.w_track
+      ~name:f.Func.name Tel.Event.Chunk_end;
   ctx.act <- saved;
   r
 
@@ -299,11 +328,28 @@ and spawn_chunk_fiber t ?(forged = false) ~thread (act : activation)
   in
   act.act_pending <- act.act_pending + 1;
   record t at (Ev_spawn { target = c; chunk = chunk_name });
+  (* spawn message: sender is whatever worker is currently running (the
+     spawner), receiver is the fresh fiber on [w] *)
+  let spawn_flow =
+    if Tel.Recorder.enabled t.tel then begin
+      let f = Tel.Recorder.fresh_flow t.tel in
+      let from_track =
+        match t.current with Some ctx -> ctx.worker.w_track | None -> w.w_track
+      in
+      Tel.Recorder.record t.tel ~at ~track:from_track ~name:"spawn" ~arg:f
+        Tel.Event.Msg_send;
+      f
+    end
+    else -1
+  in
   let earlier = List.filter (fun d -> Color.compare d c < 0) siblings in
   ignore
-    (Sched.spawn t.sched ~name ~at (fun clock ->
+    (Sched.spawn t.sched ~name ~track:w.w_track ~at (fun clock ->
          let ctx = { worker = w; act; clock } in
          restore t ctx;
+         if spawn_flow >= 0 then
+           Tel.Recorder.record t.tel ~at:!clock ~track:w.w_track
+             ~name:"spawn" ~arg:spawn_flow Tel.Event.Msg_recv;
          if earlier <> [] then begin
            Sched.block
              (fun () ->
@@ -312,7 +358,15 @@ and spawn_chunk_fiber t ?(forged = false) ~thread (act : activation)
                  earlier)
              (fun () -> Float.max !clock act.act_done_max);
            restore t ctx;
-           clock := Float.max !clock act.act_done_max
+           let waited = !clock < act.act_done_max in
+           clock := Float.max !clock act.act_done_max;
+           if
+             waited
+             && Tel.Recorder.enabled t.tel
+             && act.act_done_flow >= 0
+           then
+             Tel.Recorder.record t.tel ~at:!clock ~track:w.w_track
+               ~name:"done" ~arg:act.act_done_flow Tel.Event.Msg_recv
          end;
          (match exec_chunk t ctx act c args with
          | r ->
@@ -328,6 +382,13 @@ and spawn_chunk_fiber t ?(forged = false) ~thread (act : activation)
          (* completion signal back to the spawner (one crossing) *)
          ctx.clock := !(ctx.clock) +. t.crossing t.exec.Exec.machine;
          act.act_pending <- act.act_pending - 1;
+         if !(ctx.clock) >= act.act_done_max && Tel.Recorder.enabled t.tel
+         then begin
+           let f = Tel.Recorder.fresh_flow t.tel in
+           Tel.Recorder.record t.tel ~at:!(ctx.clock) ~track:w.w_track
+             ~name:"done" ~arg:f Tel.Event.Msg_send;
+           act.act_done_flow <- f
+         end;
          act.act_done_max <- Float.max act.act_done_max !(ctx.clock);
          act.act_colors_done <- c :: act.act_colors_done))
 
@@ -340,8 +401,14 @@ and host_wait_spawned ?(bump = true) t (ctx : fiber_ctx) (act : activation) =
   if act.act_pending > 0 then begin
     Sched.block (fun () -> act.act_pending = 0) (fun () -> !(ctx.clock));
     restore t ctx;
-    if bump && Color.is_enclave ctx.worker.w_color then
-      ctx.clock := Float.max !(ctx.clock) act.act_done_max
+    if bump && Color.is_enclave ctx.worker.w_color then begin
+      let waited = !(ctx.clock) < act.act_done_max in
+      ctx.clock := Float.max !(ctx.clock) act.act_done_max;
+      if waited && Tel.Recorder.enabled t.tel && act.act_done_flow >= 0 then
+        Tel.Recorder.record t.tel ~at:!(ctx.clock)
+          ~track:ctx.worker.w_track ~name:"done" ~arg:act.act_done_flow
+          Tel.Event.Msg_recv
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -423,6 +490,7 @@ and dispatch_local_call t (ctx : fiber_ctx) (i : Instr.t) (cp : Plan.call_plan)
       act_participants = (if callee_cs = [] then p_site else callee_cs);
       act_pending = 0;
       act_done_max = 0.0;
+      act_done_flow = -1;
       act_colors_done = [];
     }
   in
@@ -530,6 +598,7 @@ and dispatch_indirect_local t (ctx : fiber_ctx) (i : Instr.t) name
       act_participants = (if cs = [] then [ c ] else cs);
       act_pending = 0;
       act_done_max = 0.0;
+      act_done_flow = -1;
       act_colors_done = [];
     }
   in
@@ -578,6 +647,7 @@ and dispatch_spawn t (i : Instr.t) callee (args : Rvalue.t array) =
         act_participants = cs;
         act_pending = 0;
         act_done_max = 0.0;
+      act_done_flow = -1;
       act_colors_done = [];
       }
     in
@@ -608,7 +678,11 @@ let make_hooks t : Exec.hooks =
           when Hashtbl.mem ctx.act.act_pf.Plan.pf_barriers i.Instr.id
                && List.length ctx.act.act_participants > 1 ->
           Exec.charge ex (t.crossing ex.Exec.machine);
-          record t !(ctx.clock) (Ev_barrier { color = ctx.worker.w_color })
+          record t !(ctx.clock) (Ev_barrier { color = ctx.worker.w_color });
+          if Tel.Recorder.enabled t.tel then
+            Tel.Recorder.record t.tel ~at:!(ctx.clock)
+              ~track:ctx.worker.w_track
+              ~name:(Color.to_string ctx.worker.w_color) Tel.Event.Barrier
         | _ -> ());
     h_alloca_zone =
       (fun _ ty ->
@@ -657,6 +731,7 @@ let create ?(config = Sgx.Config.machine_b) ?cost
       traps = [];
       guard = true;
       trace = None;
+      tel = Tel.Recorder.null;
     }
   in
   ex.Exec.hooks <- make_hooks t;
@@ -669,6 +744,15 @@ let create ?(config = Sgx.Config.machine_b) ?cost
   Exec.init_globals t.exec zone_of_global;
   t
 
+(* Attach a telemetry recorder to every layer: the scheduler records
+   fiber lifecycle events, the machine records transition/fault events,
+   and the recorder's clock follows the currently running worker. *)
+let set_telemetry t (r : Tel.Recorder.t) =
+  t.tel <- r;
+  Sched.set_telemetry t.sched r;
+  Sgx.Machine.set_telemetry t.exec.Exec.machine r;
+  Tel.Recorder.set_now r (fun () -> !(t.exec.Exec.clock))
+
 (* ------------------------------------------------------------------ *)
 (* entry points *)
 
@@ -678,7 +762,8 @@ type entry_result = {
   completed_at : float;
 }
 
-let call_entry t ?(thread = 0) name (args : Rvalue.t list) : entry_result =
+let call_entry t ?(thread = 0) ?max_steps name (args : Rvalue.t list) :
+    entry_result =
   let ep =
     match
       List.find_opt (fun (e : Plan.entry_plan) -> String.equal e.ep_name name)
@@ -700,6 +785,7 @@ let call_entry t ?(thread = 0) name (args : Rvalue.t list) : entry_result =
       act_participants = (if cs = [] then [ Color.Free ] else cs);
       act_pending = 0;
       act_done_max = 0.0;
+      act_done_flow = -1;
       act_colors_done = [];
     }
   in
@@ -713,7 +799,10 @@ let call_entry t ?(thread = 0) name (args : Rvalue.t list) : entry_result =
   (* interface fiber on the U worker (§7.3.4) *)
   let name_ = Printf.sprintf "t%d/interface:%s" thread name in
   ignore
-    (Sched.spawn t.sched ~name:name_ ~at:now (fun clock ->
+    (* parent = its own track: a request is serialized after earlier
+       requests on the same application thread (the thread clock) *)
+    (Sched.spawn t.sched ~name:name_ ~track:uw.w_track ~parent:uw.w_track
+       ~at:now (fun clock ->
          let ctx = { worker = uw; act; clock } in
          restore t ctx;
          (* start the missing chunks *)
@@ -743,12 +832,21 @@ let call_entry t ?(thread = 0) name (args : Rvalue.t list) : entry_result =
            | Some dc -> exec_chunk t ctx act dc argv
            | None -> wait_cont t ctx ~seq:act.act_seq ~tag:Retval
          in
-         (* the response leaves once every participant is done *)
+         (* the response leaves once every participant is done; when an
+            enclave finished last, its completion signal gates the
+            response — a binding happens-before edge *)
          let finish = Float.max !(ctx.clock) act.act_done_max in
+         if
+           Tel.Recorder.enabled t.tel
+           && act.act_done_max > !(ctx.clock)
+           && act.act_done_flow >= 0
+         then
+           Tel.Recorder.record t.tel ~at:finish ~track:uw.w_track
+             ~name:"done" ~arg:act.act_done_flow Tel.Event.Msg_recv;
          slot := Some (r, finish);
          let tc = thread_clock t thread in
          tc := Float.max !tc finish));
-  Sched.run t.sched;
+  let outcome = Sched.run ?max_steps t.sched in
   (match t.traps with
   | [] -> ()
   | msgs ->
@@ -757,7 +855,15 @@ let call_entry t ?(thread = 0) name (args : Rvalue.t list) : entry_result =
   match !slot with
   | Some (value, completed_at) ->
     { value; latency_cycles = completed_at -. now; completed_at }
-  | None -> raise (Error ("entry " ^ name ^ " did not complete"))
+  | None -> (
+    match outcome with
+    | Sched.Budget_exhausted n ->
+      raise
+        (Error
+           (Printf.sprintf "entry %s: step budget exhausted after %d steps"
+              name n))
+    | Sched.Completed | Sched.Blocked_workers _ ->
+      raise (Error ("entry " ^ name ^ " did not complete")))
 
 let output t = Buffer.contents t.exec.Exec.out
 let machine t = t.exec.Exec.machine
@@ -799,6 +905,7 @@ let inject_spawn t ?(thread = 0) ~(color : Color.t) ~(chunk : string)
           act_participants = [ color ];
           act_pending = 0;
           act_done_max = 0.0;
+          act_done_flow = -1;
           act_colors_done = [];
         }
       in
@@ -808,7 +915,7 @@ let inject_spawn t ?(thread = 0) ~(color : Color.t) ~(chunk : string)
           (Array.of_list args) ~at:now ~reply_to:[]
       with
       | () ->
-        Sched.run t.sched;
+        ignore (Sched.run t.sched : Sched.outcome);
         (match t.traps with
         | [] -> Result.Ok ()
         | msgs ->

@@ -14,17 +14,19 @@ open Privagic_secure
 open Privagic_partition
 module Sgx = Privagic_sgx
 module Sched = Privagic_runtime.Sched
+module Tel = Privagic_telemetry
 
 exception Error of string
 
 type payload = Cont of { seq : int; tag : tag; value : Rvalue.t }
 and tag = Retval | Token
 
-type mail = { sent_at : float; payload : payload }
+type mail = { sent_at : float; flow : int; payload : payload }
 
 type worker = {
   w_thread : int;
   w_color : Color.t;
+  w_track : int;  (** telemetry track of this worker *)
   mutable w_mail : mail list;
 }
 
@@ -35,6 +37,7 @@ type activation = {
   act_participants : Color.t list;
   mutable act_pending : int;
   mutable act_done_max : float;
+  mutable act_done_flow : int;
   mutable act_colors_done : Color.t list;
 }
 
@@ -72,6 +75,7 @@ type t = {
   mutable traps : string list;
   mutable guard : bool;
   mutable trace : traced_event list option;
+  mutable tel : Tel.Recorder.t;
 }
 
 (** Build the VM for a plan; [crossing] prices one boundary message
@@ -83,6 +87,12 @@ val create :
   Plan.t ->
   t
 
+(** Attach a telemetry recorder across every layer of the VM: the
+    scheduler (fiber lifecycle), the message layer (send/recv flows), the
+    machine (transition and fault events), and the recorder's clock
+    context. Pass {!Tel.Recorder.null} to detach. *)
+val set_telemetry : t -> Tel.Recorder.t -> unit
+
 type entry_result = {
   value : Rvalue.t;
   latency_cycles : float;
@@ -92,9 +102,13 @@ type entry_result = {
 (** Call an entry point through its §7.3.4 interface: spawn the missing
     chunks, run the untrusted chunk, deliver the response once every
     participant finished. State (heap, caches, clocks) persists across
-    calls; per-request stack regions are rewound.
+    calls; per-request stack regions are rewound. [max_steps] bounds the
+    scheduler steps spent on this request; exhaustion raises an [Error]
+    distinguishable from non-completion ("step budget exhausted").
     @raise Error on runtime failures (including trapped fibers). *)
-val call_entry : t -> ?thread:int -> string -> Rvalue.t list -> entry_result
+val call_entry :
+  t -> ?thread:int -> ?max_steps:int -> string -> Rvalue.t list ->
+  entry_result
 
 val output : t -> string
 val machine : t -> Sgx.Machine.t

@@ -105,7 +105,9 @@ let test_sched_runs_by_clock () =
     (Sched.spawn sched ~name:"late" ~at:100.0 (fun _ -> order := "late" :: !order));
   ignore
     (Sched.spawn sched ~name:"early" ~at:1.0 (fun _ -> order := "early" :: !order));
-  Sched.run sched;
+  (match Sched.run sched with
+  | Sched.Completed -> ()
+  | _ -> Alcotest.fail "expected Completed");
   Alcotest.(check (list string)) "clock order" [ "late"; "early" ] !order
 
 let test_sched_block_resume () =
@@ -119,7 +121,7 @@ let test_sched_block_resume () =
          observed := !clock));
   ignore
     (Sched.spawn sched ~name:"setter" ~at:10.0 (fun _ -> flag := true));
-  Sched.run sched;
+  ignore (Sched.run sched : Sched.outcome);
   Alcotest.(check (float 0.001)) "resumed at arrival time" 55.0 !observed
 
 let test_sched_spawn_during_run () =
@@ -130,7 +132,7 @@ let test_sched_spawn_during_run () =
          incr hits;
          ignore
            (Sched.spawn sched ~name:"child" ~at:5.0 (fun _ -> incr hits))));
-  Sched.run sched;
+  ignore (Sched.run sched : Sched.outcome);
   Alcotest.(check int) "both ran" 2 !hits
 
 let test_sched_blocked_stays () =
@@ -138,13 +140,16 @@ let test_sched_blocked_stays () =
   ignore
     (Sched.spawn sched ~name:"stuck" ~at:0.0 (fun _ ->
          Sched.block (fun () -> false) (fun () -> 0.0)));
-  (* default allows blocked workers (servers waiting for messages) *)
-  Sched.run sched;
+  (* default allows blocked workers (servers waiting for messages) and
+     reports them in the outcome *)
+  (match Sched.run sched with
+  | Sched.Blocked_workers [ "stuck" ] -> ()
+  | _ -> Alcotest.fail "expected Blocked_workers [stuck]");
   Alcotest.(check bool) "deadlock raised" true
     (match Sched.run ~allow_blocked:false sched with
     | exception Sched.Deadlock [ "stuck" ] -> true
     | exception Sched.Deadlock _ -> true
-    | () -> false)
+    | _ -> false)
 
 let test_sched_virtual_time_causality () =
   (* a consumer blocked on a produced value inherits its timestamp *)
@@ -162,7 +167,7 @@ let test_sched_virtual_time_causality () =
            (fun () -> match !mailbox with Some t -> t | None -> 0.0);
          clock := Float.max !clock (Option.value ~default:0.0 !mailbox);
          consumer_clock := !clock));
-  Sched.run sched;
+  ignore (Sched.run sched : Sched.outcome);
   Alcotest.(check (float 0.001)) "consumer advanced to 500" 500.0
     !consumer_clock
 

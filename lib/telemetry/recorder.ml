@@ -1,0 +1,131 @@
+(* Pre-sized ring buffer of typed events, stamped with the virtual clock.
+
+   Designed so that a disabled recorder costs one inlined boolean read on
+   the hot path and nothing else: call sites guard with [if enabled r then
+   record ...], and the event storage is column-wise (parallel arrays, the
+   float columns unboxed) so an enabled recorder allocates nothing per
+   event either.
+
+   The recorder also owns the cross-layer context the SGX machine lacks:
+   the current worker track and a virtual-clock source, both maintained by
+   the VM as fibers switch. Scheduler and VM events pass explicit
+   [~at]/[~track]; machine events use [here]. *)
+
+type t = {
+  mutable on : bool;
+  cap : int;
+  at : float array;
+  track : int array;
+  kind : Event.kind array;
+  name : string array;
+  arg : int array;
+  farg : float array;
+  mutable n : int;                   (* total events ever recorded *)
+  mutable next_flow : int;
+  mutable next_track : int;
+  track_names : (int, string) Hashtbl.t;
+  mutable cur_track : int;           (* context for [here] *)
+  mutable now : unit -> float;       (* virtual-clock source for [here] *)
+}
+
+let no_clock () = 0.0
+
+let make capacity =
+  {
+    on = capacity > 0;
+    cap = capacity;
+    at = Array.make (max 1 capacity) 0.0;
+    track = Array.make (max 1 capacity) 0;
+    kind = Array.make (max 1 capacity) Event.Fiber_start;
+    name = Array.make (max 1 capacity) "";
+    arg = Array.make (max 1 capacity) 0;
+    farg = Array.make (max 1 capacity) 0.0;
+    n = 0;
+    next_flow = 0;
+    next_track = 0;
+    track_names = Hashtbl.create 16;
+    cur_track = 0;
+    now = no_clock;
+  }
+
+(* The shared disabled recorder: every sink defaults to it; [enabled] is
+   false so no call site ever records into it. *)
+let null = make 0
+
+let create ?(capacity = 1 lsl 18) () = make (max 1 capacity)
+
+let enabled t = t.on
+
+let set_enabled t on = t.on <- on && t.cap > 0
+
+let set_now t f = t.now <- f
+
+let set_track t track = t.cur_track <- track
+
+let fresh_flow t =
+  let f = t.next_flow in
+  t.next_flow <- f + 1;
+  f
+
+let fresh_track t name =
+  let k = t.next_track in
+  t.next_track <- k + 1;
+  if t.cap > 0 then Hashtbl.replace t.track_names k name;
+  k
+
+let track_name t k =
+  match Hashtbl.find_opt t.track_names k with
+  | Some n -> n
+  | None -> Printf.sprintf "track-%d" k
+
+let record t ~at ~track ?(name = "") ?(arg = 0) ?(farg = 0.0)
+    (kind : Event.kind) =
+  if t.on then begin
+    let i = t.n mod t.cap in
+    t.at.(i) <- at;
+    t.track.(i) <- track;
+    t.kind.(i) <- kind;
+    t.name.(i) <- name;
+    t.arg.(i) <- arg;
+    t.farg.(i) <- farg;
+    t.n <- t.n + 1
+  end
+
+(* Record with the recorder's current context (the SGX machine's events:
+   it knows neither the clock nor the worker). *)
+let here t ?name ?arg (kind : Event.kind) =
+  record t ~at:(t.now ()) ~track:t.cur_track ?name ?arg kind
+
+let length t = min t.n t.cap
+
+let dropped t = max 0 (t.n - t.cap)
+
+(* Flow ids stay monotonic across [clear]: ids already handed out live on
+   in program state (in-flight mail, completion signals) and must not
+   collide with ids issued after the reset. *)
+let clear t = t.n <- 0
+
+let get t i : Event.t =
+  (* [i]-th oldest retained event *)
+  let len = length t in
+  if i < 0 || i >= len then invalid_arg "Recorder.get";
+  let j = if t.n <= t.cap then i else (t.n + i) mod t.cap in
+  {
+    Event.at = t.at.(j);
+    track = t.track.(j);
+    kind = t.kind.(j);
+    name = t.name.(j);
+    arg = t.arg.(j);
+    farg = t.farg.(j);
+  }
+
+let events t : Event.t array = Array.init (length t) (get t)
+
+let iter t f =
+  for i = 0 to length t - 1 do
+    f (get t i)
+  done
+
+let tracks t =
+  List.sort compare
+    (Hashtbl.fold (fun k name acc -> (k, name) :: acc) t.track_names [])
