@@ -129,8 +129,52 @@ let write_trace rec_ out =
     prerr_endline ("cannot write trace: " ^ msg);
     exit 2
 
-let run_action mode auth trace schedule max_steps path entry args =
+(* run --backend=parallel: same plan, executed on OCaml 5 domains with the
+   lock-free queue; reports wall-clock time instead of simulated cycles. *)
+let run_parallel_action trace lanes plan entry argv =
+  let module Par = Privagic_parallel.Parallel in
+  let pt = Par.create ~lanes plan in
+  let rec_ =
+    match trace with
+    | None -> None
+    | Some _ ->
+      let r = Tel.Recorder.create () in
+      Par.set_telemetry pt r;
+      Some r
+  in
+  (match Par.call_entry pt entry argv with
+  | r ->
+    print_string (Par.output pt);
+    (match (trace, rec_) with
+    | Some out, Some rec_ ->
+      write_trace rec_ out;
+      Format.printf "trace: %d events on %d tracks -> %s@."
+        (Tel.Recorder.length rec_)
+        (List.length (Tel.Recorder.tracks rec_))
+        out
+    | _ -> ());
+    Format.printf "=> %s  (wall: %.3f ms on %d domains)@."
+      (Privagic_vm.Rvalue.to_string r.Par.value)
+      (r.Par.wall_seconds *. 1e3) (Par.domain_count pt);
+    ignore (Par.shutdown pt)
+  | exception Par.Error msg ->
+    ignore (Par.shutdown pt);
+    prerr_endline ("runtime error: " ^ msg);
+    exit 3
+  | exception Privagic_vm.Exec.Trap msg ->
+    ignore (Par.shutdown pt);
+    prerr_endline ("trap: " ^ msg);
+    exit 3);
+  0
+
+let run_action mode auth trace schedule max_steps backend lanes path entry args
+    =
   let plan = build_plan ~auth mode path in
+  let argv0 =
+    List.map (fun a -> Privagic_vm.Rvalue.Int (Int64.of_string a)) args
+  in
+  if backend = `Parallel then run_parallel_action trace lanes plan entry argv0
+  else begin
   let pt = Privagic_vm.Pinterp.create plan in
   let argv =
     List.map (fun a -> Privagic_vm.Rvalue.Int (Int64.of_string a)) args
@@ -170,6 +214,7 @@ let run_action mode auth trace schedule max_steps path entry args =
     prerr_endline ("trap: " ^ msg);
     exit 3);
   0
+  end
 
 (* profile: run an entry under telemetry, then print the plain-text
    summary (counters, histograms, occupancy) and the critical path. *)
@@ -278,10 +323,39 @@ let run_cmd =
           ~doc:"Bound the scheduler steps for the request; exhaustion \
                 exits with code 4, distinguishable from non-completion.")
   in
+  let backend =
+    let backend_conv =
+      Arg.conv
+        ( (fun s ->
+            match s with
+            | "sim" -> Ok `Sim
+            | "parallel" -> Ok `Parallel
+            | _ -> Error (`Msg "backend must be 'sim' or 'parallel'")),
+          fun fmt b ->
+            Format.pp_print_string fmt
+              (match b with `Sim -> "sim" | `Parallel -> "parallel") )
+    in
+    Arg.(
+      value & opt backend_conv `Sim
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"Execution backend: 'sim' (deterministic virtual time on the \
+                SGX simulator) or 'parallel' (OCaml 5 domains, one worker \
+                per lane and partition, lock-free queues, wall-clock \
+                time).")
+  in
+  let lanes =
+    Arg.(
+      value & opt int 2
+      & info [ "lanes" ] ~docv:"N"
+          ~doc:"Worker lanes of the parallel backend: application threads \
+                map onto N queues per color, bounding the domain count at \
+                N × colors.")
+  in
   Cmd.v
-    (Cmd.info "run" ~doc:"Execute a partitioned program on the SGX simulator")
+    (Cmd.info "run" ~doc:"Execute a partitioned program on the SGX simulator \
+                          or on real domains (--backend=parallel)")
     Term.(const run_action $ mode_arg $ auth_arg $ trace_arg $ schedule
-          $ max_steps $ file_arg $ entry_pos $ args_pos)
+          $ max_steps $ backend $ lanes $ file_arg $ entry_pos $ args_pos)
 
 let profile_cmd =
   Cmd.v

@@ -52,6 +52,92 @@ type result = {
   ecalls_switchless : int;
 }
 
+(* --- real-parallel backend (OCaml 5 domains, wall-clock time) --- *)
+
+module Parallel = Privagic_parallel.Parallel
+
+type parallel_result = {
+  pr_family : family;
+  pr_record_count : int;
+  pr_operations : int;
+  pr_domains : int;            (* domains the worker pool actually spawned *)
+  pr_wall_seconds : float;     (* run phase only, wall clock *)
+  pr_throughput_kops : float;
+  pr_p_found : float;
+}
+
+let colored_plan ?(auth_pointers = false) ~mode src =
+  let m = Privagic_minic.Driver.compile ~file:"program.mc" src in
+  let infer = Privagic_secure.Infer.run ~mode ~auth_pointers m in
+  if not (Privagic_secure.Infer.ok infer) then
+    invalid_arg "run_parallel: program rejected by the checker";
+  let plan = Privagic_partition.Plan.build ~mode ~auth_pointers infer in
+  if plan.Privagic_partition.Plan.diagnostics <> [] then
+    invalid_arg "run_parallel: partitioning rejected";
+  plan
+
+let run_parallel ?(nbuckets = 4096) ?(vsize = 1024) ?(seed = 42)
+    ?(distribution = Ycsb.Zipfian) ?(lanes = 2) ?telemetry (family : family)
+    ~(record_count : int) ~(operations : int) () : parallel_result =
+  let src = source family `Colored ~nbuckets ~vsize in
+  let plan = colored_plan ~mode:(mode_for family) src in
+  let p = Parallel.create ~lanes plan in
+  (match telemetry with
+  | Some r -> Parallel.set_telemetry p r
+  | None -> ());
+  let heap = (Parallel.exec p).Exec.heap in
+  let put_entry, get_entry = entries family in
+  let vbuf = Heap.alloc heap Heap.Unsafe vsize in
+  let obuf = Heap.alloc heap Heap.Unsafe vsize in
+  String.iteri
+    (fun i c -> Heap.store heap (vbuf + i) 1 (Int64.of_int (Char.code c)))
+    (Ycsb.value_for ~size:vsize 1);
+  (if family = Memcached then
+     ignore
+       (Parallel.call_entry p "mc_init"
+          [ Rvalue.Int (Int64.of_int (record_count * 2)) ]));
+  for k = 0 to record_count - 1 do
+    ignore
+      (Parallel.call_entry p put_entry
+         [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr vbuf ])
+  done;
+  let spec =
+    { (Ycsb.workload_b ~seed ~record_count ~operation_count:operations
+         ~value_size:vsize ())
+      with Ycsb.distribution }
+  in
+  let gen = Ycsb.create spec in
+  let found = ref 0 and reads = ref 0 in
+  let start = Unix.gettimeofday () in
+  for _ = 1 to operations do
+    match Ycsb.next_op gen with
+    | Ycsb.Read k ->
+      incr reads;
+      let r =
+        Parallel.call_entry p get_entry
+          [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr obuf ]
+      in
+      if Rvalue.truthy r.Parallel.value then incr found
+    | Ycsb.Update k | Ycsb.Insert k ->
+      ignore
+        (Parallel.call_entry p put_entry
+           [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr vbuf ])
+  done;
+  let wall = Unix.gettimeofday () -. start in
+  let domains = Parallel.domain_count p in
+  ignore (Parallel.shutdown p);
+  {
+    pr_family = family;
+    pr_record_count = record_count;
+    pr_operations = operations;
+    pr_domains = domains;
+    pr_wall_seconds = wall;
+    pr_throughput_kops =
+      (if wall > 0.0 then float_of_int operations /. wall /. 1000.0 else 0.0);
+    pr_p_found =
+      (if !reads > 0 then float_of_int !found /. float_of_int !reads else 1.0);
+  }
+
 let run ?(config = Sgx.Config.machine_b) ?cost ?(nbuckets = 4096)
     ?(vsize = 1024) ?(seed = 42) ?(distribution = Ycsb.Zipfian)
     ?(auth_pointers = false) ?telemetry (family : family)

@@ -36,6 +36,32 @@ type result = {
   ecalls_switchless : int;
 }
 
+type parallel_result = {
+  pr_family : family;
+  pr_record_count : int;
+  pr_operations : int;
+  pr_domains : int;        (** domains the worker pool actually spawned *)
+  pr_wall_seconds : float; (** run phase only, wall clock *)
+  pr_throughput_kops : float;
+  pr_p_found : float;
+}
+
+(** Same load/replay protocol as {!run}, but on the real-parallel backend
+    ({!Privagic_parallel.Parallel}): OCaml 5 domains, wall-clock
+    throughput. No machine counters — the cost model does not run here. *)
+val run_parallel :
+  ?nbuckets:int ->
+  ?vsize:int ->
+  ?seed:int ->
+  ?distribution:Ycsb.distribution ->
+  ?lanes:int ->
+  ?telemetry:Privagic_telemetry.Recorder.t ->
+  family ->
+  record_count:int ->
+  operations:int ->
+  unit ->
+  parallel_result
+
 val run :
   ?config:Sgx.Config.t ->
   ?cost:Sgx.Cost.t ->

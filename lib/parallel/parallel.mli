@@ -1,0 +1,72 @@
+(** Real-parallel execution backend: runs a {!Privagic_partition.Plan}
+    on OCaml 5 domains, with the lock-free runtime queue as the
+    inter-partition channel — the §7.3 architecture on actual hardware
+    threads, measured in wall-clock time.
+
+    {!Pinterp} executes the same architecture (and the same {!Dispatch}
+    decisions) in virtual time on one core; it is the deterministic
+    oracle this backend is differentially tested against. See DESIGN.md
+    §8.7 for what transfers between the two and what deliberately
+    differs. *)
+
+open Privagic_pir
+open Privagic_vm
+module Sgx = Privagic_sgx
+module Tel = Privagic_telemetry
+
+exception Error of string
+
+type t
+
+(** Build the backend for a plan. [lanes] bounds the worker pool:
+    application threads map onto [lanes] queues per color, so the domain
+    count stays at [lanes × colors] no matter how many threads the
+    program spawns (OCaml caps usable domains near the core count). *)
+val create :
+  ?config:Sgx.Config.t ->
+  ?cost:Sgx.Cost.t ->
+  ?lanes:int ->
+  Privagic_partition.Plan.t ->
+  t
+
+type entry_result = { value : Rvalue.t; wall_seconds : float }
+
+(** Call an entry point through its §7.3.4 interface and wait for the
+    response {e and} for pool quiescence (background threads spawned by
+    the request finish first, matching the simulator's semantics).
+    [timeout_s] (default 60) turns a deadlocked pool into an [Error]
+    mentioning "timed out" instead of a hang.
+    @raise Error on traps, timeouts, and runtime failures. *)
+val call_entry :
+  t -> ?thread:int -> ?timeout_s:float -> string -> Rvalue.t list ->
+  entry_result
+
+(** Close every worker queue and join the domains. Returns [false] if the
+    pool failed to quiesce within [timeout_s] (default 10) — queues are
+    closed anyway, but stuck domains are not joined. Call once, last. *)
+val shutdown : ?timeout_s:float -> t -> bool
+
+(** Combined stdout of all workers (deterministic worker order, not
+    global emission order — wall-clock interleaving is not replayable). *)
+val output : t -> string
+
+(** The shared executor: differential tests read final heap and global
+    state through it. *)
+val exec : t -> Exec.t
+
+(** Number of domains spawned so far (0 before the first entry call). *)
+val domain_count : t -> int
+
+(** §8 extension: inject a forged spawn message into a partition's queue.
+    The valid-spawn-target guard rejects it at dequeue, in the target
+    partition. *)
+val inject_spawn :
+  t -> ?thread:int -> color:Color.t -> chunk:string -> Rvalue.t list ->
+  (unit, string) result
+
+val set_spawn_guard : t -> bool -> unit
+
+(** Attach a telemetry recorder; events carry wall-clock microseconds
+    since this call. Attach before the first entry call — workers
+    created earlier recorded nothing. *)
+val set_telemetry : t -> Tel.Recorder.t -> unit

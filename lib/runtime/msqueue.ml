@@ -3,13 +3,21 @@
 
 type 'a node = { value : 'a option; next : 'a node option Atomic.t }
 
-type 'a t = { head : 'a node Atomic.t; tail : 'a node Atomic.t }
+type 'a t = {
+  head : 'a node Atomic.t;
+  tail : 'a node Atomic.t;
+  closed : bool Atomic.t;
+}
 
 let mk_node value = { value; next = Atomic.make None }
 
 let create () =
   let sentinel = mk_node None in
-  { head = Atomic.make sentinel; tail = Atomic.make sentinel }
+  {
+    head = Atomic.make sentinel;
+    tail = Atomic.make sentinel;
+    closed = Atomic.make false;
+  }
 
 let rec push q v =
   let node = mk_node (Some v) in
@@ -50,6 +58,10 @@ let rec pop q =
     else pop q
 
 let is_empty q = Atomic.get (Atomic.get q.head).next = None
+
+let close q = Atomic.set q.closed true
+
+let is_closed q = Atomic.get q.closed
 
 let length q =
   let rec go acc node =

@@ -1,0 +1,320 @@
+(* Backend-agnostic dispatch math for executing a partition plan.
+
+   Both interpreters of a plan — the virtual-time simulator (Pinterp) and
+   the real-parallel backend (Privagic_parallel.Parallel) — make the same
+   decisions from the same plan: which chunk a participant runs, who leads
+   a call site, who must receive the return value, which child sequence
+   number an activation gets. This module holds those decisions so the two
+   backends cannot drift; the backends keep only what genuinely differs
+   (virtual clocks and fibers vs. domains and queues).
+
+   Everything here is exception-free: lookups return options and each
+   backend wraps misses in its own error type. The only exception that may
+   escape is [Exec.Trap] from {!dispatch_extern} (unknown external), which
+   both backends already treat as a program trap.
+
+   The lazily-filled caches (site presence, return-value need, sequence
+   agreement) are guarded by an internal mutex when [set_concurrent] is on,
+   so the parallel backend's workers can share one instance. *)
+
+open Privagic_pir
+open Privagic_secure
+open Privagic_partition
+module Sgx = Privagic_sgx
+
+type t = {
+  plan : Plan.t;
+  sites : (string * int, Ty.t) Hashtbl.t; (* multicolor alloc sites *)
+  mutable seq_counter : int;
+  seq_table : (int * string * int * int, int) Hashtbl.t;
+      (* (parent seq, func, instr, invocation) -> child seq *)
+  invocations : (int * string * int * string, int ref) Hashtbl.t;
+      (* (parent seq, func, instr, participant) -> count *)
+  site_presence : (Infer.instance_key * int, Color.t list) Hashtbl.t;
+  ret_need : (string * int, bool) Hashtbl.t; (* (chunk name, instr) *)
+  mu : Mutex.t;
+  mutable sync : bool;
+}
+
+let create (plan : Plan.t) : t =
+  {
+    plan;
+    sites = Exec.alloc_sites plan.Plan.pmodule;
+    seq_counter = 0;
+    seq_table = Hashtbl.create 64;
+    invocations = Hashtbl.create 64;
+    site_presence = Hashtbl.create 64;
+    ret_need = Hashtbl.create 64;
+    mu = Mutex.create ();
+    sync = false;
+  }
+
+let set_concurrent t on = t.sync <- on
+
+let[@inline] locked t f =
+  if t.sync then begin
+    Mutex.lock t.mu;
+    match f () with
+    | v ->
+      Mutex.unlock t.mu;
+      v
+    | exception e ->
+      Mutex.unlock t.mu;
+      raise e
+  end
+  else f ()
+
+(* ------------------------------------------------------------------ *)
+(* color/zone mapping *)
+
+let zone_of_color (c : Color.t) : Heap.zone =
+  match c with
+  | Color.Named e -> Heap.Enclave e
+  | _ -> Heap.Unsafe
+
+let cpu_of_color (c : Color.t) : Sgx.Machine.zone =
+  match c with
+  | Color.Named e -> Sgx.Machine.Enclave e
+  | _ -> Sgx.Machine.Normal
+
+(* §7.1: globals placed per the plan; unplaced globals are unsafe. *)
+let global_zone (plan : Plan.t) name : Heap.zone =
+  match List.assoc_opt name plan.Plan.global_placement with
+  | Some c -> zone_of_color c
+  | None -> Heap.Unsafe
+
+(* Alloca placement: stack slots of a colored type go to that enclave;
+   everything else follows the executing worker's partition. *)
+let alloca_zone (ty : Ty.t) ~(current : Color.t) : Heap.zone =
+  match Cenv.root_color ty with
+  | Some (Color.Named e) -> Heap.Enclave e
+  | Some _ | None -> zone_of_color current
+
+(* ------------------------------------------------------------------ *)
+(* plan lookups *)
+
+let find_pfunc t key = Plan.find_pfunc t.plan key
+
+(* The chunk a participant of color [c] executes for [pf]: its own chunk,
+   or the single Free chunk of a pure-F (replicated) function. *)
+let chunk_for (pf : Plan.pfunc) (c : Color.t) : Func.t option =
+  let target = if pf.Plan.pf_colorset = [] then Color.Free else c in
+  match Plan.find_chunk pf target with
+  | Some ci -> Some ci.Plan.ci_func
+  | None -> None
+
+let find_entry (plan : Plan.t) name : Plan.entry_plan option =
+  List.find_opt
+    (fun (e : Plan.entry_plan) -> String.equal e.Plan.ep_name name)
+    plan.Plan.entries
+
+(* Every chunk function of the plan (cache pre-warming). *)
+let chunk_funcs (plan : Plan.t) : Func.t list =
+  Hashtbl.fold
+    (fun _ (pf : Plan.pfunc) acc ->
+      List.fold_left
+        (fun acc (ci : Plan.chunk_info) -> ci.Plan.ci_func :: acc)
+        acc pf.Plan.pf_chunks)
+    plan.Plan.pfuncs []
+
+(* Resolve a chunk function name back to its instance (spawn injection). *)
+let locate_chunk (plan : Plan.t) (chunk : string) :
+    (Infer.instance_key * Plan.pfunc * Color.t) option =
+  let found = ref None in
+  Hashtbl.iter
+    (fun key (pf : Plan.pfunc) ->
+      List.iter
+        (fun (ci : Plan.chunk_info) ->
+          if String.equal ci.Plan.ci_func.Func.name chunk then
+            found := Some (key, pf, ci.Plan.ci_color))
+        pf.Plan.pf_chunks)
+    plan.Plan.pfuncs;
+  !found
+
+(* Colors of the chunks that contain instruction [id] — the participants
+   of a call site within a non-pure-F caller. *)
+let site_presence t (pf : Plan.pfunc) (id : int) : Color.t list =
+  locked t (fun () ->
+      let key = (pf.Plan.pf_key, id) in
+      match Hashtbl.find_opt t.site_presence key with
+      | Some l -> l
+      | None ->
+        let l =
+          List.filter_map
+            (fun (ci : Plan.chunk_info) ->
+              let found = ref false in
+              Func.iter_instrs ci.Plan.ci_func (fun _ i ->
+                  if i.Instr.id = id then found := true);
+              if !found then Some ci.Plan.ci_color else None)
+            pf.Plan.pf_chunks
+        in
+        Hashtbl.replace t.site_presence key l;
+        l)
+
+(* Does chunk [f] read register [r]? (return-value need) *)
+let chunk_needs t (f : Func.t) (r : int) : bool =
+  locked t (fun () ->
+      let key = (f.Func.name, r) in
+      match Hashtbl.find_opt t.ret_need key with
+      | Some b -> b
+      | None ->
+        let b = Plan.chunk_uses f r in
+        Hashtbl.replace t.ret_need key b;
+        b)
+
+(* §7.3.3: does this instruction carry a synchronization barrier here? *)
+let barrier_at (pf : Plan.pfunc) (id : int) ~(participants : Color.t list) :
+    bool =
+  Hashtbl.mem pf.Plan.pf_barriers id && List.length participants > 1
+
+(* ------------------------------------------------------------------ *)
+(* sequence agreement *)
+
+let fresh_seq t =
+  locked t (fun () ->
+      t.seq_counter <- t.seq_counter + 1;
+      t.seq_counter)
+
+(* Deterministically agreed child sequence number for the [n]-th execution
+   of call site [instr] within parent activation [seq]: every participant
+   computes the same value without communication, because they all execute
+   the replicated call site the same number of times. The invocation
+   counter is per participant ([who]); the (seq, func, instr, n) key is
+   shared, so whichever participant gets there first allocates the number
+   and the others find it. *)
+let child_seq t ~(seq : int) ~(who : Color.t) ~(fname : string)
+    ~(instr : int) : int =
+  locked t (fun () ->
+      let inv_key = (seq, fname, instr, Color.to_string who) in
+      let counter =
+        match Hashtbl.find_opt t.invocations inv_key with
+        | Some r -> r
+        | None ->
+          let r = ref 0 in
+          Hashtbl.replace t.invocations inv_key r;
+          r
+      in
+      let n = !counter in
+      incr counter;
+      let key = (seq, fname, instr, n) in
+      match Hashtbl.find_opt t.seq_table key with
+      | Some s -> s
+      | None ->
+        t.seq_counter <- t.seq_counter + 1;
+        let s = t.seq_counter in
+        Hashtbl.replace t.seq_table key s;
+        s)
+
+(* ------------------------------------------------------------------ *)
+(* call-site layout (§7.3.2) *)
+
+type site = {
+  s_leader : Color.t;        (* starts the missing chunks *)
+  s_inter : Color.t list;    (* callee colors already at the site *)
+  s_spawned : Color.t list;  (* callee colors that must be spawned *)
+  s_ret_sender : Color.t option; (* who sends the return value *)
+}
+
+let site_layout ~(p_site : Color.t list) ~(callee_cs : Color.t list)
+    ~(self : Color.t) : site =
+  let leader = match p_site with d :: _ -> d | [] -> self in
+  let inter = List.filter (fun d -> List.mem d p_site) callee_cs in
+  let spawned = List.filter (fun d -> not (List.mem d p_site)) callee_cs in
+  let ret_sender =
+    match inter with
+    | d :: _ -> Some d
+    | [] -> ( match spawned with d :: _ -> Some d | [] -> None)
+  in
+  { s_leader = leader; s_inter = inter; s_spawned = spawned; s_ret_sender = ret_sender }
+
+(* Participants outside the callee whose chunk reads the call's result
+   register — they receive it in a cont message. *)
+let ret_needers t ~(caller_pf : Plan.pfunc) ~(p_site : Color.t list)
+    ~(callee_cs : Color.t list) (i : Instr.t) : Color.t list =
+  match Instr.defines i with
+  | None -> []
+  | Some id ->
+    List.filter
+      (fun d ->
+        (not (List.mem d callee_cs))
+        &&
+        match chunk_for caller_pf d with
+        | Some f -> chunk_needs t f id
+        | None -> false)
+      p_site
+
+(* Number of computed (register) F arguments at a call site — each one
+   travels to the spawned chunks in its own cont message (the paper's
+   trampolines), costing one crossing. *)
+let f_reg_args (cp : Plan.call_plan) (i : Instr.t) : int =
+  let call_args =
+    match i.Instr.op with
+    | Instr.Call (_, a) | Instr.Spawn (_, a) -> a
+    | _ -> []
+  in
+  let rec count acs args n =
+    match acs, args with
+    | ac :: acs', arg :: args' ->
+      let is_f_reg =
+        Color.equal ac Color.Free
+        && match arg with Value.Reg _ -> true | _ -> false
+      in
+      count acs' args' (if is_f_reg then n + 1 else n)
+    | _ -> n
+  in
+  count cp.Plan.cp_key.Infer.ik_args call_args 0
+
+(* §6.3/§7.3.4: the instance key under which an indirect call enters a
+   defined function — scalar parameters keep their declared color,
+   pointers enter at the mode's entry color. *)
+let indirect_entry_key (plan : Plan.t) (f : Func.t) : Infer.instance_key =
+  let entry_args =
+    List.map
+      (fun ((_, pty) : string * Ty.t) ->
+        match Cenv.root_color pty with
+        | Some c when not (Ty.is_pointer pty) -> c
+        | _ -> Mode.entry_color plan.Plan.mode)
+      f.Func.params
+  in
+  { Infer.ik_func = f.Func.name; Infer.ik_args = entry_args }
+
+(* ------------------------------------------------------------------ *)
+(* external dispatch (identical under both backends) *)
+
+(* Execute a call to an undefined function on executor [ex], running as
+   partition [color] inside caller instance function [caller]. Handles the
+   §7.2 allocation special cases (multicolor structs go to unsafe memory
+   with their colored fields split by Layout; [alloc_node2]) and charges
+   the syscall cost before delegating to {!Externals.dispatch}.
+   @raise Exec.Trap on an unknown external. *)
+let dispatch_extern t (ex : Exec.t) ~(color : Color.t) ~(caller : string)
+    (i : Instr.t) callee (args : Rvalue.t array) : Rvalue.t =
+  let malloc_zone = zone_of_color color in
+  let zone_for (sty : Ty.t) =
+    match sty.Ty.desc with
+    | Ty.Struct name
+      when (Layout.struct_layout ex.Exec.layout name).Layout.ls_multicolor ->
+      Heap.Unsafe
+    | _ -> malloc_zone
+  in
+  let tagged =
+    match i.Instr.op with
+    | Instr.Call ("malloc", _) -> Hashtbl.find_opt t.sites (caller, i.Instr.id)
+    | _ -> None
+  in
+  match tagged with
+  | Some sty ->
+    (* §7.2: a multi-color structure lives in unsafe memory, its colored
+       fields in their enclaves (Layout does the split) *)
+    Rvalue.Ptr (Layout.alloc ex.Exec.layout ex.Exec.heap (zone_for sty) sty)
+  | None -> (
+    match Exec.alloc_node2 ex ~zone_for i with
+    | Some r -> r
+    | None -> (
+      for _ = 1 to Externals.syscall_weight callee do
+        Exec.charge ex
+          (Sgx.Machine.syscall_cost ex.Exec.machine ~zone:ex.Exec.cpu)
+      done;
+      match Externals.dispatch ex ~malloc_zone callee args with
+      | Some r -> r
+      | None -> raise (Exec.Trap ("unknown external @" ^ callee))))

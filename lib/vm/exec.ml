@@ -85,6 +85,23 @@ let create ?(fuel = 500_000_000) ?(data_map = default_data_map) m heap layout
     reg_ty_cache = Hashtbl.create 16;
   }
 
+(* A per-worker executor for the parallel backend: shares the module, heap,
+   layout and the global/function-address tables (so all workers see one
+   address space) but owns its machine, clock, CPU mode, output buffer and
+   hooks. The shared tables must be pre-warmed (see [warm_caches]) before
+   domains start, so that at run time they are read-only. *)
+let clone_shared t ~machine ~hooks =
+  {
+    t with
+    machine;
+    hooks;
+    out = Buffer.create 256;
+    cpu = Sgx.Machine.Normal;
+    clock = ref 0.0;
+    current_func = "<entry>";
+    steps = 0;
+  }
+
 (* ------------------------------------------------------------------ *)
 
 let func_addr t name =
@@ -95,6 +112,21 @@ let func_addr t name =
     Hashtbl.replace t.func_addrs name a;
     Hashtbl.replace t.addr_funcs a name;
     a
+
+(* Populate the lazily-built shared tables — function addresses and the
+   per-function register-type tables — for every module function plus any
+   extra functions (partition chunks). After this, [func_addr] and
+   [reg_tys] only read, which is what lets several domains share them
+   without a lock. *)
+let warm_caches t ~(extra : Func.t list) =
+  Pmodule.iter_funcs t.m (fun f ->
+      ignore (func_addr t f.Func.name);
+      ignore (reg_tys t f));
+  List.iter
+    (fun (f : Func.t) ->
+      ignore (func_addr t f.Func.name);
+      ignore (reg_tys t f))
+    extra
 
 let size_of_ty t (ty : Ty.t) = max 1 (Layout.sizeof t.layout ty)
 

@@ -53,6 +53,17 @@ val create :
   ?data_map:(Heap.zone -> Sgx.Machine.zone) ->
   Pmodule.t -> Heap.t -> Layout.t -> Sgx.Machine.t -> hooks -> t
 
+(** Per-worker executor for the parallel backend: shares the module, heap,
+    layout and global/function-address tables, but owns its machine, clock,
+    CPU mode, output buffer and hooks. Pre-warm the shared tables with
+    {!warm_caches} before domains start so they are read-only at run time. *)
+val clone_shared : t -> machine:Sgx.Machine.t -> hooks:hooks -> t
+
+(** Populate the lazily-built shared tables (function addresses,
+    register-type tables) for every module function plus [extra]
+    (partition chunks), so concurrent readers never mutate them. *)
+val warm_caches : t -> extra:Func.t list -> unit
+
 val func_addr : t -> string -> int
 val size_of_ty : t -> Ty.t -> int
 val scalar_size : Ty.t -> int

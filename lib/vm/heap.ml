@@ -35,6 +35,8 @@ type t = {
   by_zone : (string, region) Hashtbl.t;
   strings : (string, int) Hashtbl.t; (* interned rodata strings *)
   mutable region_count : int;
+  mu : Mutex.t;
+  mutable sync : bool; (* serialize accesses (parallel backend) *)
 }
 
 exception Fault of int * string
@@ -45,7 +47,30 @@ let create () =
     by_zone = Hashtbl.create 8;
     strings = Hashtbl.create 16;
     region_count = 0;
+    mu = Mutex.create ();
+    sync = false;
   }
+
+(* Concurrent mode: every public operation runs under [mu], making the heap
+   usable from several domains at once (the parallel backend). The simulated
+   backend leaves [sync] off and pays one boolean test per access. Data-level
+   races of the *program* (two threads writing one address) keep whatever
+   nondeterminism they have — the lock only protects the heap's own
+   structures: the region list, the page tables, the bump pointers. *)
+let set_concurrent t on = t.sync <- on
+
+let[@inline] locked t f =
+  if t.sync then begin
+    Mutex.lock t.mu;
+    match f () with
+    | v ->
+      Mutex.unlock t.mu;
+      v
+    | exception e ->
+      Mutex.unlock t.mu;
+      raise e
+  end
+  else f ()
 
 let zone_key = function
   | Unsafe -> "\000U"
@@ -82,13 +107,13 @@ let find_region t addr =
   in
   go t.regions
 
-let zone_of t addr = (find_region t addr).zone
+let zone_of t addr = locked t (fun () -> (find_region t addr).zone)
 
 (* Bump allocation. Small objects are 8-byte aligned; objects of a cache
    line or more are line-aligned, as size-class allocators do — this also
    keeps simulated cache behaviour independent of the incidental phase of
    earlier allocations in the zone. *)
-let alloc t zone size =
+let alloc_u t zone size =
   let r = region_for t zone in
   let align = if size >= 64 then 64 else 8 in
   let off = (r.brk + align - 1) land lnot (align - 1) in
@@ -98,6 +123,8 @@ let alloc t zone size =
   r.brk <- off + aligned;
   r.live_bytes <- r.live_bytes + aligned;
   r.base + off
+
+let alloc t zone size = locked t (fun () -> alloc_u t zone size)
 
 (* Stack slots live in a dedicated region per zone so that they do not
    perturb the heap layout; [reset_stacks] rewinds them between requests
@@ -122,24 +149,27 @@ let region_for_key t zone key =
     r
 
 let alloc_stack t zone size =
-  let r = region_for_key t zone (stack_key zone) in
-  let aligned = (size + 7) land lnot 7 in
-  let off = r.brk in
-  if off + aligned >= 1 lsl region_bits then
-    raise (Fault (r.base + off, "stack zone exhausted"));
-  r.brk <- off + aligned;
-  r.base + off
+  locked t (fun () ->
+      let r = region_for_key t zone (stack_key zone) in
+      let aligned = (size + 7) land lnot 7 in
+      let off = r.brk in
+      if off + aligned >= 1 lsl region_bits then
+        raise (Fault (r.base + off, "stack zone exhausted"));
+      r.brk <- off + aligned;
+      r.base + off)
 
 let reset_stacks t =
-  Hashtbl.iter
-    (fun key r ->
-      if String.length key > 1 && key.[0] = '\001' then r.brk <- 16)
-    t.by_zone
+  locked t (fun () ->
+      Hashtbl.iter
+        (fun key r ->
+          if String.length key > 1 && key.[0] = '\001' then r.brk <- 16)
+        t.by_zone)
 
 let free t addr size =
-  match find_region t addr with
-  | r -> r.live_bytes <- max 0 (r.live_bytes - ((size + 7) land lnot 7))
-  | exception Fault _ -> ()
+  locked t (fun () ->
+      match find_region t addr with
+      | r -> r.live_bytes <- max 0 (r.live_bytes - ((size + 7) land lnot 7))
+      | exception Fault _ -> ())
 
 let page_of r off =
   let pno = off lsr page_bits in
@@ -150,14 +180,14 @@ let page_of r off =
     Hashtbl.replace r.pages pno p;
     p
 
-let load_byte t addr =
+let load_byte_u t addr =
   if addr = 0 then raise (Fault (0, "null dereference"));
   let r = find_region t addr in
   let off = addr - r.base in
   let p = page_of r off in
   Char.code (Bytes.get p (off land ((1 lsl page_bits) - 1)))
 
-let store_byte t addr b =
+let store_byte_u t addr b =
   if addr = 0 then raise (Fault (0, "null dereference"));
   let r = find_region t addr in
   let off = addr - r.base in
@@ -168,7 +198,7 @@ let store_byte t addr b =
    inside one 4 KiB page (the common case — allocations are 8-aligned). *)
 let page_mask = (1 lsl page_bits) - 1
 
-let load t addr size : int64 =
+let load_u t addr size : int64 =
   if addr = 0 then raise (Fault (0, "null dereference"));
   let r = find_region t addr in
   let off = addr - r.base in
@@ -191,12 +221,14 @@ let load t addr size : int64 =
     for k = size - 1 downto 0 do
       v :=
         Int64.logor (Int64.shift_left !v 8)
-          (Int64.of_int (load_byte t (addr + k)))
+          (Int64.of_int (load_byte_u t (addr + k)))
     done;
     !v
   end
 
-let store t addr size (v : int64) =
+let load t addr size = locked t (fun () -> load_u t addr size)
+
+let store_u t addr size (v : int64) =
   if addr = 0 then raise (Fault (0, "null dereference"));
   let r = find_region t addr in
   let off = addr - r.base in
@@ -214,40 +246,45 @@ let store t addr size (v : int64) =
   end
   else
     for k = 0 to size - 1 do
-      store_byte t (addr + k)
+      store_byte_u t (addr + k)
         (Int64.to_int
            (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xffL))
     done
+
+let store t addr size v = locked t (fun () -> store_u t addr size v)
 
 let load_f64 t addr = Int64.float_of_bits (load t addr 8)
 let store_f64 t addr f = store t addr 8 (Int64.bits_of_float f)
 
 (* Intern a string literal in rodata; returns its address (NUL-terminated). *)
 let intern_string t s =
-  match Hashtbl.find_opt t.strings s with
-  | Some addr -> addr
-  | None ->
-    let addr = alloc t Rodata (String.length s + 1) in
-    String.iteri (fun k c -> store_byte t (addr + k) (Char.code c)) s;
-    store_byte t (addr + String.length s) 0;
-    Hashtbl.replace t.strings s addr;
-    addr
+  locked t (fun () ->
+      match Hashtbl.find_opt t.strings s with
+      | Some addr -> addr
+      | None ->
+        let addr = alloc_u t Rodata (String.length s + 1) in
+        String.iteri (fun k c -> store_byte_u t (addr + k) (Char.code c)) s;
+        store_byte_u t (addr + String.length s) 0;
+        Hashtbl.replace t.strings s addr;
+        addr)
 
 (* Read a NUL-terminated string back (diagnostics, print_str). *)
 let read_string ?(max = 4096) t addr =
-  let buf = Buffer.create 16 in
-  let rec go k =
-    if k < max then
-      let b = load_byte t (addr + k) in
-      if b <> 0 then begin
-        Buffer.add_char buf (Char.chr b);
-        go (k + 1)
-      end
-  in
-  go 0;
-  Buffer.contents buf
+  locked t (fun () ->
+      let buf = Buffer.create 16 in
+      let rec go k =
+        if k < max then
+          let b = load_byte_u t (addr + k) in
+          if b <> 0 then begin
+            Buffer.add_char buf (Char.chr b);
+            go (k + 1)
+          end
+      in
+      go 0;
+      Buffer.contents buf)
 
 let live_bytes t zone =
-  match Hashtbl.find_opt t.by_zone (zone_key zone) with
-  | Some r -> r.live_bytes
-  | None -> 0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.by_zone (zone_key zone) with
+      | Some r -> r.live_bytes
+      | None -> 0)

@@ -16,6 +16,13 @@ exception Fault of int * string
 
 val create : unit -> t
 
+(** Concurrent mode (the parallel backend): serialize every heap operation
+    under an internal mutex so several domains can share the heap. Off by
+    default; the simulated backend pays one boolean test per access. The
+    lock protects the heap's own structures (region list, page tables, bump
+    pointers) — program-level data races keep their nondeterminism. *)
+val set_concurrent : t -> bool -> unit
+
 (** Bump allocation; 8-byte aligned, cache-line aligned from 64 bytes (as
     size-class allocators do). *)
 val alloc : t -> zone -> int -> int

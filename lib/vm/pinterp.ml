@@ -86,17 +86,10 @@ type traced_event = { ev_at : float; ev : event }
 type t = {
   plan : Plan.t;
   exec : Exec.t;
+  disp : Dispatch.t;                           (* shared plan math *)
   sched : Sched.t;
   workers : (int * string, worker) Hashtbl.t;
-  sites : (string * int, Ty.t) Hashtbl.t;      (* multicolor alloc sites *)
   crossing : Sgx.Machine.t -> float;           (* cost of one boundary msg *)
-  mutable seq_counter : int;
-  seq_table : (int * string * int * int, int) Hashtbl.t;
-      (* (parent seq, func, instr, invocation) -> child seq *)
-  invocations : (int * string * int * string, int ref) Hashtbl.t;
-      (* (parent seq, func, instr, participant) -> count *)
-  site_presence : (Infer.instance_key * int, Color.t list) Hashtbl.t;
-  ret_need : (string * int, bool) Hashtbl.t;   (* (chunk name, instr) *)
   mutable current : fiber_ctx option;
   thread_clock : (int, float ref) Hashtbl.t;
   mutable next_thread : int;
@@ -106,15 +99,7 @@ type t = {
   mutable tel : Tel.Recorder.t;  (* structured telemetry (off by default) *)
 }
 
-let zone_of_color (c : Color.t) : Heap.zone =
-  match c with
-  | Color.Named e -> Heap.Enclave e
-  | _ -> Heap.Unsafe
-
-let cpu_of_color (c : Color.t) : Sgx.Machine.zone =
-  match c with
-  | Color.Named e -> Sgx.Machine.Enclave e
-  | _ -> Sgx.Machine.Normal
+let cpu_of_color = Dispatch.cpu_of_color
 
 let worker t thread color =
   let key = (thread, Color.to_string color) in
@@ -207,82 +192,28 @@ let wait_cont t (ctx : fiber_ctx) ~seq ~tag : Rvalue.t =
 (* plan helpers *)
 
 let pfunc_exn t key =
-  match Plan.find_pfunc t.plan key with
+  match Dispatch.find_pfunc t.disp key with
   | Some pf -> pf
   | None ->
     raise (Error ("no partitioned function for " ^ Infer.instance_name key))
 
-let chunk_exn (pf : Plan.pfunc) (c : Color.t) : Func.t =
-  match Plan.find_chunk pf c with
-  | Some ci -> ci.Plan.ci_func
+(* The chunk a participant of color [c] executes for [pf]. *)
+let chunk_for (pf : Plan.pfunc) (c : Color.t) : Func.t =
+  match Dispatch.chunk_for pf c with
+  | Some f -> f
   | None ->
     raise
       (Error
          (Printf.sprintf "no %s chunk in %s" (Color.to_string c)
             (Infer.instance_name pf.Plan.pf_key)))
 
-(* The chunk a participant of color [c] executes for [pf]. *)
-let chunk_for (pf : Plan.pfunc) (c : Color.t) : Func.t =
-  if pf.Plan.pf_colorset = [] then chunk_exn pf Color.Free else chunk_exn pf c
+let site_presence t pf id = Dispatch.site_presence t.disp pf id
+let chunk_needs t f r = Dispatch.chunk_needs t.disp f r
+let fresh_seq t = Dispatch.fresh_seq t.disp
 
-(* Colors of the chunks that contain instruction [id] (site participants
-   within a non-pure-F caller). *)
-let site_presence t (pf : Plan.pfunc) (id : int) : Color.t list =
-  let key = (pf.Plan.pf_key, id) in
-  match Hashtbl.find_opt t.site_presence key with
-  | Some l -> l
-  | None ->
-    let l =
-      List.filter_map
-        (fun (ci : Plan.chunk_info) ->
-          let found = ref false in
-          Func.iter_instrs ci.Plan.ci_func (fun _ i ->
-              if i.Instr.id = id then found := true);
-          if !found then Some ci.Plan.ci_color else None)
-        pf.Plan.pf_chunks
-    in
-    Hashtbl.replace t.site_presence key l;
-    l
-
-(* Does chunk [f] use register [r]? *)
-let chunk_needs t (f : Func.t) (r : int) : bool =
-  let key = (f.Func.name, r) in
-  match Hashtbl.find_opt t.ret_need key with
-  | Some b -> b
-  | None ->
-    let b = Plan.chunk_uses f r in
-    Hashtbl.replace t.ret_need key b;
-    b
-
-let fresh_seq t =
-  t.seq_counter <- t.seq_counter + 1;
-  t.seq_counter
-
-(* Deterministically agreed child sequence number for the [n]-th execution
-   of call site [instr] within activation [act] — every participant
-   computes the same value without communication because they all execute
-   the replicated call site the same number of times. *)
 let child_seq t (ctx : fiber_ctx) (fname : string) (instr : int) : int =
-  let inv_key =
-    (ctx.act.act_seq, fname, instr, Color.to_string ctx.worker.w_color)
-  in
-  let counter =
-    match Hashtbl.find_opt t.invocations inv_key with
-    | Some r -> r
-    | None ->
-      let r = ref 0 in
-      Hashtbl.replace t.invocations inv_key r;
-      r
-  in
-  let n = !counter in
-  incr counter;
-  let key = (ctx.act.act_seq, fname, instr, n) in
-  match Hashtbl.find_opt t.seq_table key with
-  | Some s -> s
-  | None ->
-    let s = fresh_seq t in
-    Hashtbl.replace t.seq_table key s;
-    s
+  Dispatch.child_seq t.disp ~seq:ctx.act.act_seq ~who:ctx.worker.w_color
+    ~fname ~instr
 
 (* ------------------------------------------------------------------ *)
 (* chunk execution *)
@@ -430,45 +361,8 @@ and dispatch_call t (i : Instr.t) callee (args : Rvalue.t array) : Rvalue.t =
     else dispatch_extern t ctx i callee args
 
 and dispatch_extern t (ctx : fiber_ctx) (i : Instr.t) callee args =
-  let tagged =
-    match i.Instr.op with
-    | Instr.Call ("malloc", _) ->
-      Hashtbl.find_opt t.sites (ctx.act.act_key.Infer.ik_func, i.Instr.id)
-    | _ -> None
-  in
-  let malloc_zone = zone_of_color ctx.worker.w_color in
-  match tagged with
-  | Some sty ->
-    (* §7.2: a multi-color structure is allocated in unsafe memory, its
-       colored fields in their enclaves (Layout does the split) *)
-    let base_zone =
-      match sty.Ty.desc with
-      | Ty.Struct name
-        when (Layout.struct_layout t.exec.Exec.layout name).Layout.ls_multicolor
-        ->
-        Heap.Unsafe
-      | _ -> malloc_zone
-    in
-    Rvalue.Ptr (Layout.alloc t.exec.Exec.layout t.exec.Exec.heap base_zone sty)
-  | None -> (
-    let zone_for sty =
-      match sty.Ty.desc with
-      | Ty.Struct name
-        when (Layout.struct_layout t.exec.Exec.layout name).Layout.ls_multicolor
-        ->
-        Heap.Unsafe
-      | _ -> malloc_zone
-    in
-    match Exec.alloc_node2 t.exec ~zone_for i with
-    | Some r -> r
-    | None -> (
-      for _ = 1 to Externals.syscall_weight callee do
-        Exec.charge t.exec
-          (Sgx.Machine.syscall_cost t.exec.Exec.machine ~zone:t.exec.Exec.cpu)
-      done;
-      match Externals.dispatch t.exec ~malloc_zone callee args with
-      | Some r -> r
-      | None -> raise (Exec.Trap ("unknown external @" ^ callee))))
+  Dispatch.dispatch_extern t.disp t.exec ~color:ctx.worker.w_color
+    ~caller:ctx.act.act_key.Infer.ik_func i callee args
 
 and dispatch_local_call t (ctx : fiber_ctx) (i : Instr.t) (cp : Plan.call_plan)
     (args : Rvalue.t array) : Rvalue.t =
@@ -495,38 +389,17 @@ and dispatch_local_call t (ctx : fiber_ctx) (i : Instr.t) (cp : Plan.call_plan)
     }
   in
   let in_callee d = List.mem d callee_cs in
-  let leader = match p_site with d :: _ -> d | [] -> c in
-  let inter = List.filter (fun d -> List.mem d p_site) callee_cs in
-  let spawned = List.filter (fun d -> not (List.mem d p_site)) callee_cs in
+  let { Dispatch.s_leader = leader; s_inter = inter; s_spawned = spawned;
+        s_ret_sender = ret_sender } =
+    Dispatch.site_layout ~p_site ~callee_cs ~self:c
+  in
   (* which participants need the return value via message *)
   let needers =
-    match Instr.defines i with
-    | None -> []
-    | Some id ->
-      List.filter
-        (fun d ->
-          (not (in_callee d))
-          && chunk_needs t (chunk_for ctx.act.act_pf d) id)
-        p_site
-  in
-  let ret_sender =
-    match inter with
-    | d :: _ -> Some d
-    | [] -> ( match spawned with d :: _ -> Some d | [] -> None)
+    Dispatch.ret_needers t.disp ~caller_pf:ctx.act.act_pf ~p_site ~callee_cs i
   in
   (* the leader starts the missing chunks *)
   if Color.equal c leader && spawned <> [] then begin
-    let f_reg_args =
-      List.length
-        (List.filter
-           (fun (ac, arg) ->
-             Color.equal ac Color.Free
-             && match arg with Value.Reg _ -> true | _ -> false)
-           (List.combine cp.Plan.cp_key.Infer.ik_args
-              (match i.Instr.op with
-              | Instr.Call (_, a) | Instr.Spawn (_, a) -> a
-              | _ -> [])))
-    in
+    let f_reg_args = Dispatch.f_reg_args cp i in
     List.iter
       (fun d ->
         let reply_to =
@@ -577,15 +450,7 @@ and dispatch_local_call t (ctx : fiber_ctx) (i : Instr.t) (cp : Plan.call_plan)
 and dispatch_indirect_local t (ctx : fiber_ctx) (i : Instr.t) name
     (args : Rvalue.t array) : Rvalue.t =
   let f = Pmodule.find_func_exn t.exec.Exec.m name in
-  let entry_args =
-    List.map
-      (fun (_, pty) ->
-        match Cenv.root_color pty with
-        | Some c when not (Ty.is_pointer pty) -> c
-        | _ -> Mode.entry_color t.plan.Plan.mode)
-      f.Func.params
-  in
-  let key = { Infer.ik_func = name; ik_args = entry_args } in
+  let key = Dispatch.indirect_entry_key t.plan f in
   let pf = pfunc_exn t key in
   let cs = pf.Plan.pf_colorset in
   let c = ctx.worker.w_color in
@@ -675,8 +540,8 @@ let make_hooks t : Exec.hooks =
            synchronization barrier (one cont/wait round) *)
         match t.current with
         | Some ctx
-          when Hashtbl.mem ctx.act.act_pf.Plan.pf_barriers i.Instr.id
-               && List.length ctx.act.act_participants > 1 ->
+          when Dispatch.barrier_at ctx.act.act_pf i.Instr.id
+                 ~participants:ctx.act.act_participants ->
           Exec.charge ex (t.crossing ex.Exec.machine);
           record t !(ctx.clock) (Ev_barrier { color = ctx.worker.w_color });
           if Tel.Recorder.enabled t.tel then
@@ -686,12 +551,12 @@ let make_hooks t : Exec.hooks =
         | _ -> ());
     h_alloca_zone =
       (fun _ ty ->
-        match Cenv.root_color ty with
-        | Some (Color.Named e) -> Heap.Enclave e
-        | Some _ | None -> (
+        let current =
           match t.current with
-          | Some ctx -> zone_of_color ctx.worker.w_color
-          | None -> Heap.Unsafe));
+          | Some ctx -> ctx.worker.w_color
+          | None -> Color.Unsafe
+        in
+        Dispatch.alloca_zone ty ~current);
   }
 
 let dummy_hooks : Exec.hooks =
@@ -716,15 +581,10 @@ let create ?(config = Sgx.Config.machine_b) ?cost
     {
       plan;
       exec = ex;
+      disp = Dispatch.create plan;
       sched = Sched.create ();
       workers = Hashtbl.create 16;
-      sites = Exec.alloc_sites m;
       crossing;
-      seq_counter = 0;
-      seq_table = Hashtbl.create 64;
-      invocations = Hashtbl.create 64;
-      site_presence = Hashtbl.create 64;
-      ret_need = Hashtbl.create 64;
       current = None;
       thread_clock = Hashtbl.create 8;
       next_thread = 1;
@@ -736,12 +596,7 @@ let create ?(config = Sgx.Config.machine_b) ?cost
   in
   ex.Exec.hooks <- make_hooks t;
   (* globals placed per §7.1 *)
-  let zone_of_global name =
-    match List.assoc_opt name plan.Plan.global_placement with
-    | Some c -> zone_of_color c
-    | None -> Heap.Unsafe
-  in
-  Exec.init_globals t.exec zone_of_global;
+  Exec.init_globals t.exec (Dispatch.global_zone plan);
   t
 
 (* Attach a telemetry recorder to every layer: the scheduler records
@@ -880,16 +735,7 @@ let machine t = t.exec.Exec.machine
 let inject_spawn t ?(thread = 0) ~(color : Color.t) ~(chunk : string)
     (args : Rvalue.t list) : (unit, string) result =
   (* resolve the chunk name to an instance *)
-  let found = ref None in
-  Hashtbl.iter
-    (fun key (pf : Plan.pfunc) ->
-      List.iter
-        (fun (ci : Plan.chunk_info) ->
-          if String.equal ci.Plan.ci_func.Func.name chunk then
-            found := Some (key, pf, ci.Plan.ci_color))
-        pf.Plan.pf_chunks)
-    t.plan.Plan.pfuncs;
-  match !found with
+  match Dispatch.locate_chunk t.plan chunk with
   | None -> Result.Error ("no such chunk: " ^ chunk)
   | Some (key, pf, cc) ->
     if not (Color.equal cc color) then

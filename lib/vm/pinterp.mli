@@ -60,15 +60,10 @@ type traced_event = { ev_at : float; ev : event }
 type t = {
   plan : Plan.t;
   exec : Exec.t;
+  disp : Dispatch.t;  (** shared plan math (see {!Dispatch}) *)
   sched : Sched.t;
   workers : (int * string, worker) Hashtbl.t;
-  sites : (string * int, Ty.t) Hashtbl.t;
   crossing : Sgx.Machine.t -> float;
-  mutable seq_counter : int;
-  seq_table : (int * string * int * int, int) Hashtbl.t;
-  invocations : (int * string * int * string, int ref) Hashtbl.t;
-  site_presence : (Infer.instance_key * int, Color.t list) Hashtbl.t;
-  ret_need : (string * int, bool) Hashtbl.t;
   mutable current : fiber_ctx option;
   thread_clock : (int, float ref) Hashtbl.t;
   mutable next_thread : int;

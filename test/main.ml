@@ -14,6 +14,7 @@ let () =
       ("sgx", Test_sgx.suite);
       ("partition", Test_partition.suite);
       ("pinterp", Test_pinterp.suite);
+      ("parallel", Test_parallel.suite);
       ("dataflow", Test_dataflow.suite);
       ("programs", Test_programs.suite);
       ("workloads", Test_workloads.suite);

@@ -76,6 +76,71 @@ let test_queue_parallel () =
   Alcotest.(check int) "all popped" (producers * n) (Atomic.get popped);
   Alcotest.(check bool) "each exactly once" true (Array.for_all Fun.id seen)
 
+(* the shutdown drain protocol (msqueue.mli) under real contention:
+   producers push from their own domains, the owner closes once they are
+   done, and consumers exit only on a None pop observed *after* the close
+   flag — nothing pushed before close may be lost or duplicated *)
+let drain_exactly_once ~producers ~n ~consumers =
+  let q = Msqueue.create () in
+  let total = producers * n in
+  let seen = Array.make (max total 1) 0 in
+  let popped = Atomic.make 0 in
+  let producer id () =
+    for i = 0 to n - 1 do
+      Msqueue.push q ((id * n) + i)
+    done
+  in
+  let consumer () =
+    let stop = ref false in
+    while not !stop do
+      match Msqueue.pop q with
+      | Some v ->
+        seen.(v) <- seen.(v) + 1;
+        Atomic.incr popped
+      | None ->
+        if Msqueue.is_closed q then (
+          match Msqueue.pop q with
+          | Some v ->
+            seen.(v) <- seen.(v) + 1;
+            Atomic.incr popped
+          | None -> stop := true)
+        else Domain.cpu_relax ()
+    done
+  in
+  let prods = List.init producers (fun i -> Domain.spawn (producer i)) in
+  let cons = List.init consumers (fun _ -> Domain.spawn consumer) in
+  List.iter Domain.join prods;
+  Msqueue.close q;
+  List.iter Domain.join cons;
+  Atomic.get popped = total
+  && (total = 0 || Array.for_all (fun c -> c = 1) seen)
+
+let test_queue_close_drain () =
+  Alcotest.(check bool) "drained exactly once" true
+    (drain_exactly_once ~producers:3 ~n:2000 ~consumers:2);
+  (* close on an empty queue releases an idle consumer immediately *)
+  Alcotest.(check bool) "empty close" true
+    (drain_exactly_once ~producers:1 ~n:0 ~consumers:2)
+
+let prop_queue_close_drain =
+  QCheck.Test.make ~count:15
+    ~name:"close protocol drains exactly once (random shapes, domains)"
+    QCheck.(triple (int_range 1 3) (int_range 0 300) (int_range 1 3))
+    (fun (producers, n, consumers) ->
+      drain_exactly_once ~producers ~n ~consumers)
+
+let test_queue_close_flag () =
+  let q = Msqueue.create () in
+  Alcotest.(check bool) "open at creation" false (Msqueue.is_closed q);
+  Msqueue.push q 1;
+  Msqueue.close q;
+  Alcotest.(check bool) "closed" true (Msqueue.is_closed q);
+  (* the flag is advisory: pending elements survive, close is idempotent *)
+  Msqueue.close q;
+  Alcotest.(check (option int)) "pending element survives" (Some 1)
+    (Msqueue.pop q);
+  Alcotest.(check (option int)) "then empty" None (Msqueue.pop q)
+
 (* the wire-protocol datatype used with the queue *)
 let test_message_envelopes () =
   let module M = Privagic_runtime.Message in
@@ -177,6 +242,10 @@ let suite =
     Alcotest.test_case "queue interleaved" `Quick test_queue_interleaved;
     QCheck_alcotest.to_alcotest prop_queue_model;
     Alcotest.test_case "queue parallel (domains)" `Slow test_queue_parallel;
+    Alcotest.test_case "queue close flag" `Quick test_queue_close_flag;
+    Alcotest.test_case "queue close drain (domains)" `Slow
+      test_queue_close_drain;
+    QCheck_alcotest.to_alcotest prop_queue_close_drain;
     Alcotest.test_case "message envelopes" `Quick test_message_envelopes;
     Alcotest.test_case "sched clock order" `Quick test_sched_runs_by_clock;
     Alcotest.test_case "sched block/resume" `Quick test_sched_block_resume;
