@@ -22,6 +22,48 @@ let read_file path =
   close_in ic;
   s
 
+(* Strict positive-integer option values: "--lanes 0" or a negative
+   "--max-steps" is a usage error, reported by cmdliner before anything
+   runs, not a hang or an array-size crash later. *)
+let pos_int what =
+  Arg.conv ~docv:"N"
+    ( (fun s ->
+        match int_of_string_opt s with
+        | Some n when n > 0 -> Ok n
+        | Some _ -> Error (`Msg (Printf.sprintf "%s must be positive" what))
+        | None -> Error (`Msg (Printf.sprintf "%s must be an integer" what))),
+      Format.pp_print_int )
+
+let backend_arg =
+  let backend_conv =
+    Arg.conv
+      ( (fun s ->
+          match s with
+          | "sim" -> Ok `Sim
+          | "parallel" -> Ok `Parallel
+          | _ -> Error (`Msg "backend must be 'sim' or 'parallel'")),
+        fun fmt b ->
+          Format.pp_print_string fmt
+            (match b with `Sim -> "sim" | `Parallel -> "parallel") )
+  in
+  fun default ->
+    Arg.(
+      value & opt backend_conv default
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"Execution backend: 'sim' (deterministic virtual time on the \
+                SGX simulator) or 'parallel' (OCaml 5 domains, one worker \
+                per lane and partition, lock-free queues, wall-clock \
+                time).")
+
+let lanes_arg =
+  Arg.(
+    value
+    & opt (pos_int "lanes") 2
+    & info [ "lanes" ] ~docv:"N"
+        ~doc:"Worker lanes of the parallel backend: application threads \
+              map onto N queues per color, bounding the domain count at \
+              N × colors. The server also queues requests per lane.")
+
 let auth_arg =
   Arg.(
     value & flag
@@ -267,6 +309,129 @@ let experiments_action quick names =
   Privagic_harness.Experiments.run ~quick ~names ();
   0
 
+(* --- the serving layer --- *)
+
+module Server = Privagic_server.Server
+module Loadgen = Privagic_loadgen.Loadgen
+
+let serve_action mode auth trace backend lanes host port queue_depth policy
+    max_batch vsize conn_workers capacity path =
+  let plan = build_plan ~auth mode path in
+  let bnd =
+    match Server.bindings_of_plan plan with
+    | Some b -> b
+    | None ->
+      prerr_endline
+        "serve: the program exports no known key-value entry family \
+         (expected e.g. mc_set/mc_get or hm_put/hm_get)";
+      exit 1
+  in
+  let rec_ =
+    match trace with Some _ -> Tel.Recorder.create () | None -> Tel.Recorder.null
+  in
+  let store =
+    match backend with
+    | `Parallel ->
+      let module Par = Privagic_parallel.Parallel in
+      let p = Par.create ~lanes plan in
+      if rec_ != Tel.Recorder.null then Par.set_telemetry p rec_;
+      Server.store_of_parallel p
+    | `Sim ->
+      let pt = Privagic_vm.Pinterp.create plan in
+      if rec_ != Tel.Recorder.null then
+        Privagic_vm.Pinterp.set_telemetry pt rec_;
+      Server.store_of_pinterp pt
+  in
+  (match bnd.Server.b_init with
+  | Some entry -> (
+    match
+      store.Server.st_call entry
+        [ Privagic_vm.Rvalue.Int (Int64.of_int capacity) ]
+    with
+    | Ok _ -> ()
+    | Error m ->
+      prerr_endline (Printf.sprintf "serve: %s failed: %s" entry m);
+      exit 3)
+  | None -> ());
+  let cfg =
+    {
+      Server.host;
+      port;
+      lanes;
+      queue_depth;
+      policy;
+      max_batch;
+      vsize;
+      conn_workers;
+      telemetry = rec_;
+    }
+  in
+  let srv =
+    try Server.start cfg bnd store with Failure m ->
+      prerr_endline ("serve: " ^ m);
+      exit 2
+  in
+  Format.printf "listening on %s:%d (%s program, %s backend, %d lanes)@."
+    host (Server.port srv) bnd.Server.b_family store.Server.st_name lanes;
+  Format.printf
+    "protocol: get/set/del/stats/quit/shutdown; drain with SIGINT@.";
+  (* a drain must not run inside the signal handler: handlers interrupt an
+     arbitrary thread, possibly one the drain would join *)
+  let on_signal _ = ignore (Thread.create (fun () -> Server.drain srv) ()) in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+   with Invalid_argument _ -> ());
+  Server.wait srv;
+  Format.printf "drained.@.";
+  List.iter
+    (fun (k, v) -> Format.printf "  %-20s %s@." k v)
+    (Server.stats_fields srv);
+  (match trace with
+  | Some out ->
+    write_trace rec_ out;
+    Format.printf "trace written to %s@." out
+  | None -> ());
+  0
+
+let loadgen_action host port clients ops rate records vsize seed read_prop
+    no_preload shutdown out =
+  let cfg =
+    {
+      Loadgen.host;
+      port;
+      clients;
+      ops;
+      rate;
+      record_count = records;
+      vsize;
+      seed;
+      read_prop;
+      preload = not no_preload;
+      shutdown;
+    }
+  in
+  match Loadgen.run cfg with
+  | r ->
+    Format.printf "%a@." Loadgen.pp_result r;
+    (match out with
+    | Some path ->
+      Loadgen.write_json ~path cfg r;
+      Format.printf "wrote %s@." path
+    | None -> ());
+    if r.Loadgen.r_ops_ok = 0 then begin
+      prerr_endline "loadgen: no operation completed";
+      1
+    end
+    else if r.Loadgen.r_errors > 0 then begin
+      prerr_endline
+        (Printf.sprintf "loadgen: %d errors" r.Loadgen.r_errors);
+      1
+    end
+    else 0
+  | exception Failure m ->
+    prerr_endline m;
+    2
+
 (* --- cmdliner wiring --- *)
 
 let check_cmd =
@@ -318,44 +483,17 @@ let run_cmd =
   let max_steps =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some (pos_int "max-steps")) None
       & info [ "max-steps" ] ~docv:"N"
           ~doc:"Bound the scheduler steps for the request; exhaustion \
                 exits with code 4, distinguishable from non-completion.")
-  in
-  let backend =
-    let backend_conv =
-      Arg.conv
-        ( (fun s ->
-            match s with
-            | "sim" -> Ok `Sim
-            | "parallel" -> Ok `Parallel
-            | _ -> Error (`Msg "backend must be 'sim' or 'parallel'")),
-          fun fmt b ->
-            Format.pp_print_string fmt
-              (match b with `Sim -> "sim" | `Parallel -> "parallel") )
-    in
-    Arg.(
-      value & opt backend_conv `Sim
-      & info [ "backend" ] ~docv:"BACKEND"
-          ~doc:"Execution backend: 'sim' (deterministic virtual time on the \
-                SGX simulator) or 'parallel' (OCaml 5 domains, one worker \
-                per lane and partition, lock-free queues, wall-clock \
-                time).")
-  in
-  let lanes =
-    Arg.(
-      value & opt int 2
-      & info [ "lanes" ] ~docv:"N"
-          ~doc:"Worker lanes of the parallel backend: application threads \
-                map onto N queues per color, bounding the domain count at \
-                N × colors.")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a partitioned program on the SGX simulator \
                           or on real domains (--backend=parallel)")
     Term.(const run_action $ mode_arg $ auth_arg $ trace_arg $ schedule
-          $ max_steps $ backend $ lanes $ file_arg $ entry_pos $ args_pos)
+          $ max_steps $ backend_arg `Sim $ lanes_arg $ file_arg $ entry_pos
+          $ args_pos)
 
 let profile_cmd =
   Cmd.v
@@ -399,10 +537,165 @@ let experiments_cmd =
        ~doc:"Regenerate the paper's tables and figures")
     Term.(const experiments_action $ quick $ names)
 
+let serve_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let port =
+    let port_conv =
+      Arg.conv
+        ( (fun s ->
+            match int_of_string_opt s with
+            | Some n when n >= 0 && n < 65536 -> Ok n
+            | _ -> Error (`Msg "port must be in 0..65535 (0 = ephemeral)")),
+          Format.pp_print_int )
+    in
+    Arg.(
+      value & opt port_conv 11311
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"TCP port; 0 picks an ephemeral one (printed at startup).")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt (pos_int "queue-depth") 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Per-lane request-queue high-water mark (backpressure \
+                threshold).")
+  in
+  let policy =
+    let policy_conv =
+      Arg.conv
+        ( (fun s ->
+            match s with
+            | "block" -> Ok Server.Block
+            | "shed" -> Ok Server.Shed
+            | _ -> Error (`Msg "policy must be 'block' or 'shed'")),
+          fun fmt p ->
+            Format.pp_print_string fmt
+              (match p with Server.Block -> "block" | Server.Shed -> "shed") )
+    in
+    Arg.(
+      value & opt policy_conv Server.Block
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Above the high-water mark: 'block' the connection worker \
+                (producer backpressure) or 'shed' with SERVER_BUSY.")
+  in
+  let max_batch =
+    Arg.(
+      value & opt (pos_int "batch") 8
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Requests executed per queue handoff; duplicate gets inside \
+                a batch are answered once.")
+  in
+  let vsize =
+    Arg.(
+      value & opt (pos_int "vsize") 32
+      & info [ "vsize" ] ~docv:"BYTES"
+          ~doc:"Value-buffer size of the program (memcached_lite.mc: 32).")
+  in
+  let conn_workers =
+    Arg.(
+      value & opt (pos_int "conn-workers") 2
+      & info [ "conn-workers" ] ~docv:"N"
+          ~doc:"Connection-handling threads.")
+  in
+  let capacity =
+    Arg.(
+      value & opt (pos_int "capacity") 4096
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Capacity passed to the program's init entry (mc_init).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a partitioned key-value program over TCP \
+             (memcached-lite text protocol: get/set/del/stats/quit/shutdown)")
+    Term.(const serve_action $ mode_arg $ auth_arg $ trace_arg
+          $ backend_arg `Parallel $ lanes_arg $ host $ port $ queue_depth
+          $ policy $ max_batch $ vsize $ conn_workers $ capacity $ file_arg)
+
+let loadgen_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let port =
+    Arg.(
+      value & opt (pos_int "port") 11311
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let clients =
+    Arg.(
+      value & opt (pos_int "clients") 8
+      & info [ "c"; "clients" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let ops =
+    Arg.(
+      value & opt (pos_int "ops") 10_000
+      & info [ "n"; "ops" ] ~docv:"N" ~doc:"Measured operations.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~docv:"OPS/S"
+          ~doc:"Open-loop aggregate request rate; 0 (default) = closed \
+                loop, one outstanding request per connection.")
+  in
+  let records =
+    Arg.(
+      value & opt (pos_int "records") 1024
+      & info [ "records" ] ~docv:"N"
+          ~doc:"Key-space size (and preload size).")
+  in
+  let vsize =
+    Arg.(
+      value & opt (pos_int "vsize") 32
+      & info [ "vsize" ] ~docv:"BYTES" ~doc:"Value bytes per set.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
+  in
+  let read_prop =
+    Arg.(
+      value & opt float 0.95
+      & info [ "read-prop" ] ~docv:"P"
+          ~doc:"Read proportion of the YCSB mix (default 0.95 = workload B).")
+  in
+  let no_preload =
+    Arg.(
+      value & flag
+      & info [ "no-preload" ]
+          ~doc:"Skip the unmeasured preload phase (useful against an \
+                already-loaded server).")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Send the 'shutdown' verb when done: the server drains \
+                gracefully and exits.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) (Some "BENCH_server.json")
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the JSON result record here (default \
+                BENCH_server.json).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a running privagic server with a YCSB-style workload \
+             and report throughput and latency percentiles")
+    Term.(const loadgen_action $ host $ port $ clients $ ops $ rate $ records
+          $ vsize $ seed $ read_prop $ no_preload $ shutdown $ out)
+
 let () =
   let doc = "automatic code partitioning with explicit secure typing" in
   let info = Cmd.info "privagic" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
                      [ check_cmd; ir_cmd; partition_cmd; tcb_cmd; run_cmd;
                        profile_cmd; graph_cmd; dataflow_cmd;
-                       experiments_cmd ]))
+                       experiments_cmd; serve_cmd; loadgen_cmd ]))

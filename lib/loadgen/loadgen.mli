@@ -1,0 +1,58 @@
+(** Built-in load generator for the serving layer: a memtier/YCSB-style
+    client driving {!Privagic_server} over real sockets.
+
+    One thread, [clients] concurrent non-blocking connections, and two
+    load models:
+    - {b closed loop} ([rate = 0]): every connection keeps exactly one
+      request outstanding; throughput is whatever the server sustains.
+    - {b open loop} ([rate > 0]): requests are scheduled at the fixed
+      aggregate rate and sent when due, regardless of outstanding
+      responses (connections pipeline; the server preserves per-
+      connection ordering). Latency is measured from the {e scheduled}
+      send time, so queueing delay under overload is visible — the
+      coordinated-omission-free convention.
+
+    [SERVER_BUSY] answers (a shedding server above its high-water mark)
+    are counted and the op is retried without rescheduling, so shed
+    requests pay their full latency. *)
+
+module Tel = Privagic_telemetry
+
+type config = {
+  host : string;
+  port : int;
+  clients : int;
+  ops : int;              (** measured operations (excludes preload) *)
+  rate : float;           (** aggregate ops/s; 0 = closed loop *)
+  record_count : int;     (** key space; also the preload size *)
+  vsize : int;            (** value bytes per set *)
+  seed : int;
+  read_prop : float;      (** reads vs sets in the YCSB mix *)
+  preload : bool;         (** set keys 0..record_count-1 first, unmeasured *)
+  shutdown : bool;        (** send [shutdown] when done (drains the server) *)
+}
+
+val default_config : config
+
+type result = {
+  r_ops_ok : int;         (** answered get/set/del operations *)
+  r_busy : int;           (** SERVER_BUSY retries *)
+  r_errors : int;         (** CLIENT_ERROR / malformed responses *)
+  r_hits : int;
+  r_misses : int;
+  r_preload_ops : int;
+  r_wall_seconds : float; (** measured phase only *)
+  r_throughput_kops : float;
+  r_target_rate : float;  (** 0 in closed loop *)
+  r_latency : Tel.Metrics.pctiles;  (** microseconds *)
+}
+
+(** Run the workload. @raise Failure when no connection can be
+    established or the server dies mid-run. *)
+val run : config -> result
+
+(** Append/write the BENCH_server.json record (same shape as the other
+    BENCH_*.json files: one top-level object). *)
+val write_json : path:string -> config -> result -> unit
+
+val pp_result : Format.formatter -> result -> unit

@@ -107,6 +107,7 @@ type t = {
   mutable tel : Tel.Recorder.t;
   mutable t0 : float;              (* wall-clock epoch for telemetry *)
   mutable domains : int;
+  entries_served : int Atomic.t;   (* completed call_entry requests *)
 }
 
 let dummy_hooks : Exec.hooks =
@@ -680,6 +681,7 @@ let create ?(config = Sgx.Config.machine_b) ?cost ?(lanes = 2)
     tel = Tel.Recorder.null;
     t0 = Unix.gettimeofday ();
     domains = 0;
+    entries_served = Atomic.make 0;
   }
 
 type entry_result = { value : Rvalue.t; wall_seconds : float }
@@ -759,7 +761,9 @@ let call_entry t ?(thread = 0) ?(timeout_s = 60.0) name (args : Rvalue.t list)
   | [] -> ()
   | msgs -> raise (Error (String.concat "; " msgs)));
   match r with
-  | Ok value -> { value; wall_seconds = Unix.gettimeofday () -. start }
+  | Ok value ->
+    Atomic.incr t.entries_served;
+    { value; wall_seconds = Unix.gettimeofday () -. start }
   | Result.Error msg -> raise (Error msg)
 
 (* §8 attack surface, matching Pinterp.inject_spawn: write a forged spawn
@@ -836,6 +840,29 @@ let shutdown ?(timeout_s = 10.0) t : bool =
   quiet
 
 let exec t = t.base
+
+(* Pool statistics for external drivers (the serving layer's `stats` verb
+   and the CLI): a consistent snapshot is not needed — each field is read
+   atomically and the numbers are monitoring data, not invariants. *)
+type pool_stats = {
+  ps_lanes : int;
+  ps_domains : int;
+  ps_inflight : int;            (* chunks/entries created but not done *)
+  ps_entries_served : int;      (* completed entry-interface requests *)
+  ps_threads_started : int;     (* §7.3 application threads ever created *)
+}
+
+let stats t =
+  Mutex.lock t.wmu;
+  let domains = t.domains in
+  Mutex.unlock t.wmu;
+  {
+    ps_lanes = t.lanes;
+    ps_domains = domains;
+    ps_inflight = Atomic.get t.inflight;
+    ps_entries_served = Atomic.get t.entries_served;
+    ps_threads_started = Atomic.get t.next_thread - 1;
+  }
 
 let domain_count t =
   Mutex.lock t.wmu;

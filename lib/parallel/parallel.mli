@@ -57,6 +57,20 @@ val exec : t -> Exec.t
 (** Number of domains spawned so far (0 before the first entry call). *)
 val domain_count : t -> int
 
+(** Monitoring snapshot of the pool. The fields are read individually
+    (each one atomically); under concurrent activity they need not be
+    mutually consistent — this is telemetry, not a synchronization
+    primitive. *)
+type pool_stats = {
+  ps_lanes : int;
+  ps_domains : int;
+  ps_inflight : int;        (** chunks/entries created but not yet done *)
+  ps_entries_served : int;  (** completed entry-interface requests *)
+  ps_threads_started : int; (** §7.3 application threads ever created *)
+}
+
+val stats : t -> pool_stats
+
 (** §8 extension: inject a forged spawn message into a partition's queue.
     The valid-spawn-target guard rejects it at dequeue, in the target
     partition. *)

@@ -1,0 +1,246 @@
+(* Incremental parser/printer for the memcached-lite text protocol. Both
+   directions are line-oriented except for the data blocks of [set] and
+   [VALUE], whose length is announced on the preceding line — so the
+   parser is a two-state machine (awaiting a line / awaiting a block) over
+   a growable byte buffer, and never blocks: it consumes what it can and
+   keeps the rest for the next feed. *)
+
+type request =
+  | Get of int
+  | Set of int * string
+  | Del of int
+  | Stats
+  | Quit
+  | Shutdown
+
+type response =
+  | Value of int * string
+  | Miss
+  | Stored
+  | Deleted
+  | Not_found
+  | Stats_reply of (string * string) list
+  | Busy
+  | Error_msg of string
+  | Ok_msg
+
+let max_value_len = 64 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* shared incremental line scanner *)
+
+(* Accumulated unconsumed input. [start] avoids re-copying on every
+   consume; the buffer is compacted when the dead prefix dominates. *)
+type ibuf = { mutable data : Bytes.t; mutable start : int; mutable len : int }
+
+let ibuf () = { data = Bytes.create 4096; start = 0; len = 0 }
+
+let ibuf_add b (src : Bytes.t) n =
+  if b.start > 0 && (b.start > 4096 || b.len = 0) then begin
+    Bytes.blit b.data b.start b.data 0 b.len;
+    b.start <- 0
+  end;
+  let need = b.start + b.len + n in
+  if need > Bytes.length b.data then begin
+    let data = Bytes.create (max need (2 * Bytes.length b.data)) in
+    Bytes.blit b.data b.start data 0 b.len;
+    b.data <- data;
+    b.start <- 0
+  end;
+  Bytes.blit src 0 b.data (b.start + b.len) n;
+  b.len <- b.len + n
+
+(* Next complete line, without its terminator (accepts \r\n and \n). *)
+let ibuf_line b =
+  let rec find i =
+    if i >= b.start + b.len then None
+    else if Bytes.get b.data i = '\n' then Some i
+    else find (i + 1)
+  in
+  match find b.start with
+  | None -> None
+  | Some nl ->
+    let stop = if nl > b.start && Bytes.get b.data (nl - 1) = '\r' then nl - 1 else nl in
+    let line = Bytes.sub_string b.data b.start (stop - b.start) in
+    b.len <- b.len - (nl + 1 - b.start);
+    b.start <- nl + 1;
+    Some line
+
+(* [n] raw bytes followed by a line terminator, or None until available. *)
+let ibuf_block b n =
+  if b.len < n + 1 then None
+  else
+    let term_len =
+      if Bytes.get b.data (b.start + n) = '\r' then
+        if b.len >= n + 2 && Bytes.get b.data (b.start + n + 1) = '\n' then 2
+        else -1 (* \r arrived, \n still in flight *)
+      else if Bytes.get b.data (b.start + n) = '\n' then 1
+      else -2 (* malformed: data not followed by a terminator *)
+    in
+    if term_len = -1 then None
+    else if term_len = -2 then Some None
+    else begin
+      let block = Bytes.sub_string b.data b.start n in
+      b.len <- b.len - (n + term_len);
+      b.start <- b.start + n + term_len;
+      Some (Some block)
+    end
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let key_of s =
+  match int_of_string_opt s with
+  | Some k when k >= 0 -> Some k
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* request side *)
+
+type rstate = Cmd | Data of int * int (* key, remaining value length *)
+
+type reader = { rb : ibuf; mutable rstate : rstate }
+
+let reader () = { rb = ibuf (); rstate = Cmd }
+
+let feed r buf n =
+  ibuf_add r.rb buf n;
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  let rec go () =
+    match r.rstate with
+    | Data (key, len) -> (
+      match ibuf_block r.rb len with
+      | None -> ()
+      | Some None ->
+        r.rstate <- Cmd;
+        emit (`Bad "bad data chunk");
+        go ()
+      | Some (Some v) ->
+        r.rstate <- Cmd;
+        emit (`Req (Set (key, v)));
+        go ())
+    | Cmd -> (
+      match ibuf_line r.rb with
+      | None -> ()
+      | Some line ->
+        (match split_words line with
+        | [] -> () (* stray blank line: ignore, as memcached does *)
+        | [ "get"; k ] -> (
+          match key_of k with
+          | Some k -> emit (`Req (Get k))
+          | None -> emit (`Bad "bad key"))
+        | [ "del"; k ] -> (
+          match key_of k with
+          | Some k -> emit (`Req (Del k))
+          | None -> emit (`Bad "bad key"))
+        | [ "set"; k; n ] -> (
+          match (key_of k, int_of_string_opt n) with
+          | Some k, Some n when n >= 0 && n <= max_value_len ->
+            r.rstate <- Data (k, n)
+          | Some _, Some n when n > max_value_len ->
+            emit (`Bad "value too large")
+          | _ -> emit (`Bad "bad set command"))
+        | [ "stats" ] -> emit (`Req Stats)
+        | [ "quit" ] -> emit (`Req Quit)
+        | [ "shutdown" ] -> emit (`Req Shutdown)
+        | w :: _ -> emit (`Bad ("unknown command " ^ w)));
+        go ())
+  in
+  go ();
+  List.rev !out
+
+let render = function
+  | Value (k, v) ->
+    Printf.sprintf "VALUE %d %d\r\n%s\r\nEND\r\n" k (String.length v) v
+  | Miss -> "END\r\n"
+  | Stored -> "STORED\r\n"
+  | Deleted -> "DELETED\r\n"
+  | Not_found -> "NOT_FOUND\r\n"
+  | Stats_reply kvs ->
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "STAT %s %s\r\n" k v) kvs)
+    ^ "END\r\n"
+  | Busy -> "SERVER_BUSY\r\n"
+  | Error_msg m -> Printf.sprintf "CLIENT_ERROR %s\r\n" m
+  | Ok_msg -> "OK\r\n"
+
+(* ------------------------------------------------------------------ *)
+(* response side (load generator) *)
+
+type pstate =
+  | Line                          (* awaiting any response line *)
+  | Vdata of int * int            (* VALUE seen: key, length *)
+  | Vend of int * string          (* data read: awaiting END *)
+  | Stat of (string * string) list
+
+type resp_reader = { pb : ibuf; mutable pstate : pstate }
+
+let resp_reader () = { pb = ibuf (); pstate = Line }
+
+let feed_resp p buf n =
+  ibuf_add p.pb buf n;
+  let out = ref [] in
+  let emit r = out := r :: !out in
+  let rec go () =
+    match p.pstate with
+    | Vdata (key, len) -> (
+      match ibuf_block p.pb len with
+      | None -> ()
+      | Some None ->
+        p.pstate <- Line;
+        emit (Error_msg "malformed VALUE block");
+        go ()
+      | Some (Some v) ->
+        p.pstate <- Vend (key, v);
+        go ())
+    | st -> (
+      match ibuf_line p.pb with
+      | None -> ()
+      | Some line ->
+        (match (st, split_words line) with
+        | Vend (k, v), [ "END" ] ->
+          p.pstate <- Line;
+          emit (Value (k, v))
+        | Vend _, _ ->
+          p.pstate <- Line;
+          emit (Error_msg "missing END after VALUE")
+        | Stat kvs, [ "END" ] ->
+          p.pstate <- Line;
+          emit (Stats_reply (List.rev kvs))
+        | Stat kvs, "STAT" :: k :: rest ->
+          p.pstate <- Stat ((k, String.concat " " rest) :: kvs)
+        | Stat kvs, _ ->
+          p.pstate <- Line;
+          emit (Stats_reply (List.rev kvs));
+          emit (Error_msg ("unexpected line in stats: " ^ line))
+        | Line, [ "VALUE"; k; n ] -> (
+          match (key_of k, int_of_string_opt n) with
+          | Some k, Some n when n >= 0 && n <= max_value_len ->
+            p.pstate <- Vdata (k, n)
+          | _ -> emit (Error_msg ("bad VALUE line: " ^ line)))
+        | Line, [ "END" ] -> emit Miss
+        | Line, [ "STORED" ] -> emit Stored
+        | Line, [ "DELETED" ] -> emit Deleted
+        | Line, [ "NOT_FOUND" ] -> emit Not_found
+        | Line, [ "SERVER_BUSY" ] -> emit Busy
+        | Line, [ "OK" ] -> emit Ok_msg
+        | Line, "STAT" :: k :: rest ->
+          p.pstate <- Stat [ (k, String.concat " " rest) ]
+        | Line, "CLIENT_ERROR" :: rest ->
+          emit (Error_msg (String.concat " " rest))
+        | Line, [] -> ()
+        | Line, _ -> emit (Error_msg ("unknown response: " ^ line))
+        | Vdata _, _ -> assert false (* consumed by the outer match *));
+        go ())
+  in
+  go ();
+  List.rev !out
+
+let render_request = function
+  | Get k -> Printf.sprintf "get %d\r\n" k
+  | Set (k, v) -> Printf.sprintf "set %d %d\r\n%s\r\n" k (String.length v) v
+  | Del k -> Printf.sprintf "del %d\r\n" k
+  | Stats -> "stats\r\n"
+  | Quit -> "quit\r\n"
+  | Shutdown -> "shutdown\r\n"

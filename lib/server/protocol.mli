@@ -1,0 +1,72 @@
+(** The memcached-lite text protocol of the serving layer.
+
+    Requests are CRLF- (or LF-) terminated lines; [set] carries a data
+    block of exactly the announced length after its command line, as in
+    memcached's storage commands:
+
+    {v
+    get <key>                          VALUE <key> <len>\r\n<data>\r\nEND
+                                       (miss: END)
+    set <key> <len>\r\n<data>          STORED
+    del <key>                          DELETED | NOT_FOUND
+    stats                              STAT <name> <value>... END
+    quit                               (connection closed)
+    shutdown                           OK, then the server drains
+    v}
+
+    Keys are non-negative integers (the partitioned programs' entry
+    points take integer keys). Above the configured queue high-water
+    mark a shedding server answers [SERVER_BUSY]; malformed input gets
+    [CLIENT_ERROR <msg>] without closing the connection.
+
+    Both sides of the protocol parse incrementally: {!reader} consumes
+    request bytes (server side), {!resp_reader} consumes response bytes
+    (load-generator side). Neither ever blocks — they hold partial input
+    until more bytes are fed. *)
+
+type request =
+  | Get of int
+  | Set of int * string  (** key, exact value bytes *)
+  | Del of int
+  | Stats
+  | Quit
+  | Shutdown
+
+type response =
+  | Value of int * string  (** hit: key, stored bytes *)
+  | Miss
+  | Stored
+  | Deleted
+  | Not_found
+  | Stats_reply of (string * string) list
+  | Busy                   (** SERVER_BUSY: shed above the high-water mark *)
+  | Error_msg of string    (** CLIENT_ERROR *)
+  | Ok_msg
+
+(** Values longer than this are rejected at parse time
+    ([CLIENT_ERROR value too large]), bounding per-connection memory. *)
+val max_value_len : int
+
+(** {1 Server side: request parsing} *)
+
+type reader
+
+val reader : unit -> reader
+
+(** Feed [len] bytes from [buf]; returns the complete requests (and
+    protocol errors, which the server answers in order) recognized so
+    far, in arrival order. Partial input is retained. *)
+val feed : reader -> bytes -> int -> [ `Req of request | `Bad of string ] list
+
+val render : response -> string
+
+(** {1 Client side: response parsing} *)
+
+type resp_reader
+
+val resp_reader : unit -> resp_reader
+
+val feed_resp : resp_reader -> bytes -> int -> response list
+
+(** Render a request on the wire (load generator / tests). *)
+val render_request : request -> string

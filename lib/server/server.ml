@@ -1,0 +1,841 @@
+(* The serving shell around the partitioned runtime. Threads, not domains:
+   entry execution is serialized by [store_mu] (see the .mli — the
+   programs' lock()/unlock() externs are cost models, and the parallel
+   backend's entry interface resets per-request stacks globally), so the
+   shell only needs concurrency for I/O, and systhreads interleave around
+   the blocking syscalls just fine. The real parallelism lives inside each
+   request, across the pool's per-partition domains.
+
+   Thread roles and ownership:
+   - acceptor: selects on the listen socket (with a timeout, so a drain is
+     noticed — closing a socket another thread is blocked accepting on is
+     not portable), hands sockets round-robin to connection workers;
+   - connection workers: each owns a disjoint set of connections. Only the
+     owner reads a connection or touches its pending-request queue; a
+     self-pipe lets executors nudge the owner out of select;
+   - lane executors: one per lane, popping work batches from that lane's
+     bounded Msqueue and executing them against the store.
+
+   Per-connection ordering: at most one request of a connection is in the
+   lanes at a time ([c_in_flight]); the owner dispatches the next pending
+   request only after the executor wrote the response and cleared the
+   flag. Responses therefore come back in request order without any
+   cross-lane sequencing. Locally-answered verbs (stats, protocol errors,
+   SERVER_BUSY) are threaded through the same pending queue, so they
+   cannot overtake a queued request either. *)
+
+module Tel = Privagic_telemetry
+module Msq = Privagic_runtime.Msqueue
+module Parallel = Privagic_parallel.Parallel
+open Privagic_vm
+
+type store = {
+  st_name : string;
+  st_call : string -> Rvalue.t list -> (Rvalue.t, string) result;
+  st_alloc : int -> int;
+  st_write : int -> string -> unit;
+  st_read : int -> int -> string;
+  st_drain : unit -> unit;
+}
+
+let store_of_heap heap =
+  let write addr s =
+    String.iteri
+      (fun i c -> Heap.store heap (addr + i) 1 (Int64.of_int (Char.code c)))
+      s
+  in
+  let read addr n =
+    String.init n (fun i ->
+        Char.chr (Int64.to_int (Heap.load heap (addr + i) 1) land 0xff))
+  in
+  (write, read)
+
+let store_of_parallel p =
+  let heap = (Parallel.exec p).Exec.heap in
+  let st_write, st_read = store_of_heap heap in
+  {
+    st_name = "parallel";
+    st_call =
+      (fun name args ->
+        match Parallel.call_entry p name args with
+        | r -> Ok r.Parallel.value
+        | exception Parallel.Error m -> Error m);
+    st_alloc = (fun n -> Heap.alloc heap Heap.Unsafe n);
+    st_write;
+    st_read;
+    st_drain = (fun () -> ignore (Parallel.shutdown p));
+  }
+
+let store_of_pinterp (p : Pinterp.t) =
+  let heap = p.Pinterp.exec.Exec.heap in
+  let st_write, st_read = store_of_heap heap in
+  {
+    st_name = "simulated";
+    st_call =
+      (fun name args ->
+        match Pinterp.call_entry p name args with
+        | r -> Ok r.Pinterp.value
+        | exception Pinterp.Error m -> Error m);
+    st_alloc = (fun n -> Heap.alloc heap Heap.Unsafe n);
+    st_write;
+    st_read;
+    st_drain = (fun () -> ());
+  }
+
+type bindings = {
+  b_family : string;
+  b_set : string;
+  b_get : string;
+  b_del : string option;
+  b_init : string option;
+}
+
+let known_families =
+  [
+    { b_family = "memcached"; b_set = "mc_set"; b_get = "mc_get";
+      b_del = Some "mc_delete"; b_init = Some "mc_init" };
+    { b_family = "hashmap"; b_set = "hm_put"; b_get = "hm_get";
+      b_del = None; b_init = None };
+    { b_family = "hashmap-2color"; b_set = "h2_put"; b_get = "h2_get";
+      b_del = None; b_init = None };
+    { b_family = "treemap"; b_set = "tm_put"; b_get = "tm_get";
+      b_del = None; b_init = None };
+    { b_family = "linked-list"; b_set = "ll_put"; b_get = "ll_get";
+      b_del = None; b_init = None };
+  ]
+
+let bindings_of_plan (plan : Privagic_partition.Plan.t) =
+  let have name =
+    List.exists
+      (fun (e : Privagic_partition.Plan.entry_plan) -> e.ep_name = name)
+      plan.entries
+  in
+  List.find_opt (fun b -> have b.b_set && have b.b_get) known_families
+
+type policy = Block | Shed
+
+type config = {
+  host : string;
+  port : int;
+  lanes : int;
+  queue_depth : int;
+  policy : policy;
+  max_batch : int;
+  vsize : int;
+  conn_workers : int;
+  telemetry : Tel.Recorder.t;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    lanes = 2;
+    queue_depth = 64;
+    policy = Block;
+    max_batch = 8;
+    vsize = 32;
+    conn_workers = 2;
+    telemetry = Tel.Recorder.null;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(* What the owner worker dispatches, in arrival order. *)
+type job = Exec of Protocol.request | Local of Protocol.response
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_reader : Protocol.reader;
+  c_pending : job Queue.t;         (* owner worker only *)
+  c_wmu : Mutex.t;                 (* serializes writes to c_fd *)
+  c_mu : Mutex.t;                  (* guards the two flags below *)
+  mutable c_in_flight : bool;      (* a request of ours is in the lanes *)
+  mutable c_dead : bool;           (* peer gone / write failed: discard *)
+  mutable c_eof : bool;            (* stop reading; still flush pending *)
+  c_worker : int;
+}
+
+type work = { wk_conn : conn; wk_req : Protocol.request; wk_enq_at : float }
+
+type cw = {
+  cw_mu : Mutex.t;
+  cw_incoming : conn Queue.t;      (* acceptor -> worker handoff *)
+  cw_wake_r : Unix.file_descr;
+  cw_wake_w : Unix.file_descr;
+}
+
+type t = {
+  cfg : config;
+  bnd : bindings;
+  store : store;
+  listen_fd : Unix.file_descr;
+  t_port : int;
+  started_at : float;
+  queues : work Msq.t array;
+  depths : int Atomic.t array;
+  lengths : (int, int) Hashtbl.t;  (* key -> stored length; store_mu *)
+  vbuf : int;
+  obuf : int;
+  store_mu : Mutex.t;
+  tel_mu : Mutex.t;                (* the recorder is not thread-safe *)
+  lane_tracks : int array;
+  cws : cw array;
+  (* counters (Atomic: each is read/bumped from several threads) *)
+  conns_accepted : int Atomic.t;
+  conns_open : int Atomic.t;
+  n_gets : int Atomic.t;
+  n_sets : int Atomic.t;
+  n_dels : int Atomic.t;
+  n_hits : int Atomic.t;
+  n_shed : int Atomic.t;
+  n_bad : int Atomic.t;
+  n_batches : int Atomic.t;
+  n_coalesced : int Atomic.t;
+  m_mu : Mutex.t;
+  h_latency : Tel.Metrics.histogram;
+  h_qwait : Tel.Metrics.histogram;
+  (* lifecycle *)
+  d_mu : Mutex.t;
+  d_cv : Condition.t;
+  mutable draining : bool;
+  mutable drain_started : bool;
+  mutable drained : bool;
+  mutable acceptor : Thread.t option;
+  mutable workers : Thread.t list;
+  mutable executors : Thread.t list;
+}
+
+let now_us t = (Unix.gettimeofday () -. t.started_at) *. 1e6
+
+let wake w =
+  (* the pipe is non-blocking; a full pipe already guarantees a wakeup *)
+  try ignore (Unix.write w.cw_wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
+
+let mark_dead c =
+  Mutex.lock c.c_mu;
+  c.c_dead <- true;
+  Mutex.unlock c.c_mu
+
+let is_dead c =
+  Mutex.lock c.c_mu;
+  let d = c.c_dead in
+  Mutex.unlock c.c_mu;
+  d
+
+(* Blocking full write on a non-blocking socket; marks the connection
+   dead (instead of raising) when the peer is gone or stalled > 30 s. *)
+let write_resp c resp =
+  let s = Protocol.render resp in
+  let b = Bytes.of_string s in
+  Mutex.lock c.c_wmu;
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write c.c_fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        if Unix.gettimeofday () > deadline then mark_dead c
+        else begin
+          (try ignore (Unix.select [] [ c.c_fd ] [] 0.25)
+           with Unix.Unix_error _ -> ());
+          go off
+        end
+      | exception Unix.Unix_error _ -> mark_dead c
+  in
+  if not (is_dead c) then go 0;
+  Mutex.unlock c.c_wmu
+
+(* ------------------------------------------------------------------ *)
+(* execution: one batch, under the store mutex *)
+
+let exec_set t key v =
+  if String.length v > t.cfg.vsize then
+    Protocol.Error_msg
+      (Printf.sprintf "value exceeds program value size %d" t.cfg.vsize)
+  else begin
+    (* the program copies exactly vsize bytes: zero-pad the tail *)
+    let padded =
+      if String.length v = t.cfg.vsize then v
+      else v ^ String.make (t.cfg.vsize - String.length v) '\000'
+    in
+    t.store.st_write t.vbuf padded;
+    match
+      t.store.st_call t.bnd.b_set
+        [ Rvalue.Int (Int64.of_int key); Rvalue.Ptr t.vbuf ]
+    with
+    | Ok _ ->
+      Hashtbl.replace t.lengths key (String.length v);
+      Protocol.Stored
+    | Error m -> Protocol.Error_msg ("exec: " ^ m)
+  end
+
+let exec_get t key =
+  match
+    t.store.st_call t.bnd.b_get
+      [ Rvalue.Int (Int64.of_int key); Rvalue.Ptr t.obuf ]
+  with
+  | Ok v when Rvalue.truthy v ->
+    let len =
+      match Hashtbl.find_opt t.lengths key with
+      | Some n -> n
+      | None -> t.cfg.vsize
+    in
+    Protocol.Value (key, t.store.st_read t.obuf len)
+  | Ok _ -> Protocol.Miss
+  | Error m -> Protocol.Error_msg ("exec: " ^ m)
+
+let exec_del t key =
+  match t.bnd.b_del with
+  | None ->
+    Protocol.Error_msg
+      (Printf.sprintf "del not supported by the %s program" t.bnd.b_family)
+  | Some entry -> (
+    match t.store.st_call entry [ Rvalue.Int (Int64.of_int key) ] with
+    | Ok v when Rvalue.truthy v ->
+      Hashtbl.remove t.lengths key;
+      Protocol.Deleted
+    | Ok _ -> Protocol.Not_found
+    | Error m -> Protocol.Error_msg ("exec: " ^ m))
+
+(* Execute a batch. Duplicate gets inside the batch are served from a
+   key cache — exact, because the whole batch runs atomically under the
+   store mutex and sets/dels of the batch refresh the cache in order. *)
+let exec_batch t lane (batch : work list) =
+  let cache : (int, Protocol.response) Hashtbl.t = Hashtbl.create 8 in
+  let track = t.lane_tracks.(lane) in
+  let tel_span name f =
+    if t.cfg.telemetry == Tel.Recorder.null then f ()
+    else begin
+      Mutex.lock t.tel_mu;
+      Tel.Recorder.record t.cfg.telemetry ~at:(now_us t) ~track ~name
+        Tel.Event.Req_begin;
+      Mutex.unlock t.tel_mu;
+      let r = f () in
+      Mutex.lock t.tel_mu;
+      Tel.Recorder.record t.cfg.telemetry ~at:(now_us t) ~track ~name
+        Tel.Event.Req_end;
+      Mutex.unlock t.tel_mu;
+      r
+    end
+  in
+  Mutex.lock t.store_mu;
+  let responses =
+    List.map
+      (fun wk ->
+        let started = now_us t in
+        Mutex.lock t.m_mu;
+        Tel.Metrics.observe t.h_qwait (started -. wk.wk_enq_at);
+        Mutex.unlock t.m_mu;
+        let resp =
+          match wk.wk_req with
+          | Protocol.Get k -> (
+            Atomic.incr t.n_gets;
+            match Hashtbl.find_opt cache k with
+            | Some r ->
+              Atomic.incr t.n_coalesced;
+              (match r with
+              | Protocol.Value _ -> Atomic.incr t.n_hits
+              | _ -> ());
+              r
+            | None ->
+              let r = tel_span "get" (fun () -> exec_get t k) in
+              (match r with
+              | Protocol.Value _ -> Atomic.incr t.n_hits
+              | _ -> ());
+              Hashtbl.replace cache k r;
+              r)
+          | Protocol.Set (k, v) ->
+            Atomic.incr t.n_sets;
+            let r = tel_span "set" (fun () -> exec_set t k v) in
+            (match r with
+            | Protocol.Stored -> Hashtbl.replace cache k (Protocol.Value (k, v))
+            | _ -> Hashtbl.remove cache k);
+            r
+          | Protocol.Del k ->
+            Atomic.incr t.n_dels;
+            let r = tel_span "del" (fun () -> exec_del t k) in
+            (match r with
+            | Protocol.Deleted | Protocol.Not_found ->
+              Hashtbl.replace cache k Protocol.Miss
+            | _ -> Hashtbl.remove cache k);
+            r
+          | Protocol.Stats | Protocol.Quit | Protocol.Shutdown ->
+            (* never enqueued; the owner answers these locally *)
+            Protocol.Error_msg "internal: local verb in lane queue"
+        in
+        (wk, resp))
+      batch
+  in
+  Mutex.unlock t.store_mu;
+  (* Responses leave after the mutex: a stalled client can delay its
+     lane's writes, never the store. *)
+  List.iter
+    (fun (wk, resp) ->
+      let c = wk.wk_conn in
+      write_resp c resp;
+      Mutex.lock t.m_mu;
+      Tel.Metrics.observe t.h_latency (now_us t -. wk.wk_enq_at);
+      Mutex.unlock t.m_mu;
+      Mutex.lock c.c_mu;
+      c.c_in_flight <- false;
+      Mutex.unlock c.c_mu;
+      wake t.cws.(c.c_worker))
+    responses
+
+let executor_loop t lane =
+  let q = t.queues.(lane) in
+  let rec loop () =
+    match Msq.pop_or_closed q ~idle:(fun () -> Unix.sleepf 0.0005) with
+    | None -> () (* closed and drained: exit *)
+    | Some first ->
+      Atomic.decr t.depths.(lane);
+      let rec more acc n =
+        if n >= t.cfg.max_batch then List.rev acc
+        else
+          match Msq.pop q with
+          | Some w ->
+            Atomic.decr t.depths.(lane);
+            more (w :: acc) (n + 1)
+          | None -> List.rev acc
+      in
+      let batch = more [ first ] 1 in
+      Atomic.incr t.n_batches;
+      exec_batch t lane batch;
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* connection workers *)
+
+let lane_of t key = key mod t.cfg.lanes
+
+(* Enqueue one request onto its lane, honoring the backpressure policy.
+   Returns [false] when the request was shed instead. *)
+let enqueue t wk =
+  let lane = match wk.wk_req with
+    | Protocol.Get k | Protocol.Set (k, _) | Protocol.Del k -> lane_of t k
+    | _ -> 0
+  in
+  let d = t.depths.(lane) in
+  let rec reserve () =
+    let cur = Atomic.get d in
+    if cur < t.cfg.queue_depth then
+      if Atomic.compare_and_set d cur (cur + 1) then true else reserve ()
+    else
+      match t.cfg.policy with
+      | Shed -> false
+      | Block ->
+        (* producer-side backpressure: stall this worker (and so its
+           connections) until the executor catches up *)
+        Unix.sleepf 0.0005;
+        reserve ()
+  in
+  if reserve () then begin
+    Msq.push t.queues.(lane) wk;
+    true
+  end
+  else false
+
+(* [stats_fields] and [drain] are defined at the end of the file but
+   needed by [dispatch]; tied through refs to keep the file in reading
+   order instead of one giant [let rec]. *)
+let stats_fields_ref : (t -> (string * string) list) ref = ref (fun _ -> [])
+let drain_ref : (t -> unit) ref = ref (fun _ -> ())
+
+(* Dispatch the head of a connection's pending queue if allowed. The
+   caller is the owner worker. Returns [true] when the connection can be
+   closed now (implies nothing of ours is in the lanes). *)
+let rec dispatch t c =
+  Mutex.lock c.c_mu;
+  let busy = c.c_in_flight and dead = c.c_dead in
+  Mutex.unlock c.c_mu;
+  if dead then begin
+    (* discard unanswerable work; close once the executor let go *)
+    Queue.clear c.c_pending;
+    not busy
+  end
+  else if busy || Queue.is_empty c.c_pending then false
+  else
+    match Queue.pop c.c_pending with
+    | Local resp ->
+      write_resp c resp;
+      dispatch t c
+    | Exec req -> (
+      match req with
+      | Protocol.Stats ->
+        write_resp c (Protocol.Stats_reply (!stats_fields_ref t));
+        dispatch t c
+      | Protocol.Quit -> true
+      | Protocol.Shutdown ->
+        write_resp c Protocol.Ok_msg;
+        (* drain joins this very worker: do it from a fresh thread *)
+        ignore (Thread.create (fun () -> !drain_ref t) ());
+        dispatch t c
+      | Protocol.Get _ | Protocol.Set _ | Protocol.Del _ ->
+        let wk = { wk_conn = c; wk_req = req; wk_enq_at = now_us t } in
+        Mutex.lock c.c_mu;
+        c.c_in_flight <- true;
+        Mutex.unlock c.c_mu;
+        if enqueue t wk then false
+        else begin
+          Mutex.lock c.c_mu;
+          c.c_in_flight <- false;
+          Mutex.unlock c.c_mu;
+          Atomic.incr t.n_shed;
+          write_resp c Protocol.Busy;
+          dispatch t c
+        end)
+
+let close_conn t c =
+  (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+  Atomic.decr t.conns_open
+
+let worker_loop t i =
+  let w = t.cws.(i) in
+  let buf = Bytes.create 16384 in
+  let conns = ref [] in
+  let running = ref true in
+  while !running do
+    (* adopt newly accepted connections *)
+    Mutex.lock w.cw_mu;
+    Queue.iter (fun c -> conns := c :: !conns) w.cw_incoming;
+    Queue.clear w.cw_incoming;
+    Mutex.unlock w.cw_mu;
+    let draining = t.draining in
+    let readable_of c =
+      Mutex.lock c.c_mu;
+      let dead = c.c_dead in
+      Mutex.unlock c.c_mu;
+      (not dead) && (not c.c_eof) && not draining
+    in
+    let rd_fds =
+      w.cw_wake_r :: List.filter_map
+        (fun c -> if readable_of c then Some c.c_fd else None)
+        !conns
+    in
+    (match Unix.select rd_fds [] [] 0.05 with
+    | readable, _, _ ->
+      if List.mem w.cw_wake_r readable then
+        (try ignore (Unix.read w.cw_wake_r buf 0 (Bytes.length buf))
+         with Unix.Unix_error _ -> ());
+      List.iter
+        (fun c ->
+          if List.mem c.c_fd readable then
+            match Unix.read c.c_fd buf 0 (Bytes.length buf) with
+            | 0 -> c.c_eof <- true
+            | n ->
+              List.iter
+                (fun item ->
+                  match item with
+                  | `Req r -> Queue.push (Exec r) c.c_pending
+                  | `Bad m ->
+                    Atomic.incr t.n_bad;
+                    Queue.push (Local (Protocol.Error_msg m)) c.c_pending)
+                (Protocol.feed c.c_reader buf n)
+            | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+            | exception Unix.Unix_error _ -> mark_dead c)
+        !conns
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error (EBADF, _, _) ->
+      (* a raced fd: drop connections that died under us *)
+      List.iter
+        (fun c ->
+          match Unix.fstat c.c_fd with
+          | _ -> ()
+          | exception Unix.Unix_error _ -> mark_dead c)
+        !conns);
+    (* dispatch, then sweep closable connections *)
+    conns :=
+      List.filter
+        (fun c ->
+          let close_now = dispatch t c in
+          let flushed =
+            Queue.is_empty c.c_pending
+            &&
+            (Mutex.lock c.c_mu;
+             let f = not c.c_in_flight in
+             Mutex.unlock c.c_mu;
+             f)
+          in
+          if close_now || (c.c_eof && flushed) then begin
+            (* never close under an executor: it still holds the fd.
+               [close_now] implies [not in_flight] (dispatch only returns
+               it from a non-busy state), as does [flushed]. *)
+            close_conn t c;
+            false
+          end
+          else true)
+        !conns;
+    if draining then begin
+      (* stopped reading; exit once every adopted connection is flushed *)
+      let all_flushed =
+        (* strict: even a dead connection's executor must let go before
+           the worker exits, or we would close an fd it still holds *)
+        List.for_all
+          (fun c ->
+            Mutex.lock c.c_mu;
+            let f = not c.c_in_flight in
+            Mutex.unlock c.c_mu;
+            f && Queue.is_empty c.c_pending)
+          !conns
+      in
+      Mutex.lock w.cw_mu;
+      let no_incoming = Queue.is_empty w.cw_incoming in
+      Mutex.unlock w.cw_mu;
+      if all_flushed && no_incoming then begin
+        List.iter (close_conn t) !conns;
+        conns := [];
+        running := false
+      end
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* acceptor *)
+
+let acceptor_loop t =
+  let next = ref 0 in
+  while not t.draining do
+    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        let i = !next mod t.cfg.conn_workers in
+        next := !next + 1;
+        let c =
+          {
+            c_fd = fd;
+            c_reader = Protocol.reader ();
+            c_pending = Queue.create ();
+            c_wmu = Mutex.create ();
+            c_mu = Mutex.create ();
+            c_in_flight = false;
+            c_dead = false;
+            c_eof = false;
+            c_worker = i;
+          }
+        in
+        Atomic.incr t.conns_accepted;
+        Atomic.incr t.conns_open;
+        let w = t.cws.(i) in
+        Mutex.lock w.cw_mu;
+        Queue.push c w.cw_incoming;
+        Mutex.unlock w.cw_mu;
+        wake w
+      | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  done;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle *)
+
+let start cfg bnd store =
+  if cfg.lanes < 1 then invalid_arg "Server.start: lanes must be positive";
+  if cfg.conn_workers < 1 then
+    invalid_arg "Server.start: conn_workers must be positive";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+     Unix.listen listen_fd 128
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     failwith
+       (Printf.sprintf "cannot bind %s:%d (%s)" cfg.host cfg.port
+          (Printexc.to_string e)));
+  let t_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> cfg.port
+  in
+  let metrics = Tel.Metrics.create () in
+  let lane_tracks =
+    Array.init cfg.lanes (fun i ->
+        if cfg.telemetry == Tel.Recorder.null then 0
+        else
+          Tel.Recorder.fresh_track cfg.telemetry (Printf.sprintf "srv/lane%d" i))
+  in
+  let t =
+    {
+      cfg;
+      bnd;
+      store;
+      listen_fd;
+      t_port;
+      started_at = Unix.gettimeofday ();
+      queues = Array.init cfg.lanes (fun _ -> Msq.create ());
+      depths = Array.init cfg.lanes (fun _ -> Atomic.make 0);
+      lengths = Hashtbl.create 1024;
+      vbuf = store.st_alloc (max 1 cfg.vsize);
+      obuf = store.st_alloc (max 1 cfg.vsize);
+      store_mu = Mutex.create ();
+      tel_mu = Mutex.create ();
+      lane_tracks;
+      cws =
+        Array.init cfg.conn_workers (fun _ ->
+            let r, w = Unix.pipe () in
+            Unix.set_nonblock r;
+            Unix.set_nonblock w;
+            {
+              cw_mu = Mutex.create ();
+              cw_incoming = Queue.create ();
+              cw_wake_r = r;
+              cw_wake_w = w;
+            });
+      conns_accepted = Atomic.make 0;
+      conns_open = Atomic.make 0;
+      n_gets = Atomic.make 0;
+      n_sets = Atomic.make 0;
+      n_dels = Atomic.make 0;
+      n_hits = Atomic.make 0;
+      n_shed = Atomic.make 0;
+      n_bad = Atomic.make 0;
+      n_batches = Atomic.make 0;
+      n_coalesced = Atomic.make 0;
+      m_mu = Mutex.create ();
+      h_latency = Tel.Metrics.histogram metrics "server latency (us)";
+      h_qwait = Tel.Metrics.histogram metrics "queue wait (us)";
+      d_mu = Mutex.create ();
+      d_cv = Condition.create ();
+      draining = false;
+      drain_started = false;
+      drained = false;
+      acceptor = None;
+      workers = [];
+      executors = [];
+    }
+  in
+  t.executors <-
+    List.init cfg.lanes (fun i -> Thread.create (fun () -> executor_loop t i) ());
+  t.workers <-
+    List.init cfg.conn_workers (fun i ->
+        Thread.create (fun () -> worker_loop t i) ());
+  t.acceptor <- Some (Thread.create (fun () -> acceptor_loop t) ());
+  t
+
+let port t = t.t_port
+let is_draining t = t.draining
+
+let drain t =
+  Mutex.lock t.d_mu;
+  if t.drain_started then begin
+    while not t.drained do
+      Condition.wait t.d_cv t.d_mu
+    done;
+    Mutex.unlock t.d_mu
+  end
+  else begin
+    t.drain_started <- true;
+    t.draining <- true;
+    Mutex.unlock t.d_mu;
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    Array.iter wake t.cws;
+    List.iter Thread.join t.workers;
+    (* every parsed request is now in the lanes or answered; close the
+       queues so executors exit once they observe empty-after-close *)
+    Array.iter Msq.close t.queues;
+    List.iter Thread.join t.executors;
+    t.store.st_drain ();
+    Array.iter
+      (fun w ->
+        try Unix.close w.cw_wake_r; Unix.close w.cw_wake_w
+        with Unix.Unix_error _ -> ())
+      t.cws;
+    Mutex.lock t.d_mu;
+    t.drained <- true;
+    Condition.broadcast t.d_cv;
+    Mutex.unlock t.d_mu
+  end
+
+let wait t =
+  Mutex.lock t.d_mu;
+  while not t.drained do
+    Condition.wait t.d_cv t.d_mu
+  done;
+  Mutex.unlock t.d_mu
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+type stats = {
+  s_uptime : float;
+  s_conns_accepted : int;
+  s_conns_open : int;
+  s_ops : int;
+  s_gets : int;
+  s_sets : int;
+  s_dels : int;
+  s_hits : int;
+  s_shed : int;
+  s_bad : int;
+  s_batches : int;
+  s_coalesced : int;
+  s_depth : int array;
+  s_latency : Tel.Metrics.pctiles;
+  s_queue_wait : Tel.Metrics.pctiles;
+}
+
+let stats t =
+  let g = Atomic.get in
+  Mutex.lock t.m_mu;
+  let lat = Tel.Metrics.pctiles t.h_latency in
+  let qw = Tel.Metrics.pctiles t.h_qwait in
+  Mutex.unlock t.m_mu;
+  {
+    s_uptime = Unix.gettimeofday () -. t.started_at;
+    s_conns_accepted = g t.conns_accepted;
+    s_conns_open = g t.conns_open;
+    s_ops = g t.n_gets + g t.n_sets + g t.n_dels;
+    s_gets = g t.n_gets;
+    s_sets = g t.n_sets;
+    s_dels = g t.n_dels;
+    s_hits = g t.n_hits;
+    s_shed = g t.n_shed;
+    s_bad = g t.n_bad;
+    s_batches = g t.n_batches;
+    s_coalesced = g t.n_coalesced;
+    s_depth = Array.map Atomic.get t.depths;
+    s_latency = lat;
+    s_queue_wait = qw;
+  }
+
+let stats_fields t =
+  let s = stats t in
+  let f = Printf.sprintf "%.1f" in
+  [
+    ("family", t.bnd.b_family);
+    ("backend", t.store.st_name);
+    ("uptime_s", f s.s_uptime);
+    ("lanes", string_of_int t.cfg.lanes);
+    ("conns_accepted", string_of_int s.s_conns_accepted);
+    ("conns_open", string_of_int s.s_conns_open);
+    ("ops", string_of_int s.s_ops);
+    ("gets", string_of_int s.s_gets);
+    ("sets", string_of_int s.s_sets);
+    ("dels", string_of_int s.s_dels);
+    ("hits", string_of_int s.s_hits);
+    ("shed", string_of_int s.s_shed);
+    ("protocol_errors", string_of_int s.s_bad);
+    ("batches", string_of_int s.s_batches);
+    ("coalesced_gets", string_of_int s.s_coalesced);
+    ("queue_depth",
+     String.concat "," (Array.to_list (Array.map string_of_int s.s_depth)));
+    ("latency_us_p50", f s.s_latency.Tel.Metrics.p50);
+    ("latency_us_p95", f s.s_latency.Tel.Metrics.p95);
+    ("latency_us_p99", f s.s_latency.Tel.Metrics.p99);
+    ("queue_wait_us_p50", f s.s_queue_wait.Tel.Metrics.p50);
+  ]
+
+let () =
+  stats_fields_ref := stats_fields;
+  drain_ref := drain

@@ -1,0 +1,114 @@
+(** The TCP serving layer: a socket front-end that drives a partitioned
+    program under real concurrent load (the paper's §8 evaluation shape —
+    memcached behind memtier-style clients — realized over this repo's
+    runtime backends).
+
+    Architecture (DESIGN.md §8.8): an acceptor thread hands connections
+    to a fixed pool of connection workers; each worker parses the
+    memcached-lite protocol ({!Protocol}) and pushes requests onto
+    bounded per-lane queues (the runtime's own Michael–Scott queue) with
+    backpressure — [Block] stalls the producer, [Shed] answers
+    [SERVER_BUSY] above the high-water mark. One executor thread per
+    lane pops batches, executes them against the partitioned store
+    (coalescing duplicate adjacent [get]s inside a batch, which is exact
+    because a batch executes atomically), records request-latency spans
+    into the telemetry recorder, and writes the responses back.
+
+    Entry execution is serialized across lanes by a store mutex: the
+    runtime's host-order discipline protects state {e within} one
+    activation, and the partitioned programs' [lock]/[unlock] externs
+    are cost models, not real mutexes — so cross-request isolation must
+    come from the server (memcached's own global cache lock, in
+    miniature). Real parallelism remains inside each request, across
+    the pool's per-partition domains. *)
+
+module Tel = Privagic_telemetry
+
+(** What the server needs from an execution backend. [st_call] is only
+    invoked under the server's store mutex; the buffer helpers address
+    the backend's simulated unsafe memory. *)
+type store = {
+  st_name : string;
+  st_call :
+    string -> Privagic_vm.Rvalue.t list -> (Privagic_vm.Rvalue.t, string) result;
+  st_alloc : int -> int;
+  st_write : int -> string -> unit;
+  st_read : int -> int -> string;
+  st_drain : unit -> unit;  (** close/join the backend (idempotent) *)
+}
+
+val store_of_parallel : Privagic_parallel.Parallel.t -> store
+val store_of_pinterp : Privagic_vm.Pinterp.t -> store
+
+(** Entry points a key-value protocol maps onto. *)
+type bindings = {
+  b_family : string;
+  b_set : string;
+  b_get : string;
+  b_del : string option;
+  b_init : string option;  (** capacity-taking init entry, called by serve *)
+}
+
+(** Probe the plan's entry list for a known program family (the mc_,
+    hm_, h2_, tm_, ll_ entry prefixes of the evaluation programs). *)
+val bindings_of_plan : Privagic_partition.Plan.t -> bindings option
+
+type policy = Block | Shed
+
+type config = {
+  host : string;            (** default 127.0.0.1 *)
+  port : int;               (** 0 picks an ephemeral port; see {!port} *)
+  lanes : int;              (** request queues; also the pool lane count *)
+  queue_depth : int;        (** per-lane high-water mark *)
+  policy : policy;
+  max_batch : int;          (** requests executed per queue handoff *)
+  vsize : int;              (** value-buffer size of the program *)
+  conn_workers : int;
+  telemetry : Tel.Recorder.t;
+}
+
+val default_config : config
+
+type t
+
+(** Bind, listen, and start the thread pool. The server is serving when
+    [start] returns. @raise Failure when the socket cannot be bound. *)
+val start : config -> bindings -> store -> t
+
+val port : t -> int
+
+(** Graceful drain: stop accepting, let connection workers flush every
+    parsed request, close the lane queues (executors exit via the
+    Msqueue drain protocol, so no queued request is lost), then drain
+    the backend. Idempotent; safe to call from any thread, including a
+    connection worker acting on a [shutdown] verb. *)
+val drain : t -> unit
+
+(** Block until a drain (triggered by {!drain} or a [shutdown] verb)
+    completes. *)
+val wait : t -> unit
+
+val is_draining : t -> bool
+
+type stats = {
+  s_uptime : float;
+  s_conns_accepted : int;
+  s_conns_open : int;
+  s_ops : int;              (** executed get/set/del requests *)
+  s_gets : int;
+  s_sets : int;
+  s_dels : int;
+  s_hits : int;
+  s_shed : int;             (** requests answered SERVER_BUSY *)
+  s_bad : int;              (** protocol errors answered CLIENT_ERROR *)
+  s_batches : int;          (** queue handoffs *)
+  s_coalesced : int;        (** duplicate gets served from a batch *)
+  s_depth : int array;      (** current per-lane queue depth *)
+  s_latency : Tel.Metrics.pctiles;  (** dispatch->response, microseconds *)
+  s_queue_wait : Tel.Metrics.pctiles;  (** dispatch->execution, microseconds *)
+}
+
+val stats : t -> stats
+
+(** The [STAT k v] pairs of the protocol's [stats] verb. *)
+val stats_fields : t -> (string * string) list

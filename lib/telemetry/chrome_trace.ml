@@ -82,6 +82,16 @@ let emit_to_buffer ~(track_name : int -> string) (evs : Event.t array)
         obj
           [ ("name", str e.Event.name); ("ph", str "E"); ("pid", "1");
             ("tid", tid); ("ts", ts e.Event.at); ("cat", str "chunk") ]
+      | Event.Req_begin ->
+        obj
+          [ ("name", str ("req:" ^ e.Event.name)); ("ph", str "B");
+            ("pid", "1"); ("tid", tid); ("ts", ts e.Event.at);
+            ("cat", str "request") ]
+      | Event.Req_end ->
+        obj
+          [ ("name", str ("req:" ^ e.Event.name)); ("ph", str "E");
+            ("pid", "1"); ("tid", tid); ("ts", ts e.Event.at);
+            ("cat", str "request") ]
       | Event.Msg_send ->
         obj
           [ ("name", str ("msg:" ^ e.Event.name)); ("ph", str "s");

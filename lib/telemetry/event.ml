@@ -22,6 +22,11 @@ type kind =
   (* partitioned VM: chunk execution spans and runtime messages *)
   | Chunk_begin    (* name = chunk *)
   | Chunk_end
+  (* serving layer: whole-request spans (parse -> response written);
+     distinct from chunk spans so the summary sink can report end-to-end
+     request latency separately from enclave chunk lengths *)
+  | Req_begin      (* name = protocol op ("get"/"set"/"del") *)
+  | Req_end
   | Msg_send       (* name = "spawn"|"retval"|"token"|"done"; arg = flow *)
   | Msg_recv       (* arg = flow of the matched send *)
   | Barrier
@@ -51,6 +56,8 @@ let kind_name = function
   | Fiber_finish -> "fiber_finish"
   | Chunk_begin -> "chunk_begin"
   | Chunk_end -> "chunk_end"
+  | Req_begin -> "req_begin"
+  | Req_end -> "req_end"
   | Msg_send -> "msg_send"
   | Msg_recv -> "msg_recv"
   | Barrier -> "barrier"

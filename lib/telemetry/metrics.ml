@@ -101,6 +101,21 @@ let percentile h p =
     Float.max h.h_min (Float.min h.h_max !result)
   end
 
+(* The standard latency-report quartet, for any duration-class metric:
+   sinks (summary, server stats, BENCH json) all report the same points. *)
+type pctiles = { n : int; p_mean : float; p50 : float; p95 : float;
+                 p99 : float; p_max : float }
+
+let pctiles h =
+  {
+    n = h.h_count;
+    p_mean = mean h;
+    p50 = percentile h 0.50;
+    p95 = percentile h 0.95;
+    p99 = percentile h 0.99;
+    p_max = (if h.h_count = 0 then 0.0 else h.h_max);
+  }
+
 let fold_counters t f acc =
   List.fold_left
     (fun acc name ->
@@ -126,9 +141,9 @@ let pp fmt t =
     (fun () h ->
       if h.h_count = 0 then fprintf fmt "  %-32s (no samples)@." h.h_name
       else
+        let p = pctiles h in
         fprintf fmt
-          "  %-32s n=%-7d mean=%-10.0f p50=%-10.0f p90=%-10.0f p99=%-10.0f \
+          "  %-32s n=%-7d mean=%-10.0f p50=%-10.0f p95=%-10.0f p99=%-10.0f \
            max=%-10.0f@."
-          h.h_name h.h_count (mean h) (percentile h 0.50) (percentile h 0.90)
-          (percentile h 0.99) h.h_max)
+          h.h_name p.n p.p_mean p.p50 p.p95 p.p99 p.p_max)
     ()

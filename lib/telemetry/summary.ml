@@ -11,6 +11,33 @@ type t = {
   occupancy : (int * float) list;  (* track -> busy fraction of makespan *)
 }
 
+(* Request spans per track, from paired Req_begin/Req_end events (the
+   serving layer's end-to-end latency; same pairing as chunk spans). *)
+let req_spans (evs : Event.t array) =
+  let stacks : (int, (string * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let spans = ref [] in
+  Array.iter
+    (fun (e : Event.t) ->
+      let stack =
+        match Hashtbl.find_opt stacks e.Event.track with
+        | Some s -> s
+        | None ->
+          let s = ref [] in
+          Hashtbl.replace stacks e.Event.track s;
+          s
+      in
+      match e.Event.kind with
+      | Event.Req_begin -> stack := (e.Event.name, e.Event.at) :: !stack
+      | Event.Req_end -> (
+        match !stack with
+        | (name, t0) :: rest ->
+          stack := rest;
+          spans := (e.Event.track, name, t0, e.Event.at) :: !spans
+        | [] -> ())
+      | _ -> ())
+    evs;
+  !spans
+
 let of_events ?(dropped = 0) (evs : Event.t array) : t =
   let m = Metrics.create () in
   let queue_latency = Metrics.histogram m "queue latency (cycles)" in
@@ -75,6 +102,19 @@ let of_events ?(dropped = 0) (evs : Event.t array) : t =
   List.iter
     (fun (_track, _name, t0, t1) -> Metrics.observe span_len (t1 -. t0))
     spans;
+  (* serving-layer request spans, when present: end-to-end latency in the
+     recorder's clock units (cycles under the simulator, microseconds
+     under the wall-clock backends) *)
+  (match req_spans evs with
+  | [] -> ()
+  | rspans ->
+    let requests = Metrics.counter m "requests" in
+    let req_latency = Metrics.histogram m "request latency" in
+    List.iter
+      (fun (_track, _name, t0, t1) ->
+        Metrics.incr requests;
+        Metrics.observe req_latency (t1 -. t0))
+      rspans);
   {
     makespan;
     event_count = Array.length evs;

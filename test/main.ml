@@ -21,4 +21,5 @@ let () =
       ("harness", Test_harness.suite);
       ("extensions", Test_extensions.suite);
       ("equivalence", Test_equiv.suite);
+      ("server", Test_server.suite);
     ]
