@@ -55,6 +55,26 @@ let backend_arg =
                 per lane and partition, lock-free queues, wall-clock \
                 time).")
 
+let engine_arg =
+  let engine_conv =
+    Arg.conv
+      ( (fun s ->
+          match Privagic_vm.Exec.engine_of_string s with
+          | Some e -> Ok e
+          | None -> Error (`Msg "engine must be 'walk' or 'image'")),
+        fun fmt e ->
+          Format.pp_print_string fmt (Privagic_vm.Exec.engine_name e) )
+  in
+  Arg.(
+    value
+    & opt engine_conv (Privagic_vm.Exec.default_engine ())
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Execution engine: 'image' (default; the plan is lowered once \
+              into a flattened linked image and executed by the \
+              index-resolved hot loop) or 'walk' (the tree-walking \
+              oracle the image engine is differentially tested against). \
+              The default can also be set with \\$(b,PRIVAGIC_ENGINE).")
+
 let lanes_arg =
   Arg.(
     value
@@ -173,9 +193,9 @@ let write_trace rec_ out =
 
 (* run --backend=parallel: same plan, executed on OCaml 5 domains with the
    lock-free queue; reports wall-clock time instead of simulated cycles. *)
-let run_parallel_action trace lanes plan entry argv =
+let run_parallel_action trace lanes engine plan entry argv =
   let module Par = Privagic_parallel.Parallel in
-  let pt = Par.create ~lanes plan in
+  let pt = Par.create ~lanes ~engine plan in
   let rec_ =
     match trace with
     | None -> None
@@ -209,15 +229,16 @@ let run_parallel_action trace lanes plan entry argv =
     exit 3);
   0
 
-let run_action mode auth trace schedule max_steps backend lanes path entry args
-    =
+let run_action mode auth trace schedule max_steps backend lanes engine path
+    entry args =
   let plan = build_plan ~auth mode path in
   let argv0 =
     List.map (fun a -> Privagic_vm.Rvalue.Int (Int64.of_string a)) args
   in
-  if backend = `Parallel then run_parallel_action trace lanes plan entry argv0
+  if backend = `Parallel then
+    run_parallel_action trace lanes engine plan entry argv0
   else begin
-  let pt = Privagic_vm.Pinterp.create plan in
+  let pt = Privagic_vm.Pinterp.create ~engine plan in
   let argv =
     List.map (fun a -> Privagic_vm.Rvalue.Int (Int64.of_string a)) args
   in
@@ -260,9 +281,9 @@ let run_action mode auth trace schedule max_steps backend lanes path entry args
 
 (* profile: run an entry under telemetry, then print the plain-text
    summary (counters, histograms, occupancy) and the critical path. *)
-let profile_action mode auth trace path entry args =
+let profile_action mode auth trace engine path entry args =
   let plan = build_plan ~auth mode path in
-  let pt = Privagic_vm.Pinterp.create plan in
+  let pt = Privagic_vm.Pinterp.create ~engine plan in
   let argv =
     List.map (fun a -> Privagic_vm.Rvalue.Int (Int64.of_string a)) args
   in
@@ -309,13 +330,22 @@ let experiments_action quick names =
   Privagic_harness.Experiments.run ~quick ~names ();
   0
 
+let bench_action quick out target =
+  match target with
+  | "vm" ->
+    ignore (Privagic_harness.Vmbench.run ~quick ~path:out ());
+    0
+  | t ->
+    prerr_endline ("bench: unknown target '" ^ t ^ "' (expected: vm)");
+    2
+
 (* --- the serving layer --- *)
 
 module Server = Privagic_server.Server
 module Loadgen = Privagic_loadgen.Loadgen
 
-let serve_action mode auth trace backend lanes host port queue_depth policy
-    max_batch vsize conn_workers capacity path =
+let serve_action mode auth trace backend lanes engine host port queue_depth
+    policy max_batch vsize conn_workers capacity path =
   let plan = build_plan ~auth mode path in
   let bnd =
     match Server.bindings_of_plan plan with
@@ -333,11 +363,11 @@ let serve_action mode auth trace backend lanes host port queue_depth policy
     match backend with
     | `Parallel ->
       let module Par = Privagic_parallel.Parallel in
-      let p = Par.create ~lanes plan in
+      let p = Par.create ~lanes ~engine plan in
       if rec_ != Tel.Recorder.null then Par.set_telemetry p rec_;
       Server.store_of_parallel p
     | `Sim ->
-      let pt = Privagic_vm.Pinterp.create plan in
+      let pt = Privagic_vm.Pinterp.create ~engine plan in
       if rec_ != Tel.Recorder.null then
         Privagic_vm.Pinterp.set_telemetry pt rec_;
       Server.store_of_pinterp pt
@@ -492,8 +522,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a partitioned program on the SGX simulator \
                           or on real domains (--backend=parallel)")
     Term.(const run_action $ mode_arg $ auth_arg $ trace_arg $ schedule
-          $ max_steps $ backend_arg `Sim $ lanes_arg $ file_arg $ entry_pos
-          $ args_pos)
+          $ max_steps $ backend_arg `Sim $ lanes_arg $ engine_arg $ file_arg
+          $ entry_pos $ args_pos)
 
 let profile_cmd =
   Cmd.v
@@ -501,8 +531,8 @@ let profile_cmd =
        ~doc:"Execute an entry point under telemetry and print the metrics \
              summary (counters, latency histograms, per-worker occupancy) \
              and the critical path through the partitioned execution")
-    Term.(const profile_action $ mode_arg $ auth_arg $ trace_arg $ file_arg
-          $ entry_pos $ args_pos)
+    Term.(const profile_action $ mode_arg $ auth_arg $ trace_arg $ engine_arg
+          $ file_arg $ entry_pos $ args_pos)
 
 let graph_cmd =
   Cmd.v
@@ -536,6 +566,32 @@ let experiments_cmd =
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures")
     Term.(const experiments_action $ quick $ names)
+
+let bench_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Reduced record/operation counts (seconds).")
+  in
+  let out =
+    Arg.(
+      value & opt string "BENCH_vm.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON record.")
+  in
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET" ~doc:"Benchmark target: 'vm' (walk-vs-image \
+                                     engine comparison, steps/sec).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run a runtime benchmark target; 'vm' compares the \
+             tree-walking and linked-image engines (steps/sec, \
+             wall-clock) across workloads on both backends and writes \
+             BENCH_vm.json")
+    Term.(const bench_action $ quick $ out $ target)
 
 let serve_cmd =
   let host =
@@ -612,8 +668,9 @@ let serve_cmd =
        ~doc:"Serve a partitioned key-value program over TCP \
              (memcached-lite text protocol: get/set/del/stats/quit/shutdown)")
     Term.(const serve_action $ mode_arg $ auth_arg $ trace_arg
-          $ backend_arg `Parallel $ lanes_arg $ host $ port $ queue_depth
-          $ policy $ max_batch $ vsize $ conn_workers $ capacity $ file_arg)
+          $ backend_arg `Parallel $ lanes_arg $ engine_arg $ host $ port
+          $ queue_depth $ policy $ max_batch $ vsize $ conn_workers
+          $ capacity $ file_arg)
 
 let loadgen_cmd =
   let host =
@@ -698,4 +755,4 @@ let () =
   exit (Cmd.eval' (Cmd.group info
                      [ check_cmd; ir_cmd; partition_cmd; tcb_cmd; run_cmd;
                        profile_cmd; graph_cmd; dataflow_cmd;
-                       experiments_cmd; serve_cmd; loadgen_cmd ]))
+                       experiments_cmd; bench_cmd; serve_cmd; loadgen_cmd ]))

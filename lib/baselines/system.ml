@@ -51,7 +51,7 @@ type t = {
 exception Rejected of Diagnostic.t list
 
 let create ?(config = Sgx.Config.machine_b) ?cost ?(auth_pointers = false)
-    ?telemetry (kind : kind) (src : string) : t =
+    ?telemetry ?engine (kind : kind) (src : string) : t =
   let m = Privagic_minic.Driver.compile ~file:"program.mc" src in
   match kind with
   | Unprotected | Scone | Intel_sdk Mode.Hardened ->
@@ -61,7 +61,7 @@ let create ?(config = Sgx.Config.machine_b) ?cost ?(auth_pointers = false)
       | Intel_sdk _ -> Interp.intel_sdk
       | _ -> Interp.scone
     in
-    let it = Interp.create ~config ?cost m policy in
+    let it = Interp.create ~config ?cost ?engine m policy in
     (* the single-system interpreters only expose the machine-level events
        (transitions, faults), timed by the sequential clock *)
     (match telemetry with
@@ -92,7 +92,7 @@ let create ?(config = Sgx.Config.machine_b) ?cost ?(auth_pointers = false)
       | Intel_sdk _ -> Sgx.Machine.switchless_cost
       | _ -> Sgx.Machine.queue_msg_cost
     in
-    let pt = Pinterp.create ~config ?cost ~crossing plan in
+    let pt = Pinterp.create ~config ?cost ~crossing ?engine plan in
     (match telemetry with
     | Some r -> Pinterp.set_telemetry pt r
     | None -> ());

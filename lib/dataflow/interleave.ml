@@ -9,6 +9,7 @@ open Privagic_pir
 module Sgx = Privagic_sgx
 open Privagic_vm
 module Sched = Privagic_runtime.Sched
+module Vclock = Privagic_runtime.Vclock
 
 type outcome = {
   offsets : float list;          (* start offset of each spawned thread *)
@@ -49,7 +50,7 @@ let run (m : Pmodule.t) ~(entry : string) ~(offsets : float list) : outcome =
              resumes, another fiber may have swapped the shared clock — put
              ours back *)
           let mine = ex.Exec.clock in
-          Sched.block (fun () -> true) (fun () -> !mine);
+          Sched.block (fun () -> true) (fun () -> Vclock.get mine);
           ex.Exec.clock <- mine)
       ;
       h_alloca_zone = (fun _ _ -> Heap.Unsafe);
@@ -60,7 +61,7 @@ let run (m : Pmodule.t) ~(entry : string) ~(offsets : float list) : outcome =
     let at =
       match List.nth_opt offsets k with
       | Some o -> o
-      | None -> !(ex.Exec.clock)
+      | None -> (Vclock.get ex.Exec.clock)
     in
     let f = Pmodule.find_func_exn ex.Exec.m callee in
     ignore

@@ -77,11 +77,12 @@ let colored_plan ?(auth_pointers = false) ~mode src =
   plan
 
 let run_parallel ?(nbuckets = 4096) ?(vsize = 1024) ?(seed = 42)
-    ?(distribution = Ycsb.Zipfian) ?(lanes = 2) ?telemetry (family : family)
-    ~(record_count : int) ~(operations : int) () : parallel_result =
+    ?(distribution = Ycsb.Zipfian) ?(lanes = 2) ?telemetry ?engine
+    (family : family) ~(record_count : int) ~(operations : int) () :
+    parallel_result =
   let src = source family `Colored ~nbuckets ~vsize in
   let plan = colored_plan ~mode:(mode_for family) src in
-  let p = Parallel.create ~lanes plan in
+  let p = Parallel.create ~lanes ?engine plan in
   (match telemetry with
   | Some r -> Parallel.set_telemetry p r
   | None -> ());
@@ -140,11 +141,13 @@ let run_parallel ?(nbuckets = 4096) ?(vsize = 1024) ?(seed = 42)
 
 let run ?(config = Sgx.Config.machine_b) ?cost ?(nbuckets = 4096)
     ?(vsize = 1024) ?(seed = 42) ?(distribution = Ycsb.Zipfian)
-    ?(auth_pointers = false) ?telemetry (family : family)
+    ?(auth_pointers = false) ?telemetry ?engine (family : family)
     (kind : System.kind) ~(record_count : int) ~(operations : int) () :
     result =
   let src = source family (System.variant kind) ~nbuckets ~vsize in
-  let sys = System.create ~config ?cost ~auth_pointers ?telemetry kind src in
+  let sys =
+    System.create ~config ?cost ~auth_pointers ?telemetry ?engine kind src
+  in
   let put_entry, get_entry = entries family in
   let vbuf = System.alloc_buffer sys vsize in
   let obuf = System.alloc_buffer sys vsize in

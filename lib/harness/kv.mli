@@ -56,6 +56,7 @@ val run_parallel :
   ?distribution:Ycsb.distribution ->
   ?lanes:int ->
   ?telemetry:Privagic_telemetry.Recorder.t ->
+  ?engine:Privagic_vm.Exec.engine ->
   family ->
   record_count:int ->
   operations:int ->
@@ -71,6 +72,7 @@ val run :
   ?distribution:Ycsb.distribution ->
   ?auth_pointers:bool ->
   ?telemetry:Privagic_telemetry.Recorder.t ->
+  ?engine:Privagic_vm.Exec.engine ->
   family ->
   System.kind ->
   record_count:int ->

@@ -644,22 +644,28 @@ and exec_entry t w (e : msg) =
 
 (* ------------------------------------------------------------------ *)
 
-let create ?(config = Sgx.Config.machine_b) ?cost ?(lanes = 2)
+let create ?(config = Sgx.Config.machine_b) ?cost ?(lanes = 2) ?engine
     (plan : Plan.t) : t =
+  let engine =
+    match engine with Some e -> e | None -> Exec.default_engine ()
+  in
   let m = plan.Plan.pmodule in
   let machine = Sgx.Machine.create ?cost config in
   let heap = Heap.create () in
   let layout =
     Layout.create ~auth_pointers:plan.Plan.auth_pointers m plan.Plan.mode
   in
+  let sites = Exec.alloc_sites m in
   let base = Exec.create m heap layout machine dummy_hooks in
-  let disp = Dispatch.create plan in
+  let disp = Dispatch.create ~sites plan in
   Exec.init_globals base (Dispatch.global_zone plan);
   (* everything lazily built and shared becomes read-only before the first
      domain starts; the heap serializes its own structures from here on *)
   Exec.warm_caches base ~extra:(Dispatch.chunk_funcs plan);
+  (match engine with
+  | Exec.Image -> Image.install base (Image.build ~plan ~sites base)
+  | Exec.Walk -> ());
   Heap.set_concurrent heap true;
-  Dispatch.set_concurrent disp true;
   {
     plan;
     disp;
@@ -867,6 +873,15 @@ let stats t =
 let domain_count t =
   Mutex.lock t.wmu;
   let n = t.domains in
+  Mutex.unlock t.wmu;
+  n
+
+let total_steps t =
+  Mutex.lock t.wmu;
+  let n =
+    Hashtbl.fold (fun _ w acc -> acc + w.w_exec.Exec.steps) t.workers
+      t.base.Exec.steps
+  in
   Mutex.unlock t.wmu;
   n
 

@@ -21,11 +21,16 @@ type t
 (** Build the backend for a plan. [lanes] bounds the worker pool:
     application threads map onto [lanes] queues per color, so the domain
     count stays at [lanes × colors] no matter how many threads the
-    program spawns (OCaml caps usable domains near the core count). *)
+    program spawns (OCaml caps usable domains near the core count).
+    [engine] selects the execution engine (default
+    [Exec.default_engine ()]): [Image] builds the flattened linked image
+    once before the first domain starts and every worker shares it
+    read-only; [Walk] keeps the tree-walking oracle. *)
 val create :
   ?config:Sgx.Config.t ->
   ?cost:Sgx.Cost.t ->
   ?lanes:int ->
+  ?engine:Exec.engine ->
   Privagic_partition.Plan.t ->
   t
 
@@ -56,6 +61,10 @@ val exec : t -> Exec.t
 
 (** Number of domains spawned so far (0 before the first entry call). *)
 val domain_count : t -> int
+
+(** Executed instructions summed over the base executor and all workers.
+    Call between requests (quiescent pool) for an exact count. *)
+val total_steps : t -> int
 
 (** Monitoring snapshot of the pool. The fields are read individually
     (each one atomically); under concurrent activity they need not be

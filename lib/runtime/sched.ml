@@ -1,7 +1,7 @@
 (* Deterministic virtual-time scheduler.
 
    Workers are cooperative fibers (OCaml effect handlers). Each worker owns
-   a virtual clock (a [float ref] of simulated cycles) that its code
+   a virtual clock (a [Vclock.t] of simulated cycles) that its code
    advances as it accounts work; a worker blocks by performing
    [Block (cond, arrival)]: it becomes runnable again when [cond ()] holds,
    and on resumption its clock jumps to at least [arrival ()] — the causal
@@ -23,7 +23,7 @@ type _ Effect.t +=
   | Block : (unit -> bool) * (unit -> float) -> unit Effect.t
 
 type worker_state =
-  | Not_started of (float ref -> unit)
+  | Not_started of (Vclock.t -> unit)
   | Blocked of (unit -> bool) * (unit -> float)
       * (unit, unit) Effect.Deep.continuation
   | Running
@@ -33,7 +33,7 @@ type worker = {
   wid : int;
   name : string;
   track : int;
-  clock : float ref;
+  clock : Vclock.t;
   mutable state : worker_state;
 }
 
@@ -72,7 +72,7 @@ let spawn t ~name ?track ?parent ~at body =
     | None -> Tel.Recorder.fresh_track t.tel name
   in
   let w =
-    { wid = t.next_id; name; track; clock = ref at; state = Not_started body }
+    { wid = t.next_id; name; track; clock = Vclock.make at; state = Not_started body }
   in
   t.next_id <- t.next_id + 1;
   t.workers <- t.workers @ [ w ];
@@ -112,15 +112,15 @@ let step_worker t w =
   | Not_started body ->
     w.state <- Running;
     if tel_on then
-      Tel.Recorder.record t.tel ~at:!(w.clock) ~track:w.track ~name:w.name
+      Tel.Recorder.record t.tel ~at:(Vclock.get w.clock) ~track:w.track ~name:w.name
         Tel.Event.Fiber_start;
     Effect.Deep.match_with (fun () -> body w.clock) () (handler w)
   | Blocked (_, arrival, k) ->
     let arr = arrival () in
-    w.clock := Float.max !(w.clock) arr;
+    Vclock.set w.clock (Float.max (Vclock.get w.clock) arr);
     w.state <- Running;
     if tel_on then
-      Tel.Recorder.record t.tel ~at:!(w.clock) ~track:w.track ~farg:arr
+      Tel.Recorder.record t.tel ~at:(Vclock.get w.clock) ~track:w.track ~farg:arr
         Tel.Event.Fiber_resume;
     Effect.Deep.continue k ()
   | Running | Finished -> invalid_arg "Sched.step_worker");
@@ -128,10 +128,10 @@ let step_worker t w =
   if tel_on then (
     match w.state with
     | Blocked _ ->
-      Tel.Recorder.record t.tel ~at:!(w.clock) ~track:w.track
+      Tel.Recorder.record t.tel ~at:(Vclock.get w.clock) ~track:w.track
         Tel.Event.Fiber_block
     | Finished ->
-      Tel.Recorder.record t.tel ~at:!(w.clock) ~track:w.track ~name:w.name
+      Tel.Recorder.record t.tel ~at:(Vclock.get w.clock) ~track:w.track ~name:w.name
         Tel.Event.Fiber_finish
     | Not_started _ | Running -> ())
 
@@ -166,7 +166,7 @@ let run ?(allow_blocked = true) ?(max_steps = max_int) t : outcome =
           (fun w ->
             match w.state with
             | Finished ->
-              t.high_water <- Float.max t.high_water !(w.clock);
+              t.high_water <- Float.max t.high_water (Vclock.get w.clock);
               false
             | _ -> true)
           t.workers;
@@ -189,8 +189,8 @@ let run ?(allow_blocked = true) ?(max_steps = max_int) t : outcome =
           List.fold_left
             (fun best w ->
               if
-                !(w.clock) < !(best.clock)
-                || (!(w.clock) = !(best.clock) && w.wid < best.wid)
+                (Vclock.get w.clock) < (Vclock.get best.clock)
+                || ((Vclock.get w.clock) = (Vclock.get best.clock) && w.wid < best.wid)
               then w
               else best)
             first rest
@@ -203,7 +203,7 @@ let run ?(allow_blocked = true) ?(max_steps = max_int) t : outcome =
 (* Largest clock ever observed: the makespan of the simulated execution.
    Includes fibers already pruned after finishing. *)
 let max_clock t =
-  List.fold_left (fun acc w -> Float.max acc !(w.clock)) t.high_water
+  List.fold_left (fun acc w -> Float.max acc (Vclock.get w.clock)) t.high_water
     t.workers
 
 let worker_count t = List.length t.workers

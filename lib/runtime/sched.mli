@@ -1,7 +1,7 @@
 (** Deterministic virtual-time scheduler.
 
     Workers are cooperative fibers (OCaml effect handlers). Each worker
-    owns a virtual clock — a [float ref] of simulated cycles — that its
+    owns a virtual clock — a {!Vclock.t} of simulated cycles — that its
     code advances as it accounts work. A worker blocks by performing
     {!block}[ cond arrival]: it becomes runnable again when [cond ()]
     holds, and on resumption its clock jumps to at least [arrival ()]
@@ -18,7 +18,7 @@
 module Tel = Privagic_telemetry
 
 type worker_state =
-  | Not_started of (float ref -> unit)
+  | Not_started of (Vclock.t -> unit)
   | Blocked of (unit -> bool) * (unit -> float)
       * (unit, unit) Effect.Deep.continuation
   | Running
@@ -28,7 +28,7 @@ type worker = {
   wid : int;
   name : string;
   track : int;       (** telemetry track the fiber's events land on *)
-  clock : float ref;
+  clock : Vclock.t;
   mutable state : worker_state;
 }
 
@@ -68,7 +68,7 @@ val set_telemetry : t -> Tel.Recorder.t -> unit
     work on its own track. *)
 val spawn :
   t -> name:string -> ?track:int -> ?parent:int -> at:float ->
-  (float ref -> unit) -> worker
+  (Vclock.t -> unit) -> worker
 
 (** Block the calling fiber; only valid inside a fiber run by {!run}. *)
 val block : (unit -> bool) -> (unit -> float) -> unit

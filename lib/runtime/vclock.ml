@@ -1,0 +1,15 @@
+(* A mutable virtual clock of simulated cycles.
+
+   A record whose fields are all floats is stored flat, so bumping the
+   clock writes the float in place. The previous representation —
+   [float ref] — has a polymorphic contents field, which boxes every
+   stored float: with one or more charges per executed instruction, that
+   boxing was a measurable share of interpreter time (and minor-GC
+   pressure) for both engines. *)
+
+type t = { mutable cycles : float }
+
+let make v = { cycles = v }
+let[@inline] get c = c.cycles
+let[@inline] set c v = c.cycles <- v
+let[@inline] add c v = c.cycles <- c.cycles +. v

@@ -1,0 +1,13 @@
+(** A mutable virtual clock of simulated cycles.
+
+    Flat single-float record: updates store the float in place, where a
+    [float ref] would box every stored value — the executor charges the
+    clock at least once per instruction, making that distinction matter.
+    The type is exposed so hot loops can update [cycles] directly. *)
+
+type t = { mutable cycles : float }
+
+val make : float -> t
+val get : t -> float
+val set : t -> float -> unit
+val add : t -> float -> unit

@@ -38,11 +38,19 @@ let create ~size_bytes ~line_bytes ~assoc =
 let access_line t addr =
   t.accesses <- t.accesses + 1;
   let line = addr lsr t.line_bits in
+  (* the set index is masked, so the unsafe_gets below stay in bounds *)
   let set_idx = line land ((1 lsl t.set_bits) - 1) in
   let tag = line lsr t.set_bits in
-  let set = t.sets.(set_idx) in
-  let len = t.lengths.(set_idx) in
-  let rec find i = if i >= len then -1 else if set.(i) = tag then i else find (i + 1) in
+  let set = Array.unsafe_get t.sets set_idx in
+  let len = Array.unsafe_get t.lengths set_idx in
+  (* tight loops hit the MRU way most of the time; skip the scan+shuffle *)
+  if len > 0 && Array.unsafe_get set 0 = tag then true
+  else
+  let rec find i =
+    if i >= len then -1
+    else if Array.unsafe_get set i = tag then i
+    else find (i + 1)
+  in
   let pos = find 0 in
   if pos >= 0 then begin
     (* move to front (LRU update) *)
@@ -61,6 +69,25 @@ let access_line t addr =
     set.(0) <- tag;
     t.lengths.(set_idx) <- new_len;
     false
+  end
+
+(* Allocation-free variants for the interpreter hot path: the common case
+   is a scalar access inside one line, which is a single [access_line]. *)
+let lines_touched t addr size =
+  let first = addr lsr t.line_bits in
+  let last = (addr + max 1 size - 1) lsr t.line_bits in
+  last - first + 1
+
+let access_misses t addr size =
+  let first = addr lsr t.line_bits in
+  let last = (addr + max 1 size - 1) lsr t.line_bits in
+  if first = last then if access_line t addr then 0 else 1
+  else begin
+    let misses = ref 0 in
+    for line = first to last do
+      if not (access_line t (line lsl t.line_bits)) then incr misses
+    done;
+    !misses
   end
 
 (* Access [size] bytes at [addr]; returns the number of line misses and the

@@ -23,5 +23,12 @@ val access_line : t -> int -> bool
 (** Access [size] bytes at [addr]; returns [(line_misses, lines_touched)]. *)
 val access : t -> int -> int -> int * int
 
+(** Same access as {!access}, returning only the miss count — no tuple
+    allocation; single-line accesses reduce to one {!access_line}. *)
+val access_misses : t -> int -> int -> int
+
+(** Lines an access of [size] bytes at [addr] touches (pure arithmetic). *)
+val lines_touched : t -> int -> int -> int
+
 val miss_ratio : t -> float
 val reset_stats : t -> unit

@@ -88,37 +88,48 @@ let instr_cost m n =
 let mem_cost m ~cpu ~data addr size =
   (match m.trace with Some f -> f (addr, size) | None -> ());
   m.c.mem_accesses <- m.c.mem_accesses + 1;
-  let l1_misses, lines = Cache.access m.l1 addr size in
+  let l1_misses = Cache.access_misses m.l1 addr size in
+  let lines = Cache.lines_touched m.l1 addr size in
   let in_enclave = match cpu with Enclave _ -> true | Normal -> false in
   let data_in_enclave = match data with Enclave _ -> true | Normal -> false in
-  let cost = ref (m.cost.Cost.l1_hit *. float_of_int lines) in
-  if l1_misses > 0 then begin
-    m.c.l1_misses <- m.c.l1_misses + l1_misses;
-    let llc_misses, _ = Cache.access m.llc addr size in
-    let llc_hits = l1_misses - llc_misses in
-    cost := !cost +. (m.cost.Cost.llc_hit *. float_of_int (max 0 llc_hits));
-    if llc_misses > 0 then begin
-      m.c.llc_misses <- m.c.llc_misses + llc_misses;
-      let miss_cost =
-        if in_enclave then begin
-          m.c.enclave_llc_misses <- m.c.enclave_llc_misses + llc_misses;
-          m.cost.Cost.llc_miss *. m.cost.Cost.enclave_miss_factor
-        end
-        else m.cost.Cost.llc_miss
+  (* accumulated through plain lets — a [float ref] would box every
+     intermediate, and this runs once per simulated memory access *)
+  let cost = m.cost.Cost.l1_hit *. float_of_int lines in
+  let cost =
+    if l1_misses > 0 then begin
+      m.c.l1_misses <- m.c.l1_misses + l1_misses;
+      let llc_misses = Cache.access_misses m.llc addr size in
+      let llc_hits = l1_misses - llc_misses in
+      let cost =
+        cost +. (m.cost.Cost.llc_hit *. float_of_int (max 0 llc_hits))
       in
-      cost := !cost +. (miss_cost *. float_of_int llc_misses)
+      if llc_misses > 0 then begin
+        m.c.llc_misses <- m.c.llc_misses + llc_misses;
+        let miss_cost =
+          if in_enclave then begin
+            m.c.enclave_llc_misses <- m.c.enclave_llc_misses + llc_misses;
+            m.cost.Cost.llc_miss *. m.cost.Cost.enclave_miss_factor
+          end
+          else m.cost.Cost.llc_miss
+        in
+        cost +. (miss_cost *. float_of_int llc_misses)
+      end
+      else cost
     end
-  end;
+    else cost
+  in
   (* EPC pressure: only enclave-zone memory occupies EPC pages. *)
-  (if data_in_enclave then
-     let faults, _ = Cache.access m.epc addr size in
-     if faults > 0 then begin
-       m.c.epc_faults <- m.c.epc_faults + faults;
-       if Tel.Recorder.enabled m.tel then
-         Tel.Recorder.here m.tel ~arg:faults Tel.Event.Epc_fault;
-       cost := !cost +. (m.cost.Cost.epc_fault *. float_of_int faults)
-     end);
-  !cost
+  if data_in_enclave then begin
+    let faults = Cache.access_misses m.epc addr size in
+    if faults > 0 then begin
+      m.c.epc_faults <- m.c.epc_faults + faults;
+      if Tel.Recorder.enabled m.tel then
+        Tel.Recorder.here m.tel ~arg:faults Tel.Event.Epc_fault;
+      cost +. (m.cost.Cost.epc_fault *. float_of_int faults)
+    end
+    else cost
+  end
+  else cost
 
 let ecall_cost m =
   m.c.ecalls <- m.c.ecalls + 1;

@@ -13,9 +13,12 @@
    escape is [Exec.Trap] from {!dispatch_extern} (unknown external), which
    both backends already treat as a program trap.
 
-   The lazily-filled caches (site presence, return-value need, sequence
-   agreement) are guarded by an internal mutex when [set_concurrent] is on,
-   so the parallel backend's workers can share one instance. *)
+   All derived plan math (site presence, per-chunk register-use sets,
+   allocation sites) is computed eagerly at [create] into immutable
+   tables, so parallel workers share one instance with no locking. The
+   only genuinely runtime-mutable state is the sequence agreement
+   (fresh/child sequence numbers), which sits behind its own always-held
+   mutex — uncontended in the single-threaded simulator. *)
 
 open Privagic_pir
 open Privagic_secure
@@ -25,44 +28,99 @@ module Sgx = Privagic_sgx
 type t = {
   plan : Plan.t;
   sites : (string * int, Ty.t) Hashtbl.t; (* multicolor alloc sites *)
+  site_presence : (Infer.instance_key * int, Color.t list) Hashtbl.t;
+      (* read-only after create: (pfunc, instr id) -> chunk colors *)
+  chunk_uses : (string, (Func.t * (int, unit) Hashtbl.t) list) Hashtbl.t;
+      (* read-only after create: registers each chunk reads, keyed by
+         name and disambiguated by physical function identity *)
   mutable seq_counter : int;
   seq_table : (int * string * int * int, int) Hashtbl.t;
       (* (parent seq, func, instr, invocation) -> child seq *)
   invocations : (int * string * int * string, int ref) Hashtbl.t;
       (* (parent seq, func, instr, participant) -> count *)
-  site_presence : (Infer.instance_key * int, Color.t list) Hashtbl.t;
-  ret_need : (string * int, bool) Hashtbl.t; (* (chunk name, instr) *)
-  mu : Mutex.t;
-  mutable sync : bool;
+  mu : Mutex.t; (* sequence agreement only *)
 }
 
-let create (plan : Plan.t) : t =
+(* Registers read by some kept instruction or terminator of [chunk] — the
+   eager form of Plan.chunk_uses. *)
+let used_regs (chunk : Func.t) : (int, unit) Hashtbl.t =
+  let set = Hashtbl.create 32 in
+  Func.iter_instrs chunk (fun _ i ->
+      List.iter (fun r -> Hashtbl.replace set r ()) (Instr.uses i));
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun r -> Hashtbl.replace set r ())
+        (Instr.term_uses b.Block.term))
+    chunk.Func.blocks;
+  set
+
+let create ?sites (plan : Plan.t) : t =
+  let site_presence = Hashtbl.create 64 in
+  let chunk_uses = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ (pf : Plan.pfunc) ->
+      (* per-chunk instruction-id sets, then presence per known id *)
+      let id_sets =
+        List.map
+          (fun (ci : Plan.chunk_info) ->
+            let ids = Hashtbl.create 64 in
+            Func.iter_instrs ci.Plan.ci_func (fun _ i ->
+                Hashtbl.replace ids i.Instr.id ());
+            (ci, ids))
+          pf.Plan.pf_chunks
+      in
+      let all_ids = Hashtbl.create 64 in
+      List.iter
+        (fun (_, ids) ->
+          Hashtbl.iter (fun id () -> Hashtbl.replace all_ids id ()) ids)
+        id_sets;
+      Hashtbl.iter
+        (fun id () ->
+          let colors =
+            List.filter_map
+              (fun ((ci : Plan.chunk_info), ids) ->
+                if Hashtbl.mem ids id then Some ci.Plan.ci_color else None)
+              id_sets
+          in
+          Hashtbl.replace site_presence (pf.Plan.pf_key, id) colors)
+        all_ids;
+      List.iter
+        (fun (ci : Plan.chunk_info) ->
+          let f = ci.Plan.ci_func in
+          let bucket =
+            match Hashtbl.find_opt chunk_uses f.Func.name with
+            | Some l -> l
+            | None -> []
+          in
+          if not (List.exists (fun (g, _) -> g == f) bucket) then
+            Hashtbl.replace chunk_uses f.Func.name
+              ((f, used_regs f) :: bucket))
+        pf.Plan.pf_chunks)
+    plan.Plan.pfuncs;
   {
     plan;
-    sites = Exec.alloc_sites plan.Plan.pmodule;
+    sites =
+      (match sites with
+      | Some s -> s
+      | None -> Exec.alloc_sites plan.Plan.pmodule);
+    site_presence;
+    chunk_uses;
     seq_counter = 0;
     seq_table = Hashtbl.create 64;
     invocations = Hashtbl.create 64;
-    site_presence = Hashtbl.create 64;
-    ret_need = Hashtbl.create 64;
     mu = Mutex.create ();
-    sync = false;
   }
 
-let set_concurrent t on = t.sync <- on
-
 let[@inline] locked t f =
-  if t.sync then begin
-    Mutex.lock t.mu;
-    match f () with
-    | v ->
-      Mutex.unlock t.mu;
-      v
-    | exception e ->
-      Mutex.unlock t.mu;
-      raise e
-  end
-  else f ()
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
 
 (* ------------------------------------------------------------------ *)
 (* color/zone mapping *)
@@ -132,35 +190,24 @@ let locate_chunk (plan : Plan.t) (chunk : string) :
   !found
 
 (* Colors of the chunks that contain instruction [id] — the participants
-   of a call site within a non-pure-F caller. *)
+   of a call site within a non-pure-F caller. Precomputed at create. *)
 let site_presence t (pf : Plan.pfunc) (id : int) : Color.t list =
-  locked t (fun () ->
-      let key = (pf.Plan.pf_key, id) in
-      match Hashtbl.find_opt t.site_presence key with
-      | Some l -> l
-      | None ->
-        let l =
-          List.filter_map
-            (fun (ci : Plan.chunk_info) ->
-              let found = ref false in
-              Func.iter_instrs ci.Plan.ci_func (fun _ i ->
-                  if i.Instr.id = id then found := true);
-              if !found then Some ci.Plan.ci_color else None)
-            pf.Plan.pf_chunks
-        in
-        Hashtbl.replace t.site_presence key l;
-        l)
+  match Hashtbl.find_opt t.site_presence (pf.Plan.pf_key, id) with
+  | Some l -> l
+  | None -> []
 
-(* Does chunk [f] read register [r]? (return-value need) *)
+(* Does chunk [f] read register [r]? (return-value need) Precomputed at
+   create for every chunk of the plan; other functions fall back to the
+   direct scan. *)
 let chunk_needs t (f : Func.t) (r : int) : bool =
-  locked t (fun () ->
-      let key = (f.Func.name, r) in
-      match Hashtbl.find_opt t.ret_need key with
-      | Some b -> b
-      | None ->
-        let b = Plan.chunk_uses f r in
-        Hashtbl.replace t.ret_need key b;
-        b)
+  let bucket =
+    match Hashtbl.find_opt t.chunk_uses f.Func.name with
+    | Some l -> l
+    | None -> []
+  in
+  match List.find_opt (fun (g, _) -> g == f) bucket with
+  | Some (_, set) -> Hashtbl.mem set r
+  | None -> Plan.chunk_uses f r
 
 (* §7.3.3: does this instruction carry a synchronization barrier here? *)
 let barrier_at (pf : Plan.pfunc) (id : int) ~(participants : Color.t list) :

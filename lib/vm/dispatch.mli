@@ -20,12 +20,13 @@ module Sgx = Privagic_sgx
 
 type t
 
-val create : Plan.t -> t
-
-(** Guard the lazily-filled caches (site presence, return-value need,
-    sequence agreement) with an internal mutex so parallel workers can
-    share one instance. Off by default. *)
-val set_concurrent : t -> bool -> unit
+(** Build the dispatcher: all derived plan math (site presence, per-chunk
+    register-use sets, allocation sites) is computed eagerly into
+    immutable tables, so parallel workers share one instance without
+    locking. Only the sequence agreement is runtime-mutable, behind its
+    own internal mutex. [sites] reuses an existing allocation-site table
+    (e.g. the image's) instead of recomputing one. *)
+val create : ?sites:(string * int, Ty.t) Hashtbl.t -> Plan.t -> t
 
 (** {1 Color/zone mapping} *)
 
@@ -58,10 +59,10 @@ val locate_chunk :
   Plan.t -> string -> (Infer.instance_key * Plan.pfunc * Color.t) option
 
 (** Colors of the chunks containing instruction [id]: the participants of
-    a call site within a non-pure-F caller. Cached. *)
+    a call site within a non-pure-F caller. Precomputed at create. *)
 val site_presence : t -> Plan.pfunc -> int -> Color.t list
 
-(** Does chunk [f] read register [r]? Cached. *)
+(** Does chunk [f] read register [r]? Precomputed at create. *)
 val chunk_needs : t -> Func.t -> int -> bool
 
 (** §7.3.3: does instruction [id] carry a synchronization barrier for this

@@ -9,8 +9,30 @@
 
 open Privagic_pir
 module Sgx = Privagic_sgx
+module Vclock = Privagic_runtime.Vclock
 
 exception Trap of string
+
+(* Which executor runs function bodies: the original tree-walker, or the
+   index-resolved loop over the flattened image (see Image). The image is
+   the default; the walker stays as the differential oracle behind
+   [--engine=walk] / PRIVAGIC_ENGINE=walk. *)
+type engine = Walk | Image
+
+let engine_of_string = function
+  | "walk" -> Some Walk
+  | "image" -> Some Image
+  | _ -> None
+
+let engine_name = function Walk -> "walk" | Image -> "image"
+
+let default_engine () =
+  match Sys.getenv_opt "PRIVAGIC_ENGINE" with
+  | Some s -> (
+    match engine_of_string (String.lowercase_ascii (String.trim s)) with
+    | Some e -> e
+    | None -> invalid_arg ("PRIVAGIC_ENGINE: unknown engine " ^ s))
+  | None -> Image
 
 type t = {
   m : Pmodule.t;
@@ -22,13 +44,17 @@ type t = {
   addr_funcs : (int, string) Hashtbl.t;
   out : Buffer.t;
   mutable cpu : Sgx.Machine.zone;
-  mutable clock : float ref;
+  mutable clock : Vclock.t;
   mutable current_func : string;  (* name of the function being executed *)
   mutable steps : int;
   fuel : int;
   data_map : Heap.zone -> Sgx.Machine.zone;
   mutable hooks : hooks;
-  reg_ty_cache : (string, (int, Ty.t) Hashtbl.t) Hashtbl.t;
+  reg_ty_cache : (string, (Func.t * (int, Ty.t) Hashtbl.t) list) Hashtbl.t;
+      (* keyed by name, disambiguated by physical function identity:
+         specialized instances share a bare name but not their registers *)
+  mutable run_func : (t -> Func.t -> Rvalue.t array -> Rvalue.t) option;
+      (* installed by Image.install; None runs the tree-walker *)
 }
 
 and hooks = {
@@ -43,7 +69,7 @@ let default_data_map : Heap.zone -> Sgx.Machine.zone = function
   | Heap.Enclave e -> Sgx.Machine.Enclave e
   | Heap.Unsafe | Heap.Rodata -> Sgx.Machine.Normal
 
-let charge t c = t.clock := !(t.clock) +. c
+let charge t c = t.clock.Vclock.cycles <- t.clock.Vclock.cycles +. c
 
 let charge_mem t addr size =
   let data =
@@ -57,11 +83,16 @@ let charge_mem t addr size =
 let charge_range t addr size = if size > 0 then charge_mem t addr size
 
 let reg_tys t (f : Func.t) =
-  match Hashtbl.find_opt t.reg_ty_cache f.Func.name with
-  | Some tbl -> tbl
+  let bucket =
+    match Hashtbl.find_opt t.reg_ty_cache f.Func.name with
+    | Some l -> l
+    | None -> []
+  in
+  match List.find_opt (fun (g, _) -> g == f) bucket with
+  | Some (_, tbl) -> tbl
   | None ->
     let tbl = Privagic_secure.Cenv.reg_types f in
-    Hashtbl.replace t.reg_ty_cache f.Func.name tbl;
+    Hashtbl.replace t.reg_ty_cache f.Func.name ((f, tbl) :: bucket);
     tbl
 
 let create ?(fuel = 500_000_000) ?(data_map = default_data_map) m heap layout
@@ -76,13 +107,14 @@ let create ?(fuel = 500_000_000) ?(data_map = default_data_map) m heap layout
     addr_funcs = Hashtbl.create 16;
     out = Buffer.create 256;
     cpu = Sgx.Machine.Normal;
-    clock = ref 0.0;
+    clock = Vclock.make 0.0;
     current_func = "<entry>";
     steps = 0;
     fuel;
     data_map;
     hooks;
     reg_ty_cache = Hashtbl.create 16;
+    run_func = None;
   }
 
 (* A per-worker executor for the parallel backend: shares the module, heap,
@@ -97,7 +129,7 @@ let clone_shared t ~machine ~hooks =
     hooks;
     out = Buffer.create 256;
     cpu = Sgx.Machine.Normal;
-    clock = ref 0.0;
+    clock = Vclock.make 0.0;
     current_func = "<entry>";
     steps = 0;
   }
@@ -276,18 +308,20 @@ let exec_gep t (fr : frame) (pointee : Ty.t) base steps : Rvalue.t =
 (* loads and stores                                                    *)
 
 let do_load t addr (ty : Ty.t) : Rvalue.t =
-  charge_mem t addr (scalar_size ty);
+  let sz = scalar_size ty in
+  charge_mem t addr sz;
   match ty.Ty.desc with
   | Ty.F64 -> Rvalue.Flt (Heap.load_f64 t.heap addr)
   | Ty.Ptr _ | Ty.Fun _ -> Rvalue.Ptr (Int64.to_int (Heap.load t.heap addr 8))
-  | Ty.I1 | Ty.I8 -> Rvalue.Int (Heap.load t.heap addr (scalar_size ty))
+  | Ty.I1 | Ty.I8 -> Rvalue.Int (Heap.load t.heap addr sz)
   | _ -> Rvalue.Int (Heap.load t.heap addr 8)
 
 let do_store t addr (ty : Ty.t) (v : Rvalue.t) =
-  charge_mem t addr (scalar_size ty);
+  let sz = scalar_size ty in
+  charge_mem t addr sz;
   match ty.Ty.desc with
   | Ty.F64 -> Heap.store_f64 t.heap addr (Rvalue.to_float v)
-  | Ty.I1 | Ty.I8 -> Heap.store t.heap addr (scalar_size ty) (Rvalue.to_int64 v)
+  | Ty.I1 | Ty.I8 -> Heap.store t.heap addr sz (Rvalue.to_int64 v)
   | _ -> Heap.store t.heap addr 8 (Rvalue.to_int64 v)
 
 (* Static element type behind the pointer operand of a load/store. *)
@@ -310,10 +344,16 @@ let elem_ty t (fr : frame) (p : Value.t) (fallback : Ty.t) : Ty.t =
 let rec exec_func t (f : Func.t) (args : Rvalue.t array) : Rvalue.t =
   let saved_func = t.current_func in
   t.current_func <- f.Func.name;
-  let r = exec_func_body t f args in
+  let r =
+    match t.run_func with
+    | Some run -> run t f args
+    | None -> exec_func_body t f args
+  in
   t.current_func <- saved_func;
   r
 
+(* The tree-walking executor body. Also serves as the image engine's
+   fallback for functions absent from the image. *)
 and exec_func_body t (f : Func.t) (args : Rvalue.t array) : Rvalue.t =
   let fr =
     { func = f; regs = Array.make (max 1 f.Func.next_reg) Rvalue.zero;
@@ -331,7 +371,15 @@ and exec_func_body t (f : Func.t) (args : Rvalue.t array) : Rvalue.t =
           | Instr.Phi entries -> (
             match List.assoc_opt prev entries with
             | Some v -> Some (i.Instr.id, operand t fr v)
-            | None -> Some (i.Instr.id, Rvalue.zero))
+            | None ->
+              (* Verify rejects phis that miss a CFG predecessor; reaching
+                 here means an unverified function — trap rather than
+                 silently defaulting to zero. *)
+              raise
+                (Trap
+                   (Printf.sprintf
+                      "phi in %%%s of @%s has no entry for predecessor %%%s"
+                      b.Block.label f.Func.name prev)))
           | _ -> None)
         b.Block.instrs
     in

@@ -11,6 +11,18 @@ module Sgx = Privagic_sgx
 
 exception Trap of string
 
+(** Which executor runs function bodies: the original tree-walker or the
+    index-resolved loop over the flattened image ({!Image}). *)
+type engine = Walk | Image
+
+val engine_of_string : string -> engine option
+val engine_name : engine -> string
+
+(** The session default: [Image] unless overridden by the
+    [PRIVAGIC_ENGINE] environment variable ([walk] or [image]).
+    @raise Invalid_argument on an unknown engine name. *)
+val default_engine : unit -> engine
+
 type t = {
   m : Pmodule.t;
   heap : Heap.t;
@@ -21,13 +33,17 @@ type t = {
   addr_funcs : (int, string) Hashtbl.t;
   out : Buffer.t;                          (** program output *)
   mutable cpu : Sgx.Machine.zone;          (** current processor mode *)
-  mutable clock : float ref;               (** current worker's clock *)
+  mutable clock : Privagic_runtime.Vclock.t;               (** current worker's clock *)
   mutable current_func : string;
   mutable steps : int;
   fuel : int;
   data_map : Heap.zone -> Sgx.Machine.zone;
   mutable hooks : hooks;
-  reg_ty_cache : (string, (int, Ty.t) Hashtbl.t) Hashtbl.t;
+  reg_ty_cache : (string, (Func.t * (int, Ty.t) Hashtbl.t) list) Hashtbl.t;
+      (** keyed by name, disambiguated by physical identity (specialized
+          instances share a bare name but not their registers) *)
+  mutable run_func : (t -> Func.t -> Rvalue.t array -> Rvalue.t) option;
+      (** engine override, installed by [Image.install]; [None] walks *)
 }
 
 and hooks = {
@@ -72,6 +88,26 @@ val scalar_size : Ty.t -> int
     @raise Trap on runtime errors (division by zero, unknown externals,
     fuel exhaustion). *)
 val exec_func : t -> Func.t -> Rvalue.t array -> Rvalue.t
+
+(** The tree-walking executor body, bypassing [run_func]: the image
+    engine's fallback for functions absent from the image. Does not
+    save/restore [current_func] — callers go through {!exec_func}. *)
+val exec_func_body : t -> Func.t -> Rvalue.t array -> Rvalue.t
+
+(** Cached static register types of [f] (per physical instance). *)
+val reg_tys : t -> Func.t -> (int, Ty.t) Hashtbl.t
+
+(** {2 Shared evaluation helpers (used by the image engine)} *)
+
+val exec_binop : Instr.binop -> Rvalue.t -> Rvalue.t -> Rvalue.t
+val exec_icmp : Instr.icmp -> Rvalue.t -> Rvalue.t -> Rvalue.t
+val exec_fcmp : Instr.icmp -> Rvalue.t -> Rvalue.t -> Rvalue.t
+val exec_cast : Instr.castop -> Rvalue.t -> Ty.t -> Rvalue.t
+
+(** Charge + perform one scalar memory access of the given static type. *)
+val do_load : t -> int -> Ty.t -> Rvalue.t
+
+val do_store : t -> int -> Ty.t -> Rvalue.t -> unit
 
 (** Resolve an indirect-call target address back to a function name. *)
 val resolve_func : t -> Rvalue.t -> string

@@ -26,12 +26,15 @@ type region = {
   zone : zone;
   base : int;
   mutable brk : int; (* next free offset *)
-  pages : (int, Bytes.t) Hashtbl.t;
+  mutable pages : Bytes.t option array; (* indexed by offset lsr page_bits *)
   mutable live_bytes : int;
 }
 
 type t = {
   mutable regions : region list;
+  mutable by_index : region option array;
+      (* region n (1-based) owns addresses [n lsl region_bits, ...): the
+         owning region of an address is by_index.(addr lsr region_bits) *)
   by_zone : (string, region) Hashtbl.t;
   strings : (string, int) Hashtbl.t; (* interned rodata strings *)
   mutable region_count : int;
@@ -44,6 +47,7 @@ exception Fault of int * string
 let create () =
   {
     regions = [];
+    by_index = Array.make 64 None;
     by_zone = Hashtbl.create 8;
     strings = Hashtbl.create 16;
     region_count = 0;
@@ -79,6 +83,15 @@ let zone_key = function
 
 let stack_key zone = "\001stack:" ^ zone_key zone
 
+let index_region t r =
+  let i = r.base lsr region_bits in
+  if i >= Array.length t.by_index then begin
+    let grown = Array.make (max (i + 1) (2 * Array.length t.by_index)) None in
+    Array.blit t.by_index 0 grown 0 (Array.length t.by_index);
+    t.by_index <- grown
+  end;
+  t.by_index.(i) <- Some r
+
 let region_for t zone =
   let key = zone_key zone in
   match Hashtbl.find_opt t.by_zone key with
@@ -90,24 +103,38 @@ let region_for t zone =
         zone;
         base = t.region_count lsl region_bits;
         brk = 16; (* offset 0 of the first region would be null *)
-        pages = Hashtbl.create 64;
+        pages = Array.make 16 None;
         live_bytes = 0;
       }
     in
     Hashtbl.replace t.by_zone key r;
     t.regions <- r :: t.regions;
+    index_region t r;
     r
 
 let find_region t addr =
-  let rec go = function
-    | [] -> raise (Fault (addr, "unmapped address"))
-    | r :: rest ->
-      if addr >= r.base && addr < r.base + (1 lsl region_bits) then r
-      else go rest
-  in
-  go t.regions
+  let i = addr lsr region_bits in
+  if i > 0 && i < Array.length t.by_index then
+    match Array.unsafe_get t.by_index i with
+    | Some r -> r
+    | None -> raise (Fault (addr, "unmapped address"))
+  else raise (Fault (addr, "unmapped address"))
 
-let zone_of t addr = locked t (fun () -> (find_region t addr).zone)
+(* The three per-instruction-frequency operations — [zone_of], [load],
+   [store] — hand-inline [locked] so the single-domain backend's path is a
+   boolean test with no closure allocation. *)
+let zone_of t addr =
+  if not t.sync then (find_region t addr).zone
+  else begin
+    Mutex.lock t.mu;
+    match find_region t addr with
+    | r ->
+      Mutex.unlock t.mu;
+      r.zone
+    | exception e ->
+      Mutex.unlock t.mu;
+      raise e
+  end
 
 (* Bump allocation. Small objects are 8-byte aligned; objects of a cache
    line or more are line-aligned, as size-class allocators do — this also
@@ -140,12 +167,13 @@ let region_for_key t zone key =
         zone;
         base = t.region_count lsl region_bits;
         brk = 16;
-        pages = Hashtbl.create 64;
+        pages = Array.make 16 None;
         live_bytes = 0;
       }
     in
     Hashtbl.replace t.by_zone key r;
     t.regions <- r :: t.regions;
+    index_region t r;
     r
 
 let alloc_stack t zone size =
@@ -173,11 +201,16 @@ let free t addr size =
 
 let page_of r off =
   let pno = off lsr page_bits in
-  match Hashtbl.find_opt r.pages pno with
+  (if pno >= Array.length r.pages then begin
+     let grown = Array.make (max (pno + 1) (2 * Array.length r.pages)) None in
+     Array.blit r.pages 0 grown 0 (Array.length r.pages);
+     r.pages <- grown
+   end);
+  match Array.unsafe_get r.pages pno with
   | Some p -> p
   | None ->
     let p = Bytes.make (1 lsl page_bits) '\000' in
-    Hashtbl.replace r.pages pno p;
+    r.pages.(pno) <- Some p;
     p
 
 let load_byte_u t addr =
@@ -226,7 +259,18 @@ let load_u t addr size : int64 =
     !v
   end
 
-let load t addr size = locked t (fun () -> load_u t addr size)
+let load t addr size =
+  if not t.sync then load_u t addr size
+  else begin
+    Mutex.lock t.mu;
+    match load_u t addr size with
+    | v ->
+      Mutex.unlock t.mu;
+      v
+    | exception e ->
+      Mutex.unlock t.mu;
+      raise e
+  end
 
 let store_u t addr size (v : int64) =
   if addr = 0 then raise (Fault (0, "null dereference"));
@@ -251,7 +295,16 @@ let store_u t addr size (v : int64) =
            (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xffL))
     done
 
-let store t addr size v = locked t (fun () -> store_u t addr size v)
+let store t addr size v =
+  if not t.sync then store_u t addr size v
+  else begin
+    Mutex.lock t.mu;
+    match store_u t addr size v with
+    | () -> Mutex.unlock t.mu
+    | exception e ->
+      Mutex.unlock t.mu;
+      raise e
+  end
 
 let load_f64 t addr = Int64.float_of_bits (load t addr 8)
 let store_f64 t addr f = store t addr 8 (Int64.bits_of_float f)

@@ -104,7 +104,10 @@ and extern_call policy sites ex (i : Instr.t) callee args =
       | None -> raise (Exec.Trap ("unknown external @" ^ callee))))
 
 let create ?(config = Sgx.Config.machine_b) ?cost ?(mode = Privagic_secure.Mode.Relaxed)
-    (m : Pmodule.t) (policy : policy) : t =
+    ?engine (m : Pmodule.t) (policy : policy) : t =
+  let engine =
+    match engine with Some e -> e | None -> Exec.default_engine ()
+  in
   let machine = Sgx.Machine.create ?cost config in
   let heap = Heap.create () in
   let layout = Layout.create m mode in
@@ -112,6 +115,9 @@ let create ?(config = Sgx.Config.machine_b) ?cost ?(mode = Privagic_secure.Mode.
   let ex = Exec.create m heap layout machine (hooks policy sites) in
   ex.Exec.cpu <- policy.p_cpu;
   Exec.init_globals ex (fun _ -> policy.p_zone);
+  (match engine with
+  | Exec.Image -> Image.install ex (Image.build ~sites ex)
+  | Exec.Walk -> ());
   { exec = ex; policy; sites; spawned = 0 }
 
 (* Execute an exported function; returns the value, charging the per-entry
@@ -122,6 +128,6 @@ let call t name (args : Rvalue.t list) : Rvalue.t =
   Exec.charge t.exec (t.policy.p_entry_overhead t.exec.Exec.machine);
   Exec.exec_func t.exec f (Array.of_list args)
 
-let clock t = !(t.exec.Exec.clock)
+let clock t = Privagic_runtime.Vclock.get t.exec.Exec.clock
 let output t = Buffer.contents t.exec.Exec.out
 let machine t = t.exec.Exec.machine

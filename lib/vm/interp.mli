@@ -30,10 +30,15 @@ type t = {
   mutable spawned : int;
 }
 
+(** [engine] selects the execution engine (default
+    [Exec.default_engine ()]): [Image] lowers the module into a flattened
+    linked image and runs the index-resolved hot loop; [Walk] keeps the
+    tree-walking oracle. *)
 val create :
   ?config:Sgx.Config.t ->
   ?cost:Sgx.Cost.t ->
   ?mode:Privagic_secure.Mode.t ->
+  ?engine:Exec.engine ->
   Privagic_pir.Pmodule.t ->
   policy ->
   t

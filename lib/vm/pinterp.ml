@@ -23,6 +23,7 @@ open Privagic_secure
 open Privagic_partition
 module Sgx = Privagic_sgx
 module Sched = Privagic_runtime.Sched
+module Vclock = Privagic_runtime.Vclock
 module Tel = Privagic_telemetry
 
 exception Error of string
@@ -69,7 +70,7 @@ type activation = {
 type fiber_ctx = {
   worker : worker;
   mutable act : activation;
-  clock : float ref;
+  clock : Vclock.t;
 }
 
 (* Execution trace: the message/chunk schedule of a request, in virtual
@@ -91,7 +92,7 @@ type t = {
   workers : (int * string, worker) Hashtbl.t;
   crossing : Sgx.Machine.t -> float;           (* cost of one boundary msg *)
   mutable current : fiber_ctx option;
-  thread_clock : (int, float ref) Hashtbl.t;
+  thread_clock : (int, Vclock.t) Hashtbl.t;
   mutable next_thread : int;
   mutable traps : string list;
   mutable guard : bool;  (* §8 extension: valid-spawn-sequence guard *)
@@ -119,7 +120,7 @@ let thread_clock t thread =
   match Hashtbl.find_opt t.thread_clock thread with
   | Some r -> r
   | None ->
-    let r = ref 0.0 in
+    let r = Vclock.make 0.0 in
     Hashtbl.replace t.thread_clock thread r;
     r
 
@@ -146,13 +147,13 @@ let record t at ev =
 
 let send_cont t (ctx : fiber_ctx) (target : worker) ~seq ~tag ~value =
   let cost = t.crossing t.exec.Exec.machine in
-  ctx.clock := !(ctx.clock) +. cost;
+  Vclock.add ctx.clock (cost);
   let tag_name = match tag with Retval -> "retval" | Token -> "token" in
-  record t !(ctx.clock) (Ev_cont { target = target.w_color; tag = tag_name });
+  record t (Vclock.get ctx.clock) (Ev_cont { target = target.w_color; tag = tag_name });
   let flow =
     if Tel.Recorder.enabled t.tel then begin
       let f = Tel.Recorder.fresh_flow t.tel in
-      Tel.Recorder.record t.tel ~at:!(ctx.clock) ~track:ctx.worker.w_track
+      Tel.Recorder.record t.tel ~at:(Vclock.get ctx.clock) ~track:ctx.worker.w_track
         ~name:tag_name ~arg:f Tel.Event.Msg_send;
       f
     end
@@ -160,7 +161,7 @@ let send_cont t (ctx : fiber_ctx) (target : worker) ~seq ~tag ~value =
   in
   target.w_mail <-
     target.w_mail
-    @ [ { sent_at = !(ctx.clock); flow; payload = Cont { seq; tag; value } } ]
+    @ [ { sent_at = (Vclock.get ctx.clock); flow; payload = Cont { seq; tag; value } } ]
 
 let wait_cont t (ctx : fiber_ctx) ~seq ~tag : Rvalue.t =
   let w = ctx.worker in
@@ -172,7 +173,7 @@ let wait_cont t (ctx : fiber_ctx) ~seq ~tag : Rvalue.t =
   let arrival () =
     match List.find_opt matches w.w_mail with
     | Some m -> m.sent_at
-    | None -> !(ctx.clock)
+    | None -> (Vclock.get ctx.clock)
   in
   Sched.block pred arrival;
   restore t ctx;
@@ -182,9 +183,9 @@ let wait_cont t (ctx : fiber_ctx) ~seq ~tag : Rvalue.t =
     | None -> raise (Error "wait_cont: message vanished")
   in
   w.w_mail <- List.filter (fun m -> not (m == msg)) w.w_mail;
-  ctx.clock := Float.max !(ctx.clock) msg.sent_at;
+  Vclock.set ctx.clock (Float.max (Vclock.get ctx.clock) msg.sent_at);
   if Tel.Recorder.enabled t.tel && msg.flow >= 0 then
-    Tel.Recorder.record t.tel ~at:!(ctx.clock) ~track:w.w_track ~arg:msg.flow
+    Tel.Recorder.record t.tel ~at:(Vclock.get ctx.clock) ~track:w.w_track ~arg:msg.flow
       Tel.Event.Msg_recv;
   match msg.payload with Cont c -> c.value
 
@@ -223,14 +224,14 @@ let rec exec_chunk t (ctx : fiber_ctx) (act : activation) (c : Color.t)
   let saved = ctx.act in
   ctx.act <- act;
   let f = chunk_for act.act_pf c in
-  record t !(ctx.clock) (Ev_chunk_start { color = c; chunk = f.Func.name });
+  record t (Vclock.get ctx.clock) (Ev_chunk_start { color = c; chunk = f.Func.name });
   if Tel.Recorder.enabled t.tel then
-    Tel.Recorder.record t.tel ~at:!(ctx.clock) ~track:ctx.worker.w_track
+    Tel.Recorder.record t.tel ~at:(Vclock.get ctx.clock) ~track:ctx.worker.w_track
       ~name:f.Func.name Tel.Event.Chunk_begin;
   let r = Exec.exec_func t.exec f args in
-  record t !(ctx.clock) (Ev_chunk_end { color = c; chunk = f.Func.name });
+  record t (Vclock.get ctx.clock) (Ev_chunk_end { color = c; chunk = f.Func.name });
   if Tel.Recorder.enabled t.tel then
-    Tel.Recorder.record t.tel ~at:!(ctx.clock) ~track:ctx.worker.w_track
+    Tel.Recorder.record t.tel ~at:(Vclock.get ctx.clock) ~track:ctx.worker.w_track
       ~name:f.Func.name Tel.Event.Chunk_end;
   ctx.act <- saved;
   r
@@ -279,7 +280,7 @@ and spawn_chunk_fiber t ?(forged = false) ~thread (act : activation)
          let ctx = { worker = w; act; clock } in
          restore t ctx;
          if spawn_flow >= 0 then
-           Tel.Recorder.record t.tel ~at:!clock ~track:w.w_track
+           Tel.Recorder.record t.tel ~at:(Vclock.get clock) ~track:w.w_track
              ~name:"spawn" ~arg:spawn_flow Tel.Event.Msg_recv;
          if earlier <> [] then begin
            Sched.block
@@ -287,16 +288,16 @@ and spawn_chunk_fiber t ?(forged = false) ~thread (act : activation)
                List.for_all
                  (fun d -> List.exists (Color.equal d) act.act_colors_done)
                  earlier)
-             (fun () -> Float.max !clock act.act_done_max);
+             (fun () -> Float.max (Vclock.get clock) act.act_done_max);
            restore t ctx;
-           let waited = !clock < act.act_done_max in
-           clock := Float.max !clock act.act_done_max;
+           let waited = (Vclock.get clock) < act.act_done_max in
+           Vclock.set clock (Float.max (Vclock.get clock) act.act_done_max);
            if
              waited
              && Tel.Recorder.enabled t.tel
              && act.act_done_flow >= 0
            then
-             Tel.Recorder.record t.tel ~at:!clock ~track:w.w_track
+             Tel.Recorder.record t.tel ~at:(Vclock.get clock) ~track:w.w_track
                ~name:"done" ~arg:act.act_done_flow Tel.Event.Msg_recv
          end;
          (match exec_chunk t ctx act c args with
@@ -307,20 +308,20 @@ and spawn_chunk_fiber t ?(forged = false) ~thread (act : activation)
                  ~value:r)
              reply_to;
            let tc = thread_clock t thread in
-           tc := Float.max !tc !clock
+           Vclock.set tc (Float.max (Vclock.get tc) (Vclock.get clock))
          | exception Exec.Trap msg ->
            t.traps <- (name ^ ": " ^ msg) :: t.traps);
          (* completion signal back to the spawner (one crossing) *)
-         ctx.clock := !(ctx.clock) +. t.crossing t.exec.Exec.machine;
+         Vclock.add ctx.clock (t.crossing t.exec.Exec.machine);
          act.act_pending <- act.act_pending - 1;
-         if !(ctx.clock) >= act.act_done_max && Tel.Recorder.enabled t.tel
+         if (Vclock.get ctx.clock) >= act.act_done_max && Tel.Recorder.enabled t.tel
          then begin
            let f = Tel.Recorder.fresh_flow t.tel in
-           Tel.Recorder.record t.tel ~at:!(ctx.clock) ~track:w.w_track
+           Tel.Recorder.record t.tel ~at:(Vclock.get ctx.clock) ~track:w.w_track
              ~name:"done" ~arg:f Tel.Event.Msg_send;
            act.act_done_flow <- f
          end;
-         act.act_done_max <- Float.max act.act_done_max !(ctx.clock);
+         act.act_done_max <- Float.max act.act_done_max (Vclock.get ctx.clock);
          act.act_colors_done <- c :: act.act_colors_done))
 
 (* Host-side wait for every spawned fiber of [act] to finish. An enclave
@@ -330,13 +331,13 @@ and spawn_chunk_fiber t ?(forged = false) ~thread (act : activation)
    at the end of the request. *)
 and host_wait_spawned ?(bump = true) t (ctx : fiber_ctx) (act : activation) =
   if act.act_pending > 0 then begin
-    Sched.block (fun () -> act.act_pending = 0) (fun () -> !(ctx.clock));
+    Sched.block (fun () -> act.act_pending = 0) (fun () -> (Vclock.get ctx.clock));
     restore t ctx;
     if bump && Color.is_enclave ctx.worker.w_color then begin
-      let waited = !(ctx.clock) < act.act_done_max in
-      ctx.clock := Float.max !(ctx.clock) act.act_done_max;
+      let waited = (Vclock.get ctx.clock) < act.act_done_max in
+      Vclock.set ctx.clock (Float.max (Vclock.get ctx.clock) act.act_done_max);
       if waited && Tel.Recorder.enabled t.tel && act.act_done_flow >= 0 then
-        Tel.Recorder.record t.tel ~at:!(ctx.clock)
+        Tel.Recorder.record t.tel ~at:(Vclock.get ctx.clock)
           ~track:ctx.worker.w_track ~name:"done" ~arg:act.act_done_flow
           Tel.Event.Msg_recv
     end
@@ -409,11 +410,11 @@ and dispatch_local_call t (ctx : fiber_ctx) (i : Instr.t) (cp : Plan.call_plan)
         in
         (* one spawn message, plus one cont per computed F argument *)
         let cost = t.crossing t.exec.Exec.machine in
-        ctx.clock := !(ctx.clock) +. cost;
+        Vclock.add ctx.clock (cost);
         for _ = 1 to f_reg_args do
-          ctx.clock := !(ctx.clock) +. t.crossing t.exec.Exec.machine
+          Vclock.add ctx.clock (t.crossing t.exec.Exec.machine)
         done;
-        spawn_chunk_fiber t ~thread child_act d ~siblings:spawned args ~at:!(ctx.clock) ~reply_to)
+        spawn_chunk_fiber t ~thread child_act d ~siblings:spawned args ~at:(Vclock.get ctx.clock) ~reply_to)
       spawned;
     (* host ordering: an untrusted leader lets the enclave fibers run to
        completion before executing its own chunk, so that declassified
@@ -482,9 +483,9 @@ and dispatch_indirect_local t (ctx : fiber_ctx) (i : Instr.t) name
         let reply_to =
           if i_need && Color.equal d first then [ (thread, c) ] else []
         in
-        ctx.clock := !(ctx.clock) +. t.crossing t.exec.Exec.machine;
+        Vclock.add ctx.clock (t.crossing t.exec.Exec.machine);
         spawn_chunk_fiber t ~thread act d ~siblings:spawned_cs args
-          ~at:!(ctx.clock) ~reply_to)
+          ~at:(Vclock.get ctx.clock) ~reply_to)
       spawned_cs;
     if List.mem c cs then exec_chunk t ctx act c args
     else if i_need then wait_cont t ctx ~seq:act.act_seq ~tag:Retval
@@ -518,8 +519,8 @@ and dispatch_spawn t (i : Instr.t) callee (args : Rvalue.t array) =
     in
     List.iter
       (fun d ->
-        ctx.clock := !(ctx.clock) +. t.crossing t.exec.Exec.machine;
-        spawn_chunk_fiber t ~thread act d ~siblings:cs args ~at:!(ctx.clock) ~reply_to:[])
+        Vclock.add ctx.clock (t.crossing t.exec.Exec.machine);
+        spawn_chunk_fiber t ~thread act d ~siblings:cs args ~at:(Vclock.get ctx.clock) ~reply_to:[])
       cs
 
 (* ------------------------------------------------------------------ *)
@@ -543,9 +544,9 @@ let make_hooks t : Exec.hooks =
           when Dispatch.barrier_at ctx.act.act_pf i.Instr.id
                  ~participants:ctx.act.act_participants ->
           Exec.charge ex (t.crossing ex.Exec.machine);
-          record t !(ctx.clock) (Ev_barrier { color = ctx.worker.w_color });
+          record t (Vclock.get ctx.clock) (Ev_barrier { color = ctx.worker.w_color });
           if Tel.Recorder.enabled t.tel then
-            Tel.Recorder.record t.tel ~at:!(ctx.clock)
+            Tel.Recorder.record t.tel ~at:(Vclock.get ctx.clock)
               ~track:ctx.worker.w_track
               ~name:(Color.to_string ctx.worker.w_color) Tel.Event.Barrier
         | _ -> ());
@@ -569,19 +570,23 @@ let dummy_hooks : Exec.hooks =
   }
 
 let create ?(config = Sgx.Config.machine_b) ?cost
-    ?(crossing = Sgx.Machine.queue_msg_cost) (plan : Plan.t) : t =
+    ?(crossing = Sgx.Machine.queue_msg_cost) ?engine (plan : Plan.t) : t =
+  let engine =
+    match engine with Some e -> e | None -> Exec.default_engine ()
+  in
   let m = plan.Plan.pmodule in
   let machine = Sgx.Machine.create ?cost config in
   let heap = Heap.create () in
   let layout =
     Layout.create ~auth_pointers:plan.Plan.auth_pointers m plan.Plan.mode
   in
+  let sites = Exec.alloc_sites m in
   let ex = Exec.create m heap layout machine dummy_hooks in
   let t =
     {
       plan;
       exec = ex;
-      disp = Dispatch.create plan;
+      disp = Dispatch.create ~sites plan;
       sched = Sched.create ();
       workers = Hashtbl.create 16;
       crossing;
@@ -597,6 +602,9 @@ let create ?(config = Sgx.Config.machine_b) ?cost
   ex.Exec.hooks <- make_hooks t;
   (* globals placed per §7.1 *)
   Exec.init_globals t.exec (Dispatch.global_zone plan);
+  (match engine with
+  | Exec.Image -> Image.install ex (Image.build ~plan ~sites ex)
+  | Exec.Walk -> ());
   t
 
 (* Attach a telemetry recorder to every layer: the scheduler records
@@ -606,7 +614,7 @@ let set_telemetry t (r : Tel.Recorder.t) =
   t.tel <- r;
   Sched.set_telemetry t.sched r;
   Sgx.Machine.set_telemetry t.exec.Exec.machine r;
-  Tel.Recorder.set_now r (fun () -> !(t.exec.Exec.clock))
+  Tel.Recorder.set_now r (fun () -> (Vclock.get t.exec.Exec.clock))
 
 (* ------------------------------------------------------------------ *)
 (* entry points *)
@@ -630,7 +638,7 @@ let call_entry t ?(thread = 0) ?max_steps name (args : Rvalue.t list) :
   let pf = pfunc_exn t ep.Plan.ep_key in
   let cs = pf.Plan.pf_colorset in
   Heap.reset_stacks t.exec.Exec.heap;
-  let now = !(thread_clock t thread) in
+  let now = (Vclock.get (thread_clock t thread)) in
   let argv = Array.of_list args in
   let act =
     {
@@ -676,9 +684,9 @@ let call_entry t ?(thread = 0) ?max_steps name (args : Rvalue.t list) :
                then [ (thread, Color.Unsafe) ]
                else []
              in
-             ctx.clock := !(ctx.clock) +. t.crossing t.exec.Exec.machine;
+             Vclock.add ctx.clock (t.crossing t.exec.Exec.machine);
              spawn_chunk_fiber t ~thread act d ~siblings:spawned_cs argv
-               ~at:!(ctx.clock) ~reply_to)
+               ~at:(Vclock.get ctx.clock) ~reply_to)
            spawned_cs;
          (* enclave chunks complete (host order) before the U chunk body *)
          host_wait_spawned t ctx act;
@@ -690,17 +698,17 @@ let call_entry t ?(thread = 0) ?max_steps name (args : Rvalue.t list) :
          (* the response leaves once every participant is done; when an
             enclave finished last, its completion signal gates the
             response — a binding happens-before edge *)
-         let finish = Float.max !(ctx.clock) act.act_done_max in
+         let finish = Float.max (Vclock.get ctx.clock) act.act_done_max in
          if
            Tel.Recorder.enabled t.tel
-           && act.act_done_max > !(ctx.clock)
+           && act.act_done_max > (Vclock.get ctx.clock)
            && act.act_done_flow >= 0
          then
            Tel.Recorder.record t.tel ~at:finish ~track:uw.w_track
              ~name:"done" ~arg:act.act_done_flow Tel.Event.Msg_recv;
          slot := Some (r, finish);
          let tc = thread_clock t thread in
-         tc := Float.max !tc finish));
+         Vclock.set tc (Float.max (Vclock.get tc) finish)));
   let outcome = Sched.run ?max_steps t.sched in
   (match t.traps with
   | [] -> ()
@@ -755,7 +763,7 @@ let inject_spawn t ?(thread = 0) ~(color : Color.t) ~(chunk : string)
           act_colors_done = [];
         }
       in
-      let now = !(thread_clock t thread) in
+      let now = (Vclock.get (thread_clock t thread)) in
       match
         spawn_chunk_fiber t ~forged:true ~thread act color
           (Array.of_list args) ~at:now ~reply_to:[]

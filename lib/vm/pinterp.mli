@@ -44,7 +44,7 @@ type activation = {
 type fiber_ctx = {
   worker : worker;
   mutable act : activation;
-  clock : float ref;
+  clock : Privagic_runtime.Vclock.t;
 }
 
 (** Execution trace events (the runtime's own Figure 7). *)
@@ -65,7 +65,7 @@ type t = {
   workers : (int * string, worker) Hashtbl.t;
   crossing : Sgx.Machine.t -> float;
   mutable current : fiber_ctx option;
-  thread_clock : (int, float ref) Hashtbl.t;
+  thread_clock : (int, Privagic_runtime.Vclock.t) Hashtbl.t;
   mutable next_thread : int;
   mutable traps : string list;
   mutable guard : bool;
@@ -74,11 +74,15 @@ type t = {
 }
 
 (** Build the VM for a plan; [crossing] prices one boundary message
-    (default: the lock-free queue). *)
+    (default: the lock-free queue). [engine] selects the execution
+    engine (default [Exec.default_engine ()]): [Image] lowers the plan
+    into a flattened linked image shared by all fibers; [Walk] keeps
+    the tree-walking oracle. *)
 val create :
   ?config:Sgx.Config.t ->
   ?cost:Sgx.Cost.t ->
   ?crossing:(Sgx.Machine.t -> float) ->
+  ?engine:Exec.engine ->
   Plan.t ->
   t
 

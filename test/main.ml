@@ -21,5 +21,6 @@ let () =
       ("harness", Test_harness.suite);
       ("extensions", Test_extensions.suite);
       ("equivalence", Test_equiv.suite);
+      ("image", Test_image.suite);
       ("server", Test_server.suite);
     ]

@@ -1,0 +1,350 @@
+(* Differential tests for the flattened linked image engine (lib/vm/image).
+
+   The walker is the oracle: randomized mini-C programs — seeded, so every
+   run sees the same corpus — execute under both engines and must agree on
+   per-call return values, per-call virtual-time latencies (bit-exact),
+   total executed steps, and the final integer globals. A few seeds also
+   run through the real-parallel backend under both engines.
+
+   The phi fidelity corner is pinned with hand-built IR: a phi that misses
+   a CFG predecessor passes under mini-C (Verify rejects it there), but a
+   hand-built module executes — both engines must trap with the same
+   message when control arrives over the missing edge, and Verify must
+   flag the module. *)
+
+open Privagic_pir
+open Privagic_secure
+open Privagic_vm
+module Plan = Privagic_partition.Plan
+module Parallel = Privagic_parallel.Parallel
+
+(* ------------------------------------------------------------------ *)
+(* Seeded program generator                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* deterministic LCG so the corpus is identical on every run *)
+type rng = { mutable s : int }
+
+let rand r n =
+  r.s <- ((r.s * 1103515245) + 12345) land 0x3FFFFFFF;
+  r.s mod n
+
+let sp = Printf.sprintf
+
+(* public integer expressions over the entry parameter, the public
+   globals, the local accumulator and a helper call; operators are the
+   total ones (no division), so any generated program is well defined *)
+(* [helper] gates calls to the helper function: a call inside a loop
+   that also writes blue would be replicated into the blue chunk, and
+   its return value would be an F value crossing enclaves — a plan
+   diagnostic, so the generator never produces it inside loop bodies *)
+let rec gen_expr r ~helper depth =
+  if depth = 0 || rand r 3 = 0 then
+    match rand r 5 with
+    | 0 -> string_of_int (1 + rand r 96)
+    | 1 -> "a"
+    | 2 -> "y"
+    | 3 -> "z"
+    | _ -> "t"
+  else
+    match rand r (if helper then 6 else 5) with
+    | 0 ->
+      sp "(%s + %s)" (gen_expr r ~helper (depth - 1))
+        (gen_expr r ~helper (depth - 1))
+    | 1 ->
+      sp "(%s - %s)" (gen_expr r ~helper (depth - 1))
+        (gen_expr r ~helper (depth - 1))
+    | 2 ->
+      sp "(%s * %s)" (gen_expr r ~helper (depth - 1))
+        (gen_expr r ~helper (depth - 1))
+    | 3 ->
+      sp "(%s & %s)" (gen_expr r ~helper (depth - 1))
+        (gen_expr r ~helper (depth - 1))
+    | 4 -> sp "(%s >> %d)" (gen_expr r ~helper (depth - 1)) (1 + rand r 3)
+    | _ -> sp "helper(%s)" (gen_expr r ~helper (depth - 1))
+
+let gen_cond r =
+  let op = match rand r 4 with 0 -> "<" | 1 -> ">" | 2 -> "==" | _ -> "!=" in
+  sp "(%s %s %s)" (gen_expr r ~helper:true 1) op (gen_expr r ~helper:true 1)
+
+(* straight-line statement. The entry parameter [a] is untrusted in
+   Hardened mode, and y/z/t can carry its taint, so the only legal blue
+   write is a constant increment — and only where [blue] says control is
+   not conditioned on untrusted data (top level, or counter-driven
+   loops at top level): otherwise the checker flags an iago flow or an
+   implicit leak, which would be a generator bug, not a VM bug. *)
+let gen_simple r ~blue ~helper =
+  match rand r (if blue then 4 else 3) with
+  | 0 -> sp "y = %s;" (gen_expr r ~helper 2)
+  | 1 -> sp "z = %s;" (gen_expr r ~helper 2)
+  | 2 -> sp "t = %s;" (gen_expr r ~helper 2)
+  | _ -> sp "b = b + %d;" (1 + rand r 9)
+
+(* [loops] allocates the pre-declared counters c0..c2; once exhausted,
+   control constructs degrade to simple statements *)
+let rec gen_stmt r loops ~blue depth =
+  if depth = 0 then gen_simple r ~blue ~helper:true
+  else
+    match rand r 5 with
+    | 0 | 1 -> gen_simple r ~blue ~helper:true
+    | 2 ->
+      (* generated conditions may be untrusted-tainted: no blue inside *)
+      sp "if %s { %s } else { %s }" (gen_cond r)
+        (gen_block r loops ~blue:false (depth - 1))
+        (gen_block r loops ~blue:false (depth - 1))
+    | _ ->
+      if !loops >= 3 then gen_simple r ~blue ~helper:true
+      else begin
+        let c = sp "c%d" !loops in
+        incr loops;
+        let n = 2 + rand r 5 in
+        (* the counter is public, so the loop keeps the caller's [blue] *)
+        let body =
+          String.concat " "
+            (List.init (1 + rand r 3)
+               (fun _ -> gen_simple r ~blue ~helper:false))
+        in
+        sp "%s = 0; while (%s < %d) { %s %s = %s + 1; }" c c n body c c
+      end
+
+and gen_block r loops ~blue depth =
+  String.concat " "
+    (List.init (2 + rand r 3) (fun _ -> gen_stmt r loops ~blue depth))
+
+let gen_entry r name =
+  let loops = ref 0 in
+  sp
+    "entry int %s(int a) {\n\
+    \  int t = 0;\n\
+    \  int c0 = 0;\n\
+    \  int c1 = 0;\n\
+    \  int c2 = 0;\n\
+    \  %s\n\
+    \  return y + z + t;\n\
+     }\n"
+    name
+    (gen_block r loops ~blue:true 2)
+
+let gen_program seed =
+  let r = { s = (seed * 2654435761) land 0x3FFFFFFF } in
+  sp
+    {|
+ignore extern void declassify_i64(int* d, int v);
+int color(blue) b;
+int y;
+int z;
+int rstatus;
+int helper(int a) {
+  return a * 3 + 1;
+}
+%s%s
+entry int readb() {
+  declassify_i64(&rstatus, b);
+  return rstatus;
+}
+|}
+    (gen_entry r "f0") (gen_entry r "f1")
+
+(* ------------------------------------------------------------------ *)
+(* Differential runs                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let obs = function
+  | Rvalue.Int n -> Int64.to_string n
+  | Rvalue.Ptr p -> if p = 0 then "null" else "ptr"
+  | Rvalue.Flt f -> Printf.sprintf "%h" f
+  | Rvalue.Unit -> "unit"
+
+let int_globals m =
+  List.filter_map
+    (fun (g : Pmodule.global) ->
+      match g.Pmodule.gty.Ty.desc with
+      | Ty.I64 -> Some g.Pmodule.gname
+      | _ -> None)
+    (Pmodule.globals_sorted m)
+
+let read_globals (ex : Exec.t) names =
+  List.map
+    (fun n -> (n, Heap.load ex.Exec.heap (Hashtbl.find ex.Exec.globals n) 8))
+    names
+
+let ops =
+  [ ("f0", [ Rvalue.Int 3L ]); ("readb", []); ("f1", [ Rvalue.Int 7L ]);
+    ("f0", [ Rvalue.Int 11L ]); ("readb", []); ("f1", [ Rvalue.Int 2L ]);
+    ("readb", []) ]
+
+(* one oracle run: per-call values and latencies, total steps, globals *)
+let run_sim engine plan =
+  let pt =
+    Pinterp.create ~config:Privagic_sgx.Config.machine_test ~engine plan
+  in
+  let results =
+    List.map (fun (entry, args) -> Pinterp.call_entry pt entry args) ops
+  in
+  ( List.map (fun r -> obs r.Pinterp.value) results,
+    List.map (fun r -> r.Pinterp.latency_cycles) results,
+    pt.Pinterp.exec.Exec.steps,
+    read_globals pt.Pinterp.exec (int_globals plan.Plan.pmodule) )
+
+let run_par engine plan =
+  let p = Parallel.create ~lanes:2 ~engine plan in
+  let vals =
+    List.map
+      (fun (entry, args) ->
+        obs (Parallel.call_entry p entry args).Parallel.value)
+      ops
+  in
+  let gs = read_globals (Parallel.exec p) (int_globals plan.Plan.pmodule) in
+  let quiet = Parallel.shutdown p in
+  Alcotest.(check bool) "pool quiesced" true quiet;
+  (vals, gs)
+
+let check_sim_seed seed =
+  let src = gen_program seed in
+  let plan () = Helpers.plan_of ~mode:Mode.Hardened src in
+  let w_vals, w_lats, w_steps, w_globals = run_sim Exec.Walk (plan ()) in
+  let i_vals, i_lats, i_steps, i_globals = run_sim Exec.Image (plan ()) in
+  let tag fmt = sp ("seed %d: " ^^ fmt) seed in
+  Alcotest.(check (list string)) (tag "per-call values") w_vals i_vals;
+  (* virtual time must be bit-exact, not approximately equal: the image
+     charges the same costs in the same order as the walker *)
+  Alcotest.(check (list (float 0.0))) (tag "per-call latencies") w_lats i_lats;
+  Alcotest.(check int) (tag "total steps") w_steps i_steps;
+  Alcotest.(check (list (pair string int64)))
+    (tag "final globals") w_globals i_globals
+
+let test_random_sim () =
+  for seed = 1 to 25 do
+    check_sim_seed seed
+  done
+
+let test_random_parallel () =
+  List.iter
+    (fun seed ->
+      let src = gen_program seed in
+      let plan () = Helpers.plan_of ~mode:Mode.Hardened src in
+      let w_vals, _, _, w_globals = run_sim Exec.Walk (plan ()) in
+      List.iter
+        (fun engine ->
+          let p_vals, p_globals = run_par engine (plan ()) in
+          let tag = "parallel/" ^ Exec.engine_name engine in
+          Alcotest.(check (list string)) (tag ^ ": values") w_vals p_vals;
+          Alcotest.(check (list (pair string int64)))
+            (tag ^ ": globals") w_globals p_globals)
+        [ Exec.Walk; Exec.Image ])
+    [ 2; 9; 17 ]
+
+(* ------------------------------------------------------------------ *)
+(* Phi missing-predecessor: Verify rule and the execution trap         *)
+(* ------------------------------------------------------------------ *)
+
+(* a diamond whose join phi only covers the [a] arm; [extra] appends
+   additional phi entries (to build the mentions-non-predecessor case) *)
+let partial_phi_module ?(extra = []) () =
+  let m = Pmodule.create () in
+  let f = Func.make ~name:"f" ~params:[ ("c", Ty.i1) ] ~ret:Ty.i64 () in
+  let b = Builder.create m f in
+  let la = Builder.block b "a" in
+  let lb = Builder.block b "b" in
+  let lj = Builder.block b "join" in
+  Builder.condbr b (Value.reg 0) la lb;
+  Builder.position b la;
+  let va = Builder.binop b Instr.Add Ty.i64 (Value.int_ 1L) (Value.int_ 2L) in
+  Builder.br b lj;
+  Builder.position b lb;
+  let _vb =
+    Builder.binop b Instr.Add Ty.i64 (Value.int_ 10L) (Value.int_ 20L)
+  in
+  Builder.br b lj;
+  Builder.position b lj;
+  let p = Builder.phi b Ty.i64 ((la, va) :: extra) in
+  Builder.ret b (Some p);
+  (m, f, la, lb, lj)
+
+let test_verify_rejects_partial_phi () =
+  let m, f, _, lb, lj = partial_phi_module () in
+  (match Verify.check_module m with
+  | Ok () -> Alcotest.fail "Verify accepted a phi missing a predecessor"
+  | Error errs ->
+    Alcotest.(check bool)
+      "misses-predecessor reported" true
+      (List.exists
+         (fun e ->
+           Helpers.contains e
+             (sp "phi in %%%s misses predecessor %%%s" lj lb))
+         errs));
+  ignore f;
+  (* and the dual rule: an entry for a block that is not a predecessor *)
+  let m, _, _, _, lj =
+    partial_phi_module ~extra:[ ("entry", Value.int_ 0L) ] ()
+  in
+  match Verify.check_module m with
+  | Ok () -> Alcotest.fail "Verify accepted a phi with a non-predecessor"
+  | Error errs ->
+    Alcotest.(check bool)
+      "non-predecessor reported" true
+      (List.exists
+         (fun e ->
+           Helpers.contains e
+             (sp "phi in %%%s mentions non-predecessor %%entry" lj))
+         errs)
+
+(* run the partial-phi function on a raw executor under one engine *)
+let run_partial_phi ~engine cond =
+  let m, f, _, _, _ = partial_phi_module () in
+  let machine = Privagic_sgx.Machine.create Privagic_sgx.Config.machine_test in
+  let heap = Heap.create () in
+  let layout = Layout.create m Mode.Relaxed in
+  let hooks : Exec.hooks =
+    {
+      Exec.h_call =
+        (fun ex _ callee args ->
+          Exec.exec_func ex (Pmodule.find_func_exn m callee) args);
+      h_callind =
+        (fun ex _ fv args ->
+          Exec.exec_func ex
+            (Pmodule.find_func_exn m (Exec.resolve_func ex fv))
+            args);
+      h_spawn = (fun _ _ _ _ -> ());
+      h_pre_instr = (fun _ _ -> ());
+      h_alloca_zone = (fun _ _ -> Heap.Unsafe);
+    }
+  in
+  let ex = Exec.create m heap layout machine hooks in
+  Exec.init_globals ex (fun _ -> Heap.Unsafe);
+  (match engine with
+  | Exec.Walk -> ()
+  | Exec.Image -> Image.install ex (Image.build ex));
+  Exec.exec_func ex f [| Rvalue.Int (if cond then 1L else 0L) |]
+
+let test_partial_phi_trap () =
+  let _, f, _, lb, lj = partial_phi_module () in
+  let expected =
+    sp "phi in %%%s of @%s has no entry for predecessor %%%s" lj
+      f.Func.name lb
+  in
+  List.iter
+    (fun engine ->
+      let tag = Exec.engine_name engine in
+      (* the covered edge still runs *)
+      Alcotest.(check int64)
+        (tag ^ ": covered edge value") 3L
+        (Rvalue.to_int64 (run_partial_phi ~engine true));
+      (* the missing edge traps, with the same message on both engines *)
+      match run_partial_phi ~engine false with
+      | _ -> Alcotest.fail (tag ^ ": expected a trap on the missing edge")
+      | exception Exec.Trap msg ->
+        Alcotest.(check string) (tag ^ ": trap message") expected msg)
+    [ Exec.Walk; Exec.Image ]
+
+let suite =
+  [
+    Alcotest.test_case "random programs: walk vs image (sim)" `Quick
+      test_random_sim;
+    Alcotest.test_case "random programs: walk vs image (parallel)" `Quick
+      test_random_parallel;
+    Alcotest.test_case "verify rejects partial phi" `Quick
+      test_verify_rejects_partial_phi;
+    Alcotest.test_case "partial phi traps identically" `Quick
+      test_partial_phi_trap;
+  ]

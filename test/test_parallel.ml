@@ -62,8 +62,8 @@ let argv ~vbuf ~obuf args =
     args
 
 (* one run on the oracle: per-call observations + final int globals *)
-let run_sim plan (ops : (string * arg list) list) =
-  let pt = Pinterp.create ~config:Privagic_sgx.Config.machine_test plan in
+let run_sim ?engine plan (ops : (string * arg list) list) =
+  let pt = Pinterp.create ~config:Privagic_sgx.Config.machine_test ?engine plan in
   let vbuf, obuf = buffers pt.Pinterp.exec.Exec.heap in
   let vals =
     List.map
@@ -75,8 +75,8 @@ let run_sim plan (ops : (string * arg list) list) =
   (vals, read_globals pt.Pinterp.exec (int_globals plan.Privagic_partition.Plan.pmodule))
 
 (* the same run on domains *)
-let run_par ?(lanes = 2) plan (ops : (string * arg list) list) =
-  let p = Parallel.create ~lanes plan in
+let run_par ?(lanes = 2) ?engine plan (ops : (string * arg list) list) =
+  let p = Parallel.create ~lanes ?engine plan in
   let vbuf, obuf = buffers (Parallel.exec p).Exec.heap in
   let vals =
     List.map
@@ -94,17 +94,35 @@ let run_par ?(lanes = 2) plan (ops : (string * arg list) list) =
   Alcotest.(check bool) "pool quiesced and joined" true quiet;
   (vals, gs, domains)
 
+(* the full engine matrix: the virtual-time oracle and the domains
+   backend each run under both executors; all four runs must agree on
+   per-call observations and on the final integer globals *)
 let check_equiv ?lanes ?(min_domains = 2) ~mode src ops =
   let plan () = Helpers.plan_of ~mode src in
-  let sim_vals, sim_globals = run_sim (plan ()) ops in
-  let par_vals, par_globals, domains = run_par ?lanes (plan ()) ops in
-  Alcotest.(check (list string)) "per-call return values" sim_vals par_vals;
+  let sim_vals, sim_globals = run_sim ~engine:Exec.Walk (plan ()) ops in
+  let simi_vals, simi_globals = run_sim ~engine:Exec.Image (plan ()) ops in
+  Alcotest.(check (list string)) "sim: walk vs image values" sim_vals
+    simi_vals;
   Alcotest.(check (list (pair string int64)))
-    "final integer globals" sim_globals par_globals;
-  Alcotest.(check bool)
-    (Printf.sprintf "ran on >= %d domains (got %d)" min_domains domains)
-    true
-    (domains >= min_domains)
+    "sim: walk vs image globals" sim_globals simi_globals;
+  List.iter
+    (fun engine ->
+      let par_vals, par_globals, domains =
+        run_par ?lanes ~engine (plan ()) ops
+      in
+      let tag = Exec.engine_name engine in
+      Alcotest.(check (list string))
+        (tag ^ ": per-call return values")
+        sim_vals par_vals;
+      Alcotest.(check (list (pair string int64)))
+        (tag ^ ": final integer globals")
+        sim_globals par_globals;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: ran on >= %d domains (got %d)" tag min_domains
+           domains)
+        true
+        (domains >= min_domains))
+    [ Exec.Walk; Exec.Image ]
 
 (* deterministic mixed workload over a keyspace twice the loaded range, so
    gets also miss and puts also insert *)

@@ -2,6 +2,7 @@
    domains) and the virtual-time scheduler. *)
 
 module Msqueue = Privagic_runtime.Msqueue
+module Vclock = Privagic_runtime.Vclock
 module Sched = Privagic_runtime.Sched
 
 let test_queue_fifo () =
@@ -182,8 +183,8 @@ let test_sched_block_resume () =
   ignore
     (Sched.spawn sched ~name:"waiter" ~at:0.0 (fun clock ->
          Sched.block (fun () -> !flag) (fun () -> 55.0);
-         clock := Float.max !clock 55.0;
-         observed := !clock));
+         Vclock.set clock (Float.max (Vclock.get clock) 55.0);
+         observed := (Vclock.get clock)));
   ignore
     (Sched.spawn sched ~name:"setter" ~at:10.0 (fun _ -> flag := true));
   ignore (Sched.run sched : Sched.outcome);
@@ -223,15 +224,15 @@ let test_sched_virtual_time_causality () =
   let consumer_clock = ref 0.0 in
   ignore
     (Sched.spawn sched ~name:"producer" ~at:0.0 (fun clock ->
-         clock := !clock +. 500.0;
-         mailbox := Some !clock));
+         Vclock.add clock (500.0);
+         mailbox := Some (Vclock.get clock)));
   ignore
     (Sched.spawn sched ~name:"consumer" ~at:0.0 (fun clock ->
          Sched.block
            (fun () -> !mailbox <> None)
            (fun () -> match !mailbox with Some t -> t | None -> 0.0);
-         clock := Float.max !clock (Option.value ~default:0.0 !mailbox);
-         consumer_clock := !clock));
+         Vclock.set clock (Float.max (Vclock.get clock) (Option.value ~default:0.0 !mailbox));
+         consumer_clock := Vclock.get clock));
   ignore (Sched.run sched : Sched.outcome);
   Alcotest.(check (float 0.001)) "consumer advanced to 500" 500.0
     !consumer_clock

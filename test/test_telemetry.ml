@@ -11,6 +11,7 @@
      substring check). *)
 
 module Tel = Privagic_telemetry
+module Vclock = Privagic_runtime.Vclock
 module Sched = Privagic_runtime.Sched
 module Msqueue = Privagic_runtime.Msqueue
 module P = Privagic_workloads.Programs
@@ -318,8 +319,8 @@ let prop_queue_linearizable =
                    (fun (delay, is_push) ->
                      (* the delay schedules this op among the other
                         fibers' ops: the adversarial interleaving *)
-                     clock := !clock +. float_of_int delay;
-                     Sched.block (fun () -> true) (fun () -> !clock);
+                     Vclock.add clock (float_of_int delay);
+                     Sched.block (fun () -> true) (fun () -> (Vclock.get clock));
                      if is_push then begin
                        let v = !next_val in
                        incr next_val;
