@@ -34,6 +34,34 @@ let pos_int what =
         | None -> Error (`Msg (Printf.sprintf "%s must be an integer" what))),
       Format.pp_print_int )
 
+(* TCP ports parse as 1..65535 ([serve] additionally allows 0 =
+   ephemeral): a fat-fingered "--port 111311" is a usage error reported
+   up front, not a connect timeout minutes later. *)
+let port_conv ?(ephemeral = false) () =
+  Arg.conv ~docv:"PORT"
+    ( (fun s ->
+        match int_of_string_opt s with
+        | Some n when (n >= 1 || (ephemeral && n = 0)) && n <= 65535 -> Ok n
+        | _ ->
+          Error
+            (`Msg
+               (if ephemeral then "port must be in 0..65535 (0 = ephemeral)"
+                else "port must be in 1..65535"))),
+      Format.pp_print_int )
+
+let hostport_conv =
+  Arg.conv ~docv:"HOST:PORT"
+    ( (fun s ->
+        match String.rindex_opt s ':' with
+        | None -> Error (`Msg "expected HOST:PORT")
+        | Some i -> (
+          let host = String.sub s 0 i in
+          let p = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt p with
+          | Some n when n >= 1 && n <= 65535 && host <> "" -> Ok (host, n)
+          | _ -> Error (`Msg "port of HOST:PORT must be in 1..65535"))),
+      fun fmt (h, p) -> Format.fprintf fmt "%s:%d" h p )
+
 let backend_arg =
   let backend_conv =
     Arg.conv
@@ -333,19 +361,27 @@ let experiments_action quick names =
 let bench_action quick out target =
   match target with
   | "vm" ->
-    ignore (Privagic_harness.Vmbench.run ~quick ~path:out ());
+    let path = Option.value out ~default:"BENCH_vm.json" in
+    ignore (Privagic_harness.Vmbench.run ~quick ~path ());
+    0
+  | "replication" ->
+    let path = Option.value out ~default:"BENCH_replication.json" in
+    ignore (Privagic_harness.Replbench.run ~quick ~path ());
     0
   | t ->
-    prerr_endline ("bench: unknown target '" ^ t ^ "' (expected: vm)");
+    prerr_endline
+      ("bench: unknown target '" ^ t ^ "' (expected: vm, replication)");
     2
 
 (* --- the serving layer --- *)
 
 module Server = Privagic_server.Server
 module Loadgen = Privagic_loadgen.Loadgen
+module Repl = Privagic_replication
 
 let serve_action mode auth trace backend lanes engine host port queue_depth
-    policy max_batch vsize conn_workers capacity path =
+    policy max_batch vsize conn_workers capacity replica_of repl_sync
+    repl_window cluster_key path =
   let plan = build_plan ~auth mode path in
   let bnd =
     match Server.bindings_of_plan plan with
@@ -394,24 +430,69 @@ let serve_action mode auth trace backend lanes engine host port queue_depth
       vsize;
       conn_workers;
       telemetry = rec_;
+      repl_window;
+      repl_cluster = cluster_key;
     }
   in
+  let replica_disp =
+    Option.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) replica_of
+  in
   let srv =
-    try Server.start cfg bnd store with Failure m ->
+    try Server.start ?replica_of:replica_disp cfg bnd store with Failure m ->
       prerr_endline ("serve: " ^ m);
       exit 2
   in
-  Format.printf "listening on %s:%d (%s program, %s backend, %d lanes)@."
-    host (Server.port srv) bnd.Server.b_family store.Server.st_name lanes;
+  Format.printf "listening on %s:%d (%s program, %s backend, %d lanes%s)@."
+    host (Server.port srv) bnd.Server.b_family store.Server.st_name lanes
+    (match replica_disp with
+    | Some a -> Printf.sprintf ", replica of %s" a
+    | None -> "");
   Format.printf
     "protocol: get/set/del/stats/quit/shutdown; drain with SIGINT@.";
+  (* as a replica: run the replication client against the primary, apply
+     its stream into this server, and promote on primary loss *)
+  let stopping = Atomic.make false in
+  let repl_client =
+    match replica_of with
+    | None -> None
+    | Some (rhost, rport) ->
+      let apply (d : Repl.Delta.t) =
+        match d.Repl.Delta.op with
+        | Repl.Delta.Put { key; payload; _ } ->
+          Server.apply_put srv ~seq:d.Repl.Delta.seq ~key ~payload
+        | Repl.Delta.Del { key } ->
+          Server.apply_del srv ~seq:d.Repl.Delta.seq ~key
+      in
+      let on_lost () =
+        if (not (Atomic.get stopping)) && not (Server.is_draining srv) then begin
+          Server.promote srv;
+          Printf.printf "primary lost: promoted to primary\n%!"
+        end
+      in
+      Some
+        (Repl.Replica.start ~sync:repl_sync ~cluster:cluster_key ~on_lost
+           ~host:rhost ~port:rport ~apply ())
+  in
   (* a drain must not run inside the signal handler: handlers interrupt an
-     arbitrary thread, possibly one the drain would join *)
-  let on_signal _ = ignore (Thread.create (fun () -> Server.drain srv) ()) in
+     arbitrary thread, possibly one the drain would join. The replication
+     client stops first, so a drain is never seen as a lost primary. *)
+  let on_signal _ =
+    ignore
+      (Thread.create
+         (fun () ->
+           Atomic.set stopping true;
+           (match repl_client with
+           | Some r -> Repl.Replica.stop r
+           | None -> ());
+           Server.drain srv)
+         ())
+  in
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
   (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
    with Invalid_argument _ -> ());
   Server.wait srv;
+  Atomic.set stopping true;
+  (match repl_client with Some r -> Repl.Replica.stop r | None -> ());
   Format.printf "drained.@.";
   List.iter
     (fun (k, v) -> Format.printf "  %-20s %s@." k v)
@@ -575,22 +656,26 @@ let bench_cmd =
   in
   let out =
     Arg.(
-      value & opt string "BENCH_vm.json"
-      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON record.")
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the JSON record (default BENCH_<target>.json).")
   in
   let target =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"TARGET" ~doc:"Benchmark target: 'vm' (walk-vs-image \
-                                     engine comparison, steps/sec).")
+      & info [] ~docv:"TARGET"
+          ~doc:"Benchmark target: 'vm' (walk-vs-image engine comparison, \
+                steps/sec) or 'replication' (sync/async delta shipping: \
+                throughput, lag percentiles, failover time).")
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Run a runtime benchmark target; 'vm' compares the \
-             tree-walking and linked-image engines (steps/sec, \
-             wall-clock) across workloads on both backends and writes \
-             BENCH_vm.json")
+             tree-walking and linked-image engines across workloads on \
+             both backends (BENCH_vm.json), 'replication' measures delta \
+             shipping against in-process replicas (BENCH_replication.json)")
     Term.(const bench_action $ quick $ out $ target)
 
 let serve_cmd =
@@ -600,16 +685,9 @@ let serve_cmd =
       & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
   in
   let port =
-    let port_conv =
-      Arg.conv
-        ( (fun s ->
-            match int_of_string_opt s with
-            | Some n when n >= 0 && n < 65536 -> Ok n
-            | _ -> Error (`Msg "port must be in 0..65535 (0 = ephemeral)")),
-          Format.pp_print_int )
-    in
     Arg.(
-      value & opt port_conv 11311
+      value
+      & opt (port_conv ~ephemeral:true ()) 11311
       & info [ "p"; "port" ] ~docv:"PORT"
           ~doc:"TCP port; 0 picks an ephemeral one (printed at startup).")
   in
@@ -663,6 +741,40 @@ let serve_cmd =
       & info [ "capacity" ] ~docv:"N"
           ~doc:"Capacity passed to the program's init entry (mc_init).")
   in
+  let replica_of =
+    Arg.(
+      value
+      & opt (some hostport_conv) None
+      & info [ "replica-of" ] ~docv:"HOST:PORT"
+          ~doc:"Run as a read-only replica of the primary at HOST:PORT: \
+                connect, stream its committed deltas (secret-colored \
+                payloads arrive sealed), apply them, and serve gets. When \
+                the primary drains or dies the replica promotes itself and \
+                starts accepting writes.")
+  in
+  let repl_sync =
+    Arg.(
+      value & flag
+      & info [ "repl-sync" ]
+          ~doc:"Replicate synchronously (with --replica-of): the primary \
+                holds each write's response until this replica acknowledged \
+                it, giving clients read-your-writes on replica reads.")
+  in
+  let repl_window =
+    Arg.(
+      value & opt (pos_int "repl-window") 1024
+      & info [ "repl-window" ] ~docv:"N"
+          ~doc:"Replication flow control: unacknowledged in-flight deltas \
+                allowed per replica connection (as a primary).")
+  in
+  let cluster_key =
+    Arg.(
+      value & opt string "privagic"
+      & info [ "cluster-key" ] ~docv:"SECRET"
+          ~doc:"Cluster secret the per-enclave sealing keys derive from \
+                (models attestation-time key provisioning); primary and \
+                replicas must agree.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a partitioned key-value program over TCP \
@@ -670,7 +782,8 @@ let serve_cmd =
     Term.(const serve_action $ mode_arg $ auth_arg $ trace_arg
           $ backend_arg `Parallel $ lanes_arg $ engine_arg $ host $ port
           $ queue_depth $ policy $ max_batch $ vsize $ conn_workers
-          $ capacity $ file_arg)
+          $ capacity $ replica_of $ repl_sync $ repl_window $ cluster_key
+          $ file_arg)
 
 let loadgen_cmd =
   let host =
@@ -680,7 +793,7 @@ let loadgen_cmd =
   in
   let port =
     Arg.(
-      value & opt (pos_int "port") 11311
+      value & opt (port_conv ()) 11311
       & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
   in
   let clients =

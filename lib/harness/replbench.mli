@@ -1,0 +1,38 @@
+(** Replication benchmark ([privagic bench replication]): the
+    memcached-lite server under a write-heavy YCSB mix, measured without
+    replicas, with async replicas, and with sync replicas — all
+    in-process over real loopback TCP — plus a failover drill (drain the
+    primary, time until a promoted replica serves writes).
+
+    The metrics are the ones §8.10's design argues about: sync-vs-async
+    throughput cost (the write fence), replication lag percentiles
+    (send→ack, microseconds), sealed-frame counts (the ciphertext-only
+    transport at work), and failover time. *)
+
+type cell = {
+  rb_mode : string;            (** "none" | "async" | "sync" *)
+  rb_replicas : int;
+  rb_ops : int;
+  rb_ops_ok : int;
+  rb_wall_seconds : float;
+  rb_throughput_kops : float;
+  rb_latency_us : Privagic_telemetry.Metrics.pctiles;  (** client side *)
+  rb_lag_us : Privagic_telemetry.Metrics.pctiles;      (** send→ack *)
+  rb_shipped : int;            (** delta frames written to the wire *)
+  rb_sealed : int;             (** payloads sealed before shipping *)
+  rb_primary_seq : int;        (** primary commit-log head at drain *)
+  rb_replica_seqs : int list;  (** per-replica applied seq (convergence) *)
+}
+
+type failover = {
+  fo_seconds : float;   (** drain start → promoted replica stores a write *)
+  fo_deltas : int;      (** deltas the replica had applied at promotion *)
+}
+
+(** Run every cell. [quick] shrinks record/operation counts. *)
+val run_all : ?quick:bool -> unit -> cell list * failover
+
+val write_json : path:string -> quick:bool -> cell list * failover -> unit
+
+(** [run_all] + printed table + {!write_json}. *)
+val run : ?quick:bool -> ?path:string -> unit -> cell list * failover

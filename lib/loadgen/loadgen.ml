@@ -333,6 +333,14 @@ let write_json ~path cfg r =
   p "  \"hits\": %d, \"misses\": %d,\n" r.r_hits r.r_misses;
   p "  \"wall_seconds\": %.6f,\n" r.r_wall_seconds;
   p "  \"throughput_kops\": %.3f,\n" r.r_throughput_kops;
+  (* open-loop honesty: the rate asked for next to the rate sustained —
+     a saturated server shows up as achieved < target, not as a silently
+     stretched run ("rate" above stays for existing readers) *)
+  p "  \"target_rate_ops\": %g,\n" r.r_target_rate;
+  p "  \"achieved_rate_ops\": %.1f,\n"
+    (if r.r_wall_seconds > 0.0 then
+       float_of_int r.r_ops_ok /. r.r_wall_seconds
+     else 0.0);
   p "  \"latency_us\": { \"n\": %d, \"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f, \"max\": %.1f }\n"
     l.Tel.Metrics.n l.Tel.Metrics.p_mean l.Tel.Metrics.p50 l.Tel.Metrics.p95
     l.Tel.Metrics.p99 l.Tel.Metrics.p_max;

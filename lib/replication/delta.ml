@@ -1,0 +1,188 @@
+(* See the .mli. The incremental reader mirrors the serving protocol's
+   two-state machine (awaiting a line / awaiting a counted block) over a
+   growable compacting buffer; the payload block is binary-safe, which
+   matters here because sealed bytes routinely contain '\r' and '\n'. *)
+
+type op =
+  | Put of { key : int; color : string; payload : string }
+  | Del of { key : int }
+
+type t = { seq : int; op : op }
+
+let max_payload = (64 * 1024) + 64
+
+(* ------------------------------------------------------------------ *)
+(* the growable input buffer (same shape as Protocol's) *)
+
+type ibuf = { mutable data : Bytes.t; mutable start : int; mutable len : int }
+
+let ibuf () = { data = Bytes.create 4096; start = 0; len = 0 }
+
+let ibuf_add b (src : Bytes.t) n =
+  if b.start > 0 && (b.start > 4096 || b.len = 0) then begin
+    Bytes.blit b.data b.start b.data 0 b.len;
+    b.start <- 0
+  end;
+  let need = b.start + b.len + n in
+  if need > Bytes.length b.data then begin
+    let data = Bytes.create (max need (2 * Bytes.length b.data)) in
+    Bytes.blit b.data b.start data 0 b.len;
+    b.data <- data;
+    b.start <- 0
+  end;
+  Bytes.blit src 0 b.data (b.start + b.len) n;
+  b.len <- b.len + n
+
+let ibuf_line b =
+  let rec find i =
+    if i >= b.start + b.len then None
+    else if Bytes.get b.data i = '\n' then Some i
+    else find (i + 1)
+  in
+  match find b.start with
+  | None -> None
+  | Some nl ->
+    let stop =
+      if nl > b.start && Bytes.get b.data (nl - 1) = '\r' then nl - 1 else nl
+    in
+    let line = Bytes.sub_string b.data b.start (stop - b.start) in
+    b.len <- b.len - (nl + 1 - b.start);
+    b.start <- nl + 1;
+    Some line
+
+let ibuf_block b n =
+  if b.len < n + 1 then None
+  else
+    let term_len =
+      if Bytes.get b.data (b.start + n) = '\r' then
+        if b.len >= n + 2 && Bytes.get b.data (b.start + n + 1) = '\n' then 2
+        else -1
+      else if Bytes.get b.data (b.start + n) = '\n' then 1
+      else -2
+    in
+    if term_len = -1 then None
+    else if term_len = -2 then Some None
+    else begin
+      let block = Bytes.sub_string b.data b.start n in
+      b.len <- b.len - (n + term_len);
+      b.start <- b.start + n + term_len;
+      Some (Some block)
+    end
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let nat_of s =
+  match int_of_string_opt s with Some n when n >= 0 -> Some n | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* rendering *)
+
+let render_ok seq = Printf.sprintf "REPLOK %d\r\n" seq
+
+let render ~sealer d =
+  match d.op with
+  | Del { key } -> Printf.sprintf "DDEL %d %d\r\n" d.seq key
+  | Put { key; color; payload } ->
+    let sealed, bytes =
+      match sealer with
+      | Some seal when color <> "U" ->
+        (1, seal ~color ~nonce:d.seq payload)
+      | _ -> (0, payload)
+    in
+    Printf.sprintf "DPUT %d %d %s %d %d\r\n%s\r\n" d.seq key color sealed
+      (String.length bytes) bytes
+
+let render_hello ~sync ~from_seq =
+  Printf.sprintf "repl %s %d\r\n" (if sync then "sync" else "async") from_seq
+
+let render_ack seq = Printf.sprintf "ack %d\r\n" seq
+
+(* ------------------------------------------------------------------ *)
+(* stream reader (replica side) *)
+
+type frame =
+  | Ok_hello of int
+  | Frame of { d : t; sealed : bool }
+  | Corrupt of string
+
+type rstate =
+  | Line
+  | Body of { seq : int; key : int; color : string; sealed : bool; len : int }
+  | Broken  (* a Corrupt frame was emitted; consume nothing further *)
+
+type reader = { rb : ibuf; mutable rstate : rstate }
+
+let reader () = { rb = ibuf (); rstate = Line }
+
+let feed r buf n =
+  ibuf_add r.rb buf n;
+  let out = ref [] in
+  let emit f = out := f :: !out in
+  let corrupt msg =
+    r.rstate <- Broken;
+    emit (Corrupt msg)
+  in
+  let rec go () =
+    match r.rstate with
+    | Broken -> ()
+    | Body { seq; key; color; sealed; len } -> (
+      match ibuf_block r.rb len with
+      | None -> ()
+      | Some None -> corrupt "payload block not followed by a terminator"
+      | Some (Some payload) ->
+        r.rstate <- Line;
+        emit (Frame { d = { seq; op = Put { key; color; payload } }; sealed });
+        go ())
+    | Line -> (
+      match ibuf_line r.rb with
+      | None -> ()
+      | Some line ->
+        (match split_words line with
+        | [] -> () (* tolerate stray blank lines, as the protocol does *)
+        | [ "REPLOK"; s ] -> (
+          match nat_of s with
+          | Some seq -> emit (Ok_hello seq)
+          | None -> corrupt ("bad REPLOK line: " ^ line))
+        | [ "DDEL"; s; k ] -> (
+          match (nat_of s, nat_of k) with
+          | Some seq, Some key ->
+            emit (Frame { d = { seq; op = Del { key } }; sealed = false })
+          | _ -> corrupt ("bad DDEL line: " ^ line))
+        | [ "DPUT"; s; k; color; sl; ln ] -> (
+          match (nat_of s, nat_of k, nat_of sl, nat_of ln) with
+          | Some seq, Some key, Some sealed, Some len
+            when sealed <= 1 && len <= max_payload ->
+            r.rstate <- Body { seq; key; color; sealed = sealed = 1; len }
+          | _ -> corrupt ("bad DPUT line: " ^ line))
+        | w :: _ -> corrupt ("unknown replication frame " ^ w));
+        go ())
+  in
+  go ();
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* ack reader (primary side) *)
+
+type ack_reader = { ab : ibuf }
+
+let ack_reader () = { ab = ibuf () }
+
+let feed_acks a buf n =
+  ibuf_add a.ab buf n;
+  let out = ref [] in
+  let rec go () =
+    match ibuf_line a.ab with
+    | None -> ()
+    | Some line ->
+      (match split_words line with
+      | [] -> ()
+      | [ "ack"; s ] -> (
+        match nat_of s with
+        | Some seq -> out := Ok seq :: !out
+        | None -> out := Error ("bad ack line: " ^ line) :: !out)
+      | w :: _ -> out := Error ("unexpected line from replica: " ^ w) :: !out);
+      go ()
+  in
+  go ();
+  List.rev !out

@@ -1,0 +1,34 @@
+(** The in-memory commit log: the ordered sequence of deltas a store has
+    committed, shared between the committing executors (writers) and the
+    shipper threads (readers).
+
+    Sequence numbers are 1-based and dense. On a primary, {!append}
+    assigns them — it is called under the server's store mutex, so the
+    log order {e is} the commit order. On a replica, {!append_at}
+    mirrors the primary's numbering as deltas apply, which keeps a
+    promoted replica able to serve its own downstream replicas from the
+    same stream positions.
+
+    The log retains every delta (no truncation): a replica may join at
+    any time with [from_seq = 1] and replay history. Memory is bounded
+    by the run, not by a retention window — the serving workloads commit
+    at most a few hundred thousand small deltas. *)
+
+type t
+
+val create : unit -> t
+
+(** Append under the committing lock; returns the assigned seq. *)
+val append : t -> Delta.op -> int
+
+(** Mirror an already-numbered delta; [seq] must be exactly [head + 1].
+    @raise Invalid_argument on a gap or replay. *)
+val append_at : t -> seq:int -> Delta.op -> unit
+
+(** Latest assigned seq; 0 when empty. *)
+val head : t -> int
+
+val get : t -> int -> Delta.t option
+
+(** The whole log, in seq order (for convergence oracles and tests). *)
+val to_list : t -> Delta.t list

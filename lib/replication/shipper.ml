@@ -1,0 +1,253 @@
+(* See the .mli. One thread per replica connection; shared state (the
+   connection list and each connection's cursor/ack marks) is guarded by
+   one hub mutex — updates are a few machine words, contention is
+   per-delta, and the store's own per-op cost dwarfs it.
+
+   The wire discipline per thread: send frames while the log has entries
+   beyond the cursor and the in-flight window has room, otherwise poll
+   the socket for acks with a short select. Sealing happens at render
+   time, so the log itself stays plaintext (it never leaves the process;
+   the wire never sees a secret-colored payload unsealed). *)
+
+module Tel = Privagic_telemetry
+
+type conn = {
+  fd : Unix.file_descr;
+  sync : bool;
+  acks : Delta.ack_reader;
+  inflight : (int * float) Queue.t;  (* seq, sent_at (hub mutex) *)
+  mutable cursor : int;              (* next seq to send *)
+  mutable acked : int;
+  mutable alive : bool;
+}
+
+type t = {
+  log : Log.t;
+  window : int;
+  keys : (string, Seal.key) Hashtbl.t;  (* per-color, derived lazily *)
+  cluster : string;
+  span : string -> (unit -> unit) -> unit;
+  mu : Mutex.t;
+  mutable conns : conn list;
+  mutable threads : Thread.t list;
+  mutable draining : bool;
+  mutable drain_deadline : float;
+  (* metrics (hub mutex) *)
+  h_lag : Tel.Metrics.histogram;
+  mutable m_last_lag_us : float;
+  mutable m_shipped : int;
+  mutable m_sealed : int;
+  mutable m_seal_cycles : float;
+}
+
+let create ?(window = 1024) ?(cluster = "privagic") ?(span = fun _ f -> f ())
+    ~log () =
+  if window < 1 then invalid_arg "Shipper.create: window must be positive";
+  let metrics = Tel.Metrics.create () in
+  {
+    log;
+    window;
+    keys = Hashtbl.create 4;
+    cluster;
+    span;
+    mu = Mutex.create ();
+    conns = [];
+    threads = [];
+    draining = false;
+    drain_deadline = infinity;
+    h_lag = Tel.Metrics.histogram metrics "replication lag (us)";
+    m_last_lag_us = 0.0;
+    m_shipped = 0;
+    m_sealed = 0;
+    m_seal_cycles = 0.0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  let r = f () in
+  Mutex.unlock t.mu;
+  r
+
+let key_for t color =
+  (* hub mutex held: the table is tiny and shared across threads *)
+  match Hashtbl.find_opt t.keys color with
+  | Some k -> k
+  | None ->
+    let k = Seal.derive ~cluster:t.cluster color in
+    Hashtbl.replace t.keys color k;
+    k
+
+(* Full write on a non-blocking socket; false when the peer is gone or
+   stalled past 30 s (a wedged replica must not wedge the primary). *)
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec go off =
+    if off >= Bytes.length b then true
+    else
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        if Unix.gettimeofday () > deadline then false
+        else begin
+          (try ignore (Unix.select [] [ fd ] [] 0.25)
+           with Unix.Unix_error _ -> ());
+          go off
+        end
+      | exception Unix.Unix_error _ -> false
+  in
+  go 0
+
+let note_acked t c seq =
+  locked t (fun () ->
+      if seq > c.acked then c.acked <- seq;
+      let now = Unix.gettimeofday () in
+      let continue = ref true in
+      while !continue do
+        match Queue.peek_opt c.inflight with
+        | Some (s, sent_at) when s <= seq ->
+          ignore (Queue.pop c.inflight);
+          let lag = (now -. sent_at) *. 1e6 in
+          Tel.Metrics.observe t.h_lag lag;
+          t.m_last_lag_us <- lag
+        | _ -> continue := false
+      done)
+
+let drop t c =
+  locked t (fun () -> c.alive <- false);
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(* Read whatever acks arrived; false on EOF/error. *)
+let pump_acks t c buf =
+  match Unix.read c.fd buf 0 (Bytes.length buf) with
+  | 0 -> false
+  | n ->
+    List.for_all
+      (fun r ->
+        match r with Ok seq -> note_acked t c seq; true | Error _ -> false)
+      (Delta.feed_acks c.acks buf n)
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> true
+  | exception Unix.Unix_error _ -> false
+
+let ship_thread t c =
+  let buf = Bytes.create 4096 in
+  let sealer ~color ~nonce payload =
+    locked t (fun () ->
+        let k = key_for t color in
+        t.m_sealed <- t.m_sealed + 1;
+        t.m_seal_cycles <-
+          t.m_seal_cycles +. Seal.cost_cycles (String.length payload);
+        Seal.seal ~key:k ~nonce payload)
+  in
+  let ok = ref (write_all c.fd (Delta.render_ok c.cursor)) in
+  while !ok && c.alive do
+    let head = Log.head t.log in
+    let in_flight = locked t (fun () -> c.cursor - 1 - c.acked) in
+    if c.cursor <= head && in_flight < t.window then begin
+      (* a run of frames in one write, bounded by the window *)
+      let stop = min head (c.cursor + (t.window - in_flight) - 1) in
+      let frames = Buffer.create 1024 in
+      let sent = ref [] in
+      let cur = ref c.cursor in
+      while !cur <= stop do
+        (match Log.get t.log !cur with
+        | Some d ->
+          Buffer.add_string frames (Delta.render ~sealer:(Some sealer) d);
+          sent := d.Delta.seq :: !sent
+        | None -> ());
+        incr cur
+      done;
+      let now = Unix.gettimeofday () in
+      locked t (fun () ->
+          List.iter
+            (fun s -> Queue.push (s, now) c.inflight)
+            (List.rev !sent);
+          c.cursor <- stop + 1;
+          t.m_shipped <- t.m_shipped + List.length !sent);
+      t.span "repl_ship" (fun () ->
+          ok := write_all c.fd (Buffer.contents frames));
+      if !ok then ok := pump_acks t c buf
+    end
+    else begin
+      (* nothing to send (or window full): wait for acks or new commits *)
+      (match Unix.select [ c.fd ] [] [] 0.002 with
+      | [], _, _ -> ()
+      | _ -> ok := pump_acks t c buf
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> ok := false);
+      (* drain: once the tail is flushed, linger only for pending acks *)
+      if
+        t.draining
+        && c.cursor > Log.head t.log
+        && (c.acked >= Log.head t.log
+           || Unix.gettimeofday () > t.drain_deadline)
+      then ok := false
+    end
+  done;
+  drop t c
+
+let register t fd ~sync ~from_seq =
+  let refuse = locked t (fun () -> t.draining) in
+  if refuse then (try Unix.close fd with Unix.Unix_error _ -> ())
+  else begin
+    let c =
+      {
+        fd;
+        sync;
+        acks = Delta.ack_reader ();
+        inflight = Queue.create ();
+        cursor = max 1 from_seq;
+        acked = max 0 (from_seq - 1);
+        alive = true;
+      }
+    in
+    let th = Thread.create (fun () -> ship_thread t c) () in
+    locked t (fun () ->
+        t.conns <- c :: t.conns;
+        t.threads <- th :: t.threads)
+  end
+
+let connected t =
+  locked t (fun () -> List.length (List.filter (fun c -> c.alive) t.conns))
+
+let sync_connected t =
+  locked t (fun () ->
+      List.length (List.filter (fun c -> c.alive && c.sync) t.conns))
+
+let wait_synced t ~seq ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let pending =
+      locked t (fun () ->
+          List.exists (fun c -> c.alive && c.sync && c.acked < seq) t.conns)
+    in
+    if not pending then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.yield ();
+      Unix.sleepf 0.0005;
+      go ()
+    end
+  in
+  go ()
+
+let last_lag_us t = locked t (fun () -> t.m_last_lag_us)
+let lag_pctiles t = locked t (fun () -> Tel.Metrics.pctiles t.h_lag)
+let shipped t = locked t (fun () -> t.m_shipped)
+let sealed_count t = locked t (fun () -> t.m_sealed)
+let seal_cycles t = locked t (fun () -> t.m_seal_cycles)
+
+let drain t ~timeout_s =
+  let already =
+    locked t (fun () ->
+        let a = t.draining in
+        if not a then begin
+          t.draining <- true;
+          t.drain_deadline <- Unix.gettimeofday () +. timeout_s
+        end;
+        a)
+  in
+  if not already then begin
+    let threads = locked t (fun () -> t.threads) in
+    List.iter Thread.join threads
+  end

@@ -12,6 +12,7 @@ type request =
   | Stats
   | Quit
   | Shutdown
+  | Repl of { r_sync : bool; r_from : int }
 
 type response =
   | Value of int * string
@@ -144,6 +145,11 @@ let feed r buf n =
         | [ "stats" ] -> emit (`Req Stats)
         | [ "quit" ] -> emit (`Req Quit)
         | [ "shutdown" ] -> emit (`Req Shutdown)
+        | [ "repl"; mode; from ] -> (
+          match (mode, int_of_string_opt from) with
+          | ("sync" | "async"), Some from_seq when from_seq >= 1 ->
+            emit (`Req (Repl { r_sync = mode = "sync"; r_from = from_seq }))
+          | _ -> emit (`Bad "bad repl handshake"))
         | w :: _ -> emit (`Bad ("unknown command " ^ w)));
         go ())
   in
@@ -244,3 +250,5 @@ let render_request = function
   | Stats -> "stats\r\n"
   | Quit -> "quit\r\n"
   | Shutdown -> "shutdown\r\n"
+  | Repl { r_sync; r_from } ->
+    Printf.sprintf "repl %s %d\r\n" (if r_sync then "sync" else "async") r_from

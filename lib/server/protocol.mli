@@ -31,6 +31,12 @@ type request =
   | Stats
   | Quit
   | Shutdown
+  | Repl of { r_sync : bool; r_from : int }
+      (** [repl <sync|async> <from_seq>] — replication handshake: the
+          sender is a replica asking for the delta stream starting at
+          [r_from] (1-based). The server detaches the connection from the
+          request loop and hands it to the shipper; the replica must send
+          nothing further until it has received frames. *)
 
 type response =
   | Value of int * string  (** hit: key, stored bytes *)

@@ -27,6 +27,7 @@
 module Tel = Privagic_telemetry
 module Msq = Privagic_runtime.Msqueue
 module Parallel = Privagic_parallel.Parallel
+module Repl = Privagic_replication
 open Privagic_vm
 
 type store = {
@@ -88,21 +89,38 @@ type bindings = {
   b_get : string;
   b_del : string option;
   b_init : string option;
+  b_vcolor : string;
 }
 
 let known_families =
   [
     { b_family = "memcached"; b_set = "mc_set"; b_get = "mc_get";
-      b_del = Some "mc_delete"; b_init = Some "mc_init" };
+      b_del = Some "mc_delete"; b_init = Some "mc_init"; b_vcolor = "U" };
     { b_family = "hashmap"; b_set = "hm_put"; b_get = "hm_get";
-      b_del = None; b_init = None };
+      b_del = None; b_init = None; b_vcolor = "U" };
     { b_family = "hashmap-2color"; b_set = "h2_put"; b_get = "h2_get";
-      b_del = None; b_init = None };
+      b_del = None; b_init = None; b_vcolor = "U" };
     { b_family = "treemap"; b_set = "tm_put"; b_get = "tm_get";
-      b_del = None; b_init = None };
+      b_del = None; b_init = None; b_vcolor = "U" };
     { b_family = "linked-list"; b_set = "ll_put"; b_get = "ll_get";
-      b_del = None; b_init = None };
+      b_del = None; b_init = None; b_vcolor = "U" };
   ]
+
+(* The color under which stored values travel on the replication wire:
+   the enclave the plan placed the store's globals in ("U" for a plain
+   plan, whose store is unsafe memory anyway). When the plan spans two
+   enclaves (hashmap-2color: keys blue, values red) the value bytes live
+   in red, hence the preference. *)
+let value_color (plan : Privagic_partition.Plan.t) =
+  let named =
+    List.filter_map
+      (fun (_, c) ->
+        match c with Privagic_pir.Color.Named n -> Some n | _ -> None)
+      plan.global_placement
+  in
+  match named with
+  | [] -> "U"
+  | l -> if List.mem "red" l then "red" else List.hd l
 
 let bindings_of_plan (plan : Privagic_partition.Plan.t) =
   let have name =
@@ -110,7 +128,9 @@ let bindings_of_plan (plan : Privagic_partition.Plan.t) =
       (fun (e : Privagic_partition.Plan.entry_plan) -> e.ep_name = name)
       plan.entries
   in
-  List.find_opt (fun b -> have b.b_set && have b.b_get) known_families
+  Option.map
+    (fun b -> { b with b_vcolor = value_color plan })
+    (List.find_opt (fun b -> have b.b_set && have b.b_get) known_families)
 
 type policy = Block | Shed
 
@@ -124,6 +144,8 @@ type config = {
   vsize : int;
   conn_workers : int;
   telemetry : Tel.Recorder.t;
+  repl_window : int;
+  repl_cluster : string;
 }
 
 let default_config =
@@ -137,6 +159,8 @@ let default_config =
     vsize = 32;
     conn_workers = 2;
     telemetry = Tel.Recorder.null;
+    repl_window = 1024;
+    repl_cluster = "privagic";
   }
 
 (* ------------------------------------------------------------------ *)
@@ -149,10 +173,11 @@ type conn = {
   c_reader : Protocol.reader;
   c_pending : job Queue.t;         (* owner worker only *)
   c_wmu : Mutex.t;                 (* serializes writes to c_fd *)
-  c_mu : Mutex.t;                  (* guards the two flags below *)
+  c_mu : Mutex.t;                  (* guards the three flags below *)
   mutable c_in_flight : bool;      (* a request of ours is in the lanes *)
   mutable c_dead : bool;           (* peer gone / write failed: discard *)
   mutable c_eof : bool;            (* stop reading; still flush pending *)
+  mutable c_detached : bool;       (* fd handed to the shipper: forget it *)
   c_worker : int;
 }
 
@@ -165,6 +190,8 @@ type cw = {
   cw_wake_w : Unix.file_descr;
 }
 
+type role = Primary | Replica_of of string
+
 type t = {
   cfg : config;
   bnd : bindings;
@@ -172,6 +199,13 @@ type t = {
   listen_fd : Unix.file_descr;
   t_port : int;
   started_at : float;
+  (* replication *)
+  repl_log : Repl.Log.t;
+  hub : Repl.Shipper.t;
+  role_mu : Mutex.t;
+  mutable t_role : role;
+  n_applied : int Atomic.t;        (* deltas applied while a replica *)
+  n_fence_timeouts : int Atomic.t; (* sync acks that timed out *)
   queues : work Msq.t array;
   depths : int Atomic.t array;
   lengths : (int, int) Hashtbl.t;  (* key -> stored length; store_mu *)
@@ -299,6 +333,71 @@ let exec_del t key =
     | Ok _ -> Protocol.Not_found
     | Error m -> Protocol.Error_msg ("exec: " ^ m))
 
+(* ------------------------------------------------------------------ *)
+(* replica-side application: a delta from the primary executes through
+   the same entry paths a client request would, under the store mutex,
+   and mirrors the primary's numbering into the local log — which is
+   what lets a promoted replica serve downstream replicas (and its own
+   convergence oracle) from the same stream positions. *)
+
+let mirror t ~seq op =
+  match Repl.Log.append_at t.repl_log ~seq op with
+  | () ->
+    Atomic.incr t.n_applied;
+    Ok ()
+  | exception Invalid_argument m -> Error m
+
+let apply_put t ~seq ~key ~payload =
+  Mutex.lock t.store_mu;
+  let r =
+    match exec_set t key payload with
+    | Protocol.Stored ->
+      mirror t ~seq
+        (Repl.Delta.Put { key; color = t.bnd.b_vcolor; payload })
+    | Protocol.Error_msg m -> Error m
+    | _ -> Error "unexpected response applying put"
+  in
+  Mutex.unlock t.store_mu;
+  r
+
+let apply_del t ~seq ~key =
+  Mutex.lock t.store_mu;
+  let r =
+    match exec_del t key with
+    (* Not_found still mirrors: the primary numbered this delta, and the
+       replica's log must stay dense to keep stream positions aligned *)
+    | Protocol.Deleted | Protocol.Not_found ->
+      mirror t ~seq (Repl.Delta.Del { key })
+    | Protocol.Error_msg m -> Error m
+    | _ -> Error "unexpected response applying del"
+  in
+  Mutex.unlock t.store_mu;
+  r
+
+let promote t =
+  Mutex.lock t.role_mu;
+  t.t_role <- Primary;
+  Mutex.unlock t.role_mu
+
+let role_name t =
+  Mutex.lock t.role_mu;
+  let r =
+    match t.t_role with
+    | Primary -> "primary"
+    | Replica_of a -> "replica:" ^ a
+  in
+  Mutex.unlock t.role_mu;
+  r
+
+let is_replica t =
+  Mutex.lock t.role_mu;
+  let r = match t.t_role with Primary -> false | Replica_of _ -> true in
+  Mutex.unlock t.role_mu;
+  r
+
+let repl_log t = t.repl_log
+let repl_hub t = t.hub
+
 (* Execute a batch. Duplicate gets inside the batch are served from a
    key cache — exact, because the whole batch runs atomically under the
    store mutex and sets/dels of the batch refresh the cache in order. *)
@@ -319,6 +418,12 @@ let exec_batch t lane (batch : work list) =
       Mutex.unlock t.tel_mu;
       r
     end
+  in
+  (* highest delta seq committed by this batch; 0 when it wrote nothing *)
+  let max_seq = ref 0 in
+  let committed op =
+    let seq = Repl.Log.append t.repl_log op in
+    if seq > !max_seq then max_seq := seq
   in
   Mutex.lock t.store_mu;
   let responses =
@@ -350,18 +455,26 @@ let exec_batch t lane (batch : work list) =
             Atomic.incr t.n_sets;
             let r = tel_span "set" (fun () -> exec_set t k v) in
             (match r with
-            | Protocol.Stored -> Hashtbl.replace cache k (Protocol.Value (k, v))
+            | Protocol.Stored ->
+              committed
+                (Repl.Delta.Put
+                   { key = k; color = t.bnd.b_vcolor; payload = v });
+              Hashtbl.replace cache k (Protocol.Value (k, v))
             | _ -> Hashtbl.remove cache k);
             r
           | Protocol.Del k ->
             Atomic.incr t.n_dels;
             let r = tel_span "del" (fun () -> exec_del t k) in
             (match r with
-            | Protocol.Deleted | Protocol.Not_found ->
+            | Protocol.Deleted ->
+              (* Not_found has no visible effect, so it ships no delta *)
+              committed (Repl.Delta.Del { key = k });
               Hashtbl.replace cache k Protocol.Miss
+            | Protocol.Not_found -> Hashtbl.replace cache k Protocol.Miss
             | _ -> Hashtbl.remove cache k);
             r
-          | Protocol.Stats | Protocol.Quit | Protocol.Shutdown ->
+          | Protocol.Stats | Protocol.Quit | Protocol.Shutdown
+          | Protocol.Repl _ ->
             (* never enqueued; the owner answers these locally *)
             Protocol.Error_msg "internal: local verb in lane queue"
         in
@@ -369,6 +482,15 @@ let exec_batch t lane (batch : work list) =
       batch
   in
   Mutex.unlock t.store_mu;
+  (* Sync-replication fence: hold this batch's responses until every
+     live sync replica acknowledged its last commit — that is what gives
+     clients read-your-writes on replica reads. Waiting happens outside
+     the store mutex, so other lanes keep executing; a wedged replica
+     degrades to async after the timeout (counted, and it stops gating
+     once its connection dies). *)
+  if !max_seq > 0 && Repl.Shipper.sync_connected t.hub > 0 then
+    if not (Repl.Shipper.wait_synced t.hub ~seq:!max_seq ~timeout_s:5.0) then
+      Atomic.incr t.n_fence_timeouts;
   (* Responses leave after the mutex: a stalled client can delay its
      lane's writes, never the store. *)
   List.iter
@@ -474,6 +596,21 @@ let rec dispatch t c =
         (* drain joins this very worker: do it from a fresh thread *)
         ignore (Thread.create (fun () -> !drain_ref t) ());
         dispatch t c
+      | Protocol.Repl { r_sync; r_from } ->
+        (* replication handshake: this connection leaves the request
+           loop for good — the shipper owns the fd from here on. The
+           replica sends nothing between its hello and the first frames,
+           so the parse buffer is empty at the handoff. *)
+        Queue.clear c.c_pending;
+        Mutex.lock c.c_mu;
+        c.c_detached <- true;
+        Mutex.unlock c.c_mu;
+        Repl.Shipper.register t.hub c.c_fd ~sync:r_sync ~from_seq:r_from;
+        false
+      | (Protocol.Set _ | Protocol.Del _) when is_replica t ->
+        (* replicas apply the primary's stream, never client writes *)
+        write_resp c (Protocol.Error_msg "read-only replica");
+        dispatch t c
       | Protocol.Get _ | Protocol.Set _ | Protocol.Del _ ->
         let wk = { wk_conn = c; wk_req = req; wk_enq_at = now_us t } in
         Mutex.lock c.c_mu;
@@ -552,6 +689,18 @@ let worker_loop t i =
       List.filter
         (fun c ->
           let close_now = dispatch t c in
+          let detached =
+            Mutex.lock c.c_mu;
+            let d = c.c_detached in
+            Mutex.unlock c.c_mu;
+            d
+          in
+          if detached then begin
+            (* the shipper owns the fd now; it is no longer a client *)
+            Atomic.decr t.conns_open;
+            false
+          end
+          else
           let flushed =
             Queue.is_empty c.c_pending
             &&
@@ -619,6 +768,7 @@ let acceptor_loop t =
             c_in_flight = false;
             c_dead = false;
             c_eof = false;
+            c_detached = false;
             c_worker = i;
           }
         in
@@ -637,7 +787,7 @@ let acceptor_loop t =
 (* ------------------------------------------------------------------ *)
 (* lifecycle *)
 
-let start cfg bnd store =
+let start ?replica_of cfg bnd store =
   if cfg.lanes < 1 then invalid_arg "Server.start: lanes must be positive";
   if cfg.conn_workers < 1 then
     invalid_arg "Server.start: conn_workers must be positive";
@@ -665,6 +815,31 @@ let start cfg bnd store =
         else
           Tel.Recorder.fresh_track cfg.telemetry (Printf.sprintf "srv/lane%d" i))
   in
+  let started_at = Unix.gettimeofday () in
+  let tel_mu = Mutex.create () in
+  (* the shipper threads record their sends on a track of their own *)
+  let repl_span =
+    if cfg.telemetry == Tel.Recorder.null then fun _ f -> f ()
+    else begin
+      let track = Tel.Recorder.fresh_track cfg.telemetry "srv/repl" in
+      let record name ev =
+        Mutex.lock tel_mu;
+        Tel.Recorder.record cfg.telemetry
+          ~at:((Unix.gettimeofday () -. started_at) *. 1e6)
+          ~track ~name ev;
+        Mutex.unlock tel_mu
+      in
+      fun name f ->
+        record name Tel.Event.Req_begin;
+        f ();
+        record name Tel.Event.Req_end
+    end
+  in
+  let repl_log = Repl.Log.create () in
+  let hub =
+    Repl.Shipper.create ~window:cfg.repl_window ~cluster:cfg.repl_cluster
+      ~span:repl_span ~log:repl_log ()
+  in
   let t =
     {
       cfg;
@@ -672,14 +847,23 @@ let start cfg bnd store =
       store;
       listen_fd;
       t_port;
-      started_at = Unix.gettimeofday ();
+      started_at;
+      repl_log;
+      hub;
+      role_mu = Mutex.create ();
+      t_role =
+        (match replica_of with
+        | Some addr -> Replica_of addr
+        | None -> Primary);
+      n_applied = Atomic.make 0;
+      n_fence_timeouts = Atomic.make 0;
       queues = Array.init cfg.lanes (fun _ -> Msq.create ());
       depths = Array.init cfg.lanes (fun _ -> Atomic.make 0);
       lengths = Hashtbl.create 1024;
       vbuf = store.st_alloc (max 1 cfg.vsize);
       obuf = store.st_alloc (max 1 cfg.vsize);
       store_mu = Mutex.create ();
-      tel_mu = Mutex.create ();
+      tel_mu;
       lane_tracks;
       cws =
         Array.init cfg.conn_workers (fun _ ->
@@ -745,6 +929,9 @@ let drain t =
        queues so executors exit once they observe empty-after-close *)
     Array.iter Msq.close t.queues;
     List.iter Thread.join t.executors;
+    (* the log is final now: flush its tail to every replica and wait
+       (bounded) for their acks before tearing the backend down *)
+    Repl.Shipper.drain t.hub ~timeout_s:5.0;
     t.store.st_drain ();
     Array.iter
       (fun w ->
@@ -783,6 +970,12 @@ type stats = {
   s_depth : int array;
   s_latency : Tel.Metrics.pctiles;
   s_queue_wait : Tel.Metrics.pctiles;
+  s_role : string;
+  s_replicas : int;
+  s_repl_lag_us : float;
+  s_repl_seq : int;
+  s_applied : int;
+  s_fence_timeouts : int;
 }
 
 let stats t =
@@ -807,6 +1000,12 @@ let stats t =
     s_depth = Array.map Atomic.get t.depths;
     s_latency = lat;
     s_queue_wait = qw;
+    s_role = role_name t;
+    s_replicas = Repl.Shipper.connected t.hub;
+    s_repl_lag_us = Repl.Shipper.last_lag_us t.hub;
+    s_repl_seq = Repl.Log.head t.repl_log;
+    s_applied = g t.n_applied;
+    s_fence_timeouts = g t.n_fence_timeouts;
   }
 
 let stats_fields t =
@@ -834,6 +1033,14 @@ let stats_fields t =
     ("latency_us_p95", f s.s_latency.Tel.Metrics.p95);
     ("latency_us_p99", f s.s_latency.Tel.Metrics.p99);
     ("queue_wait_us_p50", f s.s_queue_wait.Tel.Metrics.p50);
+    (* replication fields append after the historical ones so existing
+       parsers that read positionally keep working *)
+    ("role", s.s_role);
+    ("replicas_connected", string_of_int s.s_replicas);
+    ("replication_lag_us", f s.s_repl_lag_us);
+    ("repl_seq", string_of_int s.s_repl_seq);
+    ("repl_applied", string_of_int s.s_applied);
+    ("repl_fence_timeouts", string_of_int s.s_fence_timeouts);
   ]
 
 let () =

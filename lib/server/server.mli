@@ -47,11 +47,19 @@ type bindings = {
   b_get : string;
   b_del : string option;
   b_init : string option;  (** capacity-taking init entry, called by serve *)
+  b_vcolor : string;
+      (** color token of stored values on the replication wire: the
+          enclave name the plan placed the store's globals in, or [U]
+          for a plain (uncolored) plan. Frames with an enclave color are
+          sealed by the shipper ({!Privagic_replication.Seal}). *)
 }
 
 (** Probe the plan's entry list for a known program family (the mc_,
     hm_, h2_, tm_, ll_ entry prefixes of the evaluation programs). *)
 val bindings_of_plan : Privagic_partition.Plan.t -> bindings option
+
+(** The replication value color of a plan (see {!bindings.b_vcolor}). *)
+val value_color : Privagic_partition.Plan.t -> string
 
 type policy = Block | Shed
 
@@ -65,6 +73,8 @@ type config = {
   vsize : int;              (** value-buffer size of the program *)
   conn_workers : int;
   telemetry : Tel.Recorder.t;
+  repl_window : int;        (** in-flight deltas per replica (default 1024) *)
+  repl_cluster : string;    (** sealing-key derivation secret *)
 }
 
 val default_config : config
@@ -72,8 +82,12 @@ val default_config : config
 type t
 
 (** Bind, listen, and start the thread pool. The server is serving when
-    [start] returns. @raise Failure when the socket cannot be bound. *)
-val start : config -> bindings -> store -> t
+    [start] returns. [replica_of] starts it in the read-only replica
+    role (the string is the primary's address, for display only — the
+    caller runs the {!Privagic_replication.Replica} client and feeds
+    {!apply_put}/{!apply_del}); {!promote} flips it to primary.
+    @raise Failure when the socket cannot be bound. *)
+val start : ?replica_of:string -> config -> bindings -> store -> t
 
 val port : t -> int
 
@@ -106,9 +120,48 @@ type stats = {
   s_depth : int array;      (** current per-lane queue depth *)
   s_latency : Tel.Metrics.pctiles;  (** dispatch->response, microseconds *)
   s_queue_wait : Tel.Metrics.pctiles;  (** dispatch->execution, microseconds *)
+  s_role : string;          (** ["primary"] or ["replica:<addr>"] *)
+  s_replicas : int;         (** live replica connections (as a primary) *)
+  s_repl_lag_us : float;    (** most recent send->ack lag sample *)
+  s_repl_seq : int;         (** commit-log head *)
+  s_applied : int;          (** deltas applied (as a replica) *)
+  s_fence_timeouts : int;   (** sync fences that hit their timeout *)
 }
 
 val stats : t -> stats
 
-(** The [STAT k v] pairs of the protocol's [stats] verb. *)
+(** The [STAT k v] pairs of the protocol's [stats] verb. The historical
+    fields keep their names and order; replication fields append. *)
 val stats_fields : t -> (string * string) list
+
+(** {1 Replication}
+
+    A primary needs no calls here: the [repl] handshake registers
+    replica connections with the server's shipper, [set]/[del] commits
+    append to its delta log, and {!drain} flushes the log tail to every
+    replica. The functions below are the replica side and introspection
+    (DESIGN.md §8.10). *)
+
+(** Apply one delta received from the primary: executes through the same
+    entry path as a client [set]/[del], under the store mutex, and
+    mirrors the primary's seq into the local log. Fails on a seq gap. *)
+val apply_put :
+  t -> seq:int -> key:int -> payload:string -> (unit, string) result
+
+val apply_del : t -> seq:int -> key:int -> (unit, string) result
+
+(** Leave the read-only replica role and accept client writes; the
+    promoted server's mirrored log lets downstream replicas keep
+    streaming from their positions. *)
+val promote : t -> unit
+
+val is_replica : t -> bool
+
+(** ["primary"] or ["replica:<addr>"]. *)
+val role_name : t -> string
+
+(** The commit log (convergence oracles replay it). *)
+val repl_log : t -> Privagic_replication.Log.t
+
+(** The delta shipper (lag percentiles, seal counters). *)
+val repl_hub : t -> Privagic_replication.Shipper.t

@@ -23,4 +23,6 @@ let () =
       ("equivalence", Test_equiv.suite);
       ("image", Test_image.suite);
       ("server", Test_server.suite);
+      ("replication", Test_replication.suite);
+      ("wire_fuzz", Test_wire_fuzz.suite);
     ]

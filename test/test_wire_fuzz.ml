@@ -1,0 +1,117 @@
+(* Byte-split fuzz over every incremental wire parser: feeding a valid
+   stream in random 1..7-byte chunks must produce exactly the same parse
+   as feeding it whole. The parsers are two-state machines carrying
+   partial lines and partial binary payload blocks across feeds — the
+   chunking property is what lets the serving and replication layers
+   read from TCP without framing assumptions. Deterministic: the chunk
+   boundaries come from the workload generator's splitmix64 rng. *)
+
+module Protocol = Privagic_server.Protocol
+module Delta = Privagic_replication.Delta
+module Seal = Privagic_replication.Seal
+module Y = Privagic_workloads.Ycsb
+
+let trials = 50
+
+(* split [String.length wire] into random chunk sizes in [1, 7] *)
+let rec chunk_sizes rng remaining acc =
+  if remaining = 0 then List.rev acc
+  else
+    let n = 1 + Y.next_int rng (min 7 remaining) in
+    chunk_sizes rng (remaining - n) (n :: acc)
+
+(* feed [wire] to a fresh reader in the given chunks *)
+let feed_chunked mk feed wire sizes =
+  let r = mk () in
+  let out = ref [] and pos = ref 0 in
+  List.iter
+    (fun n ->
+      let b = Bytes.of_string (String.sub wire !pos n) in
+      pos := !pos + n;
+      out := !out @ feed r b n)
+    sizes;
+  !out
+
+let whole mk feed wire = feed_chunked mk feed wire [ String.length wire ]
+
+(* the chunking property for one (reader, wire) pair *)
+let check_parser ~name mk feed wire =
+  let reference = whole mk feed wire in
+  Alcotest.(check bool)
+    (name ^ ": whole-buffer parse is non-empty")
+    true (reference <> []);
+  let rng = Y.rng 0x5eed in
+  for trial = 1 to trials do
+    let sizes = chunk_sizes rng (String.length wire) [] in
+    let got = feed_chunked mk feed wire sizes in
+    if got <> reference then
+      Alcotest.failf "%s: chunked parse diverges (trial %d, %d chunks)" name
+        trial (List.length sizes)
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let test_request_reader () =
+  let wire =
+    String.concat ""
+      [ Protocol.render_request (Protocol.Set (7, "hello"));
+        (* a value containing the line terminator: only the length
+           prefix can frame it *)
+        Protocol.render_request (Protocol.Set (8, "cr\r\nlf\r\n\000bin"));
+        Protocol.render_request (Protocol.Get 7);
+        Protocol.render_request (Protocol.Del 7);
+        Protocol.render_request Protocol.Stats;
+        Delta.render_hello ~sync:true ~from_seq:3;
+        "bogus line\r\n";
+        Protocol.render_request Protocol.Quit ]
+  in
+  check_parser ~name:"requests" Protocol.reader Protocol.feed wire;
+  (* the reference parse itself is what the server would see *)
+  match whole Protocol.reader Protocol.feed wire with
+  | [ `Req (Protocol.Set (7, "hello"));
+      `Req (Protocol.Set (8, "cr\r\nlf\r\n\000bin"));
+      `Req (Protocol.Get 7); `Req (Protocol.Del 7); `Req Protocol.Stats;
+      `Req (Protocol.Repl { r_sync = true; r_from = 3 }); `Bad _;
+      `Req Protocol.Quit ] -> ()
+  | l -> Alcotest.failf "unexpected request parse (%d items)" (List.length l)
+
+let test_response_reader () =
+  let wire =
+    String.concat ""
+      (List.map Protocol.render
+         [ Protocol.Value (3, "abc"); Protocol.Value (4, "x\r\ny\000z");
+           Protocol.Miss; Protocol.Stored; Protocol.Deleted;
+           Protocol.Not_found; Protocol.Busy;
+           Protocol.Stats_reply [ ("a", "1"); ("b", "x y") ];
+           Protocol.Error_msg "nope"; Protocol.Ok_msg ])
+  in
+  check_parser ~name:"responses" Protocol.resp_reader Protocol.feed_resp wire
+
+let test_delta_reader () =
+  let key = Seal.derive ~cluster:"fuzz" "red" in
+  let sealer = Some (fun ~color:_ ~nonce p -> Seal.seal ~key ~nonce p) in
+  let binary = String.init 48 (fun i -> Char.chr ((i * 37 + 13) land 0xff)) in
+  let wire =
+    Delta.render_ok 1
+    ^ String.concat ""
+        (List.map
+           (Delta.render ~sealer)
+           [ { Delta.seq = 1; op = Delta.Put { key = 9; color = "red"; payload = binary } };
+             { Delta.seq = 2; op = Delta.Put { key = 10; color = "U"; payload = "plain\r\nvalue" } };
+             { Delta.seq = 3; op = Delta.Del { key = 9 } };
+             { Delta.seq = 4; op = Delta.Put { key = 11; color = "red"; payload = "" } } ])
+  in
+  check_parser ~name:"delta stream" Delta.reader Delta.feed wire
+
+let test_ack_reader () =
+  let wire =
+    String.concat ""
+      (List.map Delta.render_ack [ 1; 2; 40; 41; 1000000; 7 ])
+  in
+  check_parser ~name:"acks" Delta.ack_reader Delta.feed_acks wire
+
+let suite =
+  [ Alcotest.test_case "byte-split: request reader" `Quick test_request_reader;
+    Alcotest.test_case "byte-split: response reader" `Quick test_response_reader;
+    Alcotest.test_case "byte-split: delta reader" `Quick test_delta_reader;
+    Alcotest.test_case "byte-split: ack reader" `Quick test_ack_reader ]
