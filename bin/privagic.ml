@@ -368,10 +368,74 @@ let bench_action quick out target =
     let path = Option.value out ~default:"BENCH_replication.json" in
     ignore (Privagic_harness.Replbench.run ~quick ~path ());
     0
+  | "robust" ->
+    let module R = Privagic_robust.Driver in
+    let path = Option.value out ~default:"BENCH_robust.json" in
+    let rp = R.fuzz ~seed:1 ~programs:(if quick then 40 else 500) () in
+    R.write_json ~path rp;
+    Printf.printf
+      "robust: %d programs, %d violation(s), kill rate %.0f%% -> %s\n"
+      rp.R.rp_programs (R.violations_total rp)
+      (100. *. R.kill_rate rp)
+      path;
+    if R.passed rp then 0 else 1
   | t ->
     prerr_endline
-      ("bench: unknown target '" ^ t ^ "' (expected: vm, replication)");
+      ("bench: unknown target '" ^ t ^ "' (expected: vm, replication, robust)");
     2
+
+(* --- the robust-safety fuzzer --- *)
+
+let fuzz_action seed programs quick out =
+  let module R = Privagic_robust.Driver in
+  let programs = if quick then min programs 40 else programs in
+  let checked = ref 0 in
+  let progress (_ : R.case) =
+    incr checked;
+    if !checked mod 25 = 0 then Printf.eprintf "  %d programs checked\r%!" !checked
+  in
+  let rp = R.fuzz ~seed ~programs ~progress () in
+  let path = Option.value out ~default:"BENCH_robust.json" in
+  R.write_json ~path rp;
+  let killed = List.length (List.filter (fun k -> k.R.k_killed) rp.R.rp_kills) in
+  Printf.printf
+    "robust: %d adversarial programs, %d actions, %d secrecy violation(s), \
+     mutant kill rate %.0f%% (%d/%d), %.1fs\n"
+    rp.R.rp_programs rp.R.rp_actions (R.violations_total rp)
+    (100. *. R.kill_rate rp)
+    killed (List.length rp.R.rp_kills) rp.R.rp_wall;
+  List.iter
+    (fun st ->
+      Printf.printf "  %-14s %4d programs  %5d actions  %d violation(s)  %.1f prog/s\n"
+        st.R.st_cell st.R.st_programs st.R.st_actions
+        (List.fold_left
+           (fun a (c : R.case) -> a + List.length c.R.cs_violations)
+           0 st.R.st_failures)
+        (if st.R.st_wall > 0. then float_of_int st.R.st_programs /. st.R.st_wall
+         else 0.))
+    rp.R.rp_cells;
+  List.iter
+    (fun (c : R.case) ->
+      Printf.printf "FAIL %s victim=%s case-seed=%d\n" c.R.cs_cell c.R.cs_victim
+        c.R.cs_seed;
+      List.iter
+        (fun v -> Printf.printf "  %s\n" (Privagic_robust.Monitor.pp_violation v))
+        c.R.cs_violations;
+      Printf.printf "  shrunk to %d action(s):\n" (List.length c.R.cs_repro);
+      List.iter
+        (fun a -> Printf.printf "    %s\n" (Privagic_robust.Gen.describe a))
+        c.R.cs_repro;
+      Printf.printf "  %s\n" (R.reproducer rp c))
+    (R.failures rp);
+  List.iter
+    (fun (k : R.kill) ->
+      if not k.R.k_killed then
+        Printf.printf "UNCAUGHT MUTANT %s on %s\n" k.R.k_mutant k.R.k_cell)
+    rp.R.rp_kills;
+  Printf.printf "result: %s (record: %s)\n"
+    (if R.passed rp then "PASS" else "FAIL")
+    path;
+  if R.passed rp then 0 else 1
 
 (* --- the serving layer --- *)
 
@@ -667,16 +731,57 @@ let bench_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"TARGET"
           ~doc:"Benchmark target: 'vm' (walk-vs-image engine comparison, \
-                steps/sec) or 'replication' (sync/async delta shipping: \
-                throughput, lag percentiles, failover time).")
+                steps/sec), 'replication' (sync/async delta shipping: \
+                throughput, lag percentiles, failover time), or 'robust' \
+                (adversarial robust-safety campaign: programs/s checked, \
+                mutant kill rate).")
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Run a runtime benchmark target; 'vm' compares the \
              tree-walking and linked-image engines across workloads on \
              both backends (BENCH_vm.json), 'replication' measures delta \
-             shipping against in-process replicas (BENCH_replication.json)")
+             shipping against in-process replicas (BENCH_replication.json), \
+             'robust' runs the adversarial robust-safety campaign \
+             (BENCH_robust.json)")
     Term.(const bench_action $ quick $ out $ target)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Base seed of the campaign; every victim program, sentinel \
+                and adversarial script derives from it, so one seed \
+                reproduces the whole batch.")
+  in
+  let programs =
+    Arg.(
+      value & opt (pos_int "programs") 500
+      & info [ "programs" ] ~docv:"N"
+          ~doc:"Adversarial programs to check, spread across the \
+                {walk,image} x {sim,parallel} matrix (default 500).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Cap the campaign at 40 programs (CI smoke).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the JSON record (default BENCH_robust.json).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Adversarial robust-safety campaign: generate hostile \
+             unsafe-side code against checked partitions and trace-check \
+             that no secret leaks; also verifies the monitor kills every \
+             planted leak mutant. Exits nonzero on any secrecy violation \
+             or uncaught mutant.")
+    Term.(const fuzz_action $ seed $ programs $ quick $ out)
 
 let serve_cmd =
   let host =
@@ -868,4 +973,5 @@ let () =
   exit (Cmd.eval' (Cmd.group info
                      [ check_cmd; ir_cmd; partition_cmd; tcb_cmd; run_cmd;
                        profile_cmd; graph_cmd; dataflow_cmd;
-                       experiments_cmd; bench_cmd; serve_cmd; loadgen_cmd ]))
+                       experiments_cmd; bench_cmd; fuzz_cmd; serve_cmd;
+                       loadgen_cmd ]))

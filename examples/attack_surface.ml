@@ -16,16 +16,10 @@ let build ?(mode = Mode.Hardened) ?(auth = false) src =
   assert (Plan.ok plan);
   Pinterp.create ~config:Privagic_sgx.Config.machine_test plan
 
-let victim =
-  {|
-ignore extern void classify_i64(int* d, int v);
-void audit(int color(blue) x) { }
-entry void set_vault(int v) {
-  int color(blue) k;
-  classify_i64(&k, v);
-  audit(k);
-}
-|}
+(* the victim sources live in lib/robust/progen.ml: the robust-safety
+   suite (test/test_robust.ml) checks the same programs as seeded
+   regressions, so walkthrough and test never drift apart *)
+let victim = Privagic_robust.Progen.victim_forged_spawn
 
 let () =
   Format.printf "=== attack 1: Iago — feeding the enclave untrusted data ===@.";
@@ -60,28 +54,7 @@ let () =
   | Error e -> Format.printf "  unexpectedly blocked: %s@.@." e);
 
   Format.printf "=== attack 3: redirecting a multi-color indirection (§8) ===@.";
-  let multicolor =
-    {|
-within extern void* malloc(int n);
-ignore extern void classify_i64(int* d, int v);
-ignore extern void declassify_i64(int* d, int v);
-struct rec_ { int color(blue) key; int color(red) val; };
-struct rec_* slot;
-int rstatus;
-entry void init() { slot = (struct rec_*) malloc(sizeof(struct rec_)); }
-entry void set_key(int v) {
-  int color(blue) k;
-  classify_i64(&k, v);
-  struct rec_* r = slot;
-  r->key = k;
-}
-entry int get_key() {
-  struct rec_* r = slot;
-  declassify_i64(&rstatus, r->key);
-  return rstatus;
-}
-|}
-  in
+  let multicolor = Privagic_robust.Progen.victim_multicolor in
   let corrupt pt =
     let heap = pt.Pinterp.exec.Exec.heap in
     let g = Hashtbl.find pt.Pinterp.exec.Exec.globals "slot" in

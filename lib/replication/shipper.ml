@@ -77,9 +77,17 @@ let key_for t color =
     Hashtbl.replace t.keys color k;
     k
 
+(* Wire-capture tap for the robust-safety monitor: every byte the shipper
+   puts on a replication link also goes here. Process-wide — the monitor
+   captures whatever wire traffic the process produces. *)
+let wire_tap : (string -> unit) option ref = ref None
+
+let set_wire_tap f = wire_tap := f
+
 (* Full write on a non-blocking socket; false when the peer is gone or
    stalled past 30 s (a wedged replica must not wedge the primary). *)
 let write_all fd s =
+  (match !wire_tap with None -> () | Some f -> f s);
   let b = Bytes.unsafe_of_string s in
   let deadline = Unix.gettimeofday () +. 30.0 in
   let rec go off =

@@ -59,3 +59,10 @@ val seal_cycles : t -> float
 (** Flush the log tail to every live replica, wait (bounded) for their
     acks, close the connections and join the threads. Idempotent. *)
 val drain : t -> timeout_s:float -> unit
+
+(** Wire-capture tap for the robust-safety monitor
+    ({!Privagic_robust}): observes every byte any shipper in the process
+    writes to a replication link, before the socket write. [None]
+    detaches. The secrecy trace property asserts that no live
+    secret-colored value appears in this stream unsealed. *)
+val set_wire_tap : (string -> unit) option -> unit

@@ -1,0 +1,191 @@
+(* The adversarial program generator: given a fixed, checked colored
+   partition, synthesize hostile unsafe-side behaviour against it. The
+   attacker of §8 owns unsafe memory and the message transport, nothing
+   else — so the generated actions are exactly:
+
+   - probing unsafe globals (reads of unprotected memory, looking for
+     secret residue — asserted clean by the monitor's zone sweeps);
+   - forging pointers with gep-style arithmetic into unsafe memory and
+     writing through them (integrity pressure: the victim must not leak,
+     whatever garbage its unsafe state holds);
+   - replaying spawn messages the plan considers legal, repeatedly and
+     out of context (the guard admits them; secrecy must still hold);
+   - injecting spawns of chunks the plan never spawns (the §8 forged
+     message; the valid-spawn-sequence guard must reject them);
+   - calling trampolines with wrong-colored arguments (a spawn addressed
+     to the wrong partition; the runtime must refuse);
+   - racing the colored store from extra lanes (concurrent interface
+     traffic on the parallel backend);
+
+   interleaved with legitimate interface traffic and monitor sweep
+   checkpoints. Everything is drawn from one seeded Rng stream.
+
+   Forged activations only target chunks whose parameters are all
+   integers: a forged pointer argument would fault inside a worker
+   domain, which models a crash, not a leak — the secrecy property is
+   about what executes, and the kill-rate mutants need the forged chunk
+   to run. *)
+
+open Privagic_pir
+module Plan = Privagic_partition.Plan
+
+type action =
+  | Call of { entry : string; args : int64 list }  (* legit interface traffic *)
+  | Kv_put of { key : int; tag : int }  (* driver stages the value buffer *)
+  | Kv_get of { key : int }
+  | Probe of { global : string; off : int }
+  | Forge of { global : string; off : int; value : int64 }
+  | Replay of { color : Color.t; chunk : string; args : int64 list; times : int }
+  | Inject of { color : Color.t; chunk : string; args : int64 list }
+  | Wrong_color of { color : Color.t; chunk : string }
+  | Race of { calls : (string * int64 list) list }
+  | Race_kv of { keys : int list }
+  | Sweep  (* monitor checkpoint: scan unprotected zones *)
+
+let action_name = function
+  | Call _ -> "call"
+  | Kv_put _ -> "kv_put"
+  | Kv_get _ -> "kv_get"
+  | Probe _ -> "probe"
+  | Forge _ -> "forge"
+  | Replay _ -> "replay"
+  | Inject _ -> "inject"
+  | Wrong_color _ -> "wrong_color"
+  | Race _ -> "race"
+  | Race_kv _ -> "race_kv"
+  | Sweep -> "sweep"
+
+let describe = function
+  | Call { entry; args } ->
+    Printf.sprintf "call %s(%s)" entry
+      (String.concat "," (List.map Int64.to_string args))
+  | Kv_put { key; tag } -> Printf.sprintf "kv_put key=%d tag=%d" key tag
+  | Kv_get { key } -> Printf.sprintf "kv_get key=%d" key
+  | Probe { global; off } -> Printf.sprintf "probe %s+%d" global off
+  | Forge { global; off; value } ->
+    Printf.sprintf "forge *(&%s+%d)=%Ld" global off value
+  | Replay { chunk; times; _ } -> Printf.sprintf "replay %s x%d" chunk times
+  | Inject { chunk; _ } -> Printf.sprintf "inject %s" chunk
+  | Wrong_color { color; chunk } ->
+    Printf.sprintf "wrong-color spawn %s->%s" chunk (Color.to_string color)
+  | Race { calls } -> Printf.sprintf "race %d calls" (List.length calls)
+  | Race_kv { keys } -> Printf.sprintf "race %d gets" (List.length keys)
+  | Sweep -> "sweep"
+
+(* ------------------------------------------------------------------ *)
+(* the attack surface a plan exposes                                   *)
+
+type surface = {
+  s_unsafe_globals : string list;
+  s_legal : (Color.t * string * int) list;  (* valid spawn targets, arity *)
+  s_illegal : (Color.t * string * int) list;  (* guard-rejected chunks *)
+}
+
+let int_params (f : Func.t) =
+  List.for_all
+    (fun (_, (ty : Ty.t)) -> match ty.Ty.desc with Ty.I64 -> true | _ -> false)
+    f.Func.params
+
+let surface (plan : Plan.t) : surface =
+  let named =
+    List.filter_map
+      (fun (f : Func.t) ->
+        if not (int_params f) then None
+        else
+          match Privagic_vm.Dispatch.locate_chunk plan f.Func.name with
+          | Some (_, _, c) -> Some (c, f.Func.name, List.length f.Func.params)
+          | None -> None)
+      (Privagic_vm.Dispatch.chunk_funcs plan)
+  in
+  let legal, illegal =
+    List.partition (fun (c, n, _) -> Plan.spawn_allowed plan c n) named
+  in
+  {
+    s_unsafe_globals =
+      List.filter_map
+        (fun (g, c) ->
+          match c with Color.Named _ -> None | _ -> Some g)
+        plan.Plan.global_placement;
+    s_legal = legal;
+    s_illegal = illegal;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* generation                                                          *)
+
+let junk r = Int64.of_int (Rng.int r 1000)
+let junk_args r arity = List.init arity (fun _ -> junk r)
+let pick r = function [] -> None | l -> Some (List.nth l (Rng.int r (List.length l)))
+
+(* traffic on the victim's interface; [declass] admits entries that
+   legitimately declassify the vault (the kill-rate mode excludes them
+   so the sentinel stays live for the mutant to leak) *)
+let gen_traffic r (shape : Progen.shape) ~declass =
+  match shape with
+  | Progen.Scalar { safe_entries; declass_entries; _ } ->
+    let pool = if declass then safe_entries @ declass_entries else safe_entries in
+    (match pick r pool with
+    | Some (e, arity) -> Call { entry = e; args = junk_args r arity }
+    | None -> Sweep)
+  | Progen.Kv _ ->
+    let key = Rng.int r 64 in
+    if Rng.bool r then Kv_put { key; tag = Rng.int r 256 } else Kv_get { key }
+
+let gen_action r (s : surface) (shape : Progen.shape) ~declass =
+  match Rng.int r 10 with
+  | 0 | 1 | 2 -> gen_traffic r shape ~declass
+  | 3 -> (
+    match pick r s.s_unsafe_globals with
+    | Some g -> Probe { global = g; off = 8 * Rng.int r 4 }
+    | None -> Sweep)
+  | 4 | 5 -> (
+    match pick r s.s_unsafe_globals with
+    | Some g ->
+      Forge { global = g; off = 8 * Rng.int r 8; value = junk r }
+    | None -> Sweep)
+  | 6 -> (
+    match pick r s.s_legal with
+    | Some (c, n, arity) ->
+      Replay
+        { color = c; chunk = n; args = junk_args r arity; times = 1 + Rng.int r 3 }
+    | None -> Sweep)
+  | 7 -> (
+    match pick r s.s_illegal with
+    | Some (c, n, arity) -> Inject { color = c; chunk = n; args = junk_args r arity }
+    | None -> Sweep)
+  | 8 -> (
+    (* a spawn addressed to a partition the chunk does not belong to *)
+    match pick r (s.s_legal @ s.s_illegal) with
+    | Some (c, n, _) ->
+      let wrong =
+        match c with
+        | Color.Named e -> Color.Named (e ^ "_forged")
+        | _ -> Color.Named "forged"
+      in
+      Wrong_color { color = wrong; chunk = n }
+    | None -> Sweep)
+  | _ -> (
+    match shape with
+    | Progen.Scalar { safe_entries; _ } -> (
+      match safe_entries with
+      | [] -> Sweep
+      | pool ->
+        let calls =
+          List.init
+            (2 + Rng.int r 2)
+            (fun _ ->
+              let e, arity = Option.get (pick r pool) in
+              (e, junk_args r arity))
+        in
+        Race { calls })
+    | Progen.Kv _ -> Race_kv { keys = List.init (2 + Rng.int r 2) (fun _ -> Rng.int r 64) })
+
+(* the action script of one fuzz case: traffic and attacks interleaved,
+   a sweep checkpoint every few actions and one at the end *)
+let generate r (s : surface) (shape : Progen.shape) ~declass ~count =
+  let acts = ref [] in
+  for k = 1 to count do
+    acts := gen_action r s shape ~declass :: !acts;
+    if k mod 6 = 0 then acts := Sweep :: !acts
+  done;
+  List.rev (Sweep :: !acts)

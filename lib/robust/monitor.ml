@@ -1,0 +1,204 @@
+(* The secrecy trace monitor: shadow-taints planted secret sentinels
+   through the VM's execution trace and asserts the robust-safety
+   property — no live secret-colored value reaches unprotected memory,
+   program output, or the wire unsealed.
+
+   Mechanism. A sentinel (Rng.sentinel) is planted into an enclave
+   through a victim's classify entry; from then on the monitor watches
+   every choke point the value could escape through:
+
+   - the heap store tap (Heap.set_store_tap): every committed store,
+     from both engines, the externals' byte copies, parallel workers and
+     the replication apply path — a live sentinel stored into the Unsafe
+     or Rodata zone is a leak;
+   - the extern tap (Exec.extern_tap): program output (the print
+     externs), the
+     simulated network (net_send), and the declassification externs —
+     declassify marks a sentinel authorized *unless* it fires inside an
+     adversarial window (a forged spawn the valid-spawn-sequence guard
+     would have rejected), in which case the attacker coerced the
+     enclave into declassifying and it counts as a leak;
+   - whole-zone sweeps (Heap.fold_zone_pages): a byte-pattern scan of
+     unprotected zones between adversarial actions, catching byte-
+     granular copies the word-level store tap cannot attribute;
+   - wire capture (check_wire): replication frames and server responses
+     must not carry a live sentinel's bytes in the clear.
+
+   The monitor serializes itself with one mutex: taps fire from every
+   worker domain of the parallel backend. *)
+
+open Privagic_vm
+
+type violation = { v_kind : string; v_where : string; v_detail : string }
+
+let pp_violation v = Printf.sprintf "[%s] %s: %s" v.v_kind v.v_where v.v_detail
+
+type t = {
+  mu : Mutex.t;
+  mutable live : int64 list; (* planted, not yet legitimately declassified *)
+  mutable declassified : int64 list;
+  mutable adversarial : bool; (* inside a guard-bypassing injection *)
+  mutable violations : violation list; (* newest first *)
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    live = [];
+    declassified = [];
+    adversarial = false;
+    violations = [];
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  let v = f () in
+  Mutex.unlock t.mu;
+  v
+
+let plant t s = locked t (fun () -> t.live <- s :: t.live)
+let set_adversarial t b = locked t (fun () -> t.adversarial <- b)
+let violations t = locked t (fun () -> List.rev t.violations)
+let ok t = locked t (fun () -> t.violations = [])
+
+let violate_u t ~kind ~where detail =
+  t.violations <- { v_kind = kind; v_where = where; v_detail = detail } :: t.violations
+
+let violate t ~kind ~where detail =
+  locked t (fun () -> violate_u t ~kind ~where detail)
+
+(* little-endian byte image of a sentinel, the pattern byte-level copies
+   leave behind *)
+let le_bytes (s : int64) =
+  String.init 8 (fun k ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical s (8 * k)) 0xffL)))
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln > 0 && go 0
+
+(* a legitimate declassification moves the sentinel out of the live set;
+   an adversarially coerced one is a leak *)
+let declassify_value t ~where (v : int64) =
+  locked t (fun () ->
+      if List.mem v t.live then
+        if t.adversarial then
+          violate_u t ~kind:"declassify" ~where
+            (Printf.sprintf
+               "enclave declassified live secret %Lx under a forged spawn" v)
+        else begin
+          t.live <- List.filter (fun s -> not (Int64.equal s v)) t.live;
+          t.declassified <- v :: t.declassified
+        end)
+
+let declassify_bytes t ~where (s : string) =
+  let hits = locked t (fun () -> List.filter (fun v -> contains s (le_bytes v)) t.live) in
+  List.iter (fun v -> declassify_value t ~where v) hits
+
+(* ------------------------------------------------------------------ *)
+(* taps                                                                *)
+
+let unprotected = function
+  | Heap.Unsafe | Heap.Rodata -> true
+  | Heap.Enclave _ -> false
+
+let store_tap t addr size v zone =
+  if size = 8 && unprotected zone then
+    locked t (fun () ->
+        if List.mem v t.live then
+          violate_u t ~kind:"store" ~where:(Heap.zone_to_string zone)
+            (Printf.sprintf "live secret %Lx stored to unprotected %06x" v addr))
+
+(* read [n] raw bytes of simulated memory (read_string would stop at NUL) *)
+let read_bytes heap addr n =
+  String.init n (fun k ->
+      Char.chr (Int64.to_int (Heap.load heap (addr + k) 1) land 0xff))
+
+let extern_tap t (ex : Exec.t) name (args : Rvalue.t array) =
+  let heap = ex.Exec.heap in
+  match name with
+  | "declassify_i64" when Array.length args >= 2 ->
+    declassify_value t ~where:"declassify_i64" (Rvalue.to_int64 args.(1))
+  | "declassify" when Array.length args >= 3 ->
+    let src = Rvalue.to_addr args.(1) and n = Rvalue.to_int args.(2) in
+    if n > 0 && n <= 1 lsl 20 then
+      (try declassify_bytes t ~where:"declassify" (read_bytes heap src n)
+       with Heap.Fault _ -> ())
+  | "print_int" when Array.length args >= 1 ->
+    let v = Rvalue.to_int64 args.(0) in
+    locked t (fun () ->
+        if List.mem v t.live then
+          violate_u t ~kind:"output" ~where:"print_int"
+            (Printf.sprintf "live secret %Lx printed" v))
+  | ("print_str" | "puts") when Array.length args >= 1 ->
+    let s = try Heap.read_string heap (Rvalue.to_addr args.(0)) with _ -> "" in
+    let hit =
+      locked t (fun () ->
+          List.exists
+            (fun v -> contains s (le_bytes v) || contains s (Int64.to_string v))
+            t.live)
+    in
+    if hit then violate t ~kind:"output" ~where:name "live secret in program output"
+  | "net_send" when Array.length args >= 2 ->
+    let src = Rvalue.to_addr args.(0) and n = Rvalue.to_int args.(1) in
+    let hit =
+      if n <= 0 || n > 1 lsl 20 then false
+      else
+        match read_bytes heap src n with
+        | s ->
+          locked t (fun () -> List.exists (fun v -> contains s (le_bytes v)) t.live)
+        | exception Heap.Fault _ -> false
+    in
+    if hit then
+      violate t ~kind:"net" ~where:"net_send" "live secret in simulated network send"
+  | _ -> ()
+
+let attach t (ex : Exec.t) =
+  Heap.set_store_tap ex.Exec.heap (Some (store_tap t));
+  ex.Exec.extern_tap <- Some (extern_tap t)
+
+let detach (ex : Exec.t) =
+  Heap.set_store_tap ex.Exec.heap None;
+  ex.Exec.extern_tap <- None
+
+(* ------------------------------------------------------------------ *)
+(* sweeps and wire capture                                             *)
+
+(* byte-pattern scan of a page for any live sentinel. A sentinel whose
+   bytes straddle a page boundary is not seen here — the 8-byte store
+   that wrote it was already checked by the store tap. *)
+let scan_page t ~where base (page : Bytes.t) =
+  let pats = locked t (fun () -> List.map (fun v -> (v, le_bytes v)) t.live) in
+  List.iter
+    (fun (v, pat) ->
+      let s = Bytes.unsafe_to_string page in
+      let lh = String.length s and c0 = pat.[0] in
+      let rec go i =
+        if i + 8 <= lh then
+          match String.index_from_opt s i c0 with
+          | Some j when j + 8 <= lh ->
+            if String.sub s j 8 = pat then
+              violate t ~kind:"memory" ~where
+                (Printf.sprintf "live secret %Lx found in unprotected memory at %06x"
+                   v (base + j))
+            else go (j + 1)
+          | _ -> ()
+      in
+      go 0)
+    pats
+
+let scan_heap t ~where (heap : Heap.t) =
+  List.iter
+    (fun z ->
+      Heap.fold_zone_pages heap z ~init:() ~f:(fun () base page ->
+          scan_page t ~where base page))
+    [ Heap.Unsafe; Heap.Rodata ]
+
+let check_wire t ~where (s : string) =
+  let hits = locked t (fun () -> List.filter (fun v -> contains s (le_bytes v)) t.live) in
+  List.iter
+    (fun v ->
+      violate t ~kind:"wire" ~where
+        (Printf.sprintf "live secret %Lx on the wire unsealed" v))
+    hits

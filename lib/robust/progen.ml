@@ -1,0 +1,239 @@
+(* Victim programs for the robust-safety suite: fixed, checked colored
+   partitions the adversarial generator (Gen) attacks.
+
+   Every victim owns a secret-colored vault the driver plants a sentinel
+   into through a classify entry. Scalar victims carry the vault in one
+   blue global plus the audit pattern of examples/attack_surface.ml: an
+   internal function, direct-called from a blue chunk, whose body
+   declassifies the vault. Its chunk exists in the plan but is not a
+   valid spawn target — the only way an attacker reaches it is a forged
+   spawn message past the §8 guard, which is exactly what the drop-guard
+   leak mutant removes. Key-value victims are the evaluation workloads
+   (lib/workloads) unchanged; their vault is a value buffer classified
+   into the colored store. *)
+
+open Privagic_secure
+module Programs = Privagic_workloads.Programs
+
+let sp = Printf.sprintf
+
+type shape =
+  | Scalar of {
+      plant_entry : string;  (** classify-the-sentinel entry, arity 1 *)
+      safe_entries : (string * int) list;
+          (** interface traffic that never declassifies the vault *)
+      declass_entries : (string * int) list;
+          (** interface traffic that legitimately declassifies it *)
+    }
+  | Kv of { put : string; get : string; vsize : int }
+
+type victim = {
+  v_name : string;
+  v_mode : Mode.t;
+  v_source : string;
+  v_secret_global : string;  (** the vault global (miscolor-mutant target) *)
+  v_secret_color : string;   (** its enclave color name *)
+  v_shape : shape;
+}
+
+(* ------------------------------------------------------------------ *)
+(* random scalar victims                                               *)
+
+(* public integer expressions over the entry parameter, the public
+   globals and a helper call; total operators only (no division), as in
+   test_image.ml's generator *)
+let rec gen_expr r ~helper depth =
+  if depth = 0 || Rng.int r 3 = 0 then
+    match Rng.int r 5 with
+    | 0 -> string_of_int (1 + Rng.int r 96)
+    | 1 -> "a"
+    | 2 -> "y"
+    | 3 -> "z"
+    | _ -> "t"
+  else
+    match Rng.int r (if helper then 6 else 5) with
+    | 0 -> sp "(%s + %s)" (gen_expr r ~helper (depth - 1)) (gen_expr r ~helper (depth - 1))
+    | 1 -> sp "(%s - %s)" (gen_expr r ~helper (depth - 1)) (gen_expr r ~helper (depth - 1))
+    | 2 -> sp "(%s * %s)" (gen_expr r ~helper (depth - 1)) (gen_expr r ~helper (depth - 1))
+    | 3 -> sp "(%s & %s)" (gen_expr r ~helper (depth - 1)) (gen_expr r ~helper (depth - 1))
+    | 4 -> sp "(%s >> %d)" (gen_expr r ~helper (depth - 1)) (1 + Rng.int r 3)
+    | _ -> sp "helper(%s)" (gen_expr r ~helper (depth - 1))
+
+let gen_cond r =
+  let op = match Rng.int r 4 with 0 -> "<" | 1 -> ">" | 2 -> "==" | _ -> "!=" in
+  sp "(%s %s %s)" (gen_expr r ~helper:true 1) op (gen_expr r ~helper:true 1)
+
+(* Unlike the image suite's generator, victims never write the vault:
+   the kill-rate mutants need [b] to still hold the planted sentinel
+   when the adversary strikes, so the only blue access outside the
+   fixed skeleton is reading it through the declassify entries. *)
+let gen_simple r ~helper =
+  match Rng.int r 3 with
+  | 0 -> sp "y = %s;" (gen_expr r ~helper 2)
+  | 1 -> sp "z = %s;" (gen_expr r ~helper 2)
+  | _ -> sp "t = %s;" (gen_expr r ~helper 2)
+
+let rec gen_stmt r loops depth =
+  if depth = 0 then gen_simple r ~helper:true
+  else
+    match Rng.int r 5 with
+    | 0 | 1 -> gen_simple r ~helper:true
+    | 2 ->
+      sp "if %s { %s } else { %s }" (gen_cond r)
+        (gen_block r loops (depth - 1))
+        (gen_block r loops (depth - 1))
+    | _ ->
+      if !loops >= 3 then gen_simple r ~helper:true
+      else begin
+        let c = sp "c%d" !loops in
+        incr loops;
+        let n = 2 + Rng.int r 5 in
+        let body =
+          String.concat " "
+            (List.init (1 + Rng.int r 3) (fun _ -> gen_simple r ~helper:false))
+        in
+        sp "%s = 0; while (%s < %d) { %s %s = %s + 1; }" c c n body c c
+      end
+
+and gen_block r loops depth =
+  String.concat " "
+    (List.init (2 + Rng.int r 3) (fun _ -> gen_stmt r loops depth))
+
+let gen_entry r name =
+  let loops = ref 0 in
+  sp
+    "entry int %s(int a) {\n\
+    \  int t = 0;\n\
+    \  int c0 = 0;\n\
+    \  int c1 = 0;\n\
+    \  int c2 = 0;\n\
+    \  %s\n\
+    \  return y + z + t;\n\
+     }\n"
+    name
+    (gen_block r loops 2)
+
+(* the fixed skeleton around the random entries: the vault, its plant
+   and declassify interface, and the audit pattern *)
+let scalar_source body =
+  sp
+    {|
+ignore extern void classify_i64(int* d, int v);
+ignore extern void declassify_i64(int* d, int v);
+int color(blue) b;
+int y;
+int z;
+int rstatus;
+int dbg;
+int helper(int a) {
+  return a * 3 + 1;
+}
+void audit(int color(blue) x) {
+  declassify_i64(&dbg, b);
+}
+entry void put_secret(int v) {
+  classify_i64(&b, v);
+}
+entry void maintenance(int v) {
+  int color(blue) k;
+  classify_i64(&k, v);
+  audit(k);
+}
+%s
+entry int readb() {
+  declassify_i64(&rstatus, b);
+  return rstatus;
+}
+|}
+    body
+
+let scalar_shape =
+  Scalar
+    {
+      plant_entry = "put_secret";
+      safe_entries = [ ("f0", 1); ("f1", 1) ];
+      declass_entries = [ ("readb", 0); ("maintenance", 1) ];
+    }
+
+(* a seeded random victim: fixed secret skeleton, random public code *)
+let vault seed =
+  let r = Rng.make seed in
+  {
+    v_name = sp "vault-%d" seed;
+    v_mode = Mode.Hardened;
+    v_source = scalar_source (gen_entry r "f0" ^ gen_entry r "f1");
+    v_secret_global = "b";
+    v_secret_color = "blue";
+    v_shape = scalar_shape;
+  }
+
+(* the deterministic scalar victim of the kill-rate mode: same skeleton,
+   minimal public code — every mutant must leak through it identically
+   on every cell *)
+let vault_fixture =
+  {
+    v_name = "vault-fixture";
+    v_mode = Mode.Hardened;
+    v_source =
+      scalar_source
+        "entry int f0(int a) { y = a * 3 + 1; return y; }\n\
+         entry int f1(int a) { z = a + y; return z; }\n";
+    v_secret_global = "b";
+    v_secret_color = "blue";
+    v_shape = scalar_shape;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* workload victims                                                    *)
+
+let kv_hashmap ~nbuckets ~vsize =
+  {
+    v_name = sp "hashmap-%dx%d" nbuckets vsize;
+    v_mode = Mode.Hardened;
+    v_source = Programs.hashmap ~nbuckets ~vsize `Colored;
+    v_secret_global = "count";
+    v_secret_color = "blue";
+    v_shape = Kv { put = "hm_put"; get = "hm_get"; vsize };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* the attack-surface fixtures (examples/attack_surface.ml runs the
+   same sources; test_robust.ml checks them as seeded regressions)     *)
+
+(* forged spawn target: [audit]'s blue chunk is direct-called only, so
+   the §8 guard must reject an injected spawn of it *)
+let victim_forged_spawn =
+  {|
+ignore extern void classify_i64(int* d, int v);
+void audit(int color(blue) x) { }
+entry void set_vault(int v) {
+  int color(blue) k;
+  classify_i64(&k, v);
+  audit(k);
+}
+|}
+
+(* multi-color indirection: corrupting the unsafe [slot] pointer makes
+   the enclave read from — and write secrets to — attacker memory,
+   unless pointers are authenticated (--auth-pointers) *)
+let victim_multicolor =
+  {|
+within extern void* malloc(int n);
+ignore extern void classify_i64(int* d, int v);
+ignore extern void declassify_i64(int* d, int v);
+struct rec_ { int color(blue) key; int color(red) val; };
+struct rec_* slot;
+int rstatus;
+entry void init() { slot = (struct rec_*) malloc(sizeof(struct rec_)); }
+entry void set_key(int v) {
+  int color(blue) k;
+  classify_i64(&k, v);
+  struct rec_* r = slot;
+  r->key = k;
+}
+entry int get_key() {
+  struct rec_* r = slot;
+  declassify_i64(&rstatus, r->key);
+  return rstatus;
+}
+|}

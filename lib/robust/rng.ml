@@ -1,0 +1,34 @@
+(* The one deterministic random stream shared by every seeded harness:
+   the adversarial generator (Gen), the victim-program generator
+   (Progen), and the random-program differential suite in
+   test/test_image.ml. One LCG, one seed-mixing rule — so a failure
+   report's "--seed N" reproduces the same corpus everywhere.
+
+   The constants are the classic C-library LCG the image suite already
+   pinned its corpus to; changing them invalidates every recorded
+   reproducer, so don't. *)
+
+type t = { mutable s : int }
+
+let make seed = { s = (seed * 2654435761) land 0x3FFFFFFF }
+
+(* uniform draw in [0, n) *)
+let int r n =
+  r.s <- ((r.s * 1103515245) + 12345) land 0x3FFFFFFF;
+  r.s mod n
+
+let bool r = int r 2 = 1
+
+(* an independent stream for sub-generators: mixing the tag keeps two
+   streams split from the same parent decorrelated *)
+let split r tag = make ((r.s lxor (tag * 0x9e3779b)) land 0x3FFFFFFF)
+
+(* A secret sentinel: a high-entropy 64-bit value tagged in the top
+   bits. Victim programs and adversarial code only ever compute small
+   integers, so a sentinel can neither collide with legitimate program
+   data nor be guessed by generated attacker writes — seeing one outside
+   protected memory means the planted secret itself flowed there. *)
+let sentinel r =
+  let a = int r 0x1000000 and b = int r 0x1000000 in
+  Int64.logor 0x5EC0_0000_0000_0000L
+    (Int64.of_int (((a lor 0x800001) lsl 24) lor b))

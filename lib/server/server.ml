@@ -258,10 +258,17 @@ let is_dead c =
   Mutex.unlock c.c_mu;
   d
 
+(* Wire-capture tap for the robust-safety monitor: every response byte the
+   server puts on a client connection also goes here (process-wide). *)
+let wire_tap : (string -> unit) option ref = ref None
+
+let set_wire_tap f = wire_tap := f
+
 (* Blocking full write on a non-blocking socket; marks the connection
    dead (instead of raising) when the peer is gone or stalled > 30 s. *)
 let write_resp c resp =
   let s = Protocol.render resp in
+  (match !wire_tap with None -> () | Some f -> f s);
   let b = Bytes.of_string s in
   Mutex.lock c.c_wmu;
   let deadline = Unix.gettimeofday () +. 30.0 in

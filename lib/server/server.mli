@@ -165,3 +165,10 @@ val repl_log : t -> Privagic_replication.Log.t
 
 (** The delta shipper (lag percentiles, seal counters). *)
 val repl_hub : t -> Privagic_replication.Shipper.t
+
+(** Wire-capture tap for the robust-safety monitor ({!Privagic_robust}):
+    observes every response byte any server in the process writes to a
+    client connection, before the socket write. [None] detaches. The
+    secrecy trace property asserts that no live secret-colored value
+    appears on a client connection unsealed. *)
+val set_wire_tap : (string -> unit) option -> unit

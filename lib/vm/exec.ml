@@ -55,6 +55,11 @@ type t = {
          specialized instances share a bare name but not their registers *)
   mutable run_func : (t -> Func.t -> Rvalue.t array -> Rvalue.t) option;
       (* installed by Image.install; None runs the tree-walker *)
+  mutable extern_tap : (t -> string -> Rvalue.t array -> unit) option;
+      (* trace monitor hook (lib/robust): observes every external call
+         before it executes — declassification authorization, program
+         output, simulated network sends. Copied by [clone_shared], so
+         parallel workers inherit the monitor. *)
 }
 
 and hooks = {
@@ -115,6 +120,7 @@ let create ?(fuel = 500_000_000) ?(data_map = default_data_map) m heap layout
     hooks;
     reg_ty_cache = Hashtbl.create 16;
     run_func = None;
+    extern_tap = None;
   }
 
 (* A per-worker executor for the parallel backend: shares the module, heap,

@@ -44,6 +44,11 @@ type t = {
           instances share a bare name but not their registers) *)
   mutable run_func : (t -> Func.t -> Rvalue.t array -> Rvalue.t) option;
       (** engine override, installed by [Image.install]; [None] walks *)
+  mutable extern_tap : (t -> string -> Rvalue.t array -> unit) option;
+      (** trace monitor hook ({!Privagic_robust}): observes every external
+          call before it executes — declassification authorization, program
+          output, simulated network sends. Copied by [clone_shared], so
+          parallel workers inherit the monitor. *)
 }
 
 and hooks = {

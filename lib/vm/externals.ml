@@ -57,6 +57,11 @@ let set_bytes (heap : Heap.t) ~dst v n =
 (* [dispatch t ~malloc_zone name args]: execute external [name]. *)
 let dispatch (t : Exec.t) ~(malloc_zone : Heap.zone) name
     (args : Rvalue.t array) : Rvalue.t option =
+  (* robust-safety monitor: sees the call before it executes, so a
+     declassification is authorized before its store reaches the tap *)
+  (match t.Exec.extern_tap with
+  | None -> ()
+  | Some f -> f t name args);
   let arg k = args.(k) in
   let int_arg k = Rvalue.to_int (arg k) in
   let addr_arg k = Rvalue.to_addr (arg k) in

@@ -40,6 +40,10 @@ type t = {
   mutable region_count : int;
   mu : Mutex.t;
   mutable sync : bool; (* serialize accesses (parallel backend) *)
+  mutable store_tap : (int -> int -> int64 -> zone -> unit) option;
+      (* trace monitor hook (lib/robust): observes every committed store —
+         the one choke point both engines, the externals' byte copies, the
+         parallel workers and the replication apply path all go through *)
 }
 
 exception Fault of int * string
@@ -53,7 +57,10 @@ let create () =
     region_count = 0;
     mu = Mutex.create ();
     sync = false;
+    store_tap = None;
   }
+
+let set_store_tap t f = t.store_tap <- f
 
 (* Concurrent mode: every public operation runs under [mu], making the heap
    usable from several domains at once (the parallel backend). The simulated
@@ -296,18 +303,44 @@ let store_u t addr size (v : int64) =
     done
 
 let store t addr size v =
-  if not t.sync then store_u t addr size v
-  else begin
-    Mutex.lock t.mu;
-    match store_u t addr size v with
-    | () -> Mutex.unlock t.mu
-    | exception e ->
-      Mutex.unlock t.mu;
-      raise e
-  end
+  (if not t.sync then store_u t addr size v
+   else begin
+     Mutex.lock t.mu;
+     match store_u t addr size v with
+     | () -> Mutex.unlock t.mu
+     | exception e ->
+       Mutex.unlock t.mu;
+       raise e
+   end);
+  (* fired after the store commits and outside the heap mutex — the
+     monitor serializes itself; the store's region must exist here *)
+  match t.store_tap with
+  | None -> ()
+  | Some f -> f addr size v (find_region t addr).zone
 
 let load_f64 t addr = Int64.float_of_bits (load t addr 8)
 let store_f64 t addr f = store t addr 8 (Int64.bits_of_float f)
+
+(* Fold over the materialized pages of a zone (heap and stack regions
+   alike) — the robust-safety monitor's whole-zone sweep for secret
+   bytes. The page array reference is captured once per region, so a
+   concurrent growth hands us a consistent (if slightly stale) view. *)
+let fold_zone_pages t z ~init ~f =
+  let regions =
+    locked t (fun () -> List.filter (fun r -> zone_equal r.zone z) t.regions)
+  in
+  List.fold_left
+    (fun acc r ->
+      let pages = r.pages in
+      let acc = ref acc in
+      Array.iteri
+        (fun k p ->
+          match p with
+          | Some page -> acc := f !acc (r.base + (k lsl page_bits)) page
+          | None -> ())
+        pages;
+      !acc)
+    init regions
 
 (* Intern a string literal in rodata; returns its address (NUL-terminated). *)
 let intern_string t s =

@@ -48,6 +48,20 @@ val store : t -> int -> int -> int64 -> unit
 val load_f64 : t -> int -> float
 val store_f64 : t -> int -> float -> unit
 
+(** Trace hook for the robust-safety monitor ({!Privagic_robust}): called
+    as [f addr size value zone] after every committed {!store} — the one
+    choke point through which both engines, the externals' byte copies,
+    the parallel workers and the replication apply path write memory.
+    Costs one option test per store when unset. The tap runs outside the
+    heap mutex; a concurrent monitor must serialize itself. *)
+val set_store_tap : t -> (int -> int -> int64 -> zone -> unit) option -> unit
+
+(** Fold [f acc page_base page_bytes] over the materialized pages of a
+    zone, heap and stack regions alike — the monitor's whole-zone sweep
+    for secret byte patterns. *)
+val fold_zone_pages :
+  t -> zone -> init:'a -> f:('a -> int -> Bytes.t -> 'a) -> 'a
+
 (** Intern a NUL-terminated string in the read-only zone. *)
 val intern_string : t -> string -> int
 

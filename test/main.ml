@@ -1,5 +1,31 @@
+(* The alcotest runner, with one extra flag alcotest does not know:
+
+     dune exec test/main.exe -- [alcotest args] --seed N
+
+   [--seed N] re-bases every seeded random harness (the image-engine
+   differential corpus and the robust-safety fuzz smoke) on N — the
+   flag a failing run prints in its one-line reproducer. The default
+   base (1) keeps the pinned corpora. *)
+
 let () =
-  Alcotest.run "privagic"
+  let argv = Array.to_list Sys.argv in
+  let rec split acc = function
+    | "--seed" :: n :: rest -> (List.rev acc @ rest, Some n)
+    | a :: rest -> split (a :: acc) rest
+    | [] -> (List.rev acc, None)
+  in
+  let argv, seed = split [] argv in
+  (match seed with
+  | Some n -> (
+    match int_of_string_opt n with
+    | Some n ->
+      Test_image.base_seed := n;
+      Test_robust.base_seed := n
+    | None ->
+      prerr_endline ("main: --seed expects an integer, got '" ^ n ^ "'");
+      exit 2)
+  | None -> ());
+  Alcotest.run ~argv:(Array.of_list argv) "privagic"
     [
       ("color", Test_color.suite);
       ("ty", Test_ty.suite);
@@ -25,4 +51,5 @@ let () =
       ("server", Test_server.suite);
       ("replication", Test_replication.suite);
       ("wire_fuzz", Test_wire_fuzz.suite);
+      ("robust", Test_robust.suite);
     ]

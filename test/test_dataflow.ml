@@ -88,9 +88,74 @@ let test_full_experiment () =
   Alcotest.(check bool) "secure typing rejects" true
     o.Privagic_harness.Fig3.secure_typing_rejects
 
+(* --- corner cases of the sequential baseline (reused by the robust
+   suite's monitor as the static side of the comparison) --- *)
+
+(* a phi joining a secret-colored operand with a public one: the join
+   must keep the taint, so the sink global lands in the partition *)
+let test_taint_phi_mixed_colors () =
+  let src =
+    {|
+int color(blue) s;
+int sink;
+entry void f(int c) {
+  int x = 0;
+  if (c > 0) { x = s; } else { x = 1; }
+  sink = x;
+}
+|}
+  in
+  let r = Taint.analyze (Helpers.compile src) in
+  Alcotest.(check bool) "phi join keeps taint" true
+    (List.mem "sink" (Taint.protected_locations r))
+
+(* an alias derived by gep arithmetic: a store through a field pointer
+   taints the root object, and a load back through another gep of the
+   same root carries it on *)
+let test_taint_gep_alias () =
+  let src =
+    {|
+int color(blue) s;
+struct pair_ { int a; int b; };
+struct pair_ g;
+int sink;
+entry void f() {
+  g.b = s;
+  sink = g.b;
+}
+|}
+  in
+  let r = Taint.analyze (Helpers.compile src) in
+  let p = Taint.protected_locations r in
+  Alcotest.(check bool) "gep store taints the root" true (List.mem "g" p);
+  Alcotest.(check bool) "gep load carries it to the sink" true
+    (List.mem "sink" p)
+
+(* taint through a call-site argument: the callee is analyzed per call
+   site conservatively — a tainted argument taints the result *)
+let test_taint_call_argument () =
+  let src =
+    {|
+int color(blue) s;
+int sink;
+int id(int x) { return x; }
+entry void f() {
+  sink = id(s);
+}
+|}
+  in
+  let r = Taint.analyze (Helpers.compile src) in
+  Alcotest.(check bool) "call result tainted by its argument" true
+    (List.mem "sink" (Taint.protected_locations r))
+
 let suite =
   [
     Alcotest.test_case "sequential taint result" `Quick test_taint_sequential_result;
+    Alcotest.test_case "phi join of mixed colors" `Quick
+      test_taint_phi_mixed_colors;
+    Alcotest.test_case "gep-derived alias" `Quick test_taint_gep_alias;
+    Alcotest.test_case "taint through call argument" `Quick
+      test_taint_call_argument;
     Alcotest.test_case "direct flows found" `Quick test_taint_direct_flow;
     Alcotest.test_case "pointer flows found" `Quick test_taint_through_pointer;
     Alcotest.test_case "interleavings expose leak" `Quick
