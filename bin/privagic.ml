@@ -7,7 +7,9 @@
                                    execute the partitioned program
    privagic profile <file.mc> <entry> [args...]
                                    execute under telemetry; print metrics
-                                   and the critical path
+                                   and the critical path (--live dumps the
+                                   Prometheus exposition, --stalls writes
+                                   the per-lane stall report)
    privagic tcb <file.mc>          per-enclave TCB report
    privagic experiments [names]    regenerate the paper's tables/figures *)
 
@@ -308,38 +310,71 @@ let run_action mode auth trace schedule max_steps backend lanes engine path
   end
 
 (* profile: run an entry under telemetry, then print the plain-text
-   summary (counters, histograms, occupancy) and the critical path. *)
-let profile_action mode auth trace engine path entry args =
-  let plan = build_plan ~auth mode path in
-  let pt = Privagic_vm.Pinterp.create ~engine plan in
-  let argv =
-    List.map (fun a -> Privagic_vm.Rvalue.Int (Int64.of_string a)) args
-  in
-  let rec_ = Tel.Recorder.create () in
-  Privagic_vm.Pinterp.set_telemetry pt rec_;
-  (match Privagic_vm.Pinterp.call_entry pt entry argv with
-  | r ->
-    print_string (Privagic_vm.Pinterp.output pt);
-    let track_name = Tel.Recorder.track_name rec_ in
-    let summary = Tel.Summary.of_recorder rec_ in
-    Format.printf "%a@." (Tel.Summary.pp ~track_name) summary;
-    let cp = Tel.Critical_path.analyze (Tel.Recorder.events rec_) in
-    Format.printf "%a@." (Tel.Critical_path.pp ~track_name) cp;
-    (match trace with
-    | Some out ->
-      write_trace rec_ out;
-      Format.printf "trace written to %s@." out
-    | None -> ());
-    Format.printf "=> %s  (latency: %.0f cycles)@."
-      (Privagic_vm.Rvalue.to_string r.Privagic_vm.Pinterp.value)
-      r.Privagic_vm.Pinterp.latency_cycles
-  | exception Privagic_vm.Pinterp.Error msg ->
-    prerr_endline ("runtime error: " ^ msg);
-    exit 3
-  | exception Privagic_vm.Exec.Trap msg ->
-    prerr_endline ("trap: " ^ msg);
-    exit 3);
-  0
+   summary (counters, histograms, occupancy) and the critical path.
+   --live additionally dumps the lib/obs Prometheus exposition of the
+   run's VM counters; --stalls skips the single-entry run entirely and
+   produces the per-lane stall-attribution report (BENCH_obs.json). *)
+let profile_action mode auth trace engine stalls live quick path entry args =
+  match (stalls, path, entry) with
+  | true, _, _ ->
+    ignore (Privagic_harness.Obsbench.run ~quick ());
+    0
+  | false, Some path, Some entry ->
+    let plan = build_plan ~auth mode path in
+    let pt = Privagic_vm.Pinterp.create ~engine plan in
+    let argv =
+      List.map (fun a -> Privagic_vm.Rvalue.Int (Int64.of_string a)) args
+    in
+    let rec_ = Tel.Recorder.create () in
+    Privagic_vm.Pinterp.set_telemetry pt rec_;
+    (match Privagic_vm.Pinterp.call_entry pt entry argv with
+    | r ->
+      print_string (Privagic_vm.Pinterp.output pt);
+      let track_name = Tel.Recorder.track_name rec_ in
+      let summary = Tel.Summary.of_recorder rec_ in
+      Format.printf "%a@." (Tel.Summary.pp ~track_name) summary;
+      let cp = Tel.Critical_path.analyze (Tel.Recorder.events rec_) in
+      Format.printf "%a@." (Tel.Critical_path.pp ~track_name) cp;
+      (match trace with
+      | Some out ->
+        write_trace rec_ out;
+        Format.printf "trace written to %s@." out
+      | None -> ());
+      (if live then begin
+         let module Obs = Privagic_obs in
+         let reg = Obs.Registry.create () in
+         let ex = pt.Privagic_vm.Pinterp.exec in
+         Obs.Registry.gauge reg
+           ~help:"Executed PIR instructions (all executors)"
+           "privagic_vm_steps_total"
+           (fun () -> float_of_int ex.Privagic_vm.Exec.steps);
+         Obs.Registry.gauge reg ~help:"Extern dispatches"
+           "privagic_vm_externs_total"
+           (fun () -> float_of_int ex.Privagic_vm.Exec.externs);
+         Obs.Registry.multi_gauge reg
+           ~help:"Declassify calls by source color"
+           "privagic_declassify_total"
+           (fun () ->
+             Hashtbl.fold
+               (fun color r acc ->
+                 ([ ("color", color) ], float_of_int !r) :: acc)
+               ex.Privagic_vm.Exec.declass []
+             |> List.sort compare);
+         print_string (Obs.Registry.expose reg)
+       end);
+      Format.printf "=> %s  (latency: %.0f cycles)@."
+        (Privagic_vm.Rvalue.to_string r.Privagic_vm.Pinterp.value)
+        r.Privagic_vm.Pinterp.latency_cycles
+    | exception Privagic_vm.Pinterp.Error msg ->
+      prerr_endline ("runtime error: " ^ msg);
+      exit 3
+    | exception Privagic_vm.Exec.Trap msg ->
+      prerr_endline ("trap: " ^ msg);
+      exit 3);
+    0
+  | false, _, _ ->
+    prerr_endline "profile: FILE and ENTRY are required (unless --stalls)";
+    2
 
 let graph_action mode auth path =
   let plan = build_plan ~auth mode path in
@@ -379,9 +414,14 @@ let bench_action quick out target =
       (100. *. R.kill_rate rp)
       path;
     if R.passed rp then 0 else 1
+  | "obs" ->
+    let path = Option.value out ~default:"BENCH_obs.json" in
+    ignore (Privagic_harness.Obsbench.run ~quick ~path ());
+    0
   | t ->
     prerr_endline
-      ("bench: unknown target '" ^ t ^ "' (expected: vm, replication, robust)");
+      ("bench: unknown target '" ^ t
+     ^ "' (expected: vm, replication, robust, obs)");
     2
 
 (* --- the robust-safety fuzzer --- *)
@@ -671,13 +711,53 @@ let run_cmd =
           $ entry_pos $ args_pos)
 
 let profile_cmd =
+  let stalls =
+    Arg.(
+      value & flag
+      & info [ "stalls" ]
+          ~doc:"Per-lane stall attribution on the real-parallel backend: \
+                decompose each lane's wall time into run / pump-wait / \
+                queue-wait / barrier / park per workload family, print the \
+                table and write BENCH_obs.json. FILE/ENTRY are not needed.")
+  in
+  let live =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:"After the run, dump the run's VM counters (steps, extern \
+                dispatches, declassify-per-color) in Prometheus text \
+                exposition format — the same grammar 'stats metrics' \
+                serves on a live server.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"With --stalls: reduced record/operation counts (seconds).")
+  in
+  let file_opt =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Annotated mini-C source file (not needed with --stalls).")
+  in
+  let entry_opt =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"ENTRY"
+          ~doc:"Entry point to execute (not needed with --stalls).")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Execute an entry point under telemetry and print the metrics \
              summary (counters, latency histograms, per-worker occupancy) \
-             and the critical path through the partitioned execution")
+             and the critical path through the partitioned execution; \
+             --live dumps the Prometheus exposition of the run, --stalls \
+             writes the per-lane stall-attribution report instead")
     Term.(const profile_action $ mode_arg $ auth_arg $ trace_arg $ engine_arg
-          $ file_arg $ entry_pos $ args_pos)
+          $ stalls $ live $ quick $ file_opt $ entry_opt $ args_pos)
 
 let graph_cmd =
   Cmd.v
@@ -732,9 +812,10 @@ let bench_cmd =
       & info [] ~docv:"TARGET"
           ~doc:"Benchmark target: 'vm' (walk-vs-image engine comparison, \
                 steps/sec), 'replication' (sync/async delta shipping: \
-                throughput, lag percentiles, failover time), or 'robust' \
+                throughput, lag percentiles, failover time), 'robust' \
                 (adversarial robust-safety campaign: programs/s checked, \
-                mutant kill rate).")
+                mutant kill rate), or 'obs' (per-lane stall attribution \
+                plus instrumentation overhead).")
   in
   Cmd.v
     (Cmd.info "bench"
@@ -743,7 +824,8 @@ let bench_cmd =
              both backends (BENCH_vm.json), 'replication' measures delta \
              shipping against in-process replicas (BENCH_replication.json), \
              'robust' runs the adversarial robust-safety campaign \
-             (BENCH_robust.json)")
+             (BENCH_robust.json), 'obs' measures stall attribution and \
+             observability overhead (BENCH_obs.json)")
     Term.(const bench_action $ quick $ out $ target)
 
 let fuzz_cmd =

@@ -64,6 +64,10 @@ type parallel_result = {
   pr_wall_seconds : float;     (* run phase only, wall clock *)
   pr_throughput_kops : float;
   pr_p_found : float;
+  pr_steps : int;              (* VM steps retired during the run phase *)
+  pr_steps_per_sec : float;
+  pr_stalls : Privagic_obs.Lane.breakdown list;
+      (* per-lane phase decomposition at run end (empty with obs off) *)
 }
 
 let colored_plan ?(auth_pointers = false) ~mode src =
@@ -109,6 +113,7 @@ let run_parallel ?(nbuckets = 4096) ?(vsize = 1024) ?(seed = 42)
   in
   let gen = Ycsb.create spec in
   let found = ref 0 and reads = ref 0 in
+  let steps0 = Parallel.total_steps p in
   let start = Unix.gettimeofday () in
   for _ = 1 to operations do
     match Ycsb.next_op gen with
@@ -125,6 +130,8 @@ let run_parallel ?(nbuckets = 4096) ?(vsize = 1024) ?(seed = 42)
            [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr vbuf ])
   done;
   let wall = Unix.gettimeofday () -. start in
+  let steps = Parallel.total_steps p - steps0 in
+  let stalls = Parallel.lane_breakdowns p in
   let domains = Parallel.domain_count p in
   ignore (Parallel.shutdown p);
   {
@@ -137,6 +144,10 @@ let run_parallel ?(nbuckets = 4096) ?(vsize = 1024) ?(seed = 42)
       (if wall > 0.0 then float_of_int operations /. wall /. 1000.0 else 0.0);
     pr_p_found =
       (if !reads > 0 then float_of_int !found /. float_of_int !reads else 1.0);
+    pr_steps = steps;
+    pr_steps_per_sec =
+      (if wall > 0.0 then float_of_int steps /. wall else 0.0);
+    pr_stalls = stalls;
   }
 
 let run ?(config = Sgx.Config.machine_b) ?cost ?(nbuckets = 4096)

@@ -44,6 +44,11 @@ type parallel_result = {
   pr_wall_seconds : float; (** run phase only, wall clock *)
   pr_throughput_kops : float;
   pr_p_found : float;
+  pr_steps : int;          (** VM steps retired during the run phase *)
+  pr_steps_per_sec : float;
+  pr_stalls : Privagic_obs.Lane.breakdown list;
+      (** per-lane phase decomposition at run end (lib/obs), empty when
+          obs is disabled *)
 }
 
 (** Same load/replay protocol as {!run}, but on the real-parallel backend

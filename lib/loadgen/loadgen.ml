@@ -341,9 +341,9 @@ let write_json ~path cfg r =
     (if r.r_wall_seconds > 0.0 then
        float_of_int r.r_ops_ok /. r.r_wall_seconds
      else 0.0);
-  p "  \"latency_us\": { \"n\": %d, \"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f, \"max\": %.1f }\n"
+  p "  \"latency_us\": { \"n\": %d, \"mean\": %.1f, \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f, \"p999\": %.1f, \"max\": %.1f }\n"
     l.Tel.Metrics.n l.Tel.Metrics.p_mean l.Tel.Metrics.p50 l.Tel.Metrics.p95
-    l.Tel.Metrics.p99 l.Tel.Metrics.p_max;
+    l.Tel.Metrics.p99 l.Tel.Metrics.p999 l.Tel.Metrics.p_max;
   p "}\n";
   close_out oc
 
@@ -353,11 +353,11 @@ let pp_result fmt r =
     "@[<v>ops ok        %d (hits %d, misses %d, busy retries %d, errors %d)@,\
      wall          %.3f s@,\
      throughput    %.2f kops/s%s@,\
-     latency (us)  p50 %.0f  p95 %.0f  p99 %.0f  max %.0f  (mean %.0f)@]"
+     latency (us)  p50 %.0f  p95 %.0f  p99 %.0f  p99.9 %.0f  max %.0f  (mean %.0f)@]"
     r.r_ops_ok r.r_hits r.r_misses r.r_busy r.r_errors r.r_wall_seconds
     r.r_throughput_kops
     (if r.r_target_rate > 0.0 then
        Printf.sprintf " (target %.2f kops/s)" (r.r_target_rate /. 1000.0)
      else "")
-    l.Tel.Metrics.p50 l.Tel.Metrics.p95 l.Tel.Metrics.p99 l.Tel.Metrics.p_max
-    l.Tel.Metrics.p_mean
+    l.Tel.Metrics.p50 l.Tel.Metrics.p95 l.Tel.Metrics.p99 l.Tel.Metrics.p999
+    l.Tel.Metrics.p_max l.Tel.Metrics.p_mean

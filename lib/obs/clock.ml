@@ -1,0 +1,7 @@
+(* The process obs clock: all ring timestamps are integer microseconds
+   since this epoch. Integer timestamps are what keep Ring.record free of
+   float boxing; the one gettimeofday float lives here, on the caller
+   side of the record path. *)
+
+let epoch = Unix.gettimeofday ()
+let now_us () = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e6)

@@ -1,0 +1,40 @@
+(* The five places a parallel worker's wall-clock can go. Phase accounting
+   is a continuous partition of a lane's lifetime: at every instant the
+   worker is in exactly one phase, so the per-phase accumulators sum to
+   the lane's wall time (modulo the open tail, which [Lane.snapshot]
+   closes at read time).
+
+   - [Run]        executing a chunk (instructions retiring)
+   - [Pump_wait]  waiting for a continuation or spawn completion while
+                  pumping its own queue (the pump-wait discipline)
+   - [Queue_wait] idle in the worker loop, polling for new work
+   - [Barrier]    waiting for predecessor activations at a barrier
+   - [Park]       deep idle: the spin budget ran out and the worker is
+                  sleeping in micro-naps *)
+type t = Run | Pump_wait | Queue_wait | Barrier | Park
+
+let count = 5
+
+let index = function
+  | Run -> 0
+  | Pump_wait -> 1
+  | Queue_wait -> 2
+  | Barrier -> 3
+  | Park -> 4
+
+let of_index = function
+  | 0 -> Run
+  | 1 -> Pump_wait
+  | 2 -> Queue_wait
+  | 3 -> Barrier
+  | 4 -> Park
+  | n -> invalid_arg (Printf.sprintf "Phase.of_index %d" n)
+
+let name = function
+  | Run -> "run"
+  | Pump_wait -> "pump-wait"
+  | Queue_wait -> "queue-wait"
+  | Barrier -> "barrier"
+  | Park -> "park"
+
+let all = [ Run; Pump_wait; Queue_wait; Barrier; Park ]

@@ -1,0 +1,69 @@
+(** Per-domain lock-free event ring.
+
+    Fixed capacity (rounded up to a power of two), overwrite-oldest, and —
+    the property the whole layer leans on — {b zero allocation on the
+    record path}: the three backing stores are plain [int array]s, so
+    [record] is three unboxed stores and an increment. Timestamps are
+    integer microseconds since the process obs epoch (see
+    {!Privagic_obs.now_us}); keeping them out of float-land is what keeps
+    the path allocation-free in native code.
+
+    Each ring has exactly one writer (the owning domain). Readers merge
+    rings {e after} quiescence — [Domain.join] or pool shutdown provides
+    the happens-before — so no fences are needed on the hot path. *)
+
+type t
+
+(** [create ~id ~label ()] makes a ring. [cap] (default 4096) is rounded
+    up to a power of two. [id] must be unique among rings that will be
+    merged together; it is the tiebreak that makes merge deterministic. *)
+val create : ?cap:int -> id:int -> label:string -> unit -> t
+
+(** Append one event. Single-writer; never allocates, never blocks.
+    Overwrites the oldest event once the ring is full. *)
+val record : t -> code:int -> arg:int -> t_us:int -> unit
+
+(** [record] stamped with an amortized clock: the real clock is read once
+    every 32 calls (a gettimeofday per event costs several percent of
+    steps/s at extern-dispatch frequency) and cached in between, never
+    going behind the last exact-time [record]. For high-frequency point
+    events where a ~32-event-granular timestamp is acceptable. *)
+val record_now : t -> code:int -> arg:int -> unit
+
+val capacity : t -> int
+val id : t -> int
+val label : t -> string
+
+(** Events ever written (monotone, not capped). *)
+val total : t -> int
+
+(** Events currently held, [min (total t) (capacity t)]. *)
+val length : t -> int
+
+(** Events lost to overwrite-oldest, [max 0 (total - capacity)]. *)
+val dropped : t -> int
+
+(** Event codes [0 .. Phase.count-1] are phase-entry events (the code is
+    the {!Phase.index}); codes at and above {!code_extern} are point
+    events. *)
+val code_extern : int
+
+val code_chunk : int
+val code_name : int -> string
+
+type event = {
+  ev_t_us : int;  (** microseconds since the obs epoch *)
+  ev_ring : int;  (** originating ring id *)
+  ev_seq : int;  (** per-ring sequence number, monotone from ring start *)
+  ev_code : int;
+  ev_arg : int;
+}
+
+(** Surviving events, oldest first. *)
+val to_events : t -> event array
+
+(** Merge several quiesced rings into one timeline, sorted by
+    [(t_us, ring, seq)]. The order is deterministic: it does not depend
+    on the order of the input list, and merging the same rings twice
+    yields identical arrays. *)
+val merge : t list -> event array

@@ -35,6 +35,7 @@ open Privagic_vm
 module Sgx = Privagic_sgx
 module Msq = Privagic_runtime.Msqueue
 module Tel = Privagic_telemetry
+module Obs = Privagic_obs
 
 exception Error of string
 
@@ -84,6 +85,7 @@ type worker = {
   mutable w_act : activation option;
   w_occ : (int * int, int ref) Hashtbl.t; (* barrier occurrence counters *)
   mutable w_domain : unit Domain.t option;
+  w_obs : Obs.Lane.t option; (* phase accounting + event ring; None = obs off *)
 }
 
 type t = {
@@ -150,9 +152,28 @@ let fill_slot (slot : slot) r =
 
 (* Hybrid idle backoff: spin briefly (a message usually follows within the
    latency of one chunk), then yield the core. *)
+let spin_budget = 1000
+
 let idle_wait counter =
   incr counter;
-  if !counter < 1000 then Domain.cpu_relax () else Unix.sleepf 0.0001
+  if !counter < spin_budget then Domain.cpu_relax () else Unix.sleepf 0.0001
+
+(* Obs phase hooks. Transitions only happen at backoff boundaries and
+   message/chunk edges, never inside the spin loop, so the obs-on cost is
+   a few clock reads per message — see BENCH_obs.json for the measured
+   budget. With obs off ([w_obs = None]) each hook is a match on None. *)
+let[@inline] obs_enter w p =
+  match w.w_obs with
+  | None -> ()
+  | Some l -> Obs.Lane.enter l p ~now_us:(Obs.now_us ())
+
+let[@inline] obs_current w =
+  match w.w_obs with None -> -1 | Some l -> Obs.Lane.current l
+
+let[@inline] obs_enter_index w p =
+  match w.w_obs with
+  | None -> ()
+  | Some l -> Obs.Lane.enter_index l p ~now_us:(Obs.now_us ())
 
 let pfunc_exn t key =
   match Dispatch.find_pfunc t.disp key with
@@ -210,10 +231,22 @@ let rec worker t thread color : worker =
         w_act = None;
         w_occ = Hashtbl.create 16;
         w_domain = None;
+        w_obs =
+          (if Obs.enabled () then
+             (* ring id = worker creation index: unique within the pool,
+                which is the unit rings get merged over *)
+             Some
+               (Obs.Lane.create ~id:t.domains
+                  ~label:(Printf.sprintf "d%d/%s" lane (Color.to_string color))
+                  ~now_us:(Obs.now_us ()) ())
+           else None);
       }
     in
     w.w_exec.Exec.cpu <- Dispatch.cpu_of_color color;
     w.w_exec.Exec.hooks <- hooks_for t w;
+    (match w.w_obs with
+    | Some l -> w.w_exec.Exec.obs_ring <- Some (Obs.Lane.ring l)
+    | None -> ());
     Hashtbl.replace t.workers key w;
     t.domains <- t.domains + 1;
     let d = Domain.spawn (fun () -> worker_loop t w) in
@@ -228,7 +261,9 @@ and worker_loop t w =
     match Msq.pop w.w_queue with
     | Some m ->
       idle := 0;
-      handle t w m
+      obs_enter w Obs.Phase.Run;
+      handle t w m;
+      obs_enter w Obs.Phase.Queue_wait
     | None ->
       if Msq.is_closed w.w_queue then begin
         (* drain protocol (msqueue.mli): exit only on a None pop observed
@@ -236,10 +271,18 @@ and worker_loop t w =
         match Msq.pop w.w_queue with
         | Some m ->
           idle := 0;
-          handle t w m
+          obs_enter w Obs.Phase.Run;
+          handle t w m;
+          obs_enter w Obs.Phase.Queue_wait
         | None -> stop := true
       end
-      else idle_wait idle
+      else begin
+        (* transitions only at the backoff boundaries: queue-wait on the
+           first empty pop, park when the spin budget runs out *)
+        if !idle = 0 then obs_enter w Obs.Phase.Queue_wait
+        else if !idle = spin_budget - 1 then obs_enter w Obs.Phase.Park;
+        idle_wait idle
+      end
   done
 
 and handle t w (m : msg) =
@@ -252,15 +295,22 @@ and handle t w (m : msg) =
    [pred] holds. Nested spawns execute here; without this, a spawn
    targeting a waiting worker would deadlock the pool (the simulator gets
    the same effect from fiber multiplexing). *)
-and wait_until t w pred =
+and wait_until ?(phase = Obs.Phase.Pump_wait) t w pred =
+  let saved = obs_current w in
+  obs_enter w phase;
   let idle = ref 0 in
   while not (pred ()) do
     match Msq.pop w.w_queue with
     | Some m ->
       idle := 0;
+      (* back from a possible park; nested chunks re-enter Run themselves *)
+      obs_enter w phase;
       handle t w m
-    | None -> idle_wait idle
-  done
+    | None ->
+      if !idle = spin_budget - 1 then obs_enter w Obs.Phase.Park;
+      idle_wait idle
+  done;
+  obs_enter_index w saved
 
 and wait_pending t w (act : activation) =
   wait_until t w (fun () -> Atomic.get act.act_pending = 0)
@@ -358,8 +408,16 @@ and run_chunk t w (act : activation) (args : Rvalue.t array) : Rvalue.t =
   let saved = w.w_act in
   w.w_act <- Some act;
   tel_record t ~track:w.w_track ~name:f.Func.name Tel.Event.Chunk_begin;
+  let obs_saved = obs_current w in
+  obs_enter w Obs.Phase.Run;
+  (match w.w_obs with
+  | Some l ->
+    Obs.Ring.record (Obs.Lane.ring l) ~code:Obs.Ring.code_chunk
+      ~arg:act.act_seq ~t_us:(Obs.now_us ())
+  | None -> ());
   let finish () =
     w.w_act <- saved;
+    obs_enter_index w obs_saved;
     (* completion record for barrier predecessor checks *)
     Mutex.lock t.bar_mu;
     Hashtbl.replace t.bar_done (act.act_seq, Color.to_string w.w_color) ();
@@ -574,7 +632,7 @@ and barrier t w (act : activation) (instr : int) =
     else List.filter spawned present (* untrusted body runs after the stage *)
   in
   if preds <> [] then
-    wait_until t w (fun () ->
+    wait_until ~phase:Obs.Phase.Barrier t w (fun () ->
         Mutex.lock t.bar_mu;
         let ok =
           List.for_all
@@ -894,3 +952,95 @@ let output t =
   String.concat ""
     (Buffer.contents t.base.Exec.out
     :: List.map (fun (_, w) -> Buffer.contents w.w_exec.Exec.out) ws)
+
+(* ------------------------------------------------------------------ *)
+(* observability (lib/obs): per-lane phase accounting, event rings,
+   metrics registration. Snapshots are monitoring-grade while the pool
+   runs; after [call_entry] returns or [shutdown] joins the domains they
+   are exact. *)
+
+let sorted_workers t =
+  Mutex.lock t.wmu;
+  let ws =
+    List.sort compare (Hashtbl.fold (fun k w acc -> (k, w) :: acc) t.workers [])
+  in
+  Mutex.unlock t.wmu;
+  List.map snd ws
+
+let obs_lanes t = List.filter_map (fun w -> w.w_obs) (sorted_workers t)
+
+let lane_breakdowns t =
+  let now = Obs.now_us () in
+  List.map (fun l -> Obs.Lane.snapshot l ~now_us:now) (obs_lanes t)
+
+let obs_events t = Obs.Ring.merge (List.map Obs.Lane.ring (obs_lanes t))
+
+let total_externs t =
+  List.fold_left
+    (fun acc w -> acc + w.w_exec.Exec.externs)
+    t.base.Exec.externs (sorted_workers t)
+
+let declass_counts t : (string * int) list =
+  let acc = Hashtbl.create 8 in
+  let fold (ex : Exec.t) =
+    Hashtbl.iter
+      (fun color r ->
+        match Hashtbl.find_opt acc color with
+        | Some a -> a := !a + !r
+        | None -> Hashtbl.add acc color (ref !r))
+      ex.Exec.declass
+  in
+  fold t.base;
+  List.iter (fun w -> fold w.w_exec) (sorted_workers t);
+  List.sort compare (Hashtbl.fold (fun c r l -> (c, !r) :: l) acc [])
+
+let register_obs t (reg : Obs.Registry.t) =
+  let g = Obs.Registry.gauge reg in
+  g ~help:"configured worker lanes" "privagic_pool_lanes" (fun () ->
+      float_of_int t.lanes);
+  g ~help:"live worker domains" "privagic_pool_domains" (fun () ->
+      float_of_int (domain_count t));
+  g ~help:"chunks and entries in flight" "privagic_pool_inflight" (fun () ->
+      float_of_int (Atomic.get t.inflight));
+  g ~help:"completed entry-interface requests"
+    "privagic_pool_entries_served_total" (fun () ->
+      float_of_int (Atomic.get (t.entries_served)));
+  g ~help:"VM steps retired across all workers" "privagic_vm_steps_total"
+    (fun () -> float_of_int (total_steps t));
+  g ~help:"extern dispatches across all workers" "privagic_vm_externs_total"
+    (fun () -> float_of_int (total_externs t));
+  Obs.Registry.multi_gauge reg
+    ~help:"cache-model LLC misses per lane" "privagic_vm_llc_misses_total"
+    (fun () ->
+      List.map
+        (fun w ->
+          let c = Sgx.Machine.counters w.w_exec.Exec.machine in
+          ( [ ("lane",
+               Printf.sprintf "d%d/%s" w.w_lane (Color.to_string w.w_color)) ],
+            float_of_int c.Sgx.Machine.llc_misses ))
+        (sorted_workers t));
+  Obs.Registry.multi_gauge reg
+    ~help:"declassification calls per color (shared extern path)"
+    "privagic_declassify_total" (fun () ->
+      List.map
+        (fun (c, n) -> ([ ("color", c) ], float_of_int n))
+        (declass_counts t));
+  Obs.Registry.multi_gauge reg
+    ~help:"per-lane wall time by phase (microseconds)"
+    "privagic_lane_phase_us" (fun () ->
+      List.concat_map
+        (fun (b : Obs.Lane.breakdown) ->
+          List.map
+            (fun p ->
+              ( [ ("lane", b.Obs.Lane.b_label); ("phase", Obs.Phase.name p) ],
+                float_of_int b.Obs.Lane.b_phase_us.(Obs.Phase.index p) ))
+            Obs.Phase.all)
+        (lane_breakdowns t));
+  Obs.Registry.multi_gauge reg
+    ~help:"events lost to ring overwrite, per lane"
+    "privagic_obs_ring_dropped_total" (fun () ->
+      List.map
+        (fun l ->
+          let r = Obs.Lane.ring l in
+          ([ ("lane", Obs.Ring.label r) ], float_of_int (Obs.Ring.dropped r)))
+        (obs_lanes t))

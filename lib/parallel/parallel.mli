@@ -93,3 +93,35 @@ val set_spawn_guard : t -> bool -> unit
     since this call. Attach before the first entry call — workers
     created earlier recorded nothing. *)
 val set_telemetry : t -> Tel.Recorder.t -> unit
+
+(** {2 Observability (lib/obs)}
+
+    Always-on unless [PRIVAGIC_OBS=off]: each worker owns a
+    {!Privagic_obs.Lane} (phase accounting over run / pump-wait /
+    queue-wait / barrier / park plus an event ring). Snapshots taken
+    while the pool is active are monitoring-grade (at most one in-flight
+    transition stale per lane); after [call_entry] returns or [shutdown]
+    joins the domains they are exact. *)
+
+(** Per-worker lanes in deterministic (lane, color) order; empty with
+    obs off or before the first worker starts. *)
+val obs_lanes : t -> Privagic_obs.Lane.t list
+
+(** Phase decomposition of each lane's wall time, snapshotted now. *)
+val lane_breakdowns : t -> Privagic_obs.Lane.breakdown list
+
+(** All worker rings merged into one deterministic timeline. Call on a
+    quiescent pool (see {!Privagic_obs.Ring.merge}). *)
+val obs_events : t -> Privagic_obs.Ring.event array
+
+(** Extern dispatches summed over the base executor and all workers. *)
+val total_externs : t -> int
+
+(** Declassification calls per color name, off the shared extern path
+    (sorted by color). *)
+val declass_counts : t -> (string * int) list
+
+(** Register the pool's gauges (domains, inflight, steps, externs,
+    per-lane phase times, per-color declassify counts, ring drops) on a
+    registry. The gauges sample the live pool at exposition time. *)
+val register_obs : t -> Privagic_obs.Registry.t -> unit

@@ -245,6 +245,26 @@ let shipped t = locked t (fun () -> t.m_shipped)
 let sealed_count t = locked t (fun () -> t.m_sealed)
 let seal_cycles t = locked t (fun () -> t.m_seal_cycles)
 
+(* Everything the shipper knows, as live gauges: the closures take the
+   hub mutex at exposition time, never on the delta path. *)
+let register_obs t (reg : Privagic_obs.Registry.t) =
+  let g = Privagic_obs.Registry.gauge reg in
+  g ~help:"live replica connections" "privagic_repl_connected" (fun () ->
+      float_of_int (connected t));
+  g ~help:"live synchronous replica connections" "privagic_repl_sync_connected"
+    (fun () -> float_of_int (sync_connected t));
+  g ~help:"last observed replication lag (microseconds)"
+    "privagic_repl_lag_us" (fun () -> last_lag_us t);
+  g ~help:"delta frames shipped" "privagic_repl_shipped_total" (fun () ->
+      float_of_int (shipped t));
+  g ~help:"secret-colored payloads sealed for the wire"
+    "privagic_repl_sealed_total" (fun () -> float_of_int (sealed_count t));
+  g ~help:"cycles spent sealing payloads" "privagic_repl_seal_cycles_total"
+    (fun () -> seal_cycles t);
+  Privagic_obs.Registry.summary reg
+    ~help:"replication lag distribution (microseconds)"
+    "privagic_repl_lag_summary_us" (fun () -> lag_pctiles t)
+
 let drain t ~timeout_s =
   let already =
     locked t (fun () ->

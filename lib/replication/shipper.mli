@@ -56,6 +56,11 @@ val sealed_count : t -> int
 (** Modeled sealing cost accumulated so far ({!Seal.cost_cycles}). *)
 val seal_cycles : t -> float
 
+(** Register the shipper's gauges (connections, lag, shipped/sealed
+    counts, lag summary) on an obs registry. Closures take the hub mutex
+    only at exposition time. *)
+val register_obs : t -> Privagic_obs.Registry.t -> unit
+
 (** Flush the log tail to every live replica, wait (bounded) for their
     acks, close the connections and join the threads. Idempotent. *)
 val drain : t -> timeout_s:float -> unit

@@ -10,6 +10,7 @@ type request =
   | Set of int * string
   | Del of int
   | Stats
+  | Stats_metrics
   | Quit
   | Shutdown
   | Repl of { r_sync : bool; r_from : int }
@@ -21,6 +22,9 @@ type response =
   | Deleted
   | Not_found
   | Stats_reply of (string * string) list
+  | Metrics_reply of string
+      (* Prometheus exposition text ("\n"-terminated lines), closed by
+         an END line on the wire *)
   | Busy
   | Error_msg of string
   | Ok_msg
@@ -143,6 +147,7 @@ let feed r buf n =
             emit (`Bad "value too large")
           | _ -> emit (`Bad "bad set command"))
         | [ "stats" ] -> emit (`Req Stats)
+        | [ "stats"; "metrics" ] -> emit (`Req Stats_metrics)
         | [ "quit" ] -> emit (`Req Quit)
         | [ "shutdown" ] -> emit (`Req Shutdown)
         | [ "repl"; mode; from ] -> (
@@ -167,6 +172,14 @@ let render = function
     String.concat ""
       (List.map (fun (k, v) -> Printf.sprintf "STAT %s %s\r\n" k v) kvs)
     ^ "END\r\n"
+  | Metrics_reply text ->
+    (* exposition lines pass through verbatim; END closes the reply like
+       a stats block so line-oriented clients know where to stop *)
+    let text =
+      if text = "" || String.ends_with ~suffix:"\n" text then text
+      else text ^ "\n"
+    in
+    text ^ "END\r\n"
   | Busy -> "SERVER_BUSY\r\n"
   | Error_msg m -> Printf.sprintf "CLIENT_ERROR %s\r\n" m
   | Ok_msg -> "OK\r\n"
@@ -248,6 +261,7 @@ let render_request = function
   | Set (k, v) -> Printf.sprintf "set %d %d\r\n%s\r\n" k (String.length v) v
   | Del k -> Printf.sprintf "del %d\r\n" k
   | Stats -> "stats\r\n"
+  | Stats_metrics -> "stats metrics\r\n"
   | Quit -> "quit\r\n"
   | Shutdown -> "shutdown\r\n"
   | Repl { r_sync; r_from } ->

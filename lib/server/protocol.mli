@@ -10,6 +10,7 @@
     set <key> <len>\r\n<data>          STORED
     del <key>                          DELETED | NOT_FOUND
     stats                              STAT <name> <value>... END
+    stats metrics                      Prometheus exposition text... END
     quit                               (connection closed)
     shutdown                           OK, then the server drains
     v}
@@ -29,6 +30,10 @@ type request =
   | Set of int * string  (** key, exact value bytes *)
   | Del of int
   | Stats
+  | Stats_metrics
+      (** [stats metrics] — live metrics exposition (lib/obs): the reply
+          is the server registry rendered in Prometheus text format,
+          closed by an END line *)
   | Quit
   | Shutdown
   | Repl of { r_sync : bool; r_from : int }
@@ -45,6 +50,10 @@ type response =
   | Deleted
   | Not_found
   | Stats_reply of (string * string) list
+  | Metrics_reply of string
+      (** Prometheus exposition text, sent verbatim ("\n" line endings)
+          and closed by [END\r\n]. Not parsed by {!resp_reader} — probes
+          read the raw stream up to the END line. *)
   | Busy                   (** SERVER_BUSY: shed above the high-water mark *)
   | Error_msg of string    (** CLIENT_ERROR *)
   | Ok_msg

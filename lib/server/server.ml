@@ -28,6 +28,7 @@ module Tel = Privagic_telemetry
 module Msq = Privagic_runtime.Msqueue
 module Parallel = Privagic_parallel.Parallel
 module Repl = Privagic_replication
+module Obs = Privagic_obs
 open Privagic_vm
 
 type store = {
@@ -37,6 +38,9 @@ type store = {
   st_write : int -> string -> unit;
   st_read : int -> int -> string;
   st_drain : unit -> unit;
+  st_register_obs : Obs.Registry.t -> unit;
+      (* backend gauges (steps, externs, lane phases, declassify counts)
+         onto the server's registry *)
 }
 
 let store_of_heap heap =
@@ -65,6 +69,7 @@ let store_of_parallel p =
     st_write;
     st_read;
     st_drain = (fun () -> ignore (Parallel.shutdown p));
+    st_register_obs = (fun reg -> Parallel.register_obs p reg);
   }
 
 let store_of_pinterp (p : Pinterp.t) =
@@ -81,6 +86,21 @@ let store_of_pinterp (p : Pinterp.t) =
     st_write;
     st_read;
     st_drain = (fun () -> ());
+    st_register_obs =
+      (fun reg ->
+        let ex = p.Pinterp.exec in
+        let g = Obs.Registry.gauge reg in
+        g ~help:"VM steps retired" "privagic_vm_steps_total" (fun () ->
+            float_of_int ex.Exec.steps);
+        g ~help:"extern dispatches" "privagic_vm_externs_total" (fun () ->
+            float_of_int ex.Exec.externs);
+        Obs.Registry.multi_gauge reg
+          ~help:"declassification calls per color (shared extern path)"
+          "privagic_declassify_total" (fun () ->
+            Hashtbl.fold
+              (fun color r acc -> ([ ("color", color) ], float_of_int !r) :: acc)
+              ex.Exec.declass []
+            |> List.sort compare));
   }
 
 type bindings = {
@@ -229,6 +249,7 @@ type t = {
   m_mu : Mutex.t;
   h_latency : Tel.Metrics.histogram;
   h_qwait : Tel.Metrics.histogram;
+  obs : Obs.Registry.t; (* live metrics, served via `stats metrics` *)
   (* lifecycle *)
   d_mu : Mutex.t;
   d_cv : Condition.t;
@@ -480,8 +501,8 @@ let exec_batch t lane (batch : work list) =
             | Protocol.Not_found -> Hashtbl.replace cache k Protocol.Miss
             | _ -> Hashtbl.remove cache k);
             r
-          | Protocol.Stats | Protocol.Quit | Protocol.Shutdown
-          | Protocol.Repl _ ->
+          | Protocol.Stats | Protocol.Stats_metrics | Protocol.Quit
+          | Protocol.Shutdown | Protocol.Repl _ ->
             (* never enqueued; the owner answers these locally *)
             Protocol.Error_msg "internal: local verb in lane queue"
         in
@@ -596,6 +617,9 @@ let rec dispatch t c =
       match req with
       | Protocol.Stats ->
         write_resp c (Protocol.Stats_reply (!stats_fields_ref t));
+        dispatch t c
+      | Protocol.Stats_metrics ->
+        write_resp c (Protocol.Metrics_reply (Obs.Registry.expose t.obs));
         dispatch t c
       | Protocol.Quit -> true
       | Protocol.Shutdown ->
@@ -896,6 +920,7 @@ let start ?replica_of cfg bnd store =
       m_mu = Mutex.create ();
       h_latency = Tel.Metrics.histogram metrics "server latency (us)";
       h_qwait = Tel.Metrics.histogram metrics "queue wait (us)";
+      obs = Obs.Registry.create ();
       d_mu = Mutex.create ();
       d_cv = Condition.create ();
       draining = false;
@@ -906,6 +931,61 @@ let start ?replica_of cfg bnd store =
       executors = [];
     }
   in
+  (* live metrics (lib/obs): server counters and summaries, per-lane
+     queue depths, replication shipper gauges, then whatever the backend
+     store contributes (pool lane phases, steps, declassify counts).
+     Registered before the first thread starts so `stats metrics` is
+     complete from the first request on. *)
+  (let reg = t.obs in
+   let ac name help (a : int Atomic.t) =
+     Obs.Registry.gauge reg ~help name (fun () -> float_of_int (Atomic.get a))
+   in
+   Obs.Registry.multi_gauge reg ~help:"requests served, by operation"
+     "privagic_server_ops_total" (fun () ->
+       [
+         ([ ("op", "get") ], float_of_int (Atomic.get t.n_gets));
+         ([ ("op", "set") ], float_of_int (Atomic.get t.n_sets));
+         ([ ("op", "del") ], float_of_int (Atomic.get t.n_dels));
+       ]);
+   ac "privagic_server_hits_total" "get requests answered with a value"
+     t.n_hits;
+   ac "privagic_server_shed_total" "requests shed above the high-water mark"
+     t.n_shed;
+   ac "privagic_server_protocol_errors_total" "malformed request lines"
+     t.n_bad;
+   ac "privagic_server_batches_total" "executor batches" t.n_batches;
+   ac "privagic_server_coalesced_total" "gets coalesced inside a batch"
+     t.n_coalesced;
+   ac "privagic_server_conns_accepted_total" "connections accepted"
+     t.conns_accepted;
+   ac "privagic_server_conns_open" "connections currently open" t.conns_open;
+   ac "privagic_server_repl_applied_total" "deltas applied while a replica"
+     t.n_applied;
+   ac "privagic_server_repl_fence_timeouts_total" "sync acks that timed out"
+     t.n_fence_timeouts;
+   Obs.Registry.multi_gauge reg ~help:"pending requests per executor lane"
+     "privagic_server_queue_depth" (fun () ->
+       Array.to_list
+         (Array.mapi
+            (fun i d ->
+              ([ ("lane", string_of_int i) ], float_of_int (Atomic.get d)))
+            t.depths));
+   Obs.Registry.gauge reg ~help:"replication log head sequence"
+     "privagic_repl_seq" (fun () -> float_of_int (Repl.Log.head t.repl_log));
+   Obs.Registry.summary reg ~help:"request latency (microseconds)"
+     "privagic_server_latency_us" (fun () ->
+       Mutex.lock t.m_mu;
+       let p = Tel.Metrics.pctiles t.h_latency in
+       Mutex.unlock t.m_mu;
+       p);
+   Obs.Registry.summary reg ~help:"queue wait (microseconds)"
+     "privagic_server_queue_wait_us" (fun () ->
+       Mutex.lock t.m_mu;
+       let p = Tel.Metrics.pctiles t.h_qwait in
+       Mutex.unlock t.m_mu;
+       p);
+   Repl.Shipper.register_obs t.hub reg;
+   store.st_register_obs reg);
   t.executors <-
     List.init cfg.lanes (fun i -> Thread.create (fun () -> executor_loop t i) ());
   t.workers <-
@@ -915,6 +995,7 @@ let start ?replica_of cfg bnd store =
   t
 
 let port t = t.t_port
+let metrics_registry t = t.obs
 let is_draining t = t.draining
 
 let drain t =
@@ -1048,6 +1129,8 @@ let stats_fields t =
     ("repl_seq", string_of_int s.s_repl_seq);
     ("repl_applied", string_of_int s.s_applied);
     ("repl_fence_timeouts", string_of_int s.s_fence_timeouts);
+    ("latency_us_p999", f s.s_latency.Tel.Metrics.p999);
+    ("latency_us_max", f s.s_latency.Tel.Metrics.p_max);
   ]
 
 let () =

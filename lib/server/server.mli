@@ -35,6 +35,9 @@ type store = {
   st_write : int -> string -> unit;
   st_read : int -> int -> string;
   st_drain : unit -> unit;  (** close/join the backend (idempotent) *)
+  st_register_obs : Privagic_obs.Registry.t -> unit;
+      (** register the backend's gauges (steps, externs, lane phases,
+          declassify counts) on the server's obs registry *)
 }
 
 val store_of_parallel : Privagic_parallel.Parallel.t -> store
@@ -133,6 +136,12 @@ val stats : t -> stats
 (** The [STAT k v] pairs of the protocol's [stats] verb. The historical
     fields keep their names and order; replication fields append. *)
 val stats_fields : t -> (string * string) list
+
+(** The server's live metrics registry (lib/obs) — what the
+    [stats metrics] verb exposes. Populated at {!start} with server
+    counters/summaries, per-lane queue depths, replication shipper
+    gauges, and the backend store's contribution. *)
+val metrics_registry : t -> Privagic_obs.Registry.t
 
 (** {1 Replication}
 

@@ -104,7 +104,7 @@ let percentile h p =
 (* The standard latency-report quartet, for any duration-class metric:
    sinks (summary, server stats, BENCH json) all report the same points. *)
 type pctiles = { n : int; p_mean : float; p50 : float; p95 : float;
-                 p99 : float; p_max : float }
+                 p99 : float; p999 : float; p_max : float }
 
 let pctiles h =
   {
@@ -113,6 +113,7 @@ let pctiles h =
     p50 = percentile h 0.50;
     p95 = percentile h 0.95;
     p99 = percentile h 0.99;
+    p999 = percentile h 0.999;
     p_max = (if h.h_count = 0 then 0.0 else h.h_max);
   }
 
@@ -144,6 +145,6 @@ let pp fmt t =
         let p = pctiles h in
         fprintf fmt
           "  %-32s n=%-7d mean=%-10.0f p50=%-10.0f p95=%-10.0f p99=%-10.0f \
-           max=%-10.0f@."
-          h.h_name p.n p.p_mean p.p50 p.p95 p.p99 p.p_max)
+           p99.9=%-10.0f max=%-10.0f@."
+          h.h_name p.n p.p_mean p.p50 p.p95 p.p99 p.p999 p.p_max)
     ()

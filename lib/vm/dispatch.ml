@@ -336,6 +336,19 @@ let indirect_entry_key (plan : Plan.t) (f : Func.t) : Infer.instance_key =
    @raise Exec.Trap on an unknown external. *)
 let dispatch_extern t (ex : Exec.t) ~(color : Color.t) ~(caller : string)
     (i : Instr.t) callee (args : Rvalue.t array) : Rvalue.t =
+  ex.Exec.externs <- ex.Exec.externs + 1;
+  (match callee with
+  | "declassify" | "declassify_i64" ->
+    let key = Color.to_string color in
+    (match Hashtbl.find_opt ex.Exec.declass key with
+    | Some r -> incr r
+    | None -> Hashtbl.add ex.Exec.declass key (ref 1))
+  | _ -> ());
+  (match ex.Exec.obs_ring with
+  | None -> ()
+  | Some r ->
+    Privagic_obs.Ring.record_now r ~code:Privagic_obs.Ring.code_extern
+      ~arg:(Externals.syscall_weight callee));
   let malloc_zone = zone_of_color color in
   let zone_for (sty : Ty.t) =
     match sty.Ty.desc with

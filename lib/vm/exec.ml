@@ -60,6 +60,13 @@ type t = {
          before it executes — declassification authorization, program
          output, simulated network sends. Copied by [clone_shared], so
          parallel workers inherit the monitor. *)
+  mutable externs : int; (* extern dispatches retired on this executor *)
+  declass : (string, int ref) Hashtbl.t;
+      (* declassification calls per color name; per-executor (parallel
+         workers each own one), summed at metrics registration *)
+  mutable obs_ring : Privagic_obs.Ring.t option;
+      (* when attached, extern dispatches drop a point event here; None
+         keeps the obs-off dispatch path a single int increment *)
 }
 
 and hooks = {
@@ -121,6 +128,9 @@ let create ?(fuel = 500_000_000) ?(data_map = default_data_map) m heap layout
     reg_ty_cache = Hashtbl.create 16;
     run_func = None;
     extern_tap = None;
+    externs = 0;
+    declass = Hashtbl.create 4;
+    obs_ring = None;
   }
 
 (* A per-worker executor for the parallel backend: shares the module, heap,
@@ -138,6 +148,9 @@ let clone_shared t ~machine ~hooks =
     clock = Vclock.make 0.0;
     current_func = "<entry>";
     steps = 0;
+    externs = 0;
+    declass = Hashtbl.create 4;
+    obs_ring = None;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -49,6 +49,14 @@ type t = {
           call before it executes — declassification authorization, program
           output, simulated network sends. Copied by [clone_shared], so
           parallel workers inherit the monitor. *)
+  mutable externs : int;
+      (** extern dispatches retired on this executor (obs counter) *)
+  declass : (string, int ref) Hashtbl.t;
+      (** declassification calls per color name; per-executor, summed at
+          obs metrics registration *)
+  mutable obs_ring : Privagic_obs.Ring.t option;
+      (** when attached, extern dispatches drop a point event here; [None]
+          keeps the obs-off dispatch path a single int increment *)
 }
 
 and hooks = {

@@ -52,4 +52,5 @@ let () =
       ("replication", Test_replication.suite);
       ("wire_fuzz", Test_wire_fuzz.suite);
       ("robust", Test_robust.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -247,6 +247,76 @@ let test_drain_no_loss () =
   let s = Server.stats srv in
   Alcotest.(check int) "server counted them" n s.Server.s_sets
 
+(* 'stats metrics' loopback: the Prometheus exposition must arrive over
+   a plain socket, closed by END, carrying the serving/pool/vm/replication
+   metric families — the same probe the CI serve smoke runs with nc. *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* Metrics_reply is deliberately not parsed by resp_reader: read the raw
+   stream until the END line, like an external probe would. *)
+let read_until_end ?(timeout = 10.0) c =
+  let buf = Bytes.create 8192 in
+  let acc = Buffer.create 4096 in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let eof = ref false in
+  while
+    (not !eof)
+    && (not (contains ~needle:"END\r\n" (Buffer.contents acc)))
+    && Unix.gettimeofday () < deadline
+  do
+    match Unix.select [ c.fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.read c.fd buf 0 (Bytes.length buf) with
+      | 0 -> eof := true
+      | n -> Buffer.add_subbytes acc buf 0 n)
+  done;
+  Buffer.contents acc
+
+let test_stats_metrics_loopback () =
+  Privagic_obs.set_enabled true;
+  let store = store_of `Parallel (plan ()) in
+  init_store store;
+  let bnd = Option.get (Server.bindings_of_plan (plan ())) in
+  let srv =
+    Server.start { Server.default_config with Server.port = 0; vsize } bnd
+      store
+  in
+  let c = connect (Server.port srv) in
+  (* a served op first, so op counters have something to show *)
+  (match rpc c (Protocol.Set (1, "v")) with
+  | Protocol.Stored -> ()
+  | r -> Alcotest.failf "set: %s" (Protocol.render r));
+  send_all c "stats metrics\r\n";
+  let text = read_until_end c in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle text) then
+        Alcotest.failf "metrics exposition missing %S in:\n%s" needle text)
+    [
+      "# TYPE privagic_server_ops_total";
+      "privagic_server_ops_total{op=\"set\"} 1";
+      "privagic_server_conns_open";
+      "privagic_server_queue_depth{lane=";
+      "# TYPE privagic_server_latency_us summary";
+      "quantile=\"0.999\"";
+      "privagic_repl_lag_us";
+      "privagic_pool_lanes";
+      "privagic_vm_steps_total";
+      "privagic_lane_phase_us{lane=";
+      "END\r\n";
+    ];
+  (* the connection must keep serving normal requests afterwards *)
+  (match rpc c (Protocol.Get 1) with
+  | Protocol.Value _ -> ()
+  | r -> Alcotest.failf "get after metrics: %s" (Protocol.render r));
+  Unix.close c.fd;
+  Server.drain srv
+
 (* Shedding: queue bound 1, one lane, slow store, several closed-loop
    clients — SERVER_BUSY must fire, and every shed op must succeed on
    retry (the load generator retries and demands zero errors). *)
@@ -292,5 +362,7 @@ let suite =
       (test_differential `Parallel);
     Alcotest.test_case "graceful drain loses no parsed request" `Quick
       test_drain_no_loss;
+    Alcotest.test_case "stats metrics loopback" `Quick
+      test_stats_metrics_loopback;
     Alcotest.test_case "shedding at queue bound 1" `Quick test_shedding;
   ]
