@@ -418,10 +418,25 @@ let bench_action quick out target =
     let path = Option.value out ~default:"BENCH_obs.json" in
     ignore (Privagic_harness.Obsbench.run ~quick ~path ());
     0
+  | "txn" ->
+    let path = Option.value out ~default:"BENCH_txn.json" in
+    let r = Privagic_harness.Txnbench.run ~quick ~path () in
+    let module T = Privagic_harness.Txnbench in
+    (* sanity gate for CI: commits happened, aborts matched the seeded
+       stale guards, and no mix saw protocol errors *)
+    if
+      r.T.tb_txn.T.tp_commits = 0
+      || r.T.tb_txn.T.tp_aborts = 0
+      || List.exists (fun c -> c.T.tb_errors > 0) r.T.tb_mixes
+    then begin
+      prerr_endline "bench txn: counter sanity check failed";
+      1
+    end
+    else 0
   | t ->
     prerr_endline
       ("bench: unknown target '" ^ t
-     ^ "' (expected: vm, replication, robust, obs)");
+     ^ "' (expected: vm, replication, robust, obs, txn)");
     2
 
 (* --- the robust-safety fuzzer --- *)
@@ -552,7 +567,8 @@ let serve_action mode auth trace backend lanes engine host port queue_depth
     | Some a -> Printf.sprintf ", replica of %s" a
     | None -> "");
   Format.printf
-    "protocol: get/set/del/stats/quit/shutdown; drain with SIGINT@.";
+    "protocol: get/set/del/getv/cas/scan/txn..exec/stats/quit/shutdown; \
+     drain with SIGINT@.";
   (* as a replica: run the replication client against the primary, apply
      its stream into this server, and promote on primary loss *)
   let stopping = Atomic.make false in
@@ -609,7 +625,7 @@ let serve_action mode auth trace backend lanes engine host port queue_depth
   0
 
 let loadgen_action host port clients ops rate records vsize seed read_prop
-    no_preload shutdown out =
+    mix scan_len no_preload shutdown out =
   let cfg =
     {
       Loadgen.host;
@@ -621,6 +637,8 @@ let loadgen_action host port clients ops rate records vsize seed read_prop
       vsize;
       seed;
       read_prop;
+      mix;
+      scan_len;
       preload = not no_preload;
       shutdown;
     }
@@ -814,8 +832,9 @@ let bench_cmd =
                 steps/sec), 'replication' (sync/async delta shipping: \
                 throughput, lag percentiles, failover time), 'robust' \
                 (adversarial robust-safety campaign: programs/s checked, \
-                mutant kill rate), or 'obs' (per-lane stall attribution \
-                plus instrumentation overhead).")
+                mutant kill rate), 'obs' (per-lane stall attribution \
+                plus instrumentation overhead), or 'txn' (YCSB-E/F mixes \
+                plus multi-op transactions against the serving layer).")
   in
   Cmd.v
     (Cmd.info "bench"
@@ -1020,6 +1039,27 @@ let loadgen_cmd =
       & info [ "read-prop" ] ~docv:"P"
           ~doc:"Read proportion of the YCSB mix (default 0.95 = workload B).")
   in
+  let mix =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("custom", Loadgen.Custom); ("ycsb-e", Loadgen.Ycsb_e);
+               ("ycsb-f", Loadgen.Ycsb_f) ])
+          Loadgen.Custom
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:"Workload mix: $(b,custom) (the --read-prop dial), \
+                $(b,ycsb-e) (95% range scans / 5% inserts) or \
+                $(b,ycsb-f) (50% reads / 50% read-modify-writes driven \
+                as getv+cas).")
+  in
+  let scan_len =
+    Arg.(
+      value & opt (pos_int "scan-len") 16
+      & info [ "scan-len" ] ~docv:"N"
+          ~doc:"Maximum requested scan length in the ycsb-e mix \
+                (lengths are uniform in [1, N]).")
+  in
   let no_preload =
     Arg.(
       value & flag
@@ -1047,7 +1087,8 @@ let loadgen_cmd =
        ~doc:"Drive a running privagic server with a YCSB-style workload \
              and report throughput and latency percentiles")
     Term.(const loadgen_action $ host $ port $ clients $ ops $ rate $ records
-          $ vsize $ seed $ read_prop $ no_preload $ shutdown $ out)
+          $ vsize $ seed $ read_prop $ mix $ scan_len $ no_preload $ shutdown
+          $ out)
 
 let () =
   let doc = "automatic code partitioning with explicit secure typing" in

@@ -60,6 +60,7 @@ type parallel_result = {
   pr_family : family;
   pr_record_count : int;
   pr_operations : int;
+  pr_drivers : int;            (* issuing threads (1 = closed loop) *)
   pr_domains : int;            (* domains the worker pool actually spawned *)
   pr_wall_seconds : float;     (* run phase only, wall clock *)
   pr_throughput_kops : float;
@@ -81,8 +82,8 @@ let colored_plan ?(auth_pointers = false) ~mode src =
   plan
 
 let run_parallel ?(nbuckets = 4096) ?(vsize = 1024) ?(seed = 42)
-    ?(distribution = Ycsb.Zipfian) ?(lanes = 2) ?telemetry ?engine
-    (family : family) ~(record_count : int) ~(operations : int) () :
+    ?(distribution = Ycsb.Zipfian) ?(lanes = 2) ?(drivers = 1) ?telemetry
+    ?engine (family : family) ~(record_count : int) ~(operations : int) () :
     parallel_result =
   let src = source family `Colored ~nbuckets ~vsize in
   let plan = colored_plan ~mode:(mode_for family) src in
@@ -93,7 +94,6 @@ let run_parallel ?(nbuckets = 4096) ?(vsize = 1024) ?(seed = 42)
   let heap = (Parallel.exec p).Exec.heap in
   let put_entry, get_entry = entries family in
   let vbuf = Heap.alloc heap Heap.Unsafe vsize in
-  let obuf = Heap.alloc heap Heap.Unsafe vsize in
   String.iteri
     (fun i c -> Heap.store heap (vbuf + i) 1 (Int64.of_int (Char.code c)))
     (Ycsb.value_for ~size:vsize 1);
@@ -106,29 +106,65 @@ let run_parallel ?(nbuckets = 4096) ?(vsize = 1024) ?(seed = 42)
       (Parallel.call_entry p put_entry
          [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr vbuf ])
   done;
-  let spec =
-    { (Ycsb.workload_b ~seed ~record_count ~operation_count:operations
-         ~value_size:vsize ())
-      with Ycsb.distribution }
+  (* Measured phase. [drivers = 1] is the closed loop of old: one
+     blocking caller, so with more than one lane the pool mostly parks
+     waiting for the driver (E14) and the stall table measures the
+     driver. [drivers > 1] is the multi-inflight mode: that many
+     issuing threads keep the lanes fed concurrently, so stalls
+     attribute to the engine. Each driver owns its generator (offset
+     seeds), its output buffer and its share of the ops; keys are
+     shared on purpose — that is the contended case. *)
+  let drivers = max 1 drivers in
+  let mk_gen i =
+    let spec =
+      { (Ycsb.workload_b ~seed:(seed + (i * 1000003)) ~record_count
+           ~operation_count:operations ~value_size:vsize ())
+        with Ycsb.distribution }
+    in
+    Ycsb.create spec
   in
-  let gen = Ycsb.create spec in
-  let found = ref 0 and reads = ref 0 in
+  let obufs = Array.init drivers (fun _ -> Heap.alloc heap Heap.Unsafe vsize) in
+  let founds = Array.make drivers 0 and readss = Array.make drivers 0 in
+  let share i =
+    (operations / drivers) + if i < operations mod drivers then 1 else 0
+  in
+  let drive i () =
+    let gen = mk_gen i in
+    let obuf = obufs.(i) in
+    for _ = 1 to share i do
+      match Ycsb.next_op gen with
+      | Ycsb.Read k | Ycsb.Scan (k, _) ->
+        readss.(i) <- readss.(i) + 1;
+        let r =
+          Parallel.call_entry p ~thread:i get_entry
+            [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr obuf ]
+        in
+        if Rvalue.truthy r.Parallel.value then founds.(i) <- founds.(i) + 1
+      | Ycsb.Rmw k ->
+        readss.(i) <- readss.(i) + 1;
+        let r =
+          Parallel.call_entry p ~thread:i get_entry
+            [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr obuf ]
+        in
+        if Rvalue.truthy r.Parallel.value then founds.(i) <- founds.(i) + 1;
+        ignore
+          (Parallel.call_entry p ~thread:i put_entry
+             [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr vbuf ])
+      | Ycsb.Update k | Ycsb.Insert k ->
+        ignore
+          (Parallel.call_entry p ~thread:i put_entry
+             [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr vbuf ])
+    done
+  in
   let steps0 = Parallel.total_steps p in
   let start = Unix.gettimeofday () in
-  for _ = 1 to operations do
-    match Ycsb.next_op gen with
-    | Ycsb.Read k ->
-      incr reads;
-      let r =
-        Parallel.call_entry p get_entry
-          [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr obuf ]
-      in
-      if Rvalue.truthy r.Parallel.value then incr found
-    | Ycsb.Update k | Ycsb.Insert k ->
-      ignore
-        (Parallel.call_entry p put_entry
-           [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr vbuf ])
-  done;
+  (if drivers = 1 then drive 0 ()
+   else
+     let ths = List.init drivers (fun i -> Thread.create (drive i) ()) in
+     List.iter Thread.join ths);
+  let found = Array.fold_left ( + ) 0 founds
+  and reads = Array.fold_left ( + ) 0 readss in
+  let found = ref found and reads = ref reads in
   let wall = Unix.gettimeofday () -. start in
   let steps = Parallel.total_steps p - steps0 in
   let stalls = Parallel.lane_breakdowns p in
@@ -138,6 +174,7 @@ let run_parallel ?(nbuckets = 4096) ?(vsize = 1024) ?(seed = 42)
     pr_family = family;
     pr_record_count = record_count;
     pr_operations = operations;
+    pr_drivers = drivers;
     pr_domains = domains;
     pr_wall_seconds = wall;
     pr_throughput_kops =
@@ -189,13 +226,23 @@ let run ?(config = Sgx.Config.machine_b) ?cost ?(nbuckets = 4096)
   let found = ref 0 and reads = ref 0 in
   for _ = 1 to operations do
     match Ycsb.next_op gen with
-    | Ycsb.Read k ->
+    | Ycsb.Read k | Ycsb.Scan (k, _) ->
       incr reads;
       let v, lat = sys.System.call get_entry
           [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr obuf ]
       in
       if Rvalue.truthy v then incr found;
       total_latency := !total_latency +. lat
+    | Ycsb.Rmw k ->
+      incr reads;
+      let v, lat = sys.System.call get_entry
+          [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr obuf ]
+      in
+      if Rvalue.truthy v then incr found;
+      let _, lat2 = sys.System.call put_entry
+          [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr vbuf ]
+      in
+      total_latency := !total_latency +. lat +. lat2
     | Ycsb.Update k | Ycsb.Insert k ->
       let _, lat = sys.System.call put_entry
           [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr vbuf ]

@@ -40,6 +40,7 @@ type parallel_result = {
   pr_family : family;
   pr_record_count : int;
   pr_operations : int;
+  pr_drivers : int;        (** issuing threads (1 = closed loop) *)
   pr_domains : int;        (** domains the worker pool actually spawned *)
   pr_wall_seconds : float; (** run phase only, wall clock *)
   pr_throughput_kops : float;
@@ -60,6 +61,7 @@ val run_parallel :
   ?seed:int ->
   ?distribution:Ycsb.distribution ->
   ?lanes:int ->
+  ?drivers:int ->
   ?telemetry:Privagic_telemetry.Recorder.t ->
   ?engine:Privagic_vm.Exec.engine ->
   family ->

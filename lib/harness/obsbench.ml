@@ -135,7 +135,7 @@ let sim_cell ~obs ~records ~operations =
     let gen = Ycsb.create spec in
     for _ = 1 to operations do
       match Ycsb.next_op gen with
-      | Ycsb.Read k ->
+      | Ycsb.Read k | Ycsb.Scan (k, _) | Ycsb.Rmw k ->
         ignore
           (Pinterp.call_entry pt get_entry
              [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr obuf ])

@@ -68,7 +68,7 @@ let replay ~reps ~call ~steps ~heap family ~records ~operations ~vsize =
     let gen = Ycsb.create spec in
     for _ = 1 to operations do
       match Ycsb.next_op gen with
-      | Ycsb.Read k ->
+      | Ycsb.Read k | Ycsb.Scan (k, _) | Ycsb.Rmw k ->
         ignore (call get_entry [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr obuf ])
       | Ycsb.Update k | Ycsb.Insert k ->
         ignore (call put_entry [ Rvalue.Int (Int64.of_int k); Rvalue.Ptr vbuf ])

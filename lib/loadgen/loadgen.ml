@@ -7,6 +7,13 @@ module Tel = Privagic_telemetry
 module Ycsb = Privagic_workloads.Ycsb
 module Protocol = Privagic_server.Protocol
 
+type mix = Custom | Ycsb_e | Ycsb_f
+
+let mix_name = function
+  | Custom -> "custom"
+  | Ycsb_e -> "ycsb-e"
+  | Ycsb_f -> "ycsb-f"
+
 type config = {
   host : string;
   port : int;
@@ -17,6 +24,8 @@ type config = {
   vsize : int;
   seed : int;
   read_prop : float;
+  mix : mix;
+  scan_len : int;
   preload : bool;
   shutdown : bool;
 }
@@ -32,6 +41,8 @@ let default_config =
     vsize = 32;
     seed = 42;
     read_prop = 0.95;
+    mix = Custom;
+    scan_len = 16;
     preload = true;
     shutdown = false;
   }
@@ -42,6 +53,9 @@ type result = {
   r_errors : int;
   r_hits : int;
   r_misses : int;
+  r_scans : int;
+  r_scan_items : int;
+  r_rmw_conflicts : int;
   r_preload_ops : int;
   r_wall_seconds : float;
   r_throughput_kops : float;
@@ -102,7 +116,14 @@ type phase_counts = {
   mutable errors : int;
   mutable hits : int;
   mutable misses : int;
+  mutable scans : int;
+  mutable scan_items : int;
+  mutable conflicts : int;
 }
+
+let fresh_counts () =
+  { ok = 0; busy = 0; errors = 0; hits = 0; misses = 0; scans = 0;
+    scan_items = 0; conflicts = 0 }
 
 (* Per-connection pipelining bound in open loop: keeps memory finite when
    the offered rate exceeds the service rate. Far above anything a closed
@@ -113,7 +134,13 @@ exception Dead of string
 
 (* Drive [total] requests from [next_req] to completion across the
    clients. [rate] = 0: closed loop, one outstanding per connection;
-   [rate] > 0: open loop at the aggregate rate. *)
+   [rate] > 0: open loop at the aggregate rate.
+
+   An RMW op issues as [getv]; its [Version] answer does not complete
+   the op but chains the [cas] second leg behind the same connection,
+   keeping the original schedule time — the recorded latency spans the
+   whole read-modify-write (the CO-free convention extends across
+   legs). Only the [cas] answer counts the op. *)
 let run_phase cfg clients ~total ~rate ~(next_req : unit -> Protocol.request)
     ~(hist : Tel.Metrics.histogram option) (counts : phase_counts) =
   let n = Array.length clients in
@@ -122,6 +149,16 @@ let run_phase cfg clients ~total ~rate ~(next_req : unit -> Protocol.request)
   let next_client = ref 0 in
   let last_progress = ref start in
   let buf = Bytes.create 65536 in
+  let complete () =
+    incr completed;
+    last_progress := Unix.gettimeofday ()
+  in
+  let observe sched_at =
+    match hist with
+    | Some h ->
+      Tel.Metrics.observe h ((Unix.gettimeofday () -. sched_at) *. 1e6)
+    | None -> ()
+  in
   while !completed < total do
     let now = Unix.gettimeofday () in
     (* issue what is due *)
@@ -190,26 +227,51 @@ let run_phase cfg clients ~total ~rate ~(next_req : unit -> Protocol.request)
                          the original schedule time: shed work pays its
                          full latency *)
                       send c ~sched_at req
-                    | other ->
-                      incr completed;
-                      last_progress := Unix.gettimeofday ();
-                      (match hist with
-                      | Some h ->
-                        Tel.Metrics.observe h
-                          ((Unix.gettimeofday () -. sched_at) *. 1e6)
-                      | None -> ());
-                      (match other with
-                      | Protocol.Value _ ->
+                    | other -> (
+                      match (req, other) with
+                      | Protocol.Getv k,
+                        Protocol.Version { v_ver; v_val; _ } ->
+                        (* RMW first leg: account the read, chain the
+                           guarded write on the same schedule time *)
+                        (match v_val with
+                        | Some _ -> counts.hits <- counts.hits + 1
+                        | None -> counts.misses <- counts.misses + 1);
+                        last_progress := Unix.gettimeofday ();
+                        send c ~sched_at
+                          (Protocol.Cas
+                             { c_key = k; c_ver = v_ver;
+                               c_val = Ycsb.value_for ~size:cfg.vsize k })
+                      | Protocol.Cas _, Protocol.Stored ->
+                        counts.ok <- counts.ok + 1;
+                        complete (); observe sched_at
+                      | Protocol.Cas _,
+                        (Protocol.Cas_conflict _ | Protocol.Not_found) ->
+                        (* lost the race to a concurrent writer: the op
+                           still completes (and pays its latency) *)
+                        counts.conflicts <- counts.conflicts + 1;
+                        counts.ok <- counts.ok + 1;
+                        complete (); observe sched_at
+                      | Protocol.Scan _, Protocol.Scan_reply items ->
+                        counts.scans <- counts.scans + 1;
+                        counts.scan_items <-
+                          counts.scan_items + List.length items;
+                        counts.ok <- counts.ok + 1;
+                        complete (); observe sched_at
+                      | _, Protocol.Value _ ->
                         counts.hits <- counts.hits + 1;
-                        counts.ok <- counts.ok + 1
-                      | Protocol.Miss ->
+                        counts.ok <- counts.ok + 1;
+                        complete (); observe sched_at
+                      | _, Protocol.Miss ->
                         counts.misses <- counts.misses + 1;
-                        counts.ok <- counts.ok + 1
-                      | Protocol.Stored | Protocol.Deleted
-                      | Protocol.Not_found ->
-                        counts.ok <- counts.ok + 1
-                      | Protocol.Error_msg _ | _ ->
-                        counts.errors <- counts.errors + 1)))
+                        counts.ok <- counts.ok + 1;
+                        complete (); observe sched_at
+                      | _, (Protocol.Stored | Protocol.Deleted
+                           | Protocol.Not_found) ->
+                        counts.ok <- counts.ok + 1;
+                        complete (); observe sched_at
+                      | _, _ ->
+                        counts.errors <- counts.errors + 1;
+                        complete (); observe sched_at)))
                 (Protocol.feed_resp c.rd buf nread)
             | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
             | exception Unix.Unix_error (e, _, _) ->
@@ -219,14 +281,38 @@ let run_phase cfg clients ~total ~rate ~(next_req : unit -> Protocol.request)
     if Unix.gettimeofday () -. !last_progress > 60.0 then
       raise (Dead "no progress for 60 s")
   done;
-  ignore cfg;
   Unix.gettimeofday () -. start
 
 (* ------------------------------------------------------------------ *)
 
+let spec_of cfg =
+  match cfg.mix with
+  | Custom ->
+    {
+      Ycsb.record_count = cfg.record_count;
+      operation_count = cfg.ops;
+      read_proportion = cfg.read_prop;
+      update_proportion = 1.0 -. cfg.read_prop;
+      insert_proportion = 0.0;
+      scan_proportion = 0.0;
+      rmw_proportion = 0.0;
+      max_scan_len = 1;
+      distribution = Ycsb.Zipfian;
+      value_size = cfg.vsize;
+      seed = cfg.seed;
+    }
+  | Ycsb_e ->
+    Ycsb.workload_e ~seed:cfg.seed ~max_scan_len:cfg.scan_len
+      ~record_count:cfg.record_count ~operation_count:cfg.ops
+      ~value_size:cfg.vsize ()
+  | Ycsb_f ->
+    Ycsb.workload_f ~seed:cfg.seed ~record_count:cfg.record_count
+      ~operation_count:cfg.ops ~value_size:cfg.vsize ()
+
 let run cfg =
   if cfg.clients < 1 then invalid_arg "loadgen: clients must be positive";
   if cfg.ops < 1 then invalid_arg "loadgen: ops must be positive";
+  if cfg.scan_len < 1 then invalid_arg "loadgen: scan_len must be positive";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let clients = Array.init cfg.clients (connect cfg) in
@@ -237,7 +323,7 @@ let run cfg =
   in
   let metrics = Tel.Metrics.create () in
   let hist = Tel.Metrics.histogram metrics "latency (us)" in
-  let counts = { ok = 0; busy = 0; errors = 0; hits = 0; misses = 0 } in
+  let counts = fresh_counts () in
   let finally f = try f () with e -> close_all (); raise e in
   finally @@ fun () ->
   (* preload: unmeasured closed-loop sets of the whole key space *)
@@ -249,7 +335,7 @@ let run cfg =
         incr k;
         Protocol.Set (!k, Ycsb.value_for ~size:cfg.vsize !k)
       in
-      let pre = { ok = 0; busy = 0; errors = 0; hits = 0; misses = 0 } in
+      let pre = fresh_counts () in
       ignore
         (run_phase cfg clients ~total:cfg.record_count ~rate:0.0 ~next_req
            ~hist:None pre);
@@ -260,24 +346,19 @@ let run cfg =
     end
   in
   (* measured phase: the YCSB mix *)
-  let spec =
-    {
-      Ycsb.record_count = cfg.record_count;
-      operation_count = cfg.ops;
-      read_proportion = cfg.read_prop;
-      update_proportion = 1.0 -. cfg.read_prop;
-      insert_proportion = 0.0;
-      distribution = Ycsb.Zipfian;
-      value_size = cfg.vsize;
-      seed = cfg.seed;
-    }
-  in
-  let gen = Ycsb.create spec in
+  let gen = Ycsb.create (spec_of cfg) in
   let next_req () =
     match Ycsb.next_op gen with
     | Ycsb.Read k -> Protocol.Get k
     | Ycsb.Update k | Ycsb.Insert k ->
       Protocol.Set (k, Ycsb.value_for ~size:cfg.vsize k)
+    | Ycsb.Scan (k, len) ->
+      (* a window of twice the requested length: sparse key spaces still
+         return close to [len] items without walking to the end *)
+      Protocol.Scan
+        { sc_start = k; sc_stop = k + (2 * len);
+          sc_limit = min len Protocol.max_scan_limit }
+    | Ycsb.Rmw k -> Protocol.Getv k
   in
   let wall =
     try
@@ -306,6 +387,9 @@ let run cfg =
     r_errors = counts.errors;
     r_hits = counts.hits;
     r_misses = counts.misses;
+    r_scans = counts.scans;
+    r_scan_items = counts.scan_items;
+    r_rmw_conflicts = counts.conflicts;
     r_preload_ops = preload_ops;
     r_wall_seconds = wall;
     r_throughput_kops =
@@ -327,10 +411,13 @@ let write_json ~path cfg r =
     cfg.rate;
   p "  \"record_count\": %d, \"vsize\": %d, \"seed\": %d, \"read_prop\": %g,\n"
     cfg.record_count cfg.vsize cfg.seed cfg.read_prop;
+  p "  \"mix\": \"%s\", \"scan_len\": %d,\n" (mix_name cfg.mix) cfg.scan_len;
   p "  \"preload_ops\": %d,\n" r.r_preload_ops;
   p "  \"ops_ok\": %d, \"busy\": %d, \"errors\": %d,\n" r.r_ops_ok r.r_busy
     r.r_errors;
   p "  \"hits\": %d, \"misses\": %d,\n" r.r_hits r.r_misses;
+  p "  \"scans\": %d, \"scan_items\": %d, \"rmw_conflicts\": %d,\n" r.r_scans
+    r.r_scan_items r.r_rmw_conflicts;
   p "  \"wall_seconds\": %.6f,\n" r.r_wall_seconds;
   p "  \"throughput_kops\": %.3f,\n" r.r_throughput_kops;
   (* open-loop honesty: the rate asked for next to the rate sustained —
@@ -351,10 +438,12 @@ let pp_result fmt r =
   let l = r.r_latency in
   Format.fprintf fmt
     "@[<v>ops ok        %d (hits %d, misses %d, busy retries %d, errors %d)@,\
+     scans         %d (%d items), rmw conflicts %d@,\
      wall          %.3f s@,\
      throughput    %.2f kops/s%s@,\
      latency (us)  p50 %.0f  p95 %.0f  p99 %.0f  p99.9 %.0f  max %.0f  (mean %.0f)@]"
-    r.r_ops_ok r.r_hits r.r_misses r.r_busy r.r_errors r.r_wall_seconds
+    r.r_ops_ok r.r_hits r.r_misses r.r_busy r.r_errors r.r_scans
+    r.r_scan_items r.r_rmw_conflicts r.r_wall_seconds
     r.r_throughput_kops
     (if r.r_target_rate > 0.0 then
        Printf.sprintf " (target %.2f kops/s)" (r.r_target_rate /. 1000.0)

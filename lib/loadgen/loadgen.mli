@@ -14,9 +14,23 @@
 
     [SERVER_BUSY] answers (a shedding server above its high-water mark)
     are counted and the op is retried without rescheduling, so shed
-    requests pay their full latency. *)
+    requests pay their full latency.
+
+    Mixes beyond the read/update dial: [Ycsb_e] is the standard
+    scan-heavy mix (95% [scan], 5% insert) and [Ycsb_f] the
+    read-modify-write mix (50% read, 50% RMW). An RMW is driven as the
+    real two-leg protocol — [getv] for the version, then a [cas] guarded
+    on it — and both legs share the {e original} schedule time, so the
+    latency recorded for the op is the full read-modify-write, not the
+    second leg alone. *)
 
 module Tel = Privagic_telemetry
+
+(** [Custom] is the read/update dial ([read_prop]); the YCSB presets
+    override it. *)
+type mix = Custom | Ycsb_e | Ycsb_f
+
+val mix_name : mix -> string
 
 type config = {
   host : string;
@@ -27,7 +41,9 @@ type config = {
   record_count : int;     (** key space; also the preload size *)
   vsize : int;            (** value bytes per set *)
   seed : int;
-  read_prop : float;      (** reads vs sets in the YCSB mix *)
+  read_prop : float;      (** reads vs sets in the [Custom] mix *)
+  mix : mix;
+  scan_len : int;         (** max requested scan length ([Ycsb_e]) *)
   preload : bool;         (** set keys 0..record_count-1 first, unmeasured *)
   shutdown : bool;        (** send [shutdown] when done (drains the server) *)
 }
@@ -35,11 +51,14 @@ type config = {
 val default_config : config
 
 type result = {
-  r_ops_ok : int;         (** answered get/set/del operations *)
+  r_ops_ok : int;         (** answered operations (an RMW counts once) *)
   r_busy : int;           (** SERVER_BUSY retries *)
   r_errors : int;         (** CLIENT_ERROR / malformed responses *)
   r_hits : int;
   r_misses : int;
+  r_scans : int;          (** completed scan operations *)
+  r_scan_items : int;     (** items returned across all scans *)
+  r_rmw_conflicts : int;  (** RMW second legs that lost the CAS race *)
   r_preload_ops : int;
   r_wall_seconds : float; (** measured phase only *)
   r_throughput_kops : float;

@@ -17,6 +17,9 @@ module Plan = Privagic_partition.Plan
 module Parallel = Privagic_parallel.Parallel
 module Delta = Privagic_replication.Delta
 module Seal = Privagic_replication.Seal
+module Txn = Privagic_txn.Txn
+module Index = Privagic_txn.Index
+module Protocol = Privagic_server.Protocol
 
 (* ------------------------------------------------------------------ *)
 (* the matrix                                                          *)
@@ -155,6 +158,9 @@ type kvctx = {
   kc_vsize : int;
   kc_vbuf : int;  (* client staging buffer (unsafe, as a real caller's) *)
   kc_obuf : int;
+  kc_txn : Txn.t;
+      (* the txn/index layer over the store, carrying the store's value
+         color — its scan replies and hash lookups are attack surface *)
 }
 
 type ctx = {
@@ -162,6 +168,7 @@ type ctx = {
   x_mon : Monitor.t;
   x_kv : kvctx option;
   x_guard_on : bool;
+  x_sentinel : int64;
 }
 
 let secret_key = 7001 (* the kv key the sentinel value is stored under *)
@@ -178,7 +185,15 @@ let setup_kv (tgt : target) (v : Progen.victim) =
         kc_vsize = vsize;
         kc_vbuf = Heap.alloc heap Heap.Unsafe vsize;
         kc_obuf = Heap.alloc heap Heap.Unsafe vsize;
+        kc_txn = Txn.create ~value_color:v.Progen.v_secret_color ();
       }
+
+(* the exact value bytes the sentinel plant stages: vsize zeros with the
+   sentinel little-endian at offset 8 (what plant writes into vbuf) *)
+let sentinel_value ~vsize sentinel =
+  let b = Bytes.make vsize '\000' in
+  Bytes.blit_string (Monitor.le_bytes sentinel) 0 b 8 8;
+  Bytes.to_string b
 
 let fill_buf heap addr n byte =
   let w = Int64.of_int (byte land 0xff) in
@@ -213,6 +228,10 @@ let plant (x : ctx) (v : Progen.victim) sentinel =
     | Ok _ -> ()
     | Error e -> failwith ("robust: planting the sentinel failed: " ^ e));
     fill_buf heap k.kc_vbuf k.kc_vsize 0;
+    (* commit hook: the index entry for the secret inherits the store's
+       color, so (unmutated) it caches no value bytes *)
+    Txn.note_put k.kc_txn ~key:secret_key
+      ~value:(sentinel_value ~vsize:k.kc_vsize sentinel);
     Monitor.plant x.x_mon sentinel)
   | Progen.Kv _, None -> assert false
 
@@ -224,11 +243,16 @@ let apply (x : ctx) (act : Gen.action) =
   | Gen.Kv_put { key; tag } -> (
     match x.x_kv with
     | None -> ()
-    | Some k ->
+    | Some k -> (
       fill_buf heap k.kc_vbuf k.kc_vsize tag;
-      ignore
-        (t.t_call ~thread:0 k.kc_put
-           [ Rvalue.Int (Int64.of_int key); Rvalue.Ptr k.kc_vbuf ]))
+      match
+        t.t_call ~thread:0 k.kc_put
+          [ Rvalue.Int (Int64.of_int key); Rvalue.Ptr k.kc_vbuf ]
+      with
+      | Ok _ ->
+        Txn.note_put k.kc_txn ~key
+          ~value:(String.make k.kc_vsize (Char.chr (tag land 0xff)))
+      | Error _ -> ()))
   | Gen.Kv_get { key } -> (
     match x.x_kv with
     | None -> ()
@@ -236,6 +260,79 @@ let apply (x : ctx) (act : Gen.action) =
       ignore
         (t.t_call ~thread:0 k.kc_get
            [ Rvalue.Int (Int64.of_int key); Rvalue.Ptr k.kc_obuf ]))
+  | Gen.Kv_scan { start; limit } -> (
+    match x.x_kv with
+    | None -> ()
+    | Some k ->
+      (* the scan reply a server would write to the client: render it
+         and hold it against the wire check — the secrecy property says
+         no index path may carry the secret's bytes out *)
+      let items =
+        List.map
+          (fun (e : Index.entry) ->
+            {
+              Protocol.si_key = e.Index.e_key;
+              si_ver = e.Index.e_version;
+              si_val = e.Index.e_value;
+            })
+          (Txn.scan k.kc_txn ~start ~stop:(start + (2 * limit)) ~limit)
+      in
+      Monitor.check_wire mon ~where:"scan-reply"
+        (Protocol.render (Protocol.Scan_reply items));
+      if
+        Txn.lookup k.kc_txn
+          ~value:(sentinel_value ~vsize:k.kc_vsize x.x_sentinel)
+        <> []
+      then
+        Monitor.violate mon ~kind:"index" ~where:"lookup"
+          "secret value bytes resolvable through the hash index")
+  | Gen.Kv_txn { ops } -> (
+    match x.x_kv with
+    | None -> ()
+    | Some k ->
+      let value_of tag = String.make k.kc_vsize (Char.chr (tag land 0xff)) in
+      let o_get key =
+        match
+          t.t_call ~thread:0 k.kc_get
+            [ Rvalue.Int (Int64.of_int key); Rvalue.Ptr k.kc_obuf ]
+        with
+        | Ok v when Rvalue.truthy v ->
+          Ok
+            (Some
+               (String.init k.kc_vsize (fun i ->
+                    Char.chr
+                      (Int64.to_int (Heap.load heap (k.kc_obuf + i) 1)
+                      land 0xff))))
+        | Ok _ -> Ok None
+        | Error e -> Error e
+      in
+      let o_set key value =
+        String.iteri
+          (fun i c ->
+            Heap.store heap (k.kc_vbuf + i) 1 (Int64.of_int (Char.code c)))
+          value;
+        match
+          t.t_call ~thread:0 k.kc_put
+            [ Rvalue.Int (Int64.of_int key); Rvalue.Ptr k.kc_vbuf ]
+        with
+        | Ok _ -> Ok ()
+        | Error e -> Error e
+      in
+      (* the kv victims expose no delete entry: a deleted key simply
+         drops from the index/version tables *)
+      let o_del _ = Ok false in
+      let ops =
+        List.map
+          (function
+            | Gen.Tx_get key -> Txn.T_get key
+            | Gen.Tx_set (key, tag) -> Txn.T_set (key, value_of tag)
+            | Gen.Tx_del key -> Txn.T_del key
+            | Gen.Tx_cas (key, expect, tag) ->
+              Txn.T_cas (key, expect, value_of tag))
+          ops
+      in
+      ignore
+        (Txn.execute k.kc_txn { Txn.o_get; o_set; o_del } ops : Txn.outcome))
   | Gen.Probe { global; off } -> (
     match Hashtbl.find_opt t.t_exec.Exec.globals global with
     | Some a -> ( try ignore (Heap.load heap (a + off) 8 : int64) with Heap.Fault _ -> ())
@@ -303,7 +400,10 @@ let run_with (cell : cell) (v : Progen.victim) ~sentinel acts :
   let plan = plan_of v in
   let mon = Monitor.create () in
   let tgt = make_target cell plan mon in
-  let x = { x_tgt = tgt; x_mon = mon; x_kv = setup_kv tgt v; x_guard_on = true } in
+  let x =
+    { x_tgt = tgt; x_mon = mon; x_kv = setup_kv tgt v; x_guard_on = true;
+      x_sentinel = sentinel }
+  in
   (try
      plant x v sentinel;
      List.iter (apply x) acts;
@@ -357,14 +457,15 @@ let run_case (cell : cell) (v : Progen.victim) ~seed ~declass ~count : case =
 (* ------------------------------------------------------------------ *)
 (* kill-rate mode: planted leak mutants                                *)
 
-type mutant = Miscolor_global | Skip_seal | Drop_guard
+type mutant = Miscolor_global | Skip_seal | Drop_guard | Miscolor_index
 
-let all_mutants = [ Miscolor_global; Skip_seal; Drop_guard ]
+let all_mutants = [ Miscolor_global; Skip_seal; Drop_guard; Miscolor_index ]
 
 let mutant_name = function
   | Miscolor_global -> "miscolor_global"
   | Skip_seal -> "skip_seal"
   | Drop_guard -> "drop_guard"
+  | Miscolor_index -> "miscolor_index"
 
 type kill = {
   k_cell : string;
@@ -440,7 +541,45 @@ let run_mutant (cell : cell) (mutant : mutant) ~seed : kill =
         ignore (tgt.t_inject ~color:c ~chunk:n (rv (List.init arity (fun _ -> 1L))));
         Monitor.set_adversarial mon false)
       srf.Gen.s_illegal;
-    tgt.t_shutdown ());
+    tgt.t_shutdown ()
+  | Miscolor_index -> (
+    (* the txn layer "forgets" the store's color: index entries for a
+       secret-colored value cache its bytes as if the store were
+       unprotected, and the first scan reply — and the hash index —
+       carry the sentinel straight to a client connection *)
+    let v = Progen.kv_hashmap ~nbuckets:8 ~vsize:32 in
+    let tgt = make_target cell (plan_of v) mon in
+    match v.Progen.v_shape with
+    | Progen.Kv { put; vsize; _ } ->
+      let heap = tgt.t_exec.Exec.heap in
+      let vbuf = Heap.alloc heap Heap.Unsafe vsize in
+      fill_buf heap vbuf vsize 0;
+      Heap.store heap vbuf 8 sentinel;
+      ignore
+        (tgt.t_call ~thread:0 put
+           [ Rvalue.Int (Int64.of_int secret_key); Rvalue.Ptr vbuf ]);
+      fill_buf heap vbuf vsize 0;
+      Monitor.plant mon sentinel;
+      let bytes = sentinel_value ~vsize sentinel in
+      let txn = Txn.create ~value_color:Index.unprotected_color () in
+      Txn.note_put txn ~key:secret_key ~value:bytes;
+      let items =
+        List.map
+          (fun (e : Index.entry) ->
+            {
+              Protocol.si_key = e.Index.e_key;
+              si_ver = e.Index.e_version;
+              si_val = e.Index.e_value;
+            })
+          (Txn.scan txn ~start:secret_key ~stop:secret_key ~limit:8)
+      in
+      Monitor.check_wire mon ~where:"mutant-scan"
+        (Protocol.render (Protocol.Scan_reply items));
+      if Txn.lookup txn ~value:bytes <> [] then
+        Monitor.violate mon ~kind:"index" ~where:"mutant-lookup"
+          "secret value bytes resolvable through the hash index";
+      tgt.t_shutdown ()
+    | Progen.Scalar _ -> assert false));
   {
     k_cell = cell_name cell;
     k_mutant = mutant_name mutant;

@@ -29,10 +29,21 @@
 open Privagic_pir
 module Plan = Privagic_partition.Plan
 
+(* transaction ops against the kv interface; tags stand for value bytes
+   (the driver expands them to vsize-filled buffers) *)
+type kv_txn_op =
+  | Tx_get of int
+  | Tx_set of int * int  (* key, tag *)
+  | Tx_del of int
+  | Tx_cas of int * int * int  (* key, expected version, tag *)
+
 type action =
   | Call of { entry : string; args : int64 list }  (* legit interface traffic *)
   | Kv_put of { key : int; tag : int }  (* driver stages the value buffer *)
   | Kv_get of { key : int }
+  | Kv_scan of { start : int; limit : int }
+      (* range scan; the driver renders the reply and wire-checks it *)
+  | Kv_txn of { ops : kv_txn_op list }  (* multi-op transaction *)
   | Probe of { global : string; off : int }
   | Forge of { global : string; off : int; value : int64 }
   | Replay of { color : Color.t; chunk : string; args : int64 list; times : int }
@@ -46,6 +57,8 @@ let action_name = function
   | Call _ -> "call"
   | Kv_put _ -> "kv_put"
   | Kv_get _ -> "kv_get"
+  | Kv_scan _ -> "kv_scan"
+  | Kv_txn _ -> "kv_txn"
   | Probe _ -> "probe"
   | Forge _ -> "forge"
   | Replay _ -> "replay"
@@ -61,6 +74,19 @@ let describe = function
       (String.concat "," (List.map Int64.to_string args))
   | Kv_put { key; tag } -> Printf.sprintf "kv_put key=%d tag=%d" key tag
   | Kv_get { key } -> Printf.sprintf "kv_get key=%d" key
+  | Kv_scan { start; limit } ->
+    Printf.sprintf "kv_scan start=%d limit=%d" start limit
+  | Kv_txn { ops } ->
+    Printf.sprintf "kv_txn [%s]"
+      (String.concat ";"
+         (List.map
+            (function
+              | Tx_get k -> Printf.sprintf "get %d" k
+              | Tx_set (k, tag) -> Printf.sprintf "set %d tag=%d" k tag
+              | Tx_del k -> Printf.sprintf "del %d" k
+              | Tx_cas (k, v, tag) ->
+                Printf.sprintf "cas %d v=%d tag=%d" k v tag)
+            ops))
   | Probe { global; off } -> Printf.sprintf "probe %s+%d" global off
   | Forge { global; off; value } ->
     Printf.sprintf "forge *(&%s+%d)=%Ld" global off value
@@ -131,8 +157,19 @@ let gen_traffic r (shape : Progen.shape) ~declass =
     let key = Rng.int r 64 in
     if Rng.bool r then Kv_put { key; tag = Rng.int r 256 } else Kv_get { key }
 
+let gen_txn_ops r =
+  List.init
+    (1 + Rng.int r 4)
+    (fun _ ->
+      let key = Rng.int r 64 in
+      match Rng.int r 4 with
+      | 0 -> Tx_get key
+      | 1 -> Tx_set (key, Rng.int r 256)
+      | 2 -> Tx_del key
+      | _ -> Tx_cas (key, Rng.int r 4, Rng.int r 256))
+
 let gen_action r (s : surface) (shape : Progen.shape) ~declass =
-  match Rng.int r 10 with
+  match Rng.int r 12 with
   | 0 | 1 | 2 -> gen_traffic r shape ~declass
   | 3 -> (
     match pick r s.s_unsafe_globals with
@@ -164,7 +201,7 @@ let gen_action r (s : surface) (shape : Progen.shape) ~declass =
       in
       Wrong_color { color = wrong; chunk = n }
     | None -> Sweep)
-  | _ -> (
+  | 9 -> (
     match shape with
     | Progen.Scalar { safe_entries; _ } -> (
       match safe_entries with
@@ -179,6 +216,17 @@ let gen_action r (s : surface) (shape : Progen.shape) ~declass =
         in
         Race { calls })
     | Progen.Kv _ -> Race_kv { keys = List.init (2 + Rng.int r 2) (fun _ -> Rng.int r 64) })
+  | 10 -> (
+    (* range scan over the colored store: its rendered reply goes
+       through the wire check, so a value leaking into the index shows
+       up as a live sentinel on a client connection *)
+    match shape with
+    | Progen.Kv _ -> Kv_scan { start = Rng.int r 64; limit = 1 + Rng.int r 8 }
+    | Progen.Scalar _ -> gen_traffic r shape ~declass)
+  | _ -> (
+    match shape with
+    | Progen.Kv _ -> Kv_txn { ops = gen_txn_ops r }
+    | Progen.Scalar _ -> gen_traffic r shape ~declass)
 
 (* the action script of one fuzz case: traffic and attacks interleaved,
    a sweep checkpoint every few actions and one at the end *)

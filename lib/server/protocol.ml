@@ -5,15 +5,38 @@
    a growable byte buffer, and never blocks: it consumes what it can and
    keeps the rest for the next feed. *)
 
+(* Transaction ops travel on the wire exactly as the txn layer executes
+   them; the re-export keeps the constructors in scope here. *)
+type txn_op = Privagic_txn.Txn.op =
+  | T_get of int
+  | T_set of int * string
+  | T_del of int
+  | T_cas of int * int * string
+
+type txn_result = Privagic_txn.Txn.op_result =
+  | R_value of string option
+  | R_stored
+  | R_deleted
+  | R_not_found
+
 type request =
   | Get of int
   | Set of int * string
   | Del of int
+  | Getv of int (* get with version, for CAS round trips *)
+  | Cas of { c_key : int; c_ver : int; c_val : string }
+  | Scan of { sc_start : int; sc_stop : int; sc_limit : int }
+  | Txn of txn_op list (* txn ... exec *)
   | Stats
   | Stats_metrics
   | Quit
   | Shutdown
   | Repl of { r_sync : bool; r_from : int }
+
+(* A scan item carries value bytes only when the indexed value is
+   unprotected ("U"): secret-colored entries answer with key and
+   version alone (SKEY), never with data. *)
+type scan_item = { si_key : int; si_ver : int; si_val : string option }
 
 type response =
   | Value of int * string
@@ -21,6 +44,12 @@ type response =
   | Stored
   | Deleted
   | Not_found
+  | Version of { v_key : int; v_ver : int; v_val : string option }
+      (* getv reply; [None] = miss (VMISS line) *)
+  | Cas_conflict of int (* current version: the first writer won *)
+  | Scan_reply of scan_item list
+  | Txn_reply of txn_result list
+  | Txn_abort of { ta_key : int; ta_expected : int; ta_found : int }
   | Stats_reply of (string * string) list
   | Metrics_reply of string
       (* Prometheus exposition text ("\n"-terminated lines), closed by
@@ -30,6 +59,8 @@ type response =
   | Ok_msg
 
 let max_value_len = 64 * 1024
+let max_scan_limit = 1024
+let max_txn_ops = 64
 
 (* ------------------------------------------------------------------ *)
 (* shared incremental line scanner *)
@@ -102,7 +133,15 @@ let key_of s =
 (* ------------------------------------------------------------------ *)
 (* request side *)
 
-type rstate = Cmd | Data of int * int (* key, remaining value length *)
+(* Which txn op line a pending data block belongs to. *)
+type tpending = P_set of int | P_cas of int * int
+
+type rstate =
+  | Cmd
+  | Data of int * int (* key, remaining value length *)
+  | Cas_data of int * int * int (* key, expected version, length *)
+  | Tcmd of txn_op list (* inside txn ... exec; ops reversed *)
+  | Tdata of txn_op list * tpending * int
 
 type reader = { rb : ibuf; mutable rstate : rstate }
 
@@ -125,6 +164,77 @@ let feed r buf n =
         r.rstate <- Cmd;
         emit (`Req (Set (key, v)));
         go ())
+    | Cas_data (key, ver, len) -> (
+      match ibuf_block r.rb len with
+      | None -> ()
+      | Some None ->
+        r.rstate <- Cmd;
+        emit (`Bad "bad data chunk");
+        go ()
+      | Some (Some v) ->
+        r.rstate <- Cmd;
+        emit (`Req (Cas { c_key = key; c_ver = ver; c_val = v }));
+        go ())
+    | Tdata (ops, pending, len) -> (
+      match ibuf_block r.rb len with
+      | None -> ()
+      | Some None ->
+        r.rstate <- Cmd;
+        emit (`Bad "bad data chunk");
+        go ()
+      | Some (Some v) ->
+        let op =
+          match pending with
+          | P_set k -> T_set (k, v)
+          | P_cas (k, ver) -> T_cas (k, ver, v)
+        in
+        r.rstate <- Tcmd (op :: ops);
+        go ())
+    | Tcmd ops -> (
+      match ibuf_line r.rb with
+      | None -> ()
+      | Some line ->
+        (match split_words line with
+        | [] -> ()
+        | [ "exec" ] ->
+          r.rstate <- Cmd;
+          emit (`Req (Txn (List.rev ops)))
+        | _ when List.length ops >= max_txn_ops ->
+          r.rstate <- Cmd;
+          emit (`Bad "txn too long")
+        | [ "t"; "get"; k ] -> (
+          match key_of k with
+          | Some k -> r.rstate <- Tcmd (T_get k :: ops)
+          | None ->
+            r.rstate <- Cmd;
+            emit (`Bad "bad key"))
+        | [ "t"; "del"; k ] -> (
+          match key_of k with
+          | Some k -> r.rstate <- Tcmd (T_del k :: ops)
+          | None ->
+            r.rstate <- Cmd;
+            emit (`Bad "bad key"))
+        | [ "t"; "set"; k; n ] -> (
+          match (key_of k, int_of_string_opt n) with
+          | Some k, Some n when n >= 0 && n <= max_value_len ->
+            r.rstate <- Tdata (ops, P_set k, n)
+          | _ ->
+            r.rstate <- Cmd;
+            emit (`Bad "bad txn op"))
+        | [ "t"; "cas"; k; ver; n ] -> (
+          match (key_of k, int_of_string_opt ver, int_of_string_opt n) with
+          | Some k, Some ver, Some n when ver >= 0 && n >= 0 && n <= max_value_len
+            ->
+            r.rstate <- Tdata (ops, P_cas (k, ver), n)
+          | _ ->
+            r.rstate <- Cmd;
+            emit (`Bad "bad txn op"))
+        | _ ->
+          (* any other line aborts the accumulation: the connection is
+             back at the command level, nothing was executed *)
+          r.rstate <- Cmd;
+          emit (`Bad "bad txn op"));
+        go ())
     | Cmd -> (
       match ibuf_line r.rb with
       | None -> ()
@@ -146,6 +256,25 @@ let feed r buf n =
           | Some _, Some n when n > max_value_len ->
             emit (`Bad "value too large")
           | _ -> emit (`Bad "bad set command"))
+        | [ "getv"; k ] -> (
+          match key_of k with
+          | Some k -> emit (`Req (Getv k))
+          | None -> emit (`Bad "bad key"))
+        | [ "cas"; k; ver; n ] -> (
+          match (key_of k, int_of_string_opt ver, int_of_string_opt n) with
+          | Some k, Some ver, Some n when ver >= 0 && n >= 0 && n <= max_value_len
+            ->
+            r.rstate <- Cas_data (k, ver, n)
+          | Some _, Some ver, Some n when ver >= 0 && n > max_value_len ->
+            emit (`Bad "value too large")
+          | _ -> emit (`Bad "bad cas command"))
+        | [ "scan"; a; b; l ] -> (
+          match (key_of a, key_of b, int_of_string_opt l) with
+          | Some a, Some b, Some l when l >= 1 && l <= max_scan_limit ->
+            emit (`Req (Scan { sc_start = a; sc_stop = b; sc_limit = l }))
+          | _ -> emit (`Bad "bad scan command"))
+        | [ "txn" ] -> r.rstate <- Tcmd []
+        | [ "exec" ] -> emit (`Bad "exec outside txn")
         | [ "stats" ] -> emit (`Req Stats)
         | [ "stats"; "metrics" ] -> emit (`Req Stats_metrics)
         | [ "quit" ] -> emit (`Req Quit)
@@ -168,6 +297,46 @@ let render = function
   | Stored -> "STORED\r\n"
   | Deleted -> "DELETED\r\n"
   | Not_found -> "NOT_FOUND\r\n"
+  | Version { v_key; v_ver; v_val = Some v } ->
+    Printf.sprintf "VERSION %d %d %d\r\n%s\r\nEND\r\n" v_key v_ver
+      (String.length v) v
+  | Version { v_key; v_ver; v_val = None } ->
+    Printf.sprintf "VMISS %d %d\r\n" v_key v_ver
+  | Cas_conflict cur -> Printf.sprintf "CAS_CONFLICT %d\r\n" cur
+  | Scan_reply items ->
+    let b = Buffer.create 256 in
+    Buffer.add_string b (Printf.sprintf "SCAN %d\r\n" (List.length items));
+    List.iter
+      (fun { si_key; si_ver; si_val } ->
+        match si_val with
+        | Some v ->
+          Buffer.add_string b
+            (Printf.sprintf "SVAL %d %d %d\r\n%s\r\n" si_key si_ver
+               (String.length v) v)
+        | None ->
+          (* secret-colored entry: key and version only *)
+          Buffer.add_string b (Printf.sprintf "SKEY %d %d\r\n" si_key si_ver))
+      items;
+    Buffer.add_string b "END\r\n";
+    Buffer.contents b
+  | Txn_reply results ->
+    let b = Buffer.create 128 in
+    Buffer.add_string b (Printf.sprintf "TXN %d\r\n" (List.length results));
+    List.iter
+      (fun res ->
+        Buffer.add_string b
+          (match res with
+          | R_value (Some v) ->
+            Printf.sprintf "RVAL %d\r\n%s\r\n" (String.length v) v
+          | R_value None -> "RMISS\r\n"
+          | R_stored -> "RSTORED\r\n"
+          | R_deleted -> "RDELETED\r\n"
+          | R_not_found -> "RNOTFOUND\r\n"))
+      results;
+    Buffer.add_string b "END\r\n";
+    Buffer.contents b
+  | Txn_abort { ta_key; ta_expected; ta_found } ->
+    Printf.sprintf "TXN_ABORT %d %d %d\r\n" ta_key ta_expected ta_found
   | Stats_reply kvs ->
     String.concat ""
       (List.map (fun (k, v) -> Printf.sprintf "STAT %s %s\r\n" k v) kvs)
@@ -191,6 +360,12 @@ type pstate =
   | Line                          (* awaiting any response line *)
   | Vdata of int * int            (* VALUE seen: key, length *)
   | Vend of int * string          (* data read: awaiting END *)
+  | Gdata of int * int * int      (* VERSION seen: key, version, length *)
+  | Gend of int * int * string    (* version data read: awaiting END *)
+  | Scn of scan_item list         (* inside SCAN ... END *)
+  | Scn_data of scan_item list * int * int * int (* SVAL block pending *)
+  | Txr of txn_result list        (* inside TXN ... END *)
+  | Txr_data of txn_result list * int (* RVAL block pending *)
   | Stat of (string * string) list
 
 type resp_reader = { pb : ibuf; mutable pstate : pstate }
@@ -213,6 +388,37 @@ let feed_resp p buf n =
       | Some (Some v) ->
         p.pstate <- Vend (key, v);
         go ())
+    | Gdata (key, ver, len) -> (
+      match ibuf_block p.pb len with
+      | None -> ()
+      | Some None ->
+        p.pstate <- Line;
+        emit (Error_msg "malformed VERSION block");
+        go ()
+      | Some (Some v) ->
+        p.pstate <- Gend (key, ver, v);
+        go ())
+    | Scn_data (items, key, ver, len) -> (
+      match ibuf_block p.pb len with
+      | None -> ()
+      | Some None ->
+        p.pstate <- Line;
+        emit (Error_msg "malformed SVAL block");
+        go ()
+      | Some (Some v) ->
+        p.pstate <-
+          Scn ({ si_key = key; si_ver = ver; si_val = Some v } :: items);
+        go ())
+    | Txr_data (results, len) -> (
+      match ibuf_block p.pb len with
+      | None -> ()
+      | Some None ->
+        p.pstate <- Line;
+        emit (Error_msg "malformed RVAL block");
+        go ()
+      | Some (Some v) ->
+        p.pstate <- Txr (R_value (Some v) :: results);
+        go ())
     | st -> (
       match ibuf_line p.pb with
       | None -> ()
@@ -224,6 +430,51 @@ let feed_resp p buf n =
         | Vend _, _ ->
           p.pstate <- Line;
           emit (Error_msg "missing END after VALUE")
+        | Gend (k, ver, v), [ "END" ] ->
+          p.pstate <- Line;
+          emit (Version { v_key = k; v_ver = ver; v_val = Some v })
+        | Gend _, _ ->
+          p.pstate <- Line;
+          emit (Error_msg "missing END after VERSION")
+        | Scn items, [ "END" ] ->
+          p.pstate <- Line;
+          emit (Scan_reply (List.rev items))
+        | Scn items, [ "SKEY"; k; ver ] -> (
+          match (key_of k, int_of_string_opt ver) with
+          | Some k, Some ver when ver >= 0 ->
+            p.pstate <- Scn ({ si_key = k; si_ver = ver; si_val = None } :: items)
+          | _ ->
+            p.pstate <- Line;
+            emit (Error_msg ("bad SKEY line: " ^ line)))
+        | Scn items, [ "SVAL"; k; ver; n ] -> (
+          match (key_of k, int_of_string_opt ver, int_of_string_opt n) with
+          | Some k, Some ver, Some n when ver >= 0 && n >= 0 && n <= max_value_len
+            ->
+            p.pstate <- Scn_data (items, k, ver, n)
+          | _ ->
+            p.pstate <- Line;
+            emit (Error_msg ("bad SVAL line: " ^ line)))
+        | Scn _, _ ->
+          p.pstate <- Line;
+          emit (Error_msg ("unexpected line in scan: " ^ line))
+        | Txr results, [ "END" ] ->
+          p.pstate <- Line;
+          emit (Txn_reply (List.rev results))
+        | Txr results, [ "RVAL"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 && n <= max_value_len ->
+            p.pstate <- Txr_data (results, n)
+          | _ ->
+            p.pstate <- Line;
+            emit (Error_msg ("bad RVAL line: " ^ line)))
+        | Txr results, [ "RMISS" ] -> p.pstate <- Txr (R_value None :: results)
+        | Txr results, [ "RSTORED" ] -> p.pstate <- Txr (R_stored :: results)
+        | Txr results, [ "RDELETED" ] -> p.pstate <- Txr (R_deleted :: results)
+        | Txr results, [ "RNOTFOUND" ] ->
+          p.pstate <- Txr (R_not_found :: results)
+        | Txr _, _ ->
+          p.pstate <- Line;
+          emit (Error_msg ("unexpected line in txn reply: " ^ line))
         | Stat kvs, [ "END" ] ->
           p.pstate <- Line;
           emit (Stats_reply (List.rev kvs))
@@ -238,6 +489,28 @@ let feed_resp p buf n =
           | Some k, Some n when n >= 0 && n <= max_value_len ->
             p.pstate <- Vdata (k, n)
           | _ -> emit (Error_msg ("bad VALUE line: " ^ line)))
+        | Line, [ "VERSION"; k; ver; n ] -> (
+          match (key_of k, int_of_string_opt ver, int_of_string_opt n) with
+          | Some k, Some ver, Some n when ver >= 0 && n >= 0 && n <= max_value_len
+            ->
+            p.pstate <- Gdata (k, ver, n)
+          | _ -> emit (Error_msg ("bad VERSION line: " ^ line)))
+        | Line, [ "VMISS"; k; ver ] -> (
+          match (key_of k, int_of_string_opt ver) with
+          | Some k, Some ver when ver >= 0 ->
+            emit (Version { v_key = k; v_ver = ver; v_val = None })
+          | _ -> emit (Error_msg ("bad VMISS line: " ^ line)))
+        | Line, [ "CAS_CONFLICT"; c ] -> (
+          match int_of_string_opt c with
+          | Some c when c >= 0 -> emit (Cas_conflict c)
+          | _ -> emit (Error_msg ("bad CAS_CONFLICT line: " ^ line)))
+        | Line, [ "SCAN"; _n ] -> p.pstate <- Scn []
+        | Line, [ "TXN"; _n ] -> p.pstate <- Txr []
+        | Line, [ "TXN_ABORT"; k; e; f ] -> (
+          match (key_of k, int_of_string_opt e, int_of_string_opt f) with
+          | Some k, Some e, Some f when e >= 0 && f >= 0 ->
+            emit (Txn_abort { ta_key = k; ta_expected = e; ta_found = f })
+          | _ -> emit (Error_msg ("bad TXN_ABORT line: " ^ line)))
         | Line, [ "END" ] -> emit Miss
         | Line, [ "STORED" ] -> emit Stored
         | Line, [ "DELETED" ] -> emit Deleted
@@ -250,7 +523,8 @@ let feed_resp p buf n =
           emit (Error_msg (String.concat " " rest))
         | Line, [] -> ()
         | Line, _ -> emit (Error_msg ("unknown response: " ^ line))
-        | Vdata _, _ -> assert false (* consumed by the outer match *));
+        | (Vdata _ | Gdata _ | Scn_data _ | Txr_data _), _ ->
+          assert false (* consumed by the outer match *));
         go ())
   in
   go ();
@@ -260,6 +534,28 @@ let render_request = function
   | Get k -> Printf.sprintf "get %d\r\n" k
   | Set (k, v) -> Printf.sprintf "set %d %d\r\n%s\r\n" k (String.length v) v
   | Del k -> Printf.sprintf "del %d\r\n" k
+  | Getv k -> Printf.sprintf "getv %d\r\n" k
+  | Cas { c_key; c_ver; c_val } ->
+    Printf.sprintf "cas %d %d %d\r\n%s\r\n" c_key c_ver (String.length c_val)
+      c_val
+  | Scan { sc_start; sc_stop; sc_limit } ->
+    Printf.sprintf "scan %d %d %d\r\n" sc_start sc_stop sc_limit
+  | Txn ops ->
+    let b = Buffer.create 128 in
+    Buffer.add_string b "txn\r\n";
+    List.iter
+      (fun op ->
+        Buffer.add_string b
+          (match op with
+          | T_get k -> Printf.sprintf "t get %d\r\n" k
+          | T_set (k, v) ->
+            Printf.sprintf "t set %d %d\r\n%s\r\n" k (String.length v) v
+          | T_del k -> Printf.sprintf "t del %d\r\n" k
+          | T_cas (k, ver, v) ->
+            Printf.sprintf "t cas %d %d %d\r\n%s\r\n" k ver (String.length v) v))
+      ops;
+    Buffer.add_string b "exec\r\n";
+    Buffer.contents b
   | Stats -> "stats\r\n"
   | Stats_metrics -> "stats metrics\r\n"
   | Quit -> "quit\r\n"

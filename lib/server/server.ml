@@ -29,6 +29,8 @@ module Msq = Privagic_runtime.Msqueue
 module Parallel = Privagic_parallel.Parallel
 module Repl = Privagic_replication
 module Obs = Privagic_obs
+module Txn = Privagic_txn.Txn
+module Index = Privagic_txn.Index
 open Privagic_vm
 
 type store = {
@@ -229,6 +231,7 @@ type t = {
   queues : work Msq.t array;
   depths : int Atomic.t array;
   lengths : (int, int) Hashtbl.t;  (* key -> stored length; store_mu *)
+  txn : Txn.t;  (* versions + secondary indexes; mutated under store_mu *)
   vbuf : int;
   obuf : int;
   store_mu : Mutex.t;
@@ -246,9 +249,16 @@ type t = {
   n_bad : int Atomic.t;
   n_batches : int Atomic.t;
   n_coalesced : int Atomic.t;
+  n_getv : int Atomic.t;
+  n_cas : int Atomic.t;
+  n_cas_conflicts : int Atomic.t;
+  n_txns : int Atomic.t;
+  n_txn_aborts : int Atomic.t;
+  n_scans : int Atomic.t;
   m_mu : Mutex.t;
   h_latency : Tel.Metrics.histogram;
   h_qwait : Tel.Metrics.histogram;
+  h_scan_len : Tel.Metrics.histogram; (* items returned per scan *)
   obs : Obs.Registry.t; (* live metrics, served via `stats metrics` *)
   (* lifecycle *)
   d_mu : Mutex.t;
@@ -361,6 +371,52 @@ let exec_del t key =
     | Ok _ -> Protocol.Not_found
     | Error m -> Protocol.Error_msg ("exec: " ^ m))
 
+(* Commit choke points: every committed write — client set/del, replica
+   apply, CAS, transaction — advances the txn layer's per-key versions
+   and secondary indexes here, under the store mutex. Primaries and
+   replicas run the same hooks, which is what makes replicas converge
+   on versions and indexes too, not only on value bytes. *)
+let commit_set t key v =
+  match exec_set t key v with
+  | Protocol.Stored ->
+    Txn.note_put t.txn ~key ~value:v;
+    Protocol.Stored
+  | r -> r
+
+let commit_del t key =
+  match exec_del t key with
+  | Protocol.Deleted ->
+    Txn.note_del t.txn ~key;
+    Protocol.Deleted
+  | r -> r
+
+(* The txn executor reads and writes through the store's own entry
+   points (classify/declassify still mediate every value). Writes use
+   the raw exec paths: [Txn.execute] runs the note hooks itself. *)
+let txn_store_ops t =
+  {
+    Txn.o_get =
+      (fun k ->
+        match exec_get t k with
+        | Protocol.Value (_, v) -> Ok (Some v)
+        | Protocol.Miss -> Ok None
+        | Protocol.Error_msg m -> Error m
+        | _ -> Error "unexpected get response");
+    o_set =
+      (fun k v ->
+        match exec_set t k v with
+        | Protocol.Stored -> Ok ()
+        | Protocol.Error_msg m -> Error m
+        | _ -> Error "unexpected set response");
+    o_del =
+      (fun k ->
+        match exec_del t k with
+        | Protocol.Deleted -> Ok true
+        | Protocol.Not_found -> Ok false
+        | Protocol.Error_msg m -> Error m
+        | _ -> Error "unexpected del response");
+  }
+
 (* ------------------------------------------------------------------ *)
 (* replica-side application: a delta from the primary executes through
    the same entry paths a client request would, under the store mutex,
@@ -378,7 +434,7 @@ let mirror t ~seq op =
 let apply_put t ~seq ~key ~payload =
   Mutex.lock t.store_mu;
   let r =
-    match exec_set t key payload with
+    match commit_set t key payload with
     | Protocol.Stored ->
       mirror t ~seq
         (Repl.Delta.Put { key; color = t.bnd.b_vcolor; payload })
@@ -391,7 +447,7 @@ let apply_put t ~seq ~key ~payload =
 let apply_del t ~seq ~key =
   Mutex.lock t.store_mu;
   let r =
-    match exec_del t key with
+    match commit_del t key with
     (* Not_found still mirrors: the primary numbered this delta, and the
        replica's log must stay dense to keep stream positions aligned *)
     | Protocol.Deleted | Protocol.Not_found ->
@@ -453,6 +509,19 @@ let exec_batch t lane (batch : work list) =
     let seq = Repl.Log.append t.repl_log op in
     if seq > !max_seq then max_seq := seq
   in
+  (* a committed transaction's writes form one contiguous run in the
+     log — the atomic-commit delta batch of the txn layer *)
+  let commit_writes writes =
+    List.iter
+      (fun w ->
+        match w with
+        | Txn.W_put { w_key; w_value } ->
+          committed
+            (Repl.Delta.Put
+               { key = w_key; color = t.bnd.b_vcolor; payload = w_value })
+        | Txn.W_del { w_key } -> committed (Repl.Delta.Del { key = w_key }))
+      writes
+  in
   Mutex.lock t.store_mu;
   let responses =
     List.map
@@ -481,7 +550,7 @@ let exec_batch t lane (batch : work list) =
               r)
           | Protocol.Set (k, v) ->
             Atomic.incr t.n_sets;
-            let r = tel_span "set" (fun () -> exec_set t k v) in
+            let r = tel_span "set" (fun () -> commit_set t k v) in
             (match r with
             | Protocol.Stored ->
               committed
@@ -492,7 +561,7 @@ let exec_batch t lane (batch : work list) =
             r
           | Protocol.Del k ->
             Atomic.incr t.n_dels;
-            let r = tel_span "del" (fun () -> exec_del t k) in
+            let r = tel_span "del" (fun () -> commit_del t k) in
             (match r with
             | Protocol.Deleted ->
               (* Not_found has no visible effect, so it ships no delta *)
@@ -501,6 +570,78 @@ let exec_batch t lane (batch : work list) =
             | Protocol.Not_found -> Hashtbl.replace cache k Protocol.Miss
             | _ -> Hashtbl.remove cache k);
             r
+          | Protocol.Getv k -> (
+            Atomic.incr t.n_getv;
+            (* version first: both are read under the same mutex hold *)
+            let ver = Txn.version t.txn k in
+            match tel_span "getv" (fun () -> exec_get t k) with
+            | Protocol.Value (_, v) ->
+              Atomic.incr t.n_hits;
+              Protocol.Version { v_key = k; v_ver = ver; v_val = Some v }
+            | Protocol.Miss ->
+              Protocol.Version { v_key = k; v_ver = ver; v_val = None }
+            | r -> r)
+          | Protocol.Cas { c_key; c_ver; c_val } -> (
+            Atomic.incr t.n_cas;
+            let r =
+              tel_span "cas" (fun () ->
+                  Txn.execute t.txn (txn_store_ops t)
+                    [ Txn.T_cas (c_key, c_ver, c_val) ])
+            in
+            match r with
+            | Txn.Committed (_, writes) ->
+              commit_writes writes;
+              Hashtbl.replace cache c_key (Protocol.Value (c_key, c_val));
+              Protocol.Stored
+            | Txn.Aborted { a_expected; a_found; _ } ->
+              Atomic.incr t.n_cas_conflicts;
+              if a_found = 0 && a_expected > 0 then Protocol.Not_found
+              else Protocol.Cas_conflict a_found
+            | Txn.Failed m -> Protocol.Error_msg ("exec: " ^ m))
+          | Protocol.Txn ops -> (
+            Atomic.incr t.n_txns;
+            let r =
+              tel_span "txn" (fun () ->
+                  Txn.execute t.txn (txn_store_ops t) ops)
+            in
+            match r with
+            | Txn.Committed (results, writes) ->
+              commit_writes writes;
+              List.iter
+                (fun w ->
+                  match w with
+                  | Txn.W_put { w_key; w_value } ->
+                    Hashtbl.replace cache w_key
+                      (Protocol.Value (w_key, w_value))
+                  | Txn.W_del { w_key } ->
+                    Hashtbl.replace cache w_key Protocol.Miss)
+                writes;
+              Protocol.Txn_reply results
+            | Txn.Aborted { a_key; a_expected; a_found } ->
+              Atomic.incr t.n_txn_aborts;
+              Protocol.Txn_abort
+                { ta_key = a_key; ta_expected = a_expected; ta_found = a_found }
+            | Txn.Failed m -> Protocol.Error_msg ("exec: " ^ m))
+          | Protocol.Scan { sc_start; sc_stop; sc_limit } ->
+            Atomic.incr t.n_scans;
+            let items =
+              tel_span "scan" (fun () ->
+                  Txn.scan t.txn ~start:sc_start ~stop:sc_stop ~limit:sc_limit)
+            in
+            Mutex.lock t.m_mu;
+            Tel.Metrics.observe t.h_scan_len (float_of_int (List.length items));
+            Mutex.unlock t.m_mu;
+            Protocol.Scan_reply
+              (List.map
+                 (fun (e : Index.entry) ->
+                   (* [e_value] is populated only for color "U": a
+                      secret-colored value leaves as key+version alone *)
+                   {
+                     Protocol.si_key = e.Index.e_key;
+                     si_ver = e.Index.e_version;
+                     si_val = e.Index.e_value;
+                   })
+                 items)
           | Protocol.Stats | Protocol.Stats_metrics | Protocol.Quit
           | Protocol.Shutdown | Protocol.Repl _ ->
             (* never enqueued; the owner answers these locally *)
@@ -566,7 +707,18 @@ let lane_of t key = key mod t.cfg.lanes
    Returns [false] when the request was shed instead. *)
 let enqueue t wk =
   let lane = match wk.wk_req with
-    | Protocol.Get k | Protocol.Set (k, _) | Protocol.Del k -> lane_of t k
+    | Protocol.Get k | Protocol.Set (k, _) | Protocol.Del k
+    | Protocol.Getv k
+    | Protocol.Cas { c_key = k; _ }
+    | Protocol.Scan { sc_start = k; _ } ->
+      lane_of t k
+    | Protocol.Txn (op :: _) -> (
+      (* route by the first key; execution is serialized by store_mu
+         anyway, this only spreads queueing across lanes *)
+      match op with
+      | Protocol.T_get k | Protocol.T_set (k, _) | Protocol.T_del k
+      | Protocol.T_cas (k, _, _) ->
+        lane_of t k)
     | _ -> 0
   in
   let d = t.depths.(lane) in
@@ -638,11 +790,20 @@ let rec dispatch t c =
         Mutex.unlock c.c_mu;
         Repl.Shipper.register t.hub c.c_fd ~sync:r_sync ~from_seq:r_from;
         false
-      | (Protocol.Set _ | Protocol.Del _) when is_replica t ->
+      | (Protocol.Set _ | Protocol.Del _ | Protocol.Cas _) when is_replica t ->
         (* replicas apply the primary's stream, never client writes *)
         write_resp c (Protocol.Error_msg "read-only replica");
         dispatch t c
-      | Protocol.Get _ | Protocol.Set _ | Protocol.Del _ ->
+      | Protocol.Txn ops
+        when is_replica t
+             && List.exists
+                  (function Protocol.T_get _ -> false | _ -> true)
+                  ops ->
+        (* read-only transactions are fine on a replica; writes are not *)
+        write_resp c (Protocol.Error_msg "read-only replica");
+        dispatch t c
+      | Protocol.Get _ | Protocol.Set _ | Protocol.Del _ | Protocol.Getv _
+      | Protocol.Cas _ | Protocol.Scan _ | Protocol.Txn _ ->
         let wk = { wk_conn = c; wk_req = req; wk_enq_at = now_us t } in
         Mutex.lock c.c_mu;
         c.c_in_flight <- true;
@@ -891,6 +1052,7 @@ let start ?replica_of cfg bnd store =
       queues = Array.init cfg.lanes (fun _ -> Msq.create ());
       depths = Array.init cfg.lanes (fun _ -> Atomic.make 0);
       lengths = Hashtbl.create 1024;
+      txn = Txn.create ~lanes:cfg.lanes ~value_color:bnd.b_vcolor ();
       vbuf = store.st_alloc (max 1 cfg.vsize);
       obuf = store.st_alloc (max 1 cfg.vsize);
       store_mu = Mutex.create ();
@@ -917,9 +1079,16 @@ let start ?replica_of cfg bnd store =
       n_bad = Atomic.make 0;
       n_batches = Atomic.make 0;
       n_coalesced = Atomic.make 0;
+      n_getv = Atomic.make 0;
+      n_cas = Atomic.make 0;
+      n_cas_conflicts = Atomic.make 0;
+      n_txns = Atomic.make 0;
+      n_txn_aborts = Atomic.make 0;
+      n_scans = Atomic.make 0;
       m_mu = Mutex.create ();
       h_latency = Tel.Metrics.histogram metrics "server latency (us)";
       h_qwait = Tel.Metrics.histogram metrics "queue wait (us)";
+      h_scan_len = Tel.Metrics.histogram metrics "scan length (items)";
       obs = Obs.Registry.create ();
       d_mu = Mutex.create ();
       d_cv = Condition.create ();
@@ -946,6 +1115,10 @@ let start ?replica_of cfg bnd store =
          ([ ("op", "get") ], float_of_int (Atomic.get t.n_gets));
          ([ ("op", "set") ], float_of_int (Atomic.get t.n_sets));
          ([ ("op", "del") ], float_of_int (Atomic.get t.n_dels));
+         ([ ("op", "getv") ], float_of_int (Atomic.get t.n_getv));
+         ([ ("op", "cas") ], float_of_int (Atomic.get t.n_cas));
+         ([ ("op", "scan") ], float_of_int (Atomic.get t.n_scans));
+         ([ ("op", "txn") ], float_of_int (Atomic.get t.n_txns));
        ]);
    ac "privagic_server_hits_total" "get requests answered with a value"
      t.n_hits;
@@ -963,6 +1136,20 @@ let start ?replica_of cfg bnd store =
      t.n_applied;
    ac "privagic_server_repl_fence_timeouts_total" "sync acks that timed out"
      t.n_fence_timeouts;
+   ac "privagic_server_cas_conflicts_total"
+     "CAS guards that lost to an earlier writer" t.n_cas_conflicts;
+   Obs.Registry.gauge reg
+     ~help:"transactions committed (including single-op cas)"
+     "privagic_txn_commits_total" (fun () ->
+       float_of_int (Txn.commits t.txn));
+   Obs.Registry.gauge reg ~help:"transactions aborted by a CAS guard"
+     "privagic_txn_aborts_total" (fun () -> float_of_int (Txn.aborts t.txn));
+   Obs.Registry.summary reg ~help:"items returned per range scan"
+     "privagic_scan_items" (fun () ->
+       Mutex.lock t.m_mu;
+       let p = Tel.Metrics.pctiles t.h_scan_len in
+       Mutex.unlock t.m_mu;
+       p);
    Obs.Registry.multi_gauge reg ~help:"pending requests per executor lane"
      "privagic_server_queue_depth" (fun () ->
        Array.to_list
@@ -1064,6 +1251,14 @@ type stats = {
   s_repl_seq : int;
   s_applied : int;
   s_fence_timeouts : int;
+  s_getv : int;
+  s_cas : int;
+  s_cas_conflicts : int;
+  s_txns : int;
+  s_txn_commits : int;
+  s_txn_aborts : int;
+  s_scans : int;
+  s_scan_items : int;
 }
 
 let stats t =
@@ -1076,7 +1271,9 @@ let stats t =
     s_uptime = Unix.gettimeofday () -. t.started_at;
     s_conns_accepted = g t.conns_accepted;
     s_conns_open = g t.conns_open;
-    s_ops = g t.n_gets + g t.n_sets + g t.n_dels;
+    s_ops =
+      g t.n_gets + g t.n_sets + g t.n_dels + g t.n_getv + g t.n_cas
+      + g t.n_txns + g t.n_scans;
     s_gets = g t.n_gets;
     s_sets = g t.n_sets;
     s_dels = g t.n_dels;
@@ -1094,6 +1291,14 @@ let stats t =
     s_repl_seq = Repl.Log.head t.repl_log;
     s_applied = g t.n_applied;
     s_fence_timeouts = g t.n_fence_timeouts;
+    s_getv = g t.n_getv;
+    s_cas = g t.n_cas;
+    s_cas_conflicts = g t.n_cas_conflicts;
+    s_txns = g t.n_txns;
+    s_txn_commits = Txn.commits t.txn;
+    s_txn_aborts = Txn.aborts t.txn;
+    s_scans = g t.n_scans;
+    s_scan_items = Txn.scan_items t.txn;
   }
 
 let stats_fields t =
@@ -1131,6 +1336,16 @@ let stats_fields t =
     ("repl_fence_timeouts", string_of_int s.s_fence_timeouts);
     ("latency_us_p999", f s.s_latency.Tel.Metrics.p999);
     ("latency_us_max", f s.s_latency.Tel.Metrics.p_max);
+    (* txn/index fields append after everything historical, same
+       positional-compatibility rule as above *)
+    ("getv", string_of_int s.s_getv);
+    ("cas", string_of_int s.s_cas);
+    ("cas_conflicts", string_of_int s.s_cas_conflicts);
+    ("txns", string_of_int s.s_txns);
+    ("txn_commits", string_of_int s.s_txn_commits);
+    ("txn_aborts", string_of_int s.s_txn_aborts);
+    ("scans", string_of_int s.s_scans);
+    ("scan_items", string_of_int s.s_scan_items);
   ]
 
 let () =

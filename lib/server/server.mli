@@ -111,7 +111,7 @@ type stats = {
   s_uptime : float;
   s_conns_accepted : int;
   s_conns_open : int;
-  s_ops : int;              (** executed get/set/del requests *)
+  s_ops : int;              (** executed data-path requests (all verbs) *)
   s_gets : int;
   s_sets : int;
   s_dels : int;
@@ -129,6 +129,14 @@ type stats = {
   s_repl_seq : int;         (** commit-log head *)
   s_applied : int;          (** deltas applied (as a replica) *)
   s_fence_timeouts : int;   (** sync fences that hit their timeout *)
+  s_getv : int;
+  s_cas : int;
+  s_cas_conflicts : int;    (** CAS guards that lost to an earlier writer *)
+  s_txns : int;             (** txn ... exec requests executed *)
+  s_txn_commits : int;      (** committed transactions (incl. single-op cas) *)
+  s_txn_aborts : int;       (** transactions aborted by a CAS guard *)
+  s_scans : int;
+  s_scan_items : int;       (** total items returned by scans *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,76 @@
+(** Multi-key read-modify-write transactions with snapshot reads,
+    first-writer-wins conflict detection (per-key versions + CAS
+    guards) and atomic commit, layered over the colored store.
+
+    All state mutation must be serialized by the caller (the server
+    runs everything under its store commit mutex); the counters are
+    atomics so a metrics thread may read them concurrently. *)
+
+type store_ops = {
+  o_get : int -> (string option, string) result;
+  o_set : int -> string -> (unit, string) result;
+  o_del : int -> (bool, string) result;
+}
+(** The store's own entry points — every value still crosses the
+    partition boundary through these. *)
+
+type op =
+  | T_get of int
+  | T_set of int * string
+  | T_del of int
+  | T_cas of int * int * string  (** key, expected version, value *)
+
+type op_result =
+  | R_value of string option
+  | R_stored
+  | R_deleted
+  | R_not_found
+
+type write = W_put of { w_key : int; w_value : string } | W_del of { w_key : int }
+
+type abort = { a_key : int; a_expected : int; a_found : int }
+
+type outcome =
+  | Committed of op_result list * write list
+      (** per-op results, plus the writes to emit as one replication
+          delta batch at the commit point *)
+  | Aborted of abort  (** a CAS guard lost: first writer already won *)
+  | Failed of string  (** a store callback rejected a write *)
+
+type t
+
+val create : ?lanes:int -> value_color:string -> unit -> t
+(** [value_color] is the color of the store's values; it is inherited
+    by every index entry (see {!module:Index}). *)
+
+val index : t -> Index.t
+val value_color : t -> string
+
+val version : t -> int -> int
+(** Committed version of a key; 0 when never written. Every committed
+    put or del bumps it by one. *)
+
+val note_put : t -> key:int -> value:string -> unit
+(** Commit-point hook for a non-transactional put (plain set, or a
+    replicated delta applied on a replica). *)
+
+val note_del : t -> key:int -> unit
+
+val execute : t -> store_ops -> op list -> outcome
+(** Run a transaction atomically at the current commit point: validate
+    all ops against the snapshot (reads see the transaction's own
+    buffered writes), then — only if no CAS guard failed — apply the
+    writes through the store. An abort leaves the store untouched. *)
+
+val scan : t -> start:int -> stop:int -> limit:int -> Index.entry list
+(** Range scan [start <= key <= stop] (ascending, at most [limit])
+    served from the ordered index; secret-colored entries carry no
+    value bytes. *)
+
+val lookup : t -> value:string -> Index.entry list
+(** Hash-index lookup by value bytes; always [] for secret colors. *)
+
+val commits : t -> int
+val aborts : t -> int
+val scans : t -> int
+val scan_items : t -> int

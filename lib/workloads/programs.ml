@@ -565,6 +565,173 @@ entry int main() {
 |}
 
 (* ------------------------------------------------------------------ *)
+(* indexed accounts: Fig. 1 grown into a small store with an unsafe
+   secondary index. Ids and owner tags blue, balances red, bucket
+   occupancy counts unsafe (derived only from declassified bucket ids).
+   Relaxed mode — the node is a multi-color structure. Mirrors
+   examples/indexed_accounts.mc. *)
+
+let indexed_accounts = {|
+within extern void* malloc(int n);
+within extern void free(void* p);
+within extern char* memcpy(char* dst, char* src, int n);
+ignore extern void classify(char* dst, char* src, int n);
+ignore extern void declassify(char* dst, char* src, int n);
+ignore extern void classify_i64(int* dst, int v);
+ignore extern void declassify_i64(int* dst, int v);
+ignore extern void alloc_node2(struct acct** dst, int size, int kkey);
+
+struct acct {
+  int color(blue) id;
+  int color(blue) owner;
+  int color(red) balance;
+  struct acct* next;
+};
+
+struct acct* table[16];
+// unsafe secondary index: accounts per bucket. Updated only from
+// declassified bucket ids, so it carries no secret bits.
+int idx_count[16];
+struct acct* gnode;
+int gidx;
+int gpos;
+int count;
+int rstatus;
+
+int hval(int k) {
+  int h = k * 40503;
+  h = h + (k >> 16);
+  return h & 15;
+}
+
+// Blue stage: localize the id, declassify its bucket, walk the chain
+// and declassify the match position (-1 when absent). The chain
+// pointers live in shared memory; only the id comparisons run in the
+// blue enclave.
+void find_blue(int id) {
+  int color(blue) kslot;
+  classify_i64(&kslot, id);
+  int k = kslot;
+  declassify_i64(&gidx, hval(k));
+  int pos = 0;
+  int fnd = 0 - 1;
+  struct acct* n = table[gidx];
+  while (n != NULL) {
+    if (n->id == k) {
+      fnd = pos;
+    }
+    pos = pos + 1;
+    n = n->next;
+  }
+  declassify_i64(&gpos, fnd);
+}
+
+// Shared walk to the declassified position.
+struct acct* node_at(int p) {
+  struct acct* n = table[gidx];
+  int i = 0;
+  while (i < p) {
+    n = n->next;
+    i = i + 1;
+  }
+  return n;
+}
+
+entry void acct_init() {
+  int i = 0;
+  while (i < 16) {
+    table[i] = NULL;
+    idx_count[i] = 0;
+    i = i + 1;
+  }
+  count = 0;
+}
+
+// Open an account: the id and owner tag are classified blue, the
+// opening balance red; the unsafe index learns only the bucket.
+entry int acct_open(int id, int owner, int amount) {
+  find_blue(id);
+  int fresh = 0;
+  if (gpos < 0) {
+    int color(blue) kslot;
+    classify_i64(&kslot, id);
+    int k = kslot;
+    alloc_node2(&gnode, sizeof(struct acct), k);
+    struct acct* a = gnode;
+    a->id = k;
+    int color(blue) oslot;
+    classify_i64(&oslot, owner);
+    a->owner = oslot;
+    int color(red) bslot;
+    classify_i64(&bslot, amount);
+    a->balance = bslot;
+    a->next = table[gidx];
+    table[gidx] = a;
+    idx_count[gidx] = idx_count[gidx] + 1;
+    count = count + 1;
+    fresh = 1;
+  }
+  declassify_i64(&rstatus, fresh);
+  return rstatus;
+}
+
+// Cross-color read-modify-write: the blue stage locates the account,
+// the red enclave adds the classified amount to the balance.
+entry int acct_deposit(int id, int amount) {
+  find_blue(id);
+  int ok = 0;
+  if (gpos >= 0) {
+    struct acct* a = node_at(gpos);
+    int color(red) amt;
+    classify_i64(&amt, amount);
+    a->balance = a->balance + amt;
+    ok = 1;
+  }
+  declassify_i64(&rstatus, ok);
+  return rstatus;
+}
+
+entry int acct_balance(int id) {
+  find_blue(id);
+  rstatus = 0 - 1;
+  if (gpos >= 0) {
+    struct acct* a = node_at(gpos);
+    declassify_i64(&rstatus, a->balance);
+  }
+  return rstatus;
+}
+
+// Index lookup: the unsafe occupancy index prunes empty buckets; the
+// blue enclave compares owner tags and the match count is declassified.
+entry int acct_find(int owner) {
+  int color(blue) oslot;
+  classify_i64(&oslot, owner);
+  int o = oslot;
+  int matches = 0;
+  int b = 0;
+  while (b < 16) {
+    if (idx_count[b] > 0) {
+      struct acct* n = table[b];
+      while (n != NULL) {
+        if (n->owner == o) {
+          matches = matches + 1;
+        }
+        n = n->next;
+      }
+    }
+    b = b + 1;
+  }
+  declassify_i64(&rstatus, matches);
+  return rstatus;
+}
+
+entry int acct_count() {
+  declassify_i64(&rstatus, count);
+  return rstatus;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
 (* memcached-lite (§9.2): the paper's legacy application. A chained
    hashtable with an LRU list and eviction, statistics, and get / set /
    delete / touch operations. The Privagic variant colors the central map

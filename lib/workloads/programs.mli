@@ -48,3 +48,10 @@ val fig4 : string
 
 (** Figs. 6–7: the complete three-partition example. *)
 val fig6 : string
+
+(** Fig. 1 grown into a small indexed store (relaxed mode): blue ids and
+    owner tags, red balances, and an unsafe bucket-occupancy index built
+    only from declassified bucket ids. Entries: [acct_init], [acct_open],
+    [acct_deposit] (a cross-color RMW), [acct_balance], [acct_find],
+    [acct_count]. Same source as examples/indexed_accounts.mc. *)
+val indexed_accounts : string

@@ -97,7 +97,12 @@ let scrambled_zipfian_next z r =
 
 type distribution = Uniform | Zipfian | Latest
 
-type op = Read of int | Update of int | Insert of int
+type op =
+  | Read of int
+  | Update of int
+  | Insert of int
+  | Scan of int * int (* start key, requested length (YCSB-E) *)
+  | Rmw of int (* read-modify-write on one key (YCSB-F) *)
 
 type spec = {
   record_count : int;
@@ -105,6 +110,9 @@ type spec = {
   read_proportion : float;
   update_proportion : float;
   insert_proportion : float;
+  scan_proportion : float;
+  rmw_proportion : float;
+  max_scan_len : int; (* scan lengths are uniform in [1, max_scan_len] *)
   distribution : distribution;
   value_size : int;
   seed : int;
@@ -118,6 +126,9 @@ let workload_a ?(seed = 42) ~record_count ~operation_count ~value_size () =
     read_proportion = 0.5;
     update_proportion = 0.5;
     insert_proportion = 0.0;
+    scan_proportion = 0.0;
+    rmw_proportion = 0.0;
+    max_scan_len = 1;
     distribution = Zipfian;
     value_size;
     seed;
@@ -130,6 +141,9 @@ let workload_b ?(seed = 42) ~record_count ~operation_count ~value_size () =
     read_proportion = 0.95;
     update_proportion = 0.05;
     insert_proportion = 0.0;
+    scan_proportion = 0.0;
+    rmw_proportion = 0.0;
+    max_scan_len = 1;
     distribution = Zipfian;
     value_size;
     seed;
@@ -142,6 +156,42 @@ let workload_c ?(seed = 42) ~record_count ~operation_count ~value_size () =
     read_proportion = 1.0;
     update_proportion = 0.0;
     insert_proportion = 0.0;
+    scan_proportion = 0.0;
+    rmw_proportion = 0.0;
+    max_scan_len = 1;
+    distribution = Zipfian;
+    value_size;
+    seed;
+  }
+
+(* Workload E: short range scans (95%) + inserts (5%), zipfian start
+   keys. Workload F: reads (50%) + read-modify-writes (50%). *)
+let workload_e ?(seed = 42) ?(max_scan_len = 16) ~record_count
+    ~operation_count ~value_size () =
+  {
+    record_count;
+    operation_count;
+    read_proportion = 0.0;
+    update_proportion = 0.0;
+    insert_proportion = 0.05;
+    scan_proportion = 0.95;
+    rmw_proportion = 0.0;
+    max_scan_len;
+    distribution = Zipfian;
+    value_size;
+    seed;
+  }
+
+let workload_f ?(seed = 42) ~record_count ~operation_count ~value_size () =
+  {
+    record_count;
+    operation_count;
+    read_proportion = 0.5;
+    update_proportion = 0.0;
+    insert_proportion = 0.0;
+    scan_proportion = 0.0;
+    rmw_proportion = 0.5;
+    max_scan_len = 1;
     distribution = Zipfian;
     value_size;
     seed;
@@ -155,6 +205,9 @@ let uniform_mix ?(seed = 42) ~record_count ~operation_count ~value_size
     read_proportion;
     update_proportion = 1.0 -. read_proportion;
     insert_proportion = 0.0;
+    scan_proportion = 0.0;
+    rmw_proportion = 0.0;
+    max_scan_len = 1;
     distribution = Uniform;
     value_size;
     seed;
@@ -196,9 +249,15 @@ let next_key t =
 
 let next_op t : op =
   let u = next_float t.r in
-  if u < t.spec.read_proportion then Read (next_key t)
-  else if u < t.spec.read_proportion +. t.spec.update_proportion then
-    Update (next_key t)
+  let read = t.spec.read_proportion in
+  let update = read +. t.spec.update_proportion in
+  let scan = update +. t.spec.scan_proportion in
+  let rmw = scan +. t.spec.rmw_proportion in
+  if u < read then Read (next_key t)
+  else if u < update then Update (next_key t)
+  else if u < scan then
+    Scan (next_key t, 1 + next_int t.r (max 1 t.spec.max_scan_len))
+  else if u < rmw then Rmw (next_key t)
   else begin
     let k = t.inserted in
     t.inserted <- t.inserted + 1;

@@ -32,7 +32,13 @@ val fnv_hash64 : int64 -> int64
 val scrambled_zipfian_next : zipfian -> rng -> int
 
 type distribution = Uniform | Zipfian | Latest
-type op = Read of int | Update of int | Insert of int
+
+type op =
+  | Read of int
+  | Update of int
+  | Insert of int
+  | Scan of int * int  (** start key, requested length (workload E) *)
+  | Rmw of int  (** read-modify-write on one key (workload F) *)
 
 type spec = {
   record_count : int;
@@ -40,13 +46,16 @@ type spec = {
   read_proportion : float;
   update_proportion : float;
   insert_proportion : float;
+  scan_proportion : float;
+  rmw_proportion : float;
+  max_scan_len : int;  (** scan lengths are uniform in [1, max_scan_len] *)
   distribution : distribution;
   value_size : int;
   seed : int;
 }
 
 (** The standard mixes: A = 50/50 read/update zipfian, B = 95/5,
-    C = read-only. *)
+    C = read-only, E = 95/5 scan/insert, F = 50/50 read/RMW. *)
 val workload_a :
   ?seed:int -> record_count:int -> operation_count:int -> value_size:int ->
   unit -> spec
@@ -56,6 +65,14 @@ val workload_b :
   unit -> spec
 
 val workload_c :
+  ?seed:int -> record_count:int -> operation_count:int -> value_size:int ->
+  unit -> spec
+
+val workload_e :
+  ?seed:int -> ?max_scan_len:int -> record_count:int -> operation_count:int ->
+  value_size:int -> unit -> spec
+
+val workload_f :
   ?seed:int -> record_count:int -> operation_count:int -> value_size:int ->
   unit -> spec
 

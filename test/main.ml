@@ -49,6 +49,7 @@ let () =
       ("equivalence", Test_equiv.suite);
       ("image", Test_image.suite);
       ("server", Test_server.suite);
+      ("txn", Test_txn.suite);
       ("replication", Test_replication.suite);
       ("wire_fuzz", Test_wire_fuzz.suite);
       ("robust", Test_robust.suite);

@@ -125,7 +125,7 @@ let test_fuzz_smoke () =
       Alcotest.(check int) "all four cells ran" 4 (List.length rp.Driver.rp_cells);
       Alcotest.(check int) "zero secrecy violations" 0
         (Driver.violations_total rp);
-      Alcotest.(check int) "12 mutant runs" 12 (List.length rp.Driver.rp_kills);
+      Alcotest.(check int) "16 mutant runs" 16 (List.length rp.Driver.rp_kills);
       Alcotest.(check (float 0.0)) "full kill rate" 1.0 (Driver.kill_rate rp);
       Alcotest.(check bool) "campaign passed" true (Driver.passed rp))
 

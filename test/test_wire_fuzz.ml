@@ -60,6 +60,17 @@ let test_request_reader () =
         Protocol.render_request (Protocol.Set (8, "cr\r\nlf\r\n\000bin"));
         Protocol.render_request (Protocol.Get 7);
         Protocol.render_request (Protocol.Del 7);
+        Protocol.render_request (Protocol.Getv 7);
+        (* cas and txn payloads with embedded terminators: only the
+           length prefixes can frame them *)
+        Protocol.render_request
+          (Protocol.Cas { c_key = 7; c_ver = 3; c_val = "v\r\n\000cas" });
+        Protocol.render_request
+          (Protocol.Scan { sc_start = 2; sc_stop = 40; sc_limit = 10 });
+        Protocol.render_request
+          (Protocol.Txn
+             [ Protocol.T_get 1; Protocol.T_set (2, "tx\r\nval");
+               Protocol.T_del 3; Protocol.T_cas (4, 9, "guard\000ed") ]);
         Protocol.render_request Protocol.Stats;
         Delta.render_hello ~sync:true ~from_seq:3;
         "bogus line\r\n";
@@ -70,7 +81,15 @@ let test_request_reader () =
   match whole Protocol.reader Protocol.feed wire with
   | [ `Req (Protocol.Set (7, "hello"));
       `Req (Protocol.Set (8, "cr\r\nlf\r\n\000bin"));
-      `Req (Protocol.Get 7); `Req (Protocol.Del 7); `Req Protocol.Stats;
+      `Req (Protocol.Get 7); `Req (Protocol.Del 7);
+      `Req (Protocol.Getv 7);
+      `Req (Protocol.Cas { c_key = 7; c_ver = 3; c_val = "v\r\n\000cas" });
+      `Req (Protocol.Scan { sc_start = 2; sc_stop = 40; sc_limit = 10 });
+      `Req
+        (Protocol.Txn
+           [ Protocol.T_get 1; Protocol.T_set (2, "tx\r\nval");
+             Protocol.T_del 3; Protocol.T_cas (4, 9, "guard\000ed") ]);
+      `Req Protocol.Stats;
       `Req (Protocol.Repl { r_sync = true; r_from = 3 }); `Bad _;
       `Req Protocol.Quit ] -> ()
   | l -> Alcotest.failf "unexpected request parse (%d items)" (List.length l)
@@ -83,6 +102,19 @@ let test_response_reader () =
            Protocol.Miss; Protocol.Stored; Protocol.Deleted;
            Protocol.Not_found; Protocol.Busy;
            Protocol.Stats_reply [ ("a", "1"); ("b", "x y") ];
+           Protocol.Version { v_key = 3; v_ver = 5; v_val = Some "ver\r\nval" };
+           Protocol.Version { v_key = 4; v_ver = 0; v_val = None };
+           Protocol.Cas_conflict 6;
+           (* a scan reply mixing value-carrying (SVAL) and key-only
+              (SKEY, secret-colored) items *)
+           Protocol.Scan_reply
+             [ { Protocol.si_key = 1; si_ver = 2; si_val = Some "sv\r\n\000" };
+               { Protocol.si_key = 3; si_ver = 4; si_val = None } ];
+           Protocol.Scan_reply [];
+           Protocol.Txn_reply
+             [ Protocol.R_value (Some "tx\r\nout"); Protocol.R_value None;
+               Protocol.R_stored; Protocol.R_deleted; Protocol.R_not_found ];
+           Protocol.Txn_abort { ta_key = 9; ta_expected = 4; ta_found = 7 };
            Protocol.Error_msg "nope"; Protocol.Ok_msg ])
   in
   check_parser ~name:"responses" Protocol.resp_reader Protocol.feed_resp wire

@@ -59,7 +59,7 @@ let test_workload_mixes () =
     match Ycsb.next_op t with
     | Ycsb.Read _ -> incr reads
     | Ycsb.Update _ -> incr updates
-    | Ycsb.Insert _ -> ()
+    | Ycsb.Insert _ | Ycsb.Scan _ | Ycsb.Rmw _ -> ()
   done;
   let ratio = float_of_int !reads /. float_of_int (!reads + !updates) in
   Alcotest.(check bool) "workload B is ~95% reads" true
@@ -72,10 +72,44 @@ let test_keys_in_range () =
   let t = Ycsb.create spec in
   for _ = 1 to spec.Ycsb.operation_count do
     match Ycsb.next_op t with
-    | Ycsb.Read k | Ycsb.Update k ->
+    | Ycsb.Read k | Ycsb.Update k | Ycsb.Scan (k, _) | Ycsb.Rmw k ->
       Alcotest.(check bool) "key in range" true (k >= 0 && k < 500)
     | Ycsb.Insert _ -> ()
   done
+
+let test_workload_e_f () =
+  let spec =
+    Ycsb.workload_e ~max_scan_len:10 ~record_count:1000
+      ~operation_count:10_000 ~value_size:64 ()
+  in
+  let t = Ycsb.create spec in
+  let scans = ref 0 and inserts = ref 0 in
+  for _ = 1 to spec.Ycsb.operation_count do
+    match Ycsb.next_op t with
+    | Ycsb.Scan (k, len) ->
+      incr scans;
+      Alcotest.(check bool) "scan start in range" true (k >= 0 && k < 1000);
+      Alcotest.(check bool) "scan len in [1,10]" true (len >= 1 && len <= 10)
+    | Ycsb.Insert _ -> incr inserts
+    | _ -> Alcotest.fail "workload E only scans and inserts"
+  done;
+  let ratio = float_of_int !scans /. float_of_int (!scans + !inserts) in
+  Alcotest.(check bool) "workload E is ~95% scans" true
+    (ratio > 0.92 && ratio < 0.98);
+  let spec =
+    Ycsb.workload_f ~record_count:1000 ~operation_count:10_000 ~value_size:64 ()
+  in
+  let t = Ycsb.create spec in
+  let reads = ref 0 and rmws = ref 0 in
+  for _ = 1 to spec.Ycsb.operation_count do
+    match Ycsb.next_op t with
+    | Ycsb.Read _ -> incr reads
+    | Ycsb.Rmw _ -> incr rmws
+    | _ -> Alcotest.fail "workload F only reads and RMWs"
+  done;
+  let ratio = float_of_int !reads /. float_of_int (!reads + !rmws) in
+  Alcotest.(check bool) "workload F is ~50% reads" true
+    (ratio > 0.45 && ratio < 0.55)
 
 let test_value_payload () =
   let v1 = Ycsb.value_for ~size:128 42 in
@@ -106,6 +140,7 @@ let suite =
     Alcotest.test_case "zipfian skew" `Quick test_zipfian_skew;
     Alcotest.test_case "scrambled spreads" `Quick test_scrambled_spreads;
     Alcotest.test_case "workload mixes" `Quick test_workload_mixes;
+    Alcotest.test_case "workload E and F mixes" `Quick test_workload_e_f;
     Alcotest.test_case "keys in range" `Quick test_keys_in_range;
     Alcotest.test_case "value payload" `Quick test_value_payload;
     QCheck_alcotest.to_alcotest prop_zipfian_bounds;
