@@ -319,7 +319,8 @@ let apply (x : ctx) (act : Gen.action) =
         | Error e -> Error e
       in
       (* the kv victims expose no delete entry: a deleted key simply
-         drops from the index/version tables *)
+         drops from the index/version tables, so del never rejects and
+         stays applicable ([o_can_del = true]) *)
       let o_del _ = Ok false in
       let ops =
         List.map
@@ -332,7 +333,11 @@ let apply (x : ctx) (act : Gen.action) =
           ops
       in
       ignore
-        (Txn.execute k.kc_txn { Txn.o_get; o_set; o_del } ops : Txn.outcome))
+        (Txn.execute k.kc_txn
+           { Txn.o_get; o_set; o_del; o_max_value = k.kc_vsize;
+             o_can_del = true }
+           ops
+          : Txn.outcome))
   | Gen.Probe { global; off } -> (
     match Hashtbl.find_opt t.t_exec.Exec.globals global with
     | Some a -> ( try ignore (Heap.load heap (a + off) 8 : int64) with Heap.Fault _ -> ())

@@ -415,6 +415,11 @@ let txn_store_ops t =
         | Protocol.Not_found -> Ok false
         | Protocol.Error_msg m -> Error m
         | _ -> Error "unexpected del response");
+    (* applicability limits, so [Txn.execute] rejects a doomed write in
+       its validate phase (the wire accepts values up to the frame
+       limit, well past cfg.vsize) instead of failing mid-apply *)
+    o_max_value = t.cfg.vsize;
+    o_can_del = t.bnd.b_del <> None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -597,7 +602,17 @@ let exec_batch t lane (batch : work list) =
               Atomic.incr t.n_cas_conflicts;
               if a_found = 0 && a_expected > 0 then Protocol.Not_found
               else Protocol.Cas_conflict a_found
-            | Txn.Failed m -> Protocol.Error_msg ("exec: " ^ m))
+            | Txn.Failed { f_msg; f_applied } ->
+              (* any applied prefix is committed state: ship it, or
+                 replicas diverge from the primary's versions *)
+              commit_writes f_applied;
+              List.iter
+                (fun w ->
+                  Hashtbl.remove cache
+                    (match w with
+                    | Txn.W_put { w_key; _ } | Txn.W_del { w_key } -> w_key))
+                f_applied;
+              Protocol.Error_msg ("exec: " ^ f_msg))
           | Protocol.Txn ops -> (
             Atomic.incr t.n_txns;
             let r =
@@ -621,7 +636,17 @@ let exec_batch t lane (batch : work list) =
               Atomic.incr t.n_txn_aborts;
               Protocol.Txn_abort
                 { ta_key = a_key; ta_expected = a_expected; ta_found = a_found }
-            | Txn.Failed m -> Protocol.Error_msg ("exec: " ^ m))
+            | Txn.Failed { f_msg; f_applied } ->
+              (* any applied prefix is committed state: ship it, or
+                 replicas diverge from the primary's versions *)
+              commit_writes f_applied;
+              List.iter
+                (fun w ->
+                  Hashtbl.remove cache
+                    (match w with
+                    | Txn.W_put { w_key; _ } | Txn.W_del { w_key } -> w_key))
+                f_applied;
+              Protocol.Error_msg ("exec: " ^ f_msg))
           | Protocol.Scan { sc_start; sc_stop; sc_limit } ->
             Atomic.incr t.n_scans;
             let items =
@@ -1052,6 +1077,12 @@ let start ?replica_of cfg bnd store =
       queues = Array.init cfg.lanes (fun _ -> Msq.create ());
       depths = Array.init cfg.lanes (fun _ -> Atomic.make 0);
       lengths = Hashtbl.create 1024;
+      (* contract (see Txn.create): the bound store must be empty when
+         the server starts — there is no enumeration entry point to
+         backfill versions/indexes from, so a program that pre-populates
+         its table before [start] would serve those keys through
+         get/set but leave them invisible to scan/getv/txn-del. The
+         known families' init entries all build empty tables. *)
       txn = Txn.create ~lanes:cfg.lanes ~value_color:bnd.b_vcolor ();
       vbuf = store.st_alloc (max 1 cfg.vsize);
       obuf = store.st_alloc (max 1 cfg.vsize);

@@ -91,6 +91,12 @@ type t
     {!apply_put}/{!apply_del}); {!promote} flips it to primary.
     @raise Failure when the socket cannot be bound. *)
 val start : ?replica_of:string -> config -> bindings -> store -> t
+(** The bound store must hold no keys yet: the transaction layer's
+    version table and secondary indexes start empty and only advance
+    through commit hooks, so keys pre-populated before [start] would be
+    invisible to [scan], report version 0 via [getv], and fail the
+    in-transaction del presence check. The known families' init entries
+    all build empty tables. *)
 
 val port : t -> int
 

@@ -125,13 +125,15 @@ let range t ~start ~stop ~limit =
     let n = ref 0 in
     let continue = ref true in
     while !continue do
-      (* find the lane with the smallest pending key *)
+      (* find the lane with the smallest pending key; [best < 0] means
+         "none yet", so no key value (not even max_int) is an in-band
+         sentinel. Lanes partition the key space, so there are no ties. *)
       let best = ref (-1) in
-      let best_key = ref max_int in
+      let best_key = ref 0 in
       Array.iteri
         (fun i h ->
           match !h with
-          | Some ((k, _), _) when k < !best_key ->
+          | Some ((k, _), _) when !best < 0 || k < !best_key ->
             best := i;
             best_key := k
           | _ -> ())

@@ -28,6 +28,8 @@ type store_ops = {
   o_get : int -> (string option, string) result;
   o_set : int -> string -> (unit, string) result;
   o_del : int -> (bool, string) result;
+  o_max_value : int;
+  o_can_del : bool;
 }
 
 type op =
@@ -49,7 +51,11 @@ type abort = { a_key : int; a_expected : int; a_found : int }
 type outcome =
   | Committed of op_result list * write list
   | Aborted of abort
-  | Failed of string  (* a store callback rejected a write (e.g. oversize) *)
+  | Failed of { f_msg : string; f_applied : write list }
+      (* a write was inapplicable (phase 1, [f_applied] = []) or — not
+         expected after phase-1 gating — a store callback failed
+         mid-apply; [f_applied] is the committed prefix the caller must
+         still ship to replicas *)
 
 type t = {
   idx : Index.t;
@@ -101,12 +107,22 @@ let note_del t ~key =
 
 let execute t store ops =
   (* Phase 1: validate every op against the snapshot and buffer the
-     writes; nothing touches the store, so an abort leaves no trace. *)
+     writes; nothing touches the store, so an abort leaves no trace.
+     Applicability is part of validation: a write the store would
+     reject in phase 2 — an oversize value, a del on a store without a
+     del entry — fails the whole transaction *here*, before anything
+     is applied, so phase 2 cannot stop halfway and break atomicity. *)
   let buffered : (int, string option) Hashtbl.t = Hashtbl.create 8 in
   let present key =
     match Hashtbl.find_opt buffered key with
     | Some v -> v <> None
     | None -> Index.mem t.idx key
+  in
+  let check_size value =
+    if String.length value > store.o_max_value then
+      Some
+        (Printf.sprintf "value exceeds store value size %d" store.o_max_value)
+    else None
   in
   let rec validate results writes = function
     | [] -> Ok (List.rev results, List.rev writes)
@@ -121,14 +137,22 @@ let execute t store ops =
         match v with
         | Ok v -> validate (R_value v :: results) writes rest
         | Error e -> Error (`Fail e))
-      | T_set (key, value) ->
-        Hashtbl.replace buffered key (Some value);
-        validate (R_stored :: results) (W_put { w_key = key; w_value = value } :: writes) rest
+      | T_set (key, value) -> (
+        match check_size value with
+        | Some e -> Error (`Fail e)
+        | None ->
+          Hashtbl.replace buffered key (Some value);
+          validate (R_stored :: results)
+            (W_put { w_key = key; w_value = value } :: writes)
+            rest)
       | T_del key ->
-        if present key then begin
-          Hashtbl.replace buffered key None;
-          validate (R_deleted :: results) (W_del { w_key = key } :: writes) rest
-        end
+        if present key then
+          if not store.o_can_del then
+            Error (`Fail "del not supported by the store")
+          else begin
+            Hashtbl.replace buffered key None;
+            validate (R_deleted :: results) (W_del { w_key = key } :: writes) rest
+          end
         else validate (R_not_found :: results) writes rest
       | T_cas (key, expect, value) ->
         (* First-writer-wins: the guard compares against the version
@@ -137,40 +161,49 @@ let execute t store ops =
         let found = version t key in
         if found <> expect then
           Error (`Abort { a_key = key; a_expected = expect; a_found = found })
-        else begin
-          Hashtbl.replace buffered key (Some value);
-          validate (R_stored :: results)
-            (W_put { w_key = key; w_value = value } :: writes)
-            rest
-        end)
+        else (
+          match check_size value with
+          | Some e -> Error (`Fail e)
+          | None ->
+            Hashtbl.replace buffered key (Some value);
+            validate (R_stored :: results)
+              (W_put { w_key = key; w_value = value } :: writes)
+              rest))
   in
   match validate [] [] ops with
   | Error (`Abort a) ->
     Atomic.incr t.aborts;
     Aborted a
-  | Error (`Fail e) -> Failed e
+  | Error (`Fail e) -> Failed { f_msg = e; f_applied = [] }
   | Ok (results, writes) -> (
     (* Phase 2: apply the buffered writes in op order through the
        store's own entry points, advancing versions and indexes. The
        caller holds the commit mutex, so the run is contiguous and can
-       be shipped as one replication batch. *)
+       be shipped as one replication batch. Phase 1 already rejected
+       inapplicable writes, so a failure here is a store malfunction —
+       the applied prefix is committed state (versions and indexes
+       advanced), and it is returned so the caller can still ship it
+       to replicas instead of silently diverging from them. *)
+    let applied = ref [] in
     let rec apply = function
       | [] -> None
-      | W_put { w_key; w_value } :: rest -> (
+      | (W_put { w_key; w_value } as w) :: rest -> (
         match store.o_set w_key w_value with
         | Ok () ->
           note_put t ~key:w_key ~value:w_value;
+          applied := w :: !applied;
           apply rest
         | Error e -> Some e)
-      | W_del { w_key } :: rest -> (
+      | (W_del { w_key } as w) :: rest -> (
         match store.o_del w_key with
         | Ok _ ->
           note_del t ~key:w_key;
+          applied := w :: !applied;
           apply rest
         | Error e -> Some e)
     in
     match apply writes with
-    | Some e -> Failed e
+    | Some e -> Failed { f_msg = e; f_applied = List.rev !applied }
     | None ->
       Atomic.incr t.commits;
       Committed (results, writes))

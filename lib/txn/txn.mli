@@ -10,9 +10,15 @@ type store_ops = {
   o_get : int -> (string option, string) result;
   o_set : int -> string -> (unit, string) result;
   o_del : int -> (bool, string) result;
+  o_max_value : int;
+      (** largest value size [o_set] accepts ([max_int] = unbounded) *)
+  o_can_del : bool;  (** [false] when the store has no delete entry *)
 }
 (** The store's own entry points — every value still crosses the
-    partition boundary through these. *)
+    partition boundary through these. [o_max_value] and [o_can_del]
+    declare what the callbacks would reject, so {!execute} can fail an
+    inapplicable transaction during validation instead of discovering
+    the rejection halfway through the apply phase. *)
 
 type op =
   | T_get of int
@@ -35,13 +41,28 @@ type outcome =
       (** per-op results, plus the writes to emit as one replication
           delta batch at the commit point *)
   | Aborted of abort  (** a CAS guard lost: first writer already won *)
-  | Failed of string  (** a store callback rejected a write *)
+  | Failed of { f_msg : string; f_applied : write list }
+      (** the transaction could not commit: either validation rejected
+          an inapplicable write (oversize value, del on a del-less
+          store — [f_applied] is [[]] and the store is untouched), or a
+          store callback failed mid-apply, which phase-1 gating makes
+          unexpected; in that case [f_applied] is the prefix of writes
+          that DID commit (versions and indexes advanced), and the
+          caller must ship it to replicas like a committed batch or
+          they diverge permanently *)
 
 type t
 
 val create : ?lanes:int -> value_color:string -> unit -> t
 (** [value_color] is the color of the store's values; it is inherited
-    by every index entry (see {!module:Index}). *)
+    by every index entry (see {!module:Index}).
+
+    The version table and indexes start empty and there is no backfill
+    path: the layer only learns about keys through its commit hooks.
+    The underlying store must therefore be empty when the layer
+    attaches — a key written to the store before [create] would be
+    invisible to scans, report version 0 via {!version}, and fail the
+    in-transaction del presence check. *)
 
 val index : t -> Index.t
 val value_color : t -> string
@@ -59,8 +80,10 @@ val note_del : t -> key:int -> unit
 val execute : t -> store_ops -> op list -> outcome
 (** Run a transaction atomically at the current commit point: validate
     all ops against the snapshot (reads see the transaction's own
-    buffered writes), then — only if no CAS guard failed — apply the
-    writes through the store. An abort leaves the store untouched. *)
+    buffered writes, applicability is checked against [o_max_value] /
+    [o_can_del]), then — only if every op validated and no CAS guard
+    failed — apply the writes through the store. An abort or a
+    validation failure leaves the store untouched. *)
 
 val scan : t -> start:int -> stop:int -> limit:int -> Index.entry list
 (** Range scan [start <= key <= stop] (ascending, at most [limit])

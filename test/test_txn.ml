@@ -32,7 +32,7 @@ let plan_of ?(mode = Mode.Hardened) src =
 (* ------------------------------------------------------------------ *)
 (* pure transaction semantics over a mock store *)
 
-let mock_store () =
+let mock_store ?(max_value = max_int) ?(can_del = true) () =
   let h : (int, string) Hashtbl.t = Hashtbl.create 16 in
   let ops =
     {
@@ -46,6 +46,8 @@ let mock_store () =
           let had = Hashtbl.mem h k in
           Hashtbl.remove h k;
           Ok had);
+      o_max_value = max_value;
+      o_can_del = can_del;
     }
   in
   (h, ops)
@@ -108,6 +110,46 @@ let test_execute_pure () =
   Alcotest.(check int) "commits counted" 3 (Txn.commits t);
   Alcotest.(check int) "aborts counted" 2 (Txn.aborts t)
 
+(* An inapplicable write — an oversize value, a del without a del entry
+   — must fail the whole transaction during validation: nothing reaches
+   the store, no version bumps, and [f_applied] is empty. This is the
+   atomicity guarantee for doomed transactions; without the phase-1
+   gate, a txn [set small; set oversize] would commit its prefix and
+   then report failure. *)
+let test_execute_applicability () =
+  let h, ops = mock_store ~max_value:4 () in
+  let t = Txn.create ~value_color:Index.unprotected_color () in
+  (match Txn.execute t ops [ Txn.T_set (1, "ok"); Txn.T_set (2, "toolarge") ] with
+  | Txn.Failed { f_applied = []; _ } -> ()
+  | Txn.Failed _ -> Alcotest.fail "oversize txn applied a prefix"
+  | _ -> Alcotest.fail "oversize txn did not fail");
+  Alcotest.(check int) "oversize txn left the store empty" 0
+    (Hashtbl.length h);
+  Alcotest.(check int) "oversize txn bumped no version" 0 (Txn.version t 1);
+  (* the same gate guards the CAS value *)
+  (match Txn.execute t ops [ Txn.T_cas (1, 0, "toolarge") ] with
+  | Txn.Failed { f_applied = []; _ } -> ()
+  | _ -> Alcotest.fail "oversize cas did not fail cleanly");
+  (* a guard that loses still reports Aborted, not Failed *)
+  (match Txn.execute t ops [ Txn.T_cas (1, 7, "toolarge") ] with
+  | Txn.Aborted { a_key = 1; a_expected = 7; a_found = 0 } -> ()
+  | _ -> Alcotest.fail "lost guard outranks the size check");
+  (* del on a del-less store: only a del that would reach the store
+     fails; del of an absent key stays NOT_FOUND *)
+  let h2, ops2 = mock_store ~can_del:false () in
+  let t2 = Txn.create ~value_color:Index.unprotected_color () in
+  (match Txn.execute t2 ops2 [ Txn.T_del 5 ] with
+  | Txn.Committed ([ Txn.R_not_found ], []) -> ()
+  | _ -> Alcotest.fail "absent-key del should commit as NOT_FOUND");
+  (match Txn.execute t2 ops2 [ Txn.T_set (5, "v"); Txn.T_del 5 ] with
+  | Txn.Failed { f_applied = []; _ } -> ()
+  | _ -> Alcotest.fail "del-less txn did not fail cleanly");
+  Alcotest.(check int) "failed del-less txn applied nothing" 0
+    (Hashtbl.length h2);
+  Alcotest.(check int) "failed del-less txn bumped no version" 0
+    (Txn.version t2 5);
+  Alcotest.(check int) "only the NOT_FOUND txn committed" 1 (Txn.commits t2)
+
 (* ------------------------------------------------------------------ *)
 (* the color-inheritance rule of the index *)
 
@@ -146,6 +188,15 @@ let test_index_color_rule () =
     (List.length (Index.lookup ix "xyz"));
   Alcotest.(check int) "deleted key left the ordered index" 1
     (List.length (Index.range ix ~start:0 ~stop:10 ~limit:10));
+  (* the extreme key is not a merge-cursor sentinel: an entry at
+     max_int is still scannable *)
+  Index.put ix ~key:max_int ~version:1 ~len:2 ~color:Index.unprotected_color
+    ~value:(Some "mx");
+  (match Index.range ix ~start:max_int ~stop:max_int ~limit:4 with
+  | [ { Index.e_key = k; e_value = Some "mx"; _ } ] when k = max_int -> ()
+  | l -> Alcotest.failf "max_int entry not scanned (%d entries)"
+           (List.length l));
+  Index.del ix ~key:max_int;
   (* the same rule through the txn layer: a secret store scans key-only
      and is unreachable by value *)
   let t = Txn.create ~value_color:"blue" () in
@@ -474,6 +525,18 @@ let test_socket_roundtrip () =
   check "guarded txn aborts"
     (Protocol.Txn_abort { ta_key = 2; ta_expected = 99; ta_found = 1 })
     (rpc c (Protocol.Txn [ Txn.T_cas (2, 99, "z") ]));
+  (* the wire accepts values past the program's vsize; validation must
+     fail the whole transaction before anything applies *)
+  (match
+     rpc c
+       (Protocol.Txn
+          [ Txn.T_set (3, "pre"); Txn.T_set (4, String.make (vsize + 1) 'x') ])
+   with
+  | Protocol.Error_msg _ -> ()
+  | r -> Alcotest.failf "oversize txn: %s" (Protocol.render r));
+  check "oversize txn applied nothing"
+    (Protocol.Version { v_key = 3; v_ver = 0; v_val = None })
+    (rpc c (Protocol.Getv 3));
   (* scan on an unprotected plan returns SVAL items with live versions *)
   (match rpc c (Protocol.Scan { sc_start = 0; sc_stop = 100; sc_limit = 10 }) with
   | Protocol.Scan_reply
@@ -492,7 +555,7 @@ let test_socket_roundtrip () =
     -> ()
   | r -> Alcotest.failf "scan after del: %s" (Protocol.render r));
   let s = Server.stats srv in
-  Alcotest.(check int) "txns counted" 2 s.Server.s_txns;
+  Alcotest.(check int) "txns counted" 3 s.Server.s_txns;
   Alcotest.(check int) "cas counted" 4 s.Server.s_cas;
   Alcotest.(check int) "cas conflicts counted" 2 s.Server.s_cas_conflicts;
   Alcotest.(check int) "scans counted" 3 s.Server.s_scans;
@@ -551,6 +614,8 @@ let suite =
   [
     Alcotest.test_case "execute: snapshot reads, guards, atomic commit" `Quick
       test_execute_pure;
+    Alcotest.test_case "execute: inapplicable writes fail before apply" `Quick
+      test_execute_applicability;
     Alcotest.test_case "index: color inheritance rule" `Quick
       test_index_color_rule;
     Alcotest.test_case "scan: range oracle across lanes" `Quick
