@@ -499,7 +499,7 @@ module Loadgen = Privagic_loadgen.Loadgen
 module Repl = Privagic_replication
 
 let serve_action mode auth trace backend lanes engine host port queue_depth
-    policy max_batch vsize conn_workers capacity replica_of repl_sync
+    policy max_batch vsize shards capacity replica_of repl_sync
     repl_window cluster_key path =
   let plan = build_plan ~auth mode path in
   let bnd =
@@ -511,10 +511,16 @@ let serve_action mode auth trace backend lanes engine host port queue_depth
          (expected e.g. mc_set/mc_get or hm_put/hm_get)";
       exit 1
   in
+  if shards < 1 then begin
+    prerr_endline "serve: --shards must be at least 1";
+    exit 1
+  end;
   let rec_ =
     match trace with Some _ -> Tel.Recorder.create () | None -> Tel.Recorder.null
   in
-  let store =
+  (* one backend instance per shard: each shard's event loop owns its
+     store exclusively, so the backends never contend *)
+  let mk_store () =
     match backend with
     | `Parallel ->
       let module Par = Privagic_parallel.Parallel in
@@ -527,27 +533,31 @@ let serve_action mode auth trace backend lanes engine host port queue_depth
         Privagic_vm.Pinterp.set_telemetry pt rec_;
       Server.store_of_pinterp pt
   in
+  let stores = Array.init shards (fun _ -> mk_store ()) in
   (match bnd.Server.b_init with
-  | Some entry -> (
-    match
-      store.Server.st_call entry
-        [ Privagic_vm.Rvalue.Int (Int64.of_int capacity) ]
-    with
-    | Ok _ -> ()
-    | Error m ->
-      prerr_endline (Printf.sprintf "serve: %s failed: %s" entry m);
-      exit 3)
+  | Some entry ->
+    Array.iter
+      (fun store ->
+        match
+          store.Server.st_call entry
+            [ Privagic_vm.Rvalue.Int (Int64.of_int capacity) ]
+        with
+        | Ok _ -> ()
+        | Error m ->
+          prerr_endline (Printf.sprintf "serve: %s failed: %s" entry m);
+          exit 3)
+      stores
   | None -> ());
   let cfg =
     {
       Server.host;
       port;
+      shards;
       lanes;
       queue_depth;
       policy;
       max_batch;
       vsize;
-      conn_workers;
       telemetry = rec_;
       repl_window;
       repl_cluster = cluster_key;
@@ -557,12 +567,14 @@ let serve_action mode auth trace backend lanes engine host port queue_depth
     Option.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) replica_of
   in
   let srv =
-    try Server.start ?replica_of:replica_disp cfg bnd store with Failure m ->
+    try Server.start ?replica_of:replica_disp cfg bnd stores with Failure m ->
       prerr_endline ("serve: " ^ m);
       exit 2
   in
-  Format.printf "listening on %s:%d (%s program, %s backend, %d lanes%s)@."
-    host (Server.port srv) bnd.Server.b_family store.Server.st_name lanes
+  Format.printf
+    "listening on %s:%d (%s program, %s backend, %d shards x %d lanes%s)@."
+    host (Server.port srv) bnd.Server.b_family stores.(0).Server.st_name shards
+    lanes
     (match replica_disp with
     | Some a -> Printf.sprintf ", replica of %s" a
     | None -> "");
@@ -624,8 +636,8 @@ let serve_action mode auth trace backend lanes engine host port queue_depth
   | None -> ());
   0
 
-let loadgen_action host port clients ops rate records vsize seed read_prop
-    mix scan_len no_preload shutdown out =
+let loadgen_action host port clients ops rate depth records vsize seed
+    read_prop mix scan_len no_preload shutdown out =
   let cfg =
     {
       Loadgen.host;
@@ -633,6 +645,7 @@ let loadgen_action host port clients ops rate records vsize seed read_prop
       clients;
       ops;
       rate;
+      depth;
       record_count = records;
       vsize;
       seed;
@@ -919,8 +932,8 @@ let serve_cmd =
     Arg.(
       value & opt policy_conv Server.Block
       & info [ "policy" ] ~docv:"POLICY"
-          ~doc:"Above the high-water mark: 'block' the connection worker \
-                (producer backpressure) or 'shed' with SERVER_BUSY.")
+          ~doc:"Above the high-water mark: 'block' the producing shard \
+                (backpressure) or 'shed' with SERVER_BUSY.")
   in
   let max_batch =
     Arg.(
@@ -935,11 +948,15 @@ let serve_cmd =
       & info [ "vsize" ] ~docv:"BYTES"
           ~doc:"Value-buffer size of the program (memcached_lite.mc: 32).")
   in
-  let conn_workers =
+  let shards =
     Arg.(
-      value & opt (pos_int "conn-workers") 2
-      & info [ "conn-workers" ] ~docv:"N"
-          ~doc:"Connection-handling threads.")
+      value & opt (pos_int "shards") 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Single-writer keyspace shards. Keys hash to a shard by \
+                key mod N; each shard runs its own event loop (domain) and \
+                owns a private backend instance, so reads and single-shard \
+                writes never take a global lock. Multi-shard transactions \
+                commit via two-phase commit.")
   in
   let capacity =
     Arg.(
@@ -987,7 +1004,7 @@ let serve_cmd =
              (memcached-lite text protocol: get/set/del/stats/quit/shutdown)")
     Term.(const serve_action $ mode_arg $ auth_arg $ trace_arg
           $ backend_arg `Parallel $ lanes_arg $ engine_arg $ host $ port
-          $ queue_depth $ policy $ max_batch $ vsize $ conn_workers
+          $ queue_depth $ policy $ max_batch $ vsize $ shards
           $ capacity $ replica_of $ repl_sync $ repl_window $ cluster_key
           $ file_arg)
 
@@ -1017,7 +1034,14 @@ let loadgen_cmd =
       value & opt float 0.0
       & info [ "rate" ] ~docv:"OPS/S"
           ~doc:"Open-loop aggregate request rate; 0 (default) = closed \
-                loop, one outstanding request per connection.")
+                loop, --depth outstanding requests per connection.")
+  in
+  let depth =
+    Arg.(
+      value & opt (pos_int "depth") 1
+      & info [ "depth" ] ~docv:"N"
+          ~doc:"Closed-loop pipeline depth: in-flight requests kept per \
+                connection (1 = classic closed loop; higher pipelines).")
   in
   let records =
     Arg.(
@@ -1086,9 +1110,9 @@ let loadgen_cmd =
     (Cmd.info "loadgen"
        ~doc:"Drive a running privagic server with a YCSB-style workload \
              and report throughput and latency percentiles")
-    Term.(const loadgen_action $ host $ port $ clients $ ops $ rate $ records
-          $ vsize $ seed $ read_prop $ mix $ scan_len $ no_preload $ shutdown
-          $ out)
+    Term.(const loadgen_action $ host $ port $ clients $ ops $ rate $ depth
+          $ records $ vsize $ seed $ read_prop $ mix $ scan_len $ no_preload
+          $ shutdown $ out)
 
 let () =
   let doc = "automatic code partitioning with explicit secure typing" in

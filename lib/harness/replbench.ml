@@ -45,19 +45,22 @@ let plan_for () =
 
 let make_server ?replica_of ~capacity () =
   let plan = plan_for () in
-  let pt = Pinterp.create ~engine:(Exec.default_engine ()) plan in
-  let store = Server.store_of_pinterp pt in
   let bnd = Option.get (Server.bindings_of_plan plan) in
-  (match bnd.Server.b_init with
-  | Some entry ->
-    (match store.Server.st_call entry [ Rvalue.Int (Int64.of_int capacity) ]
-     with
-    | Ok _ -> ()
-    | Error m -> invalid_arg ("replbench: init failed: " ^ m))
-  | None -> ());
+  let store =
+    let pt = Pinterp.create ~engine:(Exec.default_engine ()) plan in
+    let store = Server.store_of_pinterp pt in
+    (match bnd.Server.b_init with
+    | Some entry ->
+      (match store.Server.st_call entry [ Rvalue.Int (Int64.of_int capacity) ]
+       with
+      | Ok _ -> ()
+      | Error m -> invalid_arg ("replbench: init failed: " ^ m))
+    | None -> ());
+    store
+  in
   Server.start ?replica_of
     { Server.default_config with Server.port = 0; vsize }
-    bnd store
+    bnd [| store |]
 
 (* A replica: its own server (read-only role) plus the replication
    client applying the primary's stream into it. [on_lost] defaults to

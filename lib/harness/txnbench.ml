@@ -48,6 +48,10 @@ type t = {
 
 let vsize = 32
 
+(* two shards so the even-i transactions (keys k and k+1) exercise the
+   cross-shard two-phase commit path, not just single-shard commits *)
+let shards = 2
+
 let make_server ~capacity () =
   let src = Kv.source Kv.Memcached `Colored ~nbuckets:256 ~vsize in
   let m = Privagic_minic.Driver.compile ~file:"program.mc" src in
@@ -58,17 +62,24 @@ let make_server ~capacity () =
   let plan = Privagic_partition.Plan.build ~mode infer in
   if plan.Privagic_partition.Plan.diagnostics <> [] then
     invalid_arg "txnbench: partitioning rejected";
-  let pool = Privagic_parallel.Parallel.create ~lanes:2 plan in
-  let store = Server.store_of_parallel pool in
   let bnd = Option.get (Server.bindings_of_plan plan) in
-  (match bnd.Server.b_init with
-  | Some entry ->
-    (match store.Server.st_call entry [ Rvalue.Int (Int64.of_int capacity) ]
-     with
-    | Ok _ -> ()
-    | Error m -> invalid_arg ("txnbench: init failed: " ^ m))
-  | None -> ());
-  Server.start { Server.default_config with Server.port = 0; vsize } bnd store
+  let stores =
+    Array.init shards (fun _ ->
+        let pool = Privagic_parallel.Parallel.create ~lanes:2 plan in
+        let store = Server.store_of_parallel pool in
+        (match bnd.Server.b_init with
+        | Some entry -> (
+          match
+            store.Server.st_call entry [ Rvalue.Int (Int64.of_int capacity) ]
+          with
+          | Ok _ -> ()
+          | Error m -> invalid_arg ("txnbench: init failed: " ^ m))
+        | None -> ());
+        store)
+  in
+  Server.start
+    { Server.default_config with Server.port = 0; shards; vsize }
+    bnd stores
 
 let cell_of mix (r : Loadgen.result) =
   {

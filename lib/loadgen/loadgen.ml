@@ -20,6 +20,7 @@ type config = {
   clients : int;
   ops : int;
   rate : float;
+  depth : int;
   record_count : int;
   vsize : int;
   seed : int;
@@ -37,6 +38,7 @@ let default_config =
     clients = 8;
     ops = 10_000;
     rate = 0.0;
+    depth = 1;
     record_count = 1024;
     vsize = 32;
     seed = 42;
@@ -144,6 +146,7 @@ exception Dead of string
 let run_phase cfg clients ~total ~rate ~(next_req : unit -> Protocol.request)
     ~(hist : Tel.Metrics.histogram option) (counts : phase_counts) =
   let n = Array.length clients in
+  let depth = max 1 cfg.depth in
   let start = Unix.gettimeofday () in
   let issued = ref 0 and completed = ref 0 in
   let next_client = ref 0 in
@@ -165,10 +168,12 @@ let run_phase cfg clients ~total ~rate ~(next_req : unit -> Protocol.request)
     if rate <= 0.0 then
       Array.iter
         (fun c ->
-          if !issued < total && Queue.is_empty c.outstanding then begin
+          (* closed loop with pipelining: keep [depth] requests in
+             flight per connection, refilled as responses land *)
+          while !issued < total && Queue.length c.outstanding < depth do
             incr issued;
             send c ~sched_at:(Unix.gettimeofday ()) (next_req ())
-          end)
+          done)
         clients
     else begin
       let due () = start +. (float_of_int !issued /. rate) in
@@ -407,8 +412,8 @@ let write_json ~path cfg r =
   p "{\n";
   p "  \"bench\": \"server\",\n";
   p "  \"host\": \"%s\", \"port\": %d,\n" cfg.host cfg.port;
-  p "  \"clients\": %d, \"ops\": %d, \"rate\": %g,\n" cfg.clients cfg.ops
-    cfg.rate;
+  p "  \"clients\": %d, \"ops\": %d, \"rate\": %g, \"depth\": %d,\n" cfg.clients
+    cfg.ops cfg.rate (max 1 cfg.depth);
   p "  \"record_count\": %d, \"vsize\": %d, \"seed\": %d, \"read_prop\": %g,\n"
     cfg.record_count cfg.vsize cfg.seed cfg.read_prop;
   p "  \"mix\": \"%s\", \"scan_len\": %d,\n" (mix_name cfg.mix) cfg.scan_len;

@@ -3,8 +3,10 @@
 
     One thread, [clients] concurrent non-blocking connections, and two
     load models:
-    - {b closed loop} ([rate = 0]): every connection keeps exactly one
-      request outstanding; throughput is whatever the server sustains.
+    - {b closed loop} ([rate = 0]): every connection keeps [depth]
+      requests outstanding (1 = the classic one-at-a-time closed loop;
+      higher pipelines the connection); throughput is whatever the
+      server sustains.
     - {b open loop} ([rate > 0]): requests are scheduled at the fixed
       aggregate rate and sent when due, regardless of outstanding
       responses (connections pipeline; the server preserves per-
@@ -38,6 +40,7 @@ type config = {
   clients : int;
   ops : int;              (** measured operations (excludes preload) *)
   rate : float;           (** aggregate ops/s; 0 = closed loop *)
+  depth : int;            (** closed-loop in-flight requests per connection *)
   record_count : int;     (** key space; also the preload size *)
   vsize : int;            (** value bytes per set *)
   seed : int;

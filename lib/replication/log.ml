@@ -30,6 +30,18 @@ let append t op =
   Mutex.unlock t.mu;
   seq
 
+let append_batch t ops =
+  Mutex.lock t.mu;
+  List.iter
+    (fun op ->
+      grow t;
+      t.entries.(t.len) <- Delta.{ seq = t.len + 1; op };
+      t.len <- t.len + 1)
+    ops;
+  let last = t.len in
+  Mutex.unlock t.mu;
+  last
+
 let append_at t ~seq op =
   Mutex.lock t.mu;
   if seq <> t.len + 1 then begin

@@ -21,6 +21,13 @@ val create : unit -> t
 (** Append under the committing lock; returns the assigned seq. *)
 val append : t -> Delta.op -> int
 
+(** Append a committed transaction's writes as one contiguous run under
+    a single lock hold — no other committer's delta can land inside the
+    run, even when commits from several shards interleave. Returns the
+    seq of the last appended delta (the current head when [ops] is
+    empty). *)
+val append_batch : t -> Delta.op list -> int
+
 (** Mirror an already-numbered delta; [seq] must be exactly [head + 1].
     @raise Invalid_argument on a gap or replay. *)
 val append_at : t -> seq:int -> Delta.op -> unit

@@ -1,28 +1,46 @@
-(* The serving shell around the partitioned runtime. Threads, not domains:
-   entry execution is serialized by [store_mu] (see the .mli — the
-   programs' lock()/unlock() externs are cost models, and the parallel
-   backend's entry interface resets per-request stacks globally), so the
-   shell only needs concurrency for I/O, and systhreads interleave around
-   the blocking syscalls just fine. The real parallelism lives inside each
-   request, across the pool's per-partition domains.
+(* The serving shell around the partitioned runtime, sharded (ISSUE 10).
 
-   Thread roles and ownership:
-   - acceptor: selects on the listen socket (with a timeout, so a drain is
-     noticed — closing a socket another thread is blocked accepting on is
-     not portable), hands sockets round-robin to connection workers;
-   - connection workers: each owns a disjoint set of connections. Only the
-     owner reads a connection or touches its pending-request queue; a
-     self-pipe lets executors nudge the owner out of select;
-   - lane executors: one per lane, popping work batches from that lane's
-     bounded Msqueue and executing them against the store.
+   The keyspace is hash-partitioned across N single-writer shards
+   ([key mod shards]). Each shard owns, exclusively:
+   - its own execution backend instance (a whole partitioned program:
+     the callers build one store per shard),
+   - its slice of the version table and the ordered/hash indexes
+     (a [Txn.t] with a single index lane),
+   - its value-length table and its scratch value buffers,
+   - an event loop, running on its own domain.
 
-   Per-connection ordering: at most one request of a connection is in the
-   lanes at a time ([c_in_flight]); the owner dispatches the next pending
-   request only after the executor wrote the response and cleared the
-   flag. Responses therefore come back in request order without any
-   cross-lane sequencing. Locally-answered verbs (stats, protocol errors,
-   SERVER_BUSY) are threaded through the same pending queue, so they
-   cannot overtake a queued request either. *)
+   There is no global store mutex. Each shard has a latch that its own
+   event loop holds while executing a batch — uncontended on the hot
+   path, because only the owner takes it. The latch exists for the
+   slow paths that must reach into a shard from outside its loop:
+   cross-shard transactions (two-phase commit below), cross-shard scan
+   cursors, and replica delta application.
+
+   The event loop (one per shard) multiplexes with [Unix.select] over
+   nonblocking sockets and an eventfd-style self-pipe — no timeout
+   polling anywhere on the serving path; every blocking wait is woken
+   explicitly (new conn, cross-shard work, cross-shard completion,
+   drain). Connections are fully pipelined: every parsed request gets
+   a response slot in arrival order, many can be in flight at once,
+   and the flush path writes the completed prefix of slots so
+   responses never reorder.
+
+   Cross-shard requests are handed to the owning shard over a bounded
+   Msqueue inbox (woken via the self-pipe). Per-connection ordering:
+   requests are dispatched in arrival order and same-key requests
+   always land in the same shard's FIFO, so per-key program order is
+   preserved; a multi-shard transaction or scan acts as a connection
+   barrier (it waits until the connection's earlier requests have
+   completed) and then executes inline under every participant latch —
+   phase 1 validates against all shards, phase 2 applies only if all
+   validated (two-phase commit; latches are taken in ascending shard
+   order, so cross-shard commits cannot deadlock).
+
+   Replication: all shards append to one shared commit log (internally
+   locked), while holding their latch — so the merged sequence is
+   monotone and, per key, log order equals commit order. Replicas
+   apply the merged stream in order, routing each delta to its shard;
+   per-shard subsequences replay bit-exact against per-shard oracles. *)
 
 module Tel = Privagic_telemetry
 module Msq = Privagic_runtime.Msqueue
@@ -159,12 +177,12 @@ type policy = Block | Shed
 type config = {
   host : string;
   port : int;
+  shards : int;
   lanes : int;
   queue_depth : int;
   policy : policy;
   max_batch : int;
   vsize : int;
-  conn_workers : int;
   telemetry : Tel.Recorder.t;
   repl_window : int;
   repl_cluster : string;
@@ -174,42 +192,77 @@ let default_config =
   {
     host = "127.0.0.1";
     port = 0;
+    shards = 1;
     lanes = 2;
     queue_depth = 64;
     policy = Block;
     max_batch = 8;
     vsize = 32;
-    conn_workers = 2;
     telemetry = Tel.Recorder.null;
     repl_window = 1024;
     repl_cluster = "privagic";
   }
 
+(* [Unix.select] is limited to fd values below FD_SETSIZE (1024). The
+   cap is on open client connections, counted process-fd-conservatively:
+   headroom is left for the listen socket, the per-shard self-pipes,
+   stdio, and replica stream fds. Beyond the cap the acceptor refuses
+   with a clear error instead of corrupting every loop's select. *)
+let fd_cap = 960
+
+(* A connection may have at most this many parsed-but-unflushed requests
+   before its loop stops reading it (pipelining flow control). *)
+let max_pipeline = 512
+
 (* ------------------------------------------------------------------ *)
 
-(* What the owner worker dispatches, in arrival order. *)
-type job = Exec of Protocol.request | Local of Protocol.response
+(* One parsed request's response slot, in arrival order. Slots are
+   filled out of order (a cross-shard request completes remotely) but
+   flushed strictly in order. *)
+type pending = {
+  p_enq_at : float;
+  mutable p_resp : Protocol.response option;  (* guarded by [c_mu] *)
+}
 
 type conn = {
   c_fd : Unix.file_descr;
   c_reader : Protocol.reader;
-  c_pending : job Queue.t;         (* owner worker only *)
-  c_wmu : Mutex.t;                 (* serializes writes to c_fd *)
-  c_mu : Mutex.t;                  (* guards the three flags below *)
-  mutable c_in_flight : bool;      (* a request of ours is in the lanes *)
-  mutable c_dead : bool;           (* peer gone / write failed: discard *)
-  mutable c_eof : bool;            (* stop reading; still flush pending *)
-  mutable c_detached : bool;       (* fd handed to the shipper: forget it *)
-  c_worker : int;
+  c_shard : int;                    (* owning shard (loop) *)
+  c_mu : Mutex.t;                   (* guards p_resp fills + c_inflight *)
+  c_pending : pending Queue.t;      (* response slots; owner pushes/pops *)
+  c_jobs : (pending * Protocol.request) Queue.t;  (* undispatched; owner *)
+  c_obuf : Buffer.t;                (* rendered, not yet staged; owner *)
+  mutable c_wbuf : Bytes.t;         (* staged write chunk; owner *)
+  mutable c_woff : int;
+  mutable c_inflight : int;         (* dispatched, unanswered; c_mu *)
+  mutable c_dead : bool;            (* owner only *)
+  mutable c_eof : bool;             (* owner only *)
+  mutable c_quit : bool;            (* owner only *)
+  mutable c_repl : (bool * int) option;  (* sync, from_seq; owner only *)
 }
 
-type work = { wk_conn : conn; wk_req : Protocol.request; wk_enq_at : float }
+(* Cross-shard handoff: a request whose key hashes to another shard. *)
+type xwork = { xw_conn : conn; xw_pending : pending; xw_req : Protocol.request }
 
-type cw = {
-  cw_mu : Mutex.t;
-  cw_incoming : conn Queue.t;      (* acceptor -> worker handoff *)
-  cw_wake_r : Unix.file_descr;
-  cw_wake_w : Unix.file_descr;
+type shard = {
+  sh_id : int;
+  sh_store : store;
+  sh_txn : Txn.t;        (* this shard's versions + indexes; under latch *)
+  sh_lengths : (int, int) Hashtbl.t;  (* key -> stored length; latch *)
+  sh_vbuf : int;
+  sh_obuf : int;
+  sh_latch : Mutex.t;
+      (* serializes execution on this shard's store. The owner loop
+         holds it per batch (uncontended); outsiders take it for 2PC,
+         scan cursors, and replica apply. *)
+  sh_inbox : xwork Msq.t;           (* cross-shard requests, bounded *)
+  sh_depth : int Atomic.t;          (* inbox depth *)
+  sh_wake_r : Unix.file_descr;      (* self-pipe: wakes the loop *)
+  sh_wake_w : Unix.file_descr;
+  sh_in_mu : Mutex.t;
+  sh_incoming : conn Queue.t;       (* acceptor -> loop handoff *)
+  mutable sh_conns : conn list;     (* owner loop only *)
+  sh_track : int;
 }
 
 type role = Primary | Replica_of of string
@@ -217,30 +270,24 @@ type role = Primary | Replica_of of string
 type t = {
   cfg : config;
   bnd : bindings;
-  store : store;
+  sh : shard array;
   listen_fd : Unix.file_descr;
   t_port : int;
   started_at : float;
   (* replication *)
-  repl_log : Repl.Log.t;
+  repl_log : Repl.Log.t;   (* shared: the merged monotone sequence *)
   hub : Repl.Shipper.t;
   role_mu : Mutex.t;
   mutable t_role : role;
   n_applied : int Atomic.t;        (* deltas applied while a replica *)
   n_fence_timeouts : int Atomic.t; (* sync acks that timed out *)
-  queues : work Msq.t array;
-  depths : int Atomic.t array;
-  lengths : (int, int) Hashtbl.t;  (* key -> stored length; store_mu *)
-  txn : Txn.t;  (* versions + secondary indexes; mutated under store_mu *)
-  vbuf : int;
-  obuf : int;
-  store_mu : Mutex.t;
   tel_mu : Mutex.t;                (* the recorder is not thread-safe *)
-  lane_tracks : int array;
-  cws : cw array;
-  (* counters (Atomic: each is read/bumped from several threads) *)
+  a_wake_r : Unix.file_descr;      (* acceptor self-pipe *)
+  a_wake_w : Unix.file_descr;
+  (* counters (Atomic: each is read/bumped from several domains) *)
   conns_accepted : int Atomic.t;
   conns_open : int Atomic.t;
+  conns_rejected : int Atomic.t;   (* refused at the fd cap *)
   n_gets : int Atomic.t;
   n_sets : int Atomic.t;
   n_dels : int Atomic.t;
@@ -255,6 +302,8 @@ type t = {
   n_txns : int Atomic.t;
   n_txn_aborts : int Atomic.t;
   n_scans : int Atomic.t;
+  n_scan_items : int Atomic.t;
+  n_xshard : int Atomic.t;         (* requests that crossed shards *)
   m_mu : Mutex.t;
   h_latency : Tel.Metrics.histogram;
   h_qwait : Tel.Metrics.histogram;
@@ -263,31 +312,47 @@ type t = {
   (* lifecycle *)
   d_mu : Mutex.t;
   d_cv : Condition.t;
-  mutable draining : bool;
-  mutable drain_started : bool;
-  mutable drained : bool;
+  draining : bool Atomic.t;
+  mutable shutdown_req : bool;     (* d_mu; set by the shutdown verb *)
+  mutable drain_started : bool;    (* d_mu *)
+  mutable drained : bool;          (* d_mu *)
+  mutable n_dispatched : int;      (* d_mu; shards past the drain barrier *)
+  (* replica-handshake handoff: shard loops must NOT call
+     [Shipper.register] themselves — the ship thread would be created on
+     the shard's domain, and that domain could then never terminate
+     while the replica link lives (Domain.join in [drain] would wait on
+     the ship thread, which only exits in [Shipper.drain], after the
+     join: deadlock). The shard queues the fd here; a registrar thread
+     created at [start] (on the starting domain) owns every ship
+     thread. *)
+  reg_mu : Mutex.t;
+  reg_cv : Condition.t;
+  mutable reg_q : (Unix.file_descr * bool * int) list; (* reg_mu *)
+  mutable reg_stop : bool;                             (* reg_mu *)
+  mutable registrar : Thread.t option;
   mutable acceptor : Thread.t option;
-  mutable workers : Thread.t list;
-  mutable executors : Thread.t list;
+  mutable supervisor : Thread.t option;
+  mutable domains : unit Domain.t list;
 }
 
 let now_us t = (Unix.gettimeofday () -. t.started_at) *. 1e6
 
-let wake w =
+let wake_fd w =
   (* the pipe is non-blocking; a full pipe already guarantees a wakeup *)
-  try ignore (Unix.write w.cw_wake_w (Bytes.make 1 '!') 0 1)
+  try ignore (Unix.write w (Bytes.make 1 '!') 0 1)
   with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
 
-let mark_dead c =
-  Mutex.lock c.c_mu;
-  c.c_dead <- true;
-  Mutex.unlock c.c_mu
+let wake s = wake_fd s.sh_wake_w
 
-let is_dead c =
-  Mutex.lock c.c_mu;
-  let d = c.c_dead in
-  Mutex.unlock c.c_mu;
-  d
+let drain_pipe fd buf =
+  let rec go () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | n when n > 0 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
 
 (* Wire-capture tap for the robust-safety monitor: every response byte the
    server puts on a client connection also goes here (process-wide). *)
@@ -295,34 +360,12 @@ let wire_tap : (string -> unit) option ref = ref None
 
 let set_wire_tap f = wire_tap := f
 
-(* Blocking full write on a non-blocking socket; marks the connection
-   dead (instead of raising) when the peer is gone or stalled > 30 s. *)
-let write_resp c resp =
-  let s = Protocol.render resp in
-  (match !wire_tap with None -> () | Some f -> f s);
-  let b = Bytes.of_string s in
-  Mutex.lock c.c_wmu;
-  let deadline = Unix.gettimeofday () +. 30.0 in
-  let rec go off =
-    if off < Bytes.length b then
-      match Unix.write c.c_fd b off (Bytes.length b - off) with
-      | n -> go (off + n)
-      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
-        if Unix.gettimeofday () > deadline then mark_dead c
-        else begin
-          (try ignore (Unix.select [] [ c.c_fd ] [] 0.25)
-           with Unix.Unix_error _ -> ());
-          go off
-        end
-      | exception Unix.Unix_error _ -> mark_dead c
-  in
-  if not (is_dead c) then go 0;
-  Mutex.unlock c.c_wmu
-
 (* ------------------------------------------------------------------ *)
-(* execution: one batch, under the store mutex *)
+(* execution: per-shard entry calls, under that shard's latch *)
 
-let exec_set t key v =
+let shard_of t key = key mod Array.length t.sh
+
+let exec_set t sh key v =
   if String.length v > t.cfg.vsize then
     Protocol.Error_msg
       (Printf.sprintf "value exceeds program value size %d" t.cfg.vsize)
@@ -332,85 +375,85 @@ let exec_set t key v =
       if String.length v = t.cfg.vsize then v
       else v ^ String.make (t.cfg.vsize - String.length v) '\000'
     in
-    t.store.st_write t.vbuf padded;
+    sh.sh_store.st_write sh.sh_vbuf padded;
     match
-      t.store.st_call t.bnd.b_set
-        [ Rvalue.Int (Int64.of_int key); Rvalue.Ptr t.vbuf ]
+      sh.sh_store.st_call t.bnd.b_set
+        [ Rvalue.Int (Int64.of_int key); Rvalue.Ptr sh.sh_vbuf ]
     with
     | Ok _ ->
-      Hashtbl.replace t.lengths key (String.length v);
+      Hashtbl.replace sh.sh_lengths key (String.length v);
       Protocol.Stored
     | Error m -> Protocol.Error_msg ("exec: " ^ m)
   end
 
-let exec_get t key =
+let exec_get t sh key =
   match
-    t.store.st_call t.bnd.b_get
-      [ Rvalue.Int (Int64.of_int key); Rvalue.Ptr t.obuf ]
+    sh.sh_store.st_call t.bnd.b_get
+      [ Rvalue.Int (Int64.of_int key); Rvalue.Ptr sh.sh_obuf ]
   with
   | Ok v when Rvalue.truthy v ->
     let len =
-      match Hashtbl.find_opt t.lengths key with
+      match Hashtbl.find_opt sh.sh_lengths key with
       | Some n -> n
       | None -> t.cfg.vsize
     in
-    Protocol.Value (key, t.store.st_read t.obuf len)
+    Protocol.Value (key, sh.sh_store.st_read sh.sh_obuf len)
   | Ok _ -> Protocol.Miss
   | Error m -> Protocol.Error_msg ("exec: " ^ m)
 
-let exec_del t key =
+let exec_del t sh key =
   match t.bnd.b_del with
   | None ->
     Protocol.Error_msg
       (Printf.sprintf "del not supported by the %s program" t.bnd.b_family)
   | Some entry -> (
-    match t.store.st_call entry [ Rvalue.Int (Int64.of_int key) ] with
+    match sh.sh_store.st_call entry [ Rvalue.Int (Int64.of_int key) ] with
     | Ok v when Rvalue.truthy v ->
-      Hashtbl.remove t.lengths key;
+      Hashtbl.remove sh.sh_lengths key;
       Protocol.Deleted
     | Ok _ -> Protocol.Not_found
     | Error m -> Protocol.Error_msg ("exec: " ^ m))
 
 (* Commit choke points: every committed write — client set/del, replica
-   apply, CAS, transaction — advances the txn layer's per-key versions
-   and secondary indexes here, under the store mutex. Primaries and
-   replicas run the same hooks, which is what makes replicas converge
-   on versions and indexes too, not only on value bytes. *)
-let commit_set t key v =
-  match exec_set t key v with
+   apply, CAS, transaction — advances the owning shard's per-key
+   versions and secondary indexes here, under that shard's latch.
+   Primaries and replicas run the same hooks, which is what makes
+   replicas converge on versions and indexes too, not only on bytes. *)
+let commit_set t sh key v =
+  match exec_set t sh key v with
   | Protocol.Stored ->
-    Txn.note_put t.txn ~key ~value:v;
+    Txn.note_put sh.sh_txn ~key ~value:v;
     Protocol.Stored
   | r -> r
 
-let commit_del t key =
-  match exec_del t key with
+let commit_del t sh key =
+  match exec_del t sh key with
   | Protocol.Deleted ->
-    Txn.note_del t.txn ~key;
+    Txn.note_del sh.sh_txn ~key;
     Protocol.Deleted
   | r -> r
 
-(* The txn executor reads and writes through the store's own entry
+(* The txn executor reads and writes through the shard's own entry
    points (classify/declassify still mediate every value). Writes use
    the raw exec paths: [Txn.execute] runs the note hooks itself. *)
-let txn_store_ops t =
+let txn_store_ops t sh =
   {
     Txn.o_get =
       (fun k ->
-        match exec_get t k with
+        match exec_get t sh k with
         | Protocol.Value (_, v) -> Ok (Some v)
         | Protocol.Miss -> Ok None
         | Protocol.Error_msg m -> Error m
         | _ -> Error "unexpected get response");
     o_set =
       (fun k v ->
-        match exec_set t k v with
+        match exec_set t sh k v with
         | Protocol.Stored -> Ok ()
         | Protocol.Error_msg m -> Error m
         | _ -> Error "unexpected set response");
     o_del =
       (fun k ->
-        match exec_del t k with
+        match exec_del t sh k with
         | Protocol.Deleted -> Ok true
         | Protocol.Not_found -> Ok false
         | Protocol.Error_msg m -> Error m
@@ -422,12 +465,30 @@ let txn_store_ops t =
     o_can_del = t.bnd.b_del <> None;
   }
 
+(* Take the latches of the (ascending) shard ids in [ids], run [f],
+   release in reverse. Ascending order is the 2PC deadlock-freedom
+   argument: two cross-shard commits always contend in the same order. *)
+let with_latches t ids f =
+  List.iter (fun i -> Mutex.lock t.sh.(i).sh_latch) ids;
+  let release () =
+    List.iter (fun i -> Mutex.unlock t.sh.(i).sh_latch) (List.rev ids)
+  in
+  match f () with
+  | r ->
+    release ();
+    r
+  | exception e ->
+    release ();
+    raise e
+
 (* ------------------------------------------------------------------ *)
 (* replica-side application: a delta from the primary executes through
-   the same entry paths a client request would, under the store mutex,
-   and mirrors the primary's numbering into the local log — which is
-   what lets a promoted replica serve downstream replicas (and its own
-   convergence oracle) from the same stream positions. *)
+   the same entry paths a client request would, under the owning
+   shard's latch, and mirrors the primary's numbering into the local
+   log — which is what lets a promoted replica serve downstream
+   replicas (and its own convergence oracle) from the same stream
+   positions. The replica client applies strictly in seq order, so the
+   mirrored log stays dense even though deltas fan out across shards. *)
 
 let mirror t ~seq op =
   match Repl.Log.append_at t.repl_log ~seq op with
@@ -437,22 +498,24 @@ let mirror t ~seq op =
   | exception Invalid_argument m -> Error m
 
 let apply_put t ~seq ~key ~payload =
-  Mutex.lock t.store_mu;
+  let sh = t.sh.(shard_of t key) in
+  Mutex.lock sh.sh_latch;
   let r =
-    match commit_set t key payload with
+    match commit_set t sh key payload with
     | Protocol.Stored ->
       mirror t ~seq
         (Repl.Delta.Put { key; color = t.bnd.b_vcolor; payload })
     | Protocol.Error_msg m -> Error m
     | _ -> Error "unexpected response applying put"
   in
-  Mutex.unlock t.store_mu;
+  Mutex.unlock sh.sh_latch;
   r
 
 let apply_del t ~seq ~key =
-  Mutex.lock t.store_mu;
+  let sh = t.sh.(shard_of t key) in
+  Mutex.lock sh.sh_latch;
   let r =
-    match commit_del t key with
+    match commit_del t sh key with
     (* Not_found still mirrors: the primary numbered this delta, and the
        replica's log must stay dense to keep stream positions aligned *)
     | Protocol.Deleted | Protocol.Not_found ->
@@ -460,7 +523,7 @@ let apply_del t ~seq ~key =
     | Protocol.Error_msg m -> Error m
     | _ -> Error "unexpected response applying del"
   in
-  Mutex.unlock t.store_mu;
+  Mutex.unlock sh.sh_latch;
   r
 
 let promote t =
@@ -487,28 +550,66 @@ let is_replica t =
 let repl_log t = t.repl_log
 let repl_hub t = t.hub
 
-(* Execute a batch. Duplicate gets inside the batch are served from a
-   key cache — exact, because the whole batch runs atomically under the
-   store mutex and sets/dels of the batch refresh the cache in order. *)
-let exec_batch t lane (batch : work list) =
+(* ------------------------------------------------------------------ *)
+(* response slots *)
+
+(* Fill a dispatched slot: the matching [c_inflight] increment happened
+   when the job left the undispatched queue. The latency histogram
+   closes here — after execution and any sync fence, before the owner's
+   flush renders the bytes. *)
+let fill t c p resp =
+  Mutex.lock c.c_mu;
+  p.p_resp <- Some resp;
+  c.c_inflight <- c.c_inflight - 1;
+  Mutex.unlock c.c_mu;
+  Mutex.lock t.m_mu;
+  Tel.Metrics.observe t.h_latency (now_us t -. p.p_enq_at);
+  Mutex.unlock t.m_mu
+
+let inflight c =
+  Mutex.lock c.c_mu;
+  let n = c.c_inflight in
+  Mutex.unlock c.c_mu;
+  n
+
+(* Sync-replication fence: hold responses until every live sync replica
+   acknowledged this commit — read-your-writes on replica reads.
+   Called outside all latches, so other shards keep executing; a wedged
+   replica degrades to async after the timeout. *)
+let maybe_fence t max_seq =
+  if max_seq > 0 && Repl.Shipper.sync_connected t.hub > 0 then
+    if not (Repl.Shipper.wait_synced t.hub ~seq:max_seq ~timeout_s:5.0) then
+      Atomic.incr t.n_fence_timeouts
+
+(* ------------------------------------------------------------------ *)
+(* execution: one chunk of same-shard requests, under the shard latch *)
+
+let tel_span t track name f =
+  if t.cfg.telemetry == Tel.Recorder.null then f ()
+  else begin
+    Mutex.lock t.tel_mu;
+    Tel.Recorder.record t.cfg.telemetry ~at:(now_us t) ~track ~name
+      Tel.Event.Req_begin;
+    Mutex.unlock t.tel_mu;
+    let r = f () in
+    Mutex.lock t.tel_mu;
+    Tel.Recorder.record t.cfg.telemetry ~at:(now_us t) ~track ~name
+      Tel.Event.Req_end;
+    Mutex.unlock t.tel_mu;
+    r
+  end
+
+(* Execute one chunk (all requests keyed to [sh]) under its latch, then
+   fence, then fill the slots. Duplicate gets inside the chunk are
+   served from a key cache — exact, because the chunk runs atomically
+   under the latch and sets/dels of the chunk refresh the cache in
+   order. Returns nothing; completions for foreign-owned connections
+   are signaled by the caller (it knows which owners to wake). *)
+let exec_chunk t sh (chunk : (conn * pending * Protocol.request) list) =
   let cache : (int, Protocol.response) Hashtbl.t = Hashtbl.create 8 in
-  let track = t.lane_tracks.(lane) in
-  let tel_span name f =
-    if t.cfg.telemetry == Tel.Recorder.null then f ()
-    else begin
-      Mutex.lock t.tel_mu;
-      Tel.Recorder.record t.cfg.telemetry ~at:(now_us t) ~track ~name
-        Tel.Event.Req_begin;
-      Mutex.unlock t.tel_mu;
-      let r = f () in
-      Mutex.lock t.tel_mu;
-      Tel.Recorder.record t.cfg.telemetry ~at:(now_us t) ~track ~name
-        Tel.Event.Req_end;
-      Mutex.unlock t.tel_mu;
-      r
-    end
-  in
-  (* highest delta seq committed by this batch; 0 when it wrote nothing *)
+  let track = sh.sh_track in
+  Atomic.incr t.n_batches;
+  (* highest delta seq committed by this chunk; 0 when it wrote nothing *)
   let max_seq = ref 0 in
   let committed op =
     let seq = Repl.Log.append t.repl_log op in
@@ -516,27 +617,29 @@ let exec_batch t lane (batch : work list) =
   in
   (* a committed transaction's writes form one contiguous run in the
      log — the atomic-commit delta batch of the txn layer *)
-  let commit_writes writes =
-    List.iter
-      (fun w ->
-        match w with
-        | Txn.W_put { w_key; w_value } ->
-          committed
-            (Repl.Delta.Put
-               { key = w_key; color = t.bnd.b_vcolor; payload = w_value })
-        | Txn.W_del { w_key } -> committed (Repl.Delta.Del { key = w_key }))
-      writes
+  let delta_of w =
+    match w with
+    | Txn.W_put { w_key; w_value } ->
+      Repl.Delta.Put { key = w_key; color = t.bnd.b_vcolor; payload = w_value }
+    | Txn.W_del { w_key } -> Repl.Delta.Del { key = w_key }
   in
-  Mutex.lock t.store_mu;
+  let commit_writes writes =
+    match writes with
+    | [] -> ()
+    | _ ->
+      let seq = Repl.Log.append_batch t.repl_log (List.map delta_of writes) in
+      if seq > !max_seq then max_seq := seq
+  in
+  Mutex.lock sh.sh_latch;
   let responses =
     List.map
-      (fun wk ->
+      (fun (c, p, req) ->
         let started = now_us t in
         Mutex.lock t.m_mu;
-        Tel.Metrics.observe t.h_qwait (started -. wk.wk_enq_at);
+        Tel.Metrics.observe t.h_qwait (started -. p.p_enq_at);
         Mutex.unlock t.m_mu;
         let resp =
-          match wk.wk_req with
+          match req with
           | Protocol.Get k -> (
             Atomic.incr t.n_gets;
             match Hashtbl.find_opt cache k with
@@ -547,7 +650,7 @@ let exec_batch t lane (batch : work list) =
               | _ -> ());
               r
             | None ->
-              let r = tel_span "get" (fun () -> exec_get t k) in
+              let r = tel_span t track "get" (fun () -> exec_get t sh k) in
               (match r with
               | Protocol.Value _ -> Atomic.incr t.n_hits
               | _ -> ());
@@ -555,7 +658,7 @@ let exec_batch t lane (batch : work list) =
               r)
           | Protocol.Set (k, v) ->
             Atomic.incr t.n_sets;
-            let r = tel_span "set" (fun () -> commit_set t k v) in
+            let r = tel_span t track "set" (fun () -> commit_set t sh k v) in
             (match r with
             | Protocol.Stored ->
               committed
@@ -566,7 +669,7 @@ let exec_batch t lane (batch : work list) =
             r
           | Protocol.Del k ->
             Atomic.incr t.n_dels;
-            let r = tel_span "del" (fun () -> commit_del t k) in
+            let r = tel_span t track "del" (fun () -> commit_del t sh k) in
             (match r with
             | Protocol.Deleted ->
               (* Not_found has no visible effect, so it ships no delta *)
@@ -577,9 +680,9 @@ let exec_batch t lane (batch : work list) =
             r
           | Protocol.Getv k -> (
             Atomic.incr t.n_getv;
-            (* version first: both are read under the same mutex hold *)
-            let ver = Txn.version t.txn k in
-            match tel_span "getv" (fun () -> exec_get t k) with
+            (* version first: both are read under the same latch hold *)
+            let ver = Txn.version sh.sh_txn k in
+            match tel_span t track "getv" (fun () -> exec_get t sh k) with
             | Protocol.Value (_, v) ->
               Atomic.incr t.n_hits;
               Protocol.Version { v_key = k; v_ver = ver; v_val = Some v }
@@ -589,8 +692,8 @@ let exec_batch t lane (batch : work list) =
           | Protocol.Cas { c_key; c_ver; c_val } -> (
             Atomic.incr t.n_cas;
             let r =
-              tel_span "cas" (fun () ->
-                  Txn.execute t.txn (txn_store_ops t)
+              tel_span t track "cas" (fun () ->
+                  Txn.execute sh.sh_txn (txn_store_ops t sh)
                     [ Txn.T_cas (c_key, c_ver, c_val) ])
             in
             match r with
@@ -614,10 +717,12 @@ let exec_batch t lane (batch : work list) =
                 f_applied;
               Protocol.Error_msg ("exec: " ^ f_msg))
           | Protocol.Txn ops -> (
+            (* single-shard transactions only: multi-shard ones execute
+               inline at the owner (the 2PC barrier path) *)
             Atomic.incr t.n_txns;
             let r =
-              tel_span "txn" (fun () ->
-                  Txn.execute t.txn (txn_store_ops t) ops)
+              tel_span t track "txn" (fun () ->
+                  Txn.execute sh.sh_txn (txn_store_ops t sh) ops)
             in
             match r with
             | Txn.Committed (results, writes) ->
@@ -637,8 +742,6 @@ let exec_batch t lane (batch : work list) =
               Protocol.Txn_abort
                 { ta_key = a_key; ta_expected = a_expected; ta_found = a_found }
             | Txn.Failed { f_msg; f_applied } ->
-              (* any applied prefix is committed state: ship it, or
-                 replicas diverge from the primary's versions *)
               commit_writes f_applied;
               List.iter
                 (fun w ->
@@ -647,251 +750,500 @@ let exec_batch t lane (batch : work list) =
                     | Txn.W_put { w_key; _ } | Txn.W_del { w_key } -> w_key))
                 f_applied;
               Protocol.Error_msg ("exec: " ^ f_msg))
-          | Protocol.Scan { sc_start; sc_stop; sc_limit } ->
-            Atomic.incr t.n_scans;
-            let items =
-              tel_span "scan" (fun () ->
-                  Txn.scan t.txn ~start:sc_start ~stop:sc_stop ~limit:sc_limit)
-            in
-            Mutex.lock t.m_mu;
-            Tel.Metrics.observe t.h_scan_len (float_of_int (List.length items));
-            Mutex.unlock t.m_mu;
-            Protocol.Scan_reply
-              (List.map
-                 (fun (e : Index.entry) ->
-                   (* [e_value] is populated only for color "U": a
-                      secret-colored value leaves as key+version alone *)
-                   {
-                     Protocol.si_key = e.Index.e_key;
-                     si_ver = e.Index.e_version;
-                     si_val = e.Index.e_value;
-                   })
-                 items)
-          | Protocol.Stats | Protocol.Stats_metrics | Protocol.Quit
-          | Protocol.Shutdown | Protocol.Repl _ ->
-            (* never enqueued; the owner answers these locally *)
-            Protocol.Error_msg "internal: local verb in lane queue"
+          | Protocol.Scan _ | Protocol.Stats | Protocol.Stats_metrics
+          | Protocol.Quit | Protocol.Shutdown | Protocol.Repl _ ->
+            (* scans merge per-shard cursors at the owner; the rest are
+               answered at parse time — none of them is ever routed *)
+            Protocol.Error_msg "internal: non-routable verb in shard chunk"
         in
-        (wk, resp))
-      batch
+        (c, p, resp))
+      chunk
   in
-  Mutex.unlock t.store_mu;
-  (* Sync-replication fence: hold this batch's responses until every
-     live sync replica acknowledged its last commit — that is what gives
-     clients read-your-writes on replica reads. Waiting happens outside
-     the store mutex, so other lanes keep executing; a wedged replica
-     degrades to async after the timeout (counted, and it stops gating
-     once its connection dies). *)
-  if !max_seq > 0 && Repl.Shipper.sync_connected t.hub > 0 then
-    if not (Repl.Shipper.wait_synced t.hub ~seq:!max_seq ~timeout_s:5.0) then
-      Atomic.incr t.n_fence_timeouts;
-  (* Responses leave after the mutex: a stalled client can delay its
-     lane's writes, never the store. *)
-  List.iter
-    (fun (wk, resp) ->
-      let c = wk.wk_conn in
-      write_resp c resp;
-      Mutex.lock t.m_mu;
-      Tel.Metrics.observe t.h_latency (now_us t -. wk.wk_enq_at);
-      Mutex.unlock t.m_mu;
-      Mutex.lock c.c_mu;
-      c.c_in_flight <- false;
-      Mutex.unlock c.c_mu;
-      wake t.cws.(c.c_worker))
-    responses
-
-let executor_loop t lane =
-  let q = t.queues.(lane) in
-  let rec loop () =
-    match Msq.pop_or_closed q ~idle:(fun () -> Unix.sleepf 0.0005) with
-    | None -> () (* closed and drained: exit *)
-    | Some first ->
-      Atomic.decr t.depths.(lane);
-      let rec more acc n =
-        if n >= t.cfg.max_batch then List.rev acc
-        else
-          match Msq.pop q with
-          | Some w ->
-            Atomic.decr t.depths.(lane);
-            more (w :: acc) (n + 1)
-          | None -> List.rev acc
-      in
-      let batch = more [ first ] 1 in
-      Atomic.incr t.n_batches;
-      exec_batch t lane batch;
-      loop ()
-  in
-  loop ()
+  Mutex.unlock sh.sh_latch;
+  maybe_fence t !max_seq;
+  List.iter (fun (c, p, resp) -> fill t c p resp) responses
 
 (* ------------------------------------------------------------------ *)
-(* connection workers *)
+(* barrier requests: multi-shard transactions (2PC) and scans *)
 
-let lane_of t key = key mod t.cfg.lanes
+let txn_shard_ids t ops =
+  List.sort_uniq compare
+    (List.map
+       (fun op ->
+         match op with
+         | Protocol.T_get k | Protocol.T_set (k, _) | Protocol.T_del k
+         | Protocol.T_cas (k, _, _) ->
+           shard_of t k)
+       ops)
 
-(* Enqueue one request onto its lane, honoring the backpressure policy.
-   Returns [false] when the request was shed instead. *)
-let enqueue t wk =
-  let lane = match wk.wk_req with
-    | Protocol.Get k | Protocol.Set (k, _) | Protocol.Del k
-    | Protocol.Getv k
-    | Protocol.Cas { c_key = k; _ }
-    | Protocol.Scan { sc_start = k; _ } ->
-      lane_of t k
-    | Protocol.Txn (op :: _) -> (
-      (* route by the first key; execution is serialized by store_mu
-         anyway, this only spreads queueing across lanes *)
-      match op with
-      | Protocol.T_get k | Protocol.T_set (k, _) | Protocol.T_del k
-      | Protocol.T_cas (k, _, _) ->
-        lane_of t k)
-    | _ -> 0
+(* A transaction straddling shards: take every participant latch in
+   ascending order, validate against all shards (phase 1), apply only
+   if all validated (phase 2) — [Txn.execute_routed] does both phases
+   under the latches, so the commit is atomic across shards. The delta
+   batch is appended while the latches are held: per-key log order
+   equals commit order on every shard. *)
+let exec_txn_2pc t s ops =
+  let ids = txn_shard_ids t ops in
+  let coord =
+    match ids with [] -> s.sh_txn | i :: _ -> t.sh.(i).sh_txn
   in
-  let d = t.depths.(lane) in
-  let rec reserve () =
-    let cur = Atomic.get d in
-    if cur < t.cfg.queue_depth then
-      if Atomic.compare_and_set d cur (cur + 1) then true else reserve ()
-    else
-      match t.cfg.policy with
-      | Shed -> false
-      | Block ->
-        (* producer-side backpressure: stall this worker (and so its
-           connections) until the executor catches up *)
-        Unix.sleepf 0.0005;
-        reserve ()
+  let route k =
+    let sh = t.sh.(shard_of t k) in
+    (sh.sh_txn, txn_store_ops t sh)
   in
-  if reserve () then begin
-    Msq.push t.queues.(lane) wk;
-    true
-  end
-  else false
+  Atomic.incr t.n_txns;
+  let max_seq = ref 0 in
+  let commit_writes writes =
+    match writes with
+    | [] -> ()
+    | _ ->
+      let delta_of w =
+        match w with
+        | Txn.W_put { w_key; w_value } ->
+          Repl.Delta.Put
+            { key = w_key; color = t.bnd.b_vcolor; payload = w_value }
+        | Txn.W_del { w_key } -> Repl.Delta.Del { key = w_key }
+      in
+      let seq = Repl.Log.append_batch t.repl_log (List.map delta_of writes) in
+      if seq > !max_seq then max_seq := seq
+  in
+  let resp =
+    with_latches t ids (fun () ->
+        match
+          tel_span t s.sh_track "txn2pc" (fun () ->
+              Txn.execute_routed ~route ~coord ops)
+        with
+        | Txn.Committed (results, writes) ->
+          commit_writes writes;
+          Protocol.Txn_reply results
+        | Txn.Aborted { a_key; a_expected; a_found } ->
+          Atomic.incr t.n_txn_aborts;
+          Protocol.Txn_abort
+            { ta_key = a_key; ta_expected = a_expected; ta_found = a_found }
+        | Txn.Failed { f_msg; f_applied } ->
+          commit_writes f_applied;
+          Protocol.Error_msg ("exec: " ^ f_msg))
+  in
+  maybe_fence t !max_seq;
+  resp
+
+(* A scan merges per-shard ordered-index cursors: each shard's slice is
+   read under its own latch (no global lock), the sorted slices are
+   merged, and the first [limit] survive. Shards partition the key
+   space, so there are no ties. *)
+let exec_scan t s ~start ~stop ~limit =
+  Atomic.incr t.n_scans;
+  let items =
+    tel_span t s.sh_track "scan" (fun () ->
+        let per =
+          Array.fold_left
+            (fun acc sh ->
+              Mutex.lock sh.sh_latch;
+              let l = Index.range (Txn.index sh.sh_txn) ~start ~stop ~limit in
+              Mutex.unlock sh.sh_latch;
+              l :: acc)
+            [] t.sh
+        in
+        let all = List.concat per in
+        let sorted =
+          List.sort
+            (fun (a : Index.entry) (b : Index.entry) ->
+              compare a.Index.e_key b.Index.e_key)
+            all
+        in
+        List.filteri (fun i _ -> i < limit) sorted)
+  in
+  ignore (Atomic.fetch_and_add t.n_scan_items (List.length items));
+  Mutex.lock t.m_mu;
+  Tel.Metrics.observe t.h_scan_len (float_of_int (List.length items));
+  Mutex.unlock t.m_mu;
+  Protocol.Scan_reply
+    (List.map
+       (fun (e : Index.entry) ->
+         (* [e_value] is populated only for color "U": a secret-colored
+            value leaves as key+version alone *)
+         {
+           Protocol.si_key = e.Index.e_key;
+           si_ver = e.Index.e_version;
+           si_val = e.Index.e_value;
+         })
+       items)
+
+(* ------------------------------------------------------------------ *)
+(* parse-time handling (owner loop) *)
 
 (* [stats_fields] and [drain] are defined at the end of the file but
-   needed by [dispatch]; tied through refs to keep the file in reading
-   order instead of one giant [let rec]. *)
+   needed here; tied through refs to keep the file in reading order
+   instead of one giant [let rec]. *)
 let stats_fields_ref : (t -> (string * string) list) ref = ref (fun _ -> [])
 let drain_ref : (t -> unit) ref = ref (fun _ -> ())
 
-(* Dispatch the head of a connection's pending queue if allowed. The
-   caller is the owner worker. Returns [true] when the connection can be
-   closed now (implies nothing of ours is in the lanes). *)
-let rec dispatch t c =
-  Mutex.lock c.c_mu;
-  let busy = c.c_in_flight and dead = c.c_dead in
-  Mutex.unlock c.c_mu;
-  if dead then begin
-    (* discard unanswerable work; close once the executor let go *)
-    Queue.clear c.c_pending;
-    not busy
-  end
-  else if busy || Queue.is_empty c.c_pending then false
-  else
-    match Queue.pop c.c_pending with
-    | Local resp ->
-      write_resp c resp;
-      dispatch t c
-    | Exec req -> (
-      match req with
-      | Protocol.Stats ->
-        write_resp c (Protocol.Stats_reply (!stats_fields_ref t));
-        dispatch t c
-      | Protocol.Stats_metrics ->
-        write_resp c (Protocol.Metrics_reply (Obs.Registry.expose t.obs));
-        dispatch t c
-      | Protocol.Quit -> true
-      | Protocol.Shutdown ->
-        write_resp c Protocol.Ok_msg;
-        (* drain joins this very worker: do it from a fresh thread *)
-        ignore (Thread.create (fun () -> !drain_ref t) ());
-        dispatch t c
-      | Protocol.Repl { r_sync; r_from } ->
-        (* replication handshake: this connection leaves the request
-           loop for good — the shipper owns the fd from here on. The
-           replica sends nothing between its hello and the first frames,
-           so the parse buffer is empty at the handoff. *)
-        Queue.clear c.c_pending;
-        Mutex.lock c.c_mu;
-        c.c_detached <- true;
-        Mutex.unlock c.c_mu;
-        Repl.Shipper.register t.hub c.c_fd ~sync:r_sync ~from_seq:r_from;
-        false
-      | (Protocol.Set _ | Protocol.Del _ | Protocol.Cas _) when is_replica t ->
-        (* replicas apply the primary's stream, never client writes *)
-        write_resp c (Protocol.Error_msg "read-only replica");
-        dispatch t c
-      | Protocol.Txn ops
-        when is_replica t
-             && List.exists
-                  (function Protocol.T_get _ -> false | _ -> true)
-                  ops ->
-        (* read-only transactions are fine on a replica; writes are not *)
-        write_resp c (Protocol.Error_msg "read-only replica");
-        dispatch t c
-      | Protocol.Get _ | Protocol.Set _ | Protocol.Del _ | Protocol.Getv _
-      | Protocol.Cas _ | Protocol.Scan _ | Protocol.Txn _ ->
-        let wk = { wk_conn = c; wk_req = req; wk_enq_at = now_us t } in
-        Mutex.lock c.c_mu;
-        c.c_in_flight <- true;
-        Mutex.unlock c.c_mu;
-        if enqueue t wk then false
-        else begin
-          Mutex.lock c.c_mu;
-          c.c_in_flight <- false;
-          Mutex.unlock c.c_mu;
-          Atomic.incr t.n_shed;
-          write_resp c Protocol.Busy;
-          dispatch t c
+let request_shutdown t =
+  Mutex.lock t.d_mu;
+  t.shutdown_req <- true;
+  Condition.broadcast t.d_cv;
+  Mutex.unlock t.d_mu
+
+let answer_local t c resp =
+  Queue.push { p_enq_at = now_us t; p_resp = Some resp } c.c_pending
+
+let push_job t c req =
+  let p = { p_enq_at = now_us t; p_resp = None } in
+  Queue.push p c.c_pending;
+  Queue.push (p, req) c.c_jobs
+
+(* Locally-answerable verbs resolve at parse time; everything on the
+   data path becomes an undispatched job. Response order is still
+   arrival order: local answers occupy their slot like any other. *)
+let handle_parsed t c item =
+  match item with
+  | `Bad m ->
+    Atomic.incr t.n_bad;
+    answer_local t c (Protocol.Error_msg m)
+  | `Req r -> (
+    match r with
+    | Protocol.Stats -> answer_local t c (Protocol.Stats_reply (!stats_fields_ref t))
+    | Protocol.Stats_metrics ->
+      answer_local t c (Protocol.Metrics_reply (Obs.Registry.expose t.obs))
+    | Protocol.Quit ->
+      (* memcached semantics: no reply; close once prior slots flush *)
+      c.c_quit <- true;
+      c.c_eof <- true
+    | Protocol.Shutdown ->
+      answer_local t c Protocol.Ok_msg;
+      (* the supervisor thread (main domain) runs the drain: draining
+         from a shard domain would join itself *)
+      request_shutdown t
+    | Protocol.Repl { r_sync; r_from } ->
+      (* replication handshake: this connection leaves the request loop
+         for good — once its slots flush, the shipper owns the fd. The
+         replica sends nothing between its hello and the first frames,
+         so the parse buffer is empty at the handoff. *)
+      c.c_repl <- Some (r_sync, r_from);
+      c.c_eof <- true
+    | (Protocol.Set _ | Protocol.Del _ | Protocol.Cas _) when is_replica t ->
+      (* replicas apply the primary's stream, never client writes *)
+      answer_local t c (Protocol.Error_msg "read-only replica")
+    | Protocol.Txn ops
+      when is_replica t
+           && List.exists
+                (function Protocol.T_get _ -> false | _ -> true)
+                ops ->
+      (* read-only transactions are fine on a replica; writes are not *)
+      answer_local t c (Protocol.Error_msg "read-only replica")
+    | Protocol.Get _ | Protocol.Set _ | Protocol.Del _ | Protocol.Getv _
+    | Protocol.Cas _ | Protocol.Scan _ | Protocol.Txn _ ->
+      push_job t c r)
+
+(* ------------------------------------------------------------------ *)
+(* dispatch (owner loop): route undispatched jobs in arrival order *)
+
+type route = Local_shard | Remote_shard of int | Barrier
+
+let route_of t s req =
+  match req with
+  | Protocol.Get k | Protocol.Set (k, _) | Protocol.Del k | Protocol.Getv k
+  | Protocol.Cas { c_key = k; _ } ->
+    let r = shard_of t k in
+    if r = s.sh_id then Local_shard else Remote_shard r
+  | Protocol.Txn ops -> (
+    match txn_shard_ids t ops with
+    | [ r ] -> if r = s.sh_id then Local_shard else Remote_shard r
+    | _ -> Barrier (* spans shards (or touches none): inline 2PC *))
+  | Protocol.Scan _ -> Barrier
+  | _ -> Barrier (* unreachable: local verbs never become jobs *)
+
+(* Pop up to [max_batch] cross-shard requests from our inbox and run
+   them as one chunk. Returns the number processed; fills for foreign
+   connections wake their owners (deduplicated). *)
+let process_inbox_round t s =
+  let rec take acc n =
+    if n >= t.cfg.max_batch then List.rev acc
+    else
+      match Msq.pop s.sh_inbox with
+      | Some xw ->
+        Atomic.decr s.sh_depth;
+        take (xw :: acc) (n + 1)
+      | None -> List.rev acc
+  in
+  match take [] 0 with
+  | [] -> 0
+  | items ->
+    exec_chunk t s
+      (List.map (fun xw -> (xw.xw_conn, xw.xw_pending, xw.xw_req)) items);
+    let woken = Array.make (Array.length t.sh) false in
+    List.iter
+      (fun xw ->
+        let o = xw.xw_conn.c_shard in
+        if o <> s.sh_id && not woken.(o) then begin
+          woken.(o) <- true;
+          wake t.sh.(o)
         end)
+      items;
+    List.length items
+
+(* Reserve a slot in shard [r]'s inbox, honoring the backpressure
+   policy. Under [Block], a full target stalls us — but we drain our
+   own inbox while waiting, so two shards blocked on each other's full
+   inboxes still make progress (no cross-shard backpressure deadlock). *)
+let rec admit_remote t s r =
+  let d = t.sh.(r).sh_depth in
+  let cur = Atomic.get d in
+  if cur < t.cfg.queue_depth then
+    if Atomic.compare_and_set d cur (cur + 1) then true else admit_remote t s r
+  else
+    match t.cfg.policy with
+    | Shed -> false
+    | Block ->
+      if process_inbox_round t s = 0 then Unix.sleepf 0.0005;
+      admit_remote t s r
+
+let fill_busy t c p =
+  Atomic.incr t.n_shed;
+  fill t c p Protocol.Busy
+
+(* Dispatch a connection's undispatched jobs in arrival order. Local
+   jobs join [batch] (executed by the caller); remote jobs enter the
+   target inbox; a barrier job (multi-shard txn, scan) runs inline once
+   every earlier request of this connection has completed — that wait
+   is what makes a cross-shard transaction see its own connection's
+   earlier writes. Stops at an unready barrier; resumes when fills
+   arrive (the filler wakes us). *)
+let dispatch_conn t s c batch batch_n progressed =
+  if c.c_dead then Queue.clear c.c_jobs
+  else begin
+    let continue = ref true in
+    while !continue && not (Queue.is_empty c.c_jobs) do
+      let p, req = Queue.peek c.c_jobs in
+      let pop_dispatch () =
+        ignore (Queue.pop c.c_jobs);
+        Mutex.lock c.c_mu;
+        c.c_inflight <- c.c_inflight + 1;
+        Mutex.unlock c.c_mu;
+        progressed := true
+      in
+      match route_of t s req with
+      | Local_shard ->
+        pop_dispatch ();
+        if
+          t.cfg.policy = Shed
+          && !batch_n + Atomic.get s.sh_depth >= t.cfg.queue_depth
+        then fill_busy t c p
+        else begin
+          batch := (c, p, req) :: !batch;
+          incr batch_n
+        end
+      | Remote_shard r ->
+        pop_dispatch ();
+        Atomic.incr t.n_xshard;
+        if admit_remote t s r then begin
+          Msq.push t.sh.(r).sh_inbox { xw_conn = c; xw_pending = p; xw_req = req };
+          wake t.sh.(r)
+        end
+        else fill_busy t c p
+      | Barrier ->
+        if inflight c = 0 then begin
+          pop_dispatch ();
+          let resp =
+            match req with
+            | Protocol.Txn ops -> exec_txn_2pc t s ops
+            | Protocol.Scan { sc_start; sc_stop; sc_limit } ->
+              exec_scan t s ~start:sc_start ~stop:sc_stop ~limit:sc_limit
+            | _ -> Protocol.Error_msg "internal: unexpected barrier verb"
+          in
+          (match req with
+          | Protocol.Txn ops when txn_shard_ids t ops <> [ s.sh_id ] ->
+            Atomic.incr t.n_xshard
+          | _ -> ());
+          fill t c p resp
+        end
+        else continue := false
+    done
+  end
+
+(* Run the shard forward until quiescent: drain the inbox, dispatch
+   every connection, execute the local batch (in [max_batch] chunks),
+   repeat — executing may unblock barriers, and barrier execution may
+   have pushed new inbox work at us. *)
+let progress t s =
+  let again = ref true in
+  while !again do
+    again := false;
+    if process_inbox_round t s > 0 then again := true;
+    let batch = ref [] and batch_n = ref 0 in
+    List.iter (fun c -> dispatch_conn t s c batch batch_n again) s.sh_conns;
+    let jobs = List.rev !batch in
+    let rec chunks = function
+      | [] -> ()
+      | l ->
+        let rec split n acc = function
+          | [] -> (List.rev acc, [])
+          | rest when n = 0 -> (List.rev acc, rest)
+          | x :: rest -> split (n - 1) (x :: acc) rest
+        in
+        let chunk, rest = split t.cfg.max_batch [] l in
+        exec_chunk t s chunk;
+        chunks rest
+    in
+    if jobs <> [] then chunks jobs
+  done
+
+(* ------------------------------------------------------------------ *)
+(* connection I/O (owner loop) *)
+
+let read_conn t c rbuf =
+  match Unix.read c.c_fd rbuf 0 (Bytes.length rbuf) with
+  | 0 -> c.c_eof <- true
+  | n ->
+    List.iter
+      (fun item ->
+        if (not c.c_quit) && c.c_repl = None && not c.c_dead then
+          handle_parsed t c item)
+      (Protocol.feed c.c_reader rbuf n)
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> c.c_dead <- true
+
+let has_output c =
+  c.c_woff < Bytes.length c.c_wbuf || Buffer.length c.c_obuf > 0
+
+let write_out c =
+  let rec go () =
+    if c.c_woff >= Bytes.length c.c_wbuf then begin
+      if Buffer.length c.c_obuf > 0 then begin
+        c.c_wbuf <- Buffer.to_bytes c.c_obuf;
+        Buffer.clear c.c_obuf;
+        c.c_woff <- 0;
+        go ()
+      end
+    end
+    else
+      match
+        Unix.write c.c_fd c.c_wbuf c.c_woff (Bytes.length c.c_wbuf - c.c_woff)
+      with
+      | 0 -> ()
+      | n ->
+        c.c_woff <- c.c_woff + n;
+        go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> c.c_dead <- true
+  in
+  if not c.c_dead then go ()
+
+(* Render the completed prefix of response slots (strictly in arrival
+   order) and push bytes out nonblockingly; a slow client accumulates
+   buffer and gets picked up by write-readiness. *)
+let flush_conn c =
+  if not c.c_dead then begin
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt c.c_pending with
+      | None -> continue := false
+      | Some p -> (
+        Mutex.lock c.c_mu;
+        let r = p.p_resp in
+        Mutex.unlock c.c_mu;
+        match r with
+        | Some resp ->
+          ignore (Queue.pop c.c_pending);
+          let s = Protocol.render resp in
+          (match !wire_tap with None -> () | Some f -> f s);
+          Buffer.add_string c.c_obuf s
+        | None -> continue := false)
+    done;
+    write_out c
+  end
 
 let close_conn t c =
   (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
   Atomic.decr t.conns_open
 
-let worker_loop t i =
-  let w = t.cws.(i) in
-  let buf = Bytes.create 16384 in
-  let conns = ref [] in
+(* Drop finished connections; hand replica handshakes to the shipper. *)
+let sweep t s =
+  s.sh_conns <-
+    List.filter
+      (fun c ->
+        if c.c_dead then begin
+          close_conn t c;
+          false
+        end
+        else
+          match c.c_repl with
+          | Some (sync, from_seq)
+            when Queue.is_empty c.c_pending && not (has_output c) ->
+            (* prior responses flushed: hand the fd to the registrar
+               thread, which owns every ship thread (see [reg_q]) *)
+            Mutex.lock t.reg_mu;
+            t.reg_q <- (c.c_fd, sync, from_seq) :: t.reg_q;
+            Condition.signal t.reg_cv;
+            Mutex.unlock t.reg_mu;
+            Atomic.decr t.conns_open;
+            false
+          | Some _ -> true
+          | None ->
+            if
+              (c.c_eof || c.c_quit)
+              && Queue.is_empty c.c_jobs
+              && Queue.is_empty c.c_pending
+              && not (has_output c)
+            then begin
+              close_conn t c;
+              false
+            end
+            else true)
+      s.sh_conns
+
+let adopt t s =
+  Mutex.lock s.sh_in_mu;
+  let fresh = Queue.fold (fun acc c -> c :: acc) [] s.sh_incoming in
+  Queue.clear s.sh_incoming;
+  Mutex.unlock s.sh_in_mu;
+  ignore t;
+  s.sh_conns <- fresh @ s.sh_conns
+
+(* ------------------------------------------------------------------ *)
+(* the per-shard event loop (one domain each) *)
+
+let note_dispatched t =
+  Mutex.lock t.d_mu;
+  t.n_dispatched <- t.n_dispatched + 1;
+  Condition.broadcast t.d_cv;
+  Mutex.unlock t.d_mu
+
+let shard_loop t s =
+  let rbuf = Bytes.create 65536 in
+  let pbuf = Bytes.create 256 in
   let running = ref true in
+  let dispatched_flagged = ref false in
   while !running do
-    (* adopt newly accepted connections *)
-    Mutex.lock w.cw_mu;
-    Queue.iter (fun c -> conns := c :: !conns) w.cw_incoming;
-    Queue.clear w.cw_incoming;
-    Mutex.unlock w.cw_mu;
-    let draining = t.draining in
-    let readable_of c =
-      Mutex.lock c.c_mu;
-      let dead = c.c_dead in
-      Mutex.unlock c.c_mu;
-      (not dead) && (not c.c_eof) && not draining
-    in
-    let rd_fds =
-      w.cw_wake_r :: List.filter_map
-        (fun c -> if readable_of c then Some c.c_fd else None)
-        !conns
-    in
-    (match Unix.select rd_fds [] [] 0.05 with
-    | readable, _, _ ->
-      if List.mem w.cw_wake_r readable then
-        (try ignore (Unix.read w.cw_wake_r buf 0 (Bytes.length buf))
-         with Unix.Unix_error _ -> ());
+    let draining = Atomic.get t.draining in
+    let rds = ref [ s.sh_wake_r ] in
+    let wrs = ref [] in
+    List.iter
+      (fun c ->
+        if not c.c_dead then begin
+          if
+            (not c.c_eof) && (not draining)
+            && Queue.length c.c_pending < max_pipeline
+          then rds := c.c_fd :: !rds;
+          if has_output c then wrs := c.c_fd :: !wrs
+        end)
+      s.sh_conns;
+    (* no timeout on the serving path: every event that needs us writes
+       the self-pipe. While draining, a bounded timeout catches peers
+       that stall mid-flush (they are dropped, like the old 30 s write
+       deadline, so a wedged client cannot hang the drain). *)
+    let timeout = if draining then 5.0 else -1.0 in
+    (match Unix.select !rds !wrs [] timeout with
+    | [], [], [] ->
+      if draining then
+        List.iter (fun c -> if has_output c then c.c_dead <- true) s.sh_conns
+    | rd, _, _ ->
+      if List.mem s.sh_wake_r rd then drain_pipe s.sh_wake_r pbuf;
       List.iter
         (fun c ->
-          if List.mem c.c_fd readable then
-            match Unix.read c.c_fd buf 0 (Bytes.length buf) with
-            | 0 -> c.c_eof <- true
-            | n ->
-              List.iter
-                (fun item ->
-                  match item with
-                  | `Req r -> Queue.push (Exec r) c.c_pending
-                  | `Bad m ->
-                    Atomic.incr t.n_bad;
-                    Queue.push (Local (Protocol.Error_msg m)) c.c_pending)
-                (Protocol.feed c.c_reader buf n)
-            | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
-            | exception Unix.Unix_error _ -> mark_dead c)
-        !conns
+          if (not c.c_dead) && List.mem c.c_fd rd then read_conn t c rbuf)
+        s.sh_conns
     | exception Unix.Unix_error (EINTR, _, _) -> ()
     | exception Unix.Unix_error (EBADF, _, _) ->
       (* a raced fd: drop connections that died under us *)
@@ -899,61 +1251,44 @@ let worker_loop t i =
         (fun c ->
           match Unix.fstat c.c_fd with
           | _ -> ()
-          | exception Unix.Unix_error _ -> mark_dead c)
-        !conns);
-    (* dispatch, then sweep closable connections *)
-    conns :=
-      List.filter
-        (fun c ->
-          let close_now = dispatch t c in
-          let detached =
-            Mutex.lock c.c_mu;
-            let d = c.c_detached in
-            Mutex.unlock c.c_mu;
-            d
-          in
-          if detached then begin
-            (* the shipper owns the fd now; it is no longer a client *)
-            Atomic.decr t.conns_open;
-            false
-          end
-          else
-          let flushed =
-            Queue.is_empty c.c_pending
-            &&
-            (Mutex.lock c.c_mu;
-             let f = not c.c_in_flight in
-             Mutex.unlock c.c_mu;
-             f)
-          in
-          if close_now || (c.c_eof && flushed) then begin
-            (* never close under an executor: it still holds the fd.
-               [close_now] implies [not in_flight] (dispatch only returns
-               it from a non-busy state), as does [flushed]. *)
-            close_conn t c;
-            false
-          end
-          else true)
-        !conns;
+          | exception Unix.Unix_error _ -> c.c_dead <- true)
+        s.sh_conns);
+    adopt t s;
+    progress t s;
+    List.iter flush_conn s.sh_conns;
+    sweep t s;
     if draining then begin
-      (* stopped reading; exit once every adopted connection is flushed *)
-      let all_flushed =
-        (* strict: even a dead connection's executor must let go before
-           the worker exits, or we would close an fd it still holds *)
-        List.for_all
-          (fun c ->
-            Mutex.lock c.c_mu;
-            let f = not c.c_in_flight in
-            Mutex.unlock c.c_mu;
-            f && Queue.is_empty c.c_pending)
-          !conns
+      (* two-stage drain. Stage 1: every shard reports "all parsed work
+         dispatched" (jobs may still be in flight in other shards'
+         inboxes). Only when all shards report does [drain] close the
+         inboxes — so no inbox push can race its close. Stage 2: drain
+         the closed inbox, finish the fills and flushes, exit. *)
+      let all_dispatched =
+        List.for_all (fun c -> Queue.is_empty c.c_jobs) s.sh_conns
+        &&
+        (Mutex.lock s.sh_in_mu;
+         let e = Queue.is_empty s.sh_incoming in
+         Mutex.unlock s.sh_in_mu;
+         e)
       in
-      Mutex.lock w.cw_mu;
-      let no_incoming = Queue.is_empty w.cw_incoming in
-      Mutex.unlock w.cw_mu;
-      if all_flushed && no_incoming then begin
-        List.iter (close_conn t) !conns;
-        conns := [];
+      if (not !dispatched_flagged) && all_dispatched then begin
+        dispatched_flagged := true;
+        note_dispatched t
+      end;
+      let finished =
+        !dispatched_flagged
+        && Msq.is_closed s.sh_inbox
+        && Msq.is_empty s.sh_inbox
+        && List.for_all
+             (fun c ->
+               Queue.is_empty c.c_jobs
+               && Queue.is_empty c.c_pending
+               && not (has_output c))
+             s.sh_conns
+      in
+      if finished then begin
+        List.iter (close_conn t) s.sh_conns;
+        s.sh_conns <- [];
         running := false
       end
     end
@@ -964,50 +1299,109 @@ let worker_loop t i =
 
 let acceptor_loop t =
   let next = ref 0 in
-  while not t.draining do
-    match Unix.select [ t.listen_fd ] [] [] 0.2 with
-    | [], _, _ -> ()
-    | _ :: _, _, _ -> (
-      match Unix.accept t.listen_fd with
-      | fd, _ ->
-        Unix.set_nonblock fd;
-        (try Unix.setsockopt fd Unix.TCP_NODELAY true
-         with Unix.Unix_error _ -> ());
-        let i = !next mod t.cfg.conn_workers in
-        next := !next + 1;
-        let c =
-          {
-            c_fd = fd;
-            c_reader = Protocol.reader ();
-            c_pending = Queue.create ();
-            c_wmu = Mutex.create ();
-            c_mu = Mutex.create ();
-            c_in_flight = false;
-            c_dead = false;
-            c_eof = false;
-            c_detached = false;
-            c_worker = i;
-          }
-        in
-        Atomic.incr t.conns_accepted;
-        Atomic.incr t.conns_open;
-        let w = t.cws.(i) in
-        Mutex.lock w.cw_mu;
-        Queue.push c w.cw_incoming;
-        Mutex.unlock w.cw_mu;
-        wake w
-      | exception Unix.Unix_error _ -> ())
+  let pbuf = Bytes.create 256 in
+  while not (Atomic.get t.draining) do
+    match Unix.select [ t.listen_fd; t.a_wake_r ] [] [] (-1.0) with
+    | rd, _, _ ->
+      if List.mem t.a_wake_r rd then drain_pipe t.a_wake_r pbuf;
+      if List.mem t.listen_fd rd then (
+        match Unix.accept t.listen_fd with
+        | fd, _ ->
+          if Atomic.get t.conns_open >= fd_cap then begin
+            (* select-based loops cannot take fds past FD_SETSIZE: refuse
+               loudly instead of corrupting every shard's readiness set *)
+            Atomic.incr t.conns_rejected;
+            let msg =
+              Protocol.render
+                (Protocol.Error_msg
+                   (Printf.sprintf "too many connections (fd cap %d)" fd_cap))
+            in
+            (match !wire_tap with None -> () | Some f -> f msg);
+            (try ignore (Unix.write_substring fd msg 0 (String.length msg))
+             with Unix.Unix_error _ -> ());
+            try Unix.close fd with Unix.Unix_error _ -> ()
+          end
+          else begin
+            Unix.set_nonblock fd;
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+            let s = t.sh.(!next mod Array.length t.sh) in
+            next := !next + 1;
+            let c =
+              {
+                c_fd = fd;
+                c_reader = Protocol.reader ();
+                c_shard = s.sh_id;
+                c_mu = Mutex.create ();
+                c_pending = Queue.create ();
+                c_jobs = Queue.create ();
+                c_obuf = Buffer.create 256;
+                c_wbuf = Bytes.create 0;
+                c_woff = 0;
+                c_inflight = 0;
+                c_dead = false;
+                c_eof = false;
+                c_quit = false;
+                c_repl = None;
+              }
+            in
+            Atomic.incr t.conns_accepted;
+            Atomic.incr t.conns_open;
+            Mutex.lock s.sh_in_mu;
+            Queue.push c s.sh_incoming;
+            Mutex.unlock s.sh_in_mu;
+            wake s
+          end
+        | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
     | exception Unix.Unix_error _ -> ()
   done;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
 
+(* The supervisor turns a [shutdown] verb into a drain. It lives on the
+   main domain: a shard loop cannot run the drain itself (Domain.join
+   on its own domain), so the verb only flags [shutdown_req]. *)
+let supervisor_loop t =
+  Mutex.lock t.d_mu;
+  while not (t.shutdown_req || t.drain_started) do
+    Condition.wait t.d_cv t.d_mu
+  done;
+  let run = t.shutdown_req && not t.drain_started in
+  Mutex.unlock t.d_mu;
+  if run then !drain_ref t
+
+(* Registers queued replica links with the shipper. Runs on the
+   starting domain so ship threads never pin a shard domain (see
+   [reg_q]). On stop it flushes the queue first: a handshake a shard
+   handed off just before exiting still gets its ship thread, and
+   [Shipper.drain] (called after this thread joins) then bounds its
+   lifetime. *)
+let registrar_loop t =
+  let stop = ref false in
+  while not !stop do
+    Mutex.lock t.reg_mu;
+    while t.reg_q = [] && not t.reg_stop do
+      Condition.wait t.reg_cv t.reg_mu
+    done;
+    let q = List.rev t.reg_q in
+    t.reg_q <- [];
+    stop := t.reg_stop;
+    Mutex.unlock t.reg_mu;
+    List.iter
+      (fun (fd, sync, from_seq) -> Repl.Shipper.register t.hub fd ~sync ~from_seq)
+      q
+  done
+
 (* ------------------------------------------------------------------ *)
 (* lifecycle *)
 
-let start ?replica_of cfg bnd store =
+let start ?replica_of cfg bnd (stores : store array) =
+  if cfg.shards < 1 then invalid_arg "Server.start: shards must be positive";
   if cfg.lanes < 1 then invalid_arg "Server.start: lanes must be positive";
-  if cfg.conn_workers < 1 then
-    invalid_arg "Server.start: conn_workers must be positive";
+  if Array.length stores <> cfg.shards then
+    invalid_arg
+      (Printf.sprintf "Server.start: %d stores for %d shards"
+         (Array.length stores) cfg.shards);
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
@@ -1026,12 +1420,6 @@ let start ?replica_of cfg bnd store =
     | _ -> cfg.port
   in
   let metrics = Tel.Metrics.create () in
-  let lane_tracks =
-    Array.init cfg.lanes (fun i ->
-        if cfg.telemetry == Tel.Recorder.null then 0
-        else
-          Tel.Recorder.fresh_track cfg.telemetry (Printf.sprintf "srv/lane%d" i))
-  in
   let started_at = Unix.gettimeofday () in
   let tel_mu = Mutex.create () in
   (* the shipper threads record their sends on a track of their own *)
@@ -1057,11 +1445,50 @@ let start ?replica_of cfg bnd store =
     Repl.Shipper.create ~window:cfg.repl_window ~cluster:cfg.repl_cluster
       ~span:repl_span ~log:repl_log ()
   in
+  let mk_pipe () =
+    let r, w = Unix.pipe () in
+    Unix.set_nonblock r;
+    Unix.set_nonblock w;
+    (r, w)
+  in
+  let sh =
+    Array.init cfg.shards (fun i ->
+        let store = stores.(i) in
+        let wake_r, wake_w = mk_pipe () in
+        {
+          sh_id = i;
+          sh_store = store;
+          (* contract (see Txn.create): the bound stores must be empty
+             when the server starts — there is no enumeration entry
+             point to backfill versions/indexes from. The known
+             families' init entries all build empty tables. The index
+             needs a single lane: this shard already owns exactly the
+             keys congruent to i mod shards. *)
+          sh_txn = Txn.create ~lanes:1 ~value_color:bnd.b_vcolor ();
+          sh_lengths = Hashtbl.create 1024;
+          sh_vbuf = store.st_alloc (max 1 cfg.vsize);
+          sh_obuf = store.st_alloc (max 1 cfg.vsize);
+          sh_latch = Mutex.create ();
+          sh_inbox = Msq.create ();
+          sh_depth = Atomic.make 0;
+          sh_wake_r = wake_r;
+          sh_wake_w = wake_w;
+          sh_in_mu = Mutex.create ();
+          sh_incoming = Queue.create ();
+          sh_conns = [];
+          sh_track =
+            (if cfg.telemetry == Tel.Recorder.null then 0
+             else
+               Tel.Recorder.fresh_track cfg.telemetry
+                 (Printf.sprintf "srv/shard%d" i));
+        })
+  in
+  let a_wake_r, a_wake_w = mk_pipe () in
   let t =
     {
       cfg;
       bnd;
-      store;
+      sh;
       listen_fd;
       t_port;
       started_at;
@@ -1074,34 +1501,12 @@ let start ?replica_of cfg bnd store =
         | None -> Primary);
       n_applied = Atomic.make 0;
       n_fence_timeouts = Atomic.make 0;
-      queues = Array.init cfg.lanes (fun _ -> Msq.create ());
-      depths = Array.init cfg.lanes (fun _ -> Atomic.make 0);
-      lengths = Hashtbl.create 1024;
-      (* contract (see Txn.create): the bound store must be empty when
-         the server starts — there is no enumeration entry point to
-         backfill versions/indexes from, so a program that pre-populates
-         its table before [start] would serve those keys through
-         get/set but leave them invisible to scan/getv/txn-del. The
-         known families' init entries all build empty tables. *)
-      txn = Txn.create ~lanes:cfg.lanes ~value_color:bnd.b_vcolor ();
-      vbuf = store.st_alloc (max 1 cfg.vsize);
-      obuf = store.st_alloc (max 1 cfg.vsize);
-      store_mu = Mutex.create ();
       tel_mu;
-      lane_tracks;
-      cws =
-        Array.init cfg.conn_workers (fun _ ->
-            let r, w = Unix.pipe () in
-            Unix.set_nonblock r;
-            Unix.set_nonblock w;
-            {
-              cw_mu = Mutex.create ();
-              cw_incoming = Queue.create ();
-              cw_wake_r = r;
-              cw_wake_w = w;
-            });
+      a_wake_r;
+      a_wake_w;
       conns_accepted = Atomic.make 0;
       conns_open = Atomic.make 0;
+      conns_rejected = Atomic.make 0;
       n_gets = Atomic.make 0;
       n_sets = Atomic.make 0;
       n_dels = Atomic.make 0;
@@ -1116,6 +1521,8 @@ let start ?replica_of cfg bnd store =
       n_txns = Atomic.make 0;
       n_txn_aborts = Atomic.make 0;
       n_scans = Atomic.make 0;
+      n_scan_items = Atomic.make 0;
+      n_xshard = Atomic.make 0;
       m_mu = Mutex.create ();
       h_latency = Tel.Metrics.histogram metrics "server latency (us)";
       h_qwait = Tel.Metrics.histogram metrics "queue wait (us)";
@@ -1123,19 +1530,26 @@ let start ?replica_of cfg bnd store =
       obs = Obs.Registry.create ();
       d_mu = Mutex.create ();
       d_cv = Condition.create ();
-      draining = false;
+      draining = Atomic.make false;
+      shutdown_req = false;
       drain_started = false;
       drained = false;
+      n_dispatched = 0;
+      reg_mu = Mutex.create ();
+      reg_cv = Condition.create ();
+      reg_q = [];
+      reg_stop = false;
+      registrar = None;
       acceptor = None;
-      workers = [];
-      executors = [];
+      supervisor = None;
+      domains = [];
     }
   in
-  (* live metrics (lib/obs): server counters and summaries, per-lane
-     queue depths, replication shipper gauges, then whatever the backend
-     store contributes (pool lane phases, steps, declassify counts).
-     Registered before the first thread starts so `stats metrics` is
-     complete from the first request on. *)
+  (* live metrics (lib/obs): server counters and summaries, per-shard
+     inbox depths, replication shipper gauges, then whatever the
+     backend store contributes (pool lane phases, steps, declassify
+     counts). Registered before the first thread starts so
+     `stats metrics` is complete from the first request on. *)
   (let reg = t.obs in
    let ac name help (a : int Atomic.t) =
      Obs.Registry.gauge reg ~help name (fun () -> float_of_int (Atomic.get a))
@@ -1163,6 +1577,10 @@ let start ?replica_of cfg bnd store =
    ac "privagic_server_conns_accepted_total" "connections accepted"
      t.conns_accepted;
    ac "privagic_server_conns_open" "connections currently open" t.conns_open;
+   ac "privagic_server_conns_rejected_total"
+     "connections refused at the select fd cap" t.conns_rejected;
+   ac "privagic_server_xshard_total"
+     "requests routed or committed across shards" t.n_xshard;
    ac "privagic_server_repl_applied_total" "deltas applied while a replica"
      t.n_applied;
    ac "privagic_server_repl_fence_timeouts_total" "sync acks that timed out"
@@ -1172,22 +1590,26 @@ let start ?replica_of cfg bnd store =
    Obs.Registry.gauge reg
      ~help:"transactions committed (including single-op cas)"
      "privagic_txn_commits_total" (fun () ->
-       float_of_int (Txn.commits t.txn));
+       float_of_int
+         (Array.fold_left (fun acc s -> acc + Txn.commits s.sh_txn) 0 t.sh));
    Obs.Registry.gauge reg ~help:"transactions aborted by a CAS guard"
-     "privagic_txn_aborts_total" (fun () -> float_of_int (Txn.aborts t.txn));
+     "privagic_txn_aborts_total" (fun () ->
+       float_of_int
+         (Array.fold_left (fun acc s -> acc + Txn.aborts s.sh_txn) 0 t.sh));
    Obs.Registry.summary reg ~help:"items returned per range scan"
      "privagic_scan_items" (fun () ->
        Mutex.lock t.m_mu;
        let p = Tel.Metrics.pctiles t.h_scan_len in
        Mutex.unlock t.m_mu;
        p);
-   Obs.Registry.multi_gauge reg ~help:"pending requests per executor lane"
+   Obs.Registry.multi_gauge reg ~help:"pending cross-shard requests per shard"
      "privagic_server_queue_depth" (fun () ->
        Array.to_list
-         (Array.mapi
-            (fun i d ->
-              ([ ("lane", string_of_int i) ], float_of_int (Atomic.get d)))
-            t.depths));
+         (Array.map
+            (fun s ->
+              ( [ ("shard", string_of_int s.sh_id) ],
+                float_of_int (Atomic.get s.sh_depth) ))
+            t.sh));
    Obs.Registry.gauge reg ~help:"replication log head sequence"
      "privagic_repl_seq" (fun () -> float_of_int (Repl.Log.head t.repl_log));
    Obs.Registry.summary reg ~help:"request latency (microseconds)"
@@ -1203,18 +1625,21 @@ let start ?replica_of cfg bnd store =
        Mutex.unlock t.m_mu;
        p);
    Repl.Shipper.register_obs t.hub reg;
-   store.st_register_obs reg);
-  t.executors <-
-    List.init cfg.lanes (fun i -> Thread.create (fun () -> executor_loop t i) ());
-  t.workers <-
-    List.init cfg.conn_workers (fun i ->
-        Thread.create (fun () -> worker_loop t i) ());
+   (* one store registers its fixed-name gauges; with several shards the
+      other backends' counters are visible through `stats` instead
+      (registering all would collide on metric names) *)
+   stores.(0).st_register_obs reg);
+  t.domains <-
+    Array.to_list
+      (Array.map (fun s -> Domain.spawn (fun () -> shard_loop t s)) t.sh);
+  t.registrar <- Some (Thread.create (fun () -> registrar_loop t) ());
+  t.supervisor <- Some (Thread.create (fun () -> supervisor_loop t) ());
   t.acceptor <- Some (Thread.create (fun () -> acceptor_loop t) ());
   t
 
 let port t = t.t_port
 let metrics_registry t = t.obs
-let is_draining t = t.draining
+let is_draining t = Atomic.get t.draining
 
 let drain t =
   Mutex.lock t.d_mu;
@@ -1226,24 +1651,49 @@ let drain t =
   end
   else begin
     t.drain_started <- true;
-    t.draining <- true;
+    Condition.broadcast t.d_cv (* releases an idle supervisor *);
     Mutex.unlock t.d_mu;
+    Atomic.set t.draining true;
+    wake_fd t.a_wake_w;
     (match t.acceptor with Some th -> Thread.join th | None -> ());
-    Array.iter wake t.cws;
-    List.iter Thread.join t.workers;
-    (* every parsed request is now in the lanes or answered; close the
-       queues so executors exit once they observe empty-after-close *)
-    Array.iter Msq.close t.queues;
-    List.iter Thread.join t.executors;
+    Array.iter wake t.sh;
+    (* stage 1: wait until every shard has dispatched all parsed work —
+       after this, nothing new can enter any inbox *)
+    Mutex.lock t.d_mu;
+    while t.n_dispatched < t.cfg.shards do
+      Condition.wait t.d_cv t.d_mu
+    done;
+    Mutex.unlock t.d_mu;
+    (* stage 2: close the inboxes; each loop drains to empty-after-close
+       (the Msqueue drain protocol — no queued request is lost), fills,
+       flushes, and exits *)
+    Array.iter (fun s -> Msq.close s.sh_inbox) t.sh;
+    Array.iter wake t.sh;
+    List.iter Domain.join t.domains;
+    t.domains <- [];
+    (* stop the registrar after the last shard exits: it flushes any
+       handshake still queued, so its ship thread exists before the
+       shipper's drain below bounds every link's lifetime *)
+    Mutex.lock t.reg_mu;
+    t.reg_stop <- true;
+    Condition.broadcast t.reg_cv;
+    Mutex.unlock t.reg_mu;
+    (match t.registrar with Some th -> Thread.join th | None -> ());
     (* the log is final now: flush its tail to every replica and wait
-       (bounded) for their acks before tearing the backend down *)
+       (bounded) for their acks before tearing the backends down *)
     Repl.Shipper.drain t.hub ~timeout_s:5.0;
-    t.store.st_drain ();
+    Array.iter (fun s -> s.sh_store.st_drain ()) t.sh;
     Array.iter
-      (fun w ->
-        try Unix.close w.cw_wake_r; Unix.close w.cw_wake_w
+      (fun s ->
+        try
+          Unix.close s.sh_wake_r;
+          Unix.close s.sh_wake_w
         with Unix.Unix_error _ -> ())
-      t.cws;
+      t.sh;
+    (try
+       Unix.close t.a_wake_r;
+       Unix.close t.a_wake_w
+     with Unix.Unix_error _ -> ());
     Mutex.lock t.d_mu;
     t.drained <- true;
     Condition.broadcast t.d_cv;
@@ -1290,6 +1740,10 @@ type stats = {
   s_txn_aborts : int;
   s_scans : int;
   s_scan_items : int;
+  s_shards : int;
+  s_xshard : int;
+  s_conns_rejected : int;
+  s_fd_cap : int;
 }
 
 let stats t =
@@ -1313,7 +1767,7 @@ let stats t =
     s_bad = g t.n_bad;
     s_batches = g t.n_batches;
     s_coalesced = g t.n_coalesced;
-    s_depth = Array.map Atomic.get t.depths;
+    s_depth = Array.map (fun s -> Atomic.get s.sh_depth) t.sh;
     s_latency = lat;
     s_queue_wait = qw;
     s_role = role_name t;
@@ -1326,10 +1780,16 @@ let stats t =
     s_cas = g t.n_cas;
     s_cas_conflicts = g t.n_cas_conflicts;
     s_txns = g t.n_txns;
-    s_txn_commits = Txn.commits t.txn;
-    s_txn_aborts = Txn.aborts t.txn;
+    s_txn_commits =
+      Array.fold_left (fun acc s -> acc + Txn.commits s.sh_txn) 0 t.sh;
+    s_txn_aborts =
+      Array.fold_left (fun acc s -> acc + Txn.aborts s.sh_txn) 0 t.sh;
     s_scans = g t.n_scans;
-    s_scan_items = Txn.scan_items t.txn;
+    s_scan_items = g t.n_scan_items;
+    s_shards = t.cfg.shards;
+    s_xshard = g t.n_xshard;
+    s_conns_rejected = g t.conns_rejected;
+    s_fd_cap = fd_cap;
   }
 
 let stats_fields t =
@@ -1337,7 +1797,7 @@ let stats_fields t =
   let f = Printf.sprintf "%.1f" in
   [
     ("family", t.bnd.b_family);
-    ("backend", t.store.st_name);
+    ("backend", t.sh.(0).sh_store.st_name);
     ("uptime_s", f s.s_uptime);
     ("lanes", string_of_int t.cfg.lanes);
     ("conns_accepted", string_of_int s.s_conns_accepted);
@@ -1377,6 +1837,11 @@ let stats_fields t =
     ("txn_aborts", string_of_int s.s_txn_aborts);
     ("scans", string_of_int s.s_scans);
     ("scan_items", string_of_int s.s_scan_items);
+    (* sharding fields (ISSUE 10), appended last *)
+    ("shards", string_of_int s.s_shards);
+    ("xshard", string_of_int s.s_xshard);
+    ("fd_cap", string_of_int s.s_fd_cap);
+    ("conns_rejected", string_of_int s.s_conns_rejected);
   ]
 
 let () =

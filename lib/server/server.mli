@@ -1,32 +1,36 @@
-(** The TCP serving layer: a socket front-end that drives a partitioned
-    program under real concurrent load (the paper's §8 evaluation shape —
-    memcached behind memtier-style clients — realized over this repo's
-    runtime backends).
+(** The TCP serving layer: a socket front-end that drives partitioned
+    programs under real concurrent load (the paper's §8 evaluation shape
+    — memcached behind memtier-style clients — realized over this
+    repo's runtime backends).
 
-    Architecture (DESIGN.md §8.8): an acceptor thread hands connections
-    to a fixed pool of connection workers; each worker parses the
-    memcached-lite protocol ({!Protocol}) and pushes requests onto
-    bounded per-lane queues (the runtime's own Michael–Scott queue) with
-    backpressure — [Block] stalls the producer, [Shed] answers
-    [SERVER_BUSY] above the high-water mark. One executor thread per
-    lane pops batches, executes them against the partitioned store
-    (coalescing duplicate adjacent [get]s inside a batch, which is exact
-    because a batch executes atomically), records request-latency spans
-    into the telemetry recorder, and writes the responses back.
+    Architecture (DESIGN.md §8.14): the keyspace is hash-partitioned
+    ([key mod shards]) across N single-writer shards. Each shard owns —
+    exclusively — one execution backend instance (the caller builds one
+    store per shard), its slice of the version table and secondary
+    indexes, and an event loop on its own domain: nonblocking sockets,
+    [Unix.select] readiness with self-pipe wakeups (no timeout
+    polling), incremental parsing, and fully pipelined connections
+    (many requests in flight per connection; responses flush strictly
+    in arrival order).
 
-    Entry execution is serialized across lanes by a store mutex: the
-    runtime's host-order discipline protects state {e within} one
-    activation, and the partitioned programs' [lock]/[unlock] externs
-    are cost models, not real mutexes — so cross-request isolation must
-    come from the server (memcached's own global cache lock, in
-    miniature). Real parallelism remains inside each request, across
-    the pool's per-partition domains. *)
+    There is no global store mutex. Gets, sets and single-shard
+    transactions execute entirely inside one shard, under a per-shard
+    latch that only the owner loop takes on the hot path. Cross-shard
+    requests hop to the owning shard over a bounded inbox; multi-shard
+    transactions commit via two-phase commit under the participant
+    latches (taken in ascending shard order), and scans merge per-shard
+    index cursors without any global lock. Same-key requests of one
+    connection always land in the same shard FIFO, so per-key program
+    order is preserved; a multi-shard transaction or scan waits for the
+    connection's earlier requests before executing (connection
+    barrier). All shards append commit deltas to one shared log, so
+    replication keeps a single merged monotone sequence. *)
 
 module Tel = Privagic_telemetry
 
-(** What the server needs from an execution backend. [st_call] is only
-    invoked under the server's store mutex; the buffer helpers address
-    the backend's simulated unsafe memory. *)
+(** What the server needs from an execution backend. Each shard owns
+    one store; [st_call] is only invoked under that shard's latch. The
+    buffer helpers address the backend's simulated unsafe memory. *)
 type store = {
   st_name : string;
   st_call :
@@ -69,12 +73,13 @@ type policy = Block | Shed
 type config = {
   host : string;            (** default 127.0.0.1 *)
   port : int;               (** 0 picks an ephemeral port; see {!port} *)
-  lanes : int;              (** request queues; also the pool lane count *)
-  queue_depth : int;        (** per-lane high-water mark *)
+  shards : int;             (** single-writer keyspace shards (event loops) *)
+  lanes : int;              (** per-shard backend pool lanes (display/config) *)
+  queue_depth : int;        (** cross-shard inbox high-water mark; also the
+                                local-batch shed threshold under [Shed] *)
   policy : policy;
-  max_batch : int;          (** requests executed per queue handoff *)
+  max_batch : int;          (** requests executed per latch hold *)
   vsize : int;              (** value-buffer size of the program *)
-  conn_workers : int;
   telemetry : Tel.Recorder.t;
   repl_window : int;        (** in-flight deltas per replica (default 1024) *)
   repl_cluster : string;    (** sealing-key derivation secret *)
@@ -82,17 +87,27 @@ type config = {
 
 val default_config : config
 
+(** Open client connections the acceptor admits before refusing with a
+    clear error: [Unix.select] readiness breaks past FD_SETSIZE (1024),
+    so the cap — surfaced in [STATS] as [fd_cap] — keeps every loop's
+    fd set valid. *)
+val fd_cap : int
+
 type t
 
-(** Bind, listen, and start the thread pool. The server is serving when
-    [start] returns. [replica_of] starts it in the read-only replica
-    role (the string is the primary's address, for display only — the
-    caller runs the {!Privagic_replication.Replica} client and feeds
-    {!apply_put}/{!apply_del}); {!promote} flips it to primary.
+(** Bind, listen, and start the shard loops (one domain per shard, plus
+    an acceptor thread). [stores] must have exactly [cfg.shards]
+    elements — shard [i] owns [stores.(i)] exclusively; the caller
+    initializes each one (e.g. the family's init entry). The server is
+    serving when [start] returns. [replica_of] starts it in the
+    read-only replica role (the string is the primary's address, for
+    display only — the caller runs the {!Privagic_replication.Replica}
+    client and feeds {!apply_put}/{!apply_del}); {!promote} flips it to
+    primary.
     @raise Failure when the socket cannot be bound. *)
-val start : ?replica_of:string -> config -> bindings -> store -> t
-(** The bound store must hold no keys yet: the transaction layer's
-    version table and secondary indexes start empty and only advance
+val start : ?replica_of:string -> config -> bindings -> store array -> t
+(** The bound stores must hold no keys yet: the transaction layer's
+    version tables and ordered indexes start empty and only advance
     through commit hooks, so keys pre-populated before [start] would be
     invisible to [scan], report version 0 via [getv], and fail the
     in-transaction del presence check. The known families' init entries
@@ -100,11 +115,13 @@ val start : ?replica_of:string -> config -> bindings -> store -> t
 
 val port : t -> int
 
-(** Graceful drain: stop accepting, let connection workers flush every
-    parsed request, close the lane queues (executors exit via the
-    Msqueue drain protocol, so no queued request is lost), then drain
-    the backend. Idempotent; safe to call from any thread, including a
-    connection worker acting on a [shutdown] verb. *)
+(** Graceful drain: stop accepting, let every shard loop dispatch and
+    flush every parsed request (a two-stage barrier guarantees no
+    cross-shard handoff races the inbox close), close the inboxes
+    (loops exit via the Msqueue drain protocol, so no queued request is
+    lost), then drain the backends. Idempotent; safe to call from any
+    thread — a [shutdown] verb routes here through a supervisor thread
+    on the main domain. *)
 val drain : t -> unit
 
 (** Block until a drain (triggered by {!drain} or a [shutdown] verb)
@@ -124,9 +141,9 @@ type stats = {
   s_hits : int;
   s_shed : int;             (** requests answered SERVER_BUSY *)
   s_bad : int;              (** protocol errors answered CLIENT_ERROR *)
-  s_batches : int;          (** queue handoffs *)
-  s_coalesced : int;        (** duplicate gets served from a batch *)
-  s_depth : int array;      (** current per-lane queue depth *)
+  s_batches : int;          (** latch holds (execution chunks) *)
+  s_coalesced : int;        (** duplicate gets served from a chunk *)
+  s_depth : int array;      (** current per-shard cross-shard inbox depth *)
   s_latency : Tel.Metrics.pctiles;  (** dispatch->response, microseconds *)
   s_queue_wait : Tel.Metrics.pctiles;  (** dispatch->execution, microseconds *)
   s_role : string;          (** ["primary"] or ["replica:<addr>"] *)
@@ -143,18 +160,22 @@ type stats = {
   s_txn_aborts : int;       (** transactions aborted by a CAS guard *)
   s_scans : int;
   s_scan_items : int;       (** total items returned by scans *)
+  s_shards : int;
+  s_xshard : int;           (** requests routed or committed across shards *)
+  s_conns_rejected : int;   (** connections refused at {!fd_cap} *)
+  s_fd_cap : int;
 }
 
 val stats : t -> stats
 
 (** The [STAT k v] pairs of the protocol's [stats] verb. The historical
-    fields keep their names and order; replication fields append. *)
+    fields keep their names and order; new fields append. *)
 val stats_fields : t -> (string * string) list
 
 (** The server's live metrics registry (lib/obs) — what the
     [stats metrics] verb exposes. Populated at {!start} with server
-    counters/summaries, per-lane queue depths, replication shipper
-    gauges, and the backend store's contribution. *)
+    counters/summaries, per-shard inbox depths, replication shipper
+    gauges, and the shard-0 store's backend contribution. *)
 val metrics_registry : t -> Privagic_obs.Registry.t
 
 (** {1 Replication}
@@ -166,8 +187,10 @@ val metrics_registry : t -> Privagic_obs.Registry.t
     (DESIGN.md §8.10). *)
 
 (** Apply one delta received from the primary: executes through the same
-    entry path as a client [set]/[del], under the store mutex, and
-    mirrors the primary's seq into the local log. Fails on a seq gap. *)
+    entry path as a client [set]/[del], under the owning shard's latch,
+    and mirrors the primary's seq into the local log. The replica
+    client calls strictly in seq order, so the mirrored log stays dense
+    even though deltas fan out across shards. Fails on a seq gap. *)
 val apply_put :
   t -> seq:int -> key:int -> payload:string -> (unit, string) result
 
@@ -183,7 +206,9 @@ val is_replica : t -> bool
 (** ["primary"] or ["replica:<addr>"]. *)
 val role_name : t -> string
 
-(** The commit log (convergence oracles replay it). *)
+(** The commit log — the merged monotone sequence every shard appends
+    to under its latch (convergence oracles replay it, whole or
+    filtered per shard). *)
 val repl_log : t -> Privagic_replication.Log.t
 
 (** The delta shipper (lag percentiles, seal counters). *)

@@ -105,7 +105,17 @@ let note_del t ~key =
   let _v = bump t key in
   Index.del t.idx ~key
 
-let execute t store ops =
+(* The routed core: every per-key access — snapshot read, version
+   lookup, presence check, applicability limit, apply callback, commit
+   hook — goes through [route key], so one transaction can span several
+   independently-owned (t, store) shards. The caller must hold whatever
+   serializes commits on *every* routed shard for the whole call (the
+   sharded server takes the participant latches in ascending shard
+   order — its two-phase commit); [coord] owns the commit/abort
+   counters, so summing them across shards never double-counts. *)
+let execute_routed ~(route : int -> t * store_ops) ~(coord : t) ops =
+  let t_of key = fst (route key) in
+  let s_of key = snd (route key) in
   (* Phase 1: validate every op against the snapshot and buffer the
      writes; nothing touches the store, so an abort leaves no trace.
      Applicability is part of validation: a write the store would
@@ -116,12 +126,12 @@ let execute t store ops =
   let present key =
     match Hashtbl.find_opt buffered key with
     | Some v -> v <> None
-    | None -> Index.mem t.idx key
+    | None -> Index.mem (t_of key).idx key
   in
-  let check_size value =
-    if String.length value > store.o_max_value then
-      Some
-        (Printf.sprintf "value exceeds store value size %d" store.o_max_value)
+  let check_size key value =
+    let limit = (s_of key).o_max_value in
+    if String.length value > limit then
+      Some (Printf.sprintf "value exceeds store value size %d" limit)
     else None
   in
   let rec validate results writes = function
@@ -132,13 +142,13 @@ let execute t store ops =
         let v =
           match Hashtbl.find_opt buffered key with
           | Some v -> Ok v  (* read your own buffered write *)
-          | None -> store.o_get key
+          | None -> (s_of key).o_get key
         in
         match v with
         | Ok v -> validate (R_value v :: results) writes rest
         | Error e -> Error (`Fail e))
       | T_set (key, value) -> (
-        match check_size value with
+        match check_size key value with
         | Some e -> Error (`Fail e)
         | None ->
           Hashtbl.replace buffered key (Some value);
@@ -147,7 +157,7 @@ let execute t store ops =
             rest)
       | T_del key ->
         if present key then
-          if not store.o_can_del then
+          if not (s_of key).o_can_del then
             Error (`Fail "del not supported by the store")
           else begin
             Hashtbl.replace buffered key None;
@@ -158,11 +168,11 @@ let execute t store ops =
         (* First-writer-wins: the guard compares against the version
            committed when this transaction took its snapshot; a write
            committed since the client's [getv] makes the CAS lose. *)
-        let found = version t key in
+        let found = version (t_of key) key in
         if found <> expect then
           Error (`Abort { a_key = key; a_expected = expect; a_found = found })
         else (
-          match check_size value with
+          match check_size key value with
           | Some e -> Error (`Fail e)
           | None ->
             Hashtbl.replace buffered key (Some value);
@@ -172,7 +182,7 @@ let execute t store ops =
   in
   match validate [] [] ops with
   | Error (`Abort a) ->
-    Atomic.incr t.aborts;
+    Atomic.incr coord.aborts;
     Aborted a
   | Error (`Fail e) -> Failed { f_msg = e; f_applied = [] }
   | Ok (results, writes) -> (
@@ -188,16 +198,16 @@ let execute t store ops =
     let rec apply = function
       | [] -> None
       | (W_put { w_key; w_value } as w) :: rest -> (
-        match store.o_set w_key w_value with
+        match (s_of w_key).o_set w_key w_value with
         | Ok () ->
-          note_put t ~key:w_key ~value:w_value;
+          note_put (t_of w_key) ~key:w_key ~value:w_value;
           applied := w :: !applied;
           apply rest
         | Error e -> Some e)
       | (W_del { w_key } as w) :: rest -> (
-        match store.o_del w_key with
+        match (s_of w_key).o_del w_key with
         | Ok _ ->
-          note_del t ~key:w_key;
+          note_del (t_of w_key) ~key:w_key;
           applied := w :: !applied;
           apply rest
         | Error e -> Some e)
@@ -205,8 +215,11 @@ let execute t store ops =
     match apply writes with
     | Some e -> Failed { f_msg = e; f_applied = List.rev !applied }
     | None ->
-      Atomic.incr t.commits;
+      Atomic.incr coord.commits;
       Committed (results, writes))
+
+(* The single-shard case: every key routes to the same layer/store. *)
+let execute t store ops = execute_routed ~route:(fun _ -> (t, store)) ~coord:t ops
 
 let scan t ~start ~stop ~limit =
   let items = Index.range t.idx ~start ~stop ~limit in

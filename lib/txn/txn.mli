@@ -85,6 +85,20 @@ val execute : t -> store_ops -> op list -> outcome
     failed — apply the writes through the store. An abort or a
     validation failure leaves the store untouched. *)
 
+val execute_routed :
+  route:(int -> t * store_ops) -> coord:t -> op list -> outcome
+(** {!execute} generalized over a partitioned store: every per-key
+    access — snapshot read, version lookup, presence check,
+    applicability limit, apply callback, commit hook — goes through
+    [route key], so a transaction may span several independently-owned
+    shards (the sharded server's cross-shard two-phase commit: phase 1
+    validates against every participant, phase 2 applies only if all
+    validated). The caller must hold whatever serializes commits on
+    {e every} routed shard for the whole call; [coord] owns the
+    commit/abort counters so per-shard sums never double-count.
+    [execute t s ops] is [execute_routed ~route:(fun _ -> (t, s))
+    ~coord:t ops]. *)
+
 val scan : t -> start:int -> stop:int -> limit:int -> Index.entry list
 (** Range scan [start <= key <= stop] (ascending, at most [limit])
     served from the ordered index; secret-colored entries carry no

@@ -185,31 +185,40 @@ let test_log () =
 (* ------------------------------------------------------------------ *)
 (* end-to-end nodes over loopback TCP *)
 
-type node = { n_srv : Server.t; n_exec : Exec.t }
+(* one backend exec per shard, in shard order, so per-shard globals can
+   be compared against per-shard oracles *)
+type node = { n_srv : Server.t; n_execs : Exec.t list }
 
-let make_node ?replica_of ~engine ~backend plan =
+let make_node ?replica_of ?(shards = 1) ~engine ~backend plan =
   let bnd = Option.get (Server.bindings_of_plan plan) in
-  let n_exec, store =
-    match backend with
-    | `Sim ->
-      let pt = Pinterp.create ~engine plan in
-      (pt.Pinterp.exec, Server.store_of_pinterp pt)
-    | `Parallel ->
-      let p = Parallel.create ~lanes:2 ~engine plan in
-      (Parallel.exec p, Server.store_of_parallel p)
+  let cells =
+    Array.init shards (fun _ ->
+        let n_exec, store =
+          match backend with
+          | `Sim ->
+            let pt = Pinterp.create ~engine plan in
+            (pt.Pinterp.exec, Server.store_of_pinterp pt)
+          | `Parallel ->
+            let p = Parallel.create ~lanes:2 ~engine plan in
+            (Parallel.exec p, Server.store_of_parallel p)
+        in
+        (match bnd.Server.b_init with
+        | Some entry -> (
+          match
+            store.Server.st_call entry [ Rvalue.Int (Int64.of_int capacity) ]
+          with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "%s: %s" entry m)
+        | None -> ());
+        (n_exec, store))
   in
-  (match bnd.Server.b_init with
-  | Some entry -> (
-    match store.Server.st_call entry [ Rvalue.Int (Int64.of_int capacity) ] with
-    | Ok _ -> ()
-    | Error m -> Alcotest.failf "%s: %s" entry m)
-  | None -> ());
   let srv =
     Server.start ?replica_of
-      { Server.default_config with Server.port = 0; vsize }
-      bnd store
+      { Server.default_config with Server.port = 0; shards; vsize }
+      bnd
+      (Array.map snd cells)
   in
-  { n_srv = srv; n_exec }
+  { n_srv = srv; n_execs = Array.to_list (Array.map fst cells) }
 
 let attach ~sync node pport =
   let apply (d : Delta.t) =
@@ -265,12 +274,13 @@ let rpc c req =
 (* ------------------------------------------------------------------ *)
 (* convergence: replica globals bit-equal an oracle replaying the log *)
 
-(* The oracle repeats the replica's exact allocation history on a fresh
-   simulated backend: init, then the server's vbuf/obuf allocations,
-   then one b_set/b_del call per logged delta with the server's
+(* The oracle repeats a replica shard's exact allocation history on a
+   fresh simulated backend: init, then the server's vbuf/obuf
+   allocations, then one b_set/b_del call per logged delta owned by that
+   shard (key mod shards, in merged-sequence order) with the server's
    zero-padding. Any divergence in how a replica applied the stream
    shows up as a bit difference in some integer global. *)
-let oracle_replay ~engine ~mode src log =
+let oracle_replay_shard ~engine ~mode ~shards ~shard src log =
   let plan = plan_of ~mode src in
   let pt = Pinterp.create ~engine plan in
   let store = Server.store_of_pinterp pt in
@@ -285,35 +295,40 @@ let oracle_replay ~engine ~mode src log =
   let _obuf = store.Server.st_alloc (max 1 vsize) in
   List.iter
     (fun (d : Delta.t) ->
+      let apply key f = if key mod shards = shard then f () in
       match d.Delta.op with
       | Delta.Put { key; payload; _ } ->
-        let padded =
-          if String.length payload >= vsize then payload
-          else payload ^ String.make (vsize - String.length payload) '\000'
-        in
-        store.Server.st_write vbuf padded;
-        (match
-           store.Server.st_call bnd.Server.b_set
-             [ Rvalue.Int (Int64.of_int key); Rvalue.Ptr vbuf ]
-         with
-        | Ok _ -> ()
-        | Error m -> Alcotest.failf "oracle set: %s" m)
+        apply key (fun () ->
+            let padded =
+              if String.length payload >= vsize then payload
+              else payload ^ String.make (vsize - String.length payload) '\000'
+            in
+            store.Server.st_write vbuf padded;
+            match
+              store.Server.st_call bnd.Server.b_set
+                [ Rvalue.Int (Int64.of_int key); Rvalue.Ptr vbuf ]
+            with
+            | Ok _ -> ()
+            | Error m -> Alcotest.failf "oracle set: %s" m)
       | Delta.Del { key } -> (
         match bnd.Server.b_del with
         | None -> Alcotest.fail "oracle: del delta for a del-less family"
-        | Some del -> (
-          match store.Server.st_call del [ Rvalue.Int (Int64.of_int key) ] with
-          | Ok _ -> ()
-          | Error m -> Alcotest.failf "oracle del: %s" m)))
+        | Some del ->
+          apply key (fun () ->
+              match
+                store.Server.st_call del [ Rvalue.Int (Int64.of_int key) ]
+              with
+              | Ok _ -> ()
+              | Error m -> Alcotest.failf "oracle del: %s" m)))
     (Log.to_list log);
   (plan, pt)
 
-let converge_cell ~mode ~backend ~engine src () =
+let converge_cell ?(shards = 1) ~mode ~backend ~engine src () =
   let plan_p = plan_of ~mode src in
   let has_del =
     (Option.get (Server.bindings_of_plan plan_p)).Server.b_del <> None
   in
-  let primary = make_node ~engine ~backend plan_p in
+  let primary = make_node ~shards ~engine ~backend plan_p in
   let pport = Server.port primary.n_srv in
   (* one sync and one async replica per cell *)
   let reps =
@@ -323,7 +338,7 @@ let converge_cell ~mode ~backend ~engine src () =
         let node =
           make_node
             ~replica_of:(Printf.sprintf "127.0.0.1:%d" pport)
-            ~engine ~backend plan
+            ~shards ~engine ~backend plan
         in
         (node, attach ~sync node pport, plan))
       [ true; false ]
@@ -347,10 +362,16 @@ let converge_cell ~mode ~backend ~engine src () =
   Server.drain primary.n_srv;
   let log = Server.repl_log primary.n_srv in
   Alcotest.(check bool) "log is non-empty" true (Log.head log > 0);
-  let oplan, opt = oracle_replay ~engine ~mode src log in
-  let names = int_globals oplan.Privagic_partition.Plan.pmodule in
-  Alcotest.(check bool) "program has integer globals" true (names <> []);
-  let want = read_globals opt.Pinterp.exec names in
+  (* one oracle per shard, each replaying its slice of the merged log *)
+  let wants =
+    List.init shards (fun shard ->
+        let oplan, opt =
+          oracle_replay_shard ~engine ~mode ~shards ~shard src log
+        in
+        let names = int_globals oplan.Privagic_partition.Plan.pmodule in
+        Alcotest.(check bool) "program has integer globals" true (names <> []);
+        read_globals opt.Pinterp.exec names)
+  in
   List.iter
     (fun ((node, client, plan), sync) ->
       let tag = if sync then "sync" else "async" in
@@ -360,23 +381,31 @@ let converge_cell ~mode ~backend ~engine src () =
         (tag ^ " applied the whole log")
         (Log.head log) (Replica.applied_seq client);
       Replica.stop client;
-      let got =
-        read_globals node.n_exec (int_globals plan.Privagic_partition.Plan.pmodule)
-      in
-      Alcotest.(check (list (pair string int64)))
-        (tag ^ " replica globals bit-equal the oracle")
-        want got;
+      let names = int_globals plan.Privagic_partition.Plan.pmodule in
+      List.iteri
+        (fun shard (want, ex) ->
+          let got = read_globals ex names in
+          Alcotest.(check (list (pair string int64)))
+            (Printf.sprintf "%s replica shard %d globals bit-equal the oracle"
+               tag shard)
+            want got)
+        (List.combine wants node.n_execs);
       Server.drain node.n_srv)
     (List.combine reps [ true; false ])
 
 let convergence_cases =
   let fam name ?(mode = Mode.Hardened) src =
-    List.map
+    List.concat_map
       (fun (ename, engine) ->
-        Alcotest.test_case
-          (Printf.sprintf "converge: %s, sim, %s engine" name ename)
-          `Quick
-          (converge_cell ~mode ~backend:`Sim ~engine src))
+        [ Alcotest.test_case
+            (Printf.sprintf "converge: %s, sim, %s engine" name ename)
+            `Quick
+            (converge_cell ~mode ~backend:`Sim ~engine src);
+          Alcotest.test_case
+            (Printf.sprintf "converge: %s, sim, %s engine, 3 shards" name
+               ename)
+            `Quick
+            (converge_cell ~shards:3 ~mode ~backend:`Sim ~engine src) ])
       [ ("walk", Exec.Walk); ("image", Exec.Image) ]
   in
   List.concat
@@ -388,6 +417,11 @@ let convergence_cases =
       fam "linked-list" (Programs.linked_list ~vsize `Colored);
       [ Alcotest.test_case "converge: memcached, parallel backend" `Quick
           (converge_cell ~mode:Mode.Hardened ~backend:`Parallel
+             ~engine:(Exec.default_engine ())
+             (Programs.memcached ~nbuckets:64 ~vsize `Colored));
+        Alcotest.test_case "converge: memcached, parallel backend, 2 shards"
+          `Quick
+          (converge_cell ~shards:2 ~mode:Mode.Hardened ~backend:`Parallel
              ~engine:(Exec.default_engine ())
              (Programs.memcached ~nbuckets:64 ~vsize `Colored)) ] ]
 

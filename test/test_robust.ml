@@ -297,7 +297,7 @@ let test_server_wire_tap () =
   let captured = Buffer.create 256 in
   Server.set_wire_tap (Some (fun resp -> Buffer.add_string captured resp));
   let cfg = { Server.default_config with Server.port = 0; vsize = 32 } in
-  let srv = Server.start cfg bnd store in
+  let srv = Server.start cfg bnd [| store |] in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
   let req = Protocol.render_request (Protocol.Set (1, "abc")) in

@@ -31,6 +31,13 @@ let init_store store =
   | Ok _ -> ()
   | Error m -> Alcotest.failf "mc_init: %s" m
 
+(* one initialized backend instance per shard *)
+let stores_of backend plan ~shards =
+  Array.init shards (fun _ ->
+      let s = store_of backend plan in
+      init_store s;
+      s)
+
 (* ------------------------------------------------------------------ *)
 (* a minimal blocking socket client *)
 
@@ -125,18 +132,17 @@ let test_protocol () =
   | _ -> Alcotest.fail "parser dead after oversized set"
 
 (* Differential: the same operation sequence over a socket (server on
-   backend A) and directly against a second instance (same backend);
-   every observable response must agree. *)
-let test_differential backend () =
-  let srv_store = store_of backend (plan ()) in
-  init_store srv_store;
+   backend A, possibly sharded) and directly against an unsharded
+   instance (same backend); every observable response must agree —
+   each key lives wholly in one shard, so sharding must be invisible. *)
+let test_differential backend ~shards () =
   let bnd =
     match Server.bindings_of_plan (plan ()) with
     | Some b -> b
     | None -> Alcotest.fail "bindings_of_plan failed"
   in
-  let cfg = { Server.default_config with Server.port = 0; vsize } in
-  let srv = Server.start cfg bnd srv_store in
+  let cfg = { Server.default_config with Server.port = 0; shards; vsize } in
+  let srv = Server.start cfg bnd (stores_of backend (plan ()) ~shards) in
   (* the direct side: a fresh instance of the same program *)
   let dstore = store_of backend (plan ()) in
   init_store dstore;
@@ -209,24 +215,27 @@ let test_differential backend () =
 
 (* Graceful drain: requests already parsed by the server are answered
    before the connection closes, even with the store slowed down and the
-   queue bound at 1. *)
-let test_drain_no_loss () =
-  let inner = store_of `Sim (plan ()) in
-  init_store inner;
-  let slow =
-    { inner with
-      Server.st_call =
-        (fun name args ->
-          Unix.sleepf 0.003;
-          inner.Server.st_call name args) }
+   queue bound at 1. With shards > 1 most of the burst crosses shards,
+   so the drain barrier must also flush in-flight inbox handoffs. *)
+let test_drain_no_loss ~shards () =
+  let p = plan () in
+  let slow_stores =
+    Array.init shards (fun _ ->
+        let inner = store_of `Sim p in
+        init_store inner;
+        { inner with
+          Server.st_call =
+            (fun name args ->
+              Unix.sleepf 0.003;
+              inner.Server.st_call name args) })
   in
-  let bnd = Option.get (Server.bindings_of_plan (plan ())) in
+  let bnd = Option.get (Server.bindings_of_plan p) in
   let cfg =
     { Server.default_config with
-      Server.port = 0; vsize; lanes = 1; queue_depth = 1; max_batch = 1;
-      policy = Server.Block }
+      Server.port = 0; shards; vsize; lanes = 1; queue_depth = 1;
+      max_batch = 1; policy = Server.Block }
   in
-  let srv = Server.start cfg bnd slow in
+  let srv = Server.start cfg bnd slow_stores in
   let c = connect (Server.port srv) in
   let n = 20 in
   let reqs = Buffer.create 256 in
@@ -284,7 +293,7 @@ let test_stats_metrics_loopback () =
   let bnd = Option.get (Server.bindings_of_plan (plan ())) in
   let srv =
     Server.start { Server.default_config with Server.port = 0; vsize } bnd
-      store
+      [| store |]
   in
   let c = connect (Server.port srv) in
   (* a served op first, so op counters have something to show *)
@@ -301,7 +310,7 @@ let test_stats_metrics_loopback () =
       "# TYPE privagic_server_ops_total";
       "privagic_server_ops_total{op=\"set\"} 1";
       "privagic_server_conns_open";
-      "privagic_server_queue_depth{lane=";
+      "privagic_server_queue_depth{shard=";
       "# TYPE privagic_server_latency_us summary";
       "quantile=\"0.999\"";
       "privagic_repl_lag_us";
@@ -334,9 +343,9 @@ let test_shedding () =
   let cfg =
     { Server.default_config with
       Server.port = 0; vsize; lanes = 1; queue_depth = 1; max_batch = 1;
-      policy = Server.Shed; conn_workers = 2 }
+      policy = Server.Shed }
   in
-  let srv = Server.start cfg bnd slow in
+  let srv = Server.start cfg bnd [| slow |] in
   let lg =
     { Loadgen.default_config with
       Loadgen.port = Server.port srv; clients = 6; ops = 150;
@@ -352,16 +361,88 @@ let test_shedding () =
   let s = Server.stats srv in
   Alcotest.(check bool) "server counted sheds" true (s.Server.s_shed > 0)
 
+(* Pipelining: one connection, a single write carrying a long burst of
+   interdependent requests (same-key read-after-write chains spread over
+   every shard, plus multi-shard barriers: a cross-shard txn and a scan
+   mid-burst). Responses must come back exactly in request order, and
+   per-key program order must hold even though the keys' shards execute
+   concurrently. *)
+let test_pipelined_burst () =
+  let shards = 4 in
+  let bnd = Option.get (Server.bindings_of_plan (plan ())) in
+  let cfg =
+    { Server.default_config with Server.port = 0; shards; vsize }
+  in
+  let srv = Server.start cfg bnd (stores_of `Sim (plan ()) ~shards) in
+  let c = connect (Server.port srv) in
+  let reqs = ref [] and want = ref [] in
+  let push req resp =
+    reqs := req :: !reqs;
+    want := resp :: !want
+  in
+  for k = 0 to 15 do
+    (* k covers every shard (k mod 4); each key: set, overwrite, read *)
+    push (Protocol.Set (k, Printf.sprintf "a%d" k)) Protocol.Stored;
+    push (Protocol.Set (k, Printf.sprintf "b%d" k)) Protocol.Stored;
+    push (Protocol.Get k) (Protocol.Value (k, Printf.sprintf "b%d" k))
+  done;
+  (* a cross-shard transaction mid-pipeline: a barrier that must still
+     answer in order *)
+  push
+    (Protocol.Txn [ Protocol.T_set (100, "x"); Protocol.T_set (101, "y") ])
+    (Protocol.Txn_reply [ Protocol.R_stored; Protocol.R_stored ]);
+  push (Protocol.Get 100) (Protocol.Value (100, "x"));
+  push (Protocol.Get 101) (Protocol.Value (101, "y"));
+  (* and a scan merging all four shards' cursors (the colored plan's
+     index entries are key+version only) *)
+  push
+    (Protocol.Scan { sc_start = 0; sc_stop = 3; sc_limit = 10 })
+    (Protocol.Scan_reply
+       (List.init 4 (fun k ->
+            { Protocol.si_key = k; si_ver = 2; si_val = None })));
+  for k = 0 to 15 do
+    push (Protocol.Del k) Protocol.Deleted
+  done;
+  let reqs = List.rev !reqs and want = List.rev !want in
+  let burst =
+    String.concat "" (List.map Protocol.render_request reqs)
+  in
+  send_all c burst;
+  let got = read_responses c (List.length want) in
+  Alcotest.(check int) "every pipelined request answered"
+    (List.length want) (List.length got);
+  List.iteri
+    (fun i (w, g) ->
+      if w <> g then
+        Alcotest.failf "pipelined response %d out of order/wrong: want %s got %s"
+          i (Protocol.render w) (Protocol.render g))
+    (List.combine want got);
+  Unix.close c.fd;
+  Server.drain srv;
+  let s = Server.stats srv in
+  Alcotest.(check int) "shards reported" shards s.Server.s_shards;
+  Alcotest.(check bool) "cross-shard requests flowed" true
+    (s.Server.s_xshard > 0)
+
 let suite =
   [
     Alcotest.test_case "protocol: fragmented parse + roundtrip" `Quick
       test_protocol;
     Alcotest.test_case "differential socket-vs-direct (sim)" `Quick
-      (test_differential `Sim);
+      (test_differential `Sim ~shards:1);
+    Alcotest.test_case "differential socket-vs-direct (sim, 4 shards)" `Quick
+      (test_differential `Sim ~shards:4);
     Alcotest.test_case "differential socket-vs-direct (parallel)" `Slow
-      (test_differential `Parallel);
+      (test_differential `Parallel ~shards:1);
+    Alcotest.test_case "differential socket-vs-direct (parallel, 2 shards)"
+      `Slow
+      (test_differential `Parallel ~shards:2);
     Alcotest.test_case "graceful drain loses no parsed request" `Quick
-      test_drain_no_loss;
+      (test_drain_no_loss ~shards:1);
+    Alcotest.test_case "sharded drain loses no parsed request" `Quick
+      (test_drain_no_loss ~shards:4);
+    Alcotest.test_case "pipelined burst: in-order responses across shards"
+      `Quick test_pipelined_burst;
     Alcotest.test_case "stats metrics loopback" `Quick
       test_stats_metrics_loopback;
     Alcotest.test_case "shedding at queue bound 1" `Quick test_shedding;

@@ -305,22 +305,29 @@ let rpc c req =
   | [ r ] -> r
   | _ -> Alcotest.fail "rpc: no response"
 
-let start_server ?replica_of ~engine ~backend plan =
+let start_server ?replica_of ?(shards = 1) ~engine ~backend plan =
   let bnd = Option.get (Server.bindings_of_plan plan) in
-  let store =
-    match backend with
-    | `Sim -> Server.store_of_pinterp (Pinterp.create ~engine plan)
-    | `Parallel -> Server.store_of_parallel (Parallel.create ~lanes:2 ~engine plan)
+  let stores =
+    Array.init shards (fun _ ->
+        let store =
+          match backend with
+          | `Sim -> Server.store_of_pinterp (Pinterp.create ~engine plan)
+          | `Parallel ->
+            Server.store_of_parallel (Parallel.create ~lanes:2 ~engine plan)
+        in
+        (match bnd.Server.b_init with
+        | Some entry -> (
+          match
+            store.Server.st_call entry [ Rvalue.Int (Int64.of_int capacity) ]
+          with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "%s: %s" entry m)
+        | None -> ());
+        store)
   in
-  (match bnd.Server.b_init with
-  | Some entry -> (
-    match store.Server.st_call entry [ Rvalue.Int (Int64.of_int capacity) ] with
-    | Ok _ -> ()
-    | Error m -> Alcotest.failf "%s: %s" entry m)
-  | None -> ());
   Server.start ?replica_of
-    { Server.default_config with Server.port = 0; vsize }
-    bnd store
+    { Server.default_config with Server.port = 0; shards; vsize }
+    bnd stores
 
 (* ------------------------------------------------------------------ *)
 (* differential transcripts: the same deterministic client session must
@@ -375,28 +382,36 @@ let session port =
   Buffer.contents out
 
 let test_differential_cells () =
+  (* engine x backend x shards; the sharded cells route the session's
+     multi-key transactions through the cross-shard 2PC path, and their
+     transcripts must still be bit-equal to the unsharded oracle *)
+  let cells =
+    [ (Exec.Walk, `Sim, 1); (Exec.Walk, `Parallel, 1); (Exec.Image, `Sim, 1);
+      (Exec.Image, `Parallel, 1); (Exec.Walk, `Sim, 3);
+      (Exec.Image, `Parallel, 2) ]
+  in
   let transcripts =
-    List.concat_map
-      (fun engine ->
-        List.map
-          (fun backend ->
-            let srv =
-              start_server ~engine ~backend
-                (plan_of (Programs.memcached ~nbuckets:64 ~vsize `Colored))
-            in
-            let t = session (Server.port srv) in
-            let s = Server.stats srv in
-            Server.drain srv;
-            Alcotest.(check bool) "cell served txns" true (s.Server.s_txns > 0);
-            Alcotest.(check bool) "cell served scans" true
-              (s.Server.s_scans > 0);
-            Alcotest.(check bool) "cell committed and aborted" true
-              (s.Server.s_txn_commits > 0 && s.Server.s_txn_aborts > 0);
-            ( Printf.sprintf "%s/%s" (Exec.engine_name engine)
-                (match backend with `Sim -> "sim" | `Parallel -> "parallel"),
-              t ))
-          [ `Sim; `Parallel ])
-      [ Exec.Walk; Exec.Image ]
+    List.map
+      (fun (engine, backend, shards) ->
+        let srv =
+          start_server ~engine ~backend ~shards
+            (plan_of (Programs.memcached ~nbuckets:64 ~vsize `Colored))
+        in
+        let t = session (Server.port srv) in
+        let s = Server.stats srv in
+        Server.drain srv;
+        Alcotest.(check bool) "cell served txns" true (s.Server.s_txns > 0);
+        Alcotest.(check bool) "cell served scans" true (s.Server.s_scans > 0);
+        Alcotest.(check bool) "cell committed and aborted" true
+          (s.Server.s_txn_commits > 0 && s.Server.s_txn_aborts > 0);
+        if shards > 1 then
+          Alcotest.(check bool) "sharded cell crossed shards" true
+            (s.Server.s_xshard > 0);
+        ( Printf.sprintf "%s/%s/%d" (Exec.engine_name engine)
+            (match backend with `Sim -> "sim" | `Parallel -> "parallel")
+            shards,
+          t ))
+      cells
   in
   match transcripts with
   | (_, first) :: rest ->
@@ -610,6 +625,98 @@ let test_indexed_accounts () =
         want (accounts_results engine))
     [ Exec.Walk; Exec.Image ]
 
+(* ------------------------------------------------------------------ *)
+(* cross-shard 2PC atomicity: a transaction straddling all four shards
+   either applies everywhere or nowhere, and its replication deltas stay
+   contiguous in the merged log *)
+
+let test_cross_shard_2pc () =
+  let shards = 4 in
+  let srv =
+    start_server ~shards ~engine:(Exec.default_engine ()) ~backend:`Sim
+      (plan_of (Programs.memcached ~nbuckets:64 ~vsize `Plain))
+  in
+  let c = connect (Server.port srv) in
+  let getv k =
+    match rpc c (Protocol.Getv k) with
+    | Protocol.Version { v_ver; v_val; _ } -> (v_ver, v_val)
+    | r -> Alcotest.failf "getv %d: %s" k (Protocol.render r)
+  in
+  (* one key per shard *)
+  for k = 0 to 3 do
+    match rpc c (Protocol.Set (k, Printf.sprintf "base%d" k)) with
+    | Protocol.Stored -> ()
+    | r -> Alcotest.failf "seed set: %s" (Protocol.render r)
+  done;
+  (* abort: a stale guard on shard 3 must leave shards 0-2 untouched *)
+  (match
+     rpc c
+       (Protocol.Txn
+          [ Txn.T_set (0, "dirty0"); Txn.T_set (1, "dirty1");
+            Txn.T_set (2, "dirty2"); Txn.T_cas (3, 99, "dirty3") ])
+   with
+  | Protocol.Txn_abort { ta_key = 3; ta_expected = 99; ta_found = 1 } -> ()
+  | r -> Alcotest.failf "expected abort, got %s" (Protocol.render r));
+  for k = 0 to 3 do
+    let ver, v = getv k in
+    Alcotest.(check int) "abort left version" 1 ver;
+    Alcotest.(check (option string)) "abort left value"
+      (Some (Printf.sprintf "base%d" k)) v
+  done;
+  (* validation failure on one shard (oversize) also applies nothing *)
+  (match
+     rpc c
+       (Protocol.Txn
+          [ Txn.T_set (0, "dirty0");
+            Txn.T_set (1, String.make (vsize + 1) 'x') ])
+   with
+  | Protocol.Error_msg _ -> ()
+  | r -> Alcotest.failf "oversize 2pc txn: %s" (Protocol.render r));
+  Alcotest.(check int) "oversize applied nothing" 1 (fst (getv 0));
+  (* commit: reads + writes across all four shards apply atomically *)
+  let log_before =
+    Privagic_replication.Log.head (Server.repl_log srv)
+  in
+  (match
+     rpc c
+       (Protocol.Txn
+          [ Txn.T_get 0; Txn.T_cas (1, 1, "upd1"); Txn.T_set (2, "upd2");
+            Txn.T_del 3; Txn.T_set (6, "new6") ])
+   with
+  | Protocol.Txn_reply
+      [ Protocol.R_value (Some "base0"); Protocol.R_stored; Protocol.R_stored;
+        Protocol.R_deleted; Protocol.R_stored ] -> ()
+  | r -> Alcotest.failf "2pc commit: %s" (Protocol.render r));
+  Alcotest.(check (pair int (option string))) "shard 1 applied" (2, Some "upd1")
+    (getv 1);
+  Alcotest.(check (pair int (option string))) "shard 2 applied" (2, Some "upd2")
+    (getv 2);
+  Alcotest.(check (pair int (option string))) "shard 3 deleted" (2, None)
+    (getv 3);
+  Alcotest.(check (pair int (option string))) "shard 2 insert" (1, Some "new6")
+    (getv 6);
+  (* the commit's four writes are one contiguous run in the merged log *)
+  let log = Privagic_replication.Log.to_list (Server.repl_log srv) in
+  let tail =
+    List.filteri (fun i _ -> i >= log_before) log
+    |> List.map (fun (d : Delta.t) ->
+           match d.Delta.op with
+           | Delta.Put { key; _ } -> (d.Delta.seq, `Put key)
+           | Delta.Del { key } -> (d.Delta.seq, `Del key))
+  in
+  (match tail with
+  | [ (s1, `Put 1); (s2, `Put 2); (s3, `Del 3); (s4, `Put 6) ]
+    when s2 = s1 + 1 && s3 = s2 + 1 && s4 = s3 + 1 -> ()
+  | _ ->
+    Alcotest.failf "txn deltas not contiguous in log (%d entries after %d)"
+      (List.length tail) log_before);
+  let s = Server.stats srv in
+  Alcotest.(check bool) "2pc txns crossed shards" true (s.Server.s_xshard > 0);
+  Alcotest.(check int) "one txn committed" 1 s.Server.s_txn_commits;
+  Alcotest.(check int) "one txn aborted" 1 s.Server.s_txn_aborts;
+  Unix.close c.fd;
+  Server.drain srv
+
 let suite =
   [
     Alcotest.test_case "execute: snapshot reads, guards, atomic commit" `Quick
@@ -626,6 +733,8 @@ let suite =
       test_replica_convergence;
     Alcotest.test_case "socket roundtrip of every verb" `Quick
       test_socket_roundtrip;
+    Alcotest.test_case "cross-shard 2PC: atomic or nothing" `Quick
+      test_cross_shard_2pc;
     Alcotest.test_case "indexed accounts agree across engines" `Quick
       test_indexed_accounts;
   ]
